@@ -1,0 +1,63 @@
+//! Binary arithmetic (range) coding for block-restartable code compression.
+//!
+//! This crate implements the coder at the heart of SAMC (Lekatsas & Wolf,
+//! DAC 1998, §3): a *binary* arithmetic coder that encodes one bit at a time
+//! against a model-supplied probability, renormalizes a byte at a time, and
+//! can be reset cheaply at every cache-block boundary so that any block can
+//! be decompressed in isolation.
+//!
+//! # Relation to the paper's pseudocode
+//!
+//! The paper presents a decoder with a 24-bit interval `[min, max)`, a
+//! model-driven midpoint `mid = min + (max-min-1)·P(0)`, and byte-at-a-time
+//! renormalization.  We implement the standard carry-correct formulation of
+//! the same scheme: a 32-bit `range` with a 2^24 renormalization threshold
+//! (so, as in the paper, 24 bits of the interval are always significant) and
+//! 12-bit fixed-point probabilities.  The encoder and decoder are exact
+//! inverses, proven by property tests.
+//!
+//! Two hardware-motivated refinements from the paper are modelled:
+//!
+//! * [`Prob::to_pow2`] constrains the less-probable symbol to a power of
+//!   1/2, which lets a hardware midpoint unit use shifts instead of a
+//!   multiplier (Witten et al.'s ≈95% worst-case efficiency bound).
+//! * [`nibble`] decodes four bits per step from a 15-node probability
+//!   subtree, mirroring the Fig. 5 parallel decompression engine, and
+//!   accounts hardware cycles.
+//!
+//! # Examples
+//!
+//! ```
+//! use cce_arith::{BitDecoder, BitEncoder, Prob};
+//!
+//! let p = Prob::from_counts(900, 100); // bits are mostly 0
+//! let bits = [false, false, true, false, false, false, true, false];
+//!
+//! let mut enc = BitEncoder::new();
+//! for &b in &bits {
+//!     enc.encode_bit(b, p);
+//! }
+//! let bytes = enc.finish();
+//!
+//! let mut dec = BitDecoder::new(&bytes);
+//! for &b in &bits {
+//!     assert_eq!(dec.decode_bit(p), b);
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod decoder;
+mod encoder;
+pub mod nibble;
+mod prob;
+
+pub use decoder::BitDecoder;
+pub use encoder::BitEncoder;
+pub use prob::{Prob, ProbMode, PROB_BITS, PROB_ONE};
+
+/// Renormalization threshold: while `range` is below 2^24 the coder shifts
+/// in another byte, so 24 bits of interval precision are always live — the
+/// accuracy stated in the paper's decompressor pseudocode.
+pub(crate) const RENORM_THRESHOLD: u32 = 1 << 24;

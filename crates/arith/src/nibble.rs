@@ -1,0 +1,234 @@
+//! Nibble-parallel decoder modelling the Fig. 5 decompression engine.
+//!
+//! The paper observes that the bit-serial decoder's midpoint recurrence can
+//! be unrolled: all 15 candidate midpoints for the next four bits are
+//! computed from the current interval and the 15 probabilities of a depth-4
+//! Markov subtree, then comparators select the decoded nibble.  The engine
+//! therefore retires **4 bits per cycle**, stalling only for renormalization
+//! byte loads from the compressed-code memory.
+//!
+//! [`NibbleDecoder`] is the functional model of that engine: it consumes the
+//! same streams as [`crate::BitDecoder`] (property tests pin the
+//! equivalence), fetches probabilities as one 15-entry subtree per step the
+//! way the hardware's probability memory does, and accounts cycles under the
+//! 4-bits-per-cycle + 1-cycle-per-byte-load model.
+
+use crate::decoder::BitDecoder;
+use crate::prob::Prob;
+
+/// A depth-4 probability subtree: the 15 `P(0)` values the hardware fetches
+/// to decode one nibble.
+///
+/// Nodes are heap-ordered: node 0 is the subtree root; the children of node
+/// `i` are `2i+1` (after a 0 bit) and `2i+2` (after a 1 bit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NibbleProbTree {
+    probs: [Prob; 15],
+}
+
+impl NibbleProbTree {
+    /// Wraps 15 heap-ordered probabilities.
+    pub fn new(probs: [Prob; 15]) -> Self {
+        Self { probs }
+    }
+
+    /// A flat tree: every node uninformative (P(0) = 1/2).
+    pub fn uniform() -> Self {
+        Self {
+            probs: [Prob::HALF; 15],
+        }
+    }
+
+    /// The probability at heap index `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node >= 15`.
+    pub fn prob(&self, node: usize) -> Prob {
+        self.probs[node]
+    }
+
+    /// The probabilities along the path spelled by the low 4 bits of
+    /// `nibble` (MSB first), i.e. what the serial decoder would consult.
+    pub fn path_probs(&self, nibble: u8) -> [Prob; 4] {
+        let mut node = 0usize;
+        let mut out = [Prob::HALF; 4];
+        for (depth, slot) in out.iter_mut().enumerate() {
+            *slot = self.probs[node];
+            let bit = nibble >> (3 - depth) & 1;
+            node = 2 * node + 1 + usize::from(bit);
+        }
+        out
+    }
+}
+
+/// Cycle accounting for the modelled engine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Cycles in which a nibble was retired (one per [`NibbleDecoder::decode_nibble`]).
+    pub nibble_cycles: u64,
+    /// Stall cycles waiting on renormalization byte loads.
+    pub load_cycles: u64,
+}
+
+impl EngineStats {
+    /// Total modelled cycles.
+    pub fn total_cycles(&self) -> u64 {
+        self.nibble_cycles + self.load_cycles
+    }
+}
+
+/// Functional model of the nibble-parallel decompression engine.
+///
+/// # Examples
+///
+/// ```
+/// use cce_arith::{BitEncoder, Prob};
+/// use cce_arith::nibble::{NibbleDecoder, NibbleProbTree};
+///
+/// let tree = NibbleProbTree::uniform();
+/// let mut enc = BitEncoder::new();
+/// for &p in tree.path_probs(0b1010).iter() {
+///     // encode the nibble 0b1010 bit by bit against the tree
+/// #   let _ = p;
+/// }
+/// let nibble = 0b1010u8;
+/// let probs = tree.path_probs(nibble);
+/// for (i, &p) in probs.iter().enumerate() {
+///     enc.encode_bit(nibble >> (3 - i) & 1 == 1, p);
+/// }
+/// let bytes = enc.finish();
+///
+/// let mut dec = NibbleDecoder::new(&bytes);
+/// assert_eq!(dec.decode_nibble(&tree), nibble);
+/// assert_eq!(dec.stats().nibble_cycles, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct NibbleDecoder<'a> {
+    inner: BitDecoder<'a>,
+    stats: EngineStats,
+}
+
+impl<'a> NibbleDecoder<'a> {
+    /// Creates an engine over one block's encoded bytes.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Self {
+            inner: BitDecoder::new(bytes),
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// Decodes the next four bits using the supplied probability subtree,
+    /// returning them as the low bits of a byte (first decoded bit is the
+    /// MSB of the nibble).
+    pub fn decode_nibble(&mut self, tree: &NibbleProbTree) -> u8 {
+        let loads_before = self.inner.renorm_reads();
+        let mut nibble = 0u8;
+        let mut node = 0usize;
+        // The hardware computes all 15 midpoints combinationally; the
+        // selected path is arithmetically identical to walking it serially,
+        // which is what keeps this model bit-exact with `BitDecoder`.
+        for _ in 0..4 {
+            let bit = self.inner.decode_bit(tree.prob(node));
+            nibble = nibble << 1 | u8::from(bit);
+            node = 2 * node + 1 + usize::from(bit);
+        }
+        self.stats.nibble_cycles += 1;
+        self.stats.load_cycles += self.inner.renorm_reads() - loads_before;
+        nibble
+    }
+
+    /// Modelled cycle counts so far.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Bytes of real input consumed so far.
+    pub fn bytes_consumed(&self) -> usize {
+        self.inner.bytes_consumed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BitEncoder;
+
+    fn encode_nibbles(nibbles: &[u8], tree: &NibbleProbTree) -> Vec<u8> {
+        let mut enc = BitEncoder::new();
+        for &n in nibbles {
+            let probs = tree.path_probs(n);
+            for (i, &p) in probs.iter().enumerate() {
+                enc.encode_bit(n >> (3 - i) & 1 == 1, p);
+            }
+        }
+        enc.finish()
+    }
+
+    fn skewed_tree() -> NibbleProbTree {
+        let mut probs = [Prob::HALF; 15];
+        for (i, p) in probs.iter_mut().enumerate() {
+            *p = Prob::from_raw((i as u32 * 517 + 97) % 4000 + 48);
+        }
+        NibbleProbTree::new(probs)
+    }
+
+    #[test]
+    fn all_sixteen_nibbles_round_trip() {
+        let tree = skewed_tree();
+        let nibbles: Vec<u8> = (0..16).collect();
+        let bytes = encode_nibbles(&nibbles, &tree);
+        let mut dec = NibbleDecoder::new(&bytes);
+        for &n in &nibbles {
+            assert_eq!(dec.decode_nibble(&tree), n);
+        }
+        assert_eq!(dec.stats().nibble_cycles, 16);
+    }
+
+    #[test]
+    fn nibble_decoder_matches_bit_serial_decoder() {
+        let tree = skewed_tree();
+        let nibbles: Vec<u8> = (0..400).map(|i| (i * 7 % 16) as u8).collect();
+        let bytes = encode_nibbles(&nibbles, &tree);
+
+        let mut serial = BitDecoder::new(&bytes);
+        let mut engine = NibbleDecoder::new(&bytes);
+        for &n in &nibbles {
+            let from_engine = engine.decode_nibble(&tree);
+            let mut from_serial = 0u8;
+            let mut node = 0usize;
+            for _ in 0..4 {
+                let bit = serial.decode_bit(tree.prob(node));
+                from_serial = from_serial << 1 | u8::from(bit);
+                node = 2 * node + 1 + usize::from(bit);
+            }
+            assert_eq!(from_engine, from_serial);
+            assert_eq!(from_engine, n);
+        }
+    }
+
+    #[test]
+    fn path_probs_walks_the_heap() {
+        let tree = skewed_tree();
+        let probs = tree.path_probs(0b0110);
+        assert_eq!(probs[0], tree.prob(0));
+        assert_eq!(probs[1], tree.prob(1)); // after 0
+        assert_eq!(probs[2], tree.prob(4)); // after 01
+        assert_eq!(probs[3], tree.prob(10)); // after 011
+    }
+
+    #[test]
+    fn load_cycles_track_compressed_size() {
+        let tree = NibbleProbTree::uniform();
+        let nibbles: Vec<u8> = (0..256).map(|i| (i % 16) as u8).collect();
+        let bytes = encode_nibbles(&nibbles, &tree);
+        let mut dec = NibbleDecoder::new(&bytes);
+        for _ in &nibbles {
+            dec.decode_nibble(&tree);
+        }
+        // Uniform probabilities: ~1 byte loaded per 2 nibbles decoded.
+        let stats = dec.stats();
+        assert!(stats.load_cycles >= bytes.len() as u64 - 8);
+        assert_eq!(stats.total_cycles(), stats.nibble_cycles + stats.load_cycles);
+    }
+}

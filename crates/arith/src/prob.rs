@@ -1,0 +1,209 @@
+//! Fixed-point bit probabilities.
+
+/// Number of fractional bits in a [`Prob`].
+pub const PROB_BITS: u32 = 12;
+
+/// The fixed-point representation of probability 1.0.
+pub const PROB_ONE: u32 = 1 << PROB_BITS;
+
+/// How probabilities are represented in the decompressor hardware.
+///
+/// The paper's midpoint unit can avoid a multiplier by constraining the
+/// less-probable symbol's probability to a power of 1/2 (then the midpoint
+/// is a shift, or a shift and a subtraction).  `Pow2` models that constraint;
+/// `Exact` keeps the full 12-bit probability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ProbMode {
+    /// Full 12-bit fixed-point probabilities (multiplier in hardware).
+    #[default]
+    Exact,
+    /// Less-probable symbol constrained to 2^-k (shift-only hardware).
+    Pow2,
+}
+
+/// The probability that the next bit is `0`, in 12-bit fixed point.
+///
+/// Values are clamped to `[1, 4095]` so neither symbol ever has zero
+/// probability — the coder must always be able to encode either bit (the
+/// paper's pseudocode applies the same fix-up to its midpoint).
+///
+/// # Examples
+///
+/// ```
+/// use cce_arith::Prob;
+///
+/// // Laplace-smoothed: (30 + 1) / (30 + 10 + 2)
+/// let p = Prob::from_counts(30, 10);
+/// assert!((p.as_f64() - 31.0 / 42.0).abs() < 0.001);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Prob(u16);
+
+impl Prob {
+    /// The maximum storable probability of zero, `4095/4096`.
+    pub const MAX: Prob = Prob((PROB_ONE - 1) as u16);
+    /// The minimum storable probability of zero, `1/4096`.
+    pub const MIN: Prob = Prob(1);
+    /// An uninformative half/half probability.
+    pub const HALF: Prob = Prob((PROB_ONE / 2) as u16);
+
+    /// Creates a probability from a raw fixed-point value, clamping into
+    /// `[1, 4095]`.
+    pub fn from_raw(raw: u32) -> Self {
+        Prob(raw.clamp(1, PROB_ONE - 1) as u16)
+    }
+
+    /// Estimates P(0) from observed zero/one counts.
+    ///
+    /// Uses a +1/+1 Laplace correction so unseen symbols stay encodable,
+    /// then clamps to the representable range.
+    pub fn from_counts(zeros: u64, ones: u64) -> Self {
+        let num = (zeros + 1) as u128 * u128::from(PROB_ONE);
+        let den = (zeros + ones + 2) as u128;
+        Prob::from_raw((num / den) as u32)
+    }
+
+    /// The raw 12-bit fixed-point value.
+    pub fn raw(self) -> u32 {
+        u32::from(self.0)
+    }
+
+    /// This probability as a float in `(0, 1)`.
+    pub fn as_f64(self) -> f64 {
+        f64::from(self.0) / f64::from(PROB_ONE)
+    }
+
+    /// Quantizes so the *less probable* symbol has probability `2^-k`
+    /// (geometric rounding in k), modelling the shift-only midpoint unit.
+    ///
+    /// The exponent is clamped to `k ≤ 8` — the hardware stores each
+    /// quantized probability in 4 bits (a side bit plus a 3-bit shift), so
+    /// the rarest representable symbol has probability 1/256.
+    ///
+    /// ```
+    /// use cce_arith::Prob;
+    ///
+    /// let p = Prob::from_raw(700); // P(0) ≈ 0.171, less probable symbol is 0
+    /// let q = p.to_pow2();
+    /// assert_eq!(q.raw(), 512); // 2^-3 of 4096
+    /// ```
+    pub fn to_pow2(self) -> Self {
+        /// Largest shift the 4-bit table entry can hold.
+        const MAX_SHIFT: u32 = 8;
+        let raw = self.raw();
+        let (minor, zero_is_minor) = if raw <= PROB_ONE / 2 {
+            (raw, true)
+        } else {
+            (PROB_ONE - raw, false)
+        };
+        // Round k = -log2(minor/4096) to the nearest integer, 1 <= k <= 8.
+        let mut best = 1u32;
+        let mut best_err = f64::INFINITY;
+        for k in 1..=MAX_SHIFT.min(PROB_BITS) {
+            let candidate = f64::from(PROB_ONE >> k);
+            let err = (candidate.ln() - f64::from(minor).ln()).abs();
+            if err < best_err {
+                best_err = err;
+                best = k;
+            }
+        }
+        let quantized_minor = PROB_ONE >> best;
+        Prob::from_raw(if zero_is_minor {
+            quantized_minor
+        } else {
+            PROB_ONE - quantized_minor
+        })
+    }
+
+    /// Applies `mode`: identity for [`ProbMode::Exact`], power-of-two
+    /// quantization for [`ProbMode::Pow2`].
+    pub fn quantize(self, mode: ProbMode) -> Self {
+        match mode {
+            ProbMode::Exact => self,
+            ProbMode::Pow2 => self.to_pow2(),
+        }
+    }
+
+    /// Ideal code length in bits for encoding `bit` at this probability.
+    ///
+    /// Useful for entropy estimates when choosing stream divisions.
+    pub fn code_length(self, bit: bool) -> f64 {
+        let p = if bit { 1.0 - self.as_f64() } else { self.as_f64() };
+        -p.log2()
+    }
+}
+
+impl Default for Prob {
+    fn default() -> Self {
+        Prob::HALF
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_counts_is_laplace_smoothed() {
+        assert_eq!(Prob::from_counts(0, 0), Prob::HALF);
+        // 1 zero, 0 ones -> (1+1)/(1+2) = 2/3
+        let p = Prob::from_counts(1, 0);
+        assert!((p.as_f64() - 2.0 / 3.0).abs() < 0.001);
+    }
+
+    #[test]
+    fn extreme_counts_clamp() {
+        assert_eq!(Prob::from_counts(u64::MAX / 2, 0), Prob::MAX);
+        assert_eq!(Prob::from_counts(0, u64::MAX / 2), Prob::MIN);
+    }
+
+    #[test]
+    fn from_raw_clamps_both_ends() {
+        assert_eq!(Prob::from_raw(0), Prob::MIN);
+        assert_eq!(Prob::from_raw(PROB_ONE), Prob::MAX);
+        assert_eq!(Prob::from_raw(9999), Prob::MAX);
+    }
+
+    #[test]
+    fn pow2_quantization_is_symmetric() {
+        for raw in [3u32, 100, 700, 2048, 3396, 3996, 4093] {
+            let p = Prob::from_raw(raw);
+            let mirrored = Prob::from_raw(PROB_ONE - raw);
+            assert_eq!(
+                p.to_pow2().raw(),
+                PROB_ONE - mirrored.to_pow2().raw(),
+                "asymmetric at raw={raw}"
+            );
+        }
+    }
+
+    #[test]
+    fn pow2_is_idempotent() {
+        for raw in 1..PROB_ONE {
+            let once = Prob::from_raw(raw).to_pow2();
+            assert_eq!(once.to_pow2(), once, "not idempotent at raw={raw}");
+        }
+    }
+
+    #[test]
+    fn pow2_half_stays_half() {
+        assert_eq!(Prob::HALF.to_pow2(), Prob::HALF);
+    }
+
+    #[test]
+    fn quantize_modes() {
+        let p = Prob::from_raw(700);
+        assert_eq!(p.quantize(ProbMode::Exact), p);
+        assert_eq!(p.quantize(ProbMode::Pow2), p.to_pow2());
+    }
+
+    #[test]
+    fn code_length_matches_entropy() {
+        let p = Prob::HALF;
+        assert!((p.code_length(false) - 1.0).abs() < 1e-9);
+        assert!((p.code_length(true) - 1.0).abs() < 1e-9);
+        let skewed = Prob::from_raw(PROB_ONE * 3 / 4);
+        assert!(skewed.code_length(false) < 1.0);
+        assert!(skewed.code_length(true) > 1.0);
+    }
+}

@@ -1,0 +1,126 @@
+//! Property tests: the range coder is a bijection for any bit/probability
+//! sequence, in both Exact and Pow2 probability modes, and the nibble engine
+//! agrees with the bit-serial decoder.
+
+use cce_arith::nibble::{NibbleDecoder, NibbleProbTree};
+use cce_arith::{BitDecoder, BitEncoder, Prob, ProbMode, PROB_ONE};
+use proptest::prelude::*;
+
+fn prob_strategy() -> impl Strategy<Value = Prob> {
+    (1u32..PROB_ONE).prop_map(Prob::from_raw)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn round_trip_exact(
+        pairs in prop::collection::vec((any::<bool>(), prob_strategy()), 0..600)
+    ) {
+        let mut enc = BitEncoder::new();
+        for &(bit, p) in &pairs {
+            enc.encode_bit(bit, p);
+        }
+        let bytes = enc.finish();
+        let mut dec = BitDecoder::new(&bytes);
+        for &(bit, p) in &pairs {
+            prop_assert_eq!(dec.decode_bit(p), bit);
+        }
+    }
+
+    #[test]
+    fn round_trip_pow2(
+        pairs in prop::collection::vec((any::<bool>(), prob_strategy()), 0..600)
+    ) {
+        // Both sides quantize: the model stores quantized probabilities.
+        let mut enc = BitEncoder::new();
+        for &(bit, p) in &pairs {
+            enc.encode_bit(bit, p.quantize(ProbMode::Pow2));
+        }
+        let bytes = enc.finish();
+        let mut dec = BitDecoder::new(&bytes);
+        for &(bit, p) in &pairs {
+            prop_assert_eq!(dec.decode_bit(p.quantize(ProbMode::Pow2)), bit);
+        }
+    }
+
+    #[test]
+    fn compressed_size_tracks_entropy(
+        seed in 0u64..1000, len in 64usize..2048
+    ) {
+        // Bits drawn from a fixed skewed source, coded at the true probability:
+        // the output must be within a few percent of the entropy bound plus
+        // the constant terminator overhead.
+        let p_zero = 0.9;
+        let p = Prob::from_raw((p_zero * PROB_ONE as f64) as u32);
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let bits: Vec<bool> = (0..len).map(|_| (next() % 1000) as f64 >= p_zero * 1000.0).collect();
+        let mut enc = BitEncoder::new();
+        let mut ideal_bits = 0.0;
+        for &b in &bits {
+            ideal_bits += p.code_length(b);
+            enc.encode_bit(b, p);
+        }
+        let bytes = enc.finish();
+        let actual_bits = bytes.len() as f64 * 8.0;
+        prop_assert!(
+            actual_bits <= ideal_bits * 1.08 + 40.0,
+            "actual {actual_bits} vs ideal {ideal_bits}"
+        );
+        // And it must still round-trip.
+        let mut dec = BitDecoder::new(&bytes);
+        for &b in &bits {
+            prop_assert_eq!(dec.decode_bit(p), b);
+        }
+    }
+
+    #[test]
+    fn nibble_engine_equals_serial(
+        nibbles in prop::collection::vec(0u8..16, 0..300),
+        raws in prop::collection::vec(1u32..PROB_ONE, 15)
+    ) {
+        let mut probs = [Prob::HALF; 15];
+        for (slot, &raw) in probs.iter_mut().zip(&raws) {
+            *slot = Prob::from_raw(raw);
+        }
+        let tree = NibbleProbTree::new(probs);
+
+        let mut enc = BitEncoder::new();
+        for &n in &nibbles {
+            let path = tree.path_probs(n);
+            for (i, &p) in path.iter().enumerate() {
+                enc.encode_bit(n >> (3 - i) & 1 == 1, p);
+            }
+        }
+        let bytes = enc.finish();
+
+        let mut engine = NibbleDecoder::new(&bytes);
+        let mut serial = BitDecoder::new(&bytes);
+        for &n in &nibbles {
+            prop_assert_eq!(engine.decode_nibble(&tree), n);
+            let mut node = 0usize;
+            let mut v = 0u8;
+            for _ in 0..4 {
+                let bit = serial.decode_bit(tree.prob(node));
+                v = v << 1 | u8::from(bit);
+                node = 2 * node + 1 + usize::from(bit);
+            }
+            prop_assert_eq!(v, n);
+        }
+    }
+
+    #[test]
+    fn pow2_quantization_never_leaves_range(raw in 1u32..PROB_ONE) {
+        let q = Prob::from_raw(raw).to_pow2();
+        prop_assert!(q.raw() >= 1 && q.raw() < PROB_ONE);
+        // Quantized value is 2^-k or 1 - 2^-k.
+        let minor = q.raw().min(PROB_ONE - q.raw());
+        prop_assert!(minor.is_power_of_two(), "minor {minor} not a power of two");
+    }
+}

@@ -1,0 +1,107 @@
+//! SPEED — whole-program compression/decompression throughput for every
+//! codec on a fixed MIPS benchmark text (synthetic `go`, ~64 KiB).
+//!
+//! The paper argues SADC "allows for fast hardware implementations" and
+//! that SAMC's arithmetic decoding is the slower path; these benches give
+//! the software-model counterpart of that comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use cce_core::huffman::block::ByteBlockCodec;
+use cce_core::isa::Isa;
+use cce_core::lz::{Gzip, Lzw};
+use cce_core::sadc::{MipsSadc, MipsSadcConfig};
+use cce_core::samc::{SamcCodec, SamcConfig};
+use cce_core::workload::spec95_suite;
+
+fn benchmark_text() -> Vec<u8> {
+    spec95_suite(Isa::Mips, 1.0)
+        .into_iter()
+        .find(|p| p.name == "go")
+        .expect("go is in the suite")
+        .text
+}
+
+fn compression(c: &mut Criterion) {
+    let text = benchmark_text();
+    let mut group = c.benchmark_group("compress");
+    group.throughput(Throughput::Bytes(text.len() as u64));
+    group.sample_size(10);
+
+    group.bench_function("samc", |b| {
+        let codec = SamcCodec::train(&text, SamcConfig::mips()).expect("trainable");
+        b.iter(|| black_box(codec.compress(black_box(&text))));
+    });
+    group.bench_function("sadc", |b| {
+        let codec = MipsSadc::train(&text, MipsSadcConfig::default()).expect("trainable");
+        b.iter(|| black_box(codec.compress(black_box(&text))));
+    });
+    group.bench_function("byte_huffman", |b| {
+        let codec = ByteBlockCodec::train(&text).expect("trainable");
+        b.iter(|| black_box(codec.compress(black_box(&text), 32)));
+    });
+    group.bench_function("lzw", |b| {
+        let codec = Lzw::new();
+        b.iter(|| black_box(codec.compress(black_box(&text))));
+    });
+    group.bench_function("gzip", |b| {
+        let codec = Gzip::new();
+        b.iter(|| black_box(codec.compress(black_box(&text))));
+    });
+    group.finish();
+}
+
+fn decompression(c: &mut Criterion) {
+    let text = benchmark_text();
+    let mut group = c.benchmark_group("decompress");
+    group.throughput(Throughput::Bytes(text.len() as u64));
+    group.sample_size(10);
+
+    group.bench_function("samc", |b| {
+        let codec = SamcCodec::train(&text, SamcConfig::mips()).expect("trainable");
+        let image = codec.compress(&text);
+        b.iter(|| black_box(codec.decompress(black_box(&image)).expect("round trip")));
+    });
+    group.bench_function("sadc", |b| {
+        let codec = MipsSadc::train(&text, MipsSadcConfig::default()).expect("trainable");
+        let image = codec.compress(&text);
+        b.iter(|| black_box(codec.decompress(black_box(&image)).expect("round trip")));
+    });
+    group.bench_function("byte_huffman", |b| {
+        let codec = ByteBlockCodec::train(&text).expect("trainable");
+        let image = codec.compress(&text, 32);
+        b.iter(|| black_box(codec.decompress(black_box(&image)).expect("round trip")));
+    });
+    group.bench_function("lzw", |b| {
+        let codec = Lzw::new();
+        let compressed = codec.compress(&text);
+        b.iter(|| black_box(codec.decompress(black_box(&compressed)).expect("round trip")));
+    });
+    group.bench_function("gzip", |b| {
+        let codec = Gzip::new();
+        let compressed = codec.compress(&text);
+        b.iter(|| black_box(codec.decompress(black_box(&compressed)).expect("round trip")));
+    });
+    group.finish();
+}
+
+fn training(c: &mut Criterion) {
+    let text = benchmark_text();
+    let mut group = c.benchmark_group("train");
+    group.throughput(Throughput::Bytes(text.len() as u64));
+    group.sample_size(10);
+
+    group.bench_function("samc", |b| {
+        b.iter(|| black_box(SamcCodec::train(black_box(&text), SamcConfig::mips()).expect("ok")));
+    });
+    group.bench_function("sadc", |b| {
+        b.iter(|| {
+            black_box(MipsSadc::train(black_box(&text), MipsSadcConfig::default()).expect("ok"))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, compression, decompression, training);
+criterion_main!(benches);

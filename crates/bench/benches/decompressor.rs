@@ -1,0 +1,69 @@
+//! SPEED — per-cache-block refill latency: the operation on the critical
+//! path of every I-cache miss (paper §3's motivation for the
+//! nibble-parallel engine and §6's "faster decompressor implementations").
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use cce_core::isa::Isa;
+use cce_core::sadc::{MipsSadc, MipsSadcConfig};
+use cce_core::samc::{SamcCodec, SamcConfig};
+use cce_core::workload::spec95_suite;
+
+fn block_refill(c: &mut Criterion) {
+    let text = spec95_suite(Isa::Mips, 0.5)
+        .into_iter()
+        .find(|p| p.name == "ijpeg")
+        .expect("ijpeg is in the suite")
+        .text;
+
+    let samc = SamcCodec::train(&text, SamcConfig::mips()).expect("trainable");
+    let samc_image = samc.compress(&text);
+    let sadc = MipsSadc::train(&text, MipsSadcConfig::default()).expect("trainable");
+    let sadc_image = sadc.compress(&text);
+    let block = 5usize;
+
+    let mut group = c.benchmark_group("block_refill");
+    group.throughput(Throughput::Bytes(32));
+
+    group.bench_function("samc_serial", |b| {
+        b.iter(|| {
+            black_box(
+                samc.decompress_block(black_box(samc_image.block(block)), 32)
+                    .expect("decodes"),
+            )
+        });
+    });
+    group.bench_function("samc_nibble_engine", |b| {
+        b.iter(|| {
+            black_box(
+                samc.decompress_block_engine(black_box(samc_image.block(block)), 32)
+                    .expect("decodes"),
+            )
+        });
+    });
+    group.bench_function("sadc", |b| {
+        b.iter(|| {
+            black_box(
+                sadc.decompress_block(black_box(sadc_image.block(block)), 32)
+                    .expect("decodes"),
+            )
+        });
+    });
+    group.finish();
+
+    // Report the modelled hardware cycles once (not a timing benchmark,
+    // but the number the paper's engine design is about).
+    let (_, stats) = samc
+        .decompress_block_engine(samc_image.block(block), 32)
+        .expect("decodes");
+    eprintln!(
+        "modelled nibble-engine refill: {} nibble cycles + {} load cycles = {} cycles per 32-byte block",
+        stats.nibble_cycles,
+        stats.load_cycles,
+        stats.total_cycles()
+    );
+}
+
+criterion_group!(benches, block_refill);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! CLAIM-BLK — paper §5: "All of our experiments are done assuming a
+//! cache block size of 32 bytes.  Different cache block sizes have a
+//! minimal impact on the results presented."
+//!
+//! Sweeps the block size for SAMC and SADC on MIPS and prints the mean
+//! suite ratio per size.  Expected: a gentle upward drift for smaller
+//! blocks (more restart overhead) but differences of a few percent only.
+
+use cce_bench::{figure_rows, means, scale_from_env};
+use cce_core::isa::Isa;
+use cce_core::Algorithm;
+
+fn main() {
+    let scale = scale_from_env();
+    println!("Block-size ablation, MIPS suite means (scale {scale})");
+    println!("{:>6} {:>9} {:>9}", "block", "SAMC", "SADC");
+    for block_size in [16usize, 32, 64, 128] {
+        let rows = figure_rows(
+            Isa::Mips,
+            &[Algorithm::Samc, Algorithm::Sadc],
+            scale,
+            block_size,
+        )
+        .unwrap_or_else(|e| panic!("block size {block_size}: {e}"));
+        let m = means(&rows);
+        println!("{:>6} {:>9.3} {:>9.3}", block_size, m[0], m[1]);
+    }
+}

@@ -1,0 +1,72 @@
+//! CLAIM-DICT — paper §4: the SADC dictionary is capped at 256 entries
+//! ("we can augment the instruction set by about 200 new opcodes"), grown
+//! iteratively from group and operand-specialization candidates.
+//!
+//! Sweeps the dictionary budget and toggles each candidate class on a
+//! sample of the MIPS suite.  Expected: monotone improvement with budget,
+//! diminishing returns near 256; every candidate class contributes.
+
+use cce_bench::scale_from_env;
+use cce_core::isa::mips::Operation;
+use cce_core::isa::Isa;
+use cce_core::sadc::{MipsSadc, MipsSadcConfig};
+use cce_core::workload::spec95_suite;
+
+fn ratio(text: &[u8], config: MipsSadcConfig) -> f64 {
+    let codec = MipsSadc::train(text, config).expect("trainable");
+    codec.compress(text).ratio()
+}
+
+fn main() {
+    let scale = scale_from_env();
+    let programs = spec95_suite(Isa::Mips, scale);
+    let sample: Vec<_> = programs.iter().step_by(4).collect();
+
+    println!("Dictionary-size sweep, SADC on MIPS (scale {scale})");
+    print!("{:<10}", "benchmark");
+    let budgets = [Operation::COUNT + 8, 96, 128, 192, 256];
+    for b in budgets {
+        print!(" {b:>8}");
+    }
+    println!();
+    for program in &sample {
+        print!("{:<10}", program.name);
+        for max_tokens in budgets {
+            let config = MipsSadcConfig { max_tokens, ..Default::default() };
+            print!(" {:>8.3}", ratio(&program.text, config));
+        }
+        println!();
+    }
+
+    println!();
+    println!("Candidate-class ablation (256-entry budget)");
+    println!(
+        "{:<10} {:>8} {:>10} {:>9} {:>9} {:>8}",
+        "benchmark", "none", "groups", "+regs", "+imms", "all"
+    );
+    for program in &sample {
+        let none = MipsSadcConfig {
+            groups: false,
+            reg_specialization: false,
+            imm_specialization: false,
+            ..Default::default()
+        };
+        let groups = MipsSadcConfig {
+            reg_specialization: false,
+            imm_specialization: false,
+            ..Default::default()
+        };
+        let regs = MipsSadcConfig { imm_specialization: false, ..Default::default() };
+        let imms = MipsSadcConfig { reg_specialization: false, ..Default::default() };
+        let all = MipsSadcConfig::default();
+        println!(
+            "{:<10} {:>8.3} {:>10.3} {:>9.3} {:>9.3} {:>8.3}",
+            program.name,
+            ratio(&program.text, none),
+            ratio(&program.text, groups),
+            ratio(&program.text, regs),
+            ratio(&program.text, imms),
+            ratio(&program.text, all),
+        );
+    }
+}

@@ -1,0 +1,51 @@
+//! ARCH-LAT — extension experiment: the Wolfe/Chanin LAT padding trade.
+//!
+//! The LAT lives in main memory next to the compressed code, so its size
+//! is real footprint.  Padding every compressed block to a multiple of
+//! 2^k bytes wastes compression but drops k bits from every LAT entry.
+//! This sweep finds where the total footprint (compressed code + model +
+//! LAT) is minimized for real SAMC images.
+
+use cce_bench::scale_from_env;
+use cce_core::isa::Isa;
+use cce_core::memsim::LineAddressTable;
+use cce_core::workload::spec95_suite;
+use cce_core::{measure, Algorithm};
+
+fn main() {
+    let scale = scale_from_env();
+    println!("LAT padding sweep, SAMC on MIPS (scale {scale})");
+    println!(
+        "{:<10} {:>4} {:>10} {:>9} {:>10} {:>10}",
+        "benchmark", "pad", "code", "LAT", "footprint", "ratio"
+    );
+    for program in spec95_suite(Isa::Mips, scale).iter().step_by(5) {
+        let m = measure(Algorithm::Samc, Isa::Mips, &program.text, 32).expect("SAMC measures");
+        let sizes: Vec<usize> = m.block_sizes().expect("random access").to_vec();
+        let model = m.compressed_len() - sizes.iter().sum::<usize>();
+        let mut best: Option<(usize, usize)> = None;
+        for pad in [1usize, 2, 4, 8, 16, 32] {
+            let lat = LineAddressTable::padded(sizes.iter().copied(), pad);
+            let code = lat.compressed_total() as usize;
+            let footprint = code + model + lat.table_bytes();
+            if best.is_none_or(|(_, b)| footprint < b) {
+                best = Some((pad, footprint));
+            }
+            println!(
+                "{:<10} {:>4} {:>10} {:>9} {:>10} {:>10.3}",
+                program.name,
+                pad,
+                code,
+                lat.table_bytes(),
+                footprint,
+                footprint as f64 / m.original_len() as f64
+            );
+        }
+        let (pad, footprint) = best.expect("swept at least one pad");
+        println!(
+            "{:<10} best pad {pad} (footprint {footprint}, {:.3})",
+            "->",
+            footprint as f64 / m.original_len() as f64
+        );
+    }
+}

@@ -1,0 +1,57 @@
+//! CLAIM-POW2 — paper §3: "To avoid the multiplication in the midpoint
+//! calculation unit we can constrain the probability of the less probable
+//! symbol to the nearest integral power of 1/2, thus requiring only
+//! shifts.  Witten et al showed that the worst-case efficiency is about
+//! 95% when we pose this constraint."
+//!
+//! Measures the actual efficiency loss of Pow2 quantization on the MIPS
+//! suite: coded-payload sizes with exact vs power-of-two probabilities
+//! (model bytes excluded — the Pow2 model is *smaller*, 4 bits/entry, so
+//! including it would mask the coding loss).
+
+use cce_bench::scale_from_env;
+use cce_core::arith::ProbMode;
+use cce_core::isa::Isa;
+use cce_core::samc::{MarkovConfig, SamcCodec, SamcConfig};
+use cce_core::workload::spec95_suite;
+
+fn payload_bytes(text: &[u8], prob_mode: ProbMode) -> usize {
+    let config = SamcConfig {
+        markov: MarkovConfig { context_bits: 1, prob_mode },
+        ..SamcConfig::mips()
+    };
+    let codec = SamcCodec::train(text, config).expect("trainable");
+    let image = codec.compress(text);
+    image.compressed_len() - codec.model().model_bytes()
+}
+
+fn main() {
+    let scale = scale_from_env();
+    println!("Power-of-two probability ablation, SAMC payload on MIPS (scale {scale})");
+    println!(
+        "{:<10} {:>10} {:>10} {:>11}",
+        "benchmark", "exact", "pow2", "efficiency"
+    );
+    let mut total_exact = 0usize;
+    let mut total_pow2 = 0usize;
+    for program in spec95_suite(Isa::Mips, scale) {
+        let exact = payload_bytes(&program.text, ProbMode::Exact);
+        let pow2 = payload_bytes(&program.text, ProbMode::Pow2);
+        total_exact += exact;
+        total_pow2 += pow2;
+        println!(
+            "{:<10} {:>10} {:>10} {:>10.1}%",
+            program.name,
+            exact,
+            pow2,
+            100.0 * exact as f64 / pow2 as f64
+        );
+    }
+    println!(
+        "{:<10} {:>10} {:>10} {:>10.1}%  (paper/Witten et al: ~95% worst case)",
+        "TOTAL",
+        total_exact,
+        total_pow2,
+        100.0 * total_exact as f64 / total_pow2 as f64
+    );
+}

@@ -1,0 +1,75 @@
+//! ARCH — paper §2/Fig. 1: the Wolfe/Chanin architecture decompresses on
+//! cache refills, so "the loss in performance should depend on the
+//! instruction cache hit ratio", and the CLB hides LAT lookups.
+//!
+//! Runs a locality-bearing fetch trace against real SAMC block sizes for
+//! one benchmark, sweeping cache size and CLB capacity.
+
+use cce_bench::scale_from_env;
+use cce_core::isa::Isa;
+use cce_core::memsim::{CacheConfig, CostModel, LineAddressTable, MemorySystem};
+use cce_core::workload::trace::{instruction_trace, TraceConfig};
+use cce_core::workload::spec95_suite;
+use cce_core::{measure, Algorithm};
+
+fn main() {
+    let scale = scale_from_env();
+    let programs = spec95_suite(Isa::Mips, scale);
+    let program = programs.iter().find(|p| p.name == "go").expect("in suite");
+    let m = measure(Algorithm::Samc, Isa::Mips, &program.text, 32).expect("SAMC measures");
+    let sizes: Vec<usize> = m.block_sizes().expect("random access").to_vec();
+    println!(
+        "Memory-system experiment: {} ({} bytes, SAMC ratio {:.3}, LAT {} bytes)",
+        program.name,
+        m.original_len(),
+        m.ratio(),
+        m.lat_bytes().expect("lat")
+    );
+
+    let trace = instruction_trace(
+        program.text.len(),
+        &TraceConfig { fetches: 300_000, ..TraceConfig::default() },
+    );
+    let costs = CostModel::default();
+
+    println!();
+    println!("Cache sweep (CLB = 32 entries)");
+    println!(
+        "{:>9} {:>8} {:>10} {:>10} {:>9}",
+        "cache", "miss%", "CPF base", "CPF comp", "slowdown"
+    );
+    for kib in [1usize, 2, 4, 8, 16, 32, 64] {
+        let config = CacheConfig { size_bytes: kib * 1024, block_size: 32, associativity: 2 };
+        let mut base = MemorySystem::uncompressed(config, costs);
+        let base_report = base.run(&trace);
+        let lat = LineAddressTable::from_block_sizes(sizes.iter().copied());
+        let mut comp = MemorySystem::compressed(config, costs, lat, 32);
+        let report = comp.run(&trace);
+        println!(
+            "{:>6}KiB {:>7.2}% {:>10.3} {:>10.3} {:>8.3}x",
+            kib,
+            100.0 * base_report.cache.miss_ratio(),
+            base_report.cpf(),
+            report.cpf(),
+            report.slowdown_vs(&base_report)
+        );
+    }
+
+    println!();
+    println!("CLB sweep (4 KiB cache): LAT lookups hidden by the lookaside buffer");
+    println!("{:>6} {:>10} {:>10} {:>10}", "CLB", "clb hit%", "CPF", "refill cyc");
+    for entries in [1usize, 4, 16, 64, 256] {
+        let config = CacheConfig { size_bytes: 4096, block_size: 32, associativity: 2 };
+        let lat = LineAddressTable::from_block_sizes(sizes.iter().copied());
+        let mut system = MemorySystem::compressed(config, costs, lat, entries);
+        let report = system.run(&trace);
+        let clb_total = report.clb_hits + report.clb_misses;
+        println!(
+            "{:>6} {:>9.2}% {:>10.3} {:>10}",
+            entries,
+            100.0 * report.clb_hits as f64 / clb_total.max(1) as f64,
+            report.cpf(),
+            report.refill_cycles
+        );
+    }
+}

@@ -1,0 +1,27 @@
+//! FIG7 — regenerates Figure 7: MIPS compression ratios over the 18
+//! SPEC95 benchmarks for compress, gzip, SAMC and SADC (32-byte blocks).
+//!
+//! Paper reference points (read off Fig. 7): SAMC ≈ UNIX compress
+//! (~0.55–0.60 on average), gzip generally best (~0.45–0.55), SADC 4–6%
+//! better than SAMC and close to gzip on some benchmarks.
+
+use cce_bench::{figure_rows, print_figure, scale_from_env};
+use cce_core::isa::Isa;
+use cce_core::Algorithm;
+
+fn main() {
+    let algorithms = [
+        Algorithm::UnixCompress,
+        Algorithm::Gzip,
+        Algorithm::Samc,
+        Algorithm::Sadc,
+    ];
+    let scale = scale_from_env();
+    let rows = figure_rows(Isa::Mips, &algorithms, scale, 32)
+        .unwrap_or_else(|e| panic!("figure 7 failed: {e}"));
+    print_figure(
+        &format!("Figure 7 — compression ratios, MIPS (scale {scale})"),
+        &algorithms,
+        &rows,
+    );
+}

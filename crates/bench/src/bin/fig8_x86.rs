@@ -1,0 +1,28 @@
+//! FIG8 — regenerates Figure 8: Pentium Pro (x86) compression ratios over
+//! the 18 SPEC95 benchmarks for compress, gzip, SAMC and SADC.
+//!
+//! Paper reference points: file compressors do relatively better on the
+//! CISC; SAMC cannot subdivide variable-length instructions (single byte
+//! stream) and trails; SADC (3 byte streams) is better but still behind
+//! gzip.
+
+use cce_bench::{figure_rows, print_figure, scale_from_env};
+use cce_core::isa::Isa;
+use cce_core::Algorithm;
+
+fn main() {
+    let algorithms = [
+        Algorithm::UnixCompress,
+        Algorithm::Gzip,
+        Algorithm::Samc,
+        Algorithm::Sadc,
+    ];
+    let scale = scale_from_env();
+    let rows = figure_rows(Isa::X86, &algorithms, scale, 32)
+        .unwrap_or_else(|e| panic!("figure 8 failed: {e}"));
+    print_figure(
+        &format!("Figure 8 — compression ratios, Pentium Pro (scale {scale})"),
+        &algorithms,
+        &rows,
+    );
+}

@@ -1,0 +1,173 @@
+//! Byte-granular cursor for fixed-width container formats.
+
+use crate::EndOfStreamError;
+
+/// A byte-oriented cursor with checked little/big-endian integer reads.
+///
+/// Used by the ELF parser and by the compressed-image container, where all
+/// fields are byte aligned and the failure mode of interest is truncation.
+///
+/// # Examples
+///
+/// ```
+/// use cce_bitstream::ByteCursor;
+///
+/// # fn main() -> Result<(), cce_bitstream::EndOfStreamError> {
+/// let mut c = ByteCursor::new(&[0x34, 0x12, 0xFF]);
+/// assert_eq!(c.read_u16_le()?, 0x1234);
+/// assert_eq!(c.read_u8()?, 0xFF);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ByteCursor<'a> {
+    bytes: &'a [u8],
+    position: usize,
+}
+
+macro_rules! read_int {
+    ($(#[$doc:meta])* $name:ident, $ty:ty, $from:ident) => {
+        $(#[$doc])*
+        ///
+        /// # Errors
+        ///
+        /// Returns [`EndOfStreamError`] when the remaining bytes are too few.
+        pub fn $name(&mut self) -> Result<$ty, EndOfStreamError> {
+            const N: usize = std::mem::size_of::<$ty>();
+            let bytes = self.read_bytes(N)?;
+            Ok(<$ty>::$from(bytes.try_into().expect("length checked")))
+        }
+    };
+}
+
+impl<'a> ByteCursor<'a> {
+    /// Creates a cursor over `bytes`, positioned at offset 0.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, position: 0 }
+    }
+
+    /// Reads a single byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EndOfStreamError`] at end of input.
+    pub fn read_u8(&mut self) -> Result<u8, EndOfStreamError> {
+        let byte = *self
+            .bytes
+            .get(self.position)
+            .ok_or(EndOfStreamError::new(self.position * 8))?;
+        self.position += 1;
+        Ok(byte)
+    }
+
+    read_int!(
+        /// Reads a little-endian `u16`.
+        read_u16_le, u16, from_le_bytes
+    );
+    read_int!(
+        /// Reads a little-endian `u32`.
+        read_u32_le, u32, from_le_bytes
+    );
+    read_int!(
+        /// Reads a little-endian `u64`.
+        read_u64_le, u64, from_le_bytes
+    );
+    read_int!(
+        /// Reads a big-endian `u16`.
+        read_u16_be, u16, from_be_bytes
+    );
+    read_int!(
+        /// Reads a big-endian `u32`.
+        read_u32_be, u32, from_be_bytes
+    );
+    read_int!(
+        /// Reads a big-endian `u64`.
+        read_u64_be, u64, from_be_bytes
+    );
+
+    /// Reads `count` raw bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EndOfStreamError`] if fewer than `count` bytes remain; the
+    /// position does not advance on failure.
+    pub fn read_bytes(&mut self, count: usize) -> Result<&'a [u8], EndOfStreamError> {
+        let end = self
+            .position
+            .checked_add(count)
+            .filter(|&end| end <= self.bytes.len())
+            .ok_or(EndOfStreamError::new(self.position * 8))?;
+        let slice = &self.bytes[self.position..end];
+        self.position = end;
+        Ok(slice)
+    }
+
+    /// Moves the cursor to an absolute byte offset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EndOfStreamError`] if `offset` lies beyond the buffer.
+    pub fn seek(&mut self, offset: usize) -> Result<(), EndOfStreamError> {
+        if offset > self.bytes.len() {
+            return Err(EndOfStreamError::new(offset * 8));
+        }
+        self.position = offset;
+        Ok(())
+    }
+
+    /// Current byte offset.
+    pub fn position(&self) -> usize {
+        self.position
+    }
+
+    /// Unread byte count.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.position
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endian_reads() {
+        let data = [0x12, 0x34, 0x56, 0x78];
+        let mut le = ByteCursor::new(&data);
+        assert_eq!(le.read_u32_le().unwrap(), 0x7856_3412);
+        let mut be = ByteCursor::new(&data);
+        assert_eq!(be.read_u32_be().unwrap(), 0x1234_5678);
+    }
+
+    #[test]
+    fn u64_reads() {
+        let data = [1, 0, 0, 0, 0, 0, 0, 0];
+        assert_eq!(ByteCursor::new(&data).read_u64_le().unwrap(), 1);
+        assert_eq!(ByteCursor::new(&data).read_u64_be().unwrap(), 1 << 56);
+    }
+
+    #[test]
+    fn truncated_read_fails_without_advancing() {
+        let mut c = ByteCursor::new(&[1, 2, 3]);
+        c.read_u16_le().unwrap();
+        assert!(c.read_u32_le().is_err());
+        assert_eq!(c.position(), 2);
+        assert_eq!(c.remaining(), 1);
+    }
+
+    #[test]
+    fn seek_and_read() {
+        let mut c = ByteCursor::new(&[0, 0, 0xAB]);
+        c.seek(2).unwrap();
+        assert_eq!(c.read_u8().unwrap(), 0xAB);
+        assert!(c.seek(4).is_err());
+        assert!(c.seek(3).is_ok());
+        assert_eq!(c.remaining(), 0);
+    }
+
+    #[test]
+    fn read_bytes_overflow_is_error_not_panic() {
+        let mut c = ByteCursor::new(&[0u8; 4]);
+        assert!(c.read_bytes(usize::MAX).is_err());
+    }
+}

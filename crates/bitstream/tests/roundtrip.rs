@@ -1,0 +1,101 @@
+//! Property tests: anything written through `BitWriter` reads back through
+//! `BitReader` verbatim, regardless of chunking.
+
+use cce_bitstream::{BitReader, BitWriter};
+use proptest::prelude::*;
+
+/// A single write operation, so sequences of mixed-width writes are covered.
+#[derive(Debug, Clone)]
+enum Op {
+    Bit(bool),
+    Bits { value: u32, count: u32 },
+    Byte(u8),
+    Align,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        any::<bool>().prop_map(Op::Bit),
+        (1u32..=32).prop_flat_map(|count| {
+            let max = if count == 32 { u32::MAX } else { (1 << count) - 1 };
+            (0..=max).prop_map(move |value| Op::Bits { value, count })
+        }),
+        any::<u8>().prop_map(Op::Byte),
+        Just(Op::Align),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn mixed_writes_read_back(ops in prop::collection::vec(op_strategy(), 0..200)) {
+        let mut w = BitWriter::new();
+        for op in &ops {
+            match *op {
+                Op::Bit(b) => w.write_bit(b),
+                Op::Bits { value, count } => w.write_bits(value, count),
+                Op::Byte(b) => w.write_byte(b),
+                Op::Align => w.align_to_byte(),
+            }
+        }
+        let total_bits = w.bit_len();
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+
+        // Replay, tracking where alignment padding was inserted.
+        let mut expected_pos = 0usize;
+        for op in &ops {
+            match *op {
+                Op::Bit(b) => {
+                    prop_assert_eq!(r.read_bit().unwrap(), b);
+                    expected_pos += 1;
+                }
+                Op::Bits { value, count } => {
+                    prop_assert_eq!(r.read_bits(count).unwrap(), value);
+                    expected_pos += count as usize;
+                }
+                Op::Byte(b) => {
+                    prop_assert_eq!(r.read_byte().unwrap(), b);
+                    expected_pos += 8;
+                }
+                Op::Align => {
+                    let pad = expected_pos.next_multiple_of(8) - expected_pos;
+                    prop_assert_eq!(r.read_bits(pad as u32).unwrap(), 0);
+                    expected_pos += pad;
+                }
+            }
+            prop_assert_eq!(r.bit_position(), expected_pos);
+        }
+        prop_assert_eq!(expected_pos, total_bits);
+    }
+
+    #[test]
+    fn random_bit_vectors_round_trip(bits in prop::collection::vec(any::<bool>(), 0..512)) {
+        let mut w = BitWriter::new();
+        for &b in &bits {
+            w.write_bit(b);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &b in &bits {
+            prop_assert_eq!(r.read_bit().unwrap(), b);
+        }
+        // Only padding (zero bits) remains.
+        prop_assert!(r.remaining_bits() < 8);
+        while !r.is_exhausted() {
+            prop_assert!(!r.read_bit().unwrap());
+        }
+    }
+
+    #[test]
+    fn at_bit_matches_sequential_read(bytes in prop::collection::vec(any::<u8>(), 1..64), skip in 0usize..512) {
+        let skip = skip % (bytes.len() * 8);
+        let mut seq = BitReader::new(&bytes);
+        seq.read_bits((skip % 33) as u32).unwrap_or(0);
+        // Position a fresh reader wherever the sequential one landed.
+        let mut jumped = BitReader::at_bit(&bytes, seq.bit_position());
+        while !seq.is_exhausted() {
+            prop_assert_eq!(seq.read_bit().unwrap(), jumped.read_bit().unwrap());
+        }
+        prop_assert!(jumped.is_exhausted());
+    }
+}

@@ -1,0 +1,412 @@
+//! `cce` — command-line front end for the code-compression toolkit.
+//!
+//! ```text
+//! cce ratio <input.elf>                      # compare all five algorithms
+//! cce compress [-a samc|sadc] [-b BLOCK] <input.elf> -o <out.cce>
+//! cce decompress <in.cce> -o <out.elf>       # rebuild a minimal ELF
+//! cce info <in.cce>                          # inspect a compressed artifact
+//! ```
+//!
+//! The `.cce` container holds the trained codec (Markov tables or
+//! dictionary+code tables), the block image, and enough ELF identity to
+//! rebuild a loadable executable around the decompressed text section.
+
+use cce_core::elf::{Class, ElfImage, Endianness, Machine};
+use cce_core::isa::Isa;
+use cce_core::sadc::{MipsSadc, MipsSadcConfig, SadcImage, X86Sadc, X86SadcConfig};
+use cce_core::samc::{SamcCodec, SamcConfig, SamcImage};
+use cce_core::{measure, Algorithm};
+use std::error::Error;
+use std::process::ExitCode;
+
+const CONTAINER_MAGIC: &[u8; 4] = b"CCEF";
+
+/// Which codec a container holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CodecKind {
+    Samc,
+    SadcMips,
+    SadcX86,
+}
+
+impl CodecKind {
+    fn tag(self) -> u8 {
+        match self {
+            CodecKind::Samc => 0,
+            CodecKind::SadcMips => 1,
+            CodecKind::SadcX86 => 2,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Option<Self> {
+        Some(match tag {
+            0 => CodecKind::Samc,
+            1 => CodecKind::SadcMips,
+            2 => CodecKind::SadcX86,
+            _ => return None,
+        })
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("cce: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), Box<dyn Error>> {
+    match args.first().map(String::as_str) {
+        Some("ratio") => ratio(&args[1..]),
+        Some("compress") => compress(&args[1..]),
+        Some("decompress") => decompress(&args[1..]),
+        Some("info") => info(&args[1..]),
+        Some("analyze") => analyze(&args[1..]),
+        Some("disasm") => disasm(&args[1..]),
+        Some("--help" | "-h" | "help") | None => {
+            print_usage();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}` (try `cce help`)").into()),
+    }
+}
+
+fn print_usage() {
+    println!("cce — code compression for embedded systems (SAMC/SADC, DAC 1998)");
+    println!();
+    println!("USAGE:");
+    println!("  cce ratio <input.elf>                         compare all algorithms");
+    println!("  cce compress [-a samc|sadc] [-b N] <in.elf> -o <out.cce>");
+    println!("  cce decompress <in.cce> -o <out.elf>");
+    println!("  cce info <in.cce>");
+    println!("  cce analyze <input.elf>                       entropy diagnostics");
+    println!("  cce disasm <input.elf> [-n COUNT]             disassemble (MIPS only)");
+}
+
+/// Parsed command-line flags.
+struct Flags<'a> {
+    positional: Vec<&'a str>,
+    output: Option<&'a str>,
+    algorithm: Option<&'a str>,
+    block_size: usize,
+}
+
+/// Parses `-o out` plus positional arguments.
+fn split_flags(args: &[String]) -> Result<Flags<'_>, String> {
+    let mut positional = Vec::new();
+    let mut output = None;
+    let mut algorithm = None;
+    let mut block_size = 32usize;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "-o" | "--output" => {
+                output = Some(args.get(i + 1).ok_or("missing value after -o")?.as_str());
+                i += 2;
+            }
+            "-a" | "--algorithm" => {
+                algorithm = Some(args.get(i + 1).ok_or("missing value after -a")?.as_str());
+                i += 2;
+            }
+            "-n" | "--count" => {
+                block_size = args
+                    .get(i + 1)
+                    .ok_or("missing value after -n")?
+                    .parse()
+                    .map_err(|_| "count must be an integer")?;
+                i += 2;
+            }
+            "-b" | "--block-size" => {
+                block_size = args
+                    .get(i + 1)
+                    .ok_or("missing value after -b")?
+                    .parse()
+                    .map_err(|_| "block size must be an integer")?;
+                i += 2;
+            }
+            other => {
+                positional.push(other);
+                i += 1;
+            }
+        }
+    }
+    Ok(Flags { positional, output, algorithm, block_size })
+}
+
+fn load_elf(path: &str) -> Result<(ElfImage, Isa), Box<dyn Error>> {
+    let bytes = std::fs::read(path)?;
+    let image = ElfImage::parse(&bytes)?;
+    let isa = match image.machine {
+        Machine::Mips => Isa::Mips,
+        Machine::I386 => Isa::X86,
+        Machine::Other(m) => return Err(format!("unsupported e_machine {m}").into()),
+    };
+    Ok((image, isa))
+}
+
+fn ratio(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let flags = split_flags(args)?;
+    let [path] = flags.positional.as_slice() else {
+        return Err("usage: cce ratio <input.elf>".into());
+    };
+    let (elf, isa) = load_elf(path)?;
+    let text = elf.text().ok_or("no .text section")?;
+    println!("{path}: {} bytes of {isa} text", text.len());
+    println!("{:<10} {:>12} {:>8}", "algorithm", "compressed", "ratio");
+    for algorithm in Algorithm::ALL {
+        match measure(algorithm, isa, text, 32) {
+            Ok(m) => println!(
+                "{:<10} {:>12} {:>8.3}",
+                algorithm.to_string(),
+                m.compressed_len(),
+                m.ratio()
+            ),
+            Err(e) => println!("{:<10} failed: {e}", algorithm.to_string()),
+        }
+    }
+    Ok(())
+}
+
+fn compress(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let Flags { positional, output, algorithm, block_size } = split_flags(args)?;
+    let [path] = positional.as_slice() else {
+        return Err("usage: cce compress [-a samc|sadc] [-b N] <in.elf> -o <out.cce>".into());
+    };
+    let output = output.ok_or("missing -o <out.cce>")?;
+    let (elf, isa) = load_elf(path)?;
+    let text = elf.text().ok_or("no .text section")?.to_vec();
+
+    let (kind, codec_bytes, image_bytes, ratio) = match algorithm.unwrap_or("samc") {
+        "samc" => {
+            let config = match isa {
+                Isa::Mips => SamcConfig::mips(),
+                Isa::X86 => SamcConfig::x86(),
+            }
+            .with_block_size(block_size);
+            let codec = SamcCodec::train(&text, config)?;
+            let image = codec.compress(&text);
+            if codec.decompress(&image)? != text {
+                return Err("internal error: round trip failed".into());
+            }
+            (CodecKind::Samc, codec.to_bytes(), image.to_bytes(), image.ratio())
+        }
+        "sadc" => match isa {
+            Isa::Mips => {
+                let config = MipsSadcConfig { block_size, ..Default::default() };
+                let codec = MipsSadc::train(&text, config)?;
+                let image = codec.compress(&text);
+                if codec.decompress(&image)? != text {
+                    return Err("internal error: round trip failed".into());
+                }
+                (CodecKind::SadcMips, codec.to_bytes(), image.to_bytes(), image.ratio())
+            }
+            Isa::X86 => {
+                let config = X86SadcConfig { block_size, ..Default::default() };
+                let codec = X86Sadc::train(&text, config)?;
+                let image = codec.compress(&text);
+                if codec.decompress(&image)? != text {
+                    return Err("internal error: round trip failed".into());
+                }
+                (CodecKind::SadcX86, codec.to_bytes(), image.to_bytes(), image.ratio())
+            }
+        },
+        other => return Err(format!("unknown algorithm `{other}` (samc|sadc)").into()),
+    };
+
+    // Container: magic, codec kind, ELF identity, codec, image.
+    let mut out = Vec::new();
+    out.extend_from_slice(CONTAINER_MAGIC);
+    out.push(kind.tag());
+    out.push(match isa {
+        Isa::Mips => 0,
+        Isa::X86 => 1,
+    });
+    out.push(match elf.class {
+        Class::Elf32 => 0,
+        Class::Elf64 => 1,
+    });
+    out.push(match elf.endianness {
+        Endianness::Little => 0,
+        Endianness::Big => 1,
+    });
+    out.extend_from_slice(&elf.entry.to_be_bytes());
+    out.extend_from_slice(&(codec_bytes.len() as u32).to_be_bytes());
+    out.extend_from_slice(&codec_bytes);
+    out.extend_from_slice(&image_bytes);
+    std::fs::write(output, &out)?;
+    println!(
+        "{path}: {} -> {} bytes (text ratio {ratio:.3}, artifact {} bytes)",
+        text.len(),
+        codec_bytes.len() + image_bytes.len(),
+        out.len()
+    );
+    Ok(())
+}
+
+/// A parsed `.cce` container.
+struct Container<'a> {
+    kind: CodecKind,
+    isa: Isa,
+    class: Class,
+    endianness: Endianness,
+    entry: u64,
+    codec_bytes: &'a [u8],
+    image_bytes: &'a [u8],
+}
+
+/// Parses a `.cce` container into its parts.
+fn parse_container(bytes: &[u8]) -> Result<Container<'_>, Box<dyn Error>> {
+    if bytes.len() < 20 || &bytes[0..4] != CONTAINER_MAGIC {
+        return Err("not a cce container".into());
+    }
+    let kind = CodecKind::from_tag(bytes[4]).ok_or("unknown codec tag")?;
+    let isa = match bytes[5] {
+        0 => Isa::Mips,
+        1 => Isa::X86,
+        _ => return Err("unknown isa tag".into()),
+    };
+    let class = if bytes[6] == 0 { Class::Elf32 } else { Class::Elf64 };
+    let endianness = if bytes[7] == 0 { Endianness::Little } else { Endianness::Big };
+    let entry = u64::from_be_bytes(bytes[8..16].try_into().expect("8 bytes"));
+    let codec_len = u32::from_be_bytes(bytes[16..20].try_into().expect("4 bytes")) as usize;
+    let rest = &bytes[20..];
+    if rest.len() < codec_len {
+        return Err("container truncated".into());
+    }
+    let (codec_bytes, image_bytes) = rest.split_at(codec_len);
+    Ok(Container { kind, isa, class, endianness, entry, codec_bytes, image_bytes })
+}
+
+fn decompress(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let Flags { positional, output, .. } = split_flags(args)?;
+    let [path] = positional.as_slice() else {
+        return Err("usage: cce decompress <in.cce> -o <out.elf>".into());
+    };
+    let output = output.ok_or("missing -o <out.elf>")?;
+    let bytes = std::fs::read(path)?;
+    let Container { kind, isa, class, endianness, entry, codec_bytes, image_bytes } =
+        parse_container(&bytes)?;
+
+    let text = match kind {
+        CodecKind::Samc => {
+            let codec = SamcCodec::from_bytes(codec_bytes)?;
+            let image = SamcImage::from_bytes(image_bytes)?;
+            codec.decompress(&image)?
+        }
+        CodecKind::SadcMips => {
+            let codec = MipsSadc::from_bytes(codec_bytes)?;
+            let image = SadcImage::from_bytes(image_bytes)?;
+            codec.decompress(&image)?
+        }
+        CodecKind::SadcX86 => {
+            let codec = X86Sadc::from_bytes(codec_bytes)?;
+            let image = SadcImage::from_bytes(image_bytes)?;
+            codec.decompress(&image)?
+        }
+    };
+
+    let machine = match isa {
+        Isa::Mips => Machine::Mips,
+        Isa::X86 => Machine::I386,
+    };
+    let mut elf = ElfImage::new_executable(machine, class, endianness, text);
+    elf.entry = entry;
+    std::fs::write(output, elf.to_bytes())?;
+    println!("{path}: decompressed {} bytes of text into {output}", elf.text().expect("text").len());
+    Ok(())
+}
+
+fn analyze(args: &[String]) -> Result<(), Box<dyn Error>> {
+    use cce_core::stats;
+    let flags = split_flags(args)?;
+    let [path] = flags.positional.as_slice() else {
+        return Err("usage: cce analyze <input.elf>".into());
+    };
+    let (elf, isa) = load_elf(path)?;
+    let text = elf.text().ok_or("no .text section")?;
+    println!("{path}: {} bytes of {isa} text", text.len());
+    println!("  byte entropy:        {:.3} bits/byte", stats::byte_entropy(text));
+    let positions = stats::position_entropy(text, 4);
+    println!(
+        "  per-byte-position:   [{:.2}, {:.2}, {:.2}, {:.2}] bits (stride 4)",
+        positions[0], positions[1], positions[2], positions[3]
+    );
+    println!(
+        "  word repeat ratio:   {:.1}% of 4-byte records repeat",
+        100.0 * stats::repeat_ratio(text, 4)
+    );
+    if isa == Isa::Mips {
+        let fields = stats::mips_field_stats(text)?;
+        println!("  instructions:        {}", fields.instructions);
+        println!("  distinct operations: {}", fields.distinct_operations);
+        println!("  opcode entropy:      {:.3} bits/insn", fields.opcode_entropy);
+        println!("  register entropy:    {:.3} bits/field", fields.register_entropy);
+        println!("  imm16 entropy:       {:.3} bits/imm", fields.imm16_entropy);
+        println!(
+            "  field-coder bound:   {:.2} bits/insn  (ratio floor {:.3})",
+            fields.field_bits_per_instruction,
+            fields.field_bits_per_instruction / 32.0
+        );
+    }
+    Ok(())
+}
+
+fn disasm(args: &[String]) -> Result<(), Box<dyn Error>> {
+    use cce_core::isa::mips::decode_text;
+    let Flags { positional, block_size: count, .. } = split_flags(args)?;
+    let [path] = positional.as_slice() else {
+        return Err("usage: cce disasm <input.elf> [-n COUNT]".into());
+    };
+    let (elf, isa) = load_elf(path)?;
+    if isa != Isa::Mips {
+        return Err("disassembly is only supported for MIPS executables".into());
+    }
+    let text = elf.text().ok_or("no .text section")?;
+    let instructions = decode_text(text)?;
+    let base = elf.section(".text").map_or(0, |s| s.addr);
+    for (i, insn) in instructions.iter().take(count).enumerate() {
+        println!("{:#010x}:  {:08x}  {insn}", base + 4 * i as u64, insn.encode());
+    }
+    if instructions.len() > count {
+        println!("... {} more instructions", instructions.len() - count);
+    }
+    Ok(())
+}
+
+fn info(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let flags = split_flags(args)?;
+    let [path] = flags.positional.as_slice() else {
+        return Err("usage: cce info <in.cce>".into());
+    };
+    let bytes = std::fs::read(path)?;
+    let Container { kind, isa, class, endianness, entry, codec_bytes, image_bytes } =
+        parse_container(&bytes)?;
+    println!("{path}:");
+    println!("  codec:      {kind:?}");
+    println!("  isa:        {isa} ({class:?}, {endianness:?}, entry {entry:#x})");
+    println!("  codec size: {} bytes", codec_bytes.len());
+    match kind {
+        CodecKind::Samc => {
+            let image = SamcImage::from_bytes(image_bytes)?;
+            println!("  text:       {} bytes in {} blocks of {}", image.original_len(), image.block_count(), image.block_size());
+            println!("  compressed: {} bytes (ratio {:.3}, LAT {} bytes)", image.compressed_len(), image.ratio(), image.lat_bytes());
+        }
+        CodecKind::SadcMips | CodecKind::SadcX86 => {
+            let image = SadcImage::from_bytes(image_bytes)?;
+            println!("  text:       {} bytes in {} blocks", image.original_len(), image.block_count());
+            println!(
+                "  compressed: {} bytes (ratio {:.3}, dict {} + tables {}, LAT {} bytes)",
+                image.compressed_len(),
+                image.ratio(),
+                image.dict_bytes(),
+                image.table_bytes(),
+                image.lat_bytes()
+            );
+        }
+    }
+    Ok(())
+}

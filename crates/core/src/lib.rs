@@ -1,0 +1,465 @@
+//! Code compression for embedded systems — umbrella crate.
+//!
+//! This workspace reproduces *Code Compression for Embedded Systems*
+//! (Lekatsas & Wolf, DAC 1998): two cache-line-random-access code
+//! compressors for the Wolfe/Chanin compressed-code architecture, the
+//! baselines they are measured against, and the memory system that runs
+//! them.  This crate re-exports every subsystem and adds the measurement
+//! harness used by the figure-regeneration binaries:
+//!
+//! * [`Algorithm`] — the five compressors of the paper's evaluation.
+//! * [`measure`] — train, compress, **verify the round trip**, and report
+//!   honest sizes (dictionary/model/table overheads included).
+//! * [`measure_suite`] — run one algorithm over the whole SPEC95-like
+//!   workload suite.
+//!
+//! Re-exports: [`samc`], [`sadc`], [`huffman`], [`lz`], [`arith`],
+//! [`bitstream`], [`isa`], [`elf`], [`workload`], [`memsim`].
+//!
+//! # Examples
+//!
+//! ```
+//! use cce_core::{measure, Algorithm};
+//! use cce_core::isa::Isa;
+//! use cce_core::workload::{generate_mips, Spec95};
+//! use cce_core::isa::mips::encode_text;
+//!
+//! # fn main() -> Result<(), cce_core::MeasureError> {
+//! let profile = Spec95::by_name("compress").expect("known benchmark");
+//! let text = encode_text(&generate_mips(profile, 1.0));
+//!
+//! let m = measure(Algorithm::Samc, Isa::Mips, &text, 32)?;
+//! assert!(m.ratio() < 1.0);
+//! assert!(m.random_access());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod stats;
+
+pub use cce_arith as arith;
+pub use cce_bitstream as bitstream;
+pub use cce_elf as elf;
+pub use cce_huffman as huffman;
+pub use cce_isa as isa;
+pub use cce_lz as lz;
+pub use cce_memsim as memsim;
+pub use cce_sadc as sadc;
+pub use cce_samc as samc;
+pub use cce_workload as workload;
+
+use cce_huffman::block::ByteBlockCodec;
+use cce_isa::Isa;
+use cce_lz::{Gzip, Lzw};
+use cce_sadc::{MipsSadc, MipsSadcConfig, X86Sadc, X86SadcConfig};
+use cce_samc::{SamcCodec, SamcConfig};
+use std::error::Error;
+use std::fmt;
+
+/// The compression algorithms compared in the paper's evaluation (§5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// UNIX `compress` (LZW) — file-oriented baseline.
+    UnixCompress,
+    /// `gzip` (LZ77 + Huffman) — file-oriented baseline.
+    Gzip,
+    /// Byte-based Huffman with block restart (Kozuch & Wolfe).
+    ByteHuffman,
+    /// SAMC — semiadaptive Markov compression (this paper).
+    Samc,
+    /// SADC — semiadaptive dictionary compression (this paper).
+    Sadc,
+}
+
+impl Algorithm {
+    /// All algorithms, in the figures' legend order.
+    pub const ALL: [Algorithm; 5] = [
+        Algorithm::UnixCompress,
+        Algorithm::Gzip,
+        Algorithm::ByteHuffman,
+        Algorithm::Samc,
+        Algorithm::Sadc,
+    ];
+
+    /// Whether this algorithm supports cache-block random access (the
+    /// property a compressed-code memory system requires).
+    pub fn random_access(self) -> bool {
+        !matches!(self, Algorithm::UnixCompress | Algorithm::Gzip)
+    }
+}
+
+impl fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Algorithm::UnixCompress => "compress",
+            Algorithm::Gzip => "gzip",
+            Algorithm::ByteHuffman => "huffman",
+            Algorithm::Samc => "SAMC",
+            Algorithm::Sadc => "SADC",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// One verified compression measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Measurement {
+    algorithm: Algorithm,
+    isa: Isa,
+    original_len: usize,
+    compressed_len: usize,
+    /// Per-block compressed sizes (random-access algorithms only).
+    block_sizes: Option<Vec<usize>>,
+    /// LAT size in bytes (random-access algorithms only).
+    lat_bytes: Option<usize>,
+}
+
+impl Measurement {
+    /// The measured algorithm.
+    pub fn algorithm(&self) -> Algorithm {
+        self.algorithm
+    }
+
+    /// The instruction set the text was compiled for.
+    pub fn isa(&self) -> Isa {
+        self.isa
+    }
+
+    /// Uncompressed text size in bytes.
+    pub fn original_len(&self) -> usize {
+        self.original_len
+    }
+
+    /// Compressed size in bytes, including all model/dictionary/table
+    /// overheads the decompressor needs.
+    pub fn compressed_len(&self) -> usize {
+        self.compressed_len
+    }
+
+    /// Compression ratio (compressed / original); lower is better.
+    pub fn ratio(&self) -> f64 {
+        self.compressed_len as f64 / self.original_len as f64
+    }
+
+    /// Per-block compressed sizes, for driving the memory simulator.
+    pub fn block_sizes(&self) -> Option<&[usize]> {
+        self.block_sizes.as_deref()
+    }
+
+    /// LAT size in bytes (`None` for file-oriented algorithms).
+    pub fn lat_bytes(&self) -> Option<usize> {
+        self.lat_bytes
+    }
+
+    /// Whether the measured algorithm is block-random-access.
+    pub fn random_access(&self) -> bool {
+        self.algorithm.random_access()
+    }
+}
+
+/// Errors from [`measure`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MeasureError {
+    /// The codec could not be trained on this text.
+    Train {
+        /// The failing algorithm.
+        algorithm: &'static str,
+        /// The codec's own message.
+        message: String,
+    },
+    /// Decompression did not reproduce the input — a codec bug, surfaced
+    /// rather than reported as a (meaningless) ratio.
+    RoundTripMismatch {
+        /// The failing algorithm.
+        algorithm: &'static str,
+    },
+}
+
+impl fmt::Display for MeasureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Train { algorithm, message } => {
+                write!(f, "{algorithm}: training failed: {message}")
+            }
+            Self::RoundTripMismatch { algorithm } => {
+                write!(f, "{algorithm}: decompressed text differs from the original")
+            }
+        }
+    }
+}
+
+impl Error for MeasureError {}
+
+fn train_err(algorithm: &'static str, e: impl fmt::Display) -> MeasureError {
+    MeasureError::Train { algorithm, message: e.to_string() }
+}
+
+/// Compresses `text` with `algorithm`, verifies the round trip, and
+/// returns the verified measurement.
+///
+/// `block_size` applies to the random-access algorithms (the paper uses
+/// 32 bytes everywhere); the file-oriented baselines ignore it.
+///
+/// # Errors
+///
+/// See [`MeasureError`].
+pub fn measure(
+    algorithm: Algorithm,
+    isa: Isa,
+    text: &[u8],
+    block_size: usize,
+) -> Result<Measurement, MeasureError> {
+    let (compressed_len, block_sizes, lat_bytes) = match algorithm {
+        Algorithm::UnixCompress => {
+            let codec = Lzw::new();
+            let compressed = codec.compress(text);
+            let back = codec
+                .decompress(&compressed)
+                .map_err(|e| train_err("compress", e))?;
+            if back != text {
+                return Err(MeasureError::RoundTripMismatch { algorithm: "compress" });
+            }
+            (compressed.len(), None, None)
+        }
+        Algorithm::Gzip => {
+            let codec = Gzip::new();
+            let compressed = codec.compress(text);
+            let back = codec.decompress(&compressed).map_err(|e| train_err("gzip", e))?;
+            if back != text {
+                return Err(MeasureError::RoundTripMismatch { algorithm: "gzip" });
+            }
+            (compressed.len(), None, None)
+        }
+        Algorithm::ByteHuffman => {
+            let codec = ByteBlockCodec::train(text).map_err(|e| train_err("huffman", e))?;
+            let image = codec.compress(text, block_size);
+            let back = codec.decompress(&image).map_err(|e| train_err("huffman", e))?;
+            if back != text {
+                return Err(MeasureError::RoundTripMismatch { algorithm: "huffman" });
+            }
+            let sizes: Vec<usize> = (0..image.block_count()).map(|i| image.block(i).len()).collect();
+            let lat = cce_memsim::LineAddressTable::from_block_sizes(sizes.iter().copied());
+            (image.compressed_len(), Some(sizes), Some(lat.table_bytes()))
+        }
+        Algorithm::Samc => {
+            let config = match isa {
+                Isa::Mips => SamcConfig::mips(),
+                Isa::X86 => SamcConfig::x86(),
+            }
+            .with_block_size(block_size);
+            let codec = SamcCodec::train(text, config).map_err(|e| train_err("SAMC", e))?;
+            let image = codec.compress(text);
+            let back = codec.decompress(&image).map_err(|e| train_err("SAMC", e))?;
+            if back != text {
+                return Err(MeasureError::RoundTripMismatch { algorithm: "SAMC" });
+            }
+            let sizes: Vec<usize> =
+                (0..image.block_count()).map(|i| image.block(i).len()).collect();
+            (image.compressed_len(), Some(sizes), Some(image.lat_bytes()))
+        }
+        Algorithm::Sadc => match isa {
+            Isa::Mips => {
+                let config = MipsSadcConfig { block_size, ..Default::default() };
+                let codec = MipsSadc::train(text, config).map_err(|e| train_err("SADC", e))?;
+                let image = codec.compress(text);
+                let back = codec.decompress(&image).map_err(|e| train_err("SADC", e))?;
+                if back != text {
+                    return Err(MeasureError::RoundTripMismatch { algorithm: "SADC" });
+                }
+                let sizes: Vec<usize> =
+                    (0..image.block_count()).map(|i| image.block(i).len()).collect();
+                (image.compressed_len(), Some(sizes), Some(image.lat_bytes()))
+            }
+            Isa::X86 => {
+                let config = X86SadcConfig { block_size, ..Default::default() };
+                let codec = X86Sadc::train(text, config).map_err(|e| train_err("SADC", e))?;
+                let image = codec.compress(text);
+                let back = codec.decompress(&image).map_err(|e| train_err("SADC", e))?;
+                if back != text {
+                    return Err(MeasureError::RoundTripMismatch { algorithm: "SADC" });
+                }
+                let sizes: Vec<usize> =
+                    (0..image.block_count()).map(|i| image.block(i).len()).collect();
+                (image.compressed_len(), Some(sizes), Some(image.lat_bytes()))
+            }
+        },
+    };
+    Ok(Measurement {
+        algorithm,
+        isa,
+        original_len: text.len(),
+        compressed_len,
+        block_sizes,
+        lat_bytes,
+    })
+}
+
+/// One benchmark's verified measurement within a suite run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SuiteMeasurement {
+    /// SPEC95 benchmark name.
+    pub benchmark: &'static str,
+    /// The verified measurement.
+    pub measurement: Measurement,
+}
+
+/// Runs `algorithm` over the whole SPEC95-like suite for `isa`.
+///
+/// `scale` is forwarded to the workload generator (1.0 reproduces the
+/// figures; smaller values are handy in tests).
+///
+/// # Errors
+///
+/// Fails on the first benchmark whose measurement fails.
+pub fn measure_suite(
+    algorithm: Algorithm,
+    isa: Isa,
+    scale: f64,
+    block_size: usize,
+) -> Result<Vec<SuiteMeasurement>, MeasureError> {
+    cce_workload::spec95_suite(isa, scale)
+        .into_iter()
+        .map(|program| {
+            measure(algorithm, isa, &program.text, block_size).map(|measurement| {
+                SuiteMeasurement { benchmark: program.name, measurement }
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cce_isa::mips::encode_text;
+    use cce_workload::{generate_mips, generate_x86, Spec95};
+
+    fn mips_text() -> Vec<u8> {
+        encode_text(&generate_mips(Spec95::by_name("ijpeg").unwrap(), 0.05))
+    }
+
+    fn x86_text() -> Vec<u8> {
+        generate_x86(Spec95::by_name("ijpeg").unwrap(), 0.05)
+    }
+
+    #[test]
+    fn every_algorithm_measures_mips() {
+        let text = mips_text();
+        for algorithm in Algorithm::ALL {
+            let m = measure(algorithm, Isa::Mips, &text, 32)
+                .unwrap_or_else(|e| panic!("{algorithm}: {e}"));
+            // At this tiny test scale the fixed model/table overheads can
+            // exceed the text; only sanity-check here (ratios at realistic
+            // sizes are asserted in `paper_ordering_holds_on_mips`).
+            assert!(m.ratio() > 0.0 && m.ratio() < 3.0, "{algorithm}: {}", m.ratio());
+            assert_eq!(m.original_len(), text.len());
+            assert_eq!(m.random_access(), algorithm.random_access());
+            assert_eq!(m.block_sizes().is_some(), algorithm.random_access());
+            assert_eq!(m.lat_bytes().is_some(), algorithm.random_access());
+        }
+    }
+
+    #[test]
+    fn every_algorithm_measures_x86() {
+        let text = x86_text();
+        for algorithm in Algorithm::ALL {
+            let m = measure(algorithm, Isa::X86, &text, 32)
+                .unwrap_or_else(|e| panic!("{algorithm}: {e}"));
+            assert!(m.ratio() > 0.0 && m.ratio() < 3.0, "{algorithm}: {}", m.ratio());
+        }
+    }
+
+    #[test]
+    fn paper_ordering_holds_on_mips() {
+        // The headline result: SADC < SAMC ≈ compress, Huffman worst among
+        // the instruction-aware schemes, gzip strong.
+        let text = encode_text(&generate_mips(Spec95::by_name("perl").unwrap(), 0.2));
+        let ratio = |a| measure(a, Isa::Mips, &text, 32).unwrap().ratio();
+        let huffman = ratio(Algorithm::ByteHuffman);
+        let samc = ratio(Algorithm::Samc);
+        let sadc = ratio(Algorithm::Sadc);
+        assert!(samc < huffman, "SAMC {samc:.3} should beat byte-Huffman {huffman:.3}");
+        assert!(sadc < huffman, "SADC {sadc:.3} should beat byte-Huffman {huffman:.3}");
+        assert!(samc < 1.0 && sadc < 1.0 && huffman < 1.0, "all compress at real sizes");
+    }
+
+    #[test]
+    fn empty_text_fails_cleanly() {
+        for algorithm in [Algorithm::ByteHuffman, Algorithm::Samc, Algorithm::Sadc] {
+            assert!(matches!(
+                measure(algorithm, Isa::Mips, &[], 32),
+                Err(MeasureError::Train { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn suite_runs_all_benchmarks() {
+        let results = measure_suite(Algorithm::ByteHuffman, Isa::Mips, 0.02, 32).unwrap();
+        assert_eq!(results.len(), 18);
+        assert_eq!(results[0].benchmark, "applu");
+    }
+
+    #[test]
+    fn algorithm_display_names() {
+        assert_eq!(Algorithm::Samc.to_string(), "SAMC");
+        assert_eq!(Algorithm::UnixCompress.to_string(), "compress");
+    }
+}
+
+#[cfg(test)]
+mod trait_assertions {
+    //! C-SEND-SYNC: every long-lived public type must be shareable across
+    //! threads (the parallel figure harness relies on it).
+
+    use super::*;
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn public_types_are_send_and_sync() {
+        assert_send_sync::<Algorithm>();
+        assert_send_sync::<Measurement>();
+        assert_send_sync::<MeasureError>();
+        assert_send_sync::<cce_samc::SamcCodec>();
+        assert_send_sync::<cce_samc::SamcImage>();
+        assert_send_sync::<cce_samc::SamcConfig>();
+        assert_send_sync::<cce_sadc::MipsSadc>();
+        assert_send_sync::<cce_sadc::X86Sadc>();
+        assert_send_sync::<cce_sadc::SadcImage>();
+        assert_send_sync::<cce_huffman::CodeBook>();
+        assert_send_sync::<cce_huffman::DecodeTable>();
+        assert_send_sync::<cce_huffman::block::ByteBlockCodec>();
+        assert_send_sync::<cce_lz::Lzw>();
+        assert_send_sync::<cce_lz::Gzip>();
+        assert_send_sync::<cce_elf::ElfImage>();
+        assert_send_sync::<cce_memsim::MemorySystem>();
+        assert_send_sync::<cce_memsim::LineAddressTable>();
+        assert_send_sync::<cce_workload::Program>();
+        assert_send_sync::<cce_arith::BitEncoder>();
+        assert_send_sync::<cce_arith::Prob>();
+    }
+
+    #[test]
+    fn error_types_implement_error_send_sync() {
+        fn assert_error<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_error::<MeasureError>();
+        assert_error::<cce_samc::TrainCodecError>();
+        assert_error::<cce_samc::DecompressBlockError>();
+        assert_error::<cce_samc::ReadFormatError>();
+        assert_error::<cce_sadc::TrainSadcError>();
+        assert_error::<cce_sadc::TrainX86SadcError>();
+        assert_error::<cce_sadc::DecompressSadcError>();
+        assert_error::<cce_sadc::ReadSadcError>();
+        assert_error::<cce_huffman::BuildCodeBookError>();
+        assert_error::<cce_huffman::DecodeSymbolError>();
+        assert_error::<cce_lz::LzwDecodeError>();
+        assert_error::<cce_lz::InflateError>();
+        assert_error::<cce_elf::ParseElfError>();
+        assert_error::<cce_isa::mips::DecodeInstructionError>();
+        assert_error::<cce_isa::x86::DecodeLayoutError>();
+        assert_error::<cce_bitstream::EndOfStreamError>();
+    }
+}

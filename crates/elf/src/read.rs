@@ -1,0 +1,332 @@
+//! ELF parser.
+
+use crate::image::{Class, ElfImage, Endianness, Machine, Section, SectionKind};
+use cce_bitstream::ByteCursor;
+use std::error::Error;
+use std::fmt;
+
+/// Errors from [`ElfImage::parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseElfError {
+    /// The file does not start with `\x7fELF`.
+    BadMagic,
+    /// `EI_CLASS` was neither 1 nor 2, or `EI_DATA` neither LSB nor MSB.
+    BadIdent {
+        /// The offending `e_ident` byte index.
+        index: usize,
+        /// Its value.
+        value: u8,
+    },
+    /// A header or section reached past the end of the file.
+    Truncated,
+    /// A section name was not valid UTF-8 / not NUL-terminated in the
+    /// string table.
+    BadSectionName {
+        /// Index of the section whose name is broken.
+        section: usize,
+    },
+}
+
+impl fmt::Display for ParseElfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::BadMagic => write!(f, "not an ELF file (bad magic)"),
+            Self::BadIdent { index, value } => {
+                write!(f, "unsupported e_ident[{index}] = {value:#04x}")
+            }
+            Self::Truncated => write!(f, "file truncated"),
+            Self::BadSectionName { section } => {
+                write!(f, "section {section} has an invalid name")
+            }
+        }
+    }
+}
+
+impl Error for ParseElfError {}
+
+impl From<cce_bitstream::EndOfStreamError> for ParseElfError {
+    fn from(_: cce_bitstream::EndOfStreamError) -> Self {
+        ParseElfError::Truncated
+    }
+}
+
+/// Endianness- and class-aware field reader.
+struct FieldReader<'a> {
+    cursor: ByteCursor<'a>,
+    endianness: Endianness,
+    class: Class,
+}
+
+impl<'a> FieldReader<'a> {
+    fn u16(&mut self) -> Result<u16, ParseElfError> {
+        Ok(match self.endianness {
+            Endianness::Little => self.cursor.read_u16_le()?,
+            Endianness::Big => self.cursor.read_u16_be()?,
+        })
+    }
+    fn u32(&mut self) -> Result<u32, ParseElfError> {
+        Ok(match self.endianness {
+            Endianness::Little => self.cursor.read_u32_le()?,
+            Endianness::Big => self.cursor.read_u32_be()?,
+        })
+    }
+    fn u64(&mut self) -> Result<u64, ParseElfError> {
+        Ok(match self.endianness {
+            Endianness::Little => self.cursor.read_u64_le()?,
+            Endianness::Big => self.cursor.read_u64_be()?,
+        })
+    }
+    fn addr(&mut self) -> Result<u64, ParseElfError> {
+        match self.class {
+            Class::Elf32 => Ok(u64::from(self.u32()?)),
+            Class::Elf64 => self.u64(),
+        }
+    }
+    fn seek(&mut self, offset: u64) -> Result<(), ParseElfError> {
+        self.cursor
+            .seek(usize::try_from(offset).map_err(|_| ParseElfError::Truncated)?)
+            .map_err(|_| ParseElfError::Truncated)
+    }
+}
+
+/// Raw section header fields needed to slice the file.
+struct RawSectionHeader {
+    name_offset: u32,
+    sh_type: u32,
+    flags: u64,
+    addr: u64,
+    offset: u64,
+    size: u64,
+}
+
+impl ElfImage {
+    /// Parses an ELF file.
+    ///
+    /// Only the pieces the compression pipeline uses are interpreted:
+    /// identity, machine, entry point and the section list (the mandatory
+    /// null section and the section-name string table are consumed, not
+    /// exposed).
+    ///
+    /// # Errors
+    ///
+    /// See [`ParseElfError`].
+    pub fn parse(bytes: &[u8]) -> Result<Self, ParseElfError> {
+        if bytes.len() < 16 || &bytes[0..4] != b"\x7FELF" {
+            return Err(ParseElfError::BadMagic);
+        }
+        let class = match bytes[4] {
+            1 => Class::Elf32,
+            2 => Class::Elf64,
+            value => return Err(ParseElfError::BadIdent { index: 4, value }),
+        };
+        let endianness = match bytes[5] {
+            1 => Endianness::Little,
+            2 => Endianness::Big,
+            value => return Err(ParseElfError::BadIdent { index: 5, value }),
+        };
+        let mut r = FieldReader {
+            cursor: ByteCursor::new(bytes),
+            endianness,
+            class,
+        };
+        r.seek(16)?;
+        let _etype = r.u16()?;
+        let machine = Machine::from_raw(r.u16()?);
+        let _version = r.u32()?;
+        let entry = r.addr()?;
+        let _phoff = r.addr()?;
+        let shoff = r.addr()?;
+        let _flags = r.u32()?;
+        let _ehsize = r.u16()?;
+        let _phentsize = r.u16()?;
+        let _phnum = r.u16()?;
+        let shentsize = r.u16()?;
+        let shnum = r.u16()?;
+        let shstrndx = r.u16()?;
+
+        // Read all raw section headers.
+        let mut raw = Vec::with_capacity(usize::from(shnum));
+        for i in 0..shnum {
+            r.seek(shoff + u64::from(i) * u64::from(shentsize))?;
+            let name_offset = r.u32()?;
+            let sh_type = r.u32()?;
+            let (flags, addr, offset, size) = match class {
+                Class::Elf32 => (
+                    u64::from(r.u32()?),
+                    u64::from(r.u32()?),
+                    u64::from(r.u32()?),
+                    u64::from(r.u32()?),
+                ),
+                Class::Elf64 => (r.u64()?, r.u64()?, r.u64()?, r.u64()?),
+            };
+            raw.push(RawSectionHeader {
+                name_offset,
+                sh_type,
+                flags,
+                addr,
+                offset,
+                size,
+            });
+        }
+
+        // Section name string table.
+        let strtab = raw
+            .get(usize::from(shstrndx))
+            .ok_or(ParseElfError::Truncated)?;
+        let strtab_bytes = slice_file(bytes, strtab.offset, strtab.size)?;
+
+        let mut sections = Vec::new();
+        for (i, header) in raw.iter().enumerate() {
+            if i == 0 || i == usize::from(shstrndx) {
+                continue; // null section / shstrtab are structural
+            }
+            let name = read_name(strtab_bytes, header.name_offset)
+                .ok_or(ParseElfError::BadSectionName { section: i })?;
+            let kind = SectionKind::from_raw(header.sh_type);
+            let (data, nobits_size) = if kind == SectionKind::NoBits {
+                (Vec::new(), header.size)
+            } else {
+                (slice_file(bytes, header.offset, header.size)?.to_vec(), 0)
+            };
+            sections.push(Section {
+                name,
+                kind,
+                flags: header.flags,
+                addr: header.addr,
+                data,
+                nobits_size,
+            });
+        }
+
+        Ok(ElfImage {
+            class,
+            endianness,
+            machine,
+            entry,
+            sections,
+        })
+    }
+}
+
+fn slice_file(bytes: &[u8], offset: u64, size: u64) -> Result<&[u8], ParseElfError> {
+    let start = usize::try_from(offset).map_err(|_| ParseElfError::Truncated)?;
+    let len = usize::try_from(size).map_err(|_| ParseElfError::Truncated)?;
+    let end = start.checked_add(len).ok_or(ParseElfError::Truncated)?;
+    bytes.get(start..end).ok_or(ParseElfError::Truncated)
+}
+
+fn read_name(strtab: &[u8], offset: u32) -> Option<String> {
+    let start = usize::try_from(offset).ok()?;
+    let rest = strtab.get(start..)?;
+    let end = rest.iter().position(|&b| b == 0)?;
+    String::from_utf8(rest[..end].to_vec()).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_text() -> Vec<u8> {
+        (0..64u8).collect()
+    }
+
+    #[test]
+    fn round_trips_all_class_endianness_combinations() {
+        for class in [Class::Elf32, Class::Elf64] {
+            for endianness in [Endianness::Little, Endianness::Big] {
+                let image = ElfImage::new_executable(Machine::Mips, class, endianness, sample_text());
+                let bytes = image.to_bytes();
+                let parsed = ElfImage::parse(&bytes)
+                    .unwrap_or_else(|e| panic!("{class:?}/{endianness:?}: {e}"));
+                assert_eq!(parsed, image, "{class:?}/{endianness:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn text_accessor_finds_the_section() {
+        let image =
+            ElfImage::new_executable(Machine::I386, Class::Elf32, Endianness::Little, sample_text());
+        assert_eq!(image.text().unwrap(), &sample_text()[..]);
+        assert!(image.section(".data").is_none());
+    }
+
+    #[test]
+    fn multiple_sections_round_trip() {
+        let mut image =
+            ElfImage::new_executable(Machine::Mips, Class::Elf32, Endianness::Big, sample_text());
+        image.sections.push(Section {
+            name: ".rodata".into(),
+            kind: SectionKind::ProgBits,
+            flags: 0x2,
+            addr: 0x0041_0000,
+            data: vec![9; 17],
+            nobits_size: 0,
+        });
+        image.sections.push(Section {
+            name: ".bss".into(),
+            kind: SectionKind::NoBits,
+            flags: 0x3,
+            addr: 0x0042_0000,
+            data: Vec::new(),
+            nobits_size: 4096,
+        });
+        let parsed = ElfImage::parse(&image.to_bytes()).unwrap();
+        assert_eq!(parsed, image);
+        assert_eq!(parsed.section(".bss").unwrap().nobits_size, 4096);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        assert_eq!(ElfImage::parse(b"not an elf").unwrap_err(), ParseElfError::BadMagic);
+        assert_eq!(ElfImage::parse(&[]).unwrap_err(), ParseElfError::BadMagic);
+    }
+
+    #[test]
+    fn bad_class_is_rejected() {
+        let mut bytes = ElfImage::new_executable(
+            Machine::Mips,
+            Class::Elf32,
+            Endianness::Big,
+            sample_text(),
+        )
+        .to_bytes();
+        bytes[4] = 9;
+        assert_eq!(
+            ElfImage::parse(&bytes).unwrap_err(),
+            ParseElfError::BadIdent { index: 4, value: 9 }
+        );
+    }
+
+    #[test]
+    fn truncation_is_detected_not_panicking() {
+        let bytes = ElfImage::new_executable(
+            Machine::I386,
+            Class::Elf64,
+            Endianness::Little,
+            sample_text(),
+        )
+        .to_bytes();
+        for cut in [10, 20, 52, 64, 100] {
+            let result = ElfImage::parse(&bytes[..cut.min(bytes.len())]);
+            assert!(result.is_err(), "cut at {cut} parsed successfully");
+        }
+        // Cutting only the unread tail fields (link/info/align/entsize) of
+        // the last section header is tolerated by design.
+        let _ = ElfImage::parse(&bytes[..bytes.len() - 1]);
+    }
+
+    #[test]
+    fn machine_raw_round_trips() {
+        for m in [Machine::I386, Machine::Mips, Machine::Other(40)] {
+            assert_eq!(Machine::from_raw(m.raw()), m);
+        }
+    }
+
+    #[test]
+    fn empty_text_section_is_fine() {
+        let image = ElfImage::new_executable(Machine::Mips, Class::Elf32, Endianness::Big, vec![]);
+        let parsed = ElfImage::parse(&image.to_bytes()).unwrap();
+        assert_eq!(parsed.text().unwrap().len(), 0);
+    }
+}

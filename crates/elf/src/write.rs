@@ -1,0 +1,200 @@
+//! ELF emitter.
+
+use crate::image::{Class, ElfImage, Endianness, SectionKind};
+
+/// Little writer helper that dispatches on endianness.
+struct FieldWriter {
+    out: Vec<u8>,
+    endianness: Endianness,
+}
+
+impl FieldWriter {
+    fn u16(&mut self, v: u16) {
+        match self.endianness {
+            Endianness::Little => self.out.extend_from_slice(&v.to_le_bytes()),
+            Endianness::Big => self.out.extend_from_slice(&v.to_be_bytes()),
+        }
+    }
+    fn u32(&mut self, v: u32) {
+        match self.endianness {
+            Endianness::Little => self.out.extend_from_slice(&v.to_le_bytes()),
+            Endianness::Big => self.out.extend_from_slice(&v.to_be_bytes()),
+        }
+    }
+    fn u64(&mut self, v: u64) {
+        match self.endianness {
+            Endianness::Little => self.out.extend_from_slice(&v.to_le_bytes()),
+            Endianness::Big => self.out.extend_from_slice(&v.to_be_bytes()),
+        }
+    }
+    /// Class-dependent address/offset field.
+    fn addr(&mut self, class: Class, v: u64) {
+        match class {
+            Class::Elf32 => self.u32(v as u32),
+            Class::Elf64 => self.u64(v),
+        }
+    }
+}
+
+impl ElfImage {
+    /// Serializes the image to a valid ELF file.
+    ///
+    /// Layout: ELF header, section data (8-byte aligned), `.shstrtab`,
+    /// section header table.  A null section header and the `.shstrtab`
+    /// section are synthesized; `e_shstrndx` points at the latter.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let class = self.class;
+        let is64 = class == Class::Elf64;
+        let ehsize: usize = if is64 { 64 } else { 52 };
+        let shentsize: usize = if is64 { 64 } else { 40 };
+
+        // Build .shstrtab: null byte, then each name, then ".shstrtab".
+        let mut strtab = vec![0u8];
+        let mut name_offsets = Vec::with_capacity(self.sections.len());
+        for s in &self.sections {
+            name_offsets.push(strtab.len() as u32);
+            strtab.extend_from_slice(s.name.as_bytes());
+            strtab.push(0);
+        }
+        let shstrtab_name_offset = strtab.len() as u32;
+        strtab.extend_from_slice(b".shstrtab");
+        strtab.push(0);
+
+        // Lay out data: section payloads after the header.
+        let mut offset = ehsize;
+        let mut data_offsets = Vec::with_capacity(self.sections.len());
+        let mut payload = Vec::new();
+        for s in &self.sections {
+            offset = offset.next_multiple_of(8);
+            while payload.len() + ehsize < offset {
+                payload.push(0);
+            }
+            data_offsets.push(offset as u64);
+            if s.kind != SectionKind::NoBits {
+                payload.extend_from_slice(&s.data);
+                offset += s.data.len();
+            }
+        }
+        // .shstrtab payload.
+        offset = offset.next_multiple_of(8);
+        while payload.len() + ehsize < offset {
+            payload.push(0);
+        }
+        let strtab_offset = offset as u64;
+        payload.extend_from_slice(&strtab);
+        offset += strtab.len();
+        // Section header table.
+        let shoff = offset.next_multiple_of(8);
+        while payload.len() + ehsize < shoff {
+            payload.push(0);
+        }
+
+        let shnum = self.sections.len() as u16 + 2; // + null + shstrtab
+        let shstrndx = shnum - 1;
+
+        let mut w = FieldWriter {
+            out: Vec::with_capacity(shoff + shentsize * usize::from(shnum)),
+            endianness: self.endianness,
+        };
+        // e_ident.
+        w.out.extend_from_slice(&[0x7F, b'E', b'L', b'F']);
+        w.out.push(if is64 { 2 } else { 1 });
+        w.out.push(match self.endianness {
+            Endianness::Little => 1,
+            Endianness::Big => 2,
+        });
+        w.out.push(1); // EV_CURRENT
+        w.out.extend_from_slice(&[0; 9]);
+        w.u16(2); // ET_EXEC
+        w.u16(self.machine.raw());
+        w.u32(1); // version
+        w.addr(class, self.entry);
+        w.addr(class, 0); // e_phoff: no program headers
+        w.addr(class, shoff as u64);
+        w.u32(0); // e_flags
+        w.u16(ehsize as u16);
+        w.u16(if is64 { 56 } else { 32 }); // e_phentsize
+        w.u16(0); // e_phnum
+        w.u16(shentsize as u16);
+        w.u16(shnum);
+        w.u16(shstrndx);
+        debug_assert_eq!(w.out.len(), ehsize);
+
+        w.out.extend_from_slice(&payload);
+        debug_assert_eq!(w.out.len(), shoff);
+
+        // Null section header.
+        let zero_header = vec![0u8; shentsize];
+        w.out.extend_from_slice(&zero_header);
+
+        // Real sections.
+        for ((s, &name_off), &data_off) in
+            self.sections.iter().zip(&name_offsets).zip(&data_offsets)
+        {
+            let size = if s.kind == SectionKind::NoBits {
+                s.nobits_size
+            } else {
+                s.data.len() as u64
+            };
+            write_section_header(
+                &mut w,
+                class,
+                name_off,
+                s.kind.raw(),
+                s.flags,
+                s.addr,
+                data_off,
+                size,
+            );
+        }
+        // .shstrtab header.
+        write_section_header(
+            &mut w,
+            class,
+            shstrtab_name_offset,
+            SectionKind::StrTab.raw(),
+            0,
+            0,
+            strtab_offset,
+            strtab.len() as u64,
+        );
+        w.out
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn write_section_header(
+    w: &mut FieldWriter,
+    class: Class,
+    name: u32,
+    sh_type: u32,
+    flags: u64,
+    addr: u64,
+    offset: u64,
+    size: u64,
+) {
+    w.u32(name);
+    w.u32(sh_type);
+    match class {
+        Class::Elf32 => {
+            w.u32(flags as u32);
+            w.u32(addr as u32);
+            w.u32(offset as u32);
+            w.u32(size as u32);
+            w.u32(0); // link
+            w.u32(0); // info
+            w.u32(4); // addralign
+            w.u32(0); // entsize
+        }
+        Class::Elf64 => {
+            w.u64(flags);
+            w.u64(addr);
+            w.u64(offset);
+            w.u64(size);
+            w.u32(0);
+            w.u32(0);
+            w.u64(8);
+            w.u64(0);
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Property tests: ELF emit→parse is the identity, and the parser is
+//! total on arbitrary bytes.
+
+use cce_elf::{Class, ElfImage, Endianness, Machine, Section, SectionKind};
+use proptest::prelude::*;
+
+fn class_strategy() -> impl Strategy<Value = Class> {
+    prop_oneof![Just(Class::Elf32), Just(Class::Elf64)]
+}
+
+fn endianness_strategy() -> impl Strategy<Value = Endianness> {
+    prop_oneof![Just(Endianness::Little), Just(Endianness::Big)]
+}
+
+fn machine_strategy() -> impl Strategy<Value = Machine> {
+    prop_oneof![
+        Just(Machine::Mips),
+        Just(Machine::I386),
+        any::<u16>().prop_map(Machine::from_raw),
+    ]
+}
+
+fn section_strategy() -> impl Strategy<Value = Section> {
+    (
+        "[a-z.][a-z0-9_.]{0,12}",
+        prop_oneof![Just(SectionKind::ProgBits), Just(SectionKind::NoBits)],
+        any::<u32>(),
+        prop::collection::vec(any::<u8>(), 0..256),
+        any::<u16>(),
+    )
+        .prop_map(|(name, kind, addr, data, nobits)| {
+            let nobits_size = if kind == SectionKind::NoBits { u64::from(nobits) } else { 0 };
+            let data = if kind == SectionKind::NoBits { Vec::new() } else { data };
+            Section {
+                name,
+                kind,
+                flags: 0x6,
+                addr: u64::from(addr),
+                data,
+                nobits_size,
+            }
+        })
+}
+
+proptest! {
+    #[test]
+    fn emit_parse_is_identity(
+        class in class_strategy(),
+        endianness in endianness_strategy(),
+        machine in machine_strategy(),
+        entry in any::<u32>(),
+        sections in prop::collection::vec(section_strategy(), 0..6),
+    ) {
+        let image = ElfImage { class, endianness, machine, entry: u64::from(entry), sections };
+        let bytes = image.to_bytes();
+        let parsed = ElfImage::parse(&bytes).expect("own output parses");
+        prop_assert_eq!(parsed, image);
+    }
+
+    #[test]
+    fn parser_is_total_on_noise(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = ElfImage::parse(&bytes); // must never panic
+    }
+
+    #[test]
+    fn parser_is_total_on_mutated_valid_files(
+        text in prop::collection::vec(any::<u8>(), 0..128),
+        flips in prop::collection::vec((any::<prop::sample::Index>(), 0u8..8), 1..8),
+    ) {
+        let image = ElfImage::new_executable(Machine::Mips, Class::Elf32, Endianness::Big, text);
+        let mut bytes = image.to_bytes();
+        for (index, bit) in flips {
+            let i = index.index(bytes.len());
+            bytes[i] ^= 1 << bit;
+        }
+        let _ = ElfImage::parse(&bytes); // must never panic
+    }
+}

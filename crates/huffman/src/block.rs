@@ -1,0 +1,253 @@
+//! Byte-based Huffman block compression (the Kozuch–Wolfe baseline).
+//!
+//! Kozuch & Wolfe (ICCD 1994) compress embedded programs with a single
+//! program-wide Huffman code over *bytes*, restarting at cache-block
+//! boundaries so any block is independently decompressible.  The DAC'98
+//! paper uses this scheme (compression ratio ≈ 0.73 on MIPS) as the prior
+//! state of the art in Fig. 9; SAMC and SADC both beat it because a byte
+//! code ignores instruction-field structure and inter-instruction
+//! dependence.
+//!
+//! # Examples
+//!
+//! ```
+//! use cce_huffman::block::ByteBlockCodec;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let program: Vec<u8> = (0..4096).map(|i| (i % 7) as u8).collect();
+//! let codec = ByteBlockCodec::train(&program)?;
+//! let image = codec.compress(&program, 32);
+//! assert!(image.compressed_len() < program.len());
+//!
+//! let block1 = codec.decompress_block(image.block(1), 32)?;
+//! assert_eq!(block1, &program[32..64]);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::codebook::{BuildCodeBookError, CodeBook, DecodeSymbolError};
+use cce_bitstream::{BitReader, BitWriter};
+
+/// Longest codeword the byte codec will assign; 16 bits keeps the hardware
+/// table decoder's shift register small.
+const MAX_CODE_LEN: u8 = 16;
+
+/// A program compressed block-by-block with one shared byte code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockImage {
+    blocks: Vec<Vec<u8>>,
+    block_size: usize,
+    original_len: usize,
+    table_bytes: usize,
+}
+
+impl BlockImage {
+    /// The compressed bytes of block `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn block(&self, index: usize) -> &[u8] {
+        &self.blocks[index]
+    }
+
+    /// Number of cache blocks in the image.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Uncompressed block size in bytes this image was built with.
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// Original program length in bytes.
+    pub fn original_len(&self) -> usize {
+        self.original_len
+    }
+
+    /// Total compressed size: all blocks plus the serialized code table.
+    pub fn compressed_len(&self) -> usize {
+        self.blocks.iter().map(Vec::len).sum::<usize>() + self.table_bytes
+    }
+
+    /// Compression ratio (compressed / original); lower is better.
+    pub fn ratio(&self) -> f64 {
+        self.compressed_len() as f64 / self.original_len as f64
+    }
+}
+
+/// Program-wide byte Huffman codec with block restart.
+#[derive(Debug, Clone)]
+pub struct ByteBlockCodec {
+    book: CodeBook,
+    /// One-load decode acceleration (derived from `book`).
+    table: crate::DecodeTable,
+}
+
+impl ByteBlockCodec {
+    /// Gathers byte statistics over the whole program (the semiadaptive
+    /// pass) and builds the shared code table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildCodeBookError::NoSymbols`] for an empty program.
+    pub fn train(program: &[u8]) -> Result<Self, BuildCodeBookError> {
+        let mut freqs = [0u64; 256];
+        for &b in program {
+            freqs[usize::from(b)] += 1;
+        }
+        let book = CodeBook::from_frequencies(&freqs, MAX_CODE_LEN)?;
+        let table = book.decode_table();
+        Ok(Self { book, table })
+    }
+
+    /// The underlying code book.
+    pub fn code_book(&self) -> &CodeBook {
+        &self.book
+    }
+
+    /// Size of the serialized code table: 256 lengths at 5 bits, rounded up.
+    pub fn table_bytes(&self) -> usize {
+        (256usize * 5).div_ceil(8)
+    }
+
+    /// Compresses `program` into independently decodable blocks of
+    /// `block_size` uncompressed bytes (the last block may be short).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_size == 0`, or if `program` contains a byte that was
+    /// absent from the training program.
+    pub fn compress(&self, program: &[u8], block_size: usize) -> BlockImage {
+        assert!(block_size > 0, "block size must be positive");
+        let blocks = program
+            .chunks(block_size)
+            .map(|chunk| {
+                let mut w = BitWriter::new();
+                for &b in chunk {
+                    self.book.encode(&mut w, u16::from(b));
+                }
+                w.align_to_byte();
+                w.into_bytes()
+            })
+            .collect();
+        BlockImage {
+            blocks,
+            block_size,
+            original_len: program.len(),
+            table_bytes: self.table_bytes(),
+        }
+    }
+
+    /// Decompresses one block of `out_len` uncompressed bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeSymbolError`] if the block is truncated or does not
+    /// match the code table.
+    pub fn decompress_block(
+        &self,
+        bytes: &[u8],
+        out_len: usize,
+    ) -> Result<Vec<u8>, DecodeSymbolError> {
+        let mut r = BitReader::new(bytes);
+        let mut out = Vec::with_capacity(out_len);
+        for _ in 0..out_len {
+            out.push(self.table.decode(&mut r)? as u8);
+        }
+        Ok(out)
+    }
+
+    /// Decompresses a whole [`BlockImage`] back into the original program.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeSymbolError`] on any corrupt block.
+    pub fn decompress(&self, image: &BlockImage) -> Result<Vec<u8>, DecodeSymbolError> {
+        let mut out = Vec::with_capacity(image.original_len);
+        for (i, block) in image.blocks.iter().enumerate() {
+            let remaining = image.original_len - i * image.block_size;
+            let len = remaining.min(image.block_size);
+            out.extend(self.decompress_block(block, len)?);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_program(len: usize) -> Vec<u8> {
+        // Byte-skewed source resembling opcode-heavy code.
+        (0..len)
+            .map(|i| match i % 10 {
+                0..=5 => (i % 4) as u8,
+                6..=8 => (i % 16) as u8,
+                _ => (i * 31 % 256) as u8,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn whole_program_round_trips() {
+        let program = sample_program(1000);
+        let codec = ByteBlockCodec::train(&program).unwrap();
+        let image = codec.compress(&program, 32);
+        assert_eq!(codec.decompress(&image).unwrap(), program);
+    }
+
+    #[test]
+    fn every_block_is_independently_decodable() {
+        let program = sample_program(512);
+        let codec = ByteBlockCodec::train(&program).unwrap();
+        let image = codec.compress(&program, 32);
+        for (i, chunk) in program.chunks(32).enumerate() {
+            let decoded = codec.decompress_block(image.block(i), chunk.len()).unwrap();
+            assert_eq!(decoded, chunk, "block {i}");
+        }
+    }
+
+    #[test]
+    fn short_final_block_is_handled() {
+        let program = sample_program(100); // 3 full blocks + 4 bytes
+        let codec = ByteBlockCodec::train(&program).unwrap();
+        let image = codec.compress(&program, 32);
+        assert_eq!(image.block_count(), 4);
+        assert_eq!(codec.decompress(&image).unwrap(), program);
+    }
+
+    #[test]
+    fn skewed_source_compresses_below_unity() {
+        let program = sample_program(8192);
+        let codec = ByteBlockCodec::train(&program).unwrap();
+        let image = codec.compress(&program, 32);
+        assert!(image.ratio() < 1.0, "ratio {}", image.ratio());
+        assert_eq!(image.original_len(), 8192);
+    }
+
+    #[test]
+    fn uniform_random_source_does_not_compress() {
+        // A source using all 256 bytes uniformly: ratio ≈ 1 + table overhead.
+        let program: Vec<u8> = (0..4096).map(|i| (i * 167 % 256) as u8).collect();
+        let codec = ByteBlockCodec::train(&program).unwrap();
+        let image = codec.compress(&program, 32);
+        assert!(image.ratio() > 0.95);
+    }
+
+    #[test]
+    fn empty_program_is_an_error() {
+        assert!(ByteBlockCodec::train(&[]).is_err());
+    }
+
+    #[test]
+    fn block_size_accounting() {
+        let program = sample_program(256);
+        let codec = ByteBlockCodec::train(&program).unwrap();
+        let image = codec.compress(&program, 64);
+        assert_eq!(image.block_size(), 64);
+        let block_total: usize = (0..image.block_count()).map(|i| image.block(i).len()).sum();
+        assert_eq!(image.compressed_len(), block_total + codec.table_bytes());
+    }
+}

@@ -1,0 +1,482 @@
+//! Canonical length-limited Huffman code construction.
+
+use cce_bitstream::{BitReader, BitWriter, EndOfStreamError};
+use std::error::Error;
+use std::fmt;
+
+/// Errors from [`CodeBook::from_frequencies`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BuildCodeBookError {
+    /// No symbol had a non-zero frequency, so there is nothing to code.
+    NoSymbols,
+    /// The requested maximum length cannot host the alphabet
+    /// (`2^max_len` is smaller than the number of used symbols).
+    LengthLimitTooSmall {
+        /// Number of symbols with non-zero frequency.
+        used_symbols: usize,
+        /// The limit that was requested.
+        max_len: u8,
+    },
+}
+
+impl fmt::Display for BuildCodeBookError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NoSymbols => write!(f, "no symbol has a non-zero frequency"),
+            Self::LengthLimitTooSmall { used_symbols, max_len } => write!(
+                f,
+                "{used_symbols} symbols cannot be coded with codes of at most {max_len} bits"
+            ),
+        }
+    }
+}
+
+impl Error for BuildCodeBookError {}
+
+/// Errors from [`CodeBook::decode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeSymbolError {
+    /// The bitstream ended inside a codeword.
+    EndOfStream(EndOfStreamError),
+    /// The read bits do not prefix any assigned codeword (corrupt stream or
+    /// wrong code table).
+    InvalidCodeword,
+}
+
+impl fmt::Display for DecodeSymbolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::EndOfStream(e) => write!(f, "codeword truncated: {e}"),
+            Self::InvalidCodeword => write!(f, "bits do not match any codeword"),
+        }
+    }
+}
+
+impl Error for DecodeSymbolError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::EndOfStream(e) => Some(e),
+            Self::InvalidCodeword => None,
+        }
+    }
+}
+
+impl From<EndOfStreamError> for DecodeSymbolError {
+    fn from(e: EndOfStreamError) -> Self {
+        Self::EndOfStream(e)
+    }
+}
+
+/// A canonical, length-limited Huffman code over symbols `0..n`.
+///
+/// Construction uses package-merge, which yields *optimal* expected length
+/// among all codes with the given length limit — matching what a real
+/// table-driven hardware decoder (bounded codeword register) can decode.
+///
+/// Symbols with zero frequency receive no codeword; encoding one panics,
+/// decoding can never produce one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodeBook {
+    /// Code length per symbol; 0 = symbol unused.
+    lengths: Vec<u8>,
+    /// Canonical codeword per symbol (valid where `lengths > 0`).
+    codes: Vec<u32>,
+    /// For each length L (index 1..=max): the first canonical code of that
+    /// length and the index into `sorted_symbols` where that length starts.
+    first_code: Vec<u32>,
+    first_index: Vec<u32>,
+    /// Symbols sorted by (length, symbol) — canonical order.
+    sorted_symbols: Vec<u16>,
+    max_len: u8,
+}
+
+impl CodeBook {
+    /// Builds an optimal code for `frequencies` with codewords of at most
+    /// `max_len` bits.
+    ///
+    /// # Errors
+    ///
+    /// * [`BuildCodeBookError::NoSymbols`] if every frequency is zero.
+    /// * [`BuildCodeBookError::LengthLimitTooSmall`] if `2^max_len` is less
+    ///   than the number of used symbols.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frequencies.len() > u16::MAX as usize + 1` or
+    /// `max_len == 0` or `max_len > 32`.
+    pub fn from_frequencies(frequencies: &[u64], max_len: u8) -> Result<Self, BuildCodeBookError> {
+        assert!(frequencies.len() <= u16::MAX as usize + 1, "alphabet too large");
+        assert!(max_len > 0 && max_len <= 32, "max_len must be in 1..=32");
+        let used: Vec<u16> = (0..frequencies.len() as u16)
+            .filter(|&s| frequencies[usize::from(s)] > 0)
+            .collect();
+        if used.is_empty() {
+            return Err(BuildCodeBookError::NoSymbols);
+        }
+        if used.len() > 1usize << max_len.min(31) {
+            return Err(BuildCodeBookError::LengthLimitTooSmall {
+                used_symbols: used.len(),
+                max_len,
+            });
+        }
+
+        let mut lengths = vec![0u8; frequencies.len()];
+        if used.len() == 1 {
+            // A lone symbol still needs one bit so the stream is non-empty
+            // and self-delimiting.
+            lengths[usize::from(used[0])] = 1;
+        } else {
+            package_merge(frequencies, &used, max_len, &mut lengths);
+        }
+        Ok(Self::from_lengths_unchecked(lengths))
+    }
+
+    /// Rebuilds a code book from transmitted code lengths (0 = unused).
+    ///
+    /// This is how a decompressor reconstructs the table: canonical codes
+    /// are fully determined by their lengths.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the lengths do not describe a valid prefix code
+    /// (Kraft sum ≠ 1 for multi-symbol alphabets, except the 1-symbol case).
+    pub fn from_lengths(lengths: Vec<u8>) -> Result<Self, BuildCodeBookError> {
+        let used: Vec<&u8> = lengths.iter().filter(|&&l| l > 0).collect();
+        if used.is_empty() {
+            return Err(BuildCodeBookError::NoSymbols);
+        }
+        let max_len = *used.iter().copied().max().expect("non-empty");
+        if used.len() > 1 {
+            // Kraft–McMillan check: sum 2^-len must be exactly 1 for a
+            // complete canonical code (we only emit complete codes).
+            let kraft: u64 = used.iter().map(|&&l| 1u64 << (max_len - l)).sum();
+            if kraft != 1u64 << max_len {
+                return Err(BuildCodeBookError::LengthLimitTooSmall {
+                    used_symbols: used.len(),
+                    max_len,
+                });
+            }
+        }
+        Ok(Self::from_lengths_unchecked(lengths))
+    }
+
+    fn from_lengths_unchecked(lengths: Vec<u8>) -> Self {
+        let max_len = lengths.iter().copied().max().expect("non-empty lengths");
+        let mut sorted_symbols: Vec<u16> = (0..lengths.len() as u16)
+            .filter(|&s| lengths[usize::from(s)] > 0)
+            .collect();
+        sorted_symbols.sort_by_key(|&s| (lengths[usize::from(s)], s));
+
+        let mut codes = vec![0u32; lengths.len()];
+        let mut first_code = vec![0u32; usize::from(max_len) + 1];
+        let mut first_index = vec![0u32; usize::from(max_len) + 1];
+        let mut code = 0u32;
+        let mut prev_len = 0u8;
+        for (i, &sym) in sorted_symbols.iter().enumerate() {
+            let len = lengths[usize::from(sym)];
+            code <<= len - prev_len;
+            if len != prev_len {
+                for l in prev_len + 1..=len {
+                    first_code[usize::from(l)] = code >> (len - l).min(31);
+                    first_index[usize::from(l)] = i as u32;
+                }
+                // first_code for the new length is exactly `code`.
+                first_code[usize::from(len)] = code;
+                first_index[usize::from(len)] = i as u32;
+            }
+            codes[usize::from(sym)] = code;
+            code += 1;
+            prev_len = len;
+        }
+        // Lengths above the longest assigned one hold no codewords; their
+        // start index is the end of the symbol list so counts come out zero.
+        for l in prev_len + 1..=max_len {
+            first_index[usize::from(l)] = sorted_symbols.len() as u32;
+        }
+        Self {
+            lengths,
+            codes,
+            first_code,
+            first_index,
+            sorted_symbols,
+            max_len,
+        }
+    }
+
+    /// The canonical codeword assigned to `symbol` (crate-internal;
+    /// meaningless when the symbol's length is zero).
+    pub(crate) fn code(&self, symbol: u16) -> u32 {
+        self.codes[usize::from(symbol)]
+    }
+
+    /// The code length of `symbol` in bits (0 if the symbol is unused).
+    pub fn length(&self, symbol: u16) -> u8 {
+        self.lengths.get(usize::from(symbol)).copied().unwrap_or(0)
+    }
+
+    /// The code lengths table — what a container serializes.
+    pub fn lengths(&self) -> &[u8] {
+        &self.lengths
+    }
+
+    /// The longest assigned codeword, in bits.
+    pub fn max_code_len(&self) -> u8 {
+        self.max_len
+    }
+
+    /// Number of symbols with a codeword.
+    pub fn used_symbols(&self) -> usize {
+        self.sorted_symbols.len()
+    }
+
+    /// Expected cost in bits of coding a source with `frequencies` using
+    /// this book (frequencies indexed like the constructor's).
+    pub fn total_bits(&self, frequencies: &[u64]) -> u64 {
+        frequencies
+            .iter()
+            .zip(&self.lengths)
+            .map(|(&f, &l)| f * u64::from(l))
+            .sum()
+    }
+
+    /// Appends `symbol`'s codeword to `writer`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `symbol` has no codeword (zero training frequency).
+    pub fn encode(&self, writer: &mut BitWriter, symbol: u16) {
+        let len = self.lengths[usize::from(symbol)];
+        assert!(len > 0, "symbol {symbol} has no codeword");
+        writer.write_bits(self.codes[usize::from(symbol)], u32::from(len));
+    }
+
+    /// Decodes one symbol from `reader`.
+    ///
+    /// # Errors
+    ///
+    /// * [`DecodeSymbolError::EndOfStream`] if the stream ends mid-codeword.
+    /// * [`DecodeSymbolError::InvalidCodeword`] if no codeword matches
+    ///   (possible only for the degenerate one-symbol code reading a `1` bit).
+    pub fn decode(&self, reader: &mut BitReader<'_>) -> Result<u16, DecodeSymbolError> {
+        let mut code = 0u32;
+        for len in 1..=self.max_len {
+            code = code << 1 | u32::from(reader.read_bit()?);
+            let li = usize::from(len);
+            // Count of codewords at this length:
+            let next_index = if li == usize::from(self.max_len) {
+                self.sorted_symbols.len() as u32
+            } else {
+                self.first_index[li + 1]
+            };
+            let count = next_index - self.first_index[li];
+            if count > 0 && code >= self.first_code[li] && code - self.first_code[li] < count {
+                let idx = self.first_index[li] + (code - self.first_code[li]);
+                return Ok(self.sorted_symbols[idx as usize]);
+            }
+        }
+        Err(DecodeSymbolError::InvalidCodeword)
+    }
+}
+
+/// Package-merge: optimal length-limited code lengths.
+///
+/// Produces, for the `used` symbols of `frequencies`, lengths of at most
+/// `max_len` minimizing the weighted sum, writing them into `lengths`.
+fn package_merge(frequencies: &[u64], used: &[u16], max_len: u8, lengths: &mut [u8]) {
+    #[derive(Clone)]
+    struct Package {
+        weight: u64,
+        /// Leaf symbols contained (with multiplicity across merges).
+        symbols: Vec<u16>,
+    }
+
+    let mut leaves: Vec<Package> = used
+        .iter()
+        .map(|&s| Package {
+            weight: frequencies[usize::from(s)],
+            symbols: vec![s],
+        })
+        .collect();
+    leaves.sort_by_key(|p| p.weight);
+
+    // Level 0 (deepest): just the leaves.
+    let mut prev: Vec<Package> = leaves.clone();
+    for _ in 1..max_len {
+        // Pair up adjacent packages from the previous level...
+        let mut merged: Vec<Package> = prev
+            .chunks_exact(2)
+            .map(|pair| Package {
+                weight: pair[0].weight + pair[1].weight,
+                symbols: {
+                    let mut v = pair[0].symbols.clone();
+                    v.extend_from_slice(&pair[1].symbols);
+                    v
+                },
+            })
+            .collect();
+        // ...and merge-sort with a fresh copy of the leaves.
+        merged.extend(leaves.iter().cloned());
+        merged.sort_by_key(|p| p.weight);
+        prev = merged;
+    }
+
+    // Take the 2(n-1) cheapest packages from the final level; each
+    // appearance of a symbol adds one bit to its code length.
+    let take = 2 * (used.len() - 1);
+    for package in prev.iter().take(take) {
+        for &s in &package.symbols {
+            lengths[usize::from(s)] += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(freqs: &[u64], symbols: &[u16], max_len: u8) {
+        let book = CodeBook::from_frequencies(freqs, max_len).unwrap();
+        let mut w = BitWriter::new();
+        for &s in symbols {
+            book.encode(&mut w, s);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &s in symbols {
+            assert_eq!(book.decode(&mut r).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn empty_frequencies_error() {
+        assert_eq!(
+            CodeBook::from_frequencies(&[0, 0, 0], 8).unwrap_err(),
+            BuildCodeBookError::NoSymbols
+        );
+        assert_eq!(
+            CodeBook::from_frequencies(&[], 8).unwrap_err(),
+            BuildCodeBookError::NoSymbols
+        );
+    }
+
+    #[test]
+    fn single_symbol_gets_one_bit() {
+        let book = CodeBook::from_frequencies(&[0, 7, 0], 8).unwrap();
+        assert_eq!(book.length(1), 1);
+        round_trip(&[0, 7, 0], &[1, 1, 1], 8);
+    }
+
+    #[test]
+    fn two_equal_symbols_get_one_bit_each() {
+        let book = CodeBook::from_frequencies(&[5, 5], 8).unwrap();
+        assert_eq!(book.length(0), 1);
+        assert_eq!(book.length(1), 1);
+    }
+
+    #[test]
+    fn classic_example_lengths() {
+        // freqs 1,1,2,4,8: optimal lengths 4,4,3,2,1 (unlimited).
+        let book = CodeBook::from_frequencies(&[1, 1, 2, 4, 8], 16).unwrap();
+        assert_eq!(book.lengths(), &[4, 4, 3, 2, 1]);
+        assert_eq!(book.total_bits(&[1, 1, 2, 4, 8]), 4 + 4 + 6 + 8 + 8);
+    }
+
+    #[test]
+    fn length_limit_is_respected_and_optimal() {
+        // Fibonacci-ish weights force deep trees when unlimited.
+        let freqs: Vec<u64> = vec![1, 1, 2, 3, 5, 8, 13, 21, 34, 55];
+        let limited = CodeBook::from_frequencies(&freqs, 5).unwrap();
+        assert!(limited.max_code_len() <= 5);
+        let unlimited = CodeBook::from_frequencies(&freqs, 16).unwrap();
+        assert!(unlimited.total_bits(&freqs) <= limited.total_bits(&freqs));
+        // Kraft completeness.
+        let kraft: f64 = limited
+            .lengths()
+            .iter()
+            .filter(|&&l| l > 0)
+            .map(|&l| 0.5f64.powi(i32::from(l)))
+            .sum();
+        assert!((kraft - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn limit_too_small_is_an_error() {
+        let freqs = vec![1u64; 16];
+        assert!(matches!(
+            CodeBook::from_frequencies(&freqs, 3).unwrap_err(),
+            BuildCodeBookError::LengthLimitTooSmall { used_symbols: 16, max_len: 3 }
+        ));
+        assert!(CodeBook::from_frequencies(&freqs, 4).is_ok());
+    }
+
+    #[test]
+    fn canonical_codes_are_lexicographic() {
+        let book = CodeBook::from_frequencies(&[8, 1, 1, 2, 4], 16).unwrap();
+        // Shorter codes sort before longer; equal lengths by symbol index.
+        let mut pairs: Vec<(u8, u32)> = (0..5)
+            .map(|s| (book.length(s), {
+                let mut w = BitWriter::new();
+                book.encode(&mut w, s);
+                let bits = w.bit_len() as u32;
+                let bytes = w.into_bytes();
+                let mut r = BitReader::new(&bytes);
+                r.read_bits(bits).unwrap() // the raw codeword
+            }))
+            .collect();
+        pairs.sort();
+        for window in pairs.windows(2) {
+            let (l0, c0) = window[0];
+            let (l1, c1) = window[1];
+            // Left-justify both to max length and compare numerically.
+            let m = book.max_code_len();
+            assert!(c0 << (m - l0) < c1 << (m - l1) || (l0, c0) == (l1, c1));
+        }
+    }
+
+    #[test]
+    fn lengths_round_trip_through_from_lengths() {
+        let freqs = [3u64, 0, 9, 2, 2, 7, 0, 1];
+        let book = CodeBook::from_frequencies(&freqs, 15).unwrap();
+        let rebuilt = CodeBook::from_lengths(book.lengths().to_vec()).unwrap();
+        assert_eq!(&book, &rebuilt);
+    }
+
+    #[test]
+    fn from_lengths_rejects_incomplete_codes() {
+        // Lengths {1} for two symbols are fine; {2, 2} alone are incomplete.
+        assert!(CodeBook::from_lengths(vec![2, 2, 0]).is_err());
+        assert!(CodeBook::from_lengths(vec![1, 1]).is_ok());
+        assert!(CodeBook::from_lengths(vec![1, 2, 2]).is_ok());
+        assert!(CodeBook::from_lengths(vec![0, 0]).is_err());
+    }
+
+    #[test]
+    fn decode_detects_truncation() {
+        let book = CodeBook::from_frequencies(&[1, 1, 1, 1], 8).unwrap();
+        let mut w = BitWriter::new();
+        book.encode(&mut w, 3);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes[..0]);
+        assert!(matches!(
+            book.decode(&mut r),
+            Err(DecodeSymbolError::EndOfStream(_))
+        ));
+    }
+
+    #[test]
+    fn skewed_distribution_compresses() {
+        let mut freqs = vec![1u64; 64];
+        freqs[0] = 10_000;
+        let book = CodeBook::from_frequencies(&freqs, 15).unwrap();
+        assert_eq!(book.length(0), 1);
+        let symbols: Vec<u16> = (0..1000).map(|i| if i % 20 == 0 { 5 } else { 0 }).collect();
+        round_trip(&freqs, &symbols, 15);
+    }
+
+    #[test]
+    fn large_alphabet_round_trips() {
+        let freqs: Vec<u64> = (0..300u64).map(|i| i * i % 97 + 1).collect();
+        let symbols: Vec<u16> = (0..300).collect();
+        round_trip(&freqs, &symbols, 16);
+    }
+}

@@ -1,0 +1,47 @@
+//! Canonical, length-limited Huffman coding.
+//!
+//! Two consumers in this workspace need Huffman codes:
+//!
+//! * **SADC** (Lekatsas & Wolf, DAC 1998, §4) Huffman-codes its dictionary
+//!   index, register and immediate streams as a final pass.
+//! * The **byte-based Huffman baseline** of Kozuch & Wolfe (Fig. 9 of the
+//!   paper) compresses raw program bytes per cache block with one
+//!   program-wide code table; [`block`] implements it.
+//!
+//! [`CodeBook`] builds optimal length-limited codes with the package-merge
+//! algorithm and assigns *canonical* codewords, so a decoder only needs the
+//! code lengths — the form a hardware table decoder would store.
+//!
+//! # Examples
+//!
+//! ```
+//! use cce_huffman::CodeBook;
+//! use cce_bitstream::{BitReader, BitWriter};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let freqs = [10u64, 1, 1, 4];
+//! let book = CodeBook::from_frequencies(&freqs, 15)?;
+//!
+//! let mut w = BitWriter::new();
+//! for &sym in &[0u16, 3, 0, 1] {
+//!     book.encode(&mut w, sym);
+//! }
+//! let bytes = w.into_bytes();
+//!
+//! let mut r = BitReader::new(&bytes);
+//! for &sym in &[0u16, 3, 0, 1] {
+//!     assert_eq!(book.decode(&mut r)?, sym);
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod block;
+mod codebook;
+mod decode_table;
+
+pub use codebook::{BuildCodeBookError, CodeBook, DecodeSymbolError};
+pub use decode_table::DecodeTable;

@@ -1,0 +1,76 @@
+//! Property tests: the accelerated decode table is observably identical
+//! to the canonical bit-walk decoder, and both survive adversarial
+//! frequency shapes.
+
+use cce_bitstream::{BitReader, BitWriter};
+use cce_huffman::CodeBook;
+use proptest::prelude::*;
+
+fn frequency_vectors() -> impl Strategy<Value = Vec<u64>> {
+    prop_oneof![
+        // Arbitrary small alphabets.
+        prop::collection::vec(0u64..1000, 2..64),
+        // Heavy skew: one dominant symbol.
+        prop::collection::vec(1u64..5, 2..64).prop_map(|mut v| {
+            v[0] = 1_000_000;
+            v
+        }),
+        // Exponential shape forces deep codes.
+        (2usize..24).prop_map(|n| (0..n as u32).map(|i| 1u64 << i.min(50)).collect()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn table_decode_equals_canonical_decode(
+        freqs in frequency_vectors(),
+        picks in prop::collection::vec(any::<prop::sample::Index>(), 1..200),
+    ) {
+        let Ok(book) = CodeBook::from_frequencies(&freqs, 15) else {
+            return Ok(()); // all-zero frequency vector
+        };
+        let table = book.decode_table();
+        let used: Vec<u16> = (0..freqs.len() as u16).filter(|&s| book.length(s) > 0).collect();
+        let symbols: Vec<u16> = picks.iter().map(|ix| used[ix.index(used.len())]).collect();
+
+        let mut w = BitWriter::new();
+        for &s in &symbols {
+            book.encode(&mut w, s);
+        }
+        let bytes = w.into_bytes();
+
+        let mut slow = BitReader::new(&bytes);
+        let mut fast = BitReader::new(&bytes);
+        for &s in &symbols {
+            prop_assert_eq!(book.decode(&mut slow).unwrap(), s);
+            prop_assert_eq!(table.decode(&mut fast).unwrap(), s);
+            prop_assert_eq!(slow.bit_position(), fast.bit_position());
+        }
+    }
+
+    #[test]
+    fn decoders_never_panic_on_noise(
+        freqs in frequency_vectors(),
+        noise in prop::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let Ok(book) = CodeBook::from_frequencies(&freqs, 15) else {
+            return Ok(());
+        };
+        let table = book.decode_table();
+        let mut slow = BitReader::new(&noise);
+        let mut fast = BitReader::new(&noise);
+        // Decode until either errors; results must agree step for step.
+        loop {
+            let a = book.decode(&mut slow);
+            let b = table.decode(&mut fast);
+            prop_assert_eq!(a.is_ok(), b.is_ok());
+            match (a, b) {
+                (Ok(x), Ok(y)) => prop_assert_eq!(x, y),
+                _ => break,
+            }
+            prop_assert_eq!(slow.bit_position(), fast.bit_position());
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Instruction-set models for code compression.
+//!
+//! The DAC'98 paper evaluates on two architectures: a fixed-width RISC
+//! (MIPS) and a variable-length CISC (x86 / Pentium Pro).  Both codecs need
+//! more than raw bytes from the ISA:
+//!
+//! * **SAMC** needs fixed-size instruction words it can cut into bit
+//!   streams ([`mips`]), and falls back to plain bytes on x86.
+//! * **SADC** needs full structural decode: simplified opcodes, register
+//!   fields and immediates on MIPS ([`mips::Instruction`]), and the
+//!   opcode / modrm+sib / displacement+immediate byte split on x86
+//!   ([`x86::InstructionLayout`]).
+//! * The decompressor's *instruction generator* (paper Fig. 6) must be able
+//!   to reassemble bit-exact machine words from those pieces — so every
+//!   model here is a reversible encoder/decoder, not just a disassembler.
+//!
+//! # Examples
+//!
+//! ```
+//! use cce_isa::mips::{Instruction, Reg};
+//!
+//! let insn = Instruction::addiu(Reg::SP, Reg::SP, 0xFFF8); // addiu sp, sp, -8
+//! let word = insn.encode();
+//! assert_eq!(Instruction::decode(word)?, insn);
+//! # Ok::<(), cce_isa::mips::DecodeInstructionError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod mips;
+pub mod x86;
+
+/// The two instruction sets the paper evaluates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Isa {
+    /// MIPS-I: 32-bit fixed-width RISC.
+    Mips,
+    /// IA-32 as on the Pentium Pro: variable-length CISC.
+    X86,
+}
+
+impl std::fmt::Display for Isa {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Isa::Mips => write!(f, "MIPS"),
+            Isa::X86 => write!(f, "x86"),
+        }
+    }
+}

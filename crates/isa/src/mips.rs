@@ -1,0 +1,1004 @@
+//! MIPS-I instruction model: decode, encode, and field extraction.
+//!
+//! SADC (paper §4) divides MIPS instructions into four streams — opcode,
+//! register, 16-bit immediate and 26-bit jump target — and its decompressor
+//! contains an *instruction generator* that reassembles a 32-bit word from
+//! a simplified opcode plus operand bytes (paper Fig. 6).  This module is
+//! that machinery: [`Instruction`] is a lossless structural decode of every
+//! supported word, [`Operation`] is the simplified opcode with its
+//! [`OperandSpec`] (the paper's *operand length unit*), and
+//! [`Instruction::assemble`] is the instruction generator.
+
+use std::error::Error;
+use std::fmt;
+
+/// A MIPS general-purpose register, `$0`–`$31`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// `$zero` — hardwired zero.
+    pub const ZERO: Reg = Reg(0);
+    /// `$at` — assembler temporary.
+    pub const AT: Reg = Reg(1);
+    /// `$v0` — function result.
+    pub const V0: Reg = Reg(2);
+    /// `$v1` — function result.
+    pub const V1: Reg = Reg(3);
+    /// `$a0` — first argument.
+    pub const A0: Reg = Reg(4);
+    /// `$a1` — second argument.
+    pub const A1: Reg = Reg(5);
+    /// `$t0` — caller-saved temporary.
+    pub const T0: Reg = Reg(8);
+    /// `$s0` — callee-saved.
+    pub const S0: Reg = Reg(16);
+    /// `$gp` — global pointer.
+    pub const GP: Reg = Reg(28);
+    /// `$sp` — stack pointer.
+    pub const SP: Reg = Reg(29);
+    /// `$fp` — frame pointer.
+    pub const FP: Reg = Reg(30);
+    /// `$ra` — return address.
+    pub const RA: Reg = Reg(31);
+
+    /// Creates a register from its number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `number > 31`.
+    pub fn new(number: u8) -> Reg {
+        assert!(number < 32, "register number {number} out of range");
+        Reg(number)
+    }
+
+    /// The register number, `0..=31`.
+    pub fn number(self) -> u8 {
+        self.0
+    }
+}
+
+impl Reg {
+    /// The conventional ABI name (`$sp`, `$t0`, ...).
+    pub fn name(self) -> &'static str {
+        const NAMES: [&str; 32] = [
+            "$zero", "$at", "$v0", "$v1", "$a0", "$a1", "$a2", "$a3", "$t0", "$t1", "$t2",
+            "$t3", "$t4", "$t5", "$t6", "$t7", "$s0", "$s1", "$s2", "$s3", "$s4", "$s5",
+            "$s6", "$s7", "$t8", "$t9", "$k0", "$k1", "$gp", "$sp", "$fp", "$ra",
+        ];
+        NAMES[usize::from(self.0)]
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// SPECIAL-opcode (R-format) operations, tagged with their funct code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[allow(missing_docs)]
+#[repr(u8)]
+pub enum RType {
+    Sll = 0x00,
+    Srl = 0x02,
+    Sra = 0x03,
+    Sllv = 0x04,
+    Srlv = 0x06,
+    Srav = 0x07,
+    Jr = 0x08,
+    Jalr = 0x09,
+    Syscall = 0x0C,
+    Break = 0x0D,
+    Mfhi = 0x10,
+    Mthi = 0x11,
+    Mflo = 0x12,
+    Mtlo = 0x13,
+    Mult = 0x18,
+    Multu = 0x19,
+    Div = 0x1A,
+    Divu = 0x1B,
+    Add = 0x20,
+    Addu = 0x21,
+    Sub = 0x22,
+    Subu = 0x23,
+    And = 0x24,
+    Or = 0x25,
+    Xor = 0x26,
+    Nor = 0x27,
+    Slt = 0x2A,
+    Sltu = 0x2B,
+}
+
+/// Immediate-format operations, tagged with their primary opcode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[allow(missing_docs)]
+#[repr(u8)]
+pub enum IType {
+    Beq = 0x04,
+    Bne = 0x05,
+    Blez = 0x06,
+    Bgtz = 0x07,
+    Addi = 0x08,
+    Addiu = 0x09,
+    Slti = 0x0A,
+    Sltiu = 0x0B,
+    Andi = 0x0C,
+    Ori = 0x0D,
+    Xori = 0x0E,
+    Lui = 0x0F,
+    Lb = 0x20,
+    Lh = 0x21,
+    Lwl = 0x22,
+    Lw = 0x23,
+    Lbu = 0x24,
+    Lhu = 0x25,
+    Lwr = 0x26,
+    Sb = 0x28,
+    Sh = 0x29,
+    Swl = 0x2A,
+    Sw = 0x2B,
+    Swr = 0x2E,
+}
+
+/// REGIMM branch operations (opcode 1, selected by the rt field).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[allow(missing_docs)]
+#[repr(u8)]
+pub enum RegImm {
+    Bltz = 0x00,
+    Bgez = 0x01,
+}
+
+/// Jump-format operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[allow(missing_docs)]
+#[repr(u8)]
+pub enum JType {
+    J = 0x02,
+    Jal = 0x03,
+}
+
+/// A structurally decoded MIPS-I instruction.
+///
+/// Encoding and decoding are exact inverses over the supported subset; the
+/// reserved fields the subset leaves implicit (e.g. shamt of non-shift
+/// R-types) must be zero, which is what real assemblers emit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Instruction {
+    /// SPECIAL-opcode register format.
+    R {
+        /// Operation (funct field).
+        op: RType,
+        /// First source register.
+        rs: Reg,
+        /// Second source register.
+        rt: Reg,
+        /// Destination register.
+        rd: Reg,
+        /// Shift amount, `0..=31`.
+        shamt: u8,
+    },
+    /// Immediate format.
+    I {
+        /// Operation (primary opcode).
+        op: IType,
+        /// Source register.
+        rs: Reg,
+        /// Target register (or second source for stores/branches).
+        rt: Reg,
+        /// 16-bit immediate (sign interpretation is per-op).
+        imm: u16,
+    },
+    /// REGIMM conditional branch.
+    B {
+        /// Branch condition.
+        op: RegImm,
+        /// Register tested.
+        rs: Reg,
+        /// Branch offset.
+        imm: u16,
+    },
+    /// Jump format.
+    J {
+        /// Operation.
+        op: JType,
+        /// 26-bit target field.
+        target: u32,
+    },
+}
+
+/// Error from [`Instruction::decode`]: the word is not in the supported
+/// MIPS-I subset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeInstructionError {
+    /// The word that failed to decode.
+    pub word: u32,
+}
+
+impl fmt::Display for DecodeInstructionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "word {:#010x} is not a supported MIPS-I instruction", self.word)
+    }
+}
+
+impl Error for DecodeInstructionError {}
+
+impl Instruction {
+    /// `addiu rt, rs, imm` convenience constructor.
+    pub fn addiu(rt: Reg, rs: Reg, imm: u16) -> Self {
+        Instruction::I { op: IType::Addiu, rs, rt, imm }
+    }
+
+    /// `lw rt, imm(rs)` convenience constructor.
+    pub fn lw(rt: Reg, imm: u16, rs: Reg) -> Self {
+        Instruction::I { op: IType::Lw, rs, rt, imm }
+    }
+
+    /// `sw rt, imm(rs)` convenience constructor.
+    pub fn sw(rt: Reg, imm: u16, rs: Reg) -> Self {
+        Instruction::I { op: IType::Sw, rs, rt, imm }
+    }
+
+    /// `jr rs` convenience constructor.
+    pub fn jr(rs: Reg) -> Self {
+        Instruction::R { op: RType::Jr, rs, rt: Reg::ZERO, rd: Reg::ZERO, shamt: 0 }
+    }
+
+    /// `addu rd, rs, rt` convenience constructor.
+    pub fn addu(rd: Reg, rs: Reg, rt: Reg) -> Self {
+        Instruction::R { op: RType::Addu, rs, rt, rd, shamt: 0 }
+    }
+
+    /// The canonical `nop` (`sll $0, $0, 0`).
+    pub fn nop() -> Self {
+        Instruction::R { op: RType::Sll, rs: Reg::ZERO, rt: Reg::ZERO, rd: Reg::ZERO, shamt: 0 }
+    }
+
+    /// Encodes to the 32-bit machine word.
+    pub fn encode(self) -> u32 {
+        match self {
+            Instruction::R { op, rs, rt, rd, shamt } => {
+                debug_assert!(shamt < 32);
+                u32::from(rs.0) << 21
+                    | u32::from(rt.0) << 16
+                    | u32::from(rd.0) << 11
+                    | u32::from(shamt) << 6
+                    | u32::from(op as u8)
+            }
+            Instruction::I { op, rs, rt, imm } => {
+                u32::from(op as u8) << 26
+                    | u32::from(rs.0) << 21
+                    | u32::from(rt.0) << 16
+                    | u32::from(imm)
+            }
+            Instruction::B { op, rs, imm } => {
+                0x01 << 26 | u32::from(rs.0) << 21 | u32::from(op as u8) << 16 | u32::from(imm)
+            }
+            Instruction::J { op, target } => {
+                debug_assert!(target < 1 << 26);
+                u32::from(op as u8) << 26 | target
+            }
+        }
+    }
+
+    /// Decodes a 32-bit machine word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeInstructionError`] for opcodes or funct codes outside
+    /// the supported MIPS-I subset.
+    pub fn decode(word: u32) -> Result<Self, DecodeInstructionError> {
+        let opcode = (word >> 26) as u8;
+        let rs = Reg(((word >> 21) & 0x1F) as u8);
+        let rt = Reg(((word >> 16) & 0x1F) as u8);
+        let rd = Reg(((word >> 11) & 0x1F) as u8);
+        let shamt = ((word >> 6) & 0x1F) as u8;
+        let imm = (word & 0xFFFF) as u16;
+        let err = DecodeInstructionError { word };
+
+        match opcode {
+            0x00 => {
+                let funct = (word & 0x3F) as u8;
+                let op = RType::from_funct(funct).ok_or(err)?;
+                Ok(Instruction::R { op, rs, rt, rd, shamt })
+            }
+            0x01 => {
+                let op = match rt.0 {
+                    0x00 => RegImm::Bltz,
+                    0x01 => RegImm::Bgez,
+                    _ => return Err(err),
+                };
+                Ok(Instruction::B { op, rs, imm })
+            }
+            0x02 => Ok(Instruction::J { op: JType::J, target: word & 0x03FF_FFFF }),
+            0x03 => Ok(Instruction::J { op: JType::Jal, target: word & 0x03FF_FFFF }),
+            _ => {
+                let op = IType::from_opcode(opcode).ok_or(err)?;
+                Ok(Instruction::I { op, rs, rt, imm })
+            }
+        }
+    }
+
+    /// The simplified opcode — what SADC's opcode stream carries.
+    pub fn operation(self) -> Operation {
+        match self {
+            Instruction::R { op, .. } => Operation::R(op),
+            Instruction::I { op, .. } => Operation::I(op),
+            Instruction::B { op, .. } => Operation::B(op),
+            Instruction::J { op, .. } => Operation::J(op),
+        }
+    }
+
+    /// Register-stream bytes in canonical field order (rs, rt, rd, shamt as
+    /// applicable) — what SADC's register stream carries.
+    pub fn register_fields(self) -> Vec<u8> {
+        let spec = self.operation().operand_spec();
+        let (rs, rt, rd, shamt) = match self {
+            Instruction::R { rs, rt, rd, shamt, .. } => (rs.0, rt.0, rd.0, shamt),
+            Instruction::I { rs, rt, .. } => (rs.0, rt.0, 0, 0),
+            Instruction::B { rs, .. } => (rs.0, 0, 0, 0),
+            Instruction::J { .. } => (0, 0, 0, 0),
+        };
+        let mut out = Vec::with_capacity(4);
+        for field in spec.reg_fields {
+            out.push(match field {
+                RegField::Rs => rs,
+                RegField::Rt => rt,
+                RegField::Rd => rd,
+                RegField::Shamt => shamt,
+            });
+        }
+        out
+    }
+
+    /// The 16-bit immediate, if this operation carries one.
+    pub fn imm16(self) -> Option<u16> {
+        match self {
+            Instruction::I { imm, .. } | Instruction::B { imm, .. } => Some(imm),
+            _ => None,
+        }
+    }
+
+    /// The 26-bit jump target, if this operation carries one.
+    pub fn imm26(self) -> Option<u32> {
+        match self {
+            Instruction::J { target, .. } => Some(target),
+            _ => None,
+        }
+    }
+
+    /// The paper's *instruction generator*: reassembles an instruction from
+    /// its simplified opcode and operand streams.
+    ///
+    /// `regs` must supply exactly the bytes [`Instruction::register_fields`]
+    /// produced; `imm16`/`imm26` must be present exactly when the operation
+    /// requires them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand pieces do not match `op`'s [`OperandSpec`] —
+    /// the compressed streams are internally generated, so a mismatch is a
+    /// codec bug, not an input error.
+    pub fn assemble(op: Operation, regs: &[u8], imm16: Option<u16>, imm26: Option<u32>) -> Self {
+        let spec = op.operand_spec();
+        assert_eq!(regs.len(), spec.reg_fields.len(), "register stream mismatch for {op:?}");
+        let mut rs = Reg::ZERO;
+        let mut rt = Reg::ZERO;
+        let mut rd = Reg::ZERO;
+        let mut shamt = 0u8;
+        for (field, &value) in spec.reg_fields.iter().zip(regs) {
+            match field {
+                RegField::Rs => rs = Reg::new(value),
+                RegField::Rt => rt = Reg::new(value),
+                RegField::Rd => rd = Reg::new(value),
+                RegField::Shamt => shamt = value,
+            }
+        }
+        match op {
+            Operation::R(op) => Instruction::R { op, rs, rt, rd, shamt },
+            Operation::I(op) => Instruction::I {
+                op,
+                rs,
+                rt,
+                imm: imm16.expect("I-format requires imm16"),
+            },
+            Operation::B(op) => Instruction::B {
+                op,
+                rs,
+                imm: imm16.expect("branch requires imm16"),
+            },
+            Operation::J(op) => Instruction::J {
+                op,
+                target: imm26.expect("J-format requires imm26"),
+            },
+        }
+    }
+}
+
+impl RType {
+    fn from_funct(funct: u8) -> Option<Self> {
+        use RType::*;
+        Some(match funct {
+            0x00 => Sll,
+            0x02 => Srl,
+            0x03 => Sra,
+            0x04 => Sllv,
+            0x06 => Srlv,
+            0x07 => Srav,
+            0x08 => Jr,
+            0x09 => Jalr,
+            0x0C => Syscall,
+            0x0D => Break,
+            0x10 => Mfhi,
+            0x11 => Mthi,
+            0x12 => Mflo,
+            0x13 => Mtlo,
+            0x18 => Mult,
+            0x19 => Multu,
+            0x1A => Div,
+            0x1B => Divu,
+            0x20 => Add,
+            0x21 => Addu,
+            0x22 => Sub,
+            0x23 => Subu,
+            0x24 => And,
+            0x25 => Or,
+            0x26 => Xor,
+            0x27 => Nor,
+            0x2A => Slt,
+            0x2B => Sltu,
+            _ => return None,
+        })
+    }
+}
+
+impl IType {
+    fn from_opcode(opcode: u8) -> Option<Self> {
+        use IType::*;
+        Some(match opcode {
+            0x04 => Beq,
+            0x05 => Bne,
+            0x06 => Blez,
+            0x07 => Bgtz,
+            0x08 => Addi,
+            0x09 => Addiu,
+            0x0A => Slti,
+            0x0B => Sltiu,
+            0x0C => Andi,
+            0x0D => Ori,
+            0x0E => Xori,
+            0x0F => Lui,
+            0x20 => Lb,
+            0x21 => Lh,
+            0x22 => Lwl,
+            0x23 => Lw,
+            0x24 => Lbu,
+            0x25 => Lhu,
+            0x26 => Lwr,
+            0x28 => Sb,
+            0x29 => Sh,
+            0x2A => Swl,
+            0x2B => Sw,
+            0x2E => Swr,
+            _ => return None,
+        })
+    }
+}
+
+/// Which architectural field a register-stream byte populates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum RegField {
+    Rs,
+    Rt,
+    Rd,
+    Shamt,
+}
+
+/// What kind of immediate an operation carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ImmKind {
+    /// No immediate field.
+    None,
+    /// 16-bit immediate / branch offset.
+    Imm16,
+    /// 26-bit jump target.
+    Imm26,
+}
+
+/// The paper's *operand length unit*: for a simplified opcode, which
+/// register bytes and which immediate the decompressor must pull from the
+/// operand streams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OperandSpec {
+    /// Register-stream fields in order.
+    pub reg_fields: &'static [RegField],
+    /// Immediate-stream requirement.
+    pub imm: ImmKind,
+}
+
+/// Flattened simplified opcode across all formats — the symbol SADC's
+/// opcode stream and dictionary operate on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Operation {
+    /// R-format operation.
+    R(RType),
+    /// I-format operation.
+    I(IType),
+    /// REGIMM branch.
+    B(RegImm),
+    /// J-format operation.
+    J(JType),
+}
+
+impl Operation {
+    /// Every supported operation, in stable id order.
+    pub const ALL: [Operation; 56] = {
+        use Operation as O;
+        [
+            O::R(RType::Sll),
+            O::R(RType::Srl),
+            O::R(RType::Sra),
+            O::R(RType::Sllv),
+            O::R(RType::Srlv),
+            O::R(RType::Srav),
+            O::R(RType::Jr),
+            O::R(RType::Jalr),
+            O::R(RType::Syscall),
+            O::R(RType::Break),
+            O::R(RType::Mfhi),
+            O::R(RType::Mthi),
+            O::R(RType::Mflo),
+            O::R(RType::Mtlo),
+            O::R(RType::Mult),
+            O::R(RType::Multu),
+            O::R(RType::Div),
+            O::R(RType::Divu),
+            O::R(RType::Add),
+            O::R(RType::Addu),
+            O::R(RType::Sub),
+            O::R(RType::Subu),
+            O::R(RType::And),
+            O::R(RType::Or),
+            O::R(RType::Xor),
+            O::R(RType::Nor),
+            O::R(RType::Slt),
+            O::R(RType::Sltu),
+            O::I(IType::Beq),
+            O::I(IType::Bne),
+            O::I(IType::Blez),
+            O::I(IType::Bgtz),
+            O::I(IType::Addi),
+            O::I(IType::Addiu),
+            O::I(IType::Slti),
+            O::I(IType::Sltiu),
+            O::I(IType::Andi),
+            O::I(IType::Ori),
+            O::I(IType::Xori),
+            O::I(IType::Lui),
+            O::I(IType::Lb),
+            O::I(IType::Lh),
+            O::I(IType::Lwl),
+            O::I(IType::Lw),
+            O::I(IType::Lbu),
+            O::I(IType::Lhu),
+            O::I(IType::Lwr),
+            O::I(IType::Sb),
+            O::I(IType::Sh),
+            O::I(IType::Swl),
+            O::I(IType::Sw),
+            O::I(IType::Swr),
+            O::B(RegImm::Bltz),
+            O::B(RegImm::Bgez),
+            O::J(JType::J),
+            O::J(JType::Jal),
+        ]
+    };
+
+    /// A stable small id for this operation, `0..56`.
+    ///
+    /// Ids index frequency tables in SADC; they are *not* the architectural
+    /// opcode.
+    pub fn id(self) -> u8 {
+        Operation::ALL
+            .iter()
+            .position(|&op| op == self)
+            .expect("every operation is in ALL") as u8
+    }
+
+    /// Recovers an operation from its [`Operation::id`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id >= 56`.
+    pub fn from_id(id: u8) -> Operation {
+        Operation::ALL[usize::from(id)]
+    }
+
+    /// Number of distinct operations.
+    pub const COUNT: usize = 56;
+
+    /// The operand streams this operation draws from.
+    pub fn operand_spec(self) -> OperandSpec {
+        use RegField::*;
+        match self {
+            Operation::R(op) => match op {
+                RType::Sll | RType::Srl | RType::Sra => OperandSpec {
+                    reg_fields: &[Rt, Rd, Shamt],
+                    imm: ImmKind::None,
+                },
+                RType::Sllv | RType::Srlv | RType::Srav => OperandSpec {
+                    reg_fields: &[Rs, Rt, Rd],
+                    imm: ImmKind::None,
+                },
+                RType::Jr | RType::Mthi | RType::Mtlo => OperandSpec {
+                    reg_fields: &[Rs],
+                    imm: ImmKind::None,
+                },
+                RType::Jalr => OperandSpec {
+                    reg_fields: &[Rs, Rd],
+                    imm: ImmKind::None,
+                },
+                RType::Syscall | RType::Break => OperandSpec {
+                    reg_fields: &[],
+                    imm: ImmKind::None,
+                },
+                RType::Mfhi | RType::Mflo => OperandSpec {
+                    reg_fields: &[Rd],
+                    imm: ImmKind::None,
+                },
+                RType::Mult | RType::Multu | RType::Div | RType::Divu => OperandSpec {
+                    reg_fields: &[Rs, Rt],
+                    imm: ImmKind::None,
+                },
+                _ => OperandSpec {
+                    reg_fields: &[Rs, Rt, Rd],
+                    imm: ImmKind::None,
+                },
+            },
+            Operation::I(op) => match op {
+                IType::Lui => OperandSpec {
+                    reg_fields: &[Rt],
+                    imm: ImmKind::Imm16,
+                },
+                IType::Blez | IType::Bgtz => OperandSpec {
+                    reg_fields: &[Rs],
+                    imm: ImmKind::Imm16,
+                },
+                _ => OperandSpec {
+                    reg_fields: &[Rs, Rt],
+                    imm: ImmKind::Imm16,
+                },
+            },
+            Operation::B(_) => OperandSpec {
+                reg_fields: &[Rs],
+                imm: ImmKind::Imm16,
+            },
+            Operation::J(_) => OperandSpec {
+                reg_fields: &[],
+                imm: ImmKind::Imm26,
+            },
+        }
+    }
+}
+
+impl Operation {
+    /// The assembler mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Operation::R(op) => match op {
+                RType::Sll => "sll",
+                RType::Srl => "srl",
+                RType::Sra => "sra",
+                RType::Sllv => "sllv",
+                RType::Srlv => "srlv",
+                RType::Srav => "srav",
+                RType::Jr => "jr",
+                RType::Jalr => "jalr",
+                RType::Syscall => "syscall",
+                RType::Break => "break",
+                RType::Mfhi => "mfhi",
+                RType::Mthi => "mthi",
+                RType::Mflo => "mflo",
+                RType::Mtlo => "mtlo",
+                RType::Mult => "mult",
+                RType::Multu => "multu",
+                RType::Div => "div",
+                RType::Divu => "divu",
+                RType::Add => "add",
+                RType::Addu => "addu",
+                RType::Sub => "sub",
+                RType::Subu => "subu",
+                RType::And => "and",
+                RType::Or => "or",
+                RType::Xor => "xor",
+                RType::Nor => "nor",
+                RType::Slt => "slt",
+                RType::Sltu => "sltu",
+            },
+            Operation::I(op) => match op {
+                IType::Beq => "beq",
+                IType::Bne => "bne",
+                IType::Blez => "blez",
+                IType::Bgtz => "bgtz",
+                IType::Addi => "addi",
+                IType::Addiu => "addiu",
+                IType::Slti => "slti",
+                IType::Sltiu => "sltiu",
+                IType::Andi => "andi",
+                IType::Ori => "ori",
+                IType::Xori => "xori",
+                IType::Lui => "lui",
+                IType::Lb => "lb",
+                IType::Lh => "lh",
+                IType::Lwl => "lwl",
+                IType::Lw => "lw",
+                IType::Lbu => "lbu",
+                IType::Lhu => "lhu",
+                IType::Lwr => "lwr",
+                IType::Sb => "sb",
+                IType::Sh => "sh",
+                IType::Swl => "swl",
+                IType::Sw => "sw",
+                IType::Swr => "swr",
+            },
+            Operation::B(op) => match op {
+                RegImm::Bltz => "bltz",
+                RegImm::Bgez => "bgez",
+            },
+            Operation::J(op) => match op {
+                JType::J => "j",
+                JType::Jal => "jal",
+            },
+        }
+    }
+}
+
+impl fmt::Display for Operation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.mnemonic())
+    }
+}
+
+impl fmt::Display for Instruction {
+    /// Disassembles to conventional MIPS assembler syntax.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == Instruction::nop() {
+            return write!(f, "nop");
+        }
+        let m = self.operation().mnemonic();
+        match *self {
+            Instruction::R { op, rs, rt, rd, shamt } => match op {
+                RType::Sll | RType::Srl | RType::Sra => write!(f, "{m} {rd}, {rt}, {shamt}"),
+                RType::Sllv | RType::Srlv | RType::Srav => write!(f, "{m} {rd}, {rt}, {rs}"),
+                RType::Jr | RType::Mthi | RType::Mtlo => write!(f, "{m} {rs}"),
+                RType::Jalr => write!(f, "{m} {rd}, {rs}"),
+                RType::Syscall | RType::Break => write!(f, "{m}"),
+                RType::Mfhi | RType::Mflo => write!(f, "{m} {rd}"),
+                RType::Mult | RType::Multu | RType::Div | RType::Divu => {
+                    write!(f, "{m} {rs}, {rt}")
+                }
+                _ => write!(f, "{m} {rd}, {rs}, {rt}"),
+            },
+            Instruction::I { op, rs, rt, imm } => match op {
+                IType::Lui => write!(f, "{m} {rt}, {:#x}", imm),
+                IType::Lb
+                | IType::Lh
+                | IType::Lwl
+                | IType::Lw
+                | IType::Lbu
+                | IType::Lhu
+                | IType::Lwr
+                | IType::Sb
+                | IType::Sh
+                | IType::Swl
+                | IType::Sw
+                | IType::Swr => write!(f, "{m} {rt}, {}({rs})", imm as i16),
+                IType::Beq | IType::Bne => write!(f, "{m} {rs}, {rt}, {}", imm as i16),
+                IType::Blez | IType::Bgtz => write!(f, "{m} {rs}, {}", imm as i16),
+                _ => write!(f, "{m} {rt}, {rs}, {}", imm as i16),
+            },
+            Instruction::B { rs, imm, .. } => write!(f, "{m} {rs}, {}", imm as i16),
+            Instruction::J { target, .. } => write!(f, "{m} {:#x}", target << 2),
+        }
+    }
+}
+
+/// Splits a `.text` section of big-endian words into instructions.
+///
+/// # Errors
+///
+/// Returns the first word that fails to decode.  `bytes.len()` must be a
+/// multiple of 4 (trailing partial words are an error too, reported as a
+/// zero-word decode failure).
+pub fn decode_text(bytes: &[u8]) -> Result<Vec<Instruction>, DecodeInstructionError> {
+    if !bytes.len().is_multiple_of(4) {
+        return Err(DecodeInstructionError { word: 0 });
+    }
+    bytes
+        .chunks_exact(4)
+        .map(|c| Instruction::decode(u32::from_be_bytes(c.try_into().expect("chunk of 4"))))
+        .collect()
+}
+
+/// Encodes instructions back to big-endian `.text` bytes.
+pub fn encode_text(instructions: &[Instruction]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(instructions.len() * 4);
+    for insn in instructions {
+        out.extend_from_slice(&insn.encode().to_be_bytes());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_ops() -> impl Iterator<Item = Operation> {
+        (0..Operation::COUNT as u8).map(Operation::from_id)
+    }
+
+    #[test]
+    fn ids_are_stable_and_invertible() {
+        for (i, op) in all_ops().enumerate() {
+            assert_eq!(usize::from(op.id()), i);
+            assert_eq!(Operation::from_id(op.id()), op);
+        }
+    }
+
+    #[test]
+    fn known_encodings() {
+        // addiu $sp, $sp, -8  => 0x27BDFFF8
+        assert_eq!(Instruction::addiu(Reg::SP, Reg::SP, 0xFFF8).encode(), 0x27BD_FFF8);
+        // lw $ra, 4($sp) => 0x8FBF0004
+        assert_eq!(Instruction::lw(Reg::RA, 4, Reg::SP).encode(), 0x8FBF_0004);
+        // jr $ra => 0x03E00008
+        assert_eq!(Instruction::jr(Reg::RA).encode(), 0x03E0_0008);
+        // nop => 0x00000000
+        assert_eq!(Instruction::nop().encode(), 0);
+        // addu $v0, $a0, $a1 => 0x00851021
+        assert_eq!(Instruction::addu(Reg::V0, Reg::A0, Reg::A1).encode(), 0x0085_1021);
+    }
+
+    #[test]
+    fn decode_inverts_encode_for_representative_words() {
+        let samples = [
+            Instruction::nop(),
+            Instruction::jr(Reg::RA),
+            Instruction::addiu(Reg::SP, Reg::SP, 0xFFF8),
+            Instruction::I { op: IType::Lui, rs: Reg::ZERO, rt: Reg::GP, imm: 0x1000 },
+            Instruction::B { op: RegImm::Bgez, rs: Reg::A0, imm: 0x0010 },
+            Instruction::J { op: JType::Jal, target: 0x0012_3456 },
+            Instruction::R { op: RType::Sll, rs: Reg::ZERO, rt: Reg::T0, rd: Reg::T0, shamt: 2 },
+        ];
+        for insn in samples {
+            assert_eq!(Instruction::decode(insn.encode()).unwrap(), insn);
+        }
+    }
+
+    #[test]
+    fn unknown_opcode_is_an_error() {
+        // Opcode 0x3F is unused in MIPS-I.
+        let word = 0x3Fu32 << 26;
+        assert!(Instruction::decode(word).is_err());
+        // SPECIAL with unused funct 0x3F.
+        assert!(Instruction::decode(0x0000_003F).is_err());
+        // REGIMM with rt=5 (unsupported condition).
+        assert!(Instruction::decode(0x01 << 26 | 5 << 16).is_err());
+    }
+
+    #[test]
+    fn operand_specs_match_register_fields() {
+        let insn = Instruction::R {
+            op: RType::Sll,
+            rs: Reg::ZERO,
+            rt: Reg::T0,
+            rd: Reg::V0,
+            shamt: 7,
+        };
+        assert_eq!(insn.register_fields(), vec![8, 2, 7]); // rt, rd, shamt
+        let insn = Instruction::lw(Reg::RA, 4, Reg::SP);
+        assert_eq!(insn.register_fields(), vec![29, 31]); // rs, rt
+        let insn = Instruction::J { op: JType::J, target: 99 };
+        assert!(insn.register_fields().is_empty());
+    }
+
+    #[test]
+    fn assemble_round_trips_every_operation() {
+        for op in all_ops() {
+            let spec = op.operand_spec();
+            let regs: Vec<u8> = (0..spec.reg_fields.len() as u8).map(|i| i + 3).collect();
+            let imm16 = matches!(spec.imm, ImmKind::Imm16).then_some(0xBEEF);
+            let imm26 = matches!(spec.imm, ImmKind::Imm26).then_some(0x12_3456);
+            let insn = Instruction::assemble(op, &regs, imm16, imm26);
+            assert_eq!(insn.operation(), op);
+            assert_eq!(insn.register_fields(), regs);
+            assert_eq!(insn.imm16(), imm16);
+            assert_eq!(insn.imm26(), imm26);
+            // The machine word also survives the trip.
+            assert_eq!(Instruction::decode(insn.encode()).unwrap(), insn);
+        }
+    }
+
+    #[test]
+    fn text_section_round_trips() {
+        let program = vec![
+            Instruction::addiu(Reg::SP, Reg::SP, 0xFFF8),
+            Instruction::sw(Reg::RA, 4, Reg::SP),
+            Instruction::J { op: JType::Jal, target: 0x40 },
+            Instruction::lw(Reg::RA, 4, Reg::SP),
+            Instruction::addiu(Reg::SP, Reg::SP, 8),
+            Instruction::jr(Reg::RA),
+            Instruction::nop(),
+        ];
+        let bytes = encode_text(&program);
+        assert_eq!(bytes.len(), 28);
+        assert_eq!(decode_text(&bytes).unwrap(), program);
+    }
+
+    #[test]
+    fn misaligned_text_is_an_error() {
+        assert!(decode_text(&[0, 0, 0]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn register_range_is_enforced() {
+        let _ = Reg::new(32);
+    }
+
+    #[test]
+    fn register_display() {
+        assert_eq!(Reg::SP.to_string(), "$sp");
+        assert_eq!(Reg::ZERO.to_string(), "$zero");
+        assert_eq!(Reg::new(9).to_string(), "$t1");
+    }
+
+    #[test]
+    fn disassembly_matches_convention() {
+        assert_eq!(Instruction::nop().to_string(), "nop");
+        assert_eq!(
+            Instruction::addiu(Reg::SP, Reg::SP, 0xFFF8).to_string(),
+            "addiu $sp, $sp, -8"
+        );
+        assert_eq!(Instruction::lw(Reg::RA, 4, Reg::SP).to_string(), "lw $ra, 4($sp)");
+        assert_eq!(Instruction::jr(Reg::RA).to_string(), "jr $ra");
+        assert_eq!(
+            Instruction::addu(Reg::V0, Reg::A0, Reg::A1).to_string(),
+            "addu $v0, $a0, $a1"
+        );
+        assert_eq!(
+            Instruction::J { op: JType::Jal, target: 0x100 }.to_string(),
+            "jal 0x400"
+        );
+        assert_eq!(
+            Instruction::I { op: IType::Lui, rs: Reg::ZERO, rt: Reg::GP, imm: 0x1000 }
+                .to_string(),
+            "lui $gp, 0x1000"
+        );
+        assert_eq!(
+            Instruction::B { op: RegImm::Bltz, rs: Reg::A0, imm: 0xFFFE }.to_string(),
+            "bltz $a0, -2"
+        );
+        assert_eq!(
+            Instruction::R { op: RType::Sll, rs: Reg::ZERO, rt: Reg::T0, rd: Reg::V0, shamt: 2 }
+                .to_string(),
+            "sll $v0, $t0, 2"
+        );
+    }
+
+    #[test]
+    fn every_operation_disassembles_without_panicking() {
+        for op in all_ops() {
+            let spec = op.operand_spec();
+            let regs: Vec<u8> = (0..spec.reg_fields.len() as u8).map(|i| i + 2).collect();
+            let imm16 = matches!(spec.imm, ImmKind::Imm16).then_some(12u16);
+            let imm26 = matches!(spec.imm, ImmKind::Imm26).then_some(48u32);
+            let insn = Instruction::assemble(op, &regs, imm16, imm26);
+            let text = insn.to_string();
+            assert!(text.starts_with(op.mnemonic()) || text == "nop", "{op:?}: {text}");
+        }
+    }
+}

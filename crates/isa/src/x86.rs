@@ -1,0 +1,899 @@
+//! IA-32 (Pentium Pro) instruction layout model.
+//!
+//! x86 instructions are variable length, so SAMC cannot cut them into
+//! fixed bit streams; the paper instead forms **three byte streams** per
+//! program — opcode bytes, ModRM+SIB bytes, and displacement+immediate
+//! bytes — and notes that a Pentium decompressor needs no instruction
+//! generator because the streams are plain consecutive bytes.
+//!
+//! [`decode_layout`] is a table-driven length decoder for the common IA-32
+//! subset (all of the one-byte map that compilers emit plus the frequent
+//! two-byte `0F` instructions).  [`split_streams`] applies it across a text
+//! section and [`StreamSplit::reassemble`] restores the original bytes —
+//! the losslessness SADC relies on.
+//!
+//! The [`asm`] module is a small assembler for the same subset; the
+//! synthetic workload generator uses it so every byte the benchmarks
+//! compress is a *decodable* instruction stream.
+
+use std::error::Error;
+use std::fmt;
+
+/// Why layout decoding failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeLayoutError {
+    /// The byte stream ended inside an instruction.
+    Truncated,
+    /// An opcode outside the supported subset.
+    UnknownOpcode {
+        /// Primary opcode byte.
+        opcode: u8,
+        /// Second byte for `0F`-escaped opcodes.
+        second: Option<u8>,
+    },
+    /// The 16-bit address-size override (`0x67`) is outside the model.
+    UnsupportedAddressSize,
+}
+
+impl fmt::Display for DecodeLayoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Truncated => write!(f, "instruction truncated"),
+            Self::UnknownOpcode { opcode, second: None } => {
+                write!(f, "unsupported opcode {opcode:#04x}")
+            }
+            Self::UnknownOpcode { opcode, second: Some(s) } => {
+                write!(f, "unsupported opcode {opcode:#04x} {s:#04x}")
+            }
+            Self::UnsupportedAddressSize => write!(f, "16-bit address size not modelled"),
+        }
+    }
+}
+
+impl Error for DecodeLayoutError {}
+
+/// Byte-level layout of one decoded instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct InstructionLayout {
+    /// Legacy prefix bytes (operand-size, lock, rep, segment).
+    pub prefix_len: u8,
+    /// Opcode bytes (1, or 2 for `0F`-escaped).
+    pub opcode_len: u8,
+    /// 1 if a ModRM byte follows, else 0.
+    pub modrm_len: u8,
+    /// 1 if a SIB byte follows, else 0.
+    pub sib_len: u8,
+    /// Displacement bytes (0, 1 or 4).
+    pub disp_len: u8,
+    /// Immediate bytes (0, 1, 2, 3, 4 or 6).
+    pub imm_len: u8,
+}
+
+impl InstructionLayout {
+    /// Total instruction length in bytes.
+    pub fn total_len(&self) -> usize {
+        usize::from(self.prefix_len)
+            + usize::from(self.opcode_len)
+            + usize::from(self.modrm_len)
+            + usize::from(self.sib_len)
+            + usize::from(self.disp_len)
+            + usize::from(self.imm_len)
+    }
+
+    /// Length of the paper's *opcode stream* contribution
+    /// (prefixes + opcode bytes).
+    pub fn opcode_stream_len(&self) -> usize {
+        usize::from(self.prefix_len) + usize::from(self.opcode_len)
+    }
+
+    /// Length of the *ModRM/SIB stream* contribution.
+    pub fn modrm_stream_len(&self) -> usize {
+        usize::from(self.modrm_len) + usize::from(self.sib_len)
+    }
+
+    /// Length of the *immediate/displacement stream* contribution.
+    pub fn imm_stream_len(&self) -> usize {
+        usize::from(self.disp_len) + usize::from(self.imm_len)
+    }
+}
+
+/// Immediate encoding class of an opcode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Imm {
+    None,
+    /// 8-bit immediate (or rel8).
+    B,
+    /// 16-bit immediate.
+    W,
+    /// 16/32-bit immediate depending on the operand-size prefix (or rel32).
+    V,
+    /// 48-bit far pointer.
+    Far,
+    /// `enter`: imm16 + imm8.
+    Enter,
+    /// 32-bit moffs (mov AL/eAX, [moffs]).
+    Moffs,
+    /// Group 3 (`F6`/`F7`): immediate only for the TEST forms (/0, /1).
+    Group3B,
+    Group3V,
+}
+
+/// One-byte opcode table entry: `(has_modrm, imm)`.
+fn one_byte_spec(op: u8) -> Result<(bool, Imm), DecodeLayoutError> {
+    use Imm::*;
+    Ok(match op {
+        // ALU block (add/or/adc/sbb/and/sub/xor/cmp) plus the interleaved
+        // push/pop-segment and BCD-adjust singles.  Segment prefixes and the
+        // 0x0F escape never reach this table — the caller consumes them.
+        0x00..=0x3F => match op & 0x07 {
+            0x00..=0x03 => (true, None),
+            0x04 => (false, B),
+            0x05 => (false, V),
+            _ => (false, None),
+        },
+        0x40..=0x5F => (false, None), // inc/dec/push/pop r32
+        0x60 | 0x61 => (false, None), // pusha/popa
+        0x62 | 0x63 => (true, None),  // bound/arpl
+        0x68 => (false, V),           // push imm32
+        0x69 => (true, V),            // imul r, rm, imm32
+        0x6A => (false, B),           // push imm8
+        0x6B => (true, B),            // imul r, rm, imm8
+        0x6C..=0x6F => (false, None), // ins/outs
+        0x70..=0x7F => (false, B),    // jcc rel8
+        0x80 | 0x82 | 0x83 => (true, B), // ALU group, imm8
+        0x81 => (true, V),            // ALU group, imm32
+        0x84..=0x8F => (true, None),  // test/xchg/mov/lea/mov-seg/pop
+        0x90..=0x99 => (false, None), // nop/xchg/cbw/cdq
+        0x9A => (false, Far),         // call far
+        0x9B..=0x9F => (false, None), // wait/pushf/popf/sahf/lahf
+        0xA0..=0xA3 => (false, Moffs),
+        0xA4..=0xA7 => (false, None), // movs/cmps
+        0xA8 => (false, B),           // test al, imm8
+        0xA9 => (false, V),           // test eax, imm32
+        0xAA..=0xAF => (false, None), // stos/lods/scas
+        0xB0..=0xB7 => (false, B),    // mov r8, imm8
+        0xB8..=0xBF => (false, V),    // mov r32, imm32
+        0xC0 | 0xC1 => (true, B),     // shift group, imm8
+        0xC2 => (false, W),           // ret imm16
+        0xC3 => (false, None),        // ret
+        0xC4 | 0xC5 => (true, None),  // les/lds
+        0xC6 => (true, B),            // mov rm8, imm8
+        0xC7 => (true, V),            // mov rm32, imm32
+        0xC8 => (false, Enter),       // enter imm16, imm8
+        0xC9 => (false, None),        // leave
+        0xCA => (false, W),           // retf imm16
+        0xCB | 0xCC => (false, None), // retf / int3
+        0xCD => (false, B),           // int imm8
+        0xCE | 0xCF => (false, None), // into / iret
+        0xD0..=0xD3 => (true, None),  // shift groups by 1 / cl
+        0xD4 | 0xD5 => (false, B),    // aam/aad
+        0xD6 | 0xD7 => (false, None), // salc/xlat
+        0xD8..=0xDF => (true, None),  // x87 escape
+        0xE0..=0xE7 => (false, B),    // loop/jcxz/in/out imm8
+        0xE8 | 0xE9 => (false, V),    // call/jmp rel32
+        0xEA => (false, Far),         // jmp far
+        0xEB => (false, B),           // jmp rel8
+        0xEC..=0xEF => (false, None), // in/out dx
+        0xF1 | 0xF4 | 0xF5 => (false, None),
+        0xF6 => (true, Group3B),
+        0xF7 => (true, Group3V),
+        0xF8..=0xFD => (false, None), // flag ops
+        0xFE | 0xFF => (true, None),  // inc/dec/call/jmp/push groups
+        _ => {
+            return Err(DecodeLayoutError::UnknownOpcode { opcode: op, second: Option::None })
+        }
+    })
+}
+
+/// Two-byte (`0F xx`) opcode table entry.
+fn two_byte_spec(op: u8) -> Result<(bool, Imm), DecodeLayoutError> {
+    use Imm::*;
+    Ok(match op {
+        0x1F => (true, None),         // multi-byte nop
+        0x31 => (false, None),        // rdtsc
+        0x40..=0x4F => (true, None),  // cmovcc
+        0x80..=0x8F => (false, V),    // jcc rel32
+        0x90..=0x9F => (true, None),  // setcc
+        0xA2 => (false, None),        // cpuid
+        0xA3 | 0xA5 | 0xAB | 0xAD | 0xAF => (true, None), // bt/shld/bts/shrd/imul
+        0xA4 | 0xAC => (true, B),     // shld/shrd imm8
+        0xB0 | 0xB1 => (true, None),  // cmpxchg
+        0xB6 | 0xB7 | 0xBE | 0xBF => (true, None), // movzx/movsx
+        0xC0 | 0xC1 => (true, None),  // xadd
+        0xC8..=0xCF => (false, None), // bswap
+        _ => {
+            return Err(DecodeLayoutError::UnknownOpcode { opcode: 0x0F, second: Some(op) })
+        }
+    })
+}
+
+fn is_prefix(b: u8) -> bool {
+    matches!(b, 0x26 | 0x2E | 0x36 | 0x3E | 0x64 | 0x65 | 0x66 | 0x67 | 0xF0 | 0xF2 | 0xF3)
+}
+
+/// Decodes the byte-level layout of the instruction starting at `bytes[0]`.
+///
+/// # Errors
+///
+/// * [`DecodeLayoutError::Truncated`] if the slice ends mid-instruction.
+/// * [`DecodeLayoutError::UnknownOpcode`] outside the supported subset.
+/// * [`DecodeLayoutError::UnsupportedAddressSize`] on a `0x67` prefix.
+pub fn decode_layout(bytes: &[u8]) -> Result<InstructionLayout, DecodeLayoutError> {
+    let mut i = 0usize;
+    let mut operand_size_16 = false;
+    while i < bytes.len() && is_prefix(bytes[i]) {
+        if bytes[i] == 0x67 {
+            return Err(DecodeLayoutError::UnsupportedAddressSize);
+        }
+        if bytes[i] == 0x66 {
+            operand_size_16 = true;
+        }
+        i += 1;
+        if i > 4 {
+            break; // architectural prefix limit for our subset
+        }
+    }
+    let prefix_len = i as u8;
+    let op = *bytes.get(i).ok_or(DecodeLayoutError::Truncated)?;
+    i += 1;
+
+    let (opcode_len, has_modrm, imm) = if op == 0x0F {
+        let second = *bytes.get(i).ok_or(DecodeLayoutError::Truncated)?;
+        i += 1;
+        let (m, imm) = two_byte_spec(second)?;
+        (2u8, m, imm)
+    } else {
+        let (m, imm) = one_byte_spec(op)?;
+        (1u8, m, imm)
+    };
+
+    let mut modrm_len = 0u8;
+    let mut sib_len = 0u8;
+    let mut disp_len = 0u8;
+    let mut group3_reg = 0u8;
+    if has_modrm {
+        let modrm = *bytes.get(i).ok_or(DecodeLayoutError::Truncated)?;
+        i += 1;
+        modrm_len = 1;
+        group3_reg = modrm >> 3 & 0x07;
+        let mode = modrm >> 6;
+        let rm = modrm & 0x07;
+        if mode != 0b11 {
+            if rm == 0b100 {
+                let sib = *bytes.get(i).ok_or(DecodeLayoutError::Truncated)?;
+                sib_len = 1;
+                if mode == 0b00 && sib & 0x07 == 0b101 {
+                    disp_len = 4; // SIB with no base: disp32
+                }
+            }
+            match mode {
+                0b00 => {
+                    if rm == 0b101 {
+                        disp_len = 4;
+                    }
+                }
+                0b01 => disp_len = 1,
+                0b10 => disp_len = 4,
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    let v_len: u8 = if operand_size_16 { 2 } else { 4 };
+    let imm_len = match imm {
+        Imm::None => 0,
+        Imm::B => 1,
+        Imm::W => 2,
+        Imm::V => v_len,
+        Imm::Far => 6,
+        Imm::Enter => 3,
+        Imm::Moffs => 4,
+        Imm::Group3B => {
+            if group3_reg <= 1 {
+                1
+            } else {
+                0
+            }
+        }
+        Imm::Group3V => {
+            if group3_reg <= 1 {
+                v_len
+            } else {
+                0
+            }
+        }
+    };
+
+    let layout = InstructionLayout {
+        prefix_len,
+        opcode_len,
+        modrm_len,
+        sib_len,
+        disp_len,
+        imm_len,
+    };
+    if layout.total_len() > bytes.len() {
+        return Err(DecodeLayoutError::Truncated);
+    }
+    Ok(layout)
+}
+
+/// Progress of an incremental layout computation (see
+/// [`progressive_layout`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LayoutProgress {
+    /// A ModRM byte is required before lengths are known.
+    NeedModrm,
+    /// A SIB byte is required (ModRM said so).
+    NeedSib,
+    /// All lengths are now known.
+    Complete(InstructionLayout),
+}
+
+/// Computes an instruction's layout incrementally, for decompressors that
+/// hold the opcode bytes and the ModRM/SIB bytes in *separate* streams
+/// (SADC's Pentium decoder).
+///
+/// `prefix_opcode` must be the complete prefix+opcode byte string of one
+/// instruction.  Call with `modrm = None` first; if the result is
+/// [`LayoutProgress::NeedModrm`], pull one byte from the ModRM stream and
+/// call again; likewise for [`LayoutProgress::NeedSib`].  On
+/// [`LayoutProgress::Complete`], `disp_len + imm_len` bytes remain to be
+/// pulled from the displacement/immediate stream.
+///
+/// # Errors
+///
+/// Same conditions as [`decode_layout`].
+pub fn progressive_layout(
+    prefix_opcode: &[u8],
+    modrm: Option<u8>,
+    sib: Option<u8>,
+) -> Result<LayoutProgress, DecodeLayoutError> {
+    let mut i = 0usize;
+    let mut operand_size_16 = false;
+    while i < prefix_opcode.len() && is_prefix(prefix_opcode[i]) {
+        if prefix_opcode[i] == 0x67 {
+            return Err(DecodeLayoutError::UnsupportedAddressSize);
+        }
+        if prefix_opcode[i] == 0x66 {
+            operand_size_16 = true;
+        }
+        i += 1;
+    }
+    let prefix_len = i as u8;
+    let op = *prefix_opcode.get(i).ok_or(DecodeLayoutError::Truncated)?;
+    i += 1;
+    let (opcode_len, has_modrm, imm) = if op == 0x0F {
+        let second = *prefix_opcode.get(i).ok_or(DecodeLayoutError::Truncated)?;
+        let (m, imm) = two_byte_spec(second)?;
+        (2u8, m, imm)
+    } else {
+        let (m, imm) = one_byte_spec(op)?;
+        (1u8, m, imm)
+    };
+
+    let mut modrm_len = 0u8;
+    let mut sib_len = 0u8;
+    let mut disp_len = 0u8;
+    let mut group3_reg = 0u8;
+    if has_modrm {
+        let Some(modrm) = modrm else {
+            return Ok(LayoutProgress::NeedModrm);
+        };
+        modrm_len = 1;
+        group3_reg = modrm >> 3 & 0x07;
+        let mode = modrm >> 6;
+        let rm = modrm & 0x07;
+        if mode != 0b11 {
+            if rm == 0b100 {
+                let Some(sib) = sib else {
+                    return Ok(LayoutProgress::NeedSib);
+                };
+                sib_len = 1;
+                if mode == 0b00 && sib & 0x07 == 0b101 {
+                    disp_len = 4;
+                }
+            }
+            match mode {
+                0b00 => {
+                    if rm == 0b101 {
+                        disp_len = 4;
+                    }
+                }
+                0b01 => disp_len = 1,
+                0b10 => disp_len = 4,
+                _ => unreachable!(),
+            }
+        }
+    }
+    let v_len: u8 = if operand_size_16 { 2 } else { 4 };
+    let imm_len = match imm {
+        Imm::None => 0,
+        Imm::B => 1,
+        Imm::W => 2,
+        Imm::V => v_len,
+        Imm::Far => 6,
+        Imm::Enter => 3,
+        Imm::Moffs => 4,
+        Imm::Group3B => u8::from(group3_reg <= 1),
+        Imm::Group3V => {
+            if group3_reg <= 1 {
+                v_len
+            } else {
+                0
+            }
+        }
+    };
+    Ok(LayoutProgress::Complete(InstructionLayout {
+        prefix_len,
+        opcode_len,
+        modrm_len,
+        sib_len,
+        disp_len,
+        imm_len,
+    }))
+}
+
+/// A text section split into the paper's three Pentium streams.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StreamSplit {
+    /// Prefix + opcode bytes of every instruction, concatenated.
+    pub opcode: Vec<u8>,
+    /// ModRM + SIB bytes.
+    pub modrm_sib: Vec<u8>,
+    /// Displacement + immediate bytes.
+    pub imm_disp: Vec<u8>,
+    /// Per-instruction layouts, in order — the metadata the decompressor's
+    /// control logic derives from the opcode stream.
+    pub layouts: Vec<InstructionLayout>,
+}
+
+impl StreamSplit {
+    /// Total bytes across all three streams (equals the original text size).
+    pub fn total_len(&self) -> usize {
+        self.opcode.len() + self.modrm_sib.len() + self.imm_disp.len()
+    }
+
+    /// Reassembles the original text section — the x86 analogue of the
+    /// paper's instruction generator.
+    pub fn reassemble(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.total_len());
+        let (mut o, mut m, mut d) = (0usize, 0usize, 0usize);
+        for layout in &self.layouts {
+            let ol = layout.opcode_stream_len();
+            out.extend_from_slice(&self.opcode[o..o + ol]);
+            o += ol;
+            let ml = layout.modrm_stream_len();
+            out.extend_from_slice(&self.modrm_sib[m..m + ml]);
+            m += ml;
+            let dl = layout.imm_stream_len();
+            out.extend_from_slice(&self.imm_disp[d..d + dl]);
+            d += dl;
+        }
+        out
+    }
+}
+
+/// Splits `text` into the three Pentium streams.
+///
+/// # Errors
+///
+/// Returns the offset and cause of the first undecodable instruction.
+pub fn split_streams(text: &[u8]) -> Result<StreamSplit, (usize, DecodeLayoutError)> {
+    let mut split = StreamSplit::default();
+    let mut i = 0usize;
+    while i < text.len() {
+        let layout = decode_layout(&text[i..]).map_err(|e| (i, e))?;
+        let mut j = i;
+        let ol = layout.opcode_stream_len();
+        split.opcode.extend_from_slice(&text[j..j + ol]);
+        j += ol;
+        let ml = layout.modrm_stream_len();
+        split.modrm_sib.extend_from_slice(&text[j..j + ml]);
+        j += ml;
+        let dl = layout.imm_stream_len();
+        split.imm_disp.extend_from_slice(&text[j..j + dl]);
+        j += dl;
+        split.layouts.push(layout);
+        i = j;
+    }
+    Ok(split)
+}
+
+pub mod asm {
+    //! A small IA-32 assembler covering the subset [`decode_layout`]
+    //! understands; the synthetic workload generator builds programs from
+    //! these so every generated byte stream is decodable.
+    //!
+    //! [`decode_layout`]: super::decode_layout
+
+    /// 32-bit register numbers (eax=0 .. edi=7).
+    #[allow(missing_docs)]
+    pub mod reg {
+        pub const EAX: u8 = 0;
+        pub const ECX: u8 = 1;
+        pub const EDX: u8 = 2;
+        pub const EBX: u8 = 3;
+        pub const ESP: u8 = 4;
+        pub const EBP: u8 = 5;
+        pub const ESI: u8 = 6;
+        pub const EDI: u8 = 7;
+    }
+
+    /// ALU operation selector for the `00`–`3B` block and `80`/`81`/`83` groups.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    #[allow(missing_docs)]
+    pub enum Alu {
+        Add = 0,
+        Or = 1,
+        Adc = 2,
+        Sbb = 3,
+        And = 4,
+        Sub = 5,
+        Xor = 6,
+        Cmp = 7,
+    }
+
+    /// Condition codes for `jcc`/`setcc`.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    #[allow(missing_docs)]
+    pub enum Cc {
+        O = 0x0,
+        No = 0x1,
+        B = 0x2,
+        Ae = 0x3,
+        E = 0x4,
+        Ne = 0x5,
+        Be = 0x6,
+        A = 0x7,
+        S = 0x8,
+        Ns = 0x9,
+        P = 0xA,
+        Np = 0xB,
+        L = 0xC,
+        Ge = 0xD,
+        Le = 0xE,
+        G = 0xF,
+    }
+
+    fn modrm(mode: u8, reg: u8, rm: u8) -> u8 {
+        mode << 6 | (reg & 7) << 3 | (rm & 7)
+    }
+
+    /// ModRM (+ optional SIB) for `[base + disp8]` addressing.
+    fn mem_disp8(reg: u8, base: u8, out: &mut Vec<u8>) {
+        out.push(modrm(0b01, reg, base));
+        if base == reg::ESP {
+            out.push(0x24); // SIB: scale 0, no index, base esp
+        }
+    }
+
+    /// `mov r32, imm32`.
+    pub fn mov_r_imm(r: u8, imm: u32) -> Vec<u8> {
+        let mut v = vec![0xB8 + (r & 7)];
+        v.extend_from_slice(&imm.to_le_bytes());
+        v
+    }
+
+    /// `mov dst, src` (register to register).
+    pub fn mov_rr(dst: u8, src: u8) -> Vec<u8> {
+        vec![0x89, modrm(0b11, src, dst)]
+    }
+
+    /// `mov r16, imm16` (with the operand-size override prefix).
+    pub fn mov_r16_imm16(r: u8, imm: u16) -> Vec<u8> {
+        let mut v = vec![0x66, 0xB8 + (r & 7)];
+        v.extend_from_slice(&imm.to_le_bytes());
+        v
+    }
+
+    /// `add r16, imm16` (`66 81 /0`).
+    pub fn add_r16_imm16(r: u8, imm: u16) -> Vec<u8> {
+        let mut v = vec![0x66, 0x81, modrm(0b11, 0, r)];
+        v.extend_from_slice(&imm.to_le_bytes());
+        v
+    }
+
+    /// `mov dst, [base + disp8]`.
+    pub fn mov_load(dst: u8, base: u8, disp: i8) -> Vec<u8> {
+        let mut v = vec![0x8B];
+        mem_disp8(dst, base, &mut v);
+        v.push(disp as u8);
+        v
+    }
+
+    /// `mov [base + disp8], src`.
+    pub fn mov_store(base: u8, disp: i8, src: u8) -> Vec<u8> {
+        let mut v = vec![0x89];
+        mem_disp8(src, base, &mut v);
+        v.push(disp as u8);
+        v
+    }
+
+    /// `push r32`.
+    pub fn push_r(r: u8) -> Vec<u8> {
+        vec![0x50 + (r & 7)]
+    }
+
+    /// `pop r32`.
+    pub fn pop_r(r: u8) -> Vec<u8> {
+        vec![0x58 + (r & 7)]
+    }
+
+    /// `push imm8` (sign-extended).
+    pub fn push_imm8(imm: i8) -> Vec<u8> {
+        vec![0x6A, imm as u8]
+    }
+
+    /// ALU `op dst, src` (register forms, e.g. `add eax, ecx`).
+    pub fn alu_rr(op: Alu, dst: u8, src: u8) -> Vec<u8> {
+        vec![(op as u8) << 3 | 0x01, modrm(0b11, src, dst)]
+    }
+
+    /// ALU `op r32, imm8` (the compiler-favoured `83 /op` form).
+    pub fn alu_r_imm8(op: Alu, r: u8, imm: i8) -> Vec<u8> {
+        vec![0x83, modrm(0b11, op as u8, r), imm as u8]
+    }
+
+    /// ALU `op r32, imm32`.
+    pub fn alu_r_imm32(op: Alu, r: u8, imm: u32) -> Vec<u8> {
+        let mut v = vec![0x81, modrm(0b11, op as u8, r)];
+        v.extend_from_slice(&imm.to_le_bytes());
+        v
+    }
+
+    /// `test r32, r32`.
+    pub fn test_rr(a: u8, b: u8) -> Vec<u8> {
+        vec![0x85, modrm(0b11, b, a)]
+    }
+
+    /// `jcc rel8`.
+    pub fn jcc_rel8(cc: Cc, rel: i8) -> Vec<u8> {
+        vec![0x70 + cc as u8, rel as u8]
+    }
+
+    /// `jcc rel32` (the `0F 8x` long form).
+    pub fn jcc_rel32(cc: Cc, rel: i32) -> Vec<u8> {
+        let mut v = vec![0x0F, 0x80 + cc as u8];
+        v.extend_from_slice(&rel.to_le_bytes());
+        v
+    }
+
+    /// `jmp rel8`.
+    pub fn jmp_rel8(rel: i8) -> Vec<u8> {
+        vec![0xEB, rel as u8]
+    }
+
+    /// `jmp rel32`.
+    pub fn jmp_rel32(rel: i32) -> Vec<u8> {
+        let mut v = vec![0xE9];
+        v.extend_from_slice(&rel.to_le_bytes());
+        v
+    }
+
+    /// `call rel32`.
+    pub fn call_rel32(rel: i32) -> Vec<u8> {
+        let mut v = vec![0xE8];
+        v.extend_from_slice(&rel.to_le_bytes());
+        v
+    }
+
+    /// `ret`.
+    pub fn ret() -> Vec<u8> {
+        vec![0xC3]
+    }
+
+    /// `leave`.
+    pub fn leave() -> Vec<u8> {
+        vec![0xC9]
+    }
+
+    /// `nop`.
+    pub fn nop() -> Vec<u8> {
+        vec![0x90]
+    }
+
+    /// `inc r32`.
+    pub fn inc_r(r: u8) -> Vec<u8> {
+        vec![0x40 + (r & 7)]
+    }
+
+    /// `dec r32`.
+    pub fn dec_r(r: u8) -> Vec<u8> {
+        vec![0x48 + (r & 7)]
+    }
+
+    /// `imul dst, src` (`0F AF /r`).
+    pub fn imul_rr(dst: u8, src: u8) -> Vec<u8> {
+        vec![0x0F, 0xAF, modrm(0b11, dst, src)]
+    }
+
+    /// `movzx dst, src8` (`0F B6 /r`).
+    pub fn movzx_rr8(dst: u8, src: u8) -> Vec<u8> {
+        vec![0x0F, 0xB6, modrm(0b11, dst, src)]
+    }
+
+    /// `shl r32, imm8` (`C1 /4`).
+    pub fn shl_r_imm8(r: u8, imm: u8) -> Vec<u8> {
+        vec![0xC1, modrm(0b11, 4, r), imm]
+    }
+
+    /// `lea dst, [base + disp8]`.
+    pub fn lea(dst: u8, base: u8, disp: i8) -> Vec<u8> {
+        let mut v = vec![0x8D];
+        mem_disp8(dst, base, &mut v);
+        v.push(disp as u8);
+        v
+    }
+
+    /// `cmp r32, r32`.
+    pub fn cmp_rr(a: u8, b: u8) -> Vec<u8> {
+        alu_rr(Alu::Cmp, a, b)
+    }
+
+    /// `setcc r8` (`0F 9x /0`).
+    pub fn setcc(cc: Cc, r: u8) -> Vec<u8> {
+        vec![0x0F, 0x90 + cc as u8, modrm(0b11, 0, r)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::asm::{self, reg, Alu, Cc};
+    use super::*;
+
+    fn layout_of(bytes: &[u8]) -> InstructionLayout {
+        decode_layout(bytes).unwrap()
+    }
+
+    #[test]
+    fn simple_lengths() {
+        assert_eq!(layout_of(&asm::nop()).total_len(), 1);
+        assert_eq!(layout_of(&asm::ret()).total_len(), 1);
+        assert_eq!(layout_of(&asm::push_r(reg::EBP)).total_len(), 1);
+        assert_eq!(layout_of(&asm::mov_r_imm(reg::EAX, 42)).total_len(), 5);
+        assert_eq!(layout_of(&asm::mov_rr(reg::EAX, reg::EBX)).total_len(), 2);
+        assert_eq!(layout_of(&asm::call_rel32(-100)).total_len(), 5);
+        assert_eq!(layout_of(&asm::jcc_rel8(Cc::Ne, 4)).total_len(), 2);
+        assert_eq!(layout_of(&asm::jcc_rel32(Cc::E, 1000)).total_len(), 6);
+    }
+
+    #[test]
+    fn modrm_addressing_lengths() {
+        // mov eax, [ebp - 4]: opcode + modrm + disp8 = 3.
+        let l = layout_of(&asm::mov_load(reg::EAX, reg::EBP, -4));
+        assert_eq!((l.modrm_len, l.sib_len, l.disp_len), (1, 1 - 1, 1));
+        assert_eq!(l.total_len(), 3);
+        // mov eax, [esp + 8] needs a SIB byte: 4 total.
+        let l = layout_of(&asm::mov_load(reg::EAX, reg::ESP, 8));
+        assert_eq!((l.modrm_len, l.sib_len, l.disp_len), (1, 1, 1));
+        assert_eq!(l.total_len(), 4);
+    }
+
+    #[test]
+    fn disp32_forms() {
+        // mod=00 rm=101: [disp32].
+        let l = layout_of(&[0x8B, 0x05, 1, 2, 3, 4]);
+        assert_eq!(l.disp_len, 4);
+        assert_eq!(l.total_len(), 6);
+        // mod=00 rm=100 with SIB base=101: [index*scale + disp32].
+        let l = layout_of(&[0x8B, 0x04, 0x8D, 1, 2, 3, 4]);
+        assert_eq!((l.sib_len, l.disp_len), (1, 4));
+        assert_eq!(l.total_len(), 7);
+    }
+
+    #[test]
+    fn operand_size_prefix_shrinks_immediates() {
+        // 66 B8 imm16: mov ax, imm16 — 4 bytes.
+        let l = layout_of(&[0x66, 0xB8, 0x34, 0x12]);
+        assert_eq!(l.prefix_len, 1);
+        assert_eq!(l.imm_len, 2);
+        assert_eq!(l.total_len(), 4);
+    }
+
+    #[test]
+    fn group3_immediates_depend_on_reg_field() {
+        // F7 /0 (test rm32, imm32): has imm.
+        let l = layout_of(&[0xF7, 0xC0, 1, 2, 3, 4]);
+        assert_eq!(l.imm_len, 4);
+        // F7 /3 (neg rm32): no imm.
+        let l = layout_of(&[0xF7, 0xD8]);
+        assert_eq!(l.imm_len, 0);
+        assert_eq!(l.total_len(), 2);
+    }
+
+    #[test]
+    fn unknown_and_truncated_errors() {
+        assert!(matches!(
+            decode_layout(&[0x0F, 0x06]),
+            Err(DecodeLayoutError::UnknownOpcode { opcode: 0x0F, second: Some(0x06) })
+        ));
+        assert_eq!(decode_layout(&[]).unwrap_err(), DecodeLayoutError::Truncated);
+        assert_eq!(decode_layout(&[0xB8, 1, 2]).unwrap_err(), DecodeLayoutError::Truncated);
+        assert_eq!(
+            decode_layout(&[0x67, 0x8B, 0x05]).unwrap_err(),
+            DecodeLayoutError::UnsupportedAddressSize
+        );
+    }
+
+    #[test]
+    fn stream_split_round_trips_a_function() {
+        let mut text = Vec::new();
+        text.extend(asm::push_r(reg::EBP));
+        text.extend(asm::mov_rr(reg::EBP, reg::ESP));
+        text.extend(asm::mov_load(reg::EAX, reg::EBP, 8));
+        text.extend(asm::alu_r_imm8(Alu::Add, reg::EAX, 1));
+        text.extend(asm::cmp_rr(reg::EAX, reg::ECX));
+        text.extend(asm::jcc_rel8(Cc::L, -9));
+        text.extend(asm::imul_rr(reg::EAX, reg::ECX));
+        text.extend(asm::mov_store(reg::EBP, -4, reg::EAX));
+        text.extend(asm::leave());
+        text.extend(asm::ret());
+
+        let split = split_streams(&text).unwrap();
+        assert_eq!(split.total_len(), text.len());
+        assert_eq!(split.reassemble(), text);
+        assert_eq!(split.layouts.len(), 10);
+    }
+
+    #[test]
+    fn stream_partition_is_exact() {
+        let mut text = Vec::new();
+        text.extend(asm::mov_r_imm(reg::ESI, 0xDEADBEEF));
+        text.extend(asm::mov_load(reg::EDI, reg::ESP, 16));
+        text.extend(asm::setcc(Cc::G, reg::EAX));
+        let split = split_streams(&text).unwrap();
+        // mov_r_imm: 1 opcode + 4 imm; mov_load(esp): 1 + 2 modrm/sib + 1 disp;
+        // setcc: 2 opcode + 1 modrm.
+        assert_eq!(split.opcode.len(), 1 + 1 + 2);
+        assert_eq!(split.modrm_sib.len(), 2 + 1);
+        assert_eq!(split.imm_disp.len(), (4 + 1));
+    }
+
+    #[test]
+    fn split_reports_error_offset() {
+        let mut text = asm::nop();
+        text.push(0x0F);
+        text.push(0x06); // unsupported two-byte opcode
+        let (offset, _) = split_streams(&text).unwrap_err();
+        assert_eq!(offset, 1);
+    }
+
+    #[test]
+    fn every_assembler_output_is_decodable() {
+        let cases: Vec<Vec<u8>> = vec![
+            asm::mov_r_imm(reg::EDX, 7),
+            asm::mov_r16_imm16(reg::EAX, 0x1234),
+            asm::add_r16_imm16(reg::ECX, 0x0100),
+            asm::mov_rr(reg::EBX, reg::ECX),
+            asm::mov_load(reg::EAX, reg::EBP, -12),
+            asm::mov_store(reg::ESP, 4, reg::ESI),
+            asm::push_r(reg::EDI),
+            asm::pop_r(reg::EDI),
+            asm::push_imm8(-1),
+            asm::alu_rr(Alu::Sub, reg::EAX, reg::EBX),
+            asm::alu_r_imm8(Alu::And, reg::ECX, 0x0F),
+            asm::alu_r_imm32(Alu::Xor, reg::EDX, 0x12345678),
+            asm::test_rr(reg::EAX, reg::EAX),
+            asm::jcc_rel8(Cc::E, 2),
+            asm::jcc_rel32(Cc::Ns, -64),
+            asm::jmp_rel8(5),
+            asm::jmp_rel32(1024),
+            asm::call_rel32(-2048),
+            asm::ret(),
+            asm::leave(),
+            asm::nop(),
+            asm::inc_r(reg::EAX),
+            asm::dec_r(reg::EBX),
+            asm::imul_rr(reg::ESI, reg::EDI),
+            asm::movzx_rr8(reg::EAX, reg::ECX),
+            asm::shl_r_imm8(reg::EDX, 3),
+            asm::lea(reg::EAX, reg::EBP, -8),
+            asm::setcc(Cc::Le, reg::ECX),
+        ];
+        for bytes in cases {
+            let layout = decode_layout(&bytes).unwrap_or_else(|e| panic!("{bytes:02x?}: {e}"));
+            assert_eq!(layout.total_len(), bytes.len(), "{bytes:02x?}");
+        }
+    }
+}

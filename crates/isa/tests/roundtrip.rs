@@ -1,0 +1,146 @@
+//! Property tests: instruction models are lossless.
+
+use cce_isa::mips::{self, ImmKind, Instruction, Operation};
+use cce_isa::x86::{asm, split_streams};
+use proptest::prelude::*;
+
+fn mips_instruction() -> impl Strategy<Value = Instruction> {
+    (
+        0u8..Operation::COUNT as u8,
+        prop::collection::vec(0u8..32, 4),
+        any::<u16>(),
+        0u32..1 << 26,
+    )
+        .prop_map(|(id, regs, imm16, imm26)| {
+            let op = Operation::from_id(id);
+            let spec = op.operand_spec();
+            let regs = &regs[..spec.reg_fields.len()];
+            let imm16 = matches!(spec.imm, ImmKind::Imm16).then_some(imm16);
+            let imm26 = matches!(spec.imm, ImmKind::Imm26).then_some(imm26);
+            Instruction::assemble(op, regs, imm16, imm26)
+        })
+}
+
+fn x86_instruction() -> impl Strategy<Value = Vec<u8>> {
+    let r = 0u8..8;
+    let r2 = 0u8..8;
+    let alu = prop_oneof![
+        Just(asm::Alu::Add),
+        Just(asm::Alu::Sub),
+        Just(asm::Alu::And),
+        Just(asm::Alu::Or),
+        Just(asm::Alu::Xor),
+        Just(asm::Alu::Cmp),
+    ];
+    let cc = prop_oneof![
+        Just(asm::Cc::E),
+        Just(asm::Cc::Ne),
+        Just(asm::Cc::L),
+        Just(asm::Cc::Ge),
+        Just(asm::Cc::G),
+        Just(asm::Cc::Le),
+    ];
+    prop_oneof![
+        (r.clone(), any::<u32>()).prop_map(|(a, i)| asm::mov_r_imm(a, i)),
+        (r.clone(), r2.clone()).prop_map(|(a, b)| asm::mov_rr(a, b)),
+        (r.clone(), r2.clone(), any::<i8>()).prop_map(|(a, b, d)| asm::mov_load(a, b, d)),
+        (r.clone(), any::<i8>(), r2.clone()).prop_map(|(a, d, b)| asm::mov_store(a, d, b)),
+        r.clone().prop_map(asm::push_r),
+        r.clone().prop_map(asm::pop_r),
+        (alu.clone(), r.clone(), r2.clone()).prop_map(|(op, a, b)| asm::alu_rr(op, a, b)),
+        (alu.clone(), r.clone(), any::<i8>()).prop_map(|(op, a, i)| asm::alu_r_imm8(op, a, i)),
+        (alu, r.clone(), any::<u32>()).prop_map(|(op, a, i)| asm::alu_r_imm32(op, a, i)),
+        (cc.clone(), any::<i8>()).prop_map(|(c, d)| asm::jcc_rel8(c, d)),
+        (cc.clone(), any::<i32>()).prop_map(|(c, d)| asm::jcc_rel32(c, d)),
+        (cc, r.clone()).prop_map(|(c, a)| asm::setcc(c, a)),
+        any::<i32>().prop_map(asm::call_rel32),
+        any::<i32>().prop_map(asm::jmp_rel32),
+        Just(asm::ret()),
+        Just(asm::leave()),
+        Just(asm::nop()),
+        r.clone().prop_map(asm::inc_r),
+        r.clone().prop_map(asm::dec_r),
+        (r.clone(), r2.clone()).prop_map(|(a, b)| asm::imul_rr(a, b)),
+        (r.clone(), r2.clone()).prop_map(|(a, b)| asm::movzx_rr8(a, b)),
+        (r.clone(), 0u8..32).prop_map(|(a, s)| asm::shl_r_imm8(a, s)),
+        (r, 0u8..8, any::<i8>()).prop_map(|(a, b, d)| asm::lea(a, b, d)),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn mips_encode_decode_round_trips(insn in mips_instruction()) {
+        let word = insn.encode();
+        prop_assert_eq!(Instruction::decode(word).unwrap(), insn);
+    }
+
+    #[test]
+    fn mips_field_extraction_reassembles(insns in prop::collection::vec(mips_instruction(), 1..64)) {
+        // Extract SADC streams instruction by instruction and reassemble.
+        for insn in insns {
+            let rebuilt = Instruction::assemble(
+                insn.operation(),
+                &insn.register_fields(),
+                insn.imm16(),
+                insn.imm26(),
+            );
+            prop_assert_eq!(rebuilt, insn);
+        }
+    }
+
+    #[test]
+    fn mips_text_round_trips(insns in prop::collection::vec(mips_instruction(), 0..128)) {
+        let bytes = mips::encode_text(&insns);
+        prop_assert_eq!(mips::decode_text(&bytes).unwrap(), insns);
+    }
+
+    #[test]
+    fn mips_decoder_is_total(word in any::<u32>()) {
+        // Must never panic; on success, re-encoding gives the word back.
+        if let Ok(insn) = Instruction::decode(word) {
+            prop_assert_eq!(insn.encode(), word);
+        }
+    }
+
+    #[test]
+    fn x86_streams_round_trip(insns in prop::collection::vec(x86_instruction(), 0..128)) {
+        let text: Vec<u8> = insns.concat();
+        let split = split_streams(&text).unwrap();
+        prop_assert_eq!(split.layouts.len(), insns.len());
+        prop_assert_eq!(split.total_len(), text.len());
+        prop_assert_eq!(split.reassemble(), text);
+    }
+
+    #[test]
+    fn x86_length_decoder_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..32)) {
+        let _ = cce_isa::x86::decode_layout(&bytes);
+    }
+}
+
+proptest! {
+    #[test]
+    fn progressive_layout_matches_decode_layout(insns in prop::collection::vec(x86_instruction(), 1..64)) {
+        use cce_isa::x86::{decode_layout, progressive_layout, LayoutProgress};
+        for bytes in insns {
+            let full = decode_layout(&bytes).unwrap();
+            let head = full.opcode_stream_len();
+            let mut modrm = None;
+            let mut sib = None;
+            let mut cursor = head;
+            let layout = loop {
+                match progressive_layout(&bytes[..head], modrm, sib).unwrap() {
+                    LayoutProgress::NeedModrm => {
+                        modrm = Some(bytes[cursor]);
+                        cursor += 1;
+                    }
+                    LayoutProgress::NeedSib => {
+                        sib = Some(bytes[cursor]);
+                        cursor += 1;
+                    }
+                    LayoutProgress::Complete(layout) => break layout,
+                }
+            };
+            prop_assert_eq!(layout, full);
+        }
+    }
+}

@@ -1,0 +1,438 @@
+//! LZ77 + dynamic Huffman compressor in the style of `gzip(1)`.
+//!
+//! The compressor finds back-references over a 32 KiB sliding window with
+//! hash chains and one-step lazy matching, then entropy-codes the token
+//! stream with canonical Huffman tables over the DEFLATE literal/length and
+//! distance alphabets.  The container is private to this crate (original
+//! length + the two code-length tables + the coded tokens) — what matters
+//! for the paper's figures is the *size*, which tracks real gzip closely,
+//! and honesty, which the included decoder guarantees.
+
+use cce_bitstream::{BitReader, BitWriter, EndOfStreamError};
+use cce_huffman::{CodeBook, DecodeSymbolError};
+use std::error::Error;
+use std::fmt;
+
+const WINDOW: usize = 32 * 1024;
+const MIN_MATCH: usize = 3;
+const MAX_MATCH: usize = 258;
+const MAX_CHAIN: usize = 128;
+const HASH_BITS: u32 = 15;
+const END_OF_BLOCK: u16 = 256;
+
+/// DEFLATE length code bases (symbols 257..285 map to these).
+const LENGTH_BASE: [u16; 29] = [
+    3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31, 35, 43, 51, 59, 67, 83, 99, 115,
+    131, 163, 195, 227, 258,
+];
+const LENGTH_EXTRA: [u8; 29] = [
+    0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0,
+];
+/// DEFLATE distance code bases.
+const DIST_BASE: [u16; 30] = [
+    1, 2, 3, 4, 5, 7, 9, 13, 17, 25, 33, 49, 65, 97, 129, 193, 257, 385, 513, 769, 1025, 1537,
+    2049, 3073, 4097, 6145, 8193, 12289, 16385, 24577,
+];
+const DIST_EXTRA: [u8; 30] = [
+    0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12,
+    13, 13,
+];
+
+/// Errors from [`Gzip::decompress`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InflateError {
+    /// The stream ended early.
+    Truncated,
+    /// A Huffman codeword or code-length table was invalid.
+    BadCode,
+    /// A back-reference pointed before the start of the output.
+    BadDistance {
+        /// The offending distance.
+        distance: usize,
+        /// Output length when it was applied.
+        produced: usize },
+}
+
+impl fmt::Display for InflateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Truncated => write!(f, "compressed stream truncated"),
+            Self::BadCode => write!(f, "invalid huffman code in stream"),
+            Self::BadDistance { distance, produced } => {
+                write!(f, "distance {distance} exceeds produced output {produced}")
+            }
+        }
+    }
+}
+
+impl Error for InflateError {}
+
+impl From<EndOfStreamError> for InflateError {
+    fn from(_: EndOfStreamError) -> Self {
+        Self::Truncated
+    }
+}
+
+impl From<DecodeSymbolError> for InflateError {
+    fn from(e: DecodeSymbolError) -> Self {
+        match e {
+            DecodeSymbolError::EndOfStream(_) => Self::Truncated,
+            DecodeSymbolError::InvalidCodeword => Self::BadCode,
+        }
+    }
+}
+
+/// One LZ77 token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Token {
+    Literal(u8),
+    Match { len: u16, dist: u16 },
+}
+
+/// `gzip(1)`-style codec: LZ77 tokens + dynamic canonical Huffman.
+///
+/// # Examples
+///
+/// See the [crate-level example](crate).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Gzip {
+    _private: (),
+}
+
+impl Gzip {
+    /// Creates the codec (stateless; one value can compress many files).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Compresses `data` as a single dynamic-Huffman block.
+    pub fn compress(&self, data: &[u8]) -> Vec<u8> {
+        let tokens = tokenize(data);
+
+        // Gather alphabet statistics.
+        let mut lit_freq = [0u64; 286];
+        let mut dist_freq = [0u64; 30];
+        lit_freq[usize::from(END_OF_BLOCK)] = 1;
+        for t in &tokens {
+            match *t {
+                Token::Literal(b) => lit_freq[usize::from(b)] += 1,
+                Token::Match { len, dist } => {
+                    lit_freq[257 + length_symbol(len)] += 1;
+                    dist_freq[dist_symbol(dist)] += 1;
+                }
+            }
+        }
+        let lit_book = CodeBook::from_frequencies(&lit_freq, 15).expect("EOB guarantees a symbol");
+        let dist_book = CodeBook::from_frequencies(&dist_freq, 15).ok();
+
+        let mut w = BitWriter::new();
+        w.write_bits(data.len() as u32, 32);
+        for &l in lit_book.lengths() {
+            w.write_bits(u32::from(l), 4); // max length 15 fits in 4 bits
+        }
+        match &dist_book {
+            Some(book) => {
+                for &l in book.lengths() {
+                    w.write_bits(u32::from(l), 4);
+                }
+            }
+            None => {
+                for _ in 0..30 {
+                    w.write_bits(0, 4);
+                }
+            }
+        }
+
+        for t in &tokens {
+            match *t {
+                Token::Literal(b) => lit_book.encode(&mut w, u16::from(b)),
+                Token::Match { len, dist } => {
+                    let ls = length_symbol(len);
+                    lit_book.encode(&mut w, (257 + ls) as u16);
+                    let extra = LENGTH_EXTRA[ls];
+                    if extra > 0 {
+                        w.write_bits(u32::from(len - LENGTH_BASE[ls]), u32::from(extra));
+                    }
+                    let ds = dist_symbol(dist);
+                    dist_book
+                        .as_ref()
+                        .expect("matches imply a distance book")
+                        .encode(&mut w, ds as u16);
+                    let extra = DIST_EXTRA[ds];
+                    if extra > 0 {
+                        w.write_bits(u32::from(dist - DIST_BASE[ds]), u32::from(extra));
+                    }
+                }
+            }
+        }
+        lit_book.encode(&mut w, END_OF_BLOCK);
+        w.into_bytes()
+    }
+
+    /// Decompresses a stream produced by [`Gzip::compress`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InflateError`] on truncation, invalid codes, or distances
+    /// reaching before the start of the output.
+    pub fn decompress(&self, data: &[u8]) -> Result<Vec<u8>, InflateError> {
+        let mut r = BitReader::new(data);
+        let original_len = r.read_bits(32)? as usize;
+
+        let mut lit_lengths = vec![0u8; 286];
+        for l in lit_lengths.iter_mut() {
+            *l = r.read_bits(4)? as u8;
+        }
+        let lit_book = CodeBook::from_lengths(lit_lengths).map_err(|_| InflateError::BadCode)?;
+
+        let mut dist_lengths = vec![0u8; 30];
+        for l in dist_lengths.iter_mut() {
+            *l = r.read_bits(4)? as u8;
+        }
+        let dist_book = CodeBook::from_lengths(dist_lengths).ok();
+
+        let mut out = Vec::with_capacity(original_len);
+        loop {
+            let sym = lit_book.decode(&mut r)?;
+            match sym {
+                0..=255 => out.push(sym as u8),
+                END_OF_BLOCK => break,
+                257..=285 => {
+                    let ls = usize::from(sym) - 257;
+                    let mut len = usize::from(LENGTH_BASE[ls]);
+                    len += r.read_bits(u32::from(LENGTH_EXTRA[ls]))? as usize;
+                    let ds = usize::from(dist_book.as_ref().ok_or(InflateError::BadCode)?.decode(&mut r)?);
+                    if ds >= 30 {
+                        return Err(InflateError::BadCode);
+                    }
+                    let mut dist = usize::from(DIST_BASE[ds]);
+                    dist += r.read_bits(u32::from(DIST_EXTRA[ds]))? as usize;
+                    if dist > out.len() {
+                        return Err(InflateError::BadDistance { distance: dist, produced: out.len() });
+                    }
+                    // Overlapping copies are the point of LZ77.
+                    let start = out.len() - dist;
+                    for i in 0..len {
+                        let b = out[start + i];
+                        out.push(b);
+                    }
+                }
+                _ => return Err(InflateError::BadCode),
+            }
+        }
+        if out.len() != original_len {
+            return Err(InflateError::Truncated);
+        }
+        Ok(out)
+    }
+}
+
+fn length_symbol(len: u16) -> usize {
+    debug_assert!((MIN_MATCH..=MAX_MATCH).contains(&usize::from(len)));
+    // Last base whose value does not exceed len.
+    LENGTH_BASE
+        .iter()
+        .rposition(|&b| b <= len)
+        .expect("len >= 3")
+}
+
+fn dist_symbol(dist: u16) -> usize {
+    debug_assert!(dist >= 1);
+    DIST_BASE.iter().rposition(|&b| b <= dist).expect("dist >= 1")
+}
+
+fn hash3(data: &[u8], i: usize) -> usize {
+    let v = u32::from(data[i]) << 16 | u32::from(data[i + 1]) << 8 | u32::from(data[i + 2]);
+    (v.wrapping_mul(2654435761) >> (32 - HASH_BITS)) as usize
+}
+
+/// Longest match at `pos` against `candidate`, capped at `MAX_MATCH`.
+fn match_length(data: &[u8], candidate: usize, pos: usize) -> usize {
+    let limit = (data.len() - pos).min(MAX_MATCH);
+    let mut n = 0;
+    while n < limit && data[candidate + n] == data[pos + n] {
+        n += 1;
+    }
+    n
+}
+
+/// Greedy-with-lazy-evaluation LZ77 tokenizer (zlib's strategy).
+fn tokenize(data: &[u8]) -> Vec<Token> {
+    let mut tokens = Vec::new();
+    if data.len() < MIN_MATCH {
+        tokens.extend(data.iter().map(|&b| Token::Literal(b)));
+        return tokens;
+    }
+    let mut head = vec![usize::MAX; 1 << HASH_BITS];
+    let mut prev = vec![usize::MAX; data.len()];
+
+    let find_match = |head: &[usize], prev: &[usize], pos: usize, data: &[u8]| -> (usize, usize) {
+        if pos + MIN_MATCH > data.len() {
+            return (0, 0);
+        }
+        let mut best_len = 0;
+        let mut best_dist = 0;
+        let mut candidate = head[hash3(data, pos)];
+        let mut chain = 0;
+        while candidate != usize::MAX && chain < MAX_CHAIN {
+            if pos - candidate > WINDOW {
+                break;
+            }
+            let len = match_length(data, candidate, pos);
+            if len > best_len {
+                best_len = len;
+                best_dist = pos - candidate;
+                if len >= MAX_MATCH {
+                    break;
+                }
+            }
+            candidate = prev[candidate];
+            chain += 1;
+        }
+        (best_len, best_dist)
+    };
+
+    let insert = |head: &mut [usize], prev: &mut [usize], pos: usize, data: &[u8]| {
+        if pos + MIN_MATCH <= data.len() {
+            let h = hash3(data, pos);
+            prev[pos] = head[h];
+            head[h] = pos;
+        }
+    };
+
+    let mut i = 0;
+    while i < data.len() {
+        let (len, dist) = find_match(&head, &prev, i, data);
+        if len >= MIN_MATCH {
+            // Lazy step: would deferring one byte give a longer match?
+            insert(&mut head, &mut prev, i, data);
+            let (next_len, _) = if i + 1 < data.len() {
+                find_match(&head, &prev, i + 1, data)
+            } else {
+                (0, 0)
+            };
+            if next_len > len {
+                tokens.push(Token::Literal(data[i]));
+                i += 1;
+                continue;
+            }
+            tokens.push(Token::Match {
+                len: len as u16,
+                dist: dist as u16,
+            });
+            for k in 1..len {
+                insert(&mut head, &mut prev, i + k, data);
+            }
+            i += len;
+        } else {
+            tokens.push(Token::Literal(data[i]));
+            insert(&mut head, &mut prev, i, data);
+            i += 1;
+        }
+    }
+    tokens
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(data: &[u8]) -> usize {
+        let gz = Gzip::new();
+        let compressed = gz.compress(data);
+        assert_eq!(gz.decompress(&compressed).unwrap(), data);
+        compressed.len()
+    }
+
+    #[test]
+    fn empty_input() {
+        round_trip(&[]);
+    }
+
+    #[test]
+    fn short_inputs() {
+        round_trip(b"a");
+        round_trip(b"ab");
+        round_trip(b"abc");
+    }
+
+    #[test]
+    fn overlapping_match_run() {
+        // "aaaa..." decodes via self-overlapping copy (dist 1, long len).
+        round_trip(&vec![b'z'; 5000]);
+    }
+
+    #[test]
+    fn text_with_repeats_compresses_well() {
+        let data: Vec<u8> = b"lw $t0, 4($sp); addiu $sp, $sp, -8; sw $ra, 0($sp); "
+            .iter()
+            .copied()
+            .cycle()
+            .take(20_000)
+            .collect();
+        let len = round_trip(&data);
+        assert!(len < data.len() / 10, "got {len}");
+    }
+
+    #[test]
+    fn max_length_matches_are_emitted() {
+        // A long literal run produces len-258 matches (symbol 285, 0 extra).
+        let data = vec![7u8; MAX_MATCH * 4 + 10];
+        let tokens = tokenize(&data);
+        assert!(tokens.iter().any(|t| matches!(t, Token::Match { len: 258, .. })));
+        round_trip(&data);
+    }
+
+    #[test]
+    fn length_symbol_boundaries() {
+        assert_eq!(length_symbol(3), 0);
+        assert_eq!(length_symbol(10), 7);
+        assert_eq!(length_symbol(11), 8);
+        assert_eq!(length_symbol(12), 8);
+        assert_eq!(length_symbol(257), 27);
+        assert_eq!(length_symbol(258), 28);
+    }
+
+    #[test]
+    fn dist_symbol_boundaries() {
+        assert_eq!(dist_symbol(1), 0);
+        assert_eq!(dist_symbol(4), 3);
+        assert_eq!(dist_symbol(5), 4);
+        assert_eq!(dist_symbol(6), 4);
+        assert_eq!(dist_symbol(7), 5);
+        assert_eq!(dist_symbol(24577), 29);
+        assert_eq!(dist_symbol(32768), 29);
+    }
+
+    #[test]
+    fn far_matches_use_the_whole_window() {
+        // Pattern repeats at distance just under the window size.
+        let unit: Vec<u8> = (0..WINDOW - 100).map(|i| (i % 251) as u8).collect();
+        let mut data = unit.clone();
+        data.extend_from_slice(&unit);
+        let len = round_trip(&data);
+        assert!(len < data.len() / 2 + 4096, "got {len}");
+    }
+
+    #[test]
+    fn incompressible_noise_round_trips() {
+        let data: Vec<u8> = (0..8192u32).map(|i| (i.wrapping_mul(0x9E3779B9) >> 11) as u8).collect();
+        round_trip(&data);
+    }
+
+    #[test]
+    fn truncated_stream_is_an_error() {
+        let gz = Gzip::new();
+        let compressed = gz.compress(b"hello hello hello hello");
+        assert_eq!(gz.decompress(&compressed[..compressed.len() - 1]).unwrap_err(), InflateError::Truncated);
+    }
+
+    #[test]
+    fn garbage_is_rejected_not_panicking() {
+        let gz = Gzip::new();
+        for seed in 0..20u8 {
+            let junk: Vec<u8> = (0..200).map(|i| (i as u8).wrapping_mul(seed).wrapping_add(seed)).collect();
+            let _ = gz.decompress(&junk); // must not panic
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! File-oriented dictionary compressors used as baselines.
+//!
+//! Figures 7 and 8 of the DAC'98 paper compare SAMC and SADC against UNIX
+//! `compress` and `gzip`.  Neither baseline can actually be used in a
+//! compressed-code memory system — both need sequential decompression from
+//! the start of the file (the paper's motivating constraint) — but they
+//! bound what file-oriented compression achieves on the same programs.
+//!
+//! * [`Lzw`] reimplements `compress(1)`: LZW with 9- to 16-bit codes and a
+//!   block-mode clear code.
+//! * [`Gzip`] reimplements the essence of `gzip(1)`: LZ77 over a 32 KiB
+//!   window with lazy matching, entropy-coded with dynamic canonical
+//!   Huffman tables over the DEFLATE length/distance alphabets.
+//! * [`ContextCoder`] represents the PPM/DMC class the paper's §1 rules
+//!   out — strongest compression, but adaptive (no random access) and
+//!   with megabytes of model memory, both of which it makes measurable.
+//!
+//! Both are real, reversible codecs (decoders included), so the byte counts
+//! entering the figures are honest.
+//!
+//! # Examples
+//!
+//! ```
+//! use cce_lz::{Gzip, Lzw};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let data = b"the quick brown fox jumps over the lazy dog. the quick brown fox.".to_vec();
+//! let lzw = Lzw::new().compress(&data);
+//! assert_eq!(Lzw::new().decompress(&lzw)?, data);
+//!
+//! let gz = Gzip::new().compress(&data);
+//! assert_eq!(Gzip::new().decompress(&gz)?, data);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod context;
+mod gzip;
+mod lzw;
+
+pub use context::{ContextCoder, ContextCoderConfig, ContextDecodeError};
+pub use gzip::{Gzip, InflateError};
+pub use lzw::{Lzw, LzwDecodeError};

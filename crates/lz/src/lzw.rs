@@ -1,0 +1,287 @@
+//! LZW in the style of UNIX `compress(1)`.
+
+use cce_bitstream::{BitReader, BitWriter};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// First code available for learned strings (256 = clear code).
+const CLEAR: u32 = 256;
+const FIRST_FREE: u32 = 257;
+const MIN_BITS: u32 = 9;
+
+/// Errors from [`Lzw::decompress`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LzwDecodeError {
+    /// The stream ended in the middle of a code.
+    Truncated,
+    /// A code referenced a dictionary entry that does not exist yet.
+    InvalidCode(u32),
+}
+
+impl fmt::Display for LzwDecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Truncated => write!(f, "lzw stream truncated mid-code"),
+            Self::InvalidCode(c) => write!(f, "lzw code {c} not in dictionary"),
+        }
+    }
+}
+
+impl Error for LzwDecodeError {}
+
+/// `compress(1)`-style LZW codec.
+///
+/// Codes grow from 9 to `max_bits` bits as the dictionary fills; when it is
+/// full the compressor emits the clear code and starts over, which is how
+/// block-mode `compress` adapts to changing statistics.
+///
+/// # Examples
+///
+/// See the [crate-level example](crate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lzw {
+    max_bits: u32,
+}
+
+impl Default for Lzw {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Lzw {
+    /// Codec with the classic 16-bit maximum code width.
+    pub fn new() -> Self {
+        Self { max_bits: 16 }
+    }
+
+    /// Codec with a custom maximum code width.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `9 <= max_bits <= 24`.
+    pub fn with_max_bits(max_bits: u32) -> Self {
+        assert!((MIN_BITS..=24).contains(&max_bits), "max_bits must be 9..=24");
+        Self { max_bits }
+    }
+
+    /// Compresses `data`.
+    ///
+    /// The output begins with the 3-byte `compress(1)` header (magic plus a
+    /// flags byte recording `max_bits` and block mode) so that size
+    /// accounting matches the real tool.
+    pub fn compress(&self, data: &[u8]) -> Vec<u8> {
+        let mut w = BitWriter::new();
+        // Header: magic 0x1F 0x9D, then block-mode flag | max bits.
+        w.write_byte(0x1F);
+        w.write_byte(0x9D);
+        w.write_byte(0x80 | self.max_bits as u8);
+
+        let mut dict: HashMap<(u32, u8), u32> = HashMap::new();
+        let mut next_code = FIRST_FREE;
+        let mut bits = MIN_BITS;
+        let mut current: Option<u32> = None;
+
+        for &byte in data {
+            let code = match current {
+                None => u32::from(byte),
+                Some(prefix) => {
+                    if let Some(&found) = dict.get(&(prefix, byte)) {
+                        found
+                    } else {
+                        w.write_bits(prefix, bits);
+                        if next_code < 1 << self.max_bits {
+                            dict.insert((prefix, byte), next_code);
+                            next_code += 1;
+                            if next_code > (1 << bits) && bits < self.max_bits {
+                                bits += 1;
+                            }
+                        } else {
+                            // Dictionary full: clear and relearn.
+                            w.write_bits(CLEAR, bits);
+                            dict.clear();
+                            next_code = FIRST_FREE;
+                            bits = MIN_BITS;
+                        }
+                        u32::from(byte)
+                    }
+                }
+            };
+            current = Some(code);
+        }
+        if let Some(code) = current {
+            w.write_bits(code, bits);
+        }
+        w.into_bytes()
+    }
+
+    /// Decompresses a stream produced by [`Lzw::compress`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LzwDecodeError`] on truncation or an out-of-range code
+    /// (including a bad header).
+    pub fn decompress(&self, data: &[u8]) -> Result<Vec<u8>, LzwDecodeError> {
+        let mut r = BitReader::new(data);
+        let magic0 = r.read_bits(8).map_err(|_| LzwDecodeError::Truncated)?;
+        let magic1 = r.read_bits(8).map_err(|_| LzwDecodeError::Truncated)?;
+        let flags = r.read_bits(8).map_err(|_| LzwDecodeError::Truncated)?;
+        if magic0 != 0x1F || magic1 != 0x9D {
+            return Err(LzwDecodeError::InvalidCode(magic0 << 8 | magic1));
+        }
+        let max_bits = flags & 0x1F;
+        if !(MIN_BITS..=24).contains(&max_bits) {
+            return Err(LzwDecodeError::InvalidCode(flags));
+        }
+
+        // Dictionary: entry -> (prefix code, final byte); first 256 implicit.
+        let mut entries: Vec<(u32, u8)> = Vec::new();
+        let mut bits = MIN_BITS;
+        let mut out = Vec::new();
+        let mut prev: Option<u32> = None;
+        let mut prev_first_byte = 0u8;
+
+        let expand = |entries: &Vec<(u32, u8)>, mut code: u32, out: &mut Vec<u8>| -> Result<u8, LzwDecodeError> {
+            let start = out.len();
+            loop {
+                if code < 256 {
+                    out.push(code as u8);
+                    break;
+                }
+                let idx = (code - FIRST_FREE) as usize;
+                let &(prefix, byte) = entries.get(idx).ok_or(LzwDecodeError::InvalidCode(code))?;
+                out.push(byte);
+                code = prefix;
+            }
+            out[start..].reverse();
+            Ok(out[start])
+        };
+
+        loop {
+            if r.remaining_bits() < bits as usize {
+                break; // trailing padding
+            }
+            let code = r.read_bits(bits).expect("length checked");
+            if code == CLEAR {
+                entries.clear();
+                bits = MIN_BITS;
+                prev = None;
+                continue;
+            }
+            let next_code = FIRST_FREE + entries.len() as u32;
+            if let Some(p) = prev {
+                if next_code < 1 << max_bits {
+                    if code == next_code {
+                        // KwKwK: entry being defined right now.
+                        entries.push((p, prev_first_byte));
+                    } else {
+                        // Define from the decoded string's first byte below.
+                        let first = first_byte(&entries, code)?;
+                        entries.push((p, first));
+                    }
+                }
+            }
+            prev_first_byte = expand(&entries, code, &mut out)?;
+            prev = Some(code);
+            let defined = FIRST_FREE + entries.len() as u32;
+            if defined >= (1 << bits) && bits < max_bits {
+                bits += 1;
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// First byte of the string a code expands to.
+fn first_byte(entries: &[(u32, u8)], mut code: u32) -> Result<u8, LzwDecodeError> {
+    loop {
+        if code < 256 {
+            return Ok(code as u8);
+        }
+        let idx = (code - FIRST_FREE) as usize;
+        let &(prefix, _) = entries.get(idx).ok_or(LzwDecodeError::InvalidCode(code))?;
+        code = prefix;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(data: &[u8]) -> usize {
+        let codec = Lzw::new();
+        let compressed = codec.compress(data);
+        assert_eq!(codec.decompress(&compressed).unwrap(), data, "round trip");
+        compressed.len()
+    }
+
+    #[test]
+    fn empty_input() {
+        let codec = Lzw::new();
+        let compressed = codec.compress(&[]);
+        assert_eq!(compressed.len(), 3); // header only
+        assert_eq!(codec.decompress(&compressed).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn single_byte() {
+        round_trip(b"x");
+    }
+
+    #[test]
+    fn classic_banana() {
+        round_trip(b"TOBEORNOTTOBEORTOBEORNOT");
+    }
+
+    #[test]
+    fn kwkwk_case() {
+        // "aaa...": forces the code-defined-while-used path immediately.
+        round_trip(&[b'a'; 100]);
+    }
+
+    #[test]
+    fn repetitive_text_compresses() {
+        let data: Vec<u8> = b"move r1, r2; add r3, r1, r4; "
+            .iter()
+            .copied()
+            .cycle()
+            .take(10_000)
+            .collect();
+        let len = round_trip(&data);
+        assert!(len < data.len() / 4, "got {len} bytes");
+    }
+
+    #[test]
+    fn incompressible_data_expands_gracefully() {
+        let data: Vec<u8> = (0..4096u32).map(|i| (i.wrapping_mul(2654435761) >> 13) as u8).collect();
+        let len = round_trip(&data);
+        // LZW on noise expands by at most 9/8 plus header.
+        assert!(len <= data.len() * 9 / 8 + 16);
+    }
+
+    #[test]
+    fn dictionary_clear_path_round_trips() {
+        // Small max_bits forces the dictionary to fill and clear repeatedly.
+        let codec = Lzw::with_max_bits(9);
+        let data: Vec<u8> = (0..20_000u32).map(|i| (i * 37 % 251) as u8).collect();
+        let compressed = codec.compress(&data);
+        assert_eq!(codec.decompress(&compressed).unwrap(), data);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        assert!(Lzw::new().decompress(&[0, 0, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn truncated_header_is_rejected() {
+        assert_eq!(Lzw::new().decompress(&[0x1F]).unwrap_err(), LzwDecodeError::Truncated);
+    }
+
+    #[test]
+    fn all_byte_values_round_trip() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(1024).collect();
+        round_trip(&data);
+    }
+}

@@ -1,0 +1,217 @@
+//! Set-associative instruction cache.
+
+/// Cache geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: usize,
+    /// Block (line) size in bytes — must match the codec's block size.
+    pub block_size: usize,
+    /// Ways per set (1 = direct mapped).
+    pub associativity: usize,
+}
+
+impl CacheConfig {
+    /// Number of sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent (see [`Cache::new`]).
+    pub fn sets(&self) -> usize {
+        assert!(
+            self.block_size > 0
+                && self.associativity > 0
+                && self.size_bytes.is_multiple_of(self.block_size * self.associativity),
+            "cache size must be a positive multiple of block_size × associativity"
+        );
+        self.size_bytes / (self.block_size * self.associativity)
+    }
+}
+
+/// Hit/miss counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Accesses that hit.
+    pub hits: u64,
+    /// Accesses that missed.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Total accesses.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Miss ratio in `[0, 1]` (0 for no accesses).
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses() as f64
+        }
+    }
+}
+
+/// A set-associative cache with true-LRU replacement, tracking tags only
+/// (contents are irrelevant to the timing model).
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    sets: usize,
+    /// `ways[set][way] = Some((tag, last_use))`.
+    ways: Vec<Vec<Option<(u64, u64)>>>,
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `size_bytes` is a positive multiple of
+    /// `block_size × associativity` and the set count is a power of two.
+    pub fn new(config: CacheConfig) -> Self {
+        let sets = config.sets();
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        Self {
+            config,
+            sets,
+            ways: vec![vec![None; config.associativity]; sets],
+            clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The configured geometry.
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    /// Accesses `addr`; returns `true` on hit.  A miss fills the block
+    /// (evicting LRU if needed).
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.clock += 1;
+        let block = addr / self.config.block_size as u64;
+        let set = (block % self.sets as u64) as usize;
+        let tag = block / self.sets as u64;
+
+        if let Some(entry) = self.ways[set]
+            .iter_mut()
+            .flatten()
+            .find(|(t, _)| *t == tag)
+        {
+            entry.1 = self.clock;
+            self.stats.hits += 1;
+            return true;
+        }
+        self.stats.misses += 1;
+        // Fill: empty way, or evict the least recently used.
+        let victim = self.ways[set]
+            .iter()
+            .position(Option::is_none)
+            .unwrap_or_else(|| {
+                self.ways[set]
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, e)| e.expect("no empty ways").1)
+                    .map(|(i, _)| i)
+                    .expect("associativity > 0")
+            });
+        self.ways[set][victim] = Some((tag, self.clock));
+        false
+    }
+
+    /// Access counters so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Clears contents and counters.
+    pub fn reset(&mut self) {
+        for set in &mut self.ways {
+            set.fill(None);
+        }
+        self.clock = 0;
+        self.stats = CacheStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Cache {
+        Cache::new(CacheConfig { size_bytes: 128, block_size: 32, associativity: 2 })
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = small();
+        assert!(!c.access(0));
+        assert!(c.access(4));
+        assert!(c.access(31));
+        assert!(!c.access(32));
+        assert_eq!(c.stats(), CacheStats { hits: 2, misses: 2 });
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        // 2 sets × 2 ways of 32B. Blocks 0, 2, 4 map to set 0.
+        let mut c = small();
+        c.access(0);
+        c.access(2 * 32);
+        c.access(4 * 32); // evicts block 0 (LRU)
+        assert!(c.access(2 * 32), "block 2 still resident");
+        assert!(!c.access(0), "block 0 was evicted");
+    }
+
+    #[test]
+    fn lru_is_updated_on_hit() {
+        let mut c = small();
+        c.access(0);
+        c.access(2 * 32);
+        c.access(0); // touch block 0 so block 2 is now LRU
+        c.access(4 * 32); // evicts block 2
+        assert!(c.access(0));
+        assert!(!c.access(2 * 32));
+    }
+
+    #[test]
+    fn direct_mapped_conflicts() {
+        let mut c = Cache::new(CacheConfig { size_bytes: 64, block_size: 32, associativity: 1 });
+        assert!(!c.access(0));
+        assert!(!c.access(64)); // same set, conflict
+        assert!(!c.access(0));
+        assert_eq!(c.stats().miss_ratio(), 1.0);
+    }
+
+    #[test]
+    fn bigger_cache_has_fewer_misses() {
+        let trace: Vec<u64> = (0..1000u64).map(|i| (i * 36) % 4096).collect();
+        let run = |size| {
+            let mut c = Cache::new(CacheConfig { size_bytes: size, block_size: 32, associativity: 2 });
+            for &a in &trace {
+                c.access(a);
+            }
+            c.stats().miss_ratio()
+        };
+        assert!(run(8192) <= run(512));
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut c = small();
+        c.access(0);
+        c.reset();
+        assert_eq!(c.stats().accesses(), 0);
+        assert!(!c.access(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_sets_panic() {
+        let _ = Cache::new(CacheConfig { size_bytes: 96, block_size: 32, associativity: 1 });
+    }
+}

@@ -1,0 +1,140 @@
+//! CLB: cache line address lookaside buffer.
+
+/// A small fully-associative LRU cache over LAT entries — "essentially
+/// identical to a TLB" (paper §2).  Without it every cache refill would
+/// pay an extra main-memory access to read the block's LAT entry.
+///
+/// Like a TLB entry covering a whole page, each CLB entry holds the LAT
+/// *line* fetched from memory — `coverage` consecutive block entries —
+/// so spatially-close misses hit the CLB.
+#[derive(Debug, Clone)]
+pub struct Clb {
+    capacity: usize,
+    coverage: usize,
+    /// `(lat_line_index, last_use)` pairs.
+    entries: Vec<(usize, u64)>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Clb {
+    /// Creates an empty CLB of `capacity` lines, each covering 16
+    /// consecutive LAT entries (one memory line's worth).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0` (model a CLB-less system by never calling
+    /// [`Clb::access`] instead).
+    pub fn new(capacity: usize) -> Self {
+        Self::with_coverage(capacity, 16)
+    }
+
+    /// Creates a CLB whose lines each cover `coverage` LAT entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0` or `coverage == 0`.
+    pub fn with_coverage(capacity: usize, coverage: usize) -> Self {
+        assert!(capacity > 0, "CLB capacity must be positive");
+        assert!(coverage > 0, "CLB line coverage must be positive");
+        Self {
+            capacity,
+            coverage,
+            entries: Vec::with_capacity(capacity),
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Looks `block_index` up; returns `true` on hit.  A miss installs the
+    /// covering LAT line (evicting LRU).
+    pub fn access(&mut self, block_index: usize) -> bool {
+        self.clock += 1;
+        let block_index = block_index / self.coverage;
+        if let Some(entry) = self.entries.iter_mut().find(|(b, _)| *b == block_index) {
+            entry.1 = self.clock;
+            self.hits += 1;
+            return true;
+        }
+        self.misses += 1;
+        if self.entries.len() == self.capacity {
+            let lru = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, t))| *t)
+                .map(|(i, _)| i)
+                .expect("capacity > 0");
+            self.entries.swap_remove(lru);
+        }
+        self.entries.push((block_index, self.clock));
+        false
+    }
+
+    /// Hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Hit ratio in `[0, 1]` (0 for no accesses).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_install() {
+        let mut clb = Clb::new(4);
+        assert!(!clb.access(7));
+        assert!(clb.access(7));
+        assert_eq!((clb.hits(), clb.misses()), (1, 1));
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let mut clb = Clb::with_coverage(2, 1);
+        clb.access(1);
+        clb.access(2);
+        clb.access(1); // 2 becomes LRU
+        clb.access(3); // evicts 2
+        assert!(clb.access(1));
+        assert!(!clb.access(2));
+    }
+
+    #[test]
+    fn line_coverage_gives_spatial_hits() {
+        let mut clb = Clb::with_coverage(2, 16);
+        assert!(!clb.access(0));
+        for block in 1..16 {
+            assert!(clb.access(block), "block {block} shares the LAT line");
+        }
+        assert!(!clb.access(16));
+    }
+
+    #[test]
+    fn loops_hit_in_the_clb() {
+        let mut clb = Clb::new(8);
+        for _ in 0..100 {
+            for block in 0..4 {
+                clb.access(block);
+            }
+        }
+        assert!(clb.hit_ratio() > 0.98);
+    }
+}

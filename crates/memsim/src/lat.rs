@@ -1,0 +1,160 @@
+//! Line address table: program block index → compressed location.
+
+/// The LAT maps uncompressed block indices to compressed byte offsets.
+///
+/// The paper stores it in main memory next to the compressed code; its
+/// size is part of the memory footprint, so [`LineAddressTable::table_bytes`]
+/// accounts for entries just wide enough to address the compressed region.
+///
+/// [`LineAddressTable::padded`] models Wolfe & Chanin's refinement:
+/// rounding each compressed block up to a multiple of `pad` wastes some
+/// compression but lets every entry drop its low `log2(pad)` bits — a
+/// memory-for-memory trade this crate's experiments quantify.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LineAddressTable {
+    offsets: Vec<u64>,
+    sizes: Vec<u32>,
+    /// Alignment of every offset (1 = unpadded).
+    pad: u32,
+}
+
+impl LineAddressTable {
+    /// Builds the table from each block's compressed size, assigning
+    /// consecutive offsets.
+    pub fn from_block_sizes<I>(sizes: I) -> Self
+    where
+        I: IntoIterator<Item = usize>,
+    {
+        Self::padded(sizes, 1)
+    }
+
+    /// Builds the table with every block padded to a multiple of `pad`
+    /// bytes, so entries can omit their low `log2(pad)` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `pad` is a power of two.
+    pub fn padded<I>(sizes: I, pad: usize) -> Self
+    where
+        I: IntoIterator<Item = usize>,
+    {
+        assert!(pad.is_power_of_two(), "pad must be a power of two");
+        let mut offsets = Vec::new();
+        let mut stored_sizes = Vec::new();
+        let mut offset = 0u64;
+        for size in sizes {
+            offsets.push(offset);
+            let padded = size.next_multiple_of(pad);
+            stored_sizes.push(padded as u32);
+            offset += padded as u64;
+        }
+        Self { offsets, sizes: stored_sizes, pad: pad as u32 }
+    }
+
+    /// Number of blocks mapped.
+    pub fn len(&self) -> usize {
+        self.offsets.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.offsets.is_empty()
+    }
+
+    /// Compressed (offset, size) of block `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn lookup(&self, index: usize) -> (u64, u32) {
+        (self.offsets[index], self.sizes[index])
+    }
+
+    /// Total compressed bytes addressed.
+    pub fn compressed_total(&self) -> u64 {
+        self.offsets.last().map_or(0, |&o| o) + self.sizes.last().map_or(0, |&s| u64::from(s))
+    }
+
+    /// Bits per entry: enough to address any compressed offset
+    /// (the largest offset is strictly below the compressed total), minus
+    /// the bits implied by the padding alignment.
+    pub fn entry_bits(&self) -> u32 {
+        let max = self.compressed_total().saturating_sub(1).max(1);
+        let full = 64 - max.leading_zeros();
+        full.saturating_sub(self.pad.trailing_zeros()).max(1)
+    }
+
+    /// The padding alignment (1 = unpadded).
+    pub fn pad(&self) -> u32 {
+        self.pad
+    }
+
+    /// Serialized table size in bytes.
+    pub fn table_bytes(&self) -> usize {
+        (self.len() * self.entry_bits() as usize).div_ceil(8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offsets_are_prefix_sums() {
+        let lat = LineAddressTable::from_block_sizes([10, 20, 5]);
+        assert_eq!(lat.lookup(0), (0, 10));
+        assert_eq!(lat.lookup(1), (10, 20));
+        assert_eq!(lat.lookup(2), (30, 5));
+        assert_eq!(lat.compressed_total(), 35);
+        assert_eq!(lat.len(), 3);
+    }
+
+    #[test]
+    fn entry_width_tracks_region_size() {
+        let small = LineAddressTable::from_block_sizes([16; 4]);
+        assert_eq!(small.entry_bits(), 6); // 64 bytes total → 6 bits (0..63)
+
+        let big = LineAddressTable::from_block_sizes(vec![1024; 1024]);
+        assert_eq!(big.entry_bits(), 20);
+        assert_eq!(big.table_bytes(), (1024 * 20usize).div_ceil(8));
+    }
+
+    #[test]
+    fn empty_table() {
+        let lat = LineAddressTable::from_block_sizes([]);
+        assert!(lat.is_empty());
+        assert_eq!(lat.compressed_total(), 0);
+        assert_eq!(lat.table_bytes(), 0);
+    }
+
+    #[test]
+    fn padding_rounds_sizes_and_narrows_entries() {
+        let sizes = [13usize, 20, 7, 32];
+        let plain = LineAddressTable::from_block_sizes(sizes);
+        let padded = LineAddressTable::padded(sizes, 8);
+        // Sizes round up to multiples of 8; offsets stay aligned.
+        assert_eq!(padded.lookup(0), (0, 16));
+        assert_eq!(padded.lookup(1), (16, 24));
+        assert_eq!(padded.lookup(2), (40, 8));
+        assert_eq!(padded.lookup(3), (48, 32));
+        // Padding wastes compressed bytes...
+        assert!(padded.compressed_total() > plain.compressed_total());
+        // ...but each entry drops 3 bits.
+        assert_eq!(padded.entry_bits(), 7 - 3);
+    }
+
+    #[test]
+    fn pad_one_is_identity() {
+        let sizes = [10usize, 20, 30];
+        assert_eq!(
+            LineAddressTable::from_block_sizes(sizes),
+            LineAddressTable::padded(sizes, 1)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_pad_panics() {
+        let _ = LineAddressTable::padded([8usize], 3);
+    }
+}

@@ -1,0 +1,290 @@
+//! End-to-end memory-system timing model.
+
+use crate::cache::{Cache, CacheConfig, CacheStats};
+use crate::clb::Clb;
+use crate::lat::LineAddressTable;
+
+/// A block decompressor the refill engine can drive, for *functional*
+/// co-simulation: the simulated machine really reads its instructions out
+/// of compressed memory on every miss.
+///
+/// Implemented by adapters over the SAMC/SADC codecs (see the
+/// `memory_system` integration tests and the `cce-core` examples).
+pub trait RefillDecompressor {
+    /// Decompresses block `index` from its stored bytes into `out_len`
+    /// uncompressed bytes, or `None` on failure (a corrupt image).
+    fn refill(&self, index: usize, out_len: usize) -> Option<Vec<u8>>;
+}
+
+/// Cycle costs of the modelled components.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Cycles for a main-memory access before data starts flowing.
+    pub memory_latency: u64,
+    /// Bytes transferred from memory per cycle once flowing.
+    pub bus_bytes_per_cycle: u64,
+    /// Decompression-engine cycles per *uncompressed* byte produced
+    /// (0 for an uncompressed system; the paper's nibble engine retires
+    /// 4 bits — half a byte — per cycle, i.e. 2.0 here).
+    pub decompress_cycles_per_byte: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self {
+            memory_latency: 20,
+            bus_bytes_per_cycle: 4,
+            decompress_cycles_per_byte: 2.0,
+        }
+    }
+}
+
+/// Result of a trace simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimReport {
+    /// Instruction fetches simulated.
+    pub fetches: u64,
+    /// I-cache statistics.
+    pub cache: CacheStats,
+    /// CLB hits (compressed systems only).
+    pub clb_hits: u64,
+    /// CLB misses — each cost an extra LAT memory access.
+    pub clb_misses: u64,
+    /// Total cycles (1 per fetch + refill penalties).
+    pub cycles: u64,
+    /// Cycles spent in refills.
+    pub refill_cycles: u64,
+}
+
+impl SimReport {
+    /// Average cycles per fetched instruction word.
+    pub fn cpf(&self) -> f64 {
+        self.cycles as f64 / self.fetches.max(1) as f64
+    }
+
+    /// Slowdown of this report relative to `baseline` (ratios > 1 mean
+    /// this configuration is slower).
+    pub fn slowdown_vs(&self, baseline: &SimReport) -> f64 {
+        self.cpf() / baseline.cpf()
+    }
+}
+
+/// The compressed-code memory system of Fig. 1 (or the uncompressed
+/// baseline, when built without a LAT).
+#[derive(Debug, Clone)]
+pub struct MemorySystem {
+    cache: Cache,
+    /// `Some` for compressed systems: the LAT plus the CLB caching it.
+    compressed: Option<(LineAddressTable, Clb)>,
+    costs: CostModel,
+    block_size: usize,
+}
+
+impl MemorySystem {
+    /// An uncompressed baseline system.
+    pub fn uncompressed(cache_config: CacheConfig, costs: CostModel) -> Self {
+        Self {
+            block_size: cache_config.block_size,
+            cache: Cache::new(cache_config),
+            compressed: None,
+            costs,
+        }
+    }
+
+    /// A compressed-code system refilling through `lat` with a CLB of
+    /// `clb_entries`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clb_entries == 0`.
+    pub fn compressed(
+        cache_config: CacheConfig,
+        costs: CostModel,
+        lat: LineAddressTable,
+        clb_entries: usize,
+    ) -> Self {
+        Self {
+            block_size: cache_config.block_size,
+            cache: Cache::new(cache_config),
+            compressed: Some((lat, Clb::new(clb_entries))),
+            costs,
+        }
+    }
+
+    /// Runs an instruction-fetch address trace and reports timing.
+    ///
+    /// Each fetch costs one cycle; a miss adds the refill penalty: LAT
+    /// lookup (hidden on CLB hits), the compressed transfer, and the
+    /// decompression time.  Addresses past the LAT-mapped region wrap
+    /// (traces are generated against the same text the image encodes).
+    pub fn run(&mut self, trace: &[u64]) -> SimReport {
+        self.run_inner(trace, None, &[])
+    }
+
+    /// Functional co-simulation: like [`MemorySystem::run`], but every
+    /// refill actually decompresses the missed block through `codec` and
+    /// the produced bytes are compared against `text` — the simulated
+    /// machine provably executes out of compressed memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with the failing block index) if a refill fails or produces
+    /// bytes that differ from the program text — a codec/image mismatch
+    /// is a setup bug the simulation must not paper over.
+    pub fn run_functional(
+        &mut self,
+        trace: &[u64],
+        codec: &dyn RefillDecompressor,
+        text: &[u8],
+    ) -> SimReport {
+        self.run_inner(trace, Some(codec), text)
+    }
+
+    fn run_inner(
+        &mut self,
+        trace: &[u64],
+        codec: Option<&dyn RefillDecompressor>,
+        text: &[u8],
+    ) -> SimReport {
+        let mut cycles = 0u64;
+        let mut refill_cycles = 0u64;
+        for &addr in trace {
+            cycles += 1;
+            if self.cache.access(addr) {
+                continue;
+            }
+            let block = (addr / self.block_size as u64) as usize;
+            if let Some(codec) = codec {
+                // Functional path: decompress the block and check it.
+                let start = block * self.block_size;
+                let len = text.len().saturating_sub(start).min(self.block_size);
+                if len > 0 {
+                    let produced = codec
+                        .refill(block, len)
+                        .unwrap_or_else(|| panic!("refill of block {block} failed"));
+                    assert_eq!(
+                        produced,
+                        &text[start..start + len],
+                        "refill of block {block} produced wrong bytes"
+                    );
+                }
+            }
+            let refill = match &mut self.compressed {
+                None => {
+                    self.costs.memory_latency
+                        + (self.block_size as u64).div_ceil(self.costs.bus_bytes_per_cycle)
+                }
+                Some((lat, clb)) => {
+                    let block = block % lat.len().max(1);
+                    let lat_penalty = if clb.access(block) {
+                        0
+                    } else {
+                        // LAT entry fetched from main memory.
+                        self.costs.memory_latency
+                    };
+                    let (_, compressed_size) = lat.lookup(block);
+                    let transfer =
+                        u64::from(compressed_size).div_ceil(self.costs.bus_bytes_per_cycle);
+                    let decompress = (self.block_size as f64
+                        * self.costs.decompress_cycles_per_byte)
+                        .ceil() as u64;
+                    lat_penalty + self.costs.memory_latency + transfer + decompress
+                }
+            };
+            cycles += refill;
+            refill_cycles += refill;
+        }
+        let (clb_hits, clb_misses) = match &self.compressed {
+            Some((_, clb)) => (clb.hits(), clb.misses()),
+            None => (0, 0),
+        };
+        SimReport {
+            fetches: trace.len() as u64,
+            cache: self.cache.stats(),
+            clb_hits,
+            clb_misses,
+            cycles,
+            refill_cycles,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache_config() -> CacheConfig {
+        CacheConfig { size_bytes: 1024, block_size: 32, associativity: 2 }
+    }
+
+    fn looping_trace(n: usize) -> Vec<u64> {
+        // A hot loop over 4 blocks plus occasional far excursions.
+        (0..n)
+            .map(|i| if i % 50 == 0 { ((i * 640) % 65536) as u64 } else { ((i % 32) * 4) as u64 })
+            .collect()
+    }
+
+    #[test]
+    fn all_hits_cost_one_cycle_each() {
+        let mut sys = MemorySystem::uncompressed(cache_config(), CostModel::default());
+        // Prime one block, then hit it forever.
+        let mut trace = vec![0u64];
+        trace.extend(std::iter::repeat_n(4u64, 99));
+        let report = sys.run(&trace);
+        assert_eq!(report.cache.misses, 1);
+        assert_eq!(report.cycles, 100 + report.refill_cycles);
+    }
+
+    #[test]
+    fn compressed_system_round_trips_stats() {
+        let lat = LineAddressTable::from_block_sizes(vec![18; 2048]);
+        let mut sys = MemorySystem::compressed(cache_config(), CostModel::default(), lat, 16);
+        let report = sys.run(&looping_trace(10_000));
+        assert_eq!(report.fetches, 10_000);
+        assert!(report.cache.miss_ratio() < 0.2);
+        assert!(report.clb_hits + report.clb_misses == report.cache.misses);
+        assert!(report.cpf() >= 1.0);
+    }
+
+    #[test]
+    fn compressed_is_slower_but_tracks_miss_ratio() {
+        let costs = CostModel::default();
+        let trace = looping_trace(20_000);
+        let mut base = MemorySystem::uncompressed(cache_config(), costs);
+        let base_report = base.run(&trace);
+
+        let lat = LineAddressTable::from_block_sizes(vec![20; 2048]);
+        let mut comp = MemorySystem::compressed(cache_config(), costs, lat, 32);
+        let comp_report = comp.run(&trace);
+
+        let slowdown = comp_report.slowdown_vs(&base_report);
+        assert!(slowdown >= 1.0, "slowdown {slowdown}");
+        // With this locality the penalty is bounded by the refill-cost
+        // ratio scaled by the miss ratio, well under the worst case.
+        assert!(slowdown < 2.5, "slowdown {slowdown} too high for this locality");
+    }
+
+    #[test]
+    fn bigger_cache_shrinks_the_compression_penalty() {
+        let costs = CostModel::default();
+        let trace = looping_trace(20_000);
+        let slowdown_for = |size: usize| {
+            let config = CacheConfig { size_bytes: size, block_size: 32, associativity: 2 };
+            let mut base = MemorySystem::uncompressed(config, costs);
+            let b = base.run(&trace);
+            let lat = LineAddressTable::from_block_sizes(vec![20; 2048]);
+            let mut comp = MemorySystem::compressed(config, costs, lat, 32);
+            comp.run(&trace).slowdown_vs(&b)
+        };
+        assert!(slowdown_for(8192) <= slowdown_for(256) + 1e-9);
+    }
+
+    #[test]
+    fn clb_hides_lat_lookups_on_loops() {
+        let lat = LineAddressTable::from_block_sizes(vec![18; 2048]);
+        let mut sys = MemorySystem::compressed(cache_config(), CostModel::default(), lat, 64);
+        let report = sys.run(&looping_trace(50_000));
+        let clb_total = report.clb_hits + report.clb_misses;
+        assert!(clb_total > 0);
+    }
+}

@@ -1,0 +1,80 @@
+//! Compressed-image container shared by the SADC codecs.
+
+/// A SADC-compressed program.
+///
+/// Blocks are independently decodable; `block_uncompressed` records each
+/// block's uncompressed size (constant for MIPS, slightly variable for x86
+/// where blocks are instruction-aligned).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SadcImage {
+    pub(crate) blocks: Vec<Vec<u8>>,
+    pub(crate) block_uncompressed: Vec<usize>,
+    pub(crate) original_len: usize,
+    /// Serialized dictionary size in bytes.
+    pub(crate) dict_bytes: usize,
+    /// Serialized Huffman code-length tables in bytes.
+    pub(crate) table_bytes: usize,
+}
+
+impl SadcImage {
+    /// The compressed bytes of block `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn block(&self, index: usize) -> &[u8] {
+        &self.blocks[index]
+    }
+
+    /// The uncompressed size of block `index` in bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn block_uncompressed_len(&self, index: usize) -> usize {
+        self.block_uncompressed[index]
+    }
+
+    /// Number of blocks.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Original program length in bytes.
+    pub fn original_len(&self) -> usize {
+        self.original_len
+    }
+
+    /// Dictionary storage in bytes.
+    pub fn dict_bytes(&self) -> usize {
+        self.dict_bytes
+    }
+
+    /// Huffman-table storage in bytes.
+    pub fn table_bytes(&self) -> usize {
+        self.table_bytes
+    }
+
+    /// Total compressed size: blocks + dictionary + code tables.
+    pub fn compressed_len(&self) -> usize {
+        self.blocks.iter().map(Vec::len).sum::<usize>() + self.dict_bytes + self.table_bytes
+    }
+
+    /// Line-address-table size: one offset per block, wide enough to
+    /// address the compressed region.
+    pub fn lat_bytes(&self) -> usize {
+        let total: usize = self.blocks.iter().map(Vec::len).sum();
+        let entry_bits = usize::BITS - total.next_power_of_two().leading_zeros();
+        (self.blocks.len() * entry_bits as usize).div_ceil(8)
+    }
+
+    /// Compression ratio (compressed / original); lower is better.
+    pub fn ratio(&self) -> f64 {
+        self.compressed_len() as f64 / self.original_len as f64
+    }
+
+    /// Ratio including the LAT.
+    pub fn ratio_with_lat(&self) -> f64 {
+        (self.compressed_len() + self.lat_bytes()) as f64 / self.original_len as f64
+    }
+}

@@ -1,0 +1,108 @@
+//! Token-stream statistics shared by the dictionary builders.
+//!
+//! Both SADC variants maintain, per cache block, a stream of *tokens*
+//! (dictionary indices).  Each build cycle scans the streams for the most
+//! profitable adjacent pair or triple to merge, then rewrites the streams.
+//! This module holds that generic machinery; what a token *expands to* is
+//! the per-ISA codec's business.
+
+use std::collections::HashMap;
+
+/// Adjacent pair/triple counts over per-block token streams.
+#[derive(Debug, Clone, Default)]
+pub struct TokenStats {
+    /// Counts of adjacent token pairs.
+    pub pairs: HashMap<(usize, usize), u32>,
+    /// Counts of adjacent token triples.
+    pub triples: HashMap<(usize, usize, usize), u32>,
+}
+
+impl TokenStats {
+    /// Scans `blocks` (token streams that never cross block boundaries).
+    ///
+    /// Counts are raw adjacent occurrences; the small overcount versus
+    /// non-overlapping occurrences only makes gain estimates slightly
+    /// optimistic, and the build loop re-verifies by re-parsing (an entry
+    /// that did not pay off simply stops being chosen — same safeguard the
+    /// paper's "new encoded file isn't smaller" termination gives).
+    pub fn scan(blocks: &[Vec<usize>]) -> Self {
+        let mut stats = Self::default();
+        for block in blocks {
+            for window in block.windows(2) {
+                *stats.pairs.entry((window[0], window[1])).or_insert(0) += 1;
+            }
+            for window in block.windows(3) {
+                *stats
+                    .triples
+                    .entry((window[0], window[1], window[2]))
+                    .or_insert(0) += 1;
+            }
+        }
+        stats
+    }
+}
+
+/// Replaces non-overlapping occurrences of `pattern` in each block with
+/// `replacement`, left to right.  Returns the number of replacements.
+pub(crate) fn replace_in_blocks(
+    blocks: &mut [Vec<usize>],
+    pattern: &[usize],
+    replacement: usize,
+) -> usize {
+    let mut replaced = 0;
+    for block in blocks.iter_mut() {
+        let mut out = Vec::with_capacity(block.len());
+        let mut i = 0;
+        while i < block.len() {
+            if block[i..].starts_with(pattern) {
+                out.push(replacement);
+                i += pattern.len();
+                replaced += 1;
+            } else {
+                out.push(block[i]);
+                i += 1;
+            }
+        }
+        *block = out;
+    }
+    replaced
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_and_triple_counts() {
+        let blocks = vec![vec![1, 2, 1, 2, 3], vec![1, 2, 3]];
+        let stats = TokenStats::scan(&blocks);
+        assert_eq!(stats.pairs[&(1, 2)], 3);
+        assert_eq!(stats.pairs[&(2, 1)], 1);
+        assert_eq!(stats.triples[&(1, 2, 3)], 2);
+        assert!(!stats.pairs.contains_key(&(3, 1)), "no cross-block pairs");
+    }
+
+    #[test]
+    fn replacement_is_non_overlapping_left_to_right() {
+        let mut blocks = vec![vec![7, 7, 7, 7, 7]];
+        let n = replace_in_blocks(&mut blocks, &[7, 7], 9);
+        assert_eq!(n, 2);
+        assert_eq!(blocks[0], vec![9, 9, 7]);
+    }
+
+    #[test]
+    fn replacement_respects_block_boundaries() {
+        let mut blocks = vec![vec![1, 2], vec![2, 1]];
+        let n = replace_in_blocks(&mut blocks, &[1, 2], 5);
+        assert_eq!(n, 1);
+        assert_eq!(blocks, vec![vec![5], vec![2, 1]]);
+    }
+
+    #[test]
+    fn empty_blocks_are_fine() {
+        let stats = TokenStats::scan(&[]);
+        assert!(stats.pairs.is_empty());
+        let mut empty: Vec<Vec<usize>> = vec![vec![]];
+        assert_eq!(replace_in_blocks(&mut empty, &[1, 2], 3), 0);
+    }
+}

@@ -1,0 +1,599 @@
+//! SADC for x86 (Pentium Pro): three byte streams, dictionary over opcode
+//! byte strings.
+//!
+//! As the paper notes, a Pentium SADC decompressor needs no instruction
+//! generator: the streams are consecutive bytes.  What it *does* need is to
+//! know, per instruction, how many ModRM/SIB and displacement/immediate
+//! bytes to pull — which the opcode (plus the ModRM byte itself) fully
+//! determines.  [`cce_isa::x86::progressive_layout`] supplies exactly that,
+//! so the decompressor here reconstructs instructions incrementally:
+//! dictionary token → opcode bytes → ModRM/SIB (Huffman-decoded as needed)
+//! → displacement/immediate bytes.
+
+use crate::image::SadcImage;
+use crate::tokens::{replace_in_blocks, TokenStats};
+use cce_bitstream::{BitReader, BitWriter};
+use cce_huffman::CodeBook;
+use cce_isa::x86::{progressive_layout, split_streams, DecodeLayoutError, LayoutProgress};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::mips::DecompressSadcError;
+
+/// Configuration for [`X86Sadc::train`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct X86SadcConfig {
+    /// Cache block size in bytes (blocks are instruction-aligned, so the
+    /// actual uncompressed block sizes straddle this value slightly).
+    pub block_size: usize,
+    /// Maximum dictionary size (≤ 256 so indices fit a byte).
+    pub max_tokens: usize,
+    /// Enable opcode-group candidates.
+    pub groups: bool,
+}
+
+impl Default for X86SadcConfig {
+    fn default() -> Self {
+        Self {
+            block_size: 32,
+            max_tokens: 256,
+            groups: true,
+        }
+    }
+}
+
+/// Errors from [`X86Sadc::train`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrainX86SadcError {
+    /// The text was empty.
+    EmptyText,
+    /// An instruction failed to decode.
+    BadInstruction {
+        /// Byte offset of the failure.
+        offset: usize,
+        /// The underlying cause.
+        cause: DecodeLayoutError,
+    },
+    /// The program uses more distinct prefix+opcode byte strings than the
+    /// dictionary can index.
+    TooManyOpcodeStrings {
+        /// Distinct strings found.
+        found: usize,
+        /// The configured limit.
+        max_tokens: usize,
+    },
+    /// `block_size` was zero.
+    BadBlockSize,
+}
+
+impl fmt::Display for TrainX86SadcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::EmptyText => write!(f, "cannot train on an empty text section"),
+            Self::BadInstruction { offset, cause } => {
+                write!(f, "undecodable instruction at offset {offset}: {cause}")
+            }
+            Self::TooManyOpcodeStrings { found, max_tokens } => {
+                write!(f, "{found} distinct opcode strings exceed the {max_tokens}-token dictionary")
+            }
+            Self::BadBlockSize => write!(f, "block size must be positive"),
+        }
+    }
+}
+
+impl Error for TrainX86SadcError {}
+
+/// One decoded instruction's three stream slices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct InsnParts {
+    /// Prefix + opcode bytes.
+    opcode: Vec<u8>,
+    /// ModRM + SIB bytes.
+    modrm_sib: Vec<u8>,
+    /// Displacement + immediate bytes.
+    imm_disp: Vec<u8>,
+}
+
+impl InsnParts {
+    fn total_len(&self) -> usize {
+        self.opcode.len() + self.modrm_sib.len() + self.imm_disp.len()
+    }
+}
+
+/// The trained x86 SADC codec.
+#[derive(Debug, Clone)]
+pub struct X86Sadc {
+    config: X86SadcConfig,
+    /// Base token id → prefix+opcode byte string.
+    base_strings: Vec<Vec<u8>>,
+    /// Token id → base-token expansion (singletons for base tokens).
+    templates: Vec<Vec<usize>>,
+    /// Group build rules in insertion order (replayed at compress time).
+    rules: Vec<Vec<usize>>,
+    token_book: CodeBook,
+    modrm_book: Option<CodeBook>,
+    imm_book: Option<CodeBook>,
+}
+
+impl X86Sadc {
+    /// Builds the dictionary and Huffman tables for `text`.
+    ///
+    /// # Errors
+    ///
+    /// See [`TrainX86SadcError`].
+    pub fn train(text: &[u8], config: X86SadcConfig) -> Result<Self, TrainX86SadcError> {
+        if text.is_empty() {
+            return Err(TrainX86SadcError::EmptyText);
+        }
+        if config.block_size == 0 {
+            return Err(TrainX86SadcError::BadBlockSize);
+        }
+        let parts = parse_instructions(text)?;
+
+        // Assign base token ids to distinct opcode strings, most frequent
+        // first (shorter Huffman codes for hot opcodes).
+        let mut string_freq: HashMap<&[u8], u32> = HashMap::new();
+        for p in &parts {
+            *string_freq.entry(&p.opcode).or_insert(0) += 1;
+        }
+        let mut ordered: Vec<(&[u8], u32)> = string_freq.into_iter().collect();
+        ordered.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        // Leave room for at least a handful of group entries.
+        if ordered.len() > config.max_tokens.saturating_sub(8) {
+            return Err(TrainX86SadcError::TooManyOpcodeStrings {
+                found: ordered.len(),
+                max_tokens: config.max_tokens,
+            });
+        }
+        let base_strings: Vec<Vec<u8>> = ordered.iter().map(|(s, _)| s.to_vec()).collect();
+        let string_to_id: HashMap<&[u8], usize> = base_strings
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.as_slice(), i))
+            .collect();
+
+        // Blocks: instruction-aligned groups of roughly block_size bytes.
+        let insn_blocks = group_blocks(&parts, config.block_size);
+        let mut templates: Vec<Vec<usize>> = (0..base_strings.len()).map(|i| vec![i]).collect();
+        let mut token_blocks: Vec<Vec<usize>> = insn_blocks
+            .iter()
+            .map(|range| {
+                parts[range.clone()]
+                    .iter()
+                    .map(|p| string_to_id[p.opcode.as_slice()])
+                    .collect()
+            })
+            .collect();
+
+        let mut rules: Vec<Vec<usize>> = Vec::new();
+        if config.groups {
+            while templates.len() < config.max_tokens {
+                let stats = TokenStats::scan(&token_blocks);
+                let storage = |t: usize| -> i64 {
+                    templates[t]
+                        .iter()
+                        .map(|&b| base_strings[b].len() as i64 + 1)
+                        .sum()
+                };
+                let mut best: Option<(i64, Vec<usize>)> = None;
+                for (&(a, b), &f) in &stats.pairs {
+                    let gain = i64::from(f) - (storage(a) + storage(b) + 1);
+                    if best.as_ref().is_none_or(|(g, _)| gain > *g) {
+                        best = Some((gain, vec![a, b]));
+                    }
+                }
+                for (&(a, b, c), &f) in &stats.triples {
+                    let gain = 2 * i64::from(f) - (storage(a) + storage(b) + storage(c) + 1);
+                    if best.as_ref().is_none_or(|(g, _)| gain > *g) {
+                        best = Some((gain, vec![a, b, c]));
+                    }
+                }
+                let Some((gain, pattern)) = best else { break };
+                if gain <= 0 {
+                    break;
+                }
+                let new_id = templates.len();
+                let expansion: Vec<usize> =
+                    pattern.iter().flat_map(|&t| templates[t].clone()).collect();
+                templates.push(expansion);
+                replace_in_blocks(&mut token_blocks, &pattern, new_id);
+                rules.push(pattern);
+            }
+        }
+
+        // Huffman statistics.
+        let mut token_freq = vec![0u64; templates.len()];
+        for block in &token_blocks {
+            for &t in block {
+                token_freq[t] += 1;
+            }
+        }
+        let mut modrm_freq = [0u64; 256];
+        let mut imm_freq = [0u64; 256];
+        for p in &parts {
+            for &b in &p.modrm_sib {
+                modrm_freq[usize::from(b)] += 1;
+            }
+            for &b in &p.imm_disp {
+                imm_freq[usize::from(b)] += 1;
+            }
+        }
+        let token_book =
+            CodeBook::from_frequencies(&token_freq, 15).expect("programs are non-empty");
+        let modrm_book = CodeBook::from_frequencies(&modrm_freq, 15).ok();
+        let imm_book = CodeBook::from_frequencies(&imm_freq, 15).ok();
+
+        Ok(Self {
+            config,
+            base_strings,
+            templates,
+            rules,
+            token_book,
+            modrm_book,
+            imm_book,
+        })
+    }
+
+    /// Dictionary storage: the base opcode-string table plus group entries.
+    pub fn dict_bytes(&self) -> usize {
+        let base: usize = self.base_strings.iter().map(|s| 1 + s.len()).sum();
+        let groups: usize = self.templates[self.base_strings.len()..]
+            .iter()
+            .map(|expansion| 1 + expansion.len())
+            .sum();
+        base + groups
+    }
+
+    /// Serialized Huffman table size (4-bit code lengths per symbol).
+    pub fn table_bytes(&self) -> usize {
+        let mut bits = self.templates.len() * 4;
+        for book in [&self.modrm_book, &self.imm_book].into_iter().flatten() {
+            bits += book.lengths().len() * 4;
+        }
+        bits.div_ceil(8)
+    }
+
+    /// Number of dictionary tokens (base + groups).
+    pub fn token_count(&self) -> usize {
+        self.templates.len()
+    }
+
+    /// The configuration this codec was trained with.
+    pub fn config(&self) -> &X86SadcConfig {
+        &self.config
+    }
+
+    /// The base opcode strings (crate-internal, for the serializer).
+    pub(crate) fn base_strings(&self) -> &[Vec<u8>] {
+        &self.base_strings
+    }
+
+    /// The group rules (crate-internal, for the serializer).
+    pub(crate) fn rules(&self) -> &[Vec<usize>] {
+        &self.rules
+    }
+
+    /// The Huffman books (crate-internal, for the serializer).
+    pub(crate) fn books(&self) -> (&CodeBook, Option<&CodeBook>, Option<&CodeBook>) {
+        (&self.token_book, self.modrm_book.as_ref(), self.imm_book.as_ref())
+    }
+
+    /// Reconstructs the token table by replaying `rules` over the base
+    /// tokens (crate-internal, for the deserializer).
+    pub(crate) fn templates_from_rules(
+        base_count: usize,
+        rules: &[Vec<usize>],
+    ) -> Result<Vec<Vec<usize>>, &'static str> {
+        let mut templates: Vec<Vec<usize>> = (0..base_count).map(|i| vec![i]).collect();
+        for pattern in rules {
+            if pattern.len() < 2 {
+                return Err("group rule shorter than a pair");
+            }
+            let mut expansion = Vec::new();
+            for &t in pattern {
+                let items = templates.get(t).ok_or("rule references an unknown token")?;
+                expansion.extend(items.iter().copied());
+            }
+            templates.push(expansion);
+        }
+        Ok(templates)
+    }
+
+    /// Reassembles a codec from serialized parts (crate-internal).
+    pub(crate) fn from_parts(
+        config: X86SadcConfig,
+        base_strings: Vec<Vec<u8>>,
+        templates: Vec<Vec<usize>>,
+        rules: Vec<Vec<usize>>,
+        token_book: CodeBook,
+        modrm_book: Option<CodeBook>,
+        imm_book: Option<CodeBook>,
+    ) -> Self {
+        Self { config, base_strings, templates, rules, token_book, modrm_book, imm_book }
+    }
+
+    /// Compresses `text` (the training text or statistically identical).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `text` contains instructions or symbols absent at
+    /// training time.
+    pub fn compress(&self, text: &[u8]) -> SadcImage {
+        let parts = parse_instructions(text).expect("compress requires decodable text");
+        let string_to_id: HashMap<&[u8], usize> = self
+            .base_strings
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.as_slice(), i))
+            .collect();
+        let insn_blocks = group_blocks(&parts, self.config.block_size);
+
+        let mut blocks = Vec::with_capacity(insn_blocks.len());
+        let mut block_uncompressed = Vec::with_capacity(insn_blocks.len());
+        for range in insn_blocks {
+            let block_parts = &parts[range];
+            let mut tokens: Vec<usize> = block_parts
+                .iter()
+                .map(|p| string_to_id[p.opcode.as_slice()])
+                .collect();
+            for (i, pattern) in self.rules.iter().enumerate() {
+                let new_id = self.base_strings.len() + i;
+                let mut one = [std::mem::take(&mut tokens)];
+                replace_in_blocks(&mut one, pattern, new_id);
+                tokens = std::mem::take(&mut one[0]);
+            }
+
+            let mut w = BitWriter::new();
+            let mut cursor = 0usize;
+            for &t in &tokens {
+                self.token_book.encode(&mut w, t as u16);
+                for _ in 0..self.templates[t].len() {
+                    let p = &block_parts[cursor];
+                    cursor += 1;
+                    if let Some(book) = &self.modrm_book {
+                        for &b in &p.modrm_sib {
+                            book.encode(&mut w, u16::from(b));
+                        }
+                    }
+                    if let Some(book) = &self.imm_book {
+                        for &b in &p.imm_disp {
+                            book.encode(&mut w, u16::from(b));
+                        }
+                    }
+                }
+            }
+            w.align_to_byte();
+            blocks.push(w.into_bytes());
+            block_uncompressed.push(block_parts.iter().map(InsnParts::total_len).sum());
+        }
+        SadcImage {
+            blocks,
+            block_uncompressed,
+            original_len: text.len(),
+            dict_bytes: self.dict_bytes(),
+            table_bytes: self.table_bytes(),
+        }
+    }
+
+    /// Decompresses one block of `out_len` bytes.
+    ///
+    /// # Errors
+    ///
+    /// See [`DecompressSadcError`].
+    pub fn decompress_block(
+        &self,
+        bytes: &[u8],
+        out_len: usize,
+    ) -> Result<Vec<u8>, DecompressSadcError> {
+        let mut r = BitReader::new(bytes);
+        let mut out = Vec::with_capacity(out_len);
+        while out.len() < out_len {
+            let t = usize::from(self.token_book.decode(&mut r)?);
+            let expansion = self
+                .templates
+                .get(t)
+                .ok_or(DecompressSadcError::CorruptBlock)?;
+            for &base in expansion {
+                let opcode = &self.base_strings[base];
+                out.extend_from_slice(opcode);
+                // Reconstruct the rest of the instruction incrementally.
+                let mut modrm = None;
+                let mut sib = None;
+                let layout = loop {
+                    match progressive_layout(opcode, modrm, sib)
+                        .map_err(|_| DecompressSadcError::CorruptBlock)?
+                    {
+                        LayoutProgress::NeedModrm => {
+                            let book = self
+                                .modrm_book
+                                .as_ref()
+                                .ok_or(DecompressSadcError::CorruptBlock)?;
+                            modrm = Some(book.decode(&mut r)? as u8);
+                        }
+                        LayoutProgress::NeedSib => {
+                            let book = self
+                                .modrm_book
+                                .as_ref()
+                                .ok_or(DecompressSadcError::CorruptBlock)?;
+                            sib = Some(book.decode(&mut r)? as u8);
+                        }
+                        LayoutProgress::Complete(layout) => break layout,
+                    }
+                };
+                if let Some(m) = modrm {
+                    out.push(m);
+                }
+                if let Some(s) = sib {
+                    out.push(s);
+                }
+                let tail = usize::from(layout.disp_len) + usize::from(layout.imm_len);
+                for _ in 0..tail {
+                    let book = self
+                        .imm_book
+                        .as_ref()
+                        .ok_or(DecompressSadcError::CorruptBlock)?;
+                    out.push(book.decode(&mut r)? as u8);
+                }
+            }
+        }
+        if out.len() != out_len {
+            return Err(DecompressSadcError::CorruptBlock);
+        }
+        Ok(out)
+    }
+
+    /// Decompresses a whole image.
+    ///
+    /// # Errors
+    ///
+    /// See [`DecompressSadcError`].
+    pub fn decompress(&self, image: &SadcImage) -> Result<Vec<u8>, DecompressSadcError> {
+        let mut out = Vec::with_capacity(image.original_len());
+        for i in 0..image.block_count() {
+            out.extend(self.decompress_block(image.block(i), image.block_uncompressed_len(i))?);
+        }
+        Ok(out)
+    }
+}
+
+/// Splits `text` into per-instruction stream parts.
+fn parse_instructions(text: &[u8]) -> Result<Vec<InsnParts>, TrainX86SadcError> {
+    let split = split_streams(text)
+        .map_err(|(offset, cause)| TrainX86SadcError::BadInstruction { offset, cause })?;
+    let mut parts = Vec::with_capacity(split.layouts.len());
+    let (mut o, mut m, mut d) = (0usize, 0usize, 0usize);
+    for layout in &split.layouts {
+        let ol = layout.opcode_stream_len();
+        let ml = layout.modrm_stream_len();
+        let dl = layout.imm_stream_len();
+        parts.push(InsnParts {
+            opcode: split.opcode[o..o + ol].to_vec(),
+            modrm_sib: split.modrm_sib[m..m + ml].to_vec(),
+            imm_disp: split.imm_disp[d..d + dl].to_vec(),
+        });
+        o += ol;
+        m += ml;
+        d += dl;
+    }
+    Ok(parts)
+}
+
+/// Groups instructions into blocks of roughly `block_size` uncompressed
+/// bytes (an instruction joins the current block while it is under size).
+fn group_blocks(parts: &[InsnParts], block_size: usize) -> Vec<std::ops::Range<usize>> {
+    let mut blocks = Vec::new();
+    let mut start = 0usize;
+    let mut size = 0usize;
+    for (i, p) in parts.iter().enumerate() {
+        size += p.total_len();
+        if size >= block_size {
+            blocks.push(start..i + 1);
+            start = i + 1;
+            size = 0;
+        }
+    }
+    if start < parts.len() {
+        blocks.push(start..parts.len());
+    }
+    blocks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cce_isa::x86::asm::{self, reg, Alu, Cc};
+
+    fn idiomatic_program(reps: usize) -> Vec<u8> {
+        let mut text = Vec::new();
+        for i in 0..reps {
+            text.extend(asm::push_r(reg::EBP));
+            text.extend(asm::mov_rr(reg::EBP, reg::ESP));
+            text.extend(asm::mov_load(reg::EAX, reg::EBP, 8));
+            text.extend(asm::alu_r_imm8(Alu::Add, reg::EAX, (i % 8) as i8));
+            text.extend(asm::cmp_rr(reg::EAX, reg::ECX));
+            text.extend(asm::jcc_rel8(Cc::Ne, -7));
+            text.extend(asm::leave());
+            text.extend(asm::ret());
+        }
+        text
+    }
+
+    #[test]
+    fn round_trips_and_compresses() {
+        let text = idiomatic_program(400);
+        let codec = X86Sadc::train(&text, X86SadcConfig::default()).unwrap();
+        let image = codec.compress(&text);
+        assert_eq!(codec.decompress(&image).unwrap(), text);
+        assert!(image.ratio() < 0.7, "ratio {}", image.ratio());
+    }
+
+    #[test]
+    fn groups_are_learned() {
+        let text = idiomatic_program(200);
+        let codec = X86Sadc::train(&text, X86SadcConfig::default()).unwrap();
+        assert!(
+            codec.token_count() > codec.base_strings.len(),
+            "expected group entries"
+        );
+    }
+
+    #[test]
+    fn blocks_decode_independently() {
+        let text = idiomatic_program(100);
+        let codec = X86Sadc::train(&text, X86SadcConfig::default()).unwrap();
+        let image = codec.compress(&text);
+        let mut offset = 0usize;
+        let mut slices = Vec::new();
+        for i in 0..image.block_count() {
+            let len = image.block_uncompressed_len(i);
+            slices.push((i, offset, len));
+            offset += len;
+        }
+        // Decode out of order.
+        for &(i, start, len) in slices.iter().rev() {
+            assert_eq!(
+                codec.decompress_block(image.block(i), len).unwrap(),
+                &text[start..start + len],
+                "block {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn block_sizes_straddle_the_target() {
+        let text = idiomatic_program(100);
+        let codec = X86Sadc::train(&text, X86SadcConfig::default()).unwrap();
+        let image = codec.compress(&text);
+        let total: usize = (0..image.block_count())
+            .map(|i| image.block_uncompressed_len(i))
+            .sum();
+        assert_eq!(total, text.len());
+        for i in 0..image.block_count().saturating_sub(1) {
+            let len = image.block_uncompressed_len(i);
+            assert!((32..32 + 16).contains(&len), "block {i} len {len}");
+        }
+    }
+
+    #[test]
+    fn groups_can_be_disabled() {
+        let text = idiomatic_program(100);
+        let config = X86SadcConfig { groups: false, ..Default::default() };
+        let codec = X86Sadc::train(&text, config).unwrap();
+        assert_eq!(codec.token_count(), codec.base_strings.len());
+        let image = codec.compress(&text);
+        assert_eq!(codec.decompress(&image).unwrap(), text);
+    }
+
+    #[test]
+    fn train_validates_input() {
+        assert_eq!(
+            X86Sadc::train(&[], X86SadcConfig::default()).unwrap_err(),
+            TrainX86SadcError::EmptyText
+        );
+        assert!(matches!(
+            X86Sadc::train(&[0x0F, 0x06], X86SadcConfig::default()).unwrap_err(),
+            TrainX86SadcError::BadInstruction { offset: 0, .. }
+        ));
+    }
+}

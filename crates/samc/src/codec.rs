@@ -1,0 +1,594 @@
+//! The SAMC block codec.
+
+use crate::model::{MarkovConfig, MarkovModel};
+use crate::streams::StreamDivision;
+use cce_arith::nibble::{EngineStats, NibbleDecoder, NibbleProbTree};
+use cce_arith::{BitDecoder, BitEncoder, Prob};
+use std::error::Error;
+use std::fmt;
+
+/// SAMC configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SamcConfig {
+    /// Cache block size in bytes (the unit of independent decompression).
+    pub block_size: usize,
+    /// How instruction bits are divided into streams.
+    pub division: StreamDivision,
+    /// Markov model options.
+    pub markov: MarkovConfig,
+}
+
+impl SamcConfig {
+    /// The paper's MIPS setup: 32-byte blocks, four 8-bit streams over
+    /// 32-bit instructions, connected trees.
+    pub fn mips() -> Self {
+        Self {
+            block_size: 32,
+            division: StreamDivision::bytes(32),
+            markov: MarkovConfig::default(),
+        }
+    }
+
+    /// The paper's x86 fallback: no stream subdivision is possible for
+    /// variable-length instructions, so SAMC models the raw byte stream
+    /// (one 8-bit "instruction" per byte, connected across bytes).
+    pub fn x86() -> Self {
+        Self {
+            block_size: 32,
+            division: StreamDivision::bytes(8),
+            markov: MarkovConfig::default(),
+        }
+    }
+
+    /// Replaces the block size.
+    pub fn with_block_size(mut self, block_size: usize) -> Self {
+        self.block_size = block_size;
+        self
+    }
+
+    /// Replaces the stream division.
+    pub fn with_division(mut self, division: StreamDivision) -> Self {
+        self.division = division;
+        self
+    }
+
+    /// Bytes per instruction unit.
+    pub fn unit_bytes(&self) -> usize {
+        usize::from(self.division.width()) / 8
+    }
+
+    /// Instruction units per cache block.
+    pub fn block_units(&self) -> usize {
+        self.block_size / self.unit_bytes()
+    }
+}
+
+/// Errors from [`SamcCodec::train`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrainCodecError {
+    /// The training text was empty.
+    EmptyText,
+    /// The text length is not a multiple of the instruction unit size.
+    MisalignedText {
+        /// Text length in bytes.
+        len: usize,
+        /// Unit size in bytes.
+        unit: usize,
+    },
+    /// The block size is not a positive multiple of the unit size.
+    BadBlockSize {
+        /// The configured block size.
+        block_size: usize,
+        /// Unit size in bytes.
+        unit: usize,
+    },
+    /// The stream width is not a multiple of 8, so text cannot be framed.
+    BadWidth {
+        /// The division width in bits.
+        width: u8,
+    },
+}
+
+impl fmt::Display for TrainCodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::EmptyText => write!(f, "cannot train on an empty text section"),
+            Self::MisalignedText { len, unit } => {
+                write!(f, "text of {len} bytes is not a multiple of the {unit}-byte unit")
+            }
+            Self::BadBlockSize { block_size, unit } => {
+                write!(f, "block size {block_size} is not a positive multiple of {unit}")
+            }
+            Self::BadWidth { width } => write!(f, "stream width {width} is not byte-framed"),
+        }
+    }
+}
+
+impl Error for TrainCodecError {}
+
+/// Errors from block decompression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecompressBlockError {
+    /// The requested output length is not a multiple of the unit size.
+    MisalignedLength {
+        /// Requested bytes.
+        len: usize,
+        /// Unit size in bytes.
+        unit: usize,
+    },
+    /// The parallel engine requires every stream to be a multiple of 4 bits.
+    EngineUnsupported,
+}
+
+impl fmt::Display for DecompressBlockError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::MisalignedLength { len, unit } => {
+                write!(f, "block length {len} is not a multiple of the {unit}-byte unit")
+            }
+            Self::EngineUnsupported => {
+                write!(f, "nibble engine requires 4-bit-aligned streams")
+            }
+        }
+    }
+}
+
+impl Error for DecompressBlockError {}
+
+/// A SAMC-compressed program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SamcImage {
+    blocks: Vec<Vec<u8>>,
+    block_size: usize,
+    original_len: usize,
+    model_bytes: usize,
+}
+
+impl SamcImage {
+    /// Reassembles an image from serialized parts (crate-internal).
+    pub(crate) fn from_parts(
+        blocks: Vec<Vec<u8>>,
+        block_size: usize,
+        original_len: usize,
+        model_bytes: usize,
+    ) -> Self {
+        Self { blocks, block_size, original_len, model_bytes }
+    }
+
+    /// The model-table overhead included in [`SamcImage::compressed_len`].
+    pub fn model_overhead_bytes(&self) -> usize {
+        self.model_bytes
+    }
+
+    /// The compressed bytes of block `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn block(&self, index: usize) -> &[u8] {
+        &self.blocks[index]
+    }
+
+    /// Number of blocks.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Uncompressed block size in bytes.
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// Original program length in bytes.
+    pub fn original_len(&self) -> usize {
+        self.original_len
+    }
+
+    /// Compressed size: encoded blocks plus the serialized Markov model.
+    pub fn compressed_len(&self) -> usize {
+        self.blocks.iter().map(Vec::len).sum::<usize>() + self.model_bytes
+    }
+
+    /// Size of the line address table: one compressed-offset entry per
+    /// block, each wide enough to address the compressed region.
+    pub fn lat_bytes(&self) -> usize {
+        let total: usize = self.blocks.iter().map(Vec::len).sum();
+        let entry_bits = usize::BITS - total.next_power_of_two().leading_zeros();
+        (self.blocks.len() * entry_bits as usize).div_ceil(8)
+    }
+
+    /// Compression ratio (compressed / original, model included; LAT
+    /// excluded as in the paper's program-size ratios).  Lower is better.
+    pub fn ratio(&self) -> f64 {
+        self.compressed_len() as f64 / self.original_len as f64
+    }
+
+    /// Ratio including the LAT (the full main-memory footprint).
+    pub fn ratio_with_lat(&self) -> f64 {
+        (self.compressed_len() + self.lat_bytes()) as f64 / self.original_len as f64
+    }
+}
+
+/// The trained SAMC compressor/decompressor pair.
+///
+/// # Examples
+///
+/// See the [crate-level example](crate).
+#[derive(Debug, Clone)]
+pub struct SamcCodec {
+    config: SamcConfig,
+    model: MarkovModel,
+}
+
+impl SamcCodec {
+    /// Reassembles a codec from serialized parts (crate-internal).
+    pub(crate) fn from_parts(config: SamcConfig, model: MarkovModel) -> Self {
+        Self { config, model }
+    }
+
+    /// Pass 1 of the paper's scheme: gathers Markov statistics over the
+    /// whole program.
+    ///
+    /// # Errors
+    ///
+    /// See [`TrainCodecError`].
+    pub fn train(text: &[u8], config: SamcConfig) -> Result<Self, TrainCodecError> {
+        let width = config.division.width();
+        if !width.is_multiple_of(8) {
+            return Err(TrainCodecError::BadWidth { width });
+        }
+        let unit = config.unit_bytes();
+        if text.is_empty() {
+            return Err(TrainCodecError::EmptyText);
+        }
+        if !text.len().is_multiple_of(unit) {
+            return Err(TrainCodecError::MisalignedText { len: text.len(), unit });
+        }
+        if config.block_size == 0 || !config.block_size.is_multiple_of(unit) {
+            return Err(TrainCodecError::BadBlockSize {
+                block_size: config.block_size,
+                unit,
+            });
+        }
+        let units = frame_units(text, unit);
+        let model = MarkovModel::train(
+            &units,
+            config.division.clone(),
+            config.markov,
+            config.block_units(),
+        );
+        Ok(Self { config, model })
+    }
+
+    /// The trained model (exposed for size accounting and the optimizer).
+    pub fn model(&self) -> &MarkovModel {
+        &self.model
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SamcConfig {
+        &self.config
+    }
+
+    /// Pass 2: compresses `text` block by block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `text` is not unit-aligned (train with the same framing).
+    pub fn compress(&self, text: &[u8]) -> SamcImage {
+        let unit = self.config.unit_bytes();
+        assert!(text.len().is_multiple_of(unit), "text must be unit-aligned");
+        let blocks = text
+            .chunks(self.config.block_size)
+            .map(|chunk| self.compress_block(chunk))
+            .collect();
+        SamcImage {
+            blocks,
+            block_size: self.config.block_size,
+            original_len: text.len(),
+            model_bytes: self.model.model_bytes(),
+        }
+    }
+
+    fn compress_block(&self, chunk: &[u8]) -> Vec<u8> {
+        let unit = self.config.unit_bytes();
+        let division = &self.config.division;
+        let mask = self.config.markov.context_mask();
+        let mut encoder = BitEncoder::new();
+        let mut ctx = 0usize;
+        for unit_bytes in chunk.chunks(unit) {
+            let word = unit_to_word(unit_bytes);
+            for s in 0..division.stream_count() {
+                let mut node = 1usize;
+                let mut last = false;
+                for &bit_index in division.stream_bits(s) {
+                    let bit = division.bit_of(word, bit_index);
+                    encoder.encode_bit(bit, self.model.prob(s, ctx, node));
+                    node = 2 * node + usize::from(bit);
+                    last = bit;
+                }
+                ctx = (ctx << 1 | usize::from(last)) & mask;
+            }
+        }
+        encoder.finish()
+    }
+
+    /// Decompresses one block into `out_len` bytes — what the cache refill
+    /// engine does on a miss.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecompressBlockError::MisalignedLength`] if `out_len` is
+    /// not unit-aligned.
+    pub fn decompress_block(
+        &self,
+        bytes: &[u8],
+        out_len: usize,
+    ) -> Result<Vec<u8>, DecompressBlockError> {
+        let unit = self.config.unit_bytes();
+        if !out_len.is_multiple_of(unit) {
+            return Err(DecompressBlockError::MisalignedLength { len: out_len, unit });
+        }
+        let division = &self.config.division;
+        let mask = self.config.markov.context_mask();
+        let mut decoder = BitDecoder::new(bytes);
+        let mut out = Vec::with_capacity(out_len);
+        let mut ctx = 0usize;
+        for _ in 0..out_len / unit {
+            let mut word = 0u32;
+            for s in 0..division.stream_count() {
+                let mut node = 1usize;
+                let mut last = false;
+                for &bit_index in division.stream_bits(s) {
+                    let bit = decoder.decode_bit(self.model.prob(s, ctx, node));
+                    division.set_bit(&mut word, bit_index, bit);
+                    node = 2 * node + usize::from(bit);
+                    last = bit;
+                }
+                ctx = (ctx << 1 | usize::from(last)) & mask;
+            }
+            out.extend_from_slice(&word.to_be_bytes()[4 - unit..]);
+        }
+        Ok(out)
+    }
+
+    /// Decompresses one block with the nibble-parallel engine model
+    /// (paper Fig. 5), returning the bytes and the modelled cycle counts.
+    ///
+    /// Bit-exact with [`SamcCodec::decompress_block`]; requires every
+    /// stream's width to be a multiple of 4 bits.
+    ///
+    /// # Errors
+    ///
+    /// [`DecompressBlockError::EngineUnsupported`] if a stream is not
+    /// 4-bit aligned, or [`DecompressBlockError::MisalignedLength`] as for
+    /// the serial path.
+    pub fn decompress_block_engine(
+        &self,
+        bytes: &[u8],
+        out_len: usize,
+    ) -> Result<(Vec<u8>, EngineStats), DecompressBlockError> {
+        let unit = self.config.unit_bytes();
+        if !out_len.is_multiple_of(unit) {
+            return Err(DecompressBlockError::MisalignedLength { len: out_len, unit });
+        }
+        let division = &self.config.division;
+        if (0..division.stream_count()).any(|s| !division.stream_bits(s).len().is_multiple_of(4)) {
+            return Err(DecompressBlockError::EngineUnsupported);
+        }
+        let mask = self.config.markov.context_mask();
+        let mut engine = NibbleDecoder::new(bytes);
+        let mut out = Vec::with_capacity(out_len);
+        let mut ctx = 0usize;
+        for _ in 0..out_len / unit {
+            let mut word = 0u32;
+            for s in 0..division.stream_count() {
+                let bits = division.stream_bits(s);
+                let mut node = 1usize;
+                for nibble_index in 0..bits.len() / 4 {
+                    // The 15-probability subtree rooted at `node`: heap
+                    // index i at depth l maps to global node n·2^l + path.
+                    let mut probs = [Prob::HALF; 15];
+                    for (i, slot) in probs.iter_mut().enumerate() {
+                        let depth = usize::BITS as usize - 1 - (i + 1).leading_zeros() as usize;
+                        let path = (i + 1) - (1 << depth);
+                        *slot = self.model.prob(s, ctx, (node << depth) + path);
+                    }
+                    let nibble = engine.decode_nibble(&NibbleProbTree::new(probs));
+                    for (j, &bit_index) in
+                        bits[nibble_index * 4..nibble_index * 4 + 4].iter().enumerate()
+                    {
+                        division.set_bit(&mut word, bit_index, nibble >> (3 - j) & 1 == 1);
+                    }
+                    node = (node << 4) + usize::from(nibble);
+                }
+                let last = division.bit_of(word, *bits.last().expect("non-empty stream"));
+                ctx = (ctx << 1 | usize::from(last)) & mask;
+            }
+            out.extend_from_slice(&word.to_be_bytes()[4 - unit..]);
+        }
+        Ok((out, engine.stats()))
+    }
+
+    /// Decompresses a whole image.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DecompressBlockError`] (impossible for images produced
+    /// by [`SamcCodec::compress`] with this codec).
+    pub fn decompress(&self, image: &SamcImage) -> Result<Vec<u8>, DecompressBlockError> {
+        let mut out = Vec::with_capacity(image.original_len);
+        for (i, block) in image.blocks.iter().enumerate() {
+            let remaining = image.original_len - i * image.block_size;
+            let len = remaining.min(image.block_size);
+            out.extend(self.decompress_block(block, len)?);
+        }
+        Ok(out)
+    }
+}
+
+/// Frames text into big-endian instruction units of `unit` bytes.
+pub(crate) fn frame_units(text: &[u8], unit: usize) -> Vec<u32> {
+    text.chunks_exact(unit).map(unit_to_word).collect()
+}
+
+fn unit_to_word(bytes: &[u8]) -> u32 {
+    bytes.iter().fold(0u32, |acc, &b| acc << 8 | u32::from(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mips_like_text(words: usize) -> Vec<u8> {
+        // Field-structured words: skewed opcode byte, few registers,
+        // small immediates.
+        (0..words as u32)
+            .flat_map(|i| {
+                let opcode = [0x8F, 0xAF, 0x27, 0x00, 0x8F, 0x27][i as usize % 6];
+                let regs = [0xBD, 0xBF, 0xA4, 0x42][i as usize % 4];
+                let imm = (i * 4) % 64;
+                u32::from_be_bytes([opcode, regs, 0x00, imm as u8]).to_be_bytes()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn round_trips_mips_config() {
+        let text = mips_like_text(512);
+        let codec = SamcCodec::train(&text, SamcConfig::mips()).unwrap();
+        let image = codec.compress(&text);
+        assert_eq!(codec.decompress(&image).unwrap(), text);
+    }
+
+    #[test]
+    fn realistic_sizes_compress_well() {
+        // The ~3 KiB connected model amortizes over program-sized inputs
+        // (the paper's benchmarks are 100 KiB+); 8192 words = 32 KiB.
+        let text = mips_like_text(8192);
+        let codec = SamcCodec::train(&text, SamcConfig::mips()).unwrap();
+        let image = codec.compress(&text);
+        assert_eq!(codec.decompress(&image).unwrap(), text);
+        assert!(image.ratio() < 0.5, "ratio {}", image.ratio());
+    }
+
+    #[test]
+    fn round_trips_byte_config() {
+        let text: Vec<u8> = (0..3000).map(|i| [0x55u8, 0x89, 0xE5, 0x8B, 0x45][i % 5]).collect();
+        let codec = SamcCodec::train(&text, SamcConfig::x86()).unwrap();
+        let image = codec.compress(&text);
+        assert_eq!(codec.decompress(&image).unwrap(), text);
+    }
+
+    #[test]
+    fn blocks_decompress_independently() {
+        let text = mips_like_text(256);
+        let codec = SamcCodec::train(&text, SamcConfig::mips()).unwrap();
+        let image = codec.compress(&text);
+        // Decode block 3 alone and compare against the matching slice.
+        let expected = &text[3 * 32..4 * 32];
+        let got = codec.decompress_block(image.block(3), 32).unwrap();
+        assert_eq!(got, expected);
+        // And in reverse order, proving no inter-block state leaks.
+        for i in (0..image.block_count()).rev() {
+            let start = i * 32;
+            let len = (text.len() - start).min(32);
+            assert_eq!(
+                codec.decompress_block(image.block(i), len).unwrap(),
+                &text[start..start + len],
+                "block {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn engine_path_is_bit_exact_with_serial() {
+        let text = mips_like_text(256);
+        let codec = SamcCodec::train(&text, SamcConfig::mips()).unwrap();
+        let image = codec.compress(&text);
+        for i in 0..image.block_count() {
+            let len = (text.len() - i * 32).min(32);
+            let serial = codec.decompress_block(image.block(i), len).unwrap();
+            let (parallel, stats) = codec.decompress_block_engine(image.block(i), len).unwrap();
+            assert_eq!(serial, parallel, "block {i}");
+            // 32 bytes = 64 nibbles per full block.
+            assert_eq!(stats.nibble_cycles, (len * 2) as u64);
+        }
+    }
+
+    #[test]
+    fn engine_rejects_unaligned_streams() {
+        let division = StreamDivision::new(vec![vec![0, 1, 2], vec![3, 4, 5, 6, 7]], 8).unwrap();
+        let config = SamcConfig {
+            block_size: 32,
+            division,
+            markov: MarkovConfig::default(),
+        };
+        let text = vec![0xA5u8; 64];
+        let codec = SamcCodec::train(&text, config).unwrap();
+        let image = codec.compress(&text);
+        assert_eq!(
+            codec.decompress_block_engine(image.block(0), 32).unwrap_err(),
+            DecompressBlockError::EngineUnsupported
+        );
+        // Serial path still works.
+        assert_eq!(codec.decompress(&image).unwrap(), text);
+    }
+
+    #[test]
+    fn train_validates_input() {
+        assert_eq!(
+            SamcCodec::train(&[], SamcConfig::mips()).unwrap_err(),
+            TrainCodecError::EmptyText
+        );
+        assert_eq!(
+            SamcCodec::train(&[1, 2, 3], SamcConfig::mips()).unwrap_err(),
+            TrainCodecError::MisalignedText { len: 3, unit: 4 }
+        );
+        let bad = SamcConfig::mips().with_block_size(10);
+        assert_eq!(
+            SamcCodec::train(&[0; 8], bad).unwrap_err(),
+            TrainCodecError::BadBlockSize { block_size: 10, unit: 4 }
+        );
+    }
+
+    #[test]
+    fn short_final_block_round_trips() {
+        let text = mips_like_text(9); // 36 bytes: one full block + 4
+        let codec = SamcCodec::train(&text, SamcConfig::mips()).unwrap();
+        let image = codec.compress(&text);
+        assert_eq!(image.block_count(), 2);
+        assert_eq!(codec.decompress(&image).unwrap(), text);
+    }
+
+    #[test]
+    fn image_accounting_is_consistent() {
+        let text = mips_like_text(512);
+        let codec = SamcCodec::train(&text, SamcConfig::mips()).unwrap();
+        let image = codec.compress(&text);
+        let blocks_total: usize = (0..image.block_count()).map(|i| image.block(i).len()).sum();
+        assert_eq!(image.compressed_len(), blocks_total + codec.model().model_bytes());
+        assert!(image.ratio_with_lat() > image.ratio());
+        assert!(image.lat_bytes() > 0);
+    }
+
+    #[test]
+    fn incompressible_data_stays_near_unity() {
+        let text: Vec<u8> = (0..8192u32).flat_map(|i| i.wrapping_mul(0x9E37_79B9).to_be_bytes()).collect();
+        let codec = SamcCodec::train(&text, SamcConfig::mips()).unwrap();
+        let image = codec.compress(&text);
+        assert_eq!(codec.decompress(&image).unwrap(), text);
+        assert!(image.ratio() < 1.15, "ratio {}", image.ratio());
+    }
+
+    #[test]
+    fn different_block_sizes_round_trip() {
+        let text = mips_like_text(512);
+        for block_size in [16, 32, 64, 128] {
+            let codec =
+                SamcCodec::train(&text, SamcConfig::mips().with_block_size(block_size)).unwrap();
+            let image = codec.compress(&text);
+            assert_eq!(codec.decompress(&image).unwrap(), text, "block {block_size}");
+        }
+    }
+}

@@ -1,0 +1,329 @@
+//! Semiadaptive Markov models over bit streams.
+
+use crate::streams::StreamDivision;
+use cce_arith::{Prob, ProbMode};
+
+/// Markov-model options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MarkovConfig {
+    /// How many bits of inter-stream context condition each tree.
+    ///
+    /// `0` = independent trees; `1` = the paper's *connected* trees
+    /// (Fig. 4): each stream's tree is conditioned on the last bit of the
+    /// previous stream, wrapping from one instruction to the next inside a
+    /// block; `2`/`3` extend the window over the last 2/3 bits — the
+    /// "better Markov model" direction the paper leaves as future work
+    /// (model storage doubles per extra bit).  Maximum 3.
+    pub context_bits: u8,
+    /// Probability representation (exact 12-bit, or shift-only powers of
+    /// two for multiplier-free hardware).
+    pub prob_mode: ProbMode,
+}
+
+impl Default for MarkovConfig {
+    fn default() -> Self {
+        Self {
+            context_bits: 1,
+            prob_mode: ProbMode::Exact,
+        }
+    }
+}
+
+impl MarkovConfig {
+    /// The paper's unconnected baseline (independent trees).
+    pub fn unconnected() -> Self {
+        Self { context_bits: 0, ..Self::default() }
+    }
+
+    /// Number of context variants per stream (`2^context_bits`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `context_bits > 3` (storage grows 8× per tree already).
+    pub fn contexts(&self) -> usize {
+        assert!(self.context_bits <= 3, "context_bits must be 0..=3");
+        1usize << self.context_bits
+    }
+
+    /// Mask applied to the sliding context window.
+    pub(crate) fn context_mask(&self) -> usize {
+        self.contexts() - 1
+    }
+}
+
+/// One binary Markov tree per (stream, context).
+///
+/// Trees are complete binary trees over each stream's bits: the node
+/// reached by the bits decoded so far predicts the next bit.  Node indices
+/// are heap-style with the root at 1 and `child = 2·node + bit`, so a
+/// k-bit stream stores `2^k − 1` probabilities — the count the paper
+/// derives ("for a stream of k bits we need to store (2^{k+1} − 2)/2
+/// probabilities").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MarkovModel {
+    division: StreamDivision,
+    config: MarkovConfig,
+    /// `trees[stream][context][node]`; context is the previous stream's
+    /// last bit (always 0 when unconnected).
+    trees: Vec<Vec<Vec<Prob>>>,
+}
+
+impl MarkovModel {
+    /// Trains a model on `units` (instruction words already split out of
+    /// the text), gathering statistics with the same block-restart walk the
+    /// codec uses, so train and compression see identical contexts.
+    ///
+    /// `block_units` is the number of instruction units per cache block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_units == 0`.
+    pub fn train(
+        units: &[u32],
+        division: StreamDivision,
+        config: MarkovConfig,
+        block_units: usize,
+    ) -> Self {
+        assert!(block_units > 0, "blocks must hold at least one unit");
+        let contexts = config.contexts();
+        // counts[stream][ctx][node] = (zeros, ones)
+        let mut counts: Vec<Vec<Vec<(u64, u64)>>> = (0..division.stream_count())
+            .map(|s| {
+                let nodes = 1usize << division.stream_bits(s).len();
+                vec![vec![(0u64, 0u64); nodes]; contexts]
+            })
+            .collect();
+
+        for block in units.chunks(block_units) {
+            let mut ctx = 0usize;
+            for &unit in block {
+                for (s, stream_counts) in counts.iter_mut().enumerate() {
+                    let mut node = 1usize;
+                    let mut last = false;
+                    for &bit_index in division.stream_bits(s) {
+                        let bit = division.bit_of(unit, bit_index);
+                        let slot = &mut stream_counts[ctx][node];
+                        if bit {
+                            slot.1 += 1;
+                        } else {
+                            slot.0 += 1;
+                        }
+                        node = 2 * node + usize::from(bit);
+                        last = bit;
+                    }
+                    ctx = (ctx << 1 | usize::from(last)) & config.context_mask();
+                }
+            }
+        }
+
+        let trees = counts
+            .into_iter()
+            .map(|stream_counts| {
+                stream_counts
+                    .into_iter()
+                    .map(|ctx_counts| {
+                        ctx_counts
+                            .into_iter()
+                            .map(|(zeros, ones)| {
+                                Prob::from_counts(zeros, ones).quantize(config.prob_mode)
+                            })
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        Self {
+            division,
+            config,
+            trees,
+        }
+    }
+
+    /// Reassembles a model from serialized parts (crate-internal).
+    pub(crate) fn from_parts(
+        division: StreamDivision,
+        config: MarkovConfig,
+        trees: Vec<Vec<Vec<Prob>>>,
+    ) -> Self {
+        Self { division, config, trees }
+    }
+
+    /// The division this model was trained with.
+    pub fn division(&self) -> &StreamDivision {
+        &self.division
+    }
+
+    /// The model options.
+    pub fn config(&self) -> MarkovConfig {
+        self.config
+    }
+
+    /// P(next bit = 0) at `node` of stream `s` under context `ctx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range (codec-internal misuse).
+    pub fn prob(&self, stream: usize, ctx: usize, node: usize) -> Prob {
+        self.trees[stream][ctx][node]
+    }
+
+    /// Number of stored probabilities across all trees.
+    pub fn prob_count(&self) -> usize {
+        // Node 0 of each tree is never visited (root is 1), so subtract it.
+        self.trees
+            .iter()
+            .flat_map(|stream| stream.iter())
+            .map(|tree| tree.len() - 1)
+            .sum()
+    }
+
+    /// Serialized model size in bytes: 12 bits per probability in exact
+    /// mode, 4 bits (sign + 3-bit exponent) in power-of-two mode.
+    pub fn model_bytes(&self) -> usize {
+        let bits_per_prob = match self.config.prob_mode {
+            ProbMode::Exact => 12,
+            ProbMode::Pow2 => 4,
+        };
+        (self.prob_count() * bits_per_prob).div_ceil(8)
+    }
+
+    /// Ideal coded size (in bits) of `units` under this model with the
+    /// given block size — the entropy objective the stream-division
+    /// optimizer minimizes.
+    pub fn code_length_bits(&self, units: &[u32], block_units: usize) -> f64 {
+        let mut total = 0.0;
+        for block in units.chunks(block_units) {
+            let mut ctx = 0usize;
+            for &unit in block {
+                for s in 0..self.division.stream_count() {
+                    let mut node = 1usize;
+                    let mut last = false;
+                    for &bit_index in self.division.stream_bits(s) {
+                        let bit = self.division.bit_of(unit, bit_index);
+                        total += self.prob(s, ctx, node).code_length(bit);
+                        node = 2 * node + usize::from(bit);
+                        last = bit;
+                    }
+                    ctx = (ctx << 1 | usize::from(last)) & self.config.context_mask();
+                }
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::streams::StreamDivision;
+
+    #[test]
+    fn prob_count_matches_paper_formula() {
+        // 4 streams of 8 bits, unconnected: 4 · (2^8 − 1) = 1020.
+        let model = MarkovModel::train(
+            &[0u32; 16],
+            StreamDivision::bytes(32),
+            MarkovConfig::unconnected(),
+            8,
+        );
+        assert_eq!(model.prob_count(), 4 * 255);
+        // Connected doubles the contexts.
+        let model = MarkovModel::train(
+            &[0u32; 16],
+            StreamDivision::bytes(32),
+            MarkovConfig::default(),
+            8,
+        );
+        assert_eq!(model.prob_count(), 2 * 4 * 255);
+    }
+
+    #[test]
+    fn constant_stream_learns_certainty() {
+        // All-zero words: every visited node should predict 0 strongly.
+        let model = MarkovModel::train(
+            &[0u32; 1000],
+            StreamDivision::bytes(32),
+            MarkovConfig::default(),
+            8,
+        );
+        assert!(model.prob(0, 0, 1).as_f64() > 0.99);
+    }
+
+    #[test]
+    fn learned_probabilities_reflect_bias() {
+        // Bit 0 (MSB) set in 1 of 4 words.
+        let units: Vec<u32> = (0..4000u32).map(|i| if i % 4 == 0 { 0x8000_0000 } else { 0 }).collect();
+        let model = MarkovModel::train(
+            &units,
+            StreamDivision::bytes(32),
+            MarkovConfig::unconnected(),
+            8,
+        );
+        let p = model.prob(0, 0, 1).as_f64();
+        assert!((p - 0.75).abs() < 0.02, "P(0)={p}");
+    }
+
+    #[test]
+    fn connected_context_separates_statistics() {
+        // Alternate words: when the previous word's last bit is 1, the next
+        // word's first bit is 1, else 0.  A connected model learns this;
+        // an unconnected one cannot.
+        let units: Vec<u32> = (0..2000u32)
+            .map(|i| if i % 2 == 0 { 0x8000_0001 } else { 0 })
+            .collect();
+        let connected = MarkovModel::train(
+            &units,
+            StreamDivision::bytes(32),
+            MarkovConfig::default(),
+            u32::MAX as usize,
+        );
+        // ctx=1 (previous last bit 1) → next MSB is 0 (word 0 follows word with bit set... wait: after word with last bit 1 comes all-zero word).
+        let after_one = connected.prob(0, 1, 1).as_f64();
+        let after_zero = connected.prob(0, 0, 1).as_f64();
+        assert!(after_one > 0.9, "after a 1-ending word the MSB is 0: {after_one}");
+        assert!(after_zero < 0.6, "after_zero {after_zero}");
+        let code_connected = connected.code_length_bits(&units, u32::MAX as usize);
+        let unconnected = MarkovModel::train(
+            &units,
+            StreamDivision::bytes(32),
+            MarkovConfig::unconnected(),
+            u32::MAX as usize,
+        );
+        let code_unconnected = unconnected.code_length_bits(&units, u32::MAX as usize);
+        assert!(
+            code_connected < code_unconnected,
+            "connected {code_connected} vs unconnected {code_unconnected}"
+        );
+    }
+
+    #[test]
+    fn model_bytes_scales_with_mode() {
+        let exact = MarkovModel::train(
+            &[0u32; 8],
+            StreamDivision::bytes(32),
+            MarkovConfig::unconnected(),
+            8,
+        );
+        let pow2 = MarkovModel::train(
+            &[0u32; 8],
+            StreamDivision::bytes(32),
+            MarkovConfig { context_bits: 0, prob_mode: ProbMode::Pow2 },
+            8,
+        );
+        assert_eq!(exact.model_bytes(), (4 * 255 * 12usize).div_ceil(8));
+        assert_eq!(pow2.model_bytes(), (4 * 255 * 4usize).div_ceil(8));
+    }
+
+    #[test]
+    fn code_length_lower_for_biased_data() {
+        let biased: Vec<u32> = vec![0x0102_0304; 512];
+        let mixed: Vec<u32> = (0..512u32).map(|i| i.wrapping_mul(0x9E37_79B9)).collect();
+        let division = StreamDivision::bytes(32);
+        let model_biased =
+            MarkovModel::train(&biased, division.clone(), MarkovConfig::default(), 8);
+        let model_mixed = MarkovModel::train(&mixed, division, MarkovConfig::default(), 8);
+        let len_biased = model_biased.code_length_bits(&biased, 8);
+        let len_mixed = model_mixed.code_length_bits(&mixed, 8);
+        assert!(len_biased < len_mixed / 4.0, "{len_biased} vs {len_mixed}");
+    }
+}

@@ -1,0 +1,365 @@
+//! On-disk format for trained SAMC codecs and compressed images.
+//!
+//! A compressed-code build flow produces two artifacts: the *model* the
+//! decompression hardware must hold (stream division + Markov tables) and
+//! the *image* written to main memory (compressed blocks + LAT).  This
+//! module serializes both, packing probabilities at exactly the bit
+//! widths [`MarkovModel::model_bytes`] charges for (12-bit exact, 4-bit
+//! power-of-two), so the reported ratios correspond to real bytes.
+//!
+//! # Examples
+//!
+//! ```
+//! use cce_samc::{SamcCodec, SamcConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let text: Vec<u8> = (0..4096u32).flat_map(|i| ((i % 9) << 3).to_be_bytes()).collect();
+//! let codec = SamcCodec::train(&text, SamcConfig::mips())?;
+//! let image = codec.compress(&text);
+//!
+//! let codec_bytes = codec.to_bytes();
+//! let image_bytes = image.to_bytes();
+//!
+//! let codec2 = SamcCodec::from_bytes(&codec_bytes)?;
+//! let image2 = cce_samc::SamcImage::from_bytes(&image_bytes)?;
+//! assert_eq!(codec2.decompress(&image2)?, text);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::codec::{SamcCodec, SamcConfig, SamcImage};
+use crate::model::{MarkovConfig, MarkovModel};
+use crate::streams::StreamDivision;
+use cce_arith::{Prob, ProbMode};
+use cce_bitstream::{BitReader, BitWriter, ByteCursor, EndOfStreamError};
+use std::error::Error;
+use std::fmt;
+
+const CODEC_MAGIC: u32 = u32::from_be_bytes(*b"SAMC");
+const IMAGE_MAGIC: u32 = u32::from_be_bytes(*b"SIMG");
+const VERSION: u16 = 1;
+
+/// Errors from deserialization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReadFormatError {
+    /// Wrong magic number (not a SAMC artifact, or the wrong kind).
+    BadMagic {
+        /// The magic found.
+        found: u32,
+        /// The magic expected.
+        expected: u32,
+    },
+    /// Unsupported format version.
+    BadVersion(u16),
+    /// The buffer ended early.
+    Truncated,
+    /// A structural field was inconsistent (e.g. invalid stream division).
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for ReadFormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::BadMagic { found, expected } => {
+                write!(f, "bad magic {found:#010x} (expected {expected:#010x})")
+            }
+            Self::BadVersion(v) => write!(f, "unsupported format version {v}"),
+            Self::Truncated => write!(f, "artifact truncated"),
+            Self::Corrupt(what) => write!(f, "corrupt artifact: {what}"),
+        }
+    }
+}
+
+impl Error for ReadFormatError {}
+
+impl From<EndOfStreamError> for ReadFormatError {
+    fn from(_: EndOfStreamError) -> Self {
+        Self::Truncated
+    }
+}
+
+impl SamcCodec {
+    /// Serializes the trained codec (configuration + Markov tables).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = BitWriter::new();
+        w.write_bits(CODEC_MAGIC, 32);
+        w.write_bits(u32::from(VERSION), 16);
+        let config = self.config();
+        w.write_bits(config.block_size as u32, 32);
+        let division = &config.division;
+        w.write_bits(u32::from(division.width()), 8);
+        w.write_bits(division.stream_count() as u32, 8);
+        for s in 0..division.stream_count() {
+            let bits = division.stream_bits(s);
+            w.write_bits(bits.len() as u32, 8);
+            for &b in bits {
+                w.write_bits(u32::from(b), 8);
+            }
+        }
+        w.write_bits(u32::from(config.markov.context_bits), 2);
+        w.write_bit(config.markov.prob_mode == ProbMode::Pow2);
+        w.align_to_byte();
+
+        // Markov tables, packed at the charged widths.
+        let model = self.model();
+        let contexts = config.markov.contexts();
+        for s in 0..division.stream_count() {
+            let nodes = 1usize << division.stream_bits(s).len();
+            for ctx in 0..contexts {
+                for node in 1..nodes {
+                    let p = model.prob(s, ctx, node);
+                    match config.markov.prob_mode {
+                        ProbMode::Exact => w.write_bits(p.raw(), 12),
+                        ProbMode::Pow2 => w.write_bits(pow2_nibble(p), 4),
+                    }
+                }
+            }
+        }
+        w.align_to_byte();
+        w.into_bytes()
+    }
+
+    /// Deserializes a codec written by [`SamcCodec::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// See [`ReadFormatError`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, ReadFormatError> {
+        let mut r = BitReader::new(bytes);
+        let magic = r.read_bits(32)?;
+        if magic != CODEC_MAGIC {
+            return Err(ReadFormatError::BadMagic { found: magic, expected: CODEC_MAGIC });
+        }
+        let version = r.read_bits(16)? as u16;
+        if version != VERSION {
+            return Err(ReadFormatError::BadVersion(version));
+        }
+        let block_size = r.read_bits(32)? as usize;
+        let width = r.read_bits(8)? as u8;
+        let stream_count = r.read_bits(8)? as usize;
+        if stream_count == 0 || stream_count > 32 {
+            return Err(ReadFormatError::Corrupt("stream count"));
+        }
+        let mut streams = Vec::with_capacity(stream_count);
+        for _ in 0..stream_count {
+            let n = r.read_bits(8)? as usize;
+            let mut bits = Vec::with_capacity(n);
+            for _ in 0..n {
+                bits.push(r.read_bits(8)? as u8);
+            }
+            streams.push(bits);
+        }
+        let division = StreamDivision::new(streams, width)
+            .map_err(|_| ReadFormatError::Corrupt("stream division"))?;
+        let context_bits = r.read_bits(2)? as u8;
+        let prob_mode = if r.read_bit()? { ProbMode::Pow2 } else { ProbMode::Exact };
+        r.align_to_byte();
+
+        let contexts = 1usize << context_bits;
+        let mut trees: Vec<Vec<Vec<Prob>>> = Vec::with_capacity(division.stream_count());
+        for s in 0..division.stream_count() {
+            let nodes = 1usize << division.stream_bits(s).len();
+            let mut per_ctx = Vec::with_capacity(contexts);
+            for _ in 0..contexts {
+                let mut probs = vec![Prob::HALF; nodes];
+                for node in probs.iter_mut().skip(1) {
+                    *node = match prob_mode {
+                        ProbMode::Exact => Prob::from_raw(r.read_bits(12)?),
+                        ProbMode::Pow2 => nibble_pow2(r.read_bits(4)? as u8),
+                    };
+                }
+                per_ctx.push(probs);
+            }
+            trees.push(per_ctx);
+        }
+        let markov = MarkovConfig { context_bits, prob_mode };
+        let config = SamcConfig { block_size, division: division.clone(), markov };
+        let model = MarkovModel::from_parts(division, markov, trees);
+        Ok(SamcCodec::from_parts(config, model))
+    }
+}
+
+impl SamcImage {
+    /// Serializes the compressed image (blocks; the LAT is implicit in the
+    /// stored block lengths and reconstructed on load).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = BitWriter::new();
+        w.write_bits(IMAGE_MAGIC, 32);
+        w.write_bits(u32::from(VERSION), 16);
+        w.write_bits(self.block_size() as u32, 32);
+        w.write_bits(self.original_len() as u32, 32);
+        w.write_bits(self.model_overhead_bytes() as u32, 32);
+        w.write_bits(self.block_count() as u32, 32);
+        for i in 0..self.block_count() {
+            w.write_bits(self.block(i).len() as u32, 16);
+        }
+        for i in 0..self.block_count() {
+            w.write_bytes(self.block(i));
+        }
+        w.into_bytes()
+    }
+
+    /// Deserializes an image written by [`SamcImage::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// See [`ReadFormatError`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, ReadFormatError> {
+        let mut c = ByteCursor::new(bytes);
+        let magic = c.read_u32_be()?;
+        if magic != IMAGE_MAGIC {
+            return Err(ReadFormatError::BadMagic { found: magic, expected: IMAGE_MAGIC });
+        }
+        let version = c.read_u16_be()?;
+        if version != VERSION {
+            return Err(ReadFormatError::BadVersion(version));
+        }
+        let block_size = c.read_u32_be()? as usize;
+        let original_len = c.read_u32_be()? as usize;
+        let model_bytes = c.read_u32_be()? as usize;
+        let block_count = c.read_u32_be()? as usize;
+        if block_size == 0 || block_count != original_len.div_ceil(block_size) {
+            return Err(ReadFormatError::Corrupt("block geometry"));
+        }
+        let mut lengths = Vec::with_capacity(block_count);
+        for _ in 0..block_count {
+            lengths.push(c.read_u16_be()? as usize);
+        }
+        let mut blocks = Vec::with_capacity(block_count);
+        for len in lengths {
+            blocks.push(c.read_bytes(len)?.to_vec());
+        }
+        Ok(SamcImage::from_parts(blocks, block_size, original_len, model_bytes))
+    }
+}
+
+/// Packs a power-of-two probability into 4 bits: bit 3 = "one is the
+/// minor symbol", bits 0..3 = exponent k−1 (minor probability 2^-k,
+/// `k ∈ 1..=8` by [`Prob::to_pow2`]'s clamp).
+fn pow2_nibble(p: Prob) -> u32 {
+    let raw = p.raw();
+    let one = 1u32 << 12;
+    let (minor, one_minor) = if raw <= one / 2 { (raw, false) } else { (one - raw, true) };
+    debug_assert!(minor.is_power_of_two());
+    let k = 12 - minor.trailing_zeros();
+    debug_assert!((1..=8).contains(&k), "exponent {k} outside the 4-bit format");
+    (u32::from(one_minor) << 3) | (k - 1)
+}
+
+/// Inverse of [`pow2_nibble`].
+fn nibble_pow2(nibble: u8) -> Prob {
+    let one_minor = nibble & 0x8 != 0;
+    let k = u32::from(nibble & 0x7) + 1;
+    let minor = (1u32 << 12) >> k;
+    Prob::from_raw(if one_minor { (1 << 12) - minor } else { minor })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn training_text() -> Vec<u8> {
+        (0..2048u32).flat_map(|i| ((i % 11) << 2 | 0x8000_0000).to_be_bytes()).collect()
+    }
+
+    #[test]
+    fn codec_round_trips_exact_mode() {
+        let text = training_text();
+        let codec = SamcCodec::train(&text, SamcConfig::mips()).unwrap();
+        let bytes = codec.to_bytes();
+        let restored = SamcCodec::from_bytes(&bytes).unwrap();
+        // The restored codec must produce byte-identical compression.
+        let a = codec.compress(&text);
+        let b = restored.compress(&text);
+        assert_eq!(a, b);
+        assert_eq!(restored.decompress(&a).unwrap(), text);
+    }
+
+    #[test]
+    fn codec_round_trips_pow2_mode() {
+        let text = training_text();
+        let config = SamcConfig {
+            markov: MarkovConfig { context_bits: 1, prob_mode: ProbMode::Pow2 },
+            ..SamcConfig::mips()
+        };
+        let codec = SamcCodec::train(&text, config).unwrap();
+        let restored = SamcCodec::from_bytes(&codec.to_bytes()).unwrap();
+        let image = codec.compress(&text);
+        assert_eq!(restored.compress(&text), image);
+        assert_eq!(restored.decompress(&image).unwrap(), text);
+    }
+
+    #[test]
+    fn serialized_model_size_matches_accounting() {
+        // The format's model section must cost exactly what
+        // `model_bytes()` claims (plus the fixed header).
+        let text = training_text();
+        for prob_mode in [ProbMode::Exact, ProbMode::Pow2] {
+            let config = SamcConfig {
+                markov: MarkovConfig { context_bits: 1, prob_mode },
+                ..SamcConfig::mips()
+            };
+            let codec = SamcCodec::train(&text, config).unwrap();
+            let bytes = codec.to_bytes();
+            let division = &codec.config().division;
+            let header = 4 + 2 + 4 + 1 + 1
+                + (0..division.stream_count())
+                    .map(|s| 1 + division.stream_bits(s).len())
+                    .sum::<usize>()
+                + 1; // flags byte (aligned)
+            let model = codec.model().model_bytes();
+            assert!(
+                bytes.len() <= header + model + 1,
+                "{prob_mode:?}: serialized {} vs header {header} + model {model}",
+                bytes.len()
+            );
+        }
+    }
+
+    #[test]
+    fn image_round_trips() {
+        let text = training_text();
+        let codec = SamcCodec::train(&text, SamcConfig::mips()).unwrap();
+        let image = codec.compress(&text);
+        let restored = SamcImage::from_bytes(&image.to_bytes()).unwrap();
+        assert_eq!(restored, image);
+    }
+
+    #[test]
+    fn wrong_magic_is_rejected() {
+        assert!(matches!(
+            SamcCodec::from_bytes(b"NOPE1234"),
+            Err(ReadFormatError::BadMagic { .. })
+        ));
+        let text = training_text();
+        let codec = SamcCodec::train(&text, SamcConfig::mips()).unwrap();
+        // An image is not a codec.
+        let image_bytes = codec.compress(&text).to_bytes();
+        assert!(matches!(
+            SamcCodec::from_bytes(&image_bytes),
+            Err(ReadFormatError::BadMagic { .. })
+        ));
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let text = training_text();
+        let codec = SamcCodec::train(&text, SamcConfig::mips()).unwrap();
+        let bytes = codec.to_bytes();
+        for cut in [2, 8, 20, bytes.len() / 2] {
+            assert!(SamcCodec::from_bytes(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+        let image_bytes = codec.compress(&text).to_bytes();
+        for cut in [2, 10, image_bytes.len() - 1] {
+            assert!(SamcImage::from_bytes(&image_bytes[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn pow2_nibble_is_invertible() {
+        for raw in 1u32..(1 << 12) {
+            let p = Prob::from_raw(raw).to_pow2();
+            assert_eq!(nibble_pow2(pow2_nibble(p) as u8), p, "raw {raw}");
+        }
+    }
+}

@@ -1,0 +1,523 @@
+//! Compiler-like MIPS-I code generation.
+
+use crate::profile::BenchmarkProfile;
+use cce_isa::mips::{IType, Instruction, JType, RType, Reg, RegImm};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Text base address (conventional MIPS executable load address).
+const TEXT_BASE_WORDS: u32 = 0x0040_0000 >> 2;
+
+/// Picks from `choices` with the paired weights.
+fn weighted<'a, T>(rng: &mut StdRng, choices: &'a [(T, u32)]) -> &'a T {
+    let total: u32 = choices.iter().map(|&(_, w)| w).sum();
+    let mut roll = rng.random_range(0..total);
+    for (value, weight) in choices {
+        if roll < *weight {
+            return value;
+        }
+        roll -= weight;
+    }
+    unreachable!("weights sum checked")
+}
+
+/// Register pools with compiler-like usage skew.
+struct RegPools;
+
+impl RegPools {
+    /// Base registers for loads/stores: mostly sp/gp/fp plus a few pointers.
+    fn base(rng: &mut StdRng) -> Reg {
+        if rng.random_bool(0.45) {
+            *weighted(rng, &[(Reg::SP, 5), (Reg::GP, 2), (Reg::FP, 1)])
+        } else {
+            let pool: [u8; 12] = [2, 4, 5, 6, 8, 9, 10, 16, 17, 18, 19, 25];
+            Reg::new(pool[rng.random_range(0..pool.len())])
+        }
+    }
+
+    /// Computation registers: temporaries and saved registers.  The pool
+    /// is wide and only mildly skewed — register allocators spread work
+    /// across most of the file.
+    fn temp(rng: &mut StdRng) -> Reg {
+        if rng.random_bool(0.25) {
+            // The hottest few.
+            *weighted(rng, &[(Reg::V0, 5), (Reg::T0, 4), (Reg::A0, 3), (Reg::S0, 2)])
+        } else {
+            // v0-v1, a0-a3, t0-t9, s0-s7 roughly uniformly.
+            let pool: [u8; 22] = [2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21, 24, 25];
+            Reg::new(pool[rng.random_range(0..pool.len())])
+        }
+    }
+}
+
+/// Small load/store offsets: word-aligned, mostly near the frame base.
+fn mem_offset(rng: &mut StdRng) -> u16 {
+    let class = rng.random_range(0..100u32);
+    match class {
+        0..=24 => 4 * rng.random_range(0..8) as u16,    // hot frame slots
+        25..=59 => 4 * rng.random_range(0..128) as u16, // frame + structs
+        60..=89 => 4 * rng.random_range(0..1024) as u16, // globals off $gp
+        90..=94 => 1 + 2 * rng.random_range(0..64) as u16, // byte/half accesses
+        _ => (-(4 * rng.random_range(1..64) as i16)) as u16,
+    }
+}
+
+/// Arithmetic immediates: small constants dominate.
+fn arith_imm(rng: &mut StdRng) -> u16 {
+    let class = rng.random_range(0..100u32);
+    match class {
+        0..=14 => 1,
+        15..=24 => *[2u16, 4, 8].get(rng.random_range(0..3)).expect("in range"),
+        25..=49 => rng.random_range(0..64) as u16,
+        50..=79 => rng.random_range(0..4096) as u16,
+        80..=92 => (-(rng.random_range(1..1024) as i16)) as u16,
+        _ => rng.random_range(0..u32::from(u16::MAX)) as u16,
+    }
+}
+
+/// Parameters of one loop kernel, fixed per function so its unrolled body
+/// repeats verbatim — the regularity that makes FP code compressible.
+#[derive(Clone, Copy)]
+struct Kernel {
+    base: Reg,
+    acc: Reg,
+    /// Temporaries rotate between two registers (software pipelining).
+    tmps: [Reg; 2],
+    /// The combining op alternates (real kernels mix multiplies, adds and
+    /// compares), so opcode n-grams do not repeat verbatim either.
+    ops: [RType; 2],
+    stride: u16,
+    /// Running offset: advances after every emitted kernel so repeated
+    /// kernels share structure but not immediates.
+    start: u16,
+    unroll: u16,
+    /// Rotation phase.
+    phase: u8,
+}
+
+impl Generator {
+    /// Emits a branch delay slot: filled with useful work most of the
+    /// time, `nop` otherwise (as optimizing MIPS compilers achieve).
+    fn delay_slot(&mut self) {
+        if self.rng.random_bool(0.65) {
+            let r = RegPools::temp(&mut self.rng);
+            let imm = arith_imm(&mut self.rng);
+            match self.rng.random_range(0..3u32) {
+                0 => self.emit(Instruction::addiu(r, r, imm)),
+                1 => {
+                    let base = RegPools::base(&mut self.rng);
+                    let off = mem_offset(&mut self.rng);
+                    self.emit(Instruction::lw(r, off, base));
+                }
+                _ => {
+                    let s = RegPools::temp(&mut self.rng);
+                    self.emit(Instruction::addu(r, Reg::ZERO, s)); // move
+                }
+            }
+        } else {
+            self.emit(Instruction::nop());
+        }
+    }
+}
+
+/// The code generator's running state for one program.
+struct Generator {
+    rng: StdRng,
+    out: Vec<Instruction>,
+    /// Word indices where functions started, for realistic call targets.
+    function_starts: Vec<u32>,
+    regularity: f64,
+    blocks_per_function: usize,
+    /// The current function's kernel (refreshed per function).
+    kernel: Kernel,
+}
+
+impl Generator {
+    fn emit(&mut self, insn: Instruction) {
+        self.out.push(insn);
+    }
+
+    fn call_target(&mut self) -> u32 {
+        // Calls overwhelmingly target existing functions; the high bits of
+        // the 26-bit field are therefore shared, as in a real small binary.
+        let idx = self.rng.random_range(0..self.function_starts.len());
+        (TEXT_BASE_WORDS + self.function_starts[idx]) & 0x03FF_FFFF
+    }
+
+    fn prologue(&mut self, frame: u16, saved: &[Reg]) {
+        self.emit(Instruction::addiu(Reg::SP, Reg::SP, frame.wrapping_neg()));
+        self.emit(Instruction::sw(Reg::RA, frame - 4, Reg::SP));
+        for (i, &reg) in saved.iter().enumerate() {
+            self.emit(Instruction::sw(reg, frame - 8 - 4 * i as u16, Reg::SP));
+        }
+    }
+
+    fn epilogue(&mut self, frame: u16, saved: &[Reg]) {
+        self.emit(Instruction::lw(Reg::RA, frame - 4, Reg::SP));
+        for (i, &reg) in saved.iter().enumerate() {
+            self.emit(Instruction::lw(reg, frame - 8 - 4 * i as u16, Reg::SP));
+        }
+        self.emit(Instruction::addiu(Reg::SP, Reg::SP, frame));
+        self.emit(Instruction::jr(Reg::RA));
+        self.emit(Instruction::nop()); // branch delay slot
+    }
+
+    /// Draws a fresh kernel from a deliberately small palette: unrolled
+    /// loops across a program reuse the same few register/stride choices.
+    fn new_kernel(&mut self) -> Kernel {
+        let t0 = RegPools::temp(&mut self.rng);
+        let mut t1 = RegPools::temp(&mut self.rng);
+        if t1 == t0 {
+            t1 = Reg::new((t0.number() + 1) % 32);
+        }
+        Kernel {
+            base: *weighted(&mut self.rng, &[(Reg::new(17), 5), (Reg::S0, 3), (Reg::A0, 2)]),
+            acc: *weighted(&mut self.rng, &[(Reg::V0, 6), (Reg::T0, 3)]),
+            tmps: [t0, t1],
+            ops: [
+                *weighted(&mut self.rng, &[(RType::Addu, 6), (RType::Add, 1), (RType::Subu, 2)]),
+                *weighted(&mut self.rng, &[(RType::Xor, 2), (RType::And, 2), (RType::Or, 3), (RType::Slt, 2)]),
+            ],
+            stride: *weighted(&mut self.rng, &[(4u16, 8), (8, 2)]),
+            start: *weighted(&mut self.rng, &[(0u16, 6), (4, 3), (8, 1)]),
+            unroll: *weighted(&mut self.rng, &[(4u16, 5), (2, 3), (8, 2)]),
+            phase: 0,
+        }
+    }
+
+    /// A regular, unrolled array-kernel block (FP-benchmark flavour).
+    /// The same kernel repeats across the function, producing the verbatim
+    /// repetition unrolled numeric code exhibits.
+    fn regular_block(&mut self) {
+        let Kernel { base, acc, tmps, ops, stride, start, unroll, phase } = self.kernel;
+        for k in 0..unroll {
+            let tmp = tmps[usize::from((phase + k as u8) % 2)];
+            let op = ops[usize::from((phase + k as u8) % 2)];
+            self.emit(Instruction::lw(tmp, start.wrapping_add(stride * k), base));
+            self.emit(Instruction::R { op, rs: acc, rt: tmp, rd: acc, shamt: 0 });
+        }
+        self.emit(Instruction::sw(acc, start, base));
+        self.emit(Instruction::addiu(base, base, stride * unroll));
+        // March across the array: next repetition uses fresh offsets and a
+        // rotated register/op assignment.
+        self.kernel.start = start.wrapping_add(stride * unroll) & 0x0FFF;
+        self.kernel.phase = phase.wrapping_add(1);
+        // Real loop bodies interleave index math and spills with the
+        // kernel; break perfect repetition some of the time.
+        if self.rng.random_bool(0.5) {
+            self.irregular_block();
+        }
+    }
+
+    /// An irregular integer block: loads, ALU, compare-and-branch.
+    /// Mostly emits a *single* scheduled instruction — instruction
+    /// schedulers interleave independent work, so rigid multi-instruction
+    /// idioms are much rarer in real code than textbook patterns suggest.
+    fn irregular_block(&mut self) {
+        let choice = self.rng.random_range(0..130u32);
+        match choice {
+            100..=109 => {
+                // Standalone load or store.
+                let base = RegPools::base(&mut self.rng);
+                let r = RegPools::temp(&mut self.rng);
+                let off = mem_offset(&mut self.rng);
+                if self.rng.random_bool(0.6) {
+                    self.emit(Instruction::lw(r, off, base));
+                } else {
+                    self.emit(Instruction::sw(r, off, base));
+                }
+            }
+            110..=119 => {
+                // Standalone register ALU op.
+                let a = RegPools::temp(&mut self.rng);
+                let b = RegPools::temp(&mut self.rng);
+                let d = RegPools::temp(&mut self.rng);
+                let op = *weighted(
+                    &mut self.rng,
+                    &[
+                        (RType::Addu, 8),
+                        (RType::Subu, 4),
+                        (RType::Or, 3),
+                        (RType::And, 2),
+                        (RType::Xor, 2),
+                        (RType::Slt, 3),
+                        (RType::Sltu, 2),
+                    ],
+                );
+                self.emit(Instruction::R { op, rs: a, rt: b, rd: d, shamt: 0 });
+            }
+            120..=124 => {
+                // hi/lo unit traffic.
+                let a = RegPools::temp(&mut self.rng);
+                let b = RegPools::temp(&mut self.rng);
+                let d = RegPools::temp(&mut self.rng);
+                let op = *weighted(
+                    &mut self.rng,
+                    &[(RType::Mult, 4), (RType::Multu, 1), (RType::Div, 2), (RType::Divu, 1)],
+                );
+                self.emit(Instruction::R { op, rs: a, rt: b, rd: Reg::ZERO, shamt: 0 });
+                let from = if self.rng.random_bool(0.7) { RType::Mflo } else { RType::Mfhi };
+                self.emit(Instruction::R { op: from, rs: Reg::ZERO, rt: Reg::ZERO, rd: d, shamt: 0 });
+            }
+            125..=129 => {
+                // Indirect call or computed jump.
+                let r = RegPools::temp(&mut self.rng);
+                if self.rng.random_bool(0.5) {
+                    self.emit(Instruction::R {
+                        op: RType::Jalr,
+                        rs: r,
+                        rt: Reg::ZERO,
+                        rd: Reg::RA,
+                        shamt: 0,
+                    });
+                } else {
+                    self.emit(Instruction::jr(r));
+                }
+                self.delay_slot();
+            }
+            0..=29 => {
+                // Load–compute–store.
+                let base = RegPools::base(&mut self.rng);
+                let a = RegPools::temp(&mut self.rng);
+                let b = RegPools::temp(&mut self.rng);
+                let off = mem_offset(&mut self.rng);
+                self.emit(Instruction::lw(a, off, base));
+                let op = *weighted(
+                    &mut self.rng,
+                    &[
+                        (RType::Addu, 10),
+                        (RType::Subu, 5),
+                        (RType::And, 3),
+                        (RType::Or, 4),
+                        (RType::Xor, 2),
+                        (RType::Nor, 1),
+                        (RType::Slt, 3),
+                        (RType::Sltu, 2),
+                        (RType::Add, 1),
+                    ],
+                );
+                self.emit(Instruction::R { op, rs: a, rt: b, rd: a, shamt: 0 });
+                if self.rng.random_bool(0.6) {
+                    let off = mem_offset(&mut self.rng);
+                    self.emit(Instruction::sw(a, off, base));
+                }
+            }
+            30..=49 => {
+                // Immediate arithmetic / address formation.
+                let r = RegPools::temp(&mut self.rng);
+                let op = *weighted(
+                    &mut self.rng,
+                    &[
+                        (IType::Addiu, 12),
+                        (IType::Andi, 2),
+                        (IType::Ori, 3),
+                        (IType::Slti, 2),
+                        (IType::Sltiu, 2),
+                        (IType::Xori, 1),
+                    ],
+                );
+                let rs = if self.rng.random_bool(0.3) { Reg::ZERO } else { r };
+                let imm = arith_imm(&mut self.rng);
+                self.emit(Instruction::I { op, rs, rt: r, imm });
+            }
+            50..=64 => {
+                // Compare and branch (short forward offsets dominate).
+                let a = RegPools::temp(&mut self.rng);
+                let b = RegPools::temp(&mut self.rng);
+                let off = if self.rng.random_bool(0.6) {
+                    self.rng.random_range(2..32) as u16
+                } else {
+                    self.rng.random_range(32..512) as u16
+                };
+                if self.rng.random_bool(0.4) {
+                    let t = RegPools::temp(&mut self.rng);
+                    self.emit(Instruction::R { op: RType::Slt, rs: a, rt: b, rd: t, shamt: 0 });
+                    let op = if self.rng.random_bool(0.5) { IType::Bne } else { IType::Beq };
+                    self.emit(Instruction::I { op, rs: t, rt: Reg::ZERO, imm: off });
+                } else {
+                    let op = *weighted(
+                        &mut self.rng,
+                        &[(IType::Beq, 4), (IType::Bne, 5), (IType::Blez, 1), (IType::Bgtz, 1)],
+                    );
+                    match op {
+                        IType::Blez | IType::Bgtz => {
+                            self.emit(Instruction::I { op, rs: a, rt: Reg::ZERO, imm: off })
+                        }
+                        _ => self.emit(Instruction::I { op, rs: a, rt: b, imm: off }),
+                    }
+                }
+                self.delay_slot();
+            }
+            65..=74 => {
+                // Function call.
+                let target = self.call_target();
+                self.emit(Instruction::J { op: JType::Jal, target });
+                self.delay_slot();
+            }
+            75..=84 => {
+                // 32-bit constant or global address formation.
+                let r = RegPools::temp(&mut self.rng);
+                let hi = *weighted(&mut self.rng, &[(0x0040u16, 5), (0x0041, 3), (0x1000, 2), (0x0804, 1)]);
+                self.emit(Instruction::I { op: IType::Lui, rs: Reg::ZERO, rt: r, imm: hi });
+                let imm = self.rng.random_range(0..16384u16) & !0x3;
+                self.emit(Instruction::I { op: IType::Ori, rs: r, rt: r, imm });
+            }
+            85..=92 => {
+                // Shifts (array scaling).
+                let r = RegPools::temp(&mut self.rng);
+                let d = RegPools::temp(&mut self.rng);
+                let op = *weighted(&mut self.rng, &[(RType::Sll, 6), (RType::Srl, 2), (RType::Sra, 2)]);
+                let shamt = *weighted(&mut self.rng, &[(2u8, 6), (1, 2), (3, 2), (4, 1), (16, 1)]);
+                self.emit(Instruction::R { op, rs: Reg::ZERO, rt: r, rd: d, shamt });
+            }
+            93..=96 => {
+                // Loop back-edge idiom.
+                let i = RegPools::temp(&mut self.rng);
+                let t = RegPools::temp(&mut self.rng);
+                self.emit(Instruction::addiu(i, i, 1));
+                let imm = arith_imm(&mut self.rng);
+                self.emit(Instruction::I { op: IType::Sltiu, rs: i, rt: t, imm });
+                let back = (-(self.rng.random_range(3..20) as i16)) as u16;
+                self.emit(Instruction::I { op: IType::Bne, rs: t, rt: Reg::ZERO, imm: back });
+                self.delay_slot();
+            }
+            _ => {
+                // Occasional REGIMM branch or byte/halfword access.
+                if self.rng.random_bool(0.5) {
+                    let op = if self.rng.random_bool(0.5) { RegImm::Bltz } else { RegImm::Bgez };
+                    let r = RegPools::temp(&mut self.rng);
+                    let imm = self.rng.random_range(2..32) as u16;
+                    self.emit(Instruction::B { op, rs: r, imm });
+                    self.delay_slot();
+                } else {
+                    let base = RegPools::base(&mut self.rng);
+                    let r = RegPools::temp(&mut self.rng);
+                    let op = *weighted(
+                        &mut self.rng,
+                        &[(IType::Lbu, 4), (IType::Lb, 2), (IType::Lhu, 2), (IType::Sb, 3), (IType::Sh, 1)],
+                    );
+                    let imm = mem_offset(&mut self.rng);
+                    self.emit(Instruction::I { op, rs: base, rt: r, imm });
+                }
+            }
+        }
+    }
+
+    fn function(&mut self) {
+        self.function_starts.push(self.out.len() as u32);
+        self.kernel = self.new_kernel();
+        let saved_count = self.rng.random_range(0..5usize);
+        let saved: Vec<Reg> = (0..saved_count).map(|i| Reg::new(16 + i as u8)).collect();
+        let locals = 8 * self.rng.random_range(0..8u16);
+        let frame = 8 + 4 * saved_count as u16 + locals;
+        self.prologue(frame, &saved);
+        let blocks = self.rng.random_range(self.blocks_per_function / 2..=self.blocks_per_function * 3 / 2);
+        for _ in 0..blocks {
+            if self.rng.random_bool(self.regularity) {
+                self.regular_block();
+            } else {
+                self.irregular_block();
+            }
+        }
+        self.epilogue(frame, &saved);
+    }
+}
+
+/// Generates a synthetic MIPS program for `profile` at the given size scale.
+///
+/// Deterministic in `(profile.seed, scale)`.  The result always decodes
+/// through [`cce_isa::mips::decode_text`].
+pub fn generate_mips(profile: &BenchmarkProfile, scale: f64) -> Vec<Instruction> {
+    let target_words = ((profile.text_bytes as f64 * scale) as usize / 4).max(64);
+    let mut generator = Generator {
+        rng: StdRng::seed_from_u64(profile.seed),
+        out: Vec::with_capacity(target_words + 64),
+        function_starts: vec![0],
+        regularity: profile.regularity,
+        blocks_per_function: profile.blocks_per_function,
+        kernel: Kernel {
+            base: Reg::S0,
+            acc: Reg::V0,
+            tmps: [Reg::T0, Reg::new(9)],
+            ops: [RType::Addu, RType::Xor],
+            stride: 4,
+            start: 0,
+            unroll: 4,
+            phase: 0,
+        },
+    };
+    while generator.out.len() < target_words {
+        generator.function();
+    }
+    generator.out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::Spec95;
+
+    #[test]
+    fn output_is_decodable_machine_code() {
+        let profile = Spec95::by_name("gcc").unwrap();
+        let insns = generate_mips(profile, 0.05);
+        let bytes = cce_isa::mips::encode_text(&insns);
+        assert_eq!(cce_isa::mips::decode_text(&bytes).unwrap(), insns);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = Spec95::by_name("swim").unwrap();
+        assert_eq!(generate_mips(p, 0.1), generate_mips(p, 0.1));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate_mips(Spec95::by_name("swim").unwrap(), 0.1);
+        let b = generate_mips(Spec95::by_name("gcc").unwrap(), 0.1);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn opcode_distribution_is_skewed() {
+        // The top-8 operations should cover most of the program, as in
+        // compiled code (the paper: "benchmarks tend to use no more than
+        // 50 instructions").
+        let insns = generate_mips(Spec95::by_name("perl").unwrap(), 0.2);
+        let mut counts = std::collections::HashMap::new();
+        for insn in &insns {
+            *counts.entry(insn.operation()).or_insert(0usize) += 1;
+        }
+        assert!(counts.len() <= 50, "distinct ops {}", counts.len());
+        let mut freqs: Vec<usize> = counts.values().copied().collect();
+        freqs.sort_unstable_by(|a, b| b.cmp(a));
+        let top8: usize = freqs.iter().take(8).sum();
+        assert!(top8 * 10 >= insns.len() * 6, "top-8 cover {top8}/{}", insns.len());
+    }
+
+    #[test]
+    fn regular_profiles_are_more_compressible_shaped() {
+        // Regular (FP-ish) code should repeat instruction words more often.
+        // Compare at equal instruction counts so the ratio is not just a
+        // program-size effect.  Regular code repeats *structure* (opcode +
+        // registers), not whole words (immediates march), so compare
+        // instruction skeletons with the immediate field masked off.
+        let count_distinct = |name: &str| {
+            let p = Spec95::by_name(name).unwrap();
+            let scale = 4096.0 * 4.0 / p.text_bytes as f64;
+            let insns = generate_mips(p, scale);
+            let insns = &insns[..4000];
+            let words: std::collections::HashSet<u32> =
+                insns.iter().map(|i| i.encode() & 0xFFFF_0000).collect();
+            (words.len(), insns.len())
+        };
+        let (tomcatv_distinct, tomcatv_total) = count_distinct("tomcatv");
+        let (gcc_distinct, gcc_total) = count_distinct("gcc");
+        let tomcatv_ratio = tomcatv_distinct as f64 / tomcatv_total as f64;
+        let gcc_ratio = gcc_distinct as f64 / gcc_total as f64;
+        assert!(
+            tomcatv_ratio < gcc_ratio,
+            "tomcatv {tomcatv_ratio:.3} vs gcc {gcc_ratio:.3}"
+        );
+    }
+}

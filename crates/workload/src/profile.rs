@@ -1,0 +1,85 @@
+//! Per-benchmark generation profiles.
+
+/// Personality and size parameters for one synthetic benchmark.
+///
+/// Sizes are the SPEC95 text sizes scaled down by roughly 8× so the whole
+/// suite compresses in seconds; the *relative* sizes (gcc/vortex large,
+/// compress/swim small) are preserved because the paper comments on the
+/// size dependence of gzip vs SAMC.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BenchmarkProfile {
+    /// SPEC95 benchmark name.
+    pub name: &'static str,
+    /// Default text-section size in bytes (before the `scale` factor).
+    pub text_bytes: usize,
+    /// RNG seed — each benchmark gets stable, distinct statistics.
+    pub seed: u64,
+    /// Fraction of loop-unrolled, array-regular code (FP benchmarks high,
+    /// pointer-chasing integer code low).  In `[0, 1]`.
+    pub regularity: f64,
+    /// Average function body size in basic blocks (gcc-like code has many
+    /// small functions, numeric kernels few big ones).
+    pub blocks_per_function: usize,
+}
+
+/// The SPEC95 benchmark list used in Figures 7 and 8.
+#[derive(Debug, Clone, Copy)]
+pub struct Spec95;
+
+impl Spec95 {
+    /// All 18 profiles, in the figures' alphabetical order.
+    pub const ALL: [BenchmarkProfile; 18] = [
+        BenchmarkProfile { name: "applu", text_bytes: 96 * 1024, seed: 101, regularity: 0.80, blocks_per_function: 18 },
+        BenchmarkProfile { name: "apsi", text_bytes: 120 * 1024, seed: 102, regularity: 0.72, blocks_per_function: 14 },
+        BenchmarkProfile { name: "compress", text_bytes: 24 * 1024, seed: 103, regularity: 0.35, blocks_per_function: 7 },
+        BenchmarkProfile { name: "fpppp", text_bytes: 144 * 1024, seed: 104, regularity: 0.85, blocks_per_function: 30 },
+        BenchmarkProfile { name: "gcc", text_bytes: 224 * 1024, seed: 105, regularity: 0.25, blocks_per_function: 6 },
+        BenchmarkProfile { name: "go", text_bytes: 64 * 1024, seed: 106, regularity: 0.30, blocks_per_function: 8 },
+        BenchmarkProfile { name: "hydro2d", text_bytes: 88 * 1024, seed: 107, regularity: 0.78, blocks_per_function: 16 },
+        BenchmarkProfile { name: "ijpeg", text_bytes: 56 * 1024, seed: 108, regularity: 0.55, blocks_per_function: 9 },
+        BenchmarkProfile { name: "m88ksim", text_bytes: 48 * 1024, seed: 109, regularity: 0.40, blocks_per_function: 8 },
+        BenchmarkProfile { name: "mgrid", text_bytes: 80 * 1024, seed: 110, regularity: 0.82, blocks_per_function: 20 },
+        BenchmarkProfile { name: "perl", text_bytes: 128 * 1024, seed: 111, regularity: 0.28, blocks_per_function: 7 },
+        BenchmarkProfile { name: "su2cor", text_bytes: 104 * 1024, seed: 112, regularity: 0.75, blocks_per_function: 15 },
+        BenchmarkProfile { name: "swim", text_bytes: 28 * 1024, seed: 113, regularity: 0.88, blocks_per_function: 22 },
+        BenchmarkProfile { name: "tomcatv", text_bytes: 20 * 1024, seed: 114, regularity: 0.90, blocks_per_function: 24 },
+        BenchmarkProfile { name: "turb3d", text_bytes: 72 * 1024, seed: 115, regularity: 0.77, blocks_per_function: 17 },
+        BenchmarkProfile { name: "vortex", text_bytes: 176 * 1024, seed: 116, regularity: 0.33, blocks_per_function: 9 },
+        BenchmarkProfile { name: "wave5", text_bytes: 112 * 1024, seed: 117, regularity: 0.74, blocks_per_function: 15 },
+        BenchmarkProfile { name: "xlisp", text_bytes: 40 * 1024, seed: 118, regularity: 0.30, blocks_per_function: 6 },
+    ];
+
+    /// Looks a profile up by name.
+    pub fn by_name(name: &str) -> Option<&'static BenchmarkProfile> {
+        Self::ALL.iter().find(|p| p.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique_and_sorted() {
+        let names: Vec<_> = Spec95::ALL.iter().map(|p| p.name).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(names, sorted);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(Spec95::by_name("gcc").unwrap().seed, 105);
+        assert!(Spec95::by_name("doom").is_none());
+    }
+
+    #[test]
+    fn regularity_is_a_fraction() {
+        for p in &Spec95::ALL {
+            assert!((0.0..=1.0).contains(&p.regularity), "{}", p.name);
+            assert!(p.text_bytes >= 16 * 1024, "{}", p.name);
+            assert!(p.blocks_per_function >= 4, "{}", p.name);
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Synthetic instruction-fetch traces with loop and call locality.
+//!
+//! The Wolfe/Chanin architecture (paper §2) pays its decompression cost on
+//! instruction-cache misses, so the memory-system experiments need fetch
+//! traces whose locality resembles executing programs: long sequential
+//! runs, hot loops re-fetching the same blocks, and call/return excursions.
+//! This module generates such traces deterministically.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Parameters for [`instruction_trace`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceConfig {
+    /// Number of fetch addresses to produce.
+    pub fetches: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Probability per instruction of ending the current sequential run
+    /// with a short backward loop branch.
+    pub loop_back_prob: f64,
+    /// Probability per instruction of calling another function.
+    pub call_prob: f64,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        Self {
+            fetches: 100_000,
+            seed: 7,
+            loop_back_prob: 0.04,
+            call_prob: 0.01,
+        }
+    }
+}
+
+/// Generates a word-aligned instruction-fetch address trace over a text
+/// section of `text_bytes` bytes (addresses are text-relative).
+///
+/// The walker fetches sequentially, loops back a short distance with
+/// geometric repetition (hot loops), and occasionally calls a random
+/// "function" (tracked with a return stack).  All addresses stay inside
+/// `[0, text_bytes)` and are multiples of 4.
+///
+/// # Panics
+///
+/// Panics if `text_bytes < 64`.
+pub fn instruction_trace(text_bytes: usize, config: &TraceConfig) -> Vec<u64> {
+    assert!(text_bytes >= 64, "text too small for a meaningful trace");
+    let words = (text_bytes / 4) as u64;
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut trace = Vec::with_capacity(config.fetches);
+    let mut pc: u64 = 0;
+    let mut return_stack: Vec<u64> = Vec::new();
+    // Pretend functions start every 64–512 words.
+    let mut function_starts = vec![0u64];
+    let mut at = 0u64;
+    while at < words {
+        at += rng.random_range(64..512);
+        if at < words {
+            function_starts.push(at);
+        }
+    }
+
+    // Current loop state: (loop_start, remaining_iterations).
+    let mut current_loop: Option<(u64, u32)> = None;
+
+    while trace.len() < config.fetches {
+        trace.push(pc * 4);
+        // Advance.
+        let roll: f64 = rng.random();
+        if let Some((start, ref mut remaining)) = current_loop {
+            // Inside a hot loop: loop body is [start, body_end]; branch back
+            // at the point we entered the loop from.
+            if pc + 1 >= start + rng.random_range(4..24).min(words - start) {
+                if *remaining == 0 {
+                    current_loop = None;
+                    pc += 1;
+                } else {
+                    *remaining -= 1;
+                    pc = start;
+                }
+                continue;
+            }
+            pc += 1;
+            continue;
+        }
+        if roll < config.loop_back_prob && pc > 8 {
+            let body = rng.random_range(4..24).min(pc);
+            let iterations = rng.random_range(2..64);
+            current_loop = Some((pc - body, iterations));
+            pc -= body;
+        } else if roll < config.loop_back_prob + config.call_prob {
+            return_stack.push(pc + 1);
+            let idx = rng.random_range(0..function_starts.len());
+            pc = function_starts[idx];
+        } else if roll < config.loop_back_prob + config.call_prob + 0.008 && !return_stack.is_empty() {
+            pc = return_stack.pop().expect("checked non-empty");
+        } else {
+            pc += 1;
+        }
+        if pc >= words {
+            pc = function_starts[rng.random_range(0..function_starts.len())];
+        }
+    }
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_is_deterministic_and_bounded() {
+        let config = TraceConfig { fetches: 5000, ..TraceConfig::default() };
+        let a = instruction_trace(64 * 1024, &config);
+        let b = instruction_trace(64 * 1024, &config);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 5000);
+        assert!(a.iter().all(|&addr| addr < 64 * 1024 && addr % 4 == 0));
+    }
+
+    #[test]
+    fn trace_has_locality() {
+        // A trace with loops must revisit addresses: distinct/total well
+        // below 1.
+        let config = TraceConfig { fetches: 20_000, ..TraceConfig::default() };
+        let trace = instruction_trace(256 * 1024, &config);
+        let distinct: std::collections::HashSet<u64> = trace.iter().copied().collect();
+        assert!(
+            distinct.len() * 2 < trace.len(),
+            "distinct {} of {}",
+            distinct.len(),
+            trace.len()
+        );
+    }
+
+    #[test]
+    fn mostly_sequential() {
+        let config = TraceConfig { fetches: 10_000, ..TraceConfig::default() };
+        let trace = instruction_trace(128 * 1024, &config);
+        let sequential = trace
+            .windows(2)
+            .filter(|w| w[1] == w[0] + 4)
+            .count();
+        assert!(
+            sequential * 10 > trace.len() * 7,
+            "only {sequential} sequential of {}",
+            trace.len()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn tiny_text_panics() {
+        let _ = instruction_trace(32, &TraceConfig::default());
+    }
+}

@@ -1,0 +1,369 @@
+//! Compiler-like IA-32 code generation.
+
+use crate::profile::BenchmarkProfile;
+use cce_isa::x86::asm::{self, reg, Alu, Cc};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn weighted<'a, T>(rng: &mut StdRng, choices: &'a [(T, u32)]) -> &'a T {
+    let total: u32 = choices.iter().map(|&(_, w)| w).sum();
+    let mut roll = rng.random_range(0..total);
+    for (value, weight) in choices {
+        if roll < *weight {
+            return value;
+        }
+        roll -= weight;
+    }
+    unreachable!("weights sum checked")
+}
+
+fn gp_reg(rng: &mut StdRng) -> u8 {
+    *weighted(
+        rng,
+        &[
+            (reg::EAX, 22),
+            (reg::ECX, 14),
+            (reg::EDX, 14),
+            (reg::EBX, 10),
+            (reg::ESI, 12),
+            (reg::EDI, 10),
+            (reg::EBP, 4),
+        ],
+    )
+}
+
+fn frame_disp(rng: &mut StdRng) -> i8 {
+    if rng.random_bool(0.6) {
+        // Locals below the frame pointer.
+        -4 * rng.random_range(1..24) as i8
+    } else {
+        // Arguments above the saved ebp.
+        4 * rng.random_range(2..16) as i8
+    }
+}
+
+fn small_imm(rng: &mut StdRng) -> i8 {
+    if rng.random_bool(0.5) {
+        *weighted(rng, &[(1i8, 12), (2, 5), (4, 7), (8, 4), (-1, 4), (0x0F, 2)])
+    } else {
+        rng.random_range(-64..64)
+    }
+}
+
+/// Per-function kernel parameters (see the MIPS generator for rationale).
+#[derive(Clone, Copy)]
+struct Kernel {
+    base: u8,
+    acc: [u8; 2],
+    ops: [Alu; 2],
+    start: i8,
+    unroll: i8,
+    phase: u8,
+}
+
+struct Generator {
+    rng: StdRng,
+    out: Vec<u8>,
+    function_starts: Vec<usize>,
+    regularity: f64,
+    blocks_per_function: usize,
+    kernel: Kernel,
+}
+
+impl Generator {
+    fn emit(&mut self, bytes: Vec<u8>) {
+        self.out.extend(bytes);
+    }
+
+    fn call(&mut self) {
+        // Backward call to an existing function: small negative rel32 with
+        // shared high bytes, as real linked code exhibits.
+        let idx = self.rng.random_range(0..self.function_starts.len());
+        let target = self.function_starts[idx] as i64;
+        let next = self.out.len() as i64 + 5;
+        self.emit(asm::call_rel32((target - next) as i32));
+    }
+
+    fn new_kernel(&mut self) -> Kernel {
+        Kernel {
+            base: *weighted(&mut self.rng, &[(reg::ESI, 5), (reg::EDI, 3), (reg::EBX, 2)]),
+            acc: [
+                *weighted(&mut self.rng, &[(reg::EDX, 6), (reg::ECX, 3)]),
+                *weighted(&mut self.rng, &[(reg::EAX, 4), (reg::EBX, 2)]),
+            ],
+            ops: [
+                Alu::Add,
+                *weighted(&mut self.rng, &[(Alu::Sub, 3), (Alu::Xor, 2), (Alu::Or, 2), (Alu::And, 1)]),
+            ],
+            start: *weighted(&mut self.rng, &[(0i8, 6), (4, 3), (8, 1)]),
+            unroll: *weighted(&mut self.rng, &[(4i8, 5), (2, 3), (6, 2)]),
+            phase: 0,
+        }
+    }
+
+    /// One regular (unrolled array kernel) block; the kernel repeats across
+    /// the function, like real unrolled numeric code.
+    fn regular_block(&mut self) {
+        let Kernel { base, acc, ops, start, unroll, phase } = self.kernel;
+        for k in 0..unroll {
+            let a = acc[usize::from((phase + k as u8) % 2)];
+            let op = ops[usize::from((phase + k as u8) % 2)];
+            self.emit(asm::mov_load(a, base, start.wrapping_add(4 * k)));
+            self.emit(asm::alu_rr(op, reg::EAX, a));
+        }
+        self.emit(asm::mov_store(base, start, reg::EAX));
+        self.emit(asm::alu_r_imm8(Alu::Add, base, 4 * unroll));
+        // March across the array with a rotated register/op assignment.
+        self.kernel.start = start.wrapping_add(4 * unroll) & 0x3F;
+        self.kernel.phase = phase.wrapping_add(1);
+        if self.rng.random_bool(0.35) {
+            self.irregular_block();
+        }
+    }
+
+    fn irregular_block(&mut self) {
+        let choice = self.rng.random_range(0..130u32);
+        match choice {
+            100..=112 => {
+                // Standalone scheduled instruction.
+                let a = gp_reg(&mut self.rng);
+                let b = gp_reg(&mut self.rng);
+                match self.rng.random_range(0..5u32) {
+                    0 => self.emit(asm::mov_rr(a, b)),
+                    1 => {
+                        let disp = frame_disp(&mut self.rng);
+                        self.emit(asm::lea(a, reg::EBP, disp));
+                    }
+                    2 => self.emit(asm::movzx_rr8(a, b)),
+                    3 => {
+                        let imm = small_imm(&mut self.rng);
+                        self.emit(asm::alu_r_imm8(Alu::Sub, a, imm));
+                    }
+                    _ => {
+                        let s = self.rng.random_range(1..8u8);
+                        self.emit(asm::shl_r_imm8(a, s));
+                    }
+                }
+            }
+            113..=122 => {
+                // Standalone memory op with a varied base.
+                let r = gp_reg(&mut self.rng);
+                let base = *weighted(&mut self.rng, &[(reg::EBP, 4), (reg::ESI, 2), (reg::EDI, 2), (reg::EBX, 1), (reg::ESP, 1)]);
+                let disp = frame_disp(&mut self.rng);
+                if self.rng.random_bool(0.55) {
+                    self.emit(asm::mov_load(r, base, disp));
+                } else {
+                    self.emit(asm::mov_store(base, disp, r));
+                }
+            }
+            123..=129 => {
+                // push imm / test / setcc / 16-bit-operand variety.
+                match self.rng.random_range(0..4u32) {
+                    0 => {
+                        let imm = small_imm(&mut self.rng);
+                        self.emit(asm::push_imm8(imm));
+                    }
+                    1 => {
+                        let a = gp_reg(&mut self.rng);
+                        let b = gp_reg(&mut self.rng);
+                        self.emit(asm::test_rr(a, b));
+                    }
+                    2 => {
+                        let cc = *weighted(&mut self.rng, &[(Cc::E, 3), (Cc::Ne, 3), (Cc::L, 2), (Cc::G, 2)]);
+                        let r = gp_reg(&mut self.rng);
+                        self.emit(asm::setcc(cc, r));
+                    }
+                    _ => {
+                        // 16-bit operand forms (compilers emit these for
+                        // short struct fields) — exercises the 0x66 prefix.
+                        let r = gp_reg(&mut self.rng);
+                        let imm = self.rng.random_range(0..1u32 << 12) as u16;
+                        if self.rng.random_bool(0.5) {
+                            self.emit(asm::mov_r16_imm16(r, imm));
+                        } else {
+                            self.emit(asm::add_r16_imm16(r, imm));
+                        }
+                    }
+                }
+            }
+            0..=24 => {
+                // Frame traffic: the bread and butter of compiled x86.
+                let r = gp_reg(&mut self.rng);
+                let disp = frame_disp(&mut self.rng);
+                if self.rng.random_bool(0.55) {
+                    self.emit(asm::mov_load(r, reg::EBP, disp));
+                } else {
+                    self.emit(asm::mov_store(reg::EBP, disp, r));
+                }
+            }
+            25..=39 => {
+                let op = *weighted(
+                    &mut self.rng,
+                    &[(Alu::Add, 8), (Alu::Sub, 5), (Alu::And, 2), (Alu::Or, 2), (Alu::Xor, 3), (Alu::Cmp, 6)],
+                );
+                let a = gp_reg(&mut self.rng);
+                if self.rng.random_bool(0.5) {
+                    let b = gp_reg(&mut self.rng);
+                    self.emit(asm::alu_rr(op, a, b));
+                } else if self.rng.random_bool(0.8) {
+                    let imm = small_imm(&mut self.rng);
+                    self.emit(asm::alu_r_imm8(op, a, imm));
+                } else {
+                    let imm = self.rng.random_range(0..1u32 << 16);
+                    self.emit(asm::alu_r_imm32(op, a, imm));
+                }
+            }
+            40..=54 => {
+                // Test / compare and conditional jump.
+                let a = gp_reg(&mut self.rng);
+                if self.rng.random_bool(0.5) {
+                    self.emit(asm::test_rr(a, a));
+                } else {
+                    let b = gp_reg(&mut self.rng);
+                    self.emit(asm::cmp_rr(a, b));
+                }
+                let cc = *weighted(
+                    &mut self.rng,
+                    &[(Cc::E, 6), (Cc::Ne, 7), (Cc::L, 3), (Cc::Ge, 2), (Cc::G, 2), (Cc::Le, 2), (Cc::S, 1)],
+                );
+                let off = if self.rng.random_bool(0.7) {
+                    self.rng.random_range(3..32)
+                } else {
+                    self.rng.random_range(-64..-3)
+                };
+                self.emit(asm::jcc_rel8(cc, off));
+            }
+            55..=62 => self.call(),
+            63..=72 => {
+                let r = gp_reg(&mut self.rng);
+                let global = 0x0804_8000 + (self.rng.random_range(0..4096u32) << 2);
+                let small = self.rng.random_range(0..1u32 << 14);
+                let imm = *weighted(
+                    &mut self.rng,
+                    &[(0u32, 8), (1, 6), (4, 2), (global, 8), (small, 4)],
+                );
+                self.emit(asm::mov_r_imm(r, imm));
+            }
+            73..=80 => {
+                let (a, b) = (gp_reg(&mut self.rng), gp_reg(&mut self.rng));
+                self.emit(asm::mov_rr(a, b));
+            }
+            81..=86 => {
+                let r = gp_reg(&mut self.rng);
+                if self.rng.random_bool(0.6) {
+                    self.emit(asm::inc_r(r));
+                } else {
+                    self.emit(asm::dec_r(r));
+                }
+            }
+            87..=91 => {
+                let r = gp_reg(&mut self.rng);
+                self.emit(asm::push_r(r));
+                if self.rng.random_bool(0.5) {
+                    self.call();
+                    self.emit(asm::pop_r(r));
+                }
+            }
+            92..=95 => {
+                let (a, b) = (gp_reg(&mut self.rng), gp_reg(&mut self.rng));
+                if self.rng.random_bool(0.5) {
+                    self.emit(asm::imul_rr(a, b));
+                } else {
+                    self.emit(asm::movzx_rr8(a, b));
+                }
+            }
+            96..=97 => {
+                let r = gp_reg(&mut self.rng);
+                let shift = *weighted(&mut self.rng, &[(2u8, 6), (1, 2), (3, 2), (4, 1)]);
+                self.emit(asm::shl_r_imm8(r, shift));
+            }
+            _ => {
+                let r = gp_reg(&mut self.rng);
+                let disp = frame_disp(&mut self.rng);
+                self.emit(asm::lea(r, reg::EBP, disp));
+            }
+        }
+    }
+
+    fn function(&mut self) {
+        self.function_starts.push(self.out.len());
+        self.kernel = self.new_kernel();
+        self.emit(asm::push_r(reg::EBP));
+        self.emit(asm::mov_rr(reg::EBP, reg::ESP));
+        if self.rng.random_bool(0.7) {
+            let frame = 8 * self.rng.random_range(1..12i8);
+            self.emit(asm::alu_r_imm8(Alu::Sub, reg::ESP, frame));
+        }
+        let blocks = self
+            .rng
+            .random_range(self.blocks_per_function / 2..=self.blocks_per_function * 3 / 2);
+        for _ in 0..blocks {
+            if self.rng.random_bool(self.regularity) {
+                self.regular_block();
+            } else {
+                self.irregular_block();
+            }
+        }
+        self.emit(asm::leave());
+        self.emit(asm::ret());
+    }
+}
+
+/// Generates a synthetic IA-32 program for `profile` at the given scale.
+///
+/// Deterministic in `(profile.seed, scale)`.  The result always splits
+/// through [`cce_isa::x86::split_streams`].
+pub fn generate_x86(profile: &BenchmarkProfile, scale: f64) -> Vec<u8> {
+    let target_bytes = ((profile.text_bytes as f64 * scale) as usize).max(256);
+    let mut generator = Generator {
+        // Offset the seed so MIPS and x86 variants differ even per benchmark.
+        rng: StdRng::seed_from_u64(profile.seed ^ 0x8664),
+        out: Vec::with_capacity(target_bytes + 64),
+        function_starts: vec![0],
+        regularity: profile.regularity,
+        blocks_per_function: profile.blocks_per_function,
+        kernel: Kernel {
+            base: reg::ESI,
+            acc: [reg::EDX, reg::EAX],
+            ops: [Alu::Add, Alu::Sub],
+            start: 0,
+            unroll: 4,
+            phase: 0,
+        },
+    };
+    while generator.out.len() < target_bytes {
+        generator.function();
+    }
+    generator.out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::Spec95;
+
+    #[test]
+    fn output_is_fully_decodable() {
+        for name in ["gcc", "swim", "vortex"] {
+            let text = generate_x86(Spec95::by_name(name).unwrap(), 0.05);
+            let split = cce_isa::x86::split_streams(&text)
+                .unwrap_or_else(|(off, e)| panic!("{name} at {off}: {e}"));
+            assert_eq!(split.reassemble(), text);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = Spec95::by_name("ijpeg").unwrap();
+        assert_eq!(generate_x86(p, 0.1), generate_x86(p, 0.1));
+    }
+
+    #[test]
+    fn average_instruction_length_is_realistic() {
+        // Compiled IA-32 averages roughly 2–4 bytes per instruction.
+        let text = generate_x86(Spec95::by_name("perl").unwrap(), 0.1);
+        let split = cce_isa::x86::split_streams(&text).unwrap();
+        let avg = text.len() as f64 / split.layouts.len() as f64;
+        assert!((1.8..=4.5).contains(&avg), "avg insn len {avg:.2}");
+    }
+}

@@ -1,0 +1,66 @@
+//! Simulate the Wolfe/Chanin compressed-code memory system (paper Fig. 1)
+//! and show how the performance penalty tracks the I-cache hit ratio.
+//!
+//! Run with: `cargo run --example memory_system`
+
+use cce_core::isa::Isa;
+use cce_core::memsim::{CacheConfig, CostModel, LineAddressTable, MemorySystem};
+use cce_core::workload::trace::{instruction_trace, TraceConfig};
+use cce_core::workload::spec95_suite;
+use cce_core::{measure, Algorithm};
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // Compress a program with SAMC to obtain real per-block sizes.
+    let programs = spec95_suite(Isa::Mips, 0.5);
+    let program = programs.iter().find(|p| p.name == "m88ksim").expect("in suite");
+    let m = measure(Algorithm::Samc, Isa::Mips, &program.text, 32)?;
+    println!(
+        "{}: {} bytes -> {} bytes (ratio {:.3})",
+        program.name,
+        m.original_len(),
+        m.compressed_len(),
+        m.ratio()
+    );
+
+    // An instruction-fetch trace with loop/call locality.
+    let trace = instruction_trace(
+        program.text.len(),
+        &TraceConfig { fetches: 200_000, ..TraceConfig::default() },
+    );
+
+    let costs = CostModel::default();
+    println!();
+    println!(
+        "{:>10} {:>10} {:>10} {:>10} {:>10}",
+        "cache", "miss%", "CPF base", "CPF comp", "slowdown"
+    );
+    for cache_kib in [1usize, 2, 4, 8, 16, 32] {
+        let config = CacheConfig {
+            size_bytes: cache_kib * 1024,
+            block_size: 32,
+            associativity: 2,
+        };
+        let mut base = MemorySystem::uncompressed(config, costs);
+        let base_report = base.run(&trace);
+
+        let lat = LineAddressTable::from_block_sizes(
+            m.block_sizes().expect("random access").iter().copied(),
+        );
+        let mut compressed = MemorySystem::compressed(config, costs, lat, 32);
+        let comp_report = compressed.run(&trace);
+
+        println!(
+            "{:>8}KiB {:>9.2}% {:>10.3} {:>10.3} {:>9.3}x",
+            cache_kib,
+            100.0 * base_report.cache.miss_ratio(),
+            base_report.cpf(),
+            comp_report.cpf(),
+            comp_report.slowdown_vs(&base_report),
+        );
+    }
+    println!();
+    println!("(the penalty of running compressed vanishes as the hit ratio rises —");
+    println!(" the dependence the paper's architecture discussion predicts)");
+    Ok(())
+}

@@ -1,0 +1,59 @@
+//! Build-system workflow: train once at link time, ship the artifacts,
+//! decompress blocks at "runtime" from the deserialized state.
+//!
+//! A real compressed-code build splits into two halves: the *toolchain*
+//! side trains a codec and produces the ROM image, and the *device* side
+//! (the decompression hardware / boot firmware) holds only the serialized
+//! model and the compressed blocks.  This example round-trips both halves
+//! through files.
+//!
+//! Run with: `cargo run --example persistence`
+
+use cce_core::isa::Isa;
+use cce_core::samc::{SamcCodec, SamcConfig, SamcImage};
+use cce_core::workload::spec95_suite;
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let dir = std::env::temp_dir().join(format!("cce-persistence-{}", std::process::id()));
+    std::fs::create_dir_all(&dir)?;
+
+    // ---- toolchain side -------------------------------------------------
+    let programs = spec95_suite(Isa::Mips, 0.5);
+    let program = programs.iter().find(|p| p.name == "wave5").expect("in suite");
+    let codec = SamcCodec::train(&program.text, SamcConfig::mips())?;
+    let image = codec.compress(&program.text);
+
+    let codec_path = dir.join("wave5.samc");
+    let image_path = dir.join("wave5.simg");
+    std::fs::write(&codec_path, codec.to_bytes())?;
+    std::fs::write(&image_path, image.to_bytes())?;
+    println!(
+        "toolchain: trained on {} bytes, wrote {} (model) + {} (image) bytes",
+        program.text.len(),
+        std::fs::metadata(&codec_path)?.len(),
+        std::fs::metadata(&image_path)?.len(),
+    );
+    println!("           text ratio {:.3} (model tables included)", image.ratio());
+
+    // ---- device side ----------------------------------------------------
+    // Nothing from the toolchain's memory survives: reload from disk.
+    let device_codec = SamcCodec::from_bytes(&std::fs::read(&codec_path)?)?;
+    let device_image = SamcImage::from_bytes(&std::fs::read(&image_path)?)?;
+
+    // Serve a few "cache misses".
+    for block in [0usize, 17, device_image.block_count() - 1] {
+        let start = block * device_image.block_size();
+        let len = (program.text.len() - start).min(device_image.block_size());
+        let bytes = device_codec.decompress_block(device_image.block(block), len)?;
+        assert_eq!(&bytes[..], &program.text[start..start + len]);
+        println!("device:    refilled block {block} ({len} bytes) ok");
+    }
+
+    // And the whole program decompresses identically.
+    assert_eq!(device_codec.decompress(&device_image)?, program.text);
+    println!("device:    full image verified against the original text");
+
+    std::fs::remove_dir_all(&dir).ok();
+    Ok(())
+}

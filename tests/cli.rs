@@ -1,0 +1,148 @@
+//! End-to-end tests of the `cce` command-line tool: compress an ELF,
+//! inspect the artifact, decompress, and verify the text section.
+
+use cce_core::elf::ElfImage;
+use cce_core::isa::Isa;
+use cce_core::workload::spec95_suite;
+use std::path::PathBuf;
+use std::process::Command;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cce-cli-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir creatable");
+    dir
+}
+
+fn write_test_elf(dir: &std::path::Path, isa: Isa) -> (PathBuf, Vec<u8>) {
+    let program = spec95_suite(isa, 0.1)
+        .into_iter()
+        .find(|p| p.name == "ijpeg")
+        .expect("in suite");
+    let path = dir.join(format!("{}.elf", program.name));
+    std::fs::write(&path, program.to_elf().to_bytes()).expect("elf written");
+    (path, program.text)
+}
+
+fn cce(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_cce"))
+        .args(args)
+        .output()
+        .expect("cce runs")
+}
+
+#[test]
+fn compress_info_decompress_round_trip_samc() {
+    let dir = temp_dir("samc");
+    let (elf_path, text) = write_test_elf(&dir, Isa::Mips);
+    let cce_path = dir.join("out.cce");
+    let out_elf = dir.join("out.elf");
+
+    let output = cce(&[
+        "compress",
+        elf_path.to_str().expect("utf8"),
+        "-a",
+        "samc",
+        "-o",
+        cce_path.to_str().expect("utf8"),
+    ]);
+    assert!(output.status.success(), "{}", String::from_utf8_lossy(&output.stderr));
+
+    let output = cce(&["info", cce_path.to_str().expect("utf8")]);
+    assert!(output.status.success());
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("Samc"), "{stdout}");
+    assert!(stdout.contains("ratio"), "{stdout}");
+
+    let output = cce(&[
+        "decompress",
+        cce_path.to_str().expect("utf8"),
+        "-o",
+        out_elf.to_str().expect("utf8"),
+    ]);
+    assert!(output.status.success(), "{}", String::from_utf8_lossy(&output.stderr));
+
+    let rebuilt = ElfImage::parse(&std::fs::read(&out_elf).expect("readable")).expect("valid ELF");
+    assert_eq!(rebuilt.text().expect("has text"), &text[..]);
+}
+
+#[test]
+fn compress_decompress_round_trip_sadc_both_isas() {
+    for isa in [Isa::Mips, Isa::X86] {
+        let dir = temp_dir(&format!("sadc-{isa}"));
+        let (elf_path, text) = write_test_elf(&dir, isa);
+        let cce_path = dir.join("out.cce");
+        let out_elf = dir.join("out.elf");
+
+        let output = cce(&[
+            "compress",
+            elf_path.to_str().expect("utf8"),
+            "-a",
+            "sadc",
+            "-o",
+            cce_path.to_str().expect("utf8"),
+        ]);
+        assert!(output.status.success(), "{isa}: {}", String::from_utf8_lossy(&output.stderr));
+
+        let output = cce(&[
+            "decompress",
+            cce_path.to_str().expect("utf8"),
+            "-o",
+            out_elf.to_str().expect("utf8"),
+        ]);
+        assert!(output.status.success(), "{isa}: {}", String::from_utf8_lossy(&output.stderr));
+        let rebuilt =
+            ElfImage::parse(&std::fs::read(&out_elf).expect("readable")).expect("valid ELF");
+        assert_eq!(rebuilt.text().expect("has text"), &text[..], "{isa}");
+    }
+}
+
+#[test]
+fn ratio_prints_all_algorithms() {
+    let dir = temp_dir("ratio");
+    let (elf_path, _) = write_test_elf(&dir, Isa::Mips);
+    let output = cce(&["ratio", elf_path.to_str().expect("utf8")]);
+    assert!(output.status.success());
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    for name in ["compress", "gzip", "huffman", "SAMC", "SADC"] {
+        assert!(stdout.contains(name), "missing {name} in:\n{stdout}");
+    }
+}
+
+#[test]
+fn bad_inputs_fail_cleanly() {
+    let dir = temp_dir("bad");
+    let junk = dir.join("junk.elf");
+    std::fs::write(&junk, b"this is not an elf").expect("written");
+    let output = cce(&["ratio", junk.to_str().expect("utf8")]);
+    assert!(!output.status.success());
+    assert!(String::from_utf8_lossy(&output.stderr).contains("cce:"));
+
+    let output = cce(&["frobnicate"]);
+    assert!(!output.status.success());
+
+    let output = cce(&["info", junk.to_str().expect("utf8")]);
+    assert!(!output.status.success());
+}
+
+#[test]
+fn disasm_prints_assembly() {
+    let dir = temp_dir("disasm");
+    let (elf_path, _) = write_test_elf(&dir, Isa::Mips);
+    let output = cce(&["disasm", elf_path.to_str().expect("utf8"), "-n", "8"]);
+    assert!(output.status.success(), "{}", String::from_utf8_lossy(&output.stderr));
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("addiu $sp, $sp"), "{stdout}");
+    assert!(stdout.contains("more instructions"), "{stdout}");
+}
+
+#[test]
+fn analyze_prints_entropy_diagnostics() {
+    let dir = temp_dir("analyze");
+    let (elf_path, _) = write_test_elf(&dir, Isa::Mips);
+    let output = cce(&["analyze", elf_path.to_str().expect("utf8")]);
+    assert!(output.status.success(), "{}", String::from_utf8_lossy(&output.stderr));
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    for needle in ["byte entropy", "opcode entropy", "field-coder bound"] {
+        assert!(stdout.contains(needle), "missing {needle}:\n{stdout}");
+    }
+}

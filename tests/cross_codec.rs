@@ -1,0 +1,78 @@
+//! Cross-codec integration: the relationships the paper's evaluation
+//! reports must hold on the synthetic suite at realistic sizes.
+
+use cce_core::isa::Isa;
+use cce_core::workload::spec95_suite;
+use cce_core::{measure, Algorithm};
+
+/// Every (algorithm, ISA, benchmark) triple is losslessly measurable —
+/// `measure` verifies the round trip internally, so success here is a
+/// correctness statement, not just a smoke test.
+#[test]
+fn all_algorithms_verify_on_a_suite_sample() {
+    for isa in [Isa::Mips, Isa::X86] {
+        for program in spec95_suite(isa, 0.04).iter().step_by(5) {
+            for algorithm in Algorithm::ALL {
+                measure(algorithm, isa, &program.text, 32)
+                    .unwrap_or_else(|e| panic!("{algorithm}/{isa}/{}: {e}", program.name));
+            }
+        }
+    }
+}
+
+/// Fig. 9's qualitative content: SAMC and SADC both beat byte-Huffman on
+/// MIPS, and SADC beats SAMC on average.
+#[test]
+fn instruction_schemes_order_correctly_on_mips() {
+    let scale = 0.3;
+    let mut sums = [0.0f64; 3]; // huffman, samc, sadc
+    let programs = spec95_suite(Isa::Mips, scale);
+    for program in programs.iter().step_by(3) {
+        sums[0] += measure(Algorithm::ByteHuffman, Isa::Mips, &program.text, 32)
+            .expect("huffman measures")
+            .ratio();
+        sums[1] += measure(Algorithm::Samc, Isa::Mips, &program.text, 32)
+            .expect("samc measures")
+            .ratio();
+        sums[2] += measure(Algorithm::Sadc, Isa::Mips, &program.text, 32)
+            .expect("sadc measures")
+            .ratio();
+    }
+    let [huffman, samc, sadc] = sums;
+    assert!(samc < huffman, "SAMC {samc:.3} !< huffman {huffman:.3}");
+    assert!(sadc < huffman, "SADC {sadc:.3} !< huffman {huffman:.3}");
+    assert!(sadc < samc, "SADC {sadc:.3} !< SAMC {samc:.3} (paper: SADC is 4-6% better)");
+}
+
+/// File-oriented gzip needs no tables and sees the whole file: it should
+/// be the strongest compressor on large regular benchmarks — while being
+/// unusable for random access (the paper's motivating trade-off).
+#[test]
+fn gzip_strong_on_large_files_but_not_random_access() {
+    let programs = spec95_suite(Isa::Mips, 0.3);
+    let fpppp = programs.iter().find(|p| p.name == "fpppp").expect("in suite");
+    let gzip = measure(Algorithm::Gzip, Isa::Mips, &fpppp.text, 32).expect("gzip measures");
+    let samc = measure(Algorithm::Samc, Isa::Mips, &fpppp.text, 32).expect("samc measures");
+    assert!(gzip.ratio() < samc.ratio(), "gzip {:.3} !< SAMC {:.3}", gzip.ratio(), samc.ratio());
+    assert!(!gzip.random_access());
+    assert!(samc.random_access());
+}
+
+/// Block sizes reported by the measurement drive the memory simulator;
+/// they must sum to the compressed payload (no hidden bytes).
+#[test]
+fn block_sizes_are_complete() {
+    let programs = spec95_suite(Isa::Mips, 0.05);
+    let program = &programs[2];
+    for algorithm in [Algorithm::ByteHuffman, Algorithm::Samc, Algorithm::Sadc] {
+        let m = measure(algorithm, Isa::Mips, &program.text, 32).expect("measures");
+        let blocks: usize = m.block_sizes().expect("random access").iter().sum();
+        assert!(
+            blocks <= m.compressed_len(),
+            "{algorithm}: blocks {blocks} exceed total {}",
+            m.compressed_len()
+        );
+        // The difference is exactly the model/dictionary/table overhead.
+        assert!(m.compressed_len() - blocks < 8 * 1024, "{algorithm}: overhead implausible");
+    }
+}

@@ -25,13 +25,7 @@ pub struct BitDecoder<'a> {
 impl<'a> BitDecoder<'a> {
     /// Creates a decoder over one block's encoded bytes.
     pub fn new(bytes: &'a [u8]) -> Self {
-        let mut dec = Self {
-            bytes,
-            position: 0,
-            range: u32::MAX,
-            code: 0,
-            renorm_reads: 0,
-        };
+        let mut dec = Self { bytes, position: 0, range: u32::MAX, code: 0, renorm_reads: 0 };
         // Load the initial 32-bit code window (the encoder's dropped zero
         // primer byte is implicit).
         for _ in 0..4 {
@@ -115,9 +109,8 @@ mod tests {
     #[test]
     fn varying_probabilities_round_trip() {
         let bits: Vec<bool> = (0..512).map(|i| (i * i) % 7 < 3).collect();
-        let probs: Vec<Prob> = (0..512)
-            .map(|i| Prob::from_raw((i * 131 % 4000 + 40) as u32))
-            .collect();
+        let probs: Vec<Prob> =
+            (0..512).map(|i| Prob::from_raw((i * 131 % 4000 + 40) as u32)).collect();
         round_trip(&bits, &probs);
     }
 

@@ -38,14 +38,7 @@ impl Default for BitEncoder {
 impl BitEncoder {
     /// Creates an encoder with a fresh full interval.
     pub fn new() -> Self {
-        Self {
-            low: 0,
-            range: u32::MAX,
-            cache: 0,
-            cache_size: 1,
-            out: Vec::new(),
-            primed: false,
-        }
+        Self { low: 0, range: u32::MAX, cache: 0, cache_size: 1, out: Vec::new(), primed: false }
     }
 
     /// Encodes `bit` given `p0 = P(bit == 0)`.

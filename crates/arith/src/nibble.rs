@@ -34,9 +34,7 @@ impl NibbleProbTree {
 
     /// A flat tree: every node uninformative (P(0) = 1/2).
     pub fn uniform() -> Self {
-        Self {
-            probs: [Prob::HALF; 15],
-        }
+        Self { probs: [Prob::HALF; 15] }
     }
 
     /// The probability at heap index `node`.
@@ -112,10 +110,7 @@ pub struct NibbleDecoder<'a> {
 impl<'a> NibbleDecoder<'a> {
     /// Creates an engine over one block's encoded bytes.
     pub fn new(bytes: &'a [u8]) -> Self {
-        Self {
-            inner: BitDecoder::new(bytes),
-            stats: EngineStats::default(),
-        }
+        Self { inner: BitDecoder::new(bytes), stats: EngineStats::default() }
     }
 
     /// Decodes the next four bits using the supplied probability subtree,

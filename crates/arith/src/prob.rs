@@ -91,11 +91,8 @@ impl Prob {
         /// Largest shift the 4-bit table entry can hold.
         const MAX_SHIFT: u32 = 8;
         let raw = self.raw();
-        let (minor, zero_is_minor) = if raw <= PROB_ONE / 2 {
-            (raw, true)
-        } else {
-            (PROB_ONE - raw, false)
-        };
+        let (minor, zero_is_minor) =
+            if raw <= PROB_ONE / 2 { (raw, true) } else { (PROB_ONE - raw, false) };
         // Round k = -log2(minor/4096) to the nearest integer, 1 <= k <= 8.
         let mut best = 1u32;
         let mut best_err = f64::INFINITY;
@@ -108,11 +105,7 @@ impl Prob {
             }
         }
         let quantized_minor = PROB_ONE >> best;
-        Prob::from_raw(if zero_is_minor {
-            quantized_minor
-        } else {
-            PROB_ONE - quantized_minor
-        })
+        Prob::from_raw(if zero_is_minor { quantized_minor } else { PROB_ONE - quantized_minor })
     }
 
     /// Applies `mode`: identity for [`ProbMode::Exact`], power-of-two

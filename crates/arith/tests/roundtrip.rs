@@ -4,7 +4,7 @@
 
 use cce_arith::nibble::{NibbleDecoder, NibbleProbTree};
 use cce_arith::{BitDecoder, BitEncoder, Prob, ProbMode, PROB_ONE};
-use proptest::prelude::*;
+use cce_rng::prop::prelude::*;
 
 fn prob_strategy() -> impl Strategy<Value = Prob> {
     (1u32..PROB_ONE).prop_map(Prob::from_raw)
@@ -122,5 +122,48 @@ proptest! {
         // Quantized value is 2^-k or 1 - 2^-k.
         let minor = q.raw().min(PROB_ONE - q.raw());
         prop_assert!(minor.is_power_of_two(), "minor {minor} not a power of two");
+    }
+}
+
+/// Direct (non-macro) exercise of the nibble engine against the bit-serial
+/// decoder: 512 independent random streams, each with its own random
+/// probability tree, drawn straight from the in-tree RNG.  Matches the
+/// property test above but with longer streams and an explicit fixed seed,
+/// so a failure names the exact reproducing case.
+#[test]
+fn nibble_engine_equals_serial_on_random_streams() {
+    let mut rng = cce_rng::Rng::seed_from_u64(0x1EB8_D6C0);
+    for case in 0..512 {
+        let mut probs = [Prob::HALF; 15];
+        for slot in &mut probs {
+            *slot = Prob::from_raw(rng.random_range(1u32..PROB_ONE));
+        }
+        let tree = NibbleProbTree::new(probs);
+
+        let len = rng.random_range(0usize..=600);
+        let nibbles: Vec<u8> = (0..len).map(|_| rng.random_range(0u8..16)).collect();
+
+        let mut enc = BitEncoder::new();
+        for &n in &nibbles {
+            let path = tree.path_probs(n);
+            for (i, &p) in path.iter().enumerate() {
+                enc.encode_bit(n >> (3 - i) & 1 == 1, p);
+            }
+        }
+        let bytes = enc.finish();
+
+        let mut engine = NibbleDecoder::new(&bytes);
+        let mut serial = BitDecoder::new(&bytes);
+        for (pos, &n) in nibbles.iter().enumerate() {
+            assert_eq!(engine.decode_nibble(&tree), n, "engine, case {case} nibble {pos}");
+            let mut node = 0usize;
+            let mut v = 0u8;
+            for _ in 0..4 {
+                let bit = serial.decode_bit(tree.prob(node));
+                v = v << 1 | u8::from(bit);
+                node = 2 * node + 1 + usize::from(bit);
+            }
+            assert_eq!(v, n, "serial, case {case} nibble {pos}");
+        }
     }
 }

@@ -15,13 +15,8 @@ fn main() {
     println!("Block-size ablation, MIPS suite means (scale {scale})");
     println!("{:>6} {:>9} {:>9}", "block", "SAMC", "SADC");
     for block_size in [16usize, 32, 64, 128] {
-        let rows = figure_rows(
-            Isa::Mips,
-            &[Algorithm::Samc, Algorithm::Sadc],
-            scale,
-            block_size,
-        )
-        .unwrap_or_else(|e| panic!("block size {block_size}: {e}"));
+        let rows = figure_rows(Isa::Mips, &[Algorithm::Samc, Algorithm::Sadc], scale, block_size)
+            .unwrap_or_else(|e| panic!("block size {block_size}: {e}"));
         let m = means(&rows);
         println!("{:>6} {:>9.3} {:>9.3}", block_size, m[0], m[1]);
     }

@@ -22,10 +22,7 @@ fn sizes(text: &[u8], context_bits: u8) -> (usize, usize) {
     };
     let codec = SamcCodec::train(text, config).expect("trainable");
     let image = codec.compress(text);
-    (
-        image.compressed_len() - codec.model().model_bytes(),
-        image.compressed_len(),
-    )
+    (image.compressed_len() - codec.model().model_bytes(), image.compressed_len())
 }
 
 fn main() {

@@ -16,10 +16,8 @@ use cce_core::samc::{MarkovConfig, SamcCodec, SamcConfig};
 use cce_core::workload::spec95_suite;
 
 fn payload_bytes(text: &[u8], prob_mode: ProbMode) -> usize {
-    let config = SamcConfig {
-        markov: MarkovConfig { context_bits: 1, prob_mode },
-        ..SamcConfig::mips()
-    };
+    let config =
+        SamcConfig { markov: MarkovConfig { context_bits: 1, prob_mode }, ..SamcConfig::mips() };
     let codec = SamcCodec::train(text, config).expect("trainable");
     let image = codec.compress(text);
     image.compressed_len() - codec.model().model_bytes()
@@ -28,10 +26,7 @@ fn payload_bytes(text: &[u8], prob_mode: ProbMode) -> usize {
 fn main() {
     let scale = scale_from_env();
     println!("Power-of-two probability ablation, SAMC payload on MIPS (scale {scale})");
-    println!(
-        "{:<10} {:>10} {:>10} {:>11}",
-        "benchmark", "exact", "pow2", "efficiency"
-    );
+    println!("{:<10} {:>10} {:>10} {:>11}", "benchmark", "exact", "pow2", "efficiency");
     let mut total_exact = 0usize;
     let mut total_pow2 = 0usize;
     for program in spec95_suite(Isa::Mips, scale) {

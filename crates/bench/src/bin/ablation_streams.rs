@@ -40,7 +40,12 @@ fn main() {
         let (optimized, _) = optimize_division(
             &words,
             32,
-            &OptimizeConfig { streams: 4, iterations: 24, sample_units: 2048, ..Default::default() },
+            &OptimizeConfig {
+                streams: 4,
+                iterations: 24,
+                sample_units: 2048,
+                ..Default::default()
+            },
         );
         let wide = ratios(&program.text, StreamDivision::contiguous(32, 2));
         let bytes = ratios(&program.text, StreamDivision::bytes(32));

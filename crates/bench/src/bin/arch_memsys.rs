@@ -8,8 +8,8 @@
 use cce_bench::scale_from_env;
 use cce_core::isa::Isa;
 use cce_core::memsim::{CacheConfig, CostModel, LineAddressTable, MemorySystem};
-use cce_core::workload::trace::{instruction_trace, TraceConfig};
 use cce_core::workload::spec95_suite;
+use cce_core::workload::trace::{instruction_trace, TraceConfig};
 use cce_core::{measure, Algorithm};
 
 fn main() {

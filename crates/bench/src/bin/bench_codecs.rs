@@ -1,0 +1,74 @@
+//! SPEED — whole-program compression/decompression throughput for every
+//! codec on a fixed MIPS benchmark text (synthetic `go`, ~64 KiB).
+//!
+//! The paper argues SADC "allows for fast hardware implementations" and
+//! that SAMC's arithmetic decoding is the slower path; these benches give
+//! the software-model counterpart of that comparison.
+//!
+//! Run with:
+//!   cargo run --release -p cce-bench --features timing --bin bench_codecs
+
+use cce_bench::timing::Group;
+
+use cce_core::huffman::block::ByteBlockCodec;
+use cce_core::isa::Isa;
+use cce_core::lz::{Gzip, Lzw};
+use cce_core::sadc::{MipsSadc, MipsSadcConfig};
+use cce_core::samc::{SamcCodec, SamcConfig};
+use cce_core::workload::spec95_suite;
+
+fn benchmark_text() -> Vec<u8> {
+    spec95_suite(Isa::Mips, 1.0)
+        .into_iter()
+        .find(|p| p.name == "go")
+        .expect("go is in the suite")
+        .text
+}
+
+fn compression(text: &[u8]) {
+    let group = Group::new("compress").throughput_bytes(text.len() as u64);
+
+    let samc = SamcCodec::train(text, SamcConfig::mips()).expect("trainable");
+    group.bench("samc", || samc.compress(text));
+    let sadc = MipsSadc::train(text, MipsSadcConfig::default()).expect("trainable");
+    group.bench("sadc", || sadc.compress(text));
+    let huffman = ByteBlockCodec::train(text).expect("trainable");
+    group.bench("byte_huffman", || huffman.compress(text, 32));
+    let lzw = Lzw::new();
+    group.bench("lzw", || lzw.compress(text));
+    let gzip = Gzip::new();
+    group.bench("gzip", || gzip.compress(text));
+}
+
+fn decompression(text: &[u8]) {
+    let group = Group::new("decompress").throughput_bytes(text.len() as u64);
+
+    let samc = SamcCodec::train(text, SamcConfig::mips()).expect("trainable");
+    let samc_image = samc.compress(text);
+    group.bench("samc", || samc.decompress(&samc_image).expect("round trip"));
+    let sadc = MipsSadc::train(text, MipsSadcConfig::default()).expect("trainable");
+    let sadc_image = sadc.compress(text);
+    group.bench("sadc", || sadc.decompress(&sadc_image).expect("round trip"));
+    let huffman = ByteBlockCodec::train(text).expect("trainable");
+    let huffman_image = huffman.compress(text, 32);
+    group.bench("byte_huffman", || huffman.decompress(&huffman_image).expect("round trip"));
+    let lzw = Lzw::new();
+    let lzw_compressed = lzw.compress(text);
+    group.bench("lzw", || lzw.decompress(&lzw_compressed).expect("round trip"));
+    let gzip = Gzip::new();
+    let gzip_compressed = gzip.compress(text);
+    group.bench("gzip", || gzip.decompress(&gzip_compressed).expect("round trip"));
+}
+
+fn training(text: &[u8]) {
+    let group = Group::new("train").throughput_bytes(text.len() as u64);
+    group.bench("samc", || SamcCodec::train(text, SamcConfig::mips()).expect("ok"));
+    group.bench("sadc", || MipsSadc::train(text, MipsSadcConfig::default()).expect("ok"));
+}
+
+fn main() {
+    let text = benchmark_text();
+    compression(&text);
+    decompression(&text);
+    training(&text);
+}

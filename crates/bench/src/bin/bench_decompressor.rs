@@ -1,0 +1,46 @@
+//! SPEED — per-cache-block refill latency: the operation on the critical
+//! path of every I-cache miss (paper §3's motivation for the
+//! nibble-parallel engine and §6's "faster decompressor implementations").
+//!
+//! Run with:
+//!   cargo run --release -p cce-bench --features timing --bin bench_decompressor
+
+use cce_bench::timing::Group;
+
+use cce_core::isa::Isa;
+use cce_core::sadc::{MipsSadc, MipsSadcConfig};
+use cce_core::samc::{SamcCodec, SamcConfig};
+use cce_core::workload::spec95_suite;
+
+fn main() {
+    let text = spec95_suite(Isa::Mips, 0.5)
+        .into_iter()
+        .find(|p| p.name == "ijpeg")
+        .expect("ijpeg is in the suite")
+        .text;
+
+    let samc = SamcCodec::train(&text, SamcConfig::mips()).expect("trainable");
+    let samc_image = samc.compress(&text);
+    let sadc = MipsSadc::train(&text, MipsSadcConfig::default()).expect("trainable");
+    let sadc_image = sadc.compress(&text);
+    let block = 5usize;
+
+    let group = Group::new("block_refill").throughput_bytes(32);
+    group.bench("samc_serial", || {
+        samc.decompress_block(samc_image.block(block), 32).expect("decodes")
+    });
+    group.bench("samc_nibble_engine", || {
+        samc.decompress_block_engine(samc_image.block(block), 32).expect("decodes")
+    });
+    group.bench("sadc", || sadc.decompress_block(sadc_image.block(block), 32).expect("decodes"));
+
+    // Report the modelled hardware cycles once (not a timing benchmark,
+    // but the number the paper's engine design is about).
+    let (_, stats) = samc.decompress_block_engine(samc_image.block(block), 32).expect("decodes");
+    println!(
+        "\nmodelled nibble-engine refill: {} nibble cycles + {} load cycles = {} cycles per 32-byte block",
+        stats.nibble_cycles,
+        stats.load_cycles,
+        stats.total_cycles()
+    );
+}

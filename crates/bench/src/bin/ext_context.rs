@@ -22,9 +22,8 @@ fn main() {
         "benchmark", "SAMC", "gzip", "order-1", "order-2", "order-3", "model memory"
     );
     for program in spec95_suite(Isa::Mips, scale).iter().step_by(4) {
-        let samc = measure(Algorithm::Samc, Isa::Mips, &program.text, 32)
-            .expect("SAMC measures")
-            .ratio();
+        let samc =
+            measure(Algorithm::Samc, Isa::Mips, &program.text, 32).expect("SAMC measures").ratio();
         let gzip = Gzip::new().compress(&program.text).len() as f64 / program.text.len() as f64;
         let mut ratios = [0.0f64; 3];
         let mut model_bytes = 0usize;

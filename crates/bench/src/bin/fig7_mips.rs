@@ -10,12 +10,7 @@ use cce_core::isa::Isa;
 use cce_core::Algorithm;
 
 fn main() {
-    let algorithms = [
-        Algorithm::UnixCompress,
-        Algorithm::Gzip,
-        Algorithm::Samc,
-        Algorithm::Sadc,
-    ];
+    let algorithms = [Algorithm::UnixCompress, Algorithm::Gzip, Algorithm::Samc, Algorithm::Sadc];
     let scale = scale_from_env();
     let rows = figure_rows(Isa::Mips, &algorithms, scale, 32)
         .unwrap_or_else(|e| panic!("figure 7 failed: {e}"));

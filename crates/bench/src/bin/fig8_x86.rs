@@ -11,12 +11,7 @@ use cce_core::isa::Isa;
 use cce_core::Algorithm;
 
 fn main() {
-    let algorithms = [
-        Algorithm::UnixCompress,
-        Algorithm::Gzip,
-        Algorithm::Samc,
-        Algorithm::Sadc,
-    ];
+    let algorithms = [Algorithm::UnixCompress, Algorithm::Gzip, Algorithm::Samc, Algorithm::Sadc];
     let scale = scale_from_env();
     let rows = figure_rows(Isa::X86, &algorithms, scale, 32)
         .unwrap_or_else(|e| panic!("figure 8 failed: {e}"));

@@ -10,6 +10,9 @@
 use cce_core::isa::Isa;
 use cce_core::{measure, Algorithm, MeasureError};
 
+#[cfg(feature = "timing")]
+pub mod timing;
+
 /// Workload scale from `CCE_SCALE` (default 1.0).
 pub fn scale_from_env() -> f64 {
     std::env::var("CCE_SCALE")
@@ -56,10 +59,7 @@ pub fn figure_rows(
                 })
             })
             .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("measurement thread must not panic"))
-            .collect()
+        handles.into_iter().map(|h| h.join().expect("measurement thread must not panic")).collect()
     });
     results.into_iter().collect()
 }

@@ -1,0 +1,138 @@
+//! A minimal wall-clock micro-benchmark harness (criterion replacement).
+//!
+//! The workspace builds with zero external dependencies, so the two
+//! criterion benches were ported onto this module.  It is deliberately
+//! simple: warm up, run timed batches until enough samples accumulate,
+//! report min/median/mean.  That is sufficient for the paper's purpose —
+//! comparing codecs against each other on the same machine — without
+//! criterion's statistical machinery.
+//!
+//! Gated behind the `timing` cargo feature so ordinary builds and tests
+//! never measure anything:
+//!
+//! ```text
+//! cargo run --release -p cce-bench --features timing --bin bench_codecs
+//! ```
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Target accumulated measurement time per benchmark.
+const MEASURE_TARGET: Duration = Duration::from_millis(400);
+/// Target warm-up time per benchmark.
+const WARMUP_TARGET: Duration = Duration::from_millis(100);
+/// Number of timed samples to aim for within the measurement budget.
+const TARGET_SAMPLES: usize = 30;
+
+/// A named group of related benchmarks sharing a throughput basis.
+pub struct Group {
+    name: String,
+    throughput_bytes: Option<u64>,
+}
+
+impl Group {
+    /// Starts a group and prints its header.
+    #[must_use]
+    pub fn new(name: &str) -> Self {
+        println!("\n== {name} ==");
+        println!(
+            "{:<22} {:>12} {:>12} {:>12} {:>12}",
+            "benchmark", "min", "median", "mean", "throughput"
+        );
+        Self { name: name.to_string(), throughput_bytes: None }
+    }
+
+    /// Sets the bytes processed per iteration, enabling MB/s reporting.
+    #[must_use]
+    pub fn throughput_bytes(mut self, bytes: u64) -> Self {
+        self.throughput_bytes = Some(bytes);
+        self
+    }
+
+    /// Times `f` and prints one result row.
+    ///
+    /// The return value of `f` is passed through [`black_box`] so the
+    /// measured work cannot be optimized away.
+    pub fn bench<R>(&self, label: &str, mut f: impl FnMut() -> R) {
+        // Warm-up: also estimates the per-iteration cost for batch sizing.
+        let warmup_start = Instant::now();
+        let mut warmup_iters: u64 = 0;
+        while warmup_start.elapsed() < WARMUP_TARGET {
+            black_box(f());
+            warmup_iters += 1;
+        }
+        let per_iter = warmup_start.elapsed() / u32::try_from(warmup_iters).unwrap_or(u32::MAX);
+
+        // Batch so each sample is long enough for the clock to resolve.
+        let batch = (Duration::from_micros(200).as_nanos() / per_iter.as_nanos().max(1))
+            .clamp(1, 1 << 20) as u64;
+        let mut samples: Vec<Duration> = Vec::with_capacity(TARGET_SAMPLES);
+        let measure_start = Instant::now();
+        while samples.len() < TARGET_SAMPLES && measure_start.elapsed() < MEASURE_TARGET {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            samples.push(t.elapsed() / u32::try_from(batch).expect("batch fits u32"));
+        }
+        samples.sort_unstable();
+
+        let min = samples[0];
+        let median = samples[samples.len() / 2];
+        let mean =
+            samples.iter().sum::<Duration>() / u32::try_from(samples.len()).expect("few samples");
+        let throughput = match self.throughput_bytes {
+            Some(bytes) => {
+                let mbps = bytes as f64 / median.as_secs_f64() / 1e6;
+                format!("{mbps:>9.1} MB/s")
+            }
+            None => "-".to_string(),
+        };
+        println!(
+            "{:<22} {:>12} {:>12} {:>12} {:>12}",
+            format!("{}/{label}", self.name),
+            format_duration(min),
+            format_duration(median),
+            format_duration(mean),
+            throughput,
+        );
+    }
+}
+
+/// Formats a duration at a benchmark-friendly precision.
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 10_000 {
+        format!("{nanos} ns")
+    } else if nanos < 10_000_000 {
+        format!("{:.1} µs", nanos as f64 / 1e3)
+    } else if nanos < 10_000_000_000 {
+        format!("{:.1} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats_cover_all_scales() {
+        assert_eq!(format_duration(Duration::from_nanos(15)), "15 ns");
+        assert_eq!(format_duration(Duration::from_micros(150)), "150.0 µs");
+        assert_eq!(format_duration(Duration::from_millis(150)), "150.0 ms");
+        assert_eq!(format_duration(Duration::from_secs(15)), "15.00 s");
+    }
+
+    #[test]
+    fn bench_runs_the_closure() {
+        let mut count = 0u64;
+        let group = Group::new("smoke").throughput_bytes(8);
+        group.bench("counter", || {
+            count += 1;
+            count
+        });
+        assert!(count > 0);
+    }
+}

@@ -52,10 +52,8 @@ impl<'a> ByteCursor<'a> {
     ///
     /// Returns [`EndOfStreamError`] at end of input.
     pub fn read_u8(&mut self) -> Result<u8, EndOfStreamError> {
-        let byte = *self
-            .bytes
-            .get(self.position)
-            .ok_or(EndOfStreamError::new(self.position * 8))?;
+        let byte =
+            *self.bytes.get(self.position).ok_or(EndOfStreamError::new(self.position * 8))?;
         self.position += 1;
         Ok(byte)
     }

@@ -66,11 +66,7 @@ impl EndOfStreamError {
 
 impl fmt::Display for EndOfStreamError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "unexpected end of bitstream at bit position {}",
-            self.bit_position
-        )
+        write!(f, "unexpected end of bitstream at bit position {}", self.bit_position)
     }
 }
 

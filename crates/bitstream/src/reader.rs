@@ -29,10 +29,7 @@ pub struct BitReader<'a> {
 impl<'a> BitReader<'a> {
     /// Creates a reader over `bytes`, positioned at bit 0.
     pub fn new(bytes: &'a [u8]) -> Self {
-        Self {
-            bytes,
-            bit_position: 0,
-        }
+        Self { bytes, bit_position: 0 }
     }
 
     /// Creates a reader positioned `bit_offset` bits into `bytes`.
@@ -49,10 +46,7 @@ impl<'a> BitReader<'a> {
             "bit offset {bit_offset} beyond stream of {} bits",
             bytes.len() * 8
         );
-        Self {
-            bytes,
-            bit_position: bit_offset,
-        }
+        Self { bytes, bit_position: bit_offset }
     }
 
     /// Reads one bit.
@@ -62,10 +56,7 @@ impl<'a> BitReader<'a> {
     /// Returns [`EndOfStreamError`] when the stream is exhausted.
     pub fn read_bit(&mut self) -> Result<bool, EndOfStreamError> {
         let byte_index = self.bit_position / 8;
-        let byte = *self
-            .bytes
-            .get(byte_index)
-            .ok_or(EndOfStreamError::new(self.bit_position))?;
+        let byte = *self.bytes.get(byte_index).ok_or(EndOfStreamError::new(self.bit_position))?;
         let bit = byte >> (7 - self.bit_position % 8) & 1 == 1;
         self.bit_position += 1;
         Ok(bit)

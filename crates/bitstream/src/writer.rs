@@ -31,10 +31,7 @@ impl BitWriter {
 
     /// Creates an empty writer with room for `capacity_bytes` bytes.
     pub fn with_capacity(capacity_bytes: usize) -> Self {
-        Self {
-            bytes: Vec::with_capacity(capacity_bytes),
-            partial_bits: 0,
-        }
+        Self { bytes: Vec::with_capacity(capacity_bytes), partial_bits: 0 }
     }
 
     /// Appends a single bit.

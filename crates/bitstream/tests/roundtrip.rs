@@ -2,7 +2,7 @@
 //! `BitReader` verbatim, regardless of chunking.
 
 use cce_bitstream::{BitReader, BitWriter};
-use proptest::prelude::*;
+use cce_rng::prop::prelude::*;
 
 /// A single write operation, so sequences of mixed-width writes are covered.
 #[derive(Debug, Clone)]

@@ -316,7 +316,10 @@ fn decompress(args: &[String]) -> Result<(), Box<dyn Error>> {
     let mut elf = ElfImage::new_executable(machine, class, endianness, text);
     elf.entry = entry;
     std::fs::write(output, elf.to_bytes())?;
-    println!("{path}: decompressed {} bytes of text into {output}", elf.text().expect("text").len());
+    println!(
+        "{path}: decompressed {} bytes of text into {output}",
+        elf.text().expect("text").len()
+    );
     Ok(())
 }
 
@@ -392,12 +395,26 @@ fn info(args: &[String]) -> Result<(), Box<dyn Error>> {
     match kind {
         CodecKind::Samc => {
             let image = SamcImage::from_bytes(image_bytes)?;
-            println!("  text:       {} bytes in {} blocks of {}", image.original_len(), image.block_count(), image.block_size());
-            println!("  compressed: {} bytes (ratio {:.3}, LAT {} bytes)", image.compressed_len(), image.ratio(), image.lat_bytes());
+            println!(
+                "  text:       {} bytes in {} blocks of {}",
+                image.original_len(),
+                image.block_count(),
+                image.block_size()
+            );
+            println!(
+                "  compressed: {} bytes (ratio {:.3}, LAT {} bytes)",
+                image.compressed_len(),
+                image.ratio(),
+                image.lat_bytes()
+            );
         }
         CodecKind::SadcMips | CodecKind::SadcX86 => {
             let image = SadcImage::from_bytes(image_bytes)?;
-            println!("  text:       {} bytes in {} blocks", image.original_len(), image.block_count());
+            println!(
+                "  text:       {} bytes in {} blocks",
+                image.original_len(),
+                image.block_count()
+            );
             println!(
                 "  compressed: {} bytes (ratio {:.3}, dict {} + tables {}, LAT {} bytes)",
                 image.compressed_len(),

@@ -216,9 +216,7 @@ pub fn measure(
         Algorithm::UnixCompress => {
             let codec = Lzw::new();
             let compressed = codec.compress(text);
-            let back = codec
-                .decompress(&compressed)
-                .map_err(|e| train_err("compress", e))?;
+            let back = codec.decompress(&compressed).map_err(|e| train_err("compress", e))?;
             if back != text {
                 return Err(MeasureError::RoundTripMismatch { algorithm: "compress" });
             }
@@ -240,7 +238,8 @@ pub fn measure(
             if back != text {
                 return Err(MeasureError::RoundTripMismatch { algorithm: "huffman" });
             }
-            let sizes: Vec<usize> = (0..image.block_count()).map(|i| image.block(i).len()).collect();
+            let sizes: Vec<usize> =
+                (0..image.block_count()).map(|i| image.block(i).len()).collect();
             let lat = cce_memsim::LineAddressTable::from_block_sizes(sizes.iter().copied());
             (image.compressed_len(), Some(sizes), Some(lat.table_bytes()))
         }
@@ -323,9 +322,8 @@ pub fn measure_suite(
     cce_workload::spec95_suite(isa, scale)
         .into_iter()
         .map(|program| {
-            measure(algorithm, isa, &program.text, block_size).map(|measurement| {
-                SuiteMeasurement { benchmark: program.name, measurement }
-            })
+            measure(algorithm, isa, &program.text, block_size)
+                .map(|measurement| SuiteMeasurement { benchmark: program.name, measurement })
         })
         .collect()
 }

@@ -6,7 +6,7 @@
 //! synthetic corpora against real binaries).
 
 use cce_isa::mips::{decode_text, DecodeInstructionError};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Shannon entropy of the byte distribution, in bits per byte (0..=8).
 ///
@@ -44,11 +44,7 @@ pub fn position_entropy(text: &[u8], stride: usize) -> Vec<f64> {
         counts[i % stride][usize::from(b)] += 1;
         totals[i % stride] += 1;
     }
-    counts
-        .iter()
-        .zip(&totals)
-        .map(|(c, &n)| entropy_of_counts(c.iter().copied(), n))
-        .collect()
+    counts.iter().zip(&totals).map(|(c, &n)| entropy_of_counts(c.iter().copied(), n)).collect()
 }
 
 /// Fraction of `stride`-byte records that are exact repeats of an earlier
@@ -101,10 +97,10 @@ pub struct MipsFieldStats {
 /// Returns the first undecodable word.
 pub fn mips_field_stats(text: &[u8]) -> Result<MipsFieldStats, DecodeInstructionError> {
     let instructions = decode_text(text)?;
-    let mut op_counts: HashMap<u8, u64> = HashMap::new();
+    let mut op_counts: BTreeMap<u8, u64> = BTreeMap::new();
     let mut reg_counts = [0u64; 32];
     let mut reg_total = 0u64;
-    let mut imm_counts: HashMap<u16, u64> = HashMap::new();
+    let mut imm_counts: BTreeMap<u16, u64> = BTreeMap::new();
     let mut imm26_count = 0u64;
     for insn in &instructions {
         *op_counts.entry(insn.operation().id()).or_insert(0) += 1;

@@ -124,11 +124,7 @@ impl ElfImage {
             2 => Endianness::Big,
             value => return Err(ParseElfError::BadIdent { index: 5, value }),
         };
-        let mut r = FieldReader {
-            cursor: ByteCursor::new(bytes),
-            endianness,
-            class,
-        };
+        let mut r = FieldReader { cursor: ByteCursor::new(bytes), endianness, class };
         r.seek(16)?;
         let _etype = r.u16()?;
         let machine = Machine::from_raw(r.u16()?);
@@ -159,20 +155,11 @@ impl ElfImage {
                 ),
                 Class::Elf64 => (r.u64()?, r.u64()?, r.u64()?, r.u64()?),
             };
-            raw.push(RawSectionHeader {
-                name_offset,
-                sh_type,
-                flags,
-                addr,
-                offset,
-                size,
-            });
+            raw.push(RawSectionHeader { name_offset, sh_type, flags, addr, offset, size });
         }
 
         // Section name string table.
-        let strtab = raw
-            .get(usize::from(shstrndx))
-            .ok_or(ParseElfError::Truncated)?;
+        let strtab = raw.get(usize::from(shstrndx)).ok_or(ParseElfError::Truncated)?;
         let strtab_bytes = slice_file(bytes, strtab.offset, strtab.size)?;
 
         let mut sections = Vec::new();
@@ -198,13 +185,7 @@ impl ElfImage {
             });
         }
 
-        Ok(ElfImage {
-            class,
-            endianness,
-            machine,
-            entry,
-            sections,
-        })
+        Ok(ElfImage { class, endianness, machine, entry, sections })
     }
 }
 
@@ -234,7 +215,8 @@ mod tests {
     fn round_trips_all_class_endianness_combinations() {
         for class in [Class::Elf32, Class::Elf64] {
             for endianness in [Endianness::Little, Endianness::Big] {
-                let image = ElfImage::new_executable(Machine::Mips, class, endianness, sample_text());
+                let image =
+                    ElfImage::new_executable(Machine::Mips, class, endianness, sample_text());
                 let bytes = image.to_bytes();
                 let parsed = ElfImage::parse(&bytes)
                     .unwrap_or_else(|e| panic!("{class:?}/{endianness:?}: {e}"));
@@ -245,8 +227,12 @@ mod tests {
 
     #[test]
     fn text_accessor_finds_the_section() {
-        let image =
-            ElfImage::new_executable(Machine::I386, Class::Elf32, Endianness::Little, sample_text());
+        let image = ElfImage::new_executable(
+            Machine::I386,
+            Class::Elf32,
+            Endianness::Little,
+            sample_text(),
+        );
         assert_eq!(image.text().unwrap(), &sample_text()[..]);
         assert!(image.section(".data").is_none());
     }
@@ -284,13 +270,9 @@ mod tests {
 
     #[test]
     fn bad_class_is_rejected() {
-        let mut bytes = ElfImage::new_executable(
-            Machine::Mips,
-            Class::Elf32,
-            Endianness::Big,
-            sample_text(),
-        )
-        .to_bytes();
+        let mut bytes =
+            ElfImage::new_executable(Machine::Mips, Class::Elf32, Endianness::Big, sample_text())
+                .to_bytes();
         bytes[4] = 9;
         assert_eq!(
             ElfImage::parse(&bytes).unwrap_err(),

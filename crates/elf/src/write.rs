@@ -131,11 +131,8 @@ impl ElfImage {
         for ((s, &name_off), &data_off) in
             self.sections.iter().zip(&name_offsets).zip(&data_offsets)
         {
-            let size = if s.kind == SectionKind::NoBits {
-                s.nobits_size
-            } else {
-                s.data.len() as u64
-            };
+            let size =
+                if s.kind == SectionKind::NoBits { s.nobits_size } else { s.data.len() as u64 };
             write_section_header(
                 &mut w,
                 class,

@@ -2,7 +2,7 @@
 //! total on arbitrary bytes.
 
 use cce_elf::{Class, ElfImage, Endianness, Machine, Section, SectionKind};
-use proptest::prelude::*;
+use cce_rng::prop::prelude::*;
 
 fn class_strategy() -> impl Strategy<Value = Class> {
     prop_oneof![Just(Class::Elf32), Just(Class::Elf64)]
@@ -13,11 +13,7 @@ fn endianness_strategy() -> impl Strategy<Value = Endianness> {
 }
 
 fn machine_strategy() -> impl Strategy<Value = Machine> {
-    prop_oneof![
-        Just(Machine::Mips),
-        Just(Machine::I386),
-        any::<u16>().prop_map(Machine::from_raw),
-    ]
+    prop_oneof![Just(Machine::Mips), Just(Machine::I386), any::<u16>().prop_map(Machine::from_raw),]
 }
 
 fn section_strategy() -> impl Strategy<Value = Section> {
@@ -31,14 +27,7 @@ fn section_strategy() -> impl Strategy<Value = Section> {
         .prop_map(|(name, kind, addr, data, nobits)| {
             let nobits_size = if kind == SectionKind::NoBits { u64::from(nobits) } else { 0 };
             let data = if kind == SectionKind::NoBits { Vec::new() } else { data };
-            Section {
-                name,
-                kind,
-                flags: 0x6,
-                addr: u64::from(addr),
-                data,
-                nobits_size,
-            }
+            Section { name, kind, flags: 0x6, addr: u64::from(addr), data, nobits_size }
         })
 }
 

@@ -107,9 +107,8 @@ impl CodeBook {
     pub fn from_frequencies(frequencies: &[u64], max_len: u8) -> Result<Self, BuildCodeBookError> {
         assert!(frequencies.len() <= u16::MAX as usize + 1, "alphabet too large");
         assert!(max_len > 0 && max_len <= 32, "max_len must be in 1..=32");
-        let used: Vec<u16> = (0..frequencies.len() as u16)
-            .filter(|&s| frequencies[usize::from(s)] > 0)
-            .collect();
+        let used: Vec<u16> =
+            (0..frequencies.len() as u16).filter(|&s| frequencies[usize::from(s)] > 0).collect();
         if used.is_empty() {
             return Err(BuildCodeBookError::NoSymbols);
         }
@@ -162,9 +161,8 @@ impl CodeBook {
 
     fn from_lengths_unchecked(lengths: Vec<u8>) -> Self {
         let max_len = lengths.iter().copied().max().expect("non-empty lengths");
-        let mut sorted_symbols: Vec<u16> = (0..lengths.len() as u16)
-            .filter(|&s| lengths[usize::from(s)] > 0)
-            .collect();
+        let mut sorted_symbols: Vec<u16> =
+            (0..lengths.len() as u16).filter(|&s| lengths[usize::from(s)] > 0).collect();
         sorted_symbols.sort_by_key(|&s| (lengths[usize::from(s)], s));
 
         let mut codes = vec![0u32; lengths.len()];
@@ -193,14 +191,7 @@ impl CodeBook {
         for l in prev_len + 1..=max_len {
             first_index[usize::from(l)] = sorted_symbols.len() as u32;
         }
-        Self {
-            lengths,
-            codes,
-            first_code,
-            first_index,
-            sorted_symbols,
-            max_len,
-        }
+        Self { lengths, codes, first_code, first_index, sorted_symbols, max_len }
     }
 
     /// The canonical codeword assigned to `symbol` (crate-internal;
@@ -232,11 +223,7 @@ impl CodeBook {
     /// Expected cost in bits of coding a source with `frequencies` using
     /// this book (frequencies indexed like the constructor's).
     pub fn total_bits(&self, frequencies: &[u64]) -> u64 {
-        frequencies
-            .iter()
-            .zip(&self.lengths)
-            .map(|(&f, &l)| f * u64::from(l))
-            .sum()
+        frequencies.iter().zip(&self.lengths).map(|(&f, &l)| f * u64::from(l)).sum()
     }
 
     /// Appends `symbol`'s codeword to `writer`.
@@ -292,10 +279,7 @@ fn package_merge(frequencies: &[u64], used: &[u16], max_len: u8, lengths: &mut [
 
     let mut leaves: Vec<Package> = used
         .iter()
-        .map(|&s| Package {
-            weight: frequencies[usize::from(s)],
-            symbols: vec![s],
-        })
+        .map(|&s| Package { weight: frequencies[usize::from(s)], symbols: vec![s] })
         .collect();
     leaves.sort_by_key(|p| p.weight);
 
@@ -353,10 +337,7 @@ mod tests {
             CodeBook::from_frequencies(&[0, 0, 0], 8).unwrap_err(),
             BuildCodeBookError::NoSymbols
         );
-        assert_eq!(
-            CodeBook::from_frequencies(&[], 8).unwrap_err(),
-            BuildCodeBookError::NoSymbols
-        );
+        assert_eq!(CodeBook::from_frequencies(&[], 8).unwrap_err(), BuildCodeBookError::NoSymbols);
     }
 
     #[test]
@@ -390,12 +371,8 @@ mod tests {
         let unlimited = CodeBook::from_frequencies(&freqs, 16).unwrap();
         assert!(unlimited.total_bits(&freqs) <= limited.total_bits(&freqs));
         // Kraft completeness.
-        let kraft: f64 = limited
-            .lengths()
-            .iter()
-            .filter(|&&l| l > 0)
-            .map(|&l| 0.5f64.powi(i32::from(l)))
-            .sum();
+        let kraft: f64 =
+            limited.lengths().iter().filter(|&&l| l > 0).map(|&l| 0.5f64.powi(i32::from(l))).sum();
         assert!((kraft - 1.0).abs() < 1e-12);
     }
 
@@ -414,14 +391,16 @@ mod tests {
         let book = CodeBook::from_frequencies(&[8, 1, 1, 2, 4], 16).unwrap();
         // Shorter codes sort before longer; equal lengths by symbol index.
         let mut pairs: Vec<(u8, u32)> = (0..5)
-            .map(|s| (book.length(s), {
-                let mut w = BitWriter::new();
-                book.encode(&mut w, s);
-                let bits = w.bit_len() as u32;
-                let bytes = w.into_bytes();
-                let mut r = BitReader::new(&bytes);
-                r.read_bits(bits).unwrap() // the raw codeword
-            }))
+            .map(|s| {
+                (book.length(s), {
+                    let mut w = BitWriter::new();
+                    book.encode(&mut w, s);
+                    let bits = w.bit_len() as u32;
+                    let bytes = w.into_bytes();
+                    let mut r = BitReader::new(&bytes);
+                    r.read_bits(bits).unwrap() // the raw codeword
+                })
+            })
             .collect();
         pairs.sort();
         for window in pairs.windows(2) {
@@ -457,10 +436,7 @@ mod tests {
         book.encode(&mut w, 3);
         let bytes = w.into_bytes();
         let mut r = BitReader::new(&bytes[..0]);
-        assert!(matches!(
-            book.decode(&mut r),
-            Err(DecodeSymbolError::EndOfStream(_))
-        ));
+        assert!(matches!(book.decode(&mut r), Err(DecodeSymbolError::EndOfStream(_))));
     }
 
     #[test]

@@ -80,11 +80,7 @@ impl CodeBook {
                 entries[base + suffix] = (symbol, len);
             }
         }
-        DecodeTable {
-            root_bits,
-            entries,
-            book: self.clone(),
-        }
+        DecodeTable { root_bits, entries, book: self.clone() }
     }
 }
 

@@ -4,7 +4,7 @@
 
 use cce_bitstream::{BitReader, BitWriter};
 use cce_huffman::CodeBook;
-use proptest::prelude::*;
+use cce_rng::prop::prelude::*;
 
 fn frequency_vectors() -> impl Strategy<Value = Vec<u64>> {
     prop_oneof![

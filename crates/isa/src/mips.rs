@@ -62,9 +62,9 @@ impl Reg {
     /// The conventional ABI name (`$sp`, `$t0`, ...).
     pub fn name(self) -> &'static str {
         const NAMES: [&str; 32] = [
-            "$zero", "$at", "$v0", "$v1", "$a0", "$a1", "$a2", "$a3", "$t0", "$t1", "$t2",
-            "$t3", "$t4", "$t5", "$t6", "$t7", "$s0", "$s1", "$s2", "$s3", "$s4", "$s5",
-            "$s6", "$s7", "$t8", "$t9", "$k0", "$k1", "$gp", "$sp", "$fp", "$ra",
+            "$zero", "$at", "$v0", "$v1", "$a0", "$a1", "$a2", "$a3", "$t0", "$t1", "$t2", "$t3",
+            "$t4", "$t5", "$t6", "$t7", "$s0", "$s1", "$s2", "$s3", "$s4", "$s5", "$s6", "$s7",
+            "$t8", "$t9", "$k0", "$k1", "$gp", "$sp", "$fp", "$ra",
         ];
         NAMES[usize::from(self.0)]
     }
@@ -398,21 +398,15 @@ impl Instruction {
         }
         match op {
             Operation::R(op) => Instruction::R { op, rs, rt, rd, shamt },
-            Operation::I(op) => Instruction::I {
-                op,
-                rs,
-                rt,
-                imm: imm16.expect("I-format requires imm16"),
-            },
-            Operation::B(op) => Instruction::B {
-                op,
-                rs,
-                imm: imm16.expect("branch requires imm16"),
-            },
-            Operation::J(op) => Instruction::J {
-                op,
-                target: imm26.expect("J-format requires imm26"),
-            },
+            Operation::I(op) => {
+                Instruction::I { op, rs, rt, imm: imm16.expect("I-format requires imm16") }
+            }
+            Operation::B(op) => {
+                Instruction::B { op, rs, imm: imm16.expect("branch requires imm16") }
+            }
+            Operation::J(op) => {
+                Instruction::J { op, target: imm26.expect("J-format requires imm26") }
+            }
         }
     }
 }
@@ -602,10 +596,7 @@ impl Operation {
     /// Ids index frequency tables in SADC; they are *not* the architectural
     /// opcode.
     pub fn id(self) -> u8 {
-        Operation::ALL
-            .iter()
-            .position(|&op| op == self)
-            .expect("every operation is in ALL") as u8
+        Operation::ALL.iter().position(|&op| op == self).expect("every operation is in ALL") as u8
     }
 
     /// Recovers an operation from its [`Operation::id`].
@@ -625,61 +616,32 @@ impl Operation {
         use RegField::*;
         match self {
             Operation::R(op) => match op {
-                RType::Sll | RType::Srl | RType::Sra => OperandSpec {
-                    reg_fields: &[Rt, Rd, Shamt],
-                    imm: ImmKind::None,
-                },
-                RType::Sllv | RType::Srlv | RType::Srav => OperandSpec {
-                    reg_fields: &[Rs, Rt, Rd],
-                    imm: ImmKind::None,
-                },
-                RType::Jr | RType::Mthi | RType::Mtlo => OperandSpec {
-                    reg_fields: &[Rs],
-                    imm: ImmKind::None,
-                },
-                RType::Jalr => OperandSpec {
-                    reg_fields: &[Rs, Rd],
-                    imm: ImmKind::None,
-                },
-                RType::Syscall | RType::Break => OperandSpec {
-                    reg_fields: &[],
-                    imm: ImmKind::None,
-                },
-                RType::Mfhi | RType::Mflo => OperandSpec {
-                    reg_fields: &[Rd],
-                    imm: ImmKind::None,
-                },
-                RType::Mult | RType::Multu | RType::Div | RType::Divu => OperandSpec {
-                    reg_fields: &[Rs, Rt],
-                    imm: ImmKind::None,
-                },
-                _ => OperandSpec {
-                    reg_fields: &[Rs, Rt, Rd],
-                    imm: ImmKind::None,
-                },
+                RType::Sll | RType::Srl | RType::Sra => {
+                    OperandSpec { reg_fields: &[Rt, Rd, Shamt], imm: ImmKind::None }
+                }
+                RType::Sllv | RType::Srlv | RType::Srav => {
+                    OperandSpec { reg_fields: &[Rs, Rt, Rd], imm: ImmKind::None }
+                }
+                RType::Jr | RType::Mthi | RType::Mtlo => {
+                    OperandSpec { reg_fields: &[Rs], imm: ImmKind::None }
+                }
+                RType::Jalr => OperandSpec { reg_fields: &[Rs, Rd], imm: ImmKind::None },
+                RType::Syscall | RType::Break => {
+                    OperandSpec { reg_fields: &[], imm: ImmKind::None }
+                }
+                RType::Mfhi | RType::Mflo => OperandSpec { reg_fields: &[Rd], imm: ImmKind::None },
+                RType::Mult | RType::Multu | RType::Div | RType::Divu => {
+                    OperandSpec { reg_fields: &[Rs, Rt], imm: ImmKind::None }
+                }
+                _ => OperandSpec { reg_fields: &[Rs, Rt, Rd], imm: ImmKind::None },
             },
             Operation::I(op) => match op {
-                IType::Lui => OperandSpec {
-                    reg_fields: &[Rt],
-                    imm: ImmKind::Imm16,
-                },
-                IType::Blez | IType::Bgtz => OperandSpec {
-                    reg_fields: &[Rs],
-                    imm: ImmKind::Imm16,
-                },
-                _ => OperandSpec {
-                    reg_fields: &[Rs, Rt],
-                    imm: ImmKind::Imm16,
-                },
+                IType::Lui => OperandSpec { reg_fields: &[Rt], imm: ImmKind::Imm16 },
+                IType::Blez | IType::Bgtz => OperandSpec { reg_fields: &[Rs], imm: ImmKind::Imm16 },
+                _ => OperandSpec { reg_fields: &[Rs, Rt], imm: ImmKind::Imm16 },
             },
-            Operation::B(_) => OperandSpec {
-                reg_fields: &[Rs],
-                imm: ImmKind::Imm16,
-            },
-            Operation::J(_) => OperandSpec {
-                reg_fields: &[],
-                imm: ImmKind::Imm26,
-            },
+            Operation::B(_) => OperandSpec { reg_fields: &[Rs], imm: ImmKind::Imm16 },
+            Operation::J(_) => OperandSpec { reg_fields: &[], imm: ImmKind::Imm26 },
         }
     }
 }
@@ -891,13 +853,8 @@ mod tests {
 
     #[test]
     fn operand_specs_match_register_fields() {
-        let insn = Instruction::R {
-            op: RType::Sll,
-            rs: Reg::ZERO,
-            rt: Reg::T0,
-            rd: Reg::V0,
-            shamt: 7,
-        };
+        let insn =
+            Instruction::R { op: RType::Sll, rs: Reg::ZERO, rt: Reg::T0, rd: Reg::V0, shamt: 7 };
         assert_eq!(insn.register_fields(), vec![8, 2, 7]); // rt, rd, shamt
         let insn = Instruction::lw(Reg::RA, 4, Reg::SP);
         assert_eq!(insn.register_fields(), vec![29, 31]); // rs, rt
@@ -959,23 +916,13 @@ mod tests {
     #[test]
     fn disassembly_matches_convention() {
         assert_eq!(Instruction::nop().to_string(), "nop");
-        assert_eq!(
-            Instruction::addiu(Reg::SP, Reg::SP, 0xFFF8).to_string(),
-            "addiu $sp, $sp, -8"
-        );
+        assert_eq!(Instruction::addiu(Reg::SP, Reg::SP, 0xFFF8).to_string(), "addiu $sp, $sp, -8");
         assert_eq!(Instruction::lw(Reg::RA, 4, Reg::SP).to_string(), "lw $ra, 4($sp)");
         assert_eq!(Instruction::jr(Reg::RA).to_string(), "jr $ra");
+        assert_eq!(Instruction::addu(Reg::V0, Reg::A0, Reg::A1).to_string(), "addu $v0, $a0, $a1");
+        assert_eq!(Instruction::J { op: JType::Jal, target: 0x100 }.to_string(), "jal 0x400");
         assert_eq!(
-            Instruction::addu(Reg::V0, Reg::A0, Reg::A1).to_string(),
-            "addu $v0, $a0, $a1"
-        );
-        assert_eq!(
-            Instruction::J { op: JType::Jal, target: 0x100 }.to_string(),
-            "jal 0x400"
-        );
-        assert_eq!(
-            Instruction::I { op: IType::Lui, rs: Reg::ZERO, rt: Reg::GP, imm: 0x1000 }
-                .to_string(),
+            Instruction::I { op: IType::Lui, rs: Reg::ZERO, rt: Reg::GP, imm: 0x1000 }.to_string(),
             "lui $gp, 0x1000"
         );
         assert_eq!(

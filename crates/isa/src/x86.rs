@@ -131,21 +131,21 @@ fn one_byte_spec(op: u8) -> Result<(bool, Imm), DecodeLayoutError> {
             0x05 => (false, V),
             _ => (false, None),
         },
-        0x40..=0x5F => (false, None), // inc/dec/push/pop r32
-        0x60 | 0x61 => (false, None), // pusha/popa
-        0x62 | 0x63 => (true, None),  // bound/arpl
-        0x68 => (false, V),           // push imm32
-        0x69 => (true, V),            // imul r, rm, imm32
-        0x6A => (false, B),           // push imm8
-        0x6B => (true, B),            // imul r, rm, imm8
-        0x6C..=0x6F => (false, None), // ins/outs
-        0x70..=0x7F => (false, B),    // jcc rel8
+        0x40..=0x5F => (false, None),    // inc/dec/push/pop r32
+        0x60 | 0x61 => (false, None),    // pusha/popa
+        0x62 | 0x63 => (true, None),     // bound/arpl
+        0x68 => (false, V),              // push imm32
+        0x69 => (true, V),               // imul r, rm, imm32
+        0x6A => (false, B),              // push imm8
+        0x6B => (true, B),               // imul r, rm, imm8
+        0x6C..=0x6F => (false, None),    // ins/outs
+        0x70..=0x7F => (false, B),       // jcc rel8
         0x80 | 0x82 | 0x83 => (true, B), // ALU group, imm8
-        0x81 => (true, V),            // ALU group, imm32
-        0x84..=0x8F => (true, None),  // test/xchg/mov/lea/mov-seg/pop
-        0x90..=0x99 => (false, None), // nop/xchg/cbw/cdq
-        0x9A => (false, Far),         // call far
-        0x9B..=0x9F => (false, None), // wait/pushf/popf/sahf/lahf
+        0x81 => (true, V),               // ALU group, imm32
+        0x84..=0x8F => (true, None),     // test/xchg/mov/lea/mov-seg/pop
+        0x90..=0x99 => (false, None),    // nop/xchg/cbw/cdq
+        0x9A => (false, Far),            // call far
+        0x9B..=0x9F => (false, None),    // wait/pushf/popf/sahf/lahf
         0xA0..=0xA3 => (false, Moffs),
         0xA4..=0xA7 => (false, None), // movs/cmps
         0xA8 => (false, B),           // test al, imm8
@@ -179,9 +179,7 @@ fn one_byte_spec(op: u8) -> Result<(bool, Imm), DecodeLayoutError> {
         0xF7 => (true, Group3V),
         0xF8..=0xFD => (false, None), // flag ops
         0xFE | 0xFF => (true, None),  // inc/dec/call/jmp/push groups
-        _ => {
-            return Err(DecodeLayoutError::UnknownOpcode { opcode: op, second: Option::None })
-        }
+        _ => return Err(DecodeLayoutError::UnknownOpcode { opcode: op, second: Option::None }),
     })
 }
 
@@ -189,21 +187,19 @@ fn one_byte_spec(op: u8) -> Result<(bool, Imm), DecodeLayoutError> {
 fn two_byte_spec(op: u8) -> Result<(bool, Imm), DecodeLayoutError> {
     use Imm::*;
     Ok(match op {
-        0x1F => (true, None),         // multi-byte nop
-        0x31 => (false, None),        // rdtsc
-        0x40..=0x4F => (true, None),  // cmovcc
-        0x80..=0x8F => (false, V),    // jcc rel32
-        0x90..=0x9F => (true, None),  // setcc
-        0xA2 => (false, None),        // cpuid
+        0x1F => (true, None),                             // multi-byte nop
+        0x31 => (false, None),                            // rdtsc
+        0x40..=0x4F => (true, None),                      // cmovcc
+        0x80..=0x8F => (false, V),                        // jcc rel32
+        0x90..=0x9F => (true, None),                      // setcc
+        0xA2 => (false, None),                            // cpuid
         0xA3 | 0xA5 | 0xAB | 0xAD | 0xAF => (true, None), // bt/shld/bts/shrd/imul
-        0xA4 | 0xAC => (true, B),     // shld/shrd imm8
-        0xB0 | 0xB1 => (true, None),  // cmpxchg
-        0xB6 | 0xB7 | 0xBE | 0xBF => (true, None), // movzx/movsx
-        0xC0 | 0xC1 => (true, None),  // xadd
-        0xC8..=0xCF => (false, None), // bswap
-        _ => {
-            return Err(DecodeLayoutError::UnknownOpcode { opcode: 0x0F, second: Some(op) })
-        }
+        0xA4 | 0xAC => (true, B),                         // shld/shrd imm8
+        0xB0 | 0xB1 => (true, None),                      // cmpxchg
+        0xB6 | 0xB7 | 0xBE | 0xBF => (true, None),        // movzx/movsx
+        0xC0 | 0xC1 => (true, None),                      // xadd
+        0xC8..=0xCF => (false, None),                     // bswap
+        _ => return Err(DecodeLayoutError::UnknownOpcode { opcode: 0x0F, second: Some(op) }),
     })
 }
 
@@ -304,14 +300,8 @@ pub fn decode_layout(bytes: &[u8]) -> Result<InstructionLayout, DecodeLayoutErro
         }
     };
 
-    let layout = InstructionLayout {
-        prefix_len,
-        opcode_len,
-        modrm_len,
-        sib_len,
-        disp_len,
-        imm_len,
-    };
+    let layout =
+        InstructionLayout { prefix_len, opcode_len, modrm_len, sib_len, disp_len, imm_len };
     if layout.total_len() > bytes.len() {
         return Err(DecodeLayoutError::Truncated);
     }

@@ -2,15 +2,10 @@
 
 use cce_isa::mips::{self, ImmKind, Instruction, Operation};
 use cce_isa::x86::{asm, split_streams};
-use proptest::prelude::*;
+use cce_rng::prop::prelude::*;
 
 fn mips_instruction() -> impl Strategy<Value = Instruction> {
-    (
-        0u8..Operation::COUNT as u8,
-        prop::collection::vec(0u8..32, 4),
-        any::<u16>(),
-        0u32..1 << 26,
-    )
+    (0u8..Operation::COUNT as u8, prop::collection::vec(0u8..32, 4), any::<u16>(), 0u32..1 << 26)
         .prop_map(|(id, regs, imm16, imm26)| {
             let op = Operation::from_id(id);
             let spec = op.operand_spec();

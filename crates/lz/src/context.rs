@@ -144,10 +144,7 @@ impl ContextCoder {
     /// Panics unless `1 <= order <= 4` and `10 <= table_bits <= 26`.
     pub fn new(config: ContextCoderConfig) -> Self {
         assert!((1..=4).contains(&config.order), "order must be 1..=4");
-        assert!(
-            (10..=26).contains(&config.table_bits),
-            "table_bits must be 10..=26"
-        );
+        assert!((10..=26).contains(&config.table_bits), "table_bits must be 10..=26");
         Self { config }
     }
 
@@ -230,12 +227,8 @@ mod tests {
 
     #[test]
     fn repetitive_text_compresses_hard() {
-        let data: Vec<u8> = b"lw $t0, 4($sp); addiu $sp, $sp, -8; "
-            .iter()
-            .copied()
-            .cycle()
-            .take(20_000)
-            .collect();
+        let data: Vec<u8> =
+            b"lw $t0, 4($sp); addiu $sp, $sp, -8; ".iter().copied().cycle().take(20_000).collect();
         let len = round_trip(&data);
         assert!(len < data.len() / 8, "got {len} bytes");
     }
@@ -285,9 +278,7 @@ mod tests {
             })
             .collect();
         let len = |order| {
-            ContextCoder::new(ContextCoderConfig { order, table_bits: 20 })
-                .compress(&data)
-                .len()
+            ContextCoder::new(ContextCoderConfig { order, table_bits: 20 }).compress(&data).len()
         };
         assert!(len(2) < len(1), "order2 {} vs order1 {}", len(2), len(1));
     }

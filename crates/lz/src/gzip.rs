@@ -22,20 +22,19 @@ const END_OF_BLOCK: u16 = 256;
 
 /// DEFLATE length code bases (symbols 257..285 map to these).
 const LENGTH_BASE: [u16; 29] = [
-    3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31, 35, 43, 51, 59, 67, 83, 99, 115,
-    131, 163, 195, 227, 258,
+    3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31, 35, 43, 51, 59, 67, 83, 99, 115, 131,
+    163, 195, 227, 258,
 ];
-const LENGTH_EXTRA: [u8; 29] = [
-    0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0,
-];
+const LENGTH_EXTRA: [u8; 29] =
+    [0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0];
 /// DEFLATE distance code bases.
 const DIST_BASE: [u16; 30] = [
     1, 2, 3, 4, 5, 7, 9, 13, 17, 25, 33, 49, 65, 97, 129, 193, 257, 385, 513, 769, 1025, 1537,
     2049, 3073, 4097, 6145, 8193, 12289, 16385, 24577,
 ];
 const DIST_EXTRA: [u8; 30] = [
-    0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12,
-    13, 13,
+    0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12, 13,
+    13,
 ];
 
 /// Errors from [`Gzip::decompress`].
@@ -50,7 +49,8 @@ pub enum InflateError {
         /// The offending distance.
         distance: usize,
         /// Output length when it was applied.
-        produced: usize },
+        produced: usize,
+    },
 }
 
 impl fmt::Display for InflateError {
@@ -201,14 +201,19 @@ impl Gzip {
                     let ls = usize::from(sym) - 257;
                     let mut len = usize::from(LENGTH_BASE[ls]);
                     len += r.read_bits(u32::from(LENGTH_EXTRA[ls]))? as usize;
-                    let ds = usize::from(dist_book.as_ref().ok_or(InflateError::BadCode)?.decode(&mut r)?);
+                    let ds = usize::from(
+                        dist_book.as_ref().ok_or(InflateError::BadCode)?.decode(&mut r)?,
+                    );
                     if ds >= 30 {
                         return Err(InflateError::BadCode);
                     }
                     let mut dist = usize::from(DIST_BASE[ds]);
                     dist += r.read_bits(u32::from(DIST_EXTRA[ds]))? as usize;
                     if dist > out.len() {
-                        return Err(InflateError::BadDistance { distance: dist, produced: out.len() });
+                        return Err(InflateError::BadDistance {
+                            distance: dist,
+                            produced: out.len(),
+                        });
                     }
                     // Overlapping copies are the point of LZ77.
                     let start = out.len() - dist;
@@ -230,10 +235,7 @@ impl Gzip {
 fn length_symbol(len: u16) -> usize {
     debug_assert!((MIN_MATCH..=MAX_MATCH).contains(&usize::from(len)));
     // Last base whose value does not exceed len.
-    LENGTH_BASE
-        .iter()
-        .rposition(|&b| b <= len)
-        .expect("len >= 3")
+    LENGTH_BASE.iter().rposition(|&b| b <= len).expect("len >= 3")
 }
 
 fn dist_symbol(dist: u16) -> usize {
@@ -306,20 +308,14 @@ fn tokenize(data: &[u8]) -> Vec<Token> {
         if len >= MIN_MATCH {
             // Lazy step: would deferring one byte give a longer match?
             insert(&mut head, &mut prev, i, data);
-            let (next_len, _) = if i + 1 < data.len() {
-                find_match(&head, &prev, i + 1, data)
-            } else {
-                (0, 0)
-            };
+            let (next_len, _) =
+                if i + 1 < data.len() { find_match(&head, &prev, i + 1, data) } else { (0, 0) };
             if next_len > len {
                 tokens.push(Token::Literal(data[i]));
                 i += 1;
                 continue;
             }
-            tokens.push(Token::Match {
-                len: len as u16,
-                dist: dist as u16,
-            });
+            tokens.push(Token::Match { len: len as u16, dist: dist as u16 });
             for k in 1..len {
                 insert(&mut head, &mut prev, i + k, data);
             }
@@ -416,7 +412,8 @@ mod tests {
 
     #[test]
     fn incompressible_noise_round_trips() {
-        let data: Vec<u8> = (0..8192u32).map(|i| (i.wrapping_mul(0x9E3779B9) >> 11) as u8).collect();
+        let data: Vec<u8> =
+            (0..8192u32).map(|i| (i.wrapping_mul(0x9E3779B9) >> 11) as u8).collect();
         round_trip(&data);
     }
 
@@ -424,14 +421,18 @@ mod tests {
     fn truncated_stream_is_an_error() {
         let gz = Gzip::new();
         let compressed = gz.compress(b"hello hello hello hello");
-        assert_eq!(gz.decompress(&compressed[..compressed.len() - 1]).unwrap_err(), InflateError::Truncated);
+        assert_eq!(
+            gz.decompress(&compressed[..compressed.len() - 1]).unwrap_err(),
+            InflateError::Truncated
+        );
     }
 
     #[test]
     fn garbage_is_rejected_not_panicking() {
         let gz = Gzip::new();
         for seed in 0..20u8 {
-            let junk: Vec<u8> = (0..200).map(|i| (i as u8).wrapping_mul(seed).wrapping_add(seed)).collect();
+            let junk: Vec<u8> =
+                (0..200).map(|i| (i as u8).wrapping_mul(seed).wrapping_add(seed)).collect();
             let _ = gz.decompress(&junk); // must not panic
         }
     }

@@ -142,7 +142,10 @@ impl Lzw {
         let mut prev: Option<u32> = None;
         let mut prev_first_byte = 0u8;
 
-        let expand = |entries: &Vec<(u32, u8)>, mut code: u32, out: &mut Vec<u8>| -> Result<u8, LzwDecodeError> {
+        let expand = |entries: &Vec<(u32, u8)>,
+                      mut code: u32,
+                      out: &mut Vec<u8>|
+         -> Result<u8, LzwDecodeError> {
             let start = out.len();
             loop {
                 if code < 256 {
@@ -242,19 +245,16 @@ mod tests {
 
     #[test]
     fn repetitive_text_compresses() {
-        let data: Vec<u8> = b"move r1, r2; add r3, r1, r4; "
-            .iter()
-            .copied()
-            .cycle()
-            .take(10_000)
-            .collect();
+        let data: Vec<u8> =
+            b"move r1, r2; add r3, r1, r4; ".iter().copied().cycle().take(10_000).collect();
         let len = round_trip(&data);
         assert!(len < data.len() / 4, "got {len} bytes");
     }
 
     #[test]
     fn incompressible_data_expands_gracefully() {
-        let data: Vec<u8> = (0..4096u32).map(|i| (i.wrapping_mul(2654435761) >> 13) as u8).collect();
+        let data: Vec<u8> =
+            (0..4096u32).map(|i| (i.wrapping_mul(2654435761) >> 13) as u8).collect();
         let len = round_trip(&data);
         // LZW on noise expands by at most 9/8 plus header.
         assert!(len <= data.len() * 9 / 8 + 16);

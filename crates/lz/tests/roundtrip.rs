@@ -2,7 +2,7 @@
 //! byte strings, including adversarial repetition structures.
 
 use cce_lz::{Gzip, Lzw};
-use proptest::prelude::*;
+use cce_rng::prop::prelude::*;
 
 fn structured_bytes() -> impl Strategy<Value = Vec<u8>> {
     // Mix of raw noise and repeated motifs, the latter being what LZ coders

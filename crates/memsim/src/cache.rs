@@ -97,28 +97,21 @@ impl Cache {
         let set = (block % self.sets as u64) as usize;
         let tag = block / self.sets as u64;
 
-        if let Some(entry) = self.ways[set]
-            .iter_mut()
-            .flatten()
-            .find(|(t, _)| *t == tag)
-        {
+        if let Some(entry) = self.ways[set].iter_mut().flatten().find(|(t, _)| *t == tag) {
             entry.1 = self.clock;
             self.stats.hits += 1;
             return true;
         }
         self.stats.misses += 1;
         // Fill: empty way, or evict the least recently used.
-        let victim = self.ways[set]
-            .iter()
-            .position(Option::is_none)
-            .unwrap_or_else(|| {
-                self.ways[set]
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|(_, e)| e.expect("no empty ways").1)
-                    .map(|(i, _)| i)
-                    .expect("associativity > 0")
-            });
+        let victim = self.ways[set].iter().position(Option::is_none).unwrap_or_else(|| {
+            self.ways[set]
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.expect("no empty ways").1)
+                .map(|(i, _)| i)
+                .expect("associativity > 0")
+        });
         self.ways[set][victim] = Some((tag, self.clock));
         false
     }
@@ -191,7 +184,8 @@ mod tests {
     fn bigger_cache_has_fewer_misses() {
         let trace: Vec<u64> = (0..1000u64).map(|i| (i * 36) % 4096).collect();
         let run = |size| {
-            let mut c = Cache::new(CacheConfig { size_bytes: size, block_size: 32, associativity: 2 });
+            let mut c =
+                Cache::new(CacheConfig { size_bytes: size, block_size: 32, associativity: 2 });
             for &a in &trace {
                 c.access(a);
             }

@@ -146,10 +146,7 @@ mod tests {
     #[test]
     fn pad_one_is_identity() {
         let sizes = [10usize, 20, 30];
-        assert_eq!(
-            LineAddressTable::from_block_sizes(sizes),
-            LineAddressTable::padded(sizes, 1)
-        );
+        assert_eq!(LineAddressTable::from_block_sizes(sizes), LineAddressTable::padded(sizes, 1));
     }
 
     #[test]

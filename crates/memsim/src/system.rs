@@ -31,11 +31,7 @@ pub struct CostModel {
 
 impl Default for CostModel {
     fn default() -> Self {
-        Self {
-            memory_latency: 20,
-            bus_bytes_per_cycle: 4,
-            decompress_cycles_per_byte: 2.0,
-        }
+        Self { memory_latency: 20, bus_bytes_per_cycle: 4, decompress_cycles_per_byte: 2.0 }
     }
 }
 

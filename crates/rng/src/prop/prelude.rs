@@ -1,0 +1,17 @@
+//! One-import surface for property tests, mirroring `proptest::prelude`.
+//!
+//! `use cce_rng::prop::prelude::*;` brings in the [`Strategy`] trait, the
+//! common constructors, the macros, and a `prop` module alias so existing
+//! `prop::collection::vec(...)` / `prop::sample::Index` call sites keep
+//! working verbatim.
+
+pub use super::{
+    any, Any, Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError,
+    TestCaseResult, Union,
+};
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+/// Alias module matching `proptest`'s `prop::` paths.
+pub mod prop {
+    pub use crate::prop::{collection, sample, Arbitrary};
+}

@@ -57,7 +57,9 @@ mod tokens;
 mod x86;
 
 pub use image::SadcImage;
-pub use mips::{DecompressSadcError, MipsSadc, MipsSadcConfig, Template, TemplateItem, TrainSadcError};
+pub use mips::{
+    DecompressSadcError, MipsSadc, MipsSadcConfig, Template, TemplateItem, TrainSadcError,
+};
 pub use serialize::ReadSadcError;
 pub use tokens::TokenStats;
 pub use x86::{TrainX86SadcError, X86Sadc, X86SadcConfig};

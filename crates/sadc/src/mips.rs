@@ -4,10 +4,8 @@ use crate::image::SadcImage;
 use crate::tokens::{replace_in_blocks, TokenStats};
 use cce_bitstream::{BitReader, BitWriter};
 use cce_huffman::{CodeBook, DecodeSymbolError};
-use cce_isa::mips::{
-    decode_text, DecodeInstructionError, ImmKind, Instruction, Operation,
-};
-use std::collections::HashMap;
+use cce_isa::mips::{decode_text, DecodeInstructionError, ImmKind, Instruction, Operation};
+use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
 
@@ -347,29 +345,23 @@ impl MipsSadc {
     pub(crate) fn books(
         &self,
     ) -> (&CodeBook, Option<&CodeBook>, Option<&CodeBook>, Option<&CodeBook>) {
-        (
-            &self.op_book,
-            self.reg_book.as_ref(),
-            self.imm_book.as_ref(),
-            self.limm_book.as_ref(),
-        )
+        (&self.op_book, self.reg_book.as_ref(), self.imm_book.as_ref(), self.limm_book.as_ref())
     }
 
     /// Reconstructs the template table by replaying `rules` over the base
     /// operations (crate-internal, for the deserializer).
-    pub(crate) fn templates_from_rules(
-        rules: &[Candidate],
-    ) -> Result<Vec<Template>, &'static str> {
+    pub(crate) fn templates_from_rules(rules: &[Candidate]) -> Result<Vec<Template>, &'static str> {
         let mut templates: Vec<Template> = (0..Operation::COUNT as u8)
             .map(|id| Template { items: vec![TemplateItem::base(Operation::from_id(id))] })
             .collect();
         for rule in rules {
-            let get = |t: usize, templates: &[Template]| -> Result<Vec<TemplateItem>, &'static str> {
-                templates
-                    .get(t)
-                    .map(|tpl| tpl.items.clone())
-                    .ok_or("rule references an unknown token")
-            };
+            let get =
+                |t: usize, templates: &[Template]| -> Result<Vec<TemplateItem>, &'static str> {
+                    templates
+                        .get(t)
+                        .map(|tpl| tpl.items.clone())
+                        .ok_or("rule references an unknown token")
+                };
             let items = match rule {
                 Candidate::Pair(a, b) => {
                     let mut items = get(*a, &templates)?;
@@ -424,10 +416,7 @@ impl MipsSadc {
     /// Serialized dictionary size: learned entries only (base operations
     /// are ISA knowledge the decompressor already has).
     pub fn dict_bytes(&self) -> usize {
-        self.templates[Operation::COUNT..]
-            .iter()
-            .map(Template::storage_bytes)
-            .sum()
+        self.templates[Operation::COUNT..].iter().map(Template::storage_bytes).sum()
     }
 
     /// Serialized Huffman table size (4-bit code lengths per symbol).
@@ -467,10 +456,8 @@ impl MipsSadc {
     /// Parses one block by replaying the dictionary's build rules over the
     /// base-token stream — the same parse the dictionary was built with.
     fn parse_block(&self, block: &[Instruction]) -> Vec<usize> {
-        let mut tokens: Vec<usize> = block
-            .iter()
-            .map(|insn| usize::from(insn.operation().id()))
-            .collect();
+        let mut tokens: Vec<usize> =
+            block.iter().map(|insn| usize::from(insn.operation().id())).collect();
         for (i, rule) in self.rules.iter().enumerate() {
             let new_id = Operation::COUNT + i;
             match rule {
@@ -481,14 +468,24 @@ impl MipsSadc {
                     replace_in_slice(&mut tokens, &[*a, *b, *c], new_id);
                 }
                 Candidate::Regs(t, regs) => {
-                    replace_matching_in_slice(&self.templates, &mut tokens, block, *t, new_id, |insn| {
-                        insn.register_fields() == *regs
-                    });
+                    replace_matching_in_slice(
+                        &self.templates,
+                        &mut tokens,
+                        block,
+                        *t,
+                        new_id,
+                        |insn| insn.register_fields() == *regs,
+                    );
                 }
                 Candidate::Imm(t, imm) => {
-                    replace_matching_in_slice(&self.templates, &mut tokens, block, *t, new_id, |insn| {
-                        insn.imm16() == Some(*imm)
-                    });
+                    replace_matching_in_slice(
+                        &self.templates,
+                        &mut tokens,
+                        block,
+                        *t,
+                        new_id,
+                        |insn| insn.imm16() == Some(*imm),
+                    );
                 }
             }
         }
@@ -718,8 +715,7 @@ fn best_candidate(
     if config.groups {
         let stats = TokenStats::scan(token_blocks);
         for (&(a, b), &f) in &stats.pairs {
-            let storage =
-                (templates[a].storage_bytes() + templates[b].storage_bytes()) as i64 - 1;
+            let storage = (templates[a].storage_bytes() + templates[b].storage_bytes()) as i64 - 1;
             consider(i64::from(f) - storage, Candidate::Pair(a, b));
         }
         for (&(a, b, c), &f) in &stats.triples {
@@ -732,8 +728,8 @@ fn best_candidate(
     }
 
     if config.reg_specialization || config.imm_specialization {
-        let mut reg_counts: HashMap<(usize, Vec<u8>), u32> = HashMap::new();
-        let mut imm_counts: HashMap<(usize, u16), u32> = HashMap::new();
+        let mut reg_counts: BTreeMap<(usize, Vec<u8>), u32> = BTreeMap::new();
+        let mut imm_counts: BTreeMap<(usize, u16), u32> = BTreeMap::new();
         for (tokens, block) in token_blocks.iter().zip(insn_blocks) {
             let mut cursor = 0usize;
             for &t in tokens {
@@ -748,9 +744,7 @@ fn best_candidate(
                         *reg_counts.entry((t, insn.register_fields())).or_insert(0) += 1;
                     }
                     if config.imm_specialization && item.stream_imm16() {
-                        *imm_counts
-                            .entry((t, insn.imm16().expect("imm16 op")))
-                            .or_insert(0) += 1;
+                        *imm_counts.entry((t, insn.imm16().expect("imm16 op"))).or_insert(0) += 1;
                     }
                 }
                 cursor += template.items.len();
@@ -816,9 +810,8 @@ mod tests {
         // `jr $31` dominates; a register specialization should appear.
         let text = idiomatic_program(256);
         let codec = MipsSadc::train(&text, MipsSadcConfig::default()).unwrap();
-        let has_fixed_reg = codec.templates().iter().any(|t| {
-            t.items.iter().any(|item| item.fixed_regs.is_some())
-        });
+        let has_fixed_reg =
+            codec.templates().iter().any(|t| t.items.iter().any(|item| item.fixed_regs.is_some()));
         assert!(has_fixed_reg, "expected a register-specialized entry");
     }
 
@@ -904,10 +897,7 @@ mod tests {
         let codec = MipsSadc::train(&text, MipsSadcConfig::default()).unwrap();
         let image = codec.compress(&text);
         let blocks: usize = (0..image.block_count()).map(|i| image.block(i).len()).sum();
-        assert_eq!(
-            image.compressed_len(),
-            blocks + codec.dict_bytes() + codec.table_bytes()
-        );
+        assert_eq!(image.compressed_len(), blocks + codec.dict_bytes() + codec.table_bytes());
         assert!(codec.dict_bytes() > 0);
     }
 

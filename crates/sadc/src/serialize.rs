@@ -93,10 +93,7 @@ fn write_book(w: &mut BitWriter, book: Option<&CodeBook>, symbols: usize) {
 }
 
 /// Inverse of [`write_book`].
-fn read_book(
-    r: &mut BitReader<'_>,
-    symbols: usize,
-) -> Result<Option<CodeBook>, ReadSadcError> {
+fn read_book(r: &mut BitReader<'_>, symbols: usize) -> Result<Option<CodeBook>, ReadSadcError> {
     if !r.read_bit()? {
         return Ok(None);
     }
@@ -104,9 +101,7 @@ fn read_book(
     for _ in 0..symbols {
         lengths.push(r.read_bits(4)? as u8);
     }
-    CodeBook::from_lengths(lengths)
-        .map(Some)
-        .map_err(|_| ReadSadcError::Corrupt("code lengths"))
+    CodeBook::from_lengths(lengths).map(Some).map_err(|_| ReadSadcError::Corrupt("code lengths"))
 }
 
 impl MipsSadc {
@@ -206,16 +201,13 @@ impl MipsSadc {
                 _ => Candidate::Imm(r.read_bits(16)? as usize, r.read_bits(16)? as u16),
             });
         }
-        let templates = MipsSadc::templates_from_rules(&rules)
-            .map_err(ReadSadcError::Corrupt)?;
+        let templates = MipsSadc::templates_from_rules(&rules).map_err(ReadSadcError::Corrupt)?;
         let op_book = read_book(&mut r, templates.len())?
             .ok_or(ReadSadcError::Corrupt("missing opcode book"))?;
         let reg_book = read_book(&mut r, 256)?;
         let imm_book = read_book(&mut r, 256)?;
         let limm_book = read_book(&mut r, 256)?;
-        Ok(MipsSadc::from_parts(
-            config, templates, rules, op_book, reg_book, imm_book, limm_book,
-        ))
+        Ok(MipsSadc::from_parts(config, templates, rules, op_book, reg_book, imm_book, limm_book))
     }
 }
 
@@ -295,14 +287,20 @@ impl X86Sadc {
             }
             rules.push(pattern);
         }
-        let templates = X86Sadc::templates_from_rules(base_count, &rules)
-            .map_err(ReadSadcError::Corrupt)?;
+        let templates =
+            X86Sadc::templates_from_rules(base_count, &rules).map_err(ReadSadcError::Corrupt)?;
         let token_book = read_book(&mut r, templates.len())?
             .ok_or(ReadSadcError::Corrupt("missing token book"))?;
         let modrm_book = read_book(&mut r, 256)?;
         let imm_book = read_book(&mut r, 256)?;
         Ok(X86Sadc::from_parts(
-            config, base_strings, templates, rules, token_book, modrm_book, imm_book,
+            config,
+            base_strings,
+            templates,
+            rules,
+            token_book,
+            modrm_book,
+            imm_book,
         ))
     }
 }
@@ -359,13 +357,7 @@ impl SadcImage {
         for len in compressed_lens {
             blocks.push(c.read_bytes(len)?.to_vec());
         }
-        Ok(SadcImage {
-            blocks,
-            block_uncompressed,
-            original_len,
-            dict_bytes,
-            table_bytes,
-        })
+        Ok(SadcImage { blocks, block_uncompressed, original_len, dict_bytes, table_bytes })
     }
 }
 

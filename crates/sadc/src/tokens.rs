@@ -6,15 +6,15 @@
 //! This module holds that generic machinery; what a token *expands to* is
 //! the per-ISA codec's business.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Adjacent pair/triple counts over per-block token streams.
 #[derive(Debug, Clone, Default)]
 pub struct TokenStats {
     /// Counts of adjacent token pairs.
-    pub pairs: HashMap<(usize, usize), u32>,
+    pub pairs: BTreeMap<(usize, usize), u32>,
     /// Counts of adjacent token triples.
-    pub triples: HashMap<(usize, usize, usize), u32>,
+    pub triples: BTreeMap<(usize, usize, usize), u32>,
 }
 
 impl TokenStats {
@@ -32,10 +32,7 @@ impl TokenStats {
                 *stats.pairs.entry((window[0], window[1])).or_insert(0) += 1;
             }
             for window in block.windows(3) {
-                *stats
-                    .triples
-                    .entry((window[0], window[1], window[2]))
-                    .or_insert(0) += 1;
+                *stats.triples.entry((window[0], window[1], window[2])).or_insert(0) += 1;
             }
         }
         stats

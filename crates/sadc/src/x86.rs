@@ -35,11 +35,7 @@ pub struct X86SadcConfig {
 
 impl Default for X86SadcConfig {
     fn default() -> Self {
-        Self {
-            block_size: 32,
-            max_tokens: 256,
-            groups: true,
-        }
+        Self { block_size: 32, max_tokens: 256, groups: true }
     }
 }
 
@@ -75,7 +71,10 @@ impl fmt::Display for TrainX86SadcError {
                 write!(f, "undecodable instruction at offset {offset}: {cause}")
             }
             Self::TooManyOpcodeStrings { found, max_tokens } => {
-                write!(f, "{found} distinct opcode strings exceed the {max_tokens}-token dictionary")
+                write!(
+                    f,
+                    "{found} distinct opcode strings exceed the {max_tokens}-token dictionary"
+                )
             }
             Self::BadBlockSize => write!(f, "block size must be positive"),
         }
@@ -147,11 +146,8 @@ impl X86Sadc {
             });
         }
         let base_strings: Vec<Vec<u8>> = ordered.iter().map(|(s, _)| s.to_vec()).collect();
-        let string_to_id: HashMap<&[u8], usize> = base_strings
-            .iter()
-            .enumerate()
-            .map(|(i, s)| (s.as_slice(), i))
-            .collect();
+        let string_to_id: HashMap<&[u8], usize> =
+            base_strings.iter().enumerate().map(|(i, s)| (s.as_slice(), i)).collect();
 
         // Blocks: instruction-aligned groups of roughly block_size bytes.
         let insn_blocks = group_blocks(&parts, config.block_size);
@@ -159,10 +155,7 @@ impl X86Sadc {
         let mut token_blocks: Vec<Vec<usize>> = insn_blocks
             .iter()
             .map(|range| {
-                parts[range.clone()]
-                    .iter()
-                    .map(|p| string_to_id[p.opcode.as_slice()])
-                    .collect()
+                parts[range.clone()].iter().map(|p| string_to_id[p.opcode.as_slice()]).collect()
             })
             .collect();
 
@@ -171,10 +164,7 @@ impl X86Sadc {
             while templates.len() < config.max_tokens {
                 let stats = TokenStats::scan(&token_blocks);
                 let storage = |t: usize| -> i64 {
-                    templates[t]
-                        .iter()
-                        .map(|&b| base_strings[b].len() as i64 + 1)
-                        .sum()
+                    templates[t].iter().map(|&b| base_strings[b].len() as i64 + 1).sum()
                 };
                 let mut best: Option<(i64, Vec<usize>)> = None;
                 for (&(a, b), &f) in &stats.pairs {
@@ -224,15 +214,7 @@ impl X86Sadc {
         let modrm_book = CodeBook::from_frequencies(&modrm_freq, 15).ok();
         let imm_book = CodeBook::from_frequencies(&imm_freq, 15).ok();
 
-        Ok(Self {
-            config,
-            base_strings,
-            templates,
-            rules,
-            token_book,
-            modrm_book,
-            imm_book,
-        })
+        Ok(Self { config, base_strings, templates, rules, token_book, modrm_book, imm_book })
     }
 
     /// Dictionary storage: the base opcode-string table plus group entries.
@@ -321,22 +303,16 @@ impl X86Sadc {
     /// training time.
     pub fn compress(&self, text: &[u8]) -> SadcImage {
         let parts = parse_instructions(text).expect("compress requires decodable text");
-        let string_to_id: HashMap<&[u8], usize> = self
-            .base_strings
-            .iter()
-            .enumerate()
-            .map(|(i, s)| (s.as_slice(), i))
-            .collect();
+        let string_to_id: HashMap<&[u8], usize> =
+            self.base_strings.iter().enumerate().map(|(i, s)| (s.as_slice(), i)).collect();
         let insn_blocks = group_blocks(&parts, self.config.block_size);
 
         let mut blocks = Vec::with_capacity(insn_blocks.len());
         let mut block_uncompressed = Vec::with_capacity(insn_blocks.len());
         for range in insn_blocks {
             let block_parts = &parts[range];
-            let mut tokens: Vec<usize> = block_parts
-                .iter()
-                .map(|p| string_to_id[p.opcode.as_slice()])
-                .collect();
+            let mut tokens: Vec<usize> =
+                block_parts.iter().map(|p| string_to_id[p.opcode.as_slice()]).collect();
             for (i, pattern) in self.rules.iter().enumerate() {
                 let new_id = self.base_strings.len() + i;
                 let mut one = [std::mem::take(&mut tokens)];
@@ -390,10 +366,7 @@ impl X86Sadc {
         let mut out = Vec::with_capacity(out_len);
         while out.len() < out_len {
             let t = usize::from(self.token_book.decode(&mut r)?);
-            let expansion = self
-                .templates
-                .get(t)
-                .ok_or(DecompressSadcError::CorruptBlock)?;
+            let expansion = self.templates.get(t).ok_or(DecompressSadcError::CorruptBlock)?;
             for &base in expansion {
                 let opcode = &self.base_strings[base];
                 out.extend_from_slice(opcode);
@@ -429,10 +402,7 @@ impl X86Sadc {
                 }
                 let tail = usize::from(layout.disp_len) + usize::from(layout.imm_len);
                 for _ in 0..tail {
-                    let book = self
-                        .imm_book
-                        .as_ref()
-                        .ok_or(DecompressSadcError::CorruptBlock)?;
+                    let book = self.imm_book.as_ref().ok_or(DecompressSadcError::CorruptBlock)?;
                     out.push(book.decode(&mut r)? as u8);
                 }
             }
@@ -532,10 +502,7 @@ mod tests {
     fn groups_are_learned() {
         let text = idiomatic_program(200);
         let codec = X86Sadc::train(&text, X86SadcConfig::default()).unwrap();
-        assert!(
-            codec.token_count() > codec.base_strings.len(),
-            "expected group entries"
-        );
+        assert!(codec.token_count() > codec.base_strings.len(), "expected group entries");
     }
 
     #[test]
@@ -565,9 +532,7 @@ mod tests {
         let text = idiomatic_program(100);
         let codec = X86Sadc::train(&text, X86SadcConfig::default()).unwrap();
         let image = codec.compress(&text);
-        let total: usize = (0..image.block_count())
-            .map(|i| image.block_uncompressed_len(i))
-            .sum();
+        let total: usize = (0..image.block_count()).map(|i| image.block_uncompressed_len(i)).sum();
         assert_eq!(total, text.len());
         for i in 0..image.block_count().saturating_sub(1) {
             let len = image.block_uncompressed_len(i);

@@ -3,17 +3,12 @@
 
 use cce_isa::mips::{encode_text, ImmKind, Instruction, Operation};
 use cce_isa::Isa;
+use cce_rng::prop::prelude::*;
 use cce_sadc::{MipsSadc, MipsSadcConfig, X86Sadc, X86SadcConfig};
 use cce_workload::{spec95_suite, Spec95};
-use proptest::prelude::*;
 
 fn mips_instruction() -> impl Strategy<Value = Instruction> {
-    (
-        0u8..Operation::COUNT as u8,
-        prop::collection::vec(0u8..32, 4),
-        any::<u16>(),
-        0u32..1 << 26,
-    )
+    (0u8..Operation::COUNT as u8, prop::collection::vec(0u8..32, 4), any::<u16>(), 0u32..1 << 26)
         .prop_map(|(id, regs, imm16, imm26)| {
             let op = Operation::from_id(id);
             let spec = op.operand_spec();
@@ -77,12 +72,7 @@ fn mips_sadc_round_trips_every_spec95_benchmark() {
         let codec = MipsSadc::train(&program.text, MipsSadcConfig::default())
             .unwrap_or_else(|e| panic!("{}: {e}", program.name));
         let image = codec.compress(&program.text);
-        assert_eq!(
-            codec.decompress(&image).unwrap(),
-            program.text,
-            "{}",
-            program.name
-        );
+        assert_eq!(codec.decompress(&image).unwrap(), program.text, "{}", program.name);
     }
 }
 
@@ -92,12 +82,7 @@ fn x86_sadc_round_trips_every_spec95_benchmark() {
         let codec = X86Sadc::train(&program.text, X86SadcConfig::default())
             .unwrap_or_else(|e| panic!("{}: {e}", program.name));
         let image = codec.compress(&program.text);
-        assert_eq!(
-            codec.decompress(&image).unwrap(),
-            program.text,
-            "{}",
-            program.name
-        );
+        assert_eq!(codec.decompress(&image).unwrap(), program.text, "{}", program.name);
     }
 }
 

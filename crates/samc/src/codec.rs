@@ -33,11 +33,7 @@ impl SamcConfig {
     /// variable-length instructions, so SAMC models the raw byte stream
     /// (one 8-bit "instruction" per byte, connected across bytes).
     pub fn x86() -> Self {
-        Self {
-            block_size: 32,
-            division: StreamDivision::bytes(8),
-            markov: MarkovConfig::default(),
-        }
+        Self { block_size: 32, division: StreamDivision::bytes(8), markov: MarkovConfig::default() }
     }
 
     /// Replaces the block size.
@@ -245,10 +241,7 @@ impl SamcCodec {
             return Err(TrainCodecError::MisalignedText { len: text.len(), unit });
         }
         if config.block_size == 0 || !config.block_size.is_multiple_of(unit) {
-            return Err(TrainCodecError::BadBlockSize {
-                block_size: config.block_size,
-                unit,
-            });
+            return Err(TrainCodecError::BadBlockSize { block_size: config.block_size, unit });
         }
         let units = frame_units(text, unit);
         let model = MarkovModel::train(
@@ -278,10 +271,8 @@ impl SamcCodec {
     pub fn compress(&self, text: &[u8]) -> SamcImage {
         let unit = self.config.unit_bytes();
         assert!(text.len().is_multiple_of(unit), "text must be unit-aligned");
-        let blocks = text
-            .chunks(self.config.block_size)
-            .map(|chunk| self.compress_block(chunk))
-            .collect();
+        let blocks =
+            text.chunks(self.config.block_size).map(|chunk| self.compress_block(chunk)).collect();
         SamcImage {
             blocks,
             block_size: self.config.block_size,
@@ -519,11 +510,7 @@ mod tests {
     #[test]
     fn engine_rejects_unaligned_streams() {
         let division = StreamDivision::new(vec![vec![0, 1, 2], vec![3, 4, 5, 6, 7]], 8).unwrap();
-        let config = SamcConfig {
-            block_size: 32,
-            division,
-            markov: MarkovConfig::default(),
-        };
+        let config = SamcConfig { block_size: 32, division, markov: MarkovConfig::default() };
         let text = vec![0xA5u8; 64];
         let codec = SamcCodec::train(&text, config).unwrap();
         let image = codec.compress(&text);
@@ -574,7 +561,8 @@ mod tests {
 
     #[test]
     fn incompressible_data_stays_near_unity() {
-        let text: Vec<u8> = (0..8192u32).flat_map(|i| i.wrapping_mul(0x9E37_79B9).to_be_bytes()).collect();
+        let text: Vec<u8> =
+            (0..8192u32).flat_map(|i| i.wrapping_mul(0x9E37_79B9).to_be_bytes()).collect();
         let codec = SamcCodec::train(&text, SamcConfig::mips()).unwrap();
         let image = codec.compress(&text);
         assert_eq!(codec.decompress(&image).unwrap(), text);

@@ -22,10 +22,7 @@ pub struct MarkovConfig {
 
 impl Default for MarkovConfig {
     fn default() -> Self {
-        Self {
-            context_bits: 1,
-            prob_mode: ProbMode::Exact,
-        }
+        Self { context_bits: 1, prob_mode: ProbMode::Exact }
     }
 }
 
@@ -132,11 +129,7 @@ impl MarkovModel {
                     .collect()
             })
             .collect();
-        Self {
-            division,
-            config,
-            trees,
-        }
+        Self { division, config, trees }
     }
 
     /// Reassembles a model from serialized parts (crate-internal).
@@ -170,11 +163,7 @@ impl MarkovModel {
     /// Number of stored probabilities across all trees.
     pub fn prob_count(&self) -> usize {
         // Node 0 of each tree is never visited (root is 1), so subtract it.
-        self.trees
-            .iter()
-            .flat_map(|stream| stream.iter())
-            .map(|tree| tree.len() - 1)
-            .sum()
+        self.trees.iter().flat_map(|stream| stream.iter()).map(|tree| tree.len() - 1).sum()
     }
 
     /// Serialized model size in bytes: 12 bits per probability in exact
@@ -228,12 +217,8 @@ mod tests {
         );
         assert_eq!(model.prob_count(), 4 * 255);
         // Connected doubles the contexts.
-        let model = MarkovModel::train(
-            &[0u32; 16],
-            StreamDivision::bytes(32),
-            MarkovConfig::default(),
-            8,
-        );
+        let model =
+            MarkovModel::train(&[0u32; 16], StreamDivision::bytes(32), MarkovConfig::default(), 8);
         assert_eq!(model.prob_count(), 2 * 4 * 255);
     }
 
@@ -252,13 +237,10 @@ mod tests {
     #[test]
     fn learned_probabilities_reflect_bias() {
         // Bit 0 (MSB) set in 1 of 4 words.
-        let units: Vec<u32> = (0..4000u32).map(|i| if i % 4 == 0 { 0x8000_0000 } else { 0 }).collect();
-        let model = MarkovModel::train(
-            &units,
-            StreamDivision::bytes(32),
-            MarkovConfig::unconnected(),
-            8,
-        );
+        let units: Vec<u32> =
+            (0..4000u32).map(|i| if i % 4 == 0 { 0x8000_0000 } else { 0 }).collect();
+        let model =
+            MarkovModel::train(&units, StreamDivision::bytes(32), MarkovConfig::unconnected(), 8);
         let p = model.prob(0, 0, 1).as_f64();
         assert!((p - 0.75).abs() < 0.02, "P(0)={p}");
     }
@@ -268,9 +250,8 @@ mod tests {
         // Alternate words: when the previous word's last bit is 1, the next
         // word's first bit is 1, else 0.  A connected model learns this;
         // an unconnected one cannot.
-        let units: Vec<u32> = (0..2000u32)
-            .map(|i| if i % 2 == 0 { 0x8000_0001 } else { 0 })
-            .collect();
+        let units: Vec<u32> =
+            (0..2000u32).map(|i| if i % 2 == 0 { 0x8000_0001 } else { 0 }).collect();
         let connected = MarkovModel::train(
             &units,
             StreamDivision::bytes(32),

@@ -10,8 +10,7 @@
 
 use crate::model::{MarkovConfig, MarkovModel};
 use crate::streams::StreamDivision;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use cce_rng::Rng;
 
 /// Options for [`optimize_division`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -72,11 +71,7 @@ fn bit_correlation(units: &[u32], width: u8, a: u8, b: u8) -> f64 {
 }
 
 /// Evaluates a division: total model-coded bits of the sample.
-fn evaluate(
-    units: &[u32],
-    division: &StreamDivision,
-    config: &OptimizeConfig,
-) -> f64 {
+fn evaluate(units: &[u32], division: &StreamDivision, config: &OptimizeConfig) -> f64 {
     let model = MarkovModel::train(units, division.clone(), config.markov, config.block_units);
     model.code_length_bits(units, config.block_units)
 }
@@ -102,7 +97,7 @@ pub fn optimize_division(
     );
     let per_stream = usize::from(width) / config.streams;
     let sample = &units[..units.len().min(config.sample_units)];
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = Rng::seed_from_u64(config.seed);
 
     // Phase 1: greedy correlation grouping.  Seed each stream with the
     // most-correlated unassigned pair, then grow by best average |corr|.
@@ -147,8 +142,7 @@ pub fn optimize_division(
         stream.sort_unstable();
         streams.push(stream);
     }
-    let mut best =
-        StreamDivision::new(streams, width).expect("greedy grouping forms a partition");
+    let mut best = StreamDivision::new(streams, width).expect("greedy grouping forms a partition");
     let mut best_cost = evaluate(sample, &best, config);
 
     // Phase 2: random exchange hill climbing.
@@ -160,9 +154,8 @@ pub fn optimize_division(
         }
         let i1 = rng.random_range(0..per_stream);
         let i2 = rng.random_range(0..per_stream);
-        let mut candidate_bits: Vec<Vec<u8>> = (0..config.streams)
-            .map(|s| best.stream_bits(s).to_vec())
-            .collect();
+        let mut candidate_bits: Vec<Vec<u8>> =
+            (0..config.streams).map(|s| best.stream_bits(s).to_vec()).collect();
         let tmp = candidate_bits[s1][i1];
         candidate_bits[s1][i1] = candidate_bits[s2][i2];
         candidate_bits[s2][i2] = tmp;

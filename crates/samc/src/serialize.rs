@@ -302,7 +302,11 @@ mod tests {
             let codec = SamcCodec::train(&text, config).unwrap();
             let bytes = codec.to_bytes();
             let division = &codec.config().division;
-            let header = 4 + 2 + 4 + 1 + 1
+            let header = 4
+                + 2
+                + 4
+                + 1
+                + 1
                 + (0..division.stream_count())
                     .map(|s| 1 + division.stream_bits(s).len())
                     .sum::<usize>()

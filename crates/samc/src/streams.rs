@@ -104,9 +104,7 @@ impl StreamDivision {
     /// Panics unless `width` is a positive multiple of 8, at most 32.
     pub fn bytes(width: u8) -> Self {
         assert!(width > 0 && width.is_multiple_of(8) && width <= 32);
-        let streams = (0..width / 8)
-            .map(|s| (s * 8..(s + 1) * 8).collect())
-            .collect();
+        let streams = (0..width / 8).map(|s| (s * 8..(s + 1) * 8).collect()).collect();
         Self::new(streams, width).expect("byte partition is valid")
     }
 
@@ -129,9 +127,7 @@ impl StreamDivision {
     pub fn contiguous(width: u8, count: u8) -> Self {
         assert!(count > 0 && width.is_multiple_of(count), "count must divide width");
         let per = width / count;
-        let streams = (0..count)
-            .map(|s| (s * per..(s + 1) * per).collect())
-            .collect();
+        let streams = (0..count).map(|s| (s * per..(s + 1) * per).collect()).collect();
         Self::new(streams, width).expect("contiguous partition is valid")
     }
 
@@ -231,10 +227,7 @@ mod tests {
             StreamDivision::new(vec![vec![0, 5]], 4).unwrap_err(),
             BuildDivisionError::BitOutOfRange { bit: 5, width: 4 }
         );
-        assert_eq!(
-            StreamDivision::new(vec![], 8).unwrap_err(),
-            BuildDivisionError::EmptyStream
-        );
+        assert_eq!(StreamDivision::new(vec![], 8).unwrap_err(), BuildDivisionError::EmptyStream);
         assert_eq!(
             StreamDivision::new(vec![vec![], vec![0]], 1).unwrap_err(),
             BuildDivisionError::EmptyStream

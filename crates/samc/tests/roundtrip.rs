@@ -2,18 +2,18 @@
 //! independent, and the parallel engine matches the serial decoder.
 
 use cce_arith::ProbMode;
+use cce_rng::prop::prelude::*;
 use cce_samc::{MarkovConfig, SamcCodec, SamcConfig, StreamDivision};
-use proptest::prelude::*;
 
 /// Arbitrary unit-aligned "programs" with a mix of structure and noise.
 fn program(unit: usize) -> impl Strategy<Value = Vec<u8>> {
     prop_oneof![
-        prop::collection::vec(any::<u8>(), 1..50)
-            .prop_map(move |v| { pad(v, unit) }),
-        (prop::collection::vec(any::<u8>(), unit..=unit * 4), 1usize..64)
-            .prop_map(move |(motif, reps)| {
+        prop::collection::vec(any::<u8>(), 1..50).prop_map(move |v| { pad(v, unit) }),
+        (prop::collection::vec(any::<u8>(), unit..=unit * 4), 1usize..64).prop_map(
+            move |(motif, reps)| {
                 pad(motif.iter().copied().cycle().take(motif.len() * reps).collect(), unit)
-            }),
+            }
+        ),
         prop::collection::vec(any::<u8>(), 256..1024).prop_map(move |v| pad(v, unit)),
     ]
 }

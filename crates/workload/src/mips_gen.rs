@@ -2,14 +2,13 @@
 
 use crate::profile::BenchmarkProfile;
 use cce_isa::mips::{IType, Instruction, JType, RType, Reg, RegImm};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use cce_rng::Rng;
 
 /// Text base address (conventional MIPS executable load address).
 const TEXT_BASE_WORDS: u32 = 0x0040_0000 >> 2;
 
 /// Picks from `choices` with the paired weights.
-fn weighted<'a, T>(rng: &mut StdRng, choices: &'a [(T, u32)]) -> &'a T {
+fn weighted<'a, T>(rng: &mut Rng, choices: &'a [(T, u32)]) -> &'a T {
     let total: u32 = choices.iter().map(|&(_, w)| w).sum();
     let mut roll = rng.random_range(0..total);
     for (value, weight) in choices {
@@ -26,7 +25,7 @@ struct RegPools;
 
 impl RegPools {
     /// Base registers for loads/stores: mostly sp/gp/fp plus a few pointers.
-    fn base(rng: &mut StdRng) -> Reg {
+    fn base(rng: &mut Rng) -> Reg {
         if rng.random_bool(0.45) {
             *weighted(rng, &[(Reg::SP, 5), (Reg::GP, 2), (Reg::FP, 1)])
         } else {
@@ -38,23 +37,24 @@ impl RegPools {
     /// Computation registers: temporaries and saved registers.  The pool
     /// is wide and only mildly skewed — register allocators spread work
     /// across most of the file.
-    fn temp(rng: &mut StdRng) -> Reg {
+    fn temp(rng: &mut Rng) -> Reg {
         if rng.random_bool(0.25) {
             // The hottest few.
             *weighted(rng, &[(Reg::V0, 5), (Reg::T0, 4), (Reg::A0, 3), (Reg::S0, 2)])
         } else {
             // v0-v1, a0-a3, t0-t9, s0-s7 roughly uniformly.
-            let pool: [u8; 22] = [2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21, 24, 25];
+            let pool: [u8; 22] =
+                [2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21, 24, 25];
             Reg::new(pool[rng.random_range(0..pool.len())])
         }
     }
 }
 
 /// Small load/store offsets: word-aligned, mostly near the frame base.
-fn mem_offset(rng: &mut StdRng) -> u16 {
+fn mem_offset(rng: &mut Rng) -> u16 {
     let class = rng.random_range(0..100u32);
     match class {
-        0..=24 => 4 * rng.random_range(0..8) as u16,    // hot frame slots
+        0..=24 => 4 * rng.random_range(0..8) as u16, // hot frame slots
         25..=59 => 4 * rng.random_range(0..128) as u16, // frame + structs
         60..=89 => 4 * rng.random_range(0..1024) as u16, // globals off $gp
         90..=94 => 1 + 2 * rng.random_range(0..64) as u16, // byte/half accesses
@@ -63,7 +63,7 @@ fn mem_offset(rng: &mut StdRng) -> u16 {
 }
 
 /// Arithmetic immediates: small constants dominate.
-fn arith_imm(rng: &mut StdRng) -> u16 {
+fn arith_imm(rng: &mut Rng) -> u16 {
     let class = rng.random_range(0..100u32);
     match class {
         0..=14 => 1,
@@ -122,7 +122,7 @@ impl Generator {
 
 /// The code generator's running state for one program.
 struct Generator {
-    rng: StdRng,
+    rng: Rng,
     out: Vec<Instruction>,
     /// Word indices where functions started, for realistic call targets.
     function_starts: Vec<u32>,
@@ -176,7 +176,10 @@ impl Generator {
             tmps: [t0, t1],
             ops: [
                 *weighted(&mut self.rng, &[(RType::Addu, 6), (RType::Add, 1), (RType::Subu, 2)]),
-                *weighted(&mut self.rng, &[(RType::Xor, 2), (RType::And, 2), (RType::Or, 3), (RType::Slt, 2)]),
+                *weighted(
+                    &mut self.rng,
+                    &[(RType::Xor, 2), (RType::And, 2), (RType::Or, 3), (RType::Slt, 2)],
+                ),
             ],
             stride: *weighted(&mut self.rng, &[(4u16, 8), (8, 2)]),
             start: *weighted(&mut self.rng, &[(0u16, 6), (4, 3), (8, 1)]),
@@ -257,7 +260,13 @@ impl Generator {
                 );
                 self.emit(Instruction::R { op, rs: a, rt: b, rd: Reg::ZERO, shamt: 0 });
                 let from = if self.rng.random_bool(0.7) { RType::Mflo } else { RType::Mfhi };
-                self.emit(Instruction::R { op: from, rs: Reg::ZERO, rt: Reg::ZERO, rd: d, shamt: 0 });
+                self.emit(Instruction::R {
+                    op: from,
+                    rs: Reg::ZERO,
+                    rt: Reg::ZERO,
+                    rd: d,
+                    shamt: 0,
+                });
             }
             125..=129 => {
                 // Indirect call or computed jump.
@@ -357,7 +366,10 @@ impl Generator {
             75..=84 => {
                 // 32-bit constant or global address formation.
                 let r = RegPools::temp(&mut self.rng);
-                let hi = *weighted(&mut self.rng, &[(0x0040u16, 5), (0x0041, 3), (0x1000, 2), (0x0804, 1)]);
+                let hi = *weighted(
+                    &mut self.rng,
+                    &[(0x0040u16, 5), (0x0041, 3), (0x1000, 2), (0x0804, 1)],
+                );
                 self.emit(Instruction::I { op: IType::Lui, rs: Reg::ZERO, rt: r, imm: hi });
                 let imm = self.rng.random_range(0..16384u16) & !0x3;
                 self.emit(Instruction::I { op: IType::Ori, rs: r, rt: r, imm });
@@ -366,7 +378,8 @@ impl Generator {
                 // Shifts (array scaling).
                 let r = RegPools::temp(&mut self.rng);
                 let d = RegPools::temp(&mut self.rng);
-                let op = *weighted(&mut self.rng, &[(RType::Sll, 6), (RType::Srl, 2), (RType::Sra, 2)]);
+                let op =
+                    *weighted(&mut self.rng, &[(RType::Sll, 6), (RType::Srl, 2), (RType::Sra, 2)]);
                 let shamt = *weighted(&mut self.rng, &[(2u8, 6), (1, 2), (3, 2), (4, 1), (16, 1)]);
                 self.emit(Instruction::R { op, rs: Reg::ZERO, rt: r, rd: d, shamt });
             }
@@ -394,7 +407,13 @@ impl Generator {
                     let r = RegPools::temp(&mut self.rng);
                     let op = *weighted(
                         &mut self.rng,
-                        &[(IType::Lbu, 4), (IType::Lb, 2), (IType::Lhu, 2), (IType::Sb, 3), (IType::Sh, 1)],
+                        &[
+                            (IType::Lbu, 4),
+                            (IType::Lb, 2),
+                            (IType::Lhu, 2),
+                            (IType::Sb, 3),
+                            (IType::Sh, 1),
+                        ],
                     );
                     let imm = mem_offset(&mut self.rng);
                     self.emit(Instruction::I { op, rs: base, rt: r, imm });
@@ -411,7 +430,8 @@ impl Generator {
         let locals = 8 * self.rng.random_range(0..8u16);
         let frame = 8 + 4 * saved_count as u16 + locals;
         self.prologue(frame, &saved);
-        let blocks = self.rng.random_range(self.blocks_per_function / 2..=self.blocks_per_function * 3 / 2);
+        let blocks =
+            self.rng.random_range(self.blocks_per_function / 2..=self.blocks_per_function * 3 / 2);
         for _ in 0..blocks {
             if self.rng.random_bool(self.regularity) {
                 self.regular_block();
@@ -428,9 +448,18 @@ impl Generator {
 /// Deterministic in `(profile.seed, scale)`.  The result always decodes
 /// through [`cce_isa::mips::decode_text`].
 pub fn generate_mips(profile: &BenchmarkProfile, scale: f64) -> Vec<Instruction> {
+    generate_mips_seeded(profile, scale, 0)
+}
+
+/// Like [`generate_mips`], but XORs `seed` into the profile's own seed so
+/// callers can draw alternative program instances from the same profile.
+///
+/// `seed = 0` reproduces [`generate_mips`] exactly; any fixed seed is fully
+/// deterministic across runs and platforms.
+pub fn generate_mips_seeded(profile: &BenchmarkProfile, scale: f64, seed: u64) -> Vec<Instruction> {
     let target_words = ((profile.text_bytes as f64 * scale) as usize / 4).max(64);
     let mut generator = Generator {
-        rng: StdRng::seed_from_u64(profile.seed),
+        rng: Rng::seed_from_u64(profile.seed ^ seed),
         out: Vec::with_capacity(target_words + 64),
         function_starts: vec![0],
         regularity: profile.regularity,
@@ -515,9 +544,6 @@ mod tests {
         let (gcc_distinct, gcc_total) = count_distinct("gcc");
         let tomcatv_ratio = tomcatv_distinct as f64 / tomcatv_total as f64;
         let gcc_ratio = gcc_distinct as f64 / gcc_total as f64;
-        assert!(
-            tomcatv_ratio < gcc_ratio,
-            "tomcatv {tomcatv_ratio:.3} vs gcc {gcc_ratio:.3}"
-        );
+        assert!(tomcatv_ratio < gcc_ratio, "tomcatv {tomcatv_ratio:.3} vs gcc {gcc_ratio:.3}");
     }
 }

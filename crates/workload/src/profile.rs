@@ -28,6 +28,7 @@ pub struct Spec95;
 
 impl Spec95 {
     /// All 18 profiles, in the figures' alphabetical order.
+    #[rustfmt::skip]
     pub const ALL: [BenchmarkProfile; 18] = [
         BenchmarkProfile { name: "applu", text_bytes: 96 * 1024, seed: 101, regularity: 0.80, blocks_per_function: 18 },
         BenchmarkProfile { name: "apsi", text_bytes: 120 * 1024, seed: 102, regularity: 0.72, blocks_per_function: 14 },

@@ -6,8 +6,7 @@
 //! runs, hot loops re-fetching the same blocks, and call/return excursions.
 //! This module generates such traces deterministically.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use cce_rng::Rng;
 
 /// Parameters for [`instruction_trace`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -25,12 +24,7 @@ pub struct TraceConfig {
 
 impl Default for TraceConfig {
     fn default() -> Self {
-        Self {
-            fetches: 100_000,
-            seed: 7,
-            loop_back_prob: 0.04,
-            call_prob: 0.01,
-        }
+        Self { fetches: 100_000, seed: 7, loop_back_prob: 0.04, call_prob: 0.01 }
     }
 }
 
@@ -48,7 +42,7 @@ impl Default for TraceConfig {
 pub fn instruction_trace(text_bytes: usize, config: &TraceConfig) -> Vec<u64> {
     assert!(text_bytes >= 64, "text too small for a meaningful trace");
     let words = (text_bytes / 4) as u64;
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = Rng::seed_from_u64(config.seed);
     let mut trace = Vec::with_capacity(config.fetches);
     let mut pc: u64 = 0;
     let mut return_stack: Vec<u64> = Vec::new();
@@ -68,7 +62,7 @@ pub fn instruction_trace(text_bytes: usize, config: &TraceConfig) -> Vec<u64> {
     while trace.len() < config.fetches {
         trace.push(pc * 4);
         // Advance.
-        let roll: f64 = rng.random();
+        let roll: f64 = rng.random_f64();
         if let Some((start, ref mut remaining)) = current_loop {
             // Inside a hot loop: loop body is [start, body_end]; branch back
             // at the point we entered the loop from.
@@ -94,7 +88,9 @@ pub fn instruction_trace(text_bytes: usize, config: &TraceConfig) -> Vec<u64> {
             return_stack.push(pc + 1);
             let idx = rng.random_range(0..function_starts.len());
             pc = function_starts[idx];
-        } else if roll < config.loop_back_prob + config.call_prob + 0.008 && !return_stack.is_empty() {
+        } else if roll < config.loop_back_prob + config.call_prob + 0.008
+            && !return_stack.is_empty()
+        {
             pc = return_stack.pop().expect("checked non-empty");
         } else {
             pc += 1;
@@ -127,22 +123,14 @@ mod tests {
         let config = TraceConfig { fetches: 20_000, ..TraceConfig::default() };
         let trace = instruction_trace(256 * 1024, &config);
         let distinct: std::collections::HashSet<u64> = trace.iter().copied().collect();
-        assert!(
-            distinct.len() * 2 < trace.len(),
-            "distinct {} of {}",
-            distinct.len(),
-            trace.len()
-        );
+        assert!(distinct.len() * 2 < trace.len(), "distinct {} of {}", distinct.len(), trace.len());
     }
 
     #[test]
     fn mostly_sequential() {
         let config = TraceConfig { fetches: 10_000, ..TraceConfig::default() };
         let trace = instruction_trace(128 * 1024, &config);
-        let sequential = trace
-            .windows(2)
-            .filter(|w| w[1] == w[0] + 4)
-            .count();
+        let sequential = trace.windows(2).filter(|w| w[1] == w[0] + 4).count();
         assert!(
             sequential * 10 > trace.len() * 7,
             "only {sequential} sequential of {}",

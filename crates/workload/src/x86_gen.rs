@@ -2,10 +2,9 @@
 
 use crate::profile::BenchmarkProfile;
 use cce_isa::x86::asm::{self, reg, Alu, Cc};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use cce_rng::Rng;
 
-fn weighted<'a, T>(rng: &mut StdRng, choices: &'a [(T, u32)]) -> &'a T {
+fn weighted<'a, T>(rng: &mut Rng, choices: &'a [(T, u32)]) -> &'a T {
     let total: u32 = choices.iter().map(|&(_, w)| w).sum();
     let mut roll = rng.random_range(0..total);
     for (value, weight) in choices {
@@ -17,7 +16,7 @@ fn weighted<'a, T>(rng: &mut StdRng, choices: &'a [(T, u32)]) -> &'a T {
     unreachable!("weights sum checked")
 }
 
-fn gp_reg(rng: &mut StdRng) -> u8 {
+fn gp_reg(rng: &mut Rng) -> u8 {
     *weighted(
         rng,
         &[
@@ -32,7 +31,7 @@ fn gp_reg(rng: &mut StdRng) -> u8 {
     )
 }
 
-fn frame_disp(rng: &mut StdRng) -> i8 {
+fn frame_disp(rng: &mut Rng) -> i8 {
     if rng.random_bool(0.6) {
         // Locals below the frame pointer.
         -4 * rng.random_range(1..24) as i8
@@ -42,7 +41,7 @@ fn frame_disp(rng: &mut StdRng) -> i8 {
     }
 }
 
-fn small_imm(rng: &mut StdRng) -> i8 {
+fn small_imm(rng: &mut Rng) -> i8 {
     if rng.random_bool(0.5) {
         *weighted(rng, &[(1i8, 12), (2, 5), (4, 7), (8, 4), (-1, 4), (0x0F, 2)])
     } else {
@@ -62,7 +61,7 @@ struct Kernel {
 }
 
 struct Generator {
-    rng: StdRng,
+    rng: Rng,
     out: Vec<u8>,
     function_starts: Vec<usize>,
     regularity: f64,
@@ -93,7 +92,10 @@ impl Generator {
             ],
             ops: [
                 Alu::Add,
-                *weighted(&mut self.rng, &[(Alu::Sub, 3), (Alu::Xor, 2), (Alu::Or, 2), (Alu::And, 1)]),
+                *weighted(
+                    &mut self.rng,
+                    &[(Alu::Sub, 3), (Alu::Xor, 2), (Alu::Or, 2), (Alu::And, 1)],
+                ),
             ],
             start: *weighted(&mut self.rng, &[(0i8, 6), (4, 3), (8, 1)]),
             unroll: *weighted(&mut self.rng, &[(4i8, 5), (2, 3), (6, 2)]),
@@ -148,7 +150,10 @@ impl Generator {
             113..=122 => {
                 // Standalone memory op with a varied base.
                 let r = gp_reg(&mut self.rng);
-                let base = *weighted(&mut self.rng, &[(reg::EBP, 4), (reg::ESI, 2), (reg::EDI, 2), (reg::EBX, 1), (reg::ESP, 1)]);
+                let base = *weighted(
+                    &mut self.rng,
+                    &[(reg::EBP, 4), (reg::ESI, 2), (reg::EDI, 2), (reg::EBX, 1), (reg::ESP, 1)],
+                );
                 let disp = frame_disp(&mut self.rng);
                 if self.rng.random_bool(0.55) {
                     self.emit(asm::mov_load(r, base, disp));
@@ -169,7 +174,10 @@ impl Generator {
                         self.emit(asm::test_rr(a, b));
                     }
                     2 => {
-                        let cc = *weighted(&mut self.rng, &[(Cc::E, 3), (Cc::Ne, 3), (Cc::L, 2), (Cc::G, 2)]);
+                        let cc = *weighted(
+                            &mut self.rng,
+                            &[(Cc::E, 3), (Cc::Ne, 3), (Cc::L, 2), (Cc::G, 2)],
+                        );
                         let r = gp_reg(&mut self.rng);
                         self.emit(asm::setcc(cc, r));
                     }
@@ -199,7 +207,14 @@ impl Generator {
             25..=39 => {
                 let op = *weighted(
                     &mut self.rng,
-                    &[(Alu::Add, 8), (Alu::Sub, 5), (Alu::And, 2), (Alu::Or, 2), (Alu::Xor, 3), (Alu::Cmp, 6)],
+                    &[
+                        (Alu::Add, 8),
+                        (Alu::Sub, 5),
+                        (Alu::And, 2),
+                        (Alu::Or, 2),
+                        (Alu::Xor, 3),
+                        (Alu::Cmp, 6),
+                    ],
                 );
                 let a = gp_reg(&mut self.rng);
                 if self.rng.random_bool(0.5) {
@@ -224,7 +239,15 @@ impl Generator {
                 }
                 let cc = *weighted(
                     &mut self.rng,
-                    &[(Cc::E, 6), (Cc::Ne, 7), (Cc::L, 3), (Cc::Ge, 2), (Cc::G, 2), (Cc::Le, 2), (Cc::S, 1)],
+                    &[
+                        (Cc::E, 6),
+                        (Cc::Ne, 7),
+                        (Cc::L, 3),
+                        (Cc::Ge, 2),
+                        (Cc::G, 2),
+                        (Cc::Le, 2),
+                        (Cc::S, 1),
+                    ],
                 );
                 let off = if self.rng.random_bool(0.7) {
                     self.rng.random_range(3..32)
@@ -238,10 +261,8 @@ impl Generator {
                 let r = gp_reg(&mut self.rng);
                 let global = 0x0804_8000 + (self.rng.random_range(0..4096u32) << 2);
                 let small = self.rng.random_range(0..1u32 << 14);
-                let imm = *weighted(
-                    &mut self.rng,
-                    &[(0u32, 8), (1, 6), (4, 2), (global, 8), (small, 4)],
-                );
+                let imm =
+                    *weighted(&mut self.rng, &[(0u32, 8), (1, 6), (4, 2), (global, 8), (small, 4)]);
                 self.emit(asm::mov_r_imm(r, imm));
             }
             73..=80 => {
@@ -294,9 +315,8 @@ impl Generator {
             let frame = 8 * self.rng.random_range(1..12i8);
             self.emit(asm::alu_r_imm8(Alu::Sub, reg::ESP, frame));
         }
-        let blocks = self
-            .rng
-            .random_range(self.blocks_per_function / 2..=self.blocks_per_function * 3 / 2);
+        let blocks =
+            self.rng.random_range(self.blocks_per_function / 2..=self.blocks_per_function * 3 / 2);
         for _ in 0..blocks {
             if self.rng.random_bool(self.regularity) {
                 self.regular_block();
@@ -314,10 +334,19 @@ impl Generator {
 /// Deterministic in `(profile.seed, scale)`.  The result always splits
 /// through [`cce_isa::x86::split_streams`].
 pub fn generate_x86(profile: &BenchmarkProfile, scale: f64) -> Vec<u8> {
+    generate_x86_seeded(profile, scale, 0)
+}
+
+/// Like [`generate_x86`], but XORs `seed` into the profile's own seed so
+/// callers can draw alternative program instances from the same profile.
+///
+/// `seed = 0` reproduces [`generate_x86`] exactly; any fixed seed is fully
+/// deterministic across runs and platforms.
+pub fn generate_x86_seeded(profile: &BenchmarkProfile, scale: f64, seed: u64) -> Vec<u8> {
     let target_bytes = ((profile.text_bytes as f64 * scale) as usize).max(256);
     let mut generator = Generator {
         // Offset the seed so MIPS and x86 variants differ even per benchmark.
-        rng: StdRng::seed_from_u64(profile.seed ^ 0x8664),
+        rng: Rng::seed_from_u64(profile.seed ^ seed ^ 0x8664),
         out: Vec::with_capacity(target_bytes + 64),
         function_starts: vec![0],
         regularity: profile.regularity,

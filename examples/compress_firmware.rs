@@ -37,7 +37,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     };
     println!("firmware text section: {} bytes ({isa})", text.len());
     println!();
-    println!("{:<10} {:>12} {:>8} {:>14} {:>12}", "algorithm", "compressed", "ratio", "random access", "LAT bytes");
+    println!(
+        "{:<10} {:>12} {:>8} {:>14} {:>12}",
+        "algorithm", "compressed", "ratio", "random access", "LAT bytes"
+    );
 
     for algorithm in Algorithm::ALL {
         match measure(algorithm, isa, text, 32) {

@@ -5,8 +5,8 @@
 
 use cce_core::isa::Isa;
 use cce_core::memsim::{CacheConfig, CostModel, LineAddressTable, MemorySystem};
-use cce_core::workload::trace::{instruction_trace, TraceConfig};
 use cce_core::workload::spec95_suite;
+use cce_core::workload::trace::{instruction_trace, TraceConfig};
 use cce_core::{measure, Algorithm};
 use std::error::Error;
 
@@ -36,11 +36,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         "cache", "miss%", "CPF base", "CPF comp", "slowdown"
     );
     for cache_kib in [1usize, 2, 4, 8, 16, 32] {
-        let config = CacheConfig {
-            size_bytes: cache_kib * 1024,
-            block_size: 32,
-            associativity: 2,
-        };
+        let config = CacheConfig { size_bytes: cache_kib * 1024, block_size: 32, associativity: 2 };
         let mut base = MemorySystem::uncompressed(config, costs);
         let base_report = base.run(&trace);
 

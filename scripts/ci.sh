@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Full CI gate for the workspace.
+#
+# The build is hermetic (zero external dependencies — see DESIGN.md §2.5),
+# so everything runs with the network forced off; a regression that
+# reintroduces a registry dependency fails here immediately.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=1
+
+echo "== build (release, offline) =="
+cargo build --release --workspace
+
+echo "== tests (offline) =="
+cargo test -q --workspace
+
+echo "== rustfmt =="
+cargo fmt --all --check
+
+echo "== clippy =="
+cargo clippy --workspace --all-targets -- -D warnings
+cargo clippy -p cce-bench --all-targets --features timing -- -D warnings
+
+echo "CI green."

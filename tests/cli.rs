@@ -14,20 +14,14 @@ fn temp_dir(tag: &str) -> PathBuf {
 }
 
 fn write_test_elf(dir: &std::path::Path, isa: Isa) -> (PathBuf, Vec<u8>) {
-    let program = spec95_suite(isa, 0.1)
-        .into_iter()
-        .find(|p| p.name == "ijpeg")
-        .expect("in suite");
+    let program = spec95_suite(isa, 0.1).into_iter().find(|p| p.name == "ijpeg").expect("in suite");
     let path = dir.join(format!("{}.elf", program.name));
     std::fs::write(&path, program.to_elf().to_bytes()).expect("elf written");
     (path, program.text)
 }
 
 fn cce(args: &[&str]) -> std::process::Output {
-    Command::new(env!("CARGO_BIN_EXE_cce"))
-        .args(args)
-        .output()
-        .expect("cce runs")
+    Command::new(env!("CARGO_BIN_EXE_cce")).args(args).output().expect("cce runs")
 }
 
 #[test]

@@ -31,12 +31,10 @@ fn instruction_schemes_order_correctly_on_mips() {
         sums[0] += measure(Algorithm::ByteHuffman, Isa::Mips, &program.text, 32)
             .expect("huffman measures")
             .ratio();
-        sums[1] += measure(Algorithm::Samc, Isa::Mips, &program.text, 32)
-            .expect("samc measures")
-            .ratio();
-        sums[2] += measure(Algorithm::Sadc, Isa::Mips, &program.text, 32)
-            .expect("sadc measures")
-            .ratio();
+        sums[1] +=
+            measure(Algorithm::Samc, Isa::Mips, &program.text, 32).expect("samc measures").ratio();
+        sums[2] +=
+            measure(Algorithm::Sadc, Isa::Mips, &program.text, 32).expect("sadc measures").ratio();
     }
     let [huffman, samc, sadc] = sums;
     assert!(samc < huffman, "SAMC {samc:.3} !< huffman {huffman:.3}");

@@ -3,8 +3,8 @@
 
 use cce_core::isa::Isa;
 use cce_core::memsim::{Cache, CacheConfig, CostModel, LineAddressTable, MemorySystem};
-use cce_core::workload::trace::{instruction_trace, TraceConfig};
 use cce_core::workload::spec95_suite;
+use cce_core::workload::trace::{instruction_trace, TraceConfig};
 use cce_core::{measure, Algorithm};
 
 fn cache_config(size: usize) -> CacheConfig {
@@ -77,10 +77,7 @@ fn lat_accounting_is_consistent_across_crates() {
     let reported = m.lat_bytes().expect("lat");
     let modelled = lat.table_bytes();
     let diff = reported.abs_diff(modelled);
-    assert!(
-        diff <= reported / 4 + 8,
-        "reported {reported} vs modelled {modelled}"
-    );
+    assert!(diff <= reported / 4 + 8, "reported {reported} vs modelled {modelled}");
 }
 
 /// Warm loops must hit in the cache regardless of compression: the cache
@@ -166,8 +163,7 @@ mod functional {
     fn sadc_system_executes_from_compressed_memory() {
         let programs = spec95_suite(Isa::Mips, 0.1);
         let program = programs.iter().find(|p| p.name == "compress").expect("in suite");
-        let codec =
-            MipsSadc::train(&program.text, MipsSadcConfig::default()).expect("trainable");
+        let codec = MipsSadc::train(&program.text, MipsSadcConfig::default()).expect("trainable");
         let image = codec.compress(&program.text);
         let sizes: Vec<usize> = (0..image.block_count()).map(|i| image.block(i).len()).collect();
         let lat = LineAddressTable::from_block_sizes(sizes);

@@ -75,9 +75,7 @@ fn random_access_refill_pattern() {
         let i = (k * 2654435761) % n;
         let start = i * 32;
         let len = (text.len() - start).min(32);
-        let block = codec
-            .decompress_block(image.block(i), len)
-            .expect("block decodes");
+        let block = codec.decompress_block(image.block(i), len).expect("block decodes");
         assert_eq!(&block[..], &text[start..start + len], "block {i}");
     }
 }

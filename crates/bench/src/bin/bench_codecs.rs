@@ -10,6 +10,7 @@
 
 use cce_bench::timing::Group;
 
+use cce_core::codec::compress_parallel;
 use cce_core::huffman::block::ByteBlockCodec;
 use cce_core::isa::Isa;
 use cce_core::lz::{Gzip, Lzw};
@@ -32,8 +33,8 @@ fn compression(text: &[u8]) {
     group.bench("samc", || samc.compress(text));
     let sadc = MipsSadc::train(text, MipsSadcConfig::default()).expect("trainable");
     group.bench("sadc", || sadc.compress(text));
-    let huffman = ByteBlockCodec::train(text).expect("trainable");
-    group.bench("byte_huffman", || huffman.compress(text, 32));
+    let huffman = ByteBlockCodec::train(text, 32).expect("trainable");
+    group.bench("byte_huffman", || huffman.compress(text));
     let lzw = Lzw::new();
     group.bench("lzw", || lzw.compress(text));
     let gzip = Gzip::new();
@@ -49,8 +50,8 @@ fn decompression(text: &[u8]) {
     let sadc = MipsSadc::train(text, MipsSadcConfig::default()).expect("trainable");
     let sadc_image = sadc.compress(text);
     group.bench("sadc", || sadc.decompress(&sadc_image).expect("round trip"));
-    let huffman = ByteBlockCodec::train(text).expect("trainable");
-    let huffman_image = huffman.compress(text, 32);
+    let huffman = ByteBlockCodec::train(text, 32).expect("trainable");
+    let huffman_image = huffman.compress(text);
     group.bench("byte_huffman", || huffman.decompress(&huffman_image).expect("round trip"));
     let lzw = Lzw::new();
     let lzw_compressed = lzw.compress(text);
@@ -66,9 +67,28 @@ fn training(text: &[u8]) {
     group.bench("sadc", || MipsSadc::train(text, MipsSadcConfig::default()).expect("ok"));
 }
 
+/// The parallel pipeline against its own serial path: same codec, same
+/// text, worker counts 1 / 2 / all cores.  The output images are
+/// byte-identical (asserted by the equivalence tests); this group shows
+/// the wall-clock side of that trade.
+fn parallel_compression(text: &[u8]) {
+    let group = Group::new("compress_parallel").throughput_bytes(text.len() as u64);
+    let samc = SamcCodec::train(text, SamcConfig::mips()).expect("trainable");
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut counts = vec![1usize, 2, cores];
+    counts.sort_unstable();
+    counts.dedup();
+    for workers in counts {
+        group.bench(&format!("samc_workers_{workers}"), || {
+            compress_parallel(&samc, text, workers).expect("compresses")
+        });
+    }
+}
+
 fn main() {
     let text = benchmark_text();
     compression(&text);
     decompression(&text);
     training(&text);
+    parallel_compression(&text);
 }

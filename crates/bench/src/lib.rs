@@ -1,17 +1,22 @@
 //! Shared helpers for the figure-regeneration binaries.
 //!
 //! Every binary in `src/bin/` regenerates one figure or claim of the
-//! DAC'98 paper (see DESIGN.md's experiment index).  They share the table
-//! formatting and scale handling here.
+//! DAC'98 paper (see DESIGN.md's experiment index).  They share the
+//! [`suite`] runner (deterministic parallel measurement over the SPEC95
+//! workload) and the [`reporter`] (aligned tables and JSON).
 //!
 //! Set `CCE_SCALE` (default `1.0`) to shrink or grow the synthetic
-//! workload; the figures are produced at 1.0.
+//! workload; the figures are produced at 1.0.  Set `CCE_WORKERS` to pin
+//! the worker-pool size — results are byte-identical for any value.
 
-use cce_core::isa::Isa;
-use cce_core::{measure, Algorithm, MeasureError};
+pub mod reporter;
+pub mod suite;
 
 #[cfg(feature = "timing")]
 pub mod timing;
+
+pub use reporter::{means, print_figure, render_json, render_table};
+pub use suite::{figure_rows, figure_rows_with_workers, FigureRow};
 
 /// Workload scale from `CCE_SCALE` (default 1.0).
 pub fn scale_from_env() -> f64 {
@@ -20,107 +25,4 @@ pub fn scale_from_env() -> f64 {
         .and_then(|s| s.parse().ok())
         .filter(|&s: &f64| s.is_finite() && s > 0.0)
         .unwrap_or(1.0)
-}
-
-/// One row of a figure: a benchmark and its per-algorithm ratios.
-#[derive(Debug, Clone)]
-pub struct FigureRow {
-    /// Benchmark name.
-    pub benchmark: &'static str,
-    /// Ratios in the same order as the header's algorithms.
-    pub ratios: Vec<f64>,
-}
-
-/// Runs `algorithms` over the whole suite for `isa` and returns the rows.
-///
-/// Benchmarks are measured on parallel threads (they are independent);
-/// row order matches the suite order regardless of scheduling.
-///
-/// # Errors
-///
-/// Propagates the first measurement failure (by suite order).
-pub fn figure_rows(
-    isa: Isa,
-    algorithms: &[Algorithm],
-    scale: f64,
-    block_size: usize,
-) -> Result<Vec<FigureRow>, MeasureError> {
-    let programs = cce_core::workload::spec95_suite(isa, scale);
-    let results: Vec<Result<FigureRow, MeasureError>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = programs
-            .iter()
-            .map(|program| {
-                scope.spawn(move || {
-                    let ratios = algorithms
-                        .iter()
-                        .map(|&a| measure(a, isa, &program.text, block_size).map(|m| m.ratio()))
-                        .collect::<Result<Vec<_>, _>>()?;
-                    Ok(FigureRow { benchmark: program.name, ratios })
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("measurement thread must not panic")).collect()
-    });
-    results.into_iter().collect()
-}
-
-/// Prints a figure as an aligned table with a trailing mean row.
-pub fn print_figure(title: &str, algorithms: &[Algorithm], rows: &[FigureRow]) {
-    println!("{title}");
-    print!("{:<10}", "benchmark");
-    for a in algorithms {
-        print!(" {:>9}", a.to_string());
-    }
-    println!();
-    let mut sums = vec![0.0f64; algorithms.len()];
-    for row in rows {
-        print!("{:<10}", row.benchmark);
-        for (i, r) in row.ratios.iter().enumerate() {
-            print!(" {r:>9.3}");
-            sums[i] += r;
-        }
-        println!();
-    }
-    print!("{:<10}", "MEAN");
-    for s in &sums {
-        print!(" {:>9.3}", s / rows.len() as f64);
-    }
-    println!();
-}
-
-/// Mean ratio per algorithm across rows.
-pub fn means(rows: &[FigureRow]) -> Vec<f64> {
-    if rows.is_empty() {
-        return Vec::new();
-    }
-    let n = rows[0].ratios.len();
-    let mut sums = vec![0.0f64; n];
-    for row in rows {
-        for (i, r) in row.ratios.iter().enumerate() {
-            sums[i] += r;
-        }
-    }
-    sums.iter().map(|s| s / rows.len() as f64).collect()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn rows_and_means() {
-        let rows = vec![
-            FigureRow { benchmark: "a", ratios: vec![0.5, 0.7] },
-            FigureRow { benchmark: "b", ratios: vec![0.3, 0.5] },
-        ];
-        assert_eq!(means(&rows), vec![0.4, 0.6]);
-        print_figure("test", &[Algorithm::Samc, Algorithm::Sadc], &rows);
-    }
-
-    #[test]
-    fn small_scale_figure_runs() {
-        let rows = figure_rows(Isa::Mips, &[Algorithm::ByteHuffman], 0.02, 32).unwrap();
-        assert_eq!(rows.len(), 18);
-        assert!(means(&rows)[0] > 0.0);
-    }
 }

@@ -1,0 +1,87 @@
+//! Suite runner: measures algorithm sets over the SPEC95-like workload.
+//!
+//! Built on the deterministic worker pool in `cce_core::codec`, so the
+//! rows (and every figure printed from them) are byte-identical for any
+//! worker count.
+
+use cce_core::codec::{parallel_map, worker_count, CodecError};
+use cce_core::isa::Isa;
+use cce_core::{measure_with_workers, Algorithm};
+
+/// One row of a figure: a benchmark and its per-algorithm ratios.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FigureRow {
+    /// Benchmark name.
+    pub benchmark: &'static str,
+    /// Ratios in the same order as the header's algorithms.
+    pub ratios: Vec<f64>,
+}
+
+/// Runs `algorithms` over the whole suite for `isa` and returns the rows.
+///
+/// Benchmarks fan out across [`worker_count`] threads (they are
+/// independent); row order matches the suite order regardless of
+/// scheduling.
+///
+/// # Errors
+///
+/// Propagates the first measurement failure (by suite order).
+pub fn figure_rows(
+    isa: Isa,
+    algorithms: &[Algorithm],
+    scale: f64,
+    block_size: usize,
+) -> Result<Vec<FigureRow>, CodecError> {
+    figure_rows_with_workers(isa, algorithms, scale, block_size, worker_count())
+}
+
+/// [`figure_rows`] with an explicit worker count (1 = fully serial).
+///
+/// The pool parallelises across benchmarks; each measurement runs its
+/// block compression serially inside its worker so the machine is not
+/// oversubscribed.
+///
+/// # Errors
+///
+/// As [`figure_rows`].
+pub fn figure_rows_with_workers(
+    isa: Isa,
+    algorithms: &[Algorithm],
+    scale: f64,
+    block_size: usize,
+    workers: usize,
+) -> Result<Vec<FigureRow>, CodecError> {
+    let programs = cce_core::workload::spec95_suite(isa, scale);
+    parallel_map(workers, &programs, |_, program| {
+        let ratios = algorithms
+            .iter()
+            .map(|&a| measure_with_workers(a, isa, &program.text, block_size, 1).map(|m| m.ratio()))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(FigureRow { benchmark: program.name, ratios })
+    })
+    .into_iter()
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_scale_figure_runs() {
+        let rows = figure_rows(Isa::Mips, &[Algorithm::ByteHuffman], 0.02, 32).unwrap();
+        assert_eq!(rows.len(), 18);
+        assert!(crate::means(&rows)[0] > 0.0);
+    }
+
+    #[test]
+    fn worker_counts_agree() {
+        let algorithms = [Algorithm::ByteHuffman, Algorithm::Samc];
+        let serial = figure_rows_with_workers(Isa::Mips, &algorithms, 0.02, 32, 1).unwrap();
+        for workers in [2, 8] {
+            let parallel =
+                figure_rows_with_workers(Isa::Mips, &algorithms, 0.02, 32, workers).unwrap();
+            assert_eq!(serial, parallel, "{workers} workers");
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! The unified codec error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// The one error type every codec in the workspace surfaces.
+///
+/// Before this type existed each crate carried its own train/decompress/
+/// deserialize error enums with near-identical shapes; callers (the CLI,
+/// the measurement harness, the figure binaries) had to funnel all of them
+/// through `Box<dyn Error>`.  `CodecError` collapses that into four
+/// failure classes that cover every codec, while keeping the codec name
+/// and a human-readable reason.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The input cannot be used to train or compress (validation failure:
+    /// empty text, misaligned length, bad configuration, undecodable
+    /// instructions, symbols absent from the trained model).
+    Train {
+        /// The failing codec's display name.
+        codec: &'static str,
+        /// What was wrong with the input or configuration.
+        reason: String,
+    },
+    /// Compressed data or a serialized artifact is malformed (truncated
+    /// buffer, wrong magic, inconsistent structure, invalid code tables).
+    Corrupt {
+        /// The failing codec's display name.
+        codec: &'static str,
+        /// What was inconsistent.
+        reason: String,
+    },
+    /// The requested operation is not supported by this codec or
+    /// configuration (e.g. the nibble engine on non-4-bit streams, or
+    /// random access on a file-oriented baseline).
+    Unsupported {
+        /// The failing codec's display name.
+        codec: &'static str,
+        /// Why the operation is unavailable.
+        reason: String,
+    },
+    /// Decompression did not reproduce the original input — a codec bug,
+    /// surfaced rather than reported as a (meaningless) ratio.
+    RoundTrip {
+        /// The failing codec's display name.
+        codec: &'static str,
+    },
+}
+
+impl CodecError {
+    /// Builds a [`CodecError::Train`].
+    pub fn train(codec: &'static str, reason: impl fmt::Display) -> Self {
+        Self::Train { codec, reason: reason.to_string() }
+    }
+
+    /// Builds a [`CodecError::Corrupt`].
+    pub fn corrupt(codec: &'static str, reason: impl fmt::Display) -> Self {
+        Self::Corrupt { codec, reason: reason.to_string() }
+    }
+
+    /// Builds a [`CodecError::Unsupported`].
+    pub fn unsupported(codec: &'static str, reason: impl fmt::Display) -> Self {
+        Self::Unsupported { codec, reason: reason.to_string() }
+    }
+
+    /// Builds a [`CodecError::RoundTrip`].
+    pub fn round_trip(codec: &'static str) -> Self {
+        Self::RoundTrip { codec }
+    }
+
+    /// Rebrands the codec name, keeping the class and reason.
+    ///
+    /// Lower layers (bit readers, Huffman tables) produce errors named
+    /// after themselves; codecs re-label them at their public boundary so
+    /// a corrupt SADC block reports as SADC, not as "huffman".
+    #[must_use]
+    pub fn named(self, codec: &'static str) -> Self {
+        match self {
+            Self::Train { reason, .. } => Self::Train { codec, reason },
+            Self::Corrupt { reason, .. } => Self::Corrupt { codec, reason },
+            Self::Unsupported { reason, .. } => Self::Unsupported { codec, reason },
+            Self::RoundTrip { .. } => Self::RoundTrip { codec },
+        }
+    }
+
+    /// The display name of the codec that failed.
+    pub fn codec(&self) -> &'static str {
+        match self {
+            Self::Train { codec, .. }
+            | Self::Corrupt { codec, .. }
+            | Self::Unsupported { codec, .. }
+            | Self::RoundTrip { codec } => codec,
+        }
+    }
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Train { codec, reason } => write!(f, "{codec}: cannot train: {reason}"),
+            Self::Corrupt { codec, reason } => write!(f, "{codec}: corrupt data: {reason}"),
+            Self::Unsupported { codec, reason } => write!(f, "{codec}: unsupported: {reason}"),
+            Self::RoundTrip { codec } => {
+                write!(f, "{codec}: decompressed text differs from the original")
+            }
+        }
+    }
+}
+
+impl Error for CodecError {}
+
+impl From<cce_bitstream::EndOfStreamError> for CodecError {
+    fn from(_: cce_bitstream::EndOfStreamError) -> Self {
+        Self::corrupt("artifact", "input truncated")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_codec_and_class() {
+        assert_eq!(
+            CodecError::train("SAMC", "empty text").to_string(),
+            "SAMC: cannot train: empty text"
+        );
+        assert_eq!(
+            CodecError::round_trip("gzip").to_string(),
+            "gzip: decompressed text differs from the original"
+        );
+    }
+
+    #[test]
+    fn named_rebrands_every_class() {
+        assert_eq!(
+            CodecError::corrupt("huffman", "bad code").named("SADC"),
+            CodecError::corrupt("SADC", "bad code")
+        );
+        assert_eq!(CodecError::round_trip("a").named("b").codec(), "b");
+    }
+
+    #[test]
+    fn end_of_stream_converts_to_corrupt() {
+        let mut cursor = cce_bitstream::ByteCursor::new(&[]);
+        let e: CodecError = cursor.read_u8().unwrap_err().into();
+        assert!(matches!(e, CodecError::Corrupt { .. }));
+    }
+}

@@ -1,0 +1,258 @@
+//! The generic compressed block image shared by every random-access codec.
+
+use crate::error::CodecError;
+use cce_bitstream::ByteCursor;
+
+/// Magic number opening a serialized [`BlockImage`].
+const MAGIC: &[u8; 4] = b"CIMG";
+/// Serialization format version.
+const VERSION: u16 = 1;
+/// Name used for errors raised by image (de)serialization itself.
+const SELF: &str = "block image";
+
+/// A compressed program divided into independently decompressible blocks.
+///
+/// Every random-access codec in the workspace (SAMC, SADC, block-Huffman)
+/// produces this same image shape: an ordered list of compressed blocks,
+/// the uncompressed length each block restores, and the size of the model
+/// (dictionaries, probability tables, code books) that must live alongside
+/// the blocks in ROM.  Accounting helpers mirror the paper's §5 reporting:
+/// [`compressed_len`](Self::compressed_len) always charges the model, and
+/// [`ratio_with_lat`](Self::ratio_with_lat) additionally charges the line
+/// address table needed for random access.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockImage {
+    blocks: Vec<Vec<u8>>,
+    block_uncompressed: Vec<usize>,
+    block_size: usize,
+    original_len: usize,
+    model_bytes: usize,
+}
+
+impl BlockImage {
+    /// Assembles an image from compressed blocks.
+    ///
+    /// `block_uncompressed[i]` is the uncompressed byte length block `i`
+    /// restores; `block_size` is the codec's nominal block size (actual
+    /// blocks may differ for instruction-aligned codecs or the final
+    /// partial block).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two vectors disagree in length or the per-block
+    /// uncompressed lengths do not sum to `original_len` — those are codec
+    /// bugs, not runtime conditions.
+    pub fn new(
+        blocks: Vec<Vec<u8>>,
+        block_uncompressed: Vec<usize>,
+        block_size: usize,
+        original_len: usize,
+        model_bytes: usize,
+    ) -> Self {
+        assert_eq!(blocks.len(), block_uncompressed.len(), "one uncompressed length per block");
+        assert_eq!(
+            block_uncompressed.iter().sum::<usize>(),
+            original_len,
+            "block uncompressed lengths must cover the original text"
+        );
+        Self { blocks, block_uncompressed, block_size, original_len, model_bytes }
+    }
+
+    /// The compressed bytes of block `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn block(&self, index: usize) -> &[u8] {
+        &self.blocks[index]
+    }
+
+    /// Number of blocks in the image.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// The codec's nominal uncompressed block size in bytes.
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// Uncompressed byte length restored by block `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn block_uncompressed_len(&self, index: usize) -> usize {
+        self.block_uncompressed[index]
+    }
+
+    /// Compressed sizes of all blocks in order, for LAT construction.
+    pub fn block_sizes(&self) -> impl Iterator<Item = usize> + '_ {
+        self.blocks.iter().map(Vec::len)
+    }
+
+    /// Length of the original uncompressed text in bytes.
+    pub fn original_len(&self) -> usize {
+        self.original_len
+    }
+
+    /// Bytes of codec model (tables, dictionaries) charged to the image.
+    pub fn model_bytes(&self) -> usize {
+        self.model_bytes
+    }
+
+    /// Total compressed size: all blocks plus the model.
+    pub fn compressed_len(&self) -> usize {
+        self.blocks.iter().map(Vec::len).sum::<usize>() + self.model_bytes
+    }
+
+    /// Bytes required by a line address table indexing every block.
+    ///
+    /// Each LAT entry stores a block's byte offset into the compressed
+    /// stream; entries are sized to address the full stream.
+    pub fn lat_bytes(&self) -> usize {
+        let total: usize = self.blocks.iter().map(Vec::len).sum();
+        if self.blocks.is_empty() {
+            return 0;
+        }
+        let entry_bits = usize::BITS - total.next_power_of_two().leading_zeros();
+        (self.blocks.len() * entry_bits as usize).div_ceil(8)
+    }
+
+    /// Compression ratio (compressed including model / original).
+    pub fn ratio(&self) -> f64 {
+        self.compressed_len() as f64 / self.original_len as f64
+    }
+
+    /// Compression ratio charging the line address table as well.
+    pub fn ratio_with_lat(&self) -> f64 {
+        (self.compressed_len() + self.lat_bytes()) as f64 / self.original_len as f64
+    }
+
+    /// Serializes the image to a self-describing byte vector.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&VERSION.to_be_bytes());
+        out.extend_from_slice(&(self.block_size as u32).to_be_bytes());
+        out.extend_from_slice(&(self.original_len as u32).to_be_bytes());
+        out.extend_from_slice(&(self.model_bytes as u32).to_be_bytes());
+        out.extend_from_slice(&(self.blocks.len() as u32).to_be_bytes());
+        for (block, &uncompressed) in self.blocks.iter().zip(&self.block_uncompressed) {
+            out.extend_from_slice(&(uncompressed as u32).to_be_bytes());
+            out.extend_from_slice(&(block.len() as u32).to_be_bytes());
+        }
+        for block in &self.blocks {
+            out.extend_from_slice(block);
+        }
+        out
+    }
+
+    /// Reads an image previously written by [`to_bytes`](Self::to_bytes).
+    ///
+    /// Malformed input — wrong magic, truncation, inconsistent lengths —
+    /// yields [`CodecError::Corrupt`]; this function never panics.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CodecError> {
+        let mut cursor = ByteCursor::new(bytes);
+        let magic = cursor.read_bytes(4)?;
+        if magic != MAGIC {
+            return Err(CodecError::corrupt(SELF, "bad magic number"));
+        }
+        let version = cursor.read_u16_be()?;
+        if version != VERSION {
+            return Err(CodecError::corrupt(SELF, format!("unsupported version {version}")));
+        }
+        let block_size = cursor.read_u32_be()? as usize;
+        let original_len = cursor.read_u32_be()? as usize;
+        let model_bytes = cursor.read_u32_be()? as usize;
+        let block_count = cursor.read_u32_be()? as usize;
+        // Each block costs at least 8 header bytes, so a count larger than
+        // the remaining input is corrupt — reject before allocating.
+        if block_count > cursor.remaining() / 8 {
+            return Err(CodecError::corrupt(SELF, "block count exceeds input size"));
+        }
+        let mut block_uncompressed = Vec::with_capacity(block_count);
+        let mut block_lens = Vec::with_capacity(block_count);
+        let mut uncompressed_total = 0usize;
+        let mut compressed_total = 0usize;
+        for _ in 0..block_count {
+            let uncompressed = cursor.read_u32_be()? as usize;
+            let compressed = cursor.read_u32_be()? as usize;
+            uncompressed_total = uncompressed_total
+                .checked_add(uncompressed)
+                .ok_or_else(|| CodecError::corrupt(SELF, "uncompressed total overflows"))?;
+            compressed_total = compressed_total
+                .checked_add(compressed)
+                .ok_or_else(|| CodecError::corrupt(SELF, "compressed total overflows"))?;
+            block_uncompressed.push(uncompressed);
+            block_lens.push(compressed);
+        }
+        if uncompressed_total != original_len {
+            return Err(CodecError::corrupt(
+                SELF,
+                "block lengths do not sum to the original length",
+            ));
+        }
+        if compressed_total > cursor.remaining() {
+            return Err(CodecError::corrupt(SELF, "input truncated"));
+        }
+        let mut blocks = Vec::with_capacity(block_count);
+        for len in block_lens {
+            blocks.push(cursor.read_bytes(len)?.to_vec());
+        }
+        Ok(Self { blocks, block_uncompressed, block_size, original_len, model_bytes })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BlockImage {
+        BlockImage::new(vec![vec![1, 2, 3], vec![4], vec![]], vec![32, 32, 16], 32, 80, 10)
+    }
+
+    #[test]
+    fn accounting_is_consistent() {
+        let image = sample();
+        assert_eq!(image.block_count(), 3);
+        assert_eq!(image.block(1), &[4]);
+        assert_eq!(image.block_uncompressed_len(2), 16);
+        assert_eq!(image.compressed_len(), 4 + 10);
+        assert!(image.ratio() > 0.0);
+        assert!(image.ratio_with_lat() >= image.ratio());
+        assert!(image.lat_bytes() > 0);
+    }
+
+    #[test]
+    fn serialization_round_trips() {
+        let image = sample();
+        let restored = BlockImage::from_bytes(&image.to_bytes()).expect("round trip");
+        assert_eq!(restored, image);
+    }
+
+    #[test]
+    fn empty_image_lat_is_zero() {
+        let image = BlockImage::new(Vec::new(), Vec::new(), 32, 0, 0);
+        assert_eq!(image.lat_bytes(), 0);
+    }
+
+    #[test]
+    fn corruption_is_detected_not_panicked() {
+        let image = sample();
+        let bytes = image.to_bytes();
+        // Wrong magic.
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(matches!(BlockImage::from_bytes(&bad), Err(CodecError::Corrupt { .. })));
+        // Truncation at every prefix must fail cleanly.
+        for len in 0..bytes.len() {
+            assert!(BlockImage::from_bytes(&bytes[..len]).is_err());
+        }
+        // Absurd block count.
+        let mut bad = bytes.clone();
+        bad[18] = 0xFF;
+        bad[19] = 0xFF;
+        assert!(BlockImage::from_bytes(&bad).is_err());
+    }
+}

@@ -1,0 +1,168 @@
+//! Deterministic scoped worker pool for the measurement pipeline.
+//!
+//! Built on `std::thread::scope` only — no external dependencies, per the
+//! workspace's hermetic-build policy. Work items are claimed from a shared
+//! atomic counter, but every result is tagged with its item index and
+//! scattered back into position after the join, so the output order (and
+//! therefore every figure built from it) is byte-identical regardless of
+//! worker count or scheduling.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::error::CodecError;
+use crate::image::BlockImage;
+use crate::traits::BlockCodec;
+
+/// Number of workers the pipeline should use.
+///
+/// Reads the `CCE_WORKERS` environment variable (clamped to 1..=1024);
+/// otherwise the machine's available parallelism, falling back to 1.
+pub fn worker_count() -> usize {
+    if let Ok(raw) = std::env::var("CCE_WORKERS") {
+        if let Ok(n) = raw.trim().parse::<usize>() {
+            if (1..=1024).contains(&n) {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Applies `f` to every item of `items` across `workers` threads,
+/// returning results in item order.
+///
+/// `f` receives `(index, &item)`. With `workers <= 1` (or a single item)
+/// this runs serially on the calling thread; otherwise a scoped pool
+/// claims items dynamically, which balances uneven per-item cost (large
+/// benchmarks next to small ones) without giving up a deterministic
+/// result order.
+pub fn parallel_map<T, R, F>(workers: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = workers.max(1).min(items.len().max(1));
+    if workers == 1 {
+        return items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+    let collected: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let index = next.fetch_add(1, Ordering::Relaxed);
+                        if index >= items.len() {
+                            break;
+                        }
+                        local.push((index, f(index, &items[index])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    });
+    for (index, result) in collected.into_iter().flatten() {
+        slots[index] = Some(result);
+    }
+    slots.into_iter().map(|slot| slot.expect("every index visited")).collect()
+}
+
+/// Compresses `text` with `codec`, fanning blocks across `workers`
+/// threads.
+///
+/// Produces a [`BlockImage`] byte-identical to the serial
+/// [`BlockCodec::compress`]: the block division comes from the same
+/// [`block_ranges`](BlockCodec::block_ranges) call and results merge in
+/// index order.
+///
+/// # Errors
+///
+/// Propagates chunking failures and the first (by block index) per-chunk
+/// compression failure.
+pub fn compress_parallel(
+    codec: &dyn BlockCodec,
+    text: &[u8],
+    workers: usize,
+) -> Result<BlockImage, CodecError> {
+    let ranges = codec.block_ranges(text)?;
+    let block_uncompressed: Vec<usize> = ranges.iter().map(std::ops::Range::len).collect();
+    let results =
+        parallel_map(workers, &ranges, |_, range| codec.compress_chunk(&text[range.clone()]));
+    let mut blocks = Vec::with_capacity(results.len());
+    for result in results {
+        blocks.push(result?);
+    }
+    Ok(BlockImage::new(
+        blocks,
+        block_uncompressed,
+        codec.block_size(),
+        text.len(),
+        codec.model_bytes(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order_for_any_worker_count() {
+        let items: Vec<usize> = (0..100).collect();
+        let expected: Vec<usize> = items.iter().map(|&x| x * 3).collect();
+        for workers in [1, 2, 3, 8, 64, 1000] {
+            assert_eq!(parallel_map(workers, &items, |_, &x| x * 3), expected);
+        }
+    }
+
+    #[test]
+    fn parallel_map_handles_empty_input() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(parallel_map(8, &empty, |_, &x| x).is_empty());
+    }
+
+    #[test]
+    fn worker_count_is_positive() {
+        assert!(worker_count() >= 1);
+    }
+
+    struct Verbatim;
+
+    impl BlockCodec for Verbatim {
+        fn name(&self) -> &'static str {
+            "verbatim"
+        }
+        fn block_size(&self) -> usize {
+            16
+        }
+        fn model_bytes(&self) -> usize {
+            0
+        }
+        fn to_bytes(&self) -> Vec<u8> {
+            Vec::new()
+        }
+        fn compress_chunk(&self, chunk: &[u8]) -> Result<Vec<u8>, CodecError> {
+            Ok(chunk.to_vec())
+        }
+        fn decompress_block(&self, block: &[u8], _out_len: usize) -> Result<Vec<u8>, CodecError> {
+            Ok(block.to_vec())
+        }
+    }
+
+    #[test]
+    fn compress_parallel_matches_serial() {
+        let codec = Verbatim;
+        let text: Vec<u8> = (0..=255).cycle().take(1000).collect();
+        let serial = BlockCodec::compress(&codec, &text).unwrap();
+        for workers in [1, 2, 8] {
+            let parallel = compress_parallel(&codec, &text, workers).unwrap();
+            assert_eq!(parallel, serial);
+            assert_eq!(parallel.to_bytes(), serial.to_bytes());
+        }
+    }
+}

@@ -1,8 +1,8 @@
 //! `cce` — command-line front end for the code-compression toolkit.
 //!
 //! ```text
-//! cce ratio <input.elf>                      # compare all five algorithms
-//! cce compress [-a samc|sadc] [-b BLOCK] <input.elf> -o <out.cce>
+//! cce ratio [-b BLOCK] [--json] <input.elf>  # compare all five algorithms
+//! cce compress [-a ALGO] [-b BLOCK] <input.elf> -o <out.cce>
 //! cce decompress <in.cce> -o <out.elf>       # rebuild a minimal ELF
 //! cce info <in.cce>                          # inspect a compressed artifact
 //! ```
@@ -10,43 +10,18 @@
 //! The `.cce` container holds the trained codec (Markov tables or
 //! dictionary+code tables), the block image, and enough ELF identity to
 //! rebuild a loadable executable around the decompressed text section.
+//! The codec-kind byte is [`Algorithm::tag`], the same registry the
+//! measurement harness uses, so any random-access algorithm the registry
+//! knows is a valid container payload.
 
+use cce_core::codec::{compress_parallel, worker_count, BlockImage};
 use cce_core::elf::{Class, ElfImage, Endianness, Machine};
 use cce_core::isa::Isa;
-use cce_core::sadc::{MipsSadc, MipsSadcConfig, SadcImage, X86Sadc, X86SadcConfig};
-use cce_core::samc::{SamcCodec, SamcConfig, SamcImage};
-use cce_core::{measure, Algorithm};
+use cce_core::{measure, report, Algorithm};
 use std::error::Error;
 use std::process::ExitCode;
 
 const CONTAINER_MAGIC: &[u8; 4] = b"CCEF";
-
-/// Which codec a container holds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum CodecKind {
-    Samc,
-    SadcMips,
-    SadcX86,
-}
-
-impl CodecKind {
-    fn tag(self) -> u8 {
-        match self {
-            CodecKind::Samc => 0,
-            CodecKind::SadcMips => 1,
-            CodecKind::SadcX86 => 2,
-        }
-    }
-
-    fn from_tag(tag: u8) -> Option<Self> {
-        Some(match tag {
-            0 => CodecKind::Samc,
-            1 => CodecKind::SadcMips,
-            2 => CodecKind::SadcX86,
-            _ => return None,
-        })
-    }
-}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -79,8 +54,8 @@ fn print_usage() {
     println!("cce — code compression for embedded systems (SAMC/SADC, DAC 1998)");
     println!();
     println!("USAGE:");
-    println!("  cce ratio <input.elf>                         compare all algorithms");
-    println!("  cce compress [-a samc|sadc] [-b N] <in.elf> -o <out.cce>");
+    println!("  cce ratio [-b N] [--json] <input.elf>         compare all algorithms");
+    println!("  cce compress [-a samc|sadc|huffman] [-b N] <in.elf> -o <out.cce>");
     println!("  cce decompress <in.cce> -o <out.elf>");
     println!("  cce info <in.cce>");
     println!("  cce analyze <input.elf>                       entropy diagnostics");
@@ -93,6 +68,7 @@ struct Flags<'a> {
     output: Option<&'a str>,
     algorithm: Option<&'a str>,
     block_size: usize,
+    json: bool,
 }
 
 /// Parses `-o out` plus positional arguments.
@@ -101,6 +77,7 @@ fn split_flags(args: &[String]) -> Result<Flags<'_>, String> {
     let mut output = None;
     let mut algorithm = None;
     let mut block_size = 32usize;
+    let mut json = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -128,13 +105,17 @@ fn split_flags(args: &[String]) -> Result<Flags<'_>, String> {
                     .map_err(|_| "block size must be an integer")?;
                 i += 2;
             }
+            "--json" => {
+                json = true;
+                i += 1;
+            }
             other => {
                 positional.push(other);
                 i += 1;
             }
         }
     }
-    Ok(Flags { positional, output, algorithm, block_size })
+    Ok(Flags { positional, output, algorithm, block_size, json })
 }
 
 fn load_elf(path: &str) -> Result<(ElfImage, Isa), Box<dyn Error>> {
@@ -151,14 +132,27 @@ fn load_elf(path: &str) -> Result<(ElfImage, Isa), Box<dyn Error>> {
 fn ratio(args: &[String]) -> Result<(), Box<dyn Error>> {
     let flags = split_flags(args)?;
     let [path] = flags.positional.as_slice() else {
-        return Err("usage: cce ratio <input.elf>".into());
+        return Err("usage: cce ratio [-b N] [--json] <input.elf>".into());
     };
     let (elf, isa) = load_elf(path)?;
     let text = elf.text().ok_or("no .text section")?;
+
+    if flags.json {
+        let mut measurements = Vec::new();
+        for algorithm in Algorithm::ALL {
+            match measure(algorithm, isa, text, flags.block_size) {
+                Ok(m) => measurements.push(m),
+                Err(e) => eprintln!("cce: {algorithm} failed: {e}"),
+            }
+        }
+        println!("{}", report::measurements_json(&measurements));
+        return Ok(());
+    }
+
     println!("{path}: {} bytes of {isa} text", text.len());
     println!("{:<10} {:>12} {:>8}", "algorithm", "compressed", "ratio");
     for algorithm in Algorithm::ALL {
-        match measure(algorithm, isa, text, 32) {
+        match measure(algorithm, isa, text, flags.block_size) {
             Ok(m) => println!(
                 "{:<10} {:>12} {:>8.3}",
                 algorithm.to_string(),
@@ -172,55 +166,38 @@ fn ratio(args: &[String]) -> Result<(), Box<dyn Error>> {
 }
 
 fn compress(args: &[String]) -> Result<(), Box<dyn Error>> {
-    let Flags { positional, output, algorithm, block_size } = split_flags(args)?;
+    let Flags { positional, output, algorithm, block_size, .. } = split_flags(args)?;
     let [path] = positional.as_slice() else {
-        return Err("usage: cce compress [-a samc|sadc] [-b N] <in.elf> -o <out.cce>".into());
+        return Err(
+            "usage: cce compress [-a samc|sadc|huffman] [-b N] <in.elf> -o <out.cce>".into()
+        );
     };
     let output = output.ok_or("missing -o <out.cce>")?;
     let (elf, isa) = load_elf(path)?;
     let text = elf.text().ok_or("no .text section")?.to_vec();
 
-    let (kind, codec_bytes, image_bytes, ratio) = match algorithm.unwrap_or("samc") {
-        "samc" => {
-            let config = match isa {
-                Isa::Mips => SamcConfig::mips(),
-                Isa::X86 => SamcConfig::x86(),
-            }
-            .with_block_size(block_size);
-            let codec = SamcCodec::train(&text, config)?;
-            let image = codec.compress(&text);
-            if codec.decompress(&image)? != text {
-                return Err("internal error: round trip failed".into());
-            }
-            (CodecKind::Samc, codec.to_bytes(), image.to_bytes(), image.ratio())
-        }
-        "sadc" => match isa {
-            Isa::Mips => {
-                let config = MipsSadcConfig { block_size, ..Default::default() };
-                let codec = MipsSadc::train(&text, config)?;
-                let image = codec.compress(&text);
-                if codec.decompress(&image)? != text {
-                    return Err("internal error: round trip failed".into());
-                }
-                (CodecKind::SadcMips, codec.to_bytes(), image.to_bytes(), image.ratio())
-            }
-            Isa::X86 => {
-                let config = X86SadcConfig { block_size, ..Default::default() };
-                let codec = X86Sadc::train(&text, config)?;
-                let image = codec.compress(&text);
-                if codec.decompress(&image)? != text {
-                    return Err("internal error: round trip failed".into());
-                }
-                (CodecKind::SadcX86, codec.to_bytes(), image.to_bytes(), image.ratio())
-            }
-        },
-        other => return Err(format!("unknown algorithm `{other}` (samc|sadc)").into()),
-    };
+    let name = algorithm.unwrap_or("samc");
+    let algorithm = Algorithm::by_name(name)
+        .ok_or_else(|| format!("unknown algorithm `{name}` (samc|sadc|huffman)"))?;
+    if !algorithm.random_access() {
+        return Err(format!(
+            "`{algorithm}` is file-oriented; only random-access codecs fit the container"
+        )
+        .into());
+    }
+    let handle = algorithm.build(isa, block_size).train(&text)?;
+    let codec = handle.as_block().expect("random-access algorithms build block codecs");
+    let image = compress_parallel(codec, &text, worker_count())?;
+    if codec.decompress(&image)? != text {
+        return Err("internal error: round trip failed".into());
+    }
+    let codec_bytes = codec.to_bytes();
+    let image_bytes = image.to_bytes();
 
-    // Container: magic, codec kind, ELF identity, codec, image.
+    // Container: magic, codec kind (= Algorithm tag), ELF identity, codec, image.
     let mut out = Vec::new();
     out.extend_from_slice(CONTAINER_MAGIC);
-    out.push(kind.tag());
+    out.push(algorithm.tag());
     out.push(match isa {
         Isa::Mips => 0,
         Isa::X86 => 1,
@@ -239,9 +216,10 @@ fn compress(args: &[String]) -> Result<(), Box<dyn Error>> {
     out.extend_from_slice(&image_bytes);
     std::fs::write(output, &out)?;
     println!(
-        "{path}: {} -> {} bytes (text ratio {ratio:.3}, artifact {} bytes)",
+        "{path}: {} -> {} bytes (text ratio {:.3}, artifact {} bytes)",
         text.len(),
         codec_bytes.len() + image_bytes.len(),
+        image.ratio(),
         out.len()
     );
     Ok(())
@@ -249,7 +227,7 @@ fn compress(args: &[String]) -> Result<(), Box<dyn Error>> {
 
 /// A parsed `.cce` container.
 struct Container<'a> {
-    kind: CodecKind,
+    algorithm: Algorithm,
     isa: Isa,
     class: Class,
     endianness: Endianness,
@@ -263,7 +241,10 @@ fn parse_container(bytes: &[u8]) -> Result<Container<'_>, Box<dyn Error>> {
     if bytes.len() < 20 || &bytes[0..4] != CONTAINER_MAGIC {
         return Err("not a cce container".into());
     }
-    let kind = CodecKind::from_tag(bytes[4]).ok_or("unknown codec tag")?;
+    let algorithm = Algorithm::from_tag(bytes[4]).ok_or("unknown codec tag")?;
+    if !algorithm.random_access() {
+        return Err("container holds a file-oriented codec tag".into());
+    }
     let isa = match bytes[5] {
         0 => Isa::Mips,
         1 => Isa::X86,
@@ -278,7 +259,7 @@ fn parse_container(bytes: &[u8]) -> Result<Container<'_>, Box<dyn Error>> {
         return Err("container truncated".into());
     }
     let (codec_bytes, image_bytes) = rest.split_at(codec_len);
-    Ok(Container { kind, isa, class, endianness, entry, codec_bytes, image_bytes })
+    Ok(Container { algorithm, isa, class, endianness, entry, codec_bytes, image_bytes })
 }
 
 fn decompress(args: &[String]) -> Result<(), Box<dyn Error>> {
@@ -288,26 +269,13 @@ fn decompress(args: &[String]) -> Result<(), Box<dyn Error>> {
     };
     let output = output.ok_or("missing -o <out.elf>")?;
     let bytes = std::fs::read(path)?;
-    let Container { kind, isa, class, endianness, entry, codec_bytes, image_bytes } =
+    let Container { algorithm, isa, class, endianness, entry, codec_bytes, image_bytes } =
         parse_container(&bytes)?;
 
-    let text = match kind {
-        CodecKind::Samc => {
-            let codec = SamcCodec::from_bytes(codec_bytes)?;
-            let image = SamcImage::from_bytes(image_bytes)?;
-            codec.decompress(&image)?
-        }
-        CodecKind::SadcMips => {
-            let codec = MipsSadc::from_bytes(codec_bytes)?;
-            let image = SadcImage::from_bytes(image_bytes)?;
-            codec.decompress(&image)?
-        }
-        CodecKind::SadcX86 => {
-            let codec = X86Sadc::from_bytes(codec_bytes)?;
-            let image = SadcImage::from_bytes(image_bytes)?;
-            codec.decompress(&image)?
-        }
-    };
+    let image = BlockImage::from_bytes(image_bytes)?;
+    let handle = algorithm.build(isa, image.block_size()).codec_from_bytes(codec_bytes)?;
+    let codec = handle.as_block().expect("container tags are random-access");
+    let text = codec.decompress(&image)?;
 
     let machine = match isa {
         Isa::Mips => Machine::Mips,
@@ -386,44 +354,25 @@ fn info(args: &[String]) -> Result<(), Box<dyn Error>> {
         return Err("usage: cce info <in.cce>".into());
     };
     let bytes = std::fs::read(path)?;
-    let Container { kind, isa, class, endianness, entry, codec_bytes, image_bytes } =
+    let Container { algorithm, isa, class, endianness, entry, codec_bytes, image_bytes } =
         parse_container(&bytes)?;
+    let image = BlockImage::from_bytes(image_bytes)?;
     println!("{path}:");
-    println!("  codec:      {kind:?}");
+    println!("  codec:      {algorithm}");
     println!("  isa:        {isa} ({class:?}, {endianness:?}, entry {entry:#x})");
     println!("  codec size: {} bytes", codec_bytes.len());
-    match kind {
-        CodecKind::Samc => {
-            let image = SamcImage::from_bytes(image_bytes)?;
-            println!(
-                "  text:       {} bytes in {} blocks of {}",
-                image.original_len(),
-                image.block_count(),
-                image.block_size()
-            );
-            println!(
-                "  compressed: {} bytes (ratio {:.3}, LAT {} bytes)",
-                image.compressed_len(),
-                image.ratio(),
-                image.lat_bytes()
-            );
-        }
-        CodecKind::SadcMips | CodecKind::SadcX86 => {
-            let image = SadcImage::from_bytes(image_bytes)?;
-            println!(
-                "  text:       {} bytes in {} blocks",
-                image.original_len(),
-                image.block_count()
-            );
-            println!(
-                "  compressed: {} bytes (ratio {:.3}, dict {} + tables {}, LAT {} bytes)",
-                image.compressed_len(),
-                image.ratio(),
-                image.dict_bytes(),
-                image.table_bytes(),
-                image.lat_bytes()
-            );
-        }
-    }
+    println!(
+        "  text:       {} bytes in {} blocks of {}",
+        image.original_len(),
+        image.block_count(),
+        image.block_size()
+    );
+    println!(
+        "  compressed: {} bytes (ratio {:.3}, model {} bytes, LAT {} bytes)",
+        image.compressed_len(),
+        image.ratio(),
+        image.model_bytes(),
+        image.lat_bytes()
+    );
     Ok(())
 }

@@ -7,14 +7,19 @@
 //! them.  This crate re-exports every subsystem and adds the measurement
 //! harness used by the figure-regeneration binaries:
 //!
-//! * [`Algorithm`] — the five compressors of the paper's evaluation.
+//! * [`Algorithm`] — the five compressors of the paper's evaluation,
+//!   each buildable into a [`codec::BlockCodec`] or [`codec::FileCodec`]
+//!   through the [`registry`].
 //! * [`measure`] — train, compress, **verify the round trip**, and report
-//!   honest sizes (dictionary/model/table overheads included).
+//!   honest sizes (dictionary/model/table overheads included).  One
+//!   generic path serves every algorithm; [`measure_with_workers`] fans
+//!   block compression across a deterministic worker pool.
 //! * [`measure_suite`] — run one algorithm over the whole SPEC95-like
-//!   workload suite.
+//!   workload suite, optionally in parallel via
+//!   [`measure_suite_with_workers`].
 //!
-//! Re-exports: [`samc`], [`sadc`], [`huffman`], [`lz`], [`arith`],
-//! [`bitstream`], [`isa`], [`elf`], [`workload`], [`memsim`].
+//! Re-exports: [`codec`], [`samc`], [`sadc`], [`huffman`], [`lz`],
+//! [`arith`], [`bitstream`], [`isa`], [`elf`], [`workload`], [`memsim`].
 //!
 //! # Examples
 //!
@@ -24,7 +29,7 @@
 //! use cce_core::workload::{generate_mips, Spec95};
 //! use cce_core::isa::mips::encode_text;
 //!
-//! # fn main() -> Result<(), cce_core::MeasureError> {
+//! # fn main() -> Result<(), cce_core::codec::CodecError> {
 //! let profile = Spec95::by_name("compress").expect("known benchmark");
 //! let text = encode_text(&generate_mips(profile, 1.0));
 //!
@@ -38,10 +43,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod registry;
+pub mod report;
 pub mod stats;
 
 pub use cce_arith as arith;
 pub use cce_bitstream as bitstream;
+pub use cce_codec as codec;
 pub use cce_elf as elf;
 pub use cce_huffman as huffman;
 pub use cce_isa as isa;
@@ -51,58 +59,10 @@ pub use cce_sadc as sadc;
 pub use cce_samc as samc;
 pub use cce_workload as workload;
 
-use cce_huffman::block::ByteBlockCodec;
+pub use registry::{Algorithm, CodecBuilder, CodecHandle};
+
+use cce_codec::CodecError;
 use cce_isa::Isa;
-use cce_lz::{Gzip, Lzw};
-use cce_sadc::{MipsSadc, MipsSadcConfig, X86Sadc, X86SadcConfig};
-use cce_samc::{SamcCodec, SamcConfig};
-use std::error::Error;
-use std::fmt;
-
-/// The compression algorithms compared in the paper's evaluation (§5).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum Algorithm {
-    /// UNIX `compress` (LZW) — file-oriented baseline.
-    UnixCompress,
-    /// `gzip` (LZ77 + Huffman) — file-oriented baseline.
-    Gzip,
-    /// Byte-based Huffman with block restart (Kozuch & Wolfe).
-    ByteHuffman,
-    /// SAMC — semiadaptive Markov compression (this paper).
-    Samc,
-    /// SADC — semiadaptive dictionary compression (this paper).
-    Sadc,
-}
-
-impl Algorithm {
-    /// All algorithms, in the figures' legend order.
-    pub const ALL: [Algorithm; 5] = [
-        Algorithm::UnixCompress,
-        Algorithm::Gzip,
-        Algorithm::ByteHuffman,
-        Algorithm::Samc,
-        Algorithm::Sadc,
-    ];
-
-    /// Whether this algorithm supports cache-block random access (the
-    /// property a compressed-code memory system requires).
-    pub fn random_access(self) -> bool {
-        !matches!(self, Algorithm::UnixCompress | Algorithm::Gzip)
-    }
-}
-
-impl fmt::Display for Algorithm {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let name = match self {
-            Algorithm::UnixCompress => "compress",
-            Algorithm::Gzip => "gzip",
-            Algorithm::ByteHuffman => "huffman",
-            Algorithm::Samc => "SAMC",
-            Algorithm::Sadc => "SADC",
-        };
-        write!(f, "{name}")
-    }
-}
 
 /// One verified compression measurement.
 #[derive(Debug, Clone, PartialEq)]
@@ -160,132 +120,60 @@ impl Measurement {
     }
 }
 
-/// Errors from [`measure`].
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum MeasureError {
-    /// The codec could not be trained on this text.
-    Train {
-        /// The failing algorithm.
-        algorithm: &'static str,
-        /// The codec's own message.
-        message: String,
-    },
-    /// Decompression did not reproduce the input — a codec bug, surfaced
-    /// rather than reported as a (meaningless) ratio.
-    RoundTripMismatch {
-        /// The failing algorithm.
-        algorithm: &'static str,
-    },
-}
-
-impl fmt::Display for MeasureError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Self::Train { algorithm, message } => {
-                write!(f, "{algorithm}: training failed: {message}")
-            }
-            Self::RoundTripMismatch { algorithm } => {
-                write!(f, "{algorithm}: decompressed text differs from the original")
-            }
-        }
-    }
-}
-
-impl Error for MeasureError {}
-
-fn train_err(algorithm: &'static str, e: impl fmt::Display) -> MeasureError {
-    MeasureError::Train { algorithm, message: e.to_string() }
-}
-
 /// Compresses `text` with `algorithm`, verifies the round trip, and
 /// returns the verified measurement.
 ///
 /// `block_size` applies to the random-access algorithms (the paper uses
-/// 32 bytes everywhere); the file-oriented baselines ignore it.
+/// 32 bytes everywhere); the file-oriented baselines ignore it.  Block
+/// compression is fanned across [`codec::worker_count`] threads; the
+/// result is byte-identical to the serial path.
 ///
 /// # Errors
 ///
-/// See [`MeasureError`].
+/// Returns [`CodecError::Train`] when the codec cannot be trained on
+/// this text, [`CodecError::Corrupt`] when its own output cannot be
+/// decoded, and [`CodecError::RoundTrip`] when decompression does not
+/// reproduce the input — a codec bug, surfaced rather than reported as
+/// a (meaningless) ratio.
 pub fn measure(
     algorithm: Algorithm,
     isa: Isa,
     text: &[u8],
     block_size: usize,
-) -> Result<Measurement, MeasureError> {
-    let (compressed_len, block_sizes, lat_bytes) = match algorithm {
-        Algorithm::UnixCompress => {
-            let codec = Lzw::new();
-            let compressed = codec.compress(text);
-            let back = codec.decompress(&compressed).map_err(|e| train_err("compress", e))?;
-            if back != text {
-                return Err(MeasureError::RoundTripMismatch { algorithm: "compress" });
-            }
-            (compressed.len(), None, None)
-        }
-        Algorithm::Gzip => {
-            let codec = Gzip::new();
-            let compressed = codec.compress(text);
-            let back = codec.decompress(&compressed).map_err(|e| train_err("gzip", e))?;
-            if back != text {
-                return Err(MeasureError::RoundTripMismatch { algorithm: "gzip" });
-            }
-            (compressed.len(), None, None)
-        }
-        Algorithm::ByteHuffman => {
-            let codec = ByteBlockCodec::train(text).map_err(|e| train_err("huffman", e))?;
-            let image = codec.compress(text, block_size);
-            let back = codec.decompress(&image).map_err(|e| train_err("huffman", e))?;
-            if back != text {
-                return Err(MeasureError::RoundTripMismatch { algorithm: "huffman" });
-            }
-            let sizes: Vec<usize> =
-                (0..image.block_count()).map(|i| image.block(i).len()).collect();
-            let lat = cce_memsim::LineAddressTable::from_block_sizes(sizes.iter().copied());
-            (image.compressed_len(), Some(sizes), Some(lat.table_bytes()))
-        }
-        Algorithm::Samc => {
-            let config = match isa {
-                Isa::Mips => SamcConfig::mips(),
-                Isa::X86 => SamcConfig::x86(),
-            }
-            .with_block_size(block_size);
-            let codec = SamcCodec::train(text, config).map_err(|e| train_err("SAMC", e))?;
-            let image = codec.compress(text);
-            let back = codec.decompress(&image).map_err(|e| train_err("SAMC", e))?;
-            if back != text {
-                return Err(MeasureError::RoundTripMismatch { algorithm: "SAMC" });
-            }
-            let sizes: Vec<usize> =
-                (0..image.block_count()).map(|i| image.block(i).len()).collect();
-            (image.compressed_len(), Some(sizes), Some(image.lat_bytes()))
-        }
-        Algorithm::Sadc => match isa {
-            Isa::Mips => {
-                let config = MipsSadcConfig { block_size, ..Default::default() };
-                let codec = MipsSadc::train(text, config).map_err(|e| train_err("SADC", e))?;
-                let image = codec.compress(text);
-                let back = codec.decompress(&image).map_err(|e| train_err("SADC", e))?;
-                if back != text {
-                    return Err(MeasureError::RoundTripMismatch { algorithm: "SADC" });
+) -> Result<Measurement, CodecError> {
+    measure_with_workers(algorithm, isa, text, block_size, cce_codec::worker_count())
+}
+
+/// [`measure`] with an explicit worker count (1 = fully serial).
+///
+/// # Errors
+///
+/// As [`measure`].
+pub fn measure_with_workers(
+    algorithm: Algorithm,
+    isa: Isa,
+    text: &[u8],
+    block_size: usize,
+    workers: usize,
+) -> Result<Measurement, CodecError> {
+    let (compressed_len, block_sizes, lat_bytes) =
+        match algorithm.build(isa, block_size).train(text)? {
+            CodecHandle::File(codec) => {
+                let compressed = codec.compress(text);
+                if codec.decompress(&compressed)? != text {
+                    return Err(CodecError::round_trip(codec.name()));
                 }
-                let sizes: Vec<usize> =
-                    (0..image.block_count()).map(|i| image.block(i).len()).collect();
+                (compressed.len(), None, None)
+            }
+            CodecHandle::Block(codec) => {
+                let image = cce_codec::compress_parallel(codec.as_ref(), text, workers)?;
+                if codec.decompress(&image)? != text {
+                    return Err(CodecError::round_trip(codec.name()));
+                }
+                let sizes: Vec<usize> = image.block_sizes().collect();
                 (image.compressed_len(), Some(sizes), Some(image.lat_bytes()))
             }
-            Isa::X86 => {
-                let config = X86SadcConfig { block_size, ..Default::default() };
-                let codec = X86Sadc::train(text, config).map_err(|e| train_err("SADC", e))?;
-                let image = codec.compress(text);
-                let back = codec.decompress(&image).map_err(|e| train_err("SADC", e))?;
-                if back != text {
-                    return Err(MeasureError::RoundTripMismatch { algorithm: "SADC" });
-                }
-                let sizes: Vec<usize> =
-                    (0..image.block_count()).map(|i| image.block(i).len()).collect();
-                (image.compressed_len(), Some(sizes), Some(image.lat_bytes()))
-            }
-        },
-    };
+        };
     Ok(Measurement {
         algorithm,
         isa,
@@ -308,24 +196,46 @@ pub struct SuiteMeasurement {
 /// Runs `algorithm` over the whole SPEC95-like suite for `isa`.
 ///
 /// `scale` is forwarded to the workload generator (1.0 reproduces the
-/// figures; smaller values are handy in tests).
+/// figures; smaller values are handy in tests).  Benchmarks are measured
+/// across [`codec::worker_count`] threads with a deterministic merge, so
+/// results are identical to a serial run.
 ///
 /// # Errors
 ///
-/// Fails on the first benchmark whose measurement fails.
+/// Fails on the first benchmark (in suite order) whose measurement
+/// fails.
 pub fn measure_suite(
     algorithm: Algorithm,
     isa: Isa,
     scale: f64,
     block_size: usize,
-) -> Result<Vec<SuiteMeasurement>, MeasureError> {
-    cce_workload::spec95_suite(isa, scale)
-        .into_iter()
-        .map(|program| {
-            measure(algorithm, isa, &program.text, block_size)
-                .map(|measurement| SuiteMeasurement { benchmark: program.name, measurement })
-        })
-        .collect()
+) -> Result<Vec<SuiteMeasurement>, CodecError> {
+    measure_suite_with_workers(algorithm, isa, scale, block_size, cce_codec::worker_count())
+}
+
+/// [`measure_suite`] with an explicit worker count (1 = fully serial).
+///
+/// The pool parallelises across benchmarks; each benchmark's block
+/// compression runs serially inside its worker to avoid oversubscribing
+/// the machine.
+///
+/// # Errors
+///
+/// As [`measure_suite`].
+pub fn measure_suite_with_workers(
+    algorithm: Algorithm,
+    isa: Isa,
+    scale: f64,
+    block_size: usize,
+    workers: usize,
+) -> Result<Vec<SuiteMeasurement>, CodecError> {
+    let programs = cce_workload::spec95_suite(isa, scale);
+    cce_codec::parallel_map(workers, &programs, |_, program| {
+        measure_with_workers(algorithm, isa, &program.text, block_size, 1)
+            .map(|measurement| SuiteMeasurement { benchmark: program.name, measurement })
+    })
+    .into_iter()
+    .collect()
 }
 
 #[cfg(test)]
@@ -388,7 +298,7 @@ mod tests {
         for algorithm in [Algorithm::ByteHuffman, Algorithm::Samc, Algorithm::Sadc] {
             assert!(matches!(
                 measure(algorithm, Isa::Mips, &[], 32),
-                Err(MeasureError::Train { .. })
+                Err(CodecError::Train { .. })
             ));
         }
     }
@@ -398,6 +308,19 @@ mod tests {
         let results = measure_suite(Algorithm::ByteHuffman, Isa::Mips, 0.02, 32).unwrap();
         assert_eq!(results.len(), 18);
         assert_eq!(results[0].benchmark, "applu");
+    }
+
+    #[test]
+    fn worker_counts_agree_byte_for_byte() {
+        let text = mips_text();
+        for algorithm in [Algorithm::ByteHuffman, Algorithm::Samc, Algorithm::Sadc] {
+            let serial = measure_with_workers(algorithm, Isa::Mips, &text, 32, 1).unwrap();
+            for workers in [2, 8] {
+                let parallel =
+                    measure_with_workers(algorithm, Isa::Mips, &text, 32, workers).unwrap();
+                assert_eq!(serial, parallel, "{algorithm} with {workers} workers");
+            }
+        }
     }
 
     #[test]
@@ -420,13 +343,15 @@ mod trait_assertions {
     fn public_types_are_send_and_sync() {
         assert_send_sync::<Algorithm>();
         assert_send_sync::<Measurement>();
-        assert_send_sync::<MeasureError>();
+        assert_send_sync::<CodecBuilder>();
+        assert_send_sync::<CodecHandle>();
+        assert_send_sync::<Box<dyn cce_codec::BlockCodec>>();
+        assert_send_sync::<Box<dyn cce_codec::FileCodec>>();
+        assert_send_sync::<cce_codec::BlockImage>();
         assert_send_sync::<cce_samc::SamcCodec>();
-        assert_send_sync::<cce_samc::SamcImage>();
         assert_send_sync::<cce_samc::SamcConfig>();
         assert_send_sync::<cce_sadc::MipsSadc>();
         assert_send_sync::<cce_sadc::X86Sadc>();
-        assert_send_sync::<cce_sadc::SadcImage>();
         assert_send_sync::<cce_huffman::CodeBook>();
         assert_send_sync::<cce_huffman::DecodeTable>();
         assert_send_sync::<cce_huffman::block::ByteBlockCodec>();
@@ -443,14 +368,7 @@ mod trait_assertions {
     #[test]
     fn error_types_implement_error_send_sync() {
         fn assert_error<T: std::error::Error + Send + Sync + 'static>() {}
-        assert_error::<MeasureError>();
-        assert_error::<cce_samc::TrainCodecError>();
-        assert_error::<cce_samc::DecompressBlockError>();
-        assert_error::<cce_samc::ReadFormatError>();
-        assert_error::<cce_sadc::TrainSadcError>();
-        assert_error::<cce_sadc::TrainX86SadcError>();
-        assert_error::<cce_sadc::DecompressSadcError>();
-        assert_error::<cce_sadc::ReadSadcError>();
+        assert_error::<cce_codec::CodecError>();
         assert_error::<cce_huffman::BuildCodeBookError>();
         assert_error::<cce_huffman::DecodeSymbolError>();
         assert_error::<cce_lz::LzwDecodeError>();

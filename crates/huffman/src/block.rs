@@ -11,12 +11,13 @@
 //! # Examples
 //!
 //! ```
+//! use cce_codec::BlockCodec;
 //! use cce_huffman::block::ByteBlockCodec;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let program: Vec<u8> = (0..4096).map(|i| (i % 7) as u8).collect();
-//! let codec = ByteBlockCodec::train(&program)?;
-//! let image = codec.compress(&program, 32);
+//! let codec = ByteBlockCodec::train(&program, 32)?;
+//! let image = codec.compress(&program);
 //! assert!(image.compressed_len() < program.len());
 //!
 //! let block1 = codec.decompress_block(image.block(1), 32)?;
@@ -25,57 +26,20 @@
 //! # }
 //! ```
 
-use crate::codebook::{BuildCodeBookError, CodeBook, DecodeSymbolError};
-use cce_bitstream::{BitReader, BitWriter};
+use crate::codebook::CodeBook;
+use cce_bitstream::{BitReader, BitWriter, ByteCursor};
+use cce_codec::{BlockCodec, BlockImage, CodecError};
 
 /// Longest codeword the byte codec will assign; 16 bits keeps the hardware
 /// table decoder's shift register small.
 const MAX_CODE_LEN: u8 = 16;
 
-/// A program compressed block-by-block with one shared byte code.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct BlockImage {
-    blocks: Vec<Vec<u8>>,
-    block_size: usize,
-    original_len: usize,
-    table_bytes: usize,
-}
-
-impl BlockImage {
-    /// The compressed bytes of block `index`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `index` is out of range.
-    pub fn block(&self, index: usize) -> &[u8] {
-        &self.blocks[index]
-    }
-
-    /// Number of cache blocks in the image.
-    pub fn block_count(&self) -> usize {
-        self.blocks.len()
-    }
-
-    /// Uncompressed block size in bytes this image was built with.
-    pub fn block_size(&self) -> usize {
-        self.block_size
-    }
-
-    /// Original program length in bytes.
-    pub fn original_len(&self) -> usize {
-        self.original_len
-    }
-
-    /// Total compressed size: all blocks plus the serialized code table.
-    pub fn compressed_len(&self) -> usize {
-        self.blocks.iter().map(Vec::len).sum::<usize>() + self.table_bytes
-    }
-
-    /// Compression ratio (compressed / original); lower is better.
-    pub fn ratio(&self) -> f64 {
-        self.compressed_len() as f64 / self.original_len as f64
-    }
-}
+/// Magic number opening a serialized [`ByteBlockCodec`].
+const MAGIC: &[u8; 4] = b"CHUF";
+/// Serialization format version.
+const VERSION: u16 = 1;
+/// Bits per serialized code length (codewords are at most 16 bits).
+const LEN_BITS: u32 = 5;
 
 /// Program-wide byte Huffman codec with block restart.
 #[derive(Debug, Clone)]
@@ -83,23 +47,30 @@ pub struct ByteBlockCodec {
     book: CodeBook,
     /// One-load decode acceleration (derived from `book`).
     table: crate::DecodeTable,
+    block_size: usize,
 }
 
 impl ByteBlockCodec {
     /// Gathers byte statistics over the whole program (the semiadaptive
-    /// pass) and builds the shared code table.
+    /// pass) and builds the shared code table for `block_size`-byte
+    /// cache blocks.
     ///
     /// # Errors
     ///
-    /// Returns [`BuildCodeBookError::NoSymbols`] for an empty program.
-    pub fn train(program: &[u8]) -> Result<Self, BuildCodeBookError> {
+    /// Returns [`CodecError::Train`] for an empty program or a zero block
+    /// size.
+    pub fn train(program: &[u8], block_size: usize) -> Result<Self, CodecError> {
+        if block_size == 0 {
+            return Err(CodecError::train("huffman", "block size must be positive"));
+        }
         let mut freqs = [0u64; 256];
         for &b in program {
             freqs[usize::from(b)] += 1;
         }
-        let book = CodeBook::from_frequencies(&freqs, MAX_CODE_LEN)?;
+        let book = CodeBook::from_frequencies(&freqs, MAX_CODE_LEN)
+            .map_err(|e| CodecError::from(e).named("huffman"))?;
         let table = book.decode_table();
-        Ok(Self { book, table })
+        Ok(Self { book, table, block_size })
     }
 
     /// The underlying code book.
@@ -109,67 +80,120 @@ impl ByteBlockCodec {
 
     /// Size of the serialized code table: 256 lengths at 5 bits, rounded up.
     pub fn table_bytes(&self) -> usize {
-        (256usize * 5).div_ceil(8)
+        (256usize * LEN_BITS as usize).div_ceil(8)
     }
 
-    /// Compresses `program` into independently decodable blocks of
-    /// `block_size` uncompressed bytes (the last block may be short).
+    /// Compresses `program` into independently decodable blocks.
+    ///
+    /// Convenience wrapper over [`BlockCodec::compress`] for programs known
+    /// to be encodable with this codec's table.
     ///
     /// # Panics
     ///
-    /// Panics if `block_size == 0`, or if `program` contains a byte that was
-    /// absent from the training program.
-    pub fn compress(&self, program: &[u8], block_size: usize) -> BlockImage {
-        assert!(block_size > 0, "block size must be positive");
-        let blocks = program
-            .chunks(block_size)
-            .map(|chunk| {
-                let mut w = BitWriter::new();
-                for &b in chunk {
-                    self.book.encode(&mut w, u16::from(b));
-                }
-                w.align_to_byte();
-                w.into_bytes()
-            })
-            .collect();
-        BlockImage {
-            blocks,
-            block_size,
-            original_len: program.len(),
-            table_bytes: self.table_bytes(),
-        }
+    /// Panics if `program` contains a byte absent from the training
+    /// program; use [`BlockCodec::compress`] to handle that case.
+    pub fn compress(&self, program: &[u8]) -> BlockImage {
+        BlockCodec::compress(self, program).expect("program must match the trained byte alphabet")
     }
 
-    /// Decompresses one block of `out_len` uncompressed bytes.
+    /// Serializes the codec: magic, version, block size, then the 256
+    /// canonical code lengths at 5 bits each.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&VERSION.to_be_bytes());
+        out.extend_from_slice(&(self.block_size as u32).to_be_bytes());
+        let mut w = BitWriter::new();
+        for symbol in 0..=255u16 {
+            w.write_bits(u32::from(self.book.length(symbol)), LEN_BITS);
+        }
+        w.align_to_byte();
+        out.extend_from_slice(w.as_bytes());
+        out
+    }
+
+    /// Reads a codec previously written by [`to_bytes`](Self::to_bytes).
     ///
     /// # Errors
     ///
-    /// Returns [`DecodeSymbolError`] if the block is truncated or does not
-    /// match the code table.
-    pub fn decompress_block(
-        &self,
-        bytes: &[u8],
-        out_len: usize,
-    ) -> Result<Vec<u8>, DecodeSymbolError> {
-        let mut r = BitReader::new(bytes);
-        let mut out = Vec::with_capacity(out_len);
-        for _ in 0..out_len {
-            out.push(self.table.decode(&mut r)? as u8);
+    /// Returns [`CodecError::Corrupt`] on bad magic, truncation, or code
+    /// lengths that do not form a valid prefix code.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CodecError> {
+        let named = |e: CodecError| e.named("huffman");
+        let mut cursor = ByteCursor::new(bytes);
+        let magic = cursor.read_bytes(4).map_err(|e| named(e.into()))?;
+        if magic != MAGIC {
+            return Err(CodecError::corrupt("huffman", "bad magic number"));
         }
-        Ok(out)
+        let version = cursor.read_u16_be().map_err(|e| named(e.into()))?;
+        if version != VERSION {
+            return Err(CodecError::corrupt("huffman", format!("unsupported version {version}")));
+        }
+        let block_size = cursor.read_u32_be().map_err(|e| named(e.into()))? as usize;
+        if block_size == 0 {
+            return Err(CodecError::corrupt("huffman", "zero block size"));
+        }
+        let mut r = BitReader::new(cursor.read_bytes(cursor.remaining()).expect("length checked"));
+        let mut lengths = Vec::with_capacity(256);
+        for _ in 0..256 {
+            let len = r.read_bits(LEN_BITS).map_err(|e| named(CodecError::from(e)))?;
+            lengths.push(len as u8);
+        }
+        let book = CodeBook::from_lengths(lengths)
+            .map_err(|_| CodecError::corrupt("huffman", "invalid code lengths"))?;
+        let table = book.decode_table();
+        Ok(Self { book, table, block_size })
     }
 
     /// Decompresses a whole [`BlockImage`] back into the original program.
     ///
     /// # Errors
     ///
-    /// Returns [`DecodeSymbolError`] on any corrupt block.
-    pub fn decompress(&self, image: &BlockImage) -> Result<Vec<u8>, DecodeSymbolError> {
-        let mut out = Vec::with_capacity(image.original_len);
-        for (i, block) in image.blocks.iter().enumerate() {
-            let remaining = image.original_len - i * image.block_size;
-            let len = remaining.min(image.block_size);
-            out.extend(self.decompress_block(block, len)?);
+    /// Returns [`CodecError::Corrupt`] on any corrupt block.
+    pub fn decompress(&self, image: &BlockImage) -> Result<Vec<u8>, CodecError> {
+        BlockCodec::decompress(self, image)
+    }
+}
+
+impl BlockCodec for ByteBlockCodec {
+    fn name(&self) -> &'static str {
+        "huffman"
+    }
+
+    fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    fn model_bytes(&self) -> usize {
+        self.table_bytes()
+    }
+
+    fn to_bytes(&self) -> Vec<u8> {
+        Self::to_bytes(self)
+    }
+
+    fn compress_chunk(&self, chunk: &[u8]) -> Result<Vec<u8>, CodecError> {
+        let mut w = BitWriter::new();
+        for &b in chunk {
+            if self.book.length(u16::from(b)) == 0 {
+                return Err(CodecError::train(
+                    "huffman",
+                    format!("byte {b:#04x} was absent from the training program"),
+                ));
+            }
+            self.book.encode(&mut w, u16::from(b));
+        }
+        w.align_to_byte();
+        Ok(w.into_bytes())
+    }
+
+    fn decompress_block(&self, block: &[u8], out_len: usize) -> Result<Vec<u8>, CodecError> {
+        let mut r = BitReader::new(block);
+        let mut out = Vec::with_capacity(out_len);
+        for _ in 0..out_len {
+            let symbol =
+                self.table.decode(&mut r).map_err(|e| CodecError::from(e).named("huffman"))?;
+            out.push(symbol as u8);
         }
         Ok(out)
     }
@@ -193,16 +217,16 @@ mod tests {
     #[test]
     fn whole_program_round_trips() {
         let program = sample_program(1000);
-        let codec = ByteBlockCodec::train(&program).unwrap();
-        let image = codec.compress(&program, 32);
+        let codec = ByteBlockCodec::train(&program, 32).unwrap();
+        let image = codec.compress(&program);
         assert_eq!(codec.decompress(&image).unwrap(), program);
     }
 
     #[test]
     fn every_block_is_independently_decodable() {
         let program = sample_program(512);
-        let codec = ByteBlockCodec::train(&program).unwrap();
-        let image = codec.compress(&program, 32);
+        let codec = ByteBlockCodec::train(&program, 32).unwrap();
+        let image = codec.compress(&program);
         for (i, chunk) in program.chunks(32).enumerate() {
             let decoded = codec.decompress_block(image.block(i), chunk.len()).unwrap();
             assert_eq!(decoded, chunk, "block {i}");
@@ -212,8 +236,8 @@ mod tests {
     #[test]
     fn short_final_block_is_handled() {
         let program = sample_program(100); // 3 full blocks + 4 bytes
-        let codec = ByteBlockCodec::train(&program).unwrap();
-        let image = codec.compress(&program, 32);
+        let codec = ByteBlockCodec::train(&program, 32).unwrap();
+        let image = codec.compress(&program);
         assert_eq!(image.block_count(), 4);
         assert_eq!(codec.decompress(&image).unwrap(), program);
     }
@@ -221,8 +245,8 @@ mod tests {
     #[test]
     fn skewed_source_compresses_below_unity() {
         let program = sample_program(8192);
-        let codec = ByteBlockCodec::train(&program).unwrap();
-        let image = codec.compress(&program, 32);
+        let codec = ByteBlockCodec::train(&program, 32).unwrap();
+        let image = codec.compress(&program);
         assert!(image.ratio() < 1.0, "ratio {}", image.ratio());
         assert_eq!(image.original_len(), 8192);
     }
@@ -231,23 +255,68 @@ mod tests {
     fn uniform_random_source_does_not_compress() {
         // A source using all 256 bytes uniformly: ratio ≈ 1 + table overhead.
         let program: Vec<u8> = (0..4096).map(|i| (i * 167 % 256) as u8).collect();
-        let codec = ByteBlockCodec::train(&program).unwrap();
-        let image = codec.compress(&program, 32);
+        let codec = ByteBlockCodec::train(&program, 32).unwrap();
+        let image = codec.compress(&program);
         assert!(image.ratio() > 0.95);
     }
 
     #[test]
     fn empty_program_is_an_error() {
-        assert!(ByteBlockCodec::train(&[]).is_err());
+        assert!(matches!(
+            ByteBlockCodec::train(&[], 32),
+            Err(CodecError::Train { codec: "huffman", .. })
+        ));
+        assert!(ByteBlockCodec::train(b"abc", 0).is_err());
     }
 
     #[test]
     fn block_size_accounting() {
         let program = sample_program(256);
-        let codec = ByteBlockCodec::train(&program).unwrap();
-        let image = codec.compress(&program, 64);
+        let codec = ByteBlockCodec::train(&program, 64).unwrap();
+        let image = codec.compress(&program);
         assert_eq!(image.block_size(), 64);
         let block_total: usize = (0..image.block_count()).map(|i| image.block(i).len()).sum();
         assert_eq!(image.compressed_len(), block_total + codec.table_bytes());
+    }
+
+    #[test]
+    fn untrained_byte_is_a_train_error_not_a_panic() {
+        let codec = ByteBlockCodec::train(b"aaaabbbb", 4).unwrap();
+        let err = BlockCodec::compress(&codec, b"aaaz").unwrap_err();
+        assert!(matches!(err, CodecError::Train { codec: "huffman", .. }));
+    }
+
+    #[test]
+    fn serialization_round_trips() {
+        let program = sample_program(600);
+        let codec = ByteBlockCodec::train(&program, 32).unwrap();
+        let bytes = ByteBlockCodec::to_bytes(&codec);
+        assert_eq!(bytes.len(), 4 + 2 + 4 + codec.table_bytes());
+        let restored = ByteBlockCodec::from_bytes(&bytes).unwrap();
+        assert_eq!(restored.block_size(), 32);
+        assert_eq!(restored.code_book().lengths(), codec.code_book().lengths());
+        assert_eq!(restored.compress(&program), codec.compress(&program));
+    }
+
+    #[test]
+    fn corrupt_serialization_fails_cleanly() {
+        let program = sample_program(600);
+        let codec = ByteBlockCodec::train(&program, 32).unwrap();
+        let bytes = ByteBlockCodec::to_bytes(&codec);
+        for len in 0..bytes.len() {
+            assert!(ByteBlockCodec::from_bytes(&bytes[..len]).is_err(), "prefix {len}");
+        }
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(ByteBlockCodec::from_bytes(&bad).is_err());
+        // All-zero lengths: structurally readable but not a valid code.
+        let mut zeros = bytes.clone();
+        for b in &mut zeros[10..] {
+            *b = 0;
+        }
+        assert!(matches!(
+            ByteBlockCodec::from_bytes(&zeros),
+            Err(CodecError::Corrupt { codec: "huffman", .. })
+        ));
     }
 }

@@ -67,6 +67,18 @@ impl From<EndOfStreamError> for DecodeSymbolError {
     }
 }
 
+impl From<BuildCodeBookError> for cce_codec::CodecError {
+    fn from(e: BuildCodeBookError) -> Self {
+        Self::train("huffman", e)
+    }
+}
+
+impl From<DecodeSymbolError> for cce_codec::CodecError {
+    fn from(e: DecodeSymbolError) -> Self {
+        Self::corrupt("huffman", e)
+    }
+}
+
 /// A canonical, length-limited Huffman code over symbols `0..n`.
 ///
 /// Construction uses package-merge, which yields *optimal* expected length

@@ -329,6 +329,20 @@ fn tokenize(data: &[u8]) -> Vec<Token> {
     tokens
 }
 
+impl cce_codec::FileCodec for Gzip {
+    fn name(&self) -> &'static str {
+        "gzip"
+    }
+
+    fn compress(&self, data: &[u8]) -> Vec<u8> {
+        Self::compress(self, data)
+    }
+
+    fn decompress(&self, data: &[u8]) -> Result<Vec<u8>, cce_codec::CodecError> {
+        Self::decompress(self, data).map_err(|e| cce_codec::CodecError::corrupt("gzip", e))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

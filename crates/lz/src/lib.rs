@@ -16,7 +16,9 @@
 //!   with megabytes of model memory, both of which it makes measurable.
 //!
 //! Both are real, reversible codecs (decoders included), so the byte counts
-//! entering the figures are honest.
+//! entering the figures are honest.  [`Lzw`] and [`Gzip`] implement
+//! [`cce_codec::FileCodec`], the workspace trait for whole-file baselines
+//! that cannot offer per-block random access.
 //!
 //! # Examples
 //!

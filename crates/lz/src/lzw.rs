@@ -196,6 +196,20 @@ impl Lzw {
     }
 }
 
+impl cce_codec::FileCodec for Lzw {
+    fn name(&self) -> &'static str {
+        "compress"
+    }
+
+    fn compress(&self, data: &[u8]) -> Vec<u8> {
+        Self::compress(self, data)
+    }
+
+    fn decompress(&self, data: &[u8]) -> Result<Vec<u8>, cce_codec::CodecError> {
+        Self::decompress(self, data).map_err(|e| cce_codec::CodecError::corrupt("compress", e))
+    }
+}
+
 /// First byte of the string a code expands to.
 fn first_byte(entries: &[(u32, u8)], mut code: u32) -> Result<u8, LzwDecodeError> {
     loop {

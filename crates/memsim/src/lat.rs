@@ -28,6 +28,11 @@ impl LineAddressTable {
         Self::padded(sizes, 1)
     }
 
+    /// Builds the table straight from a compressed image's block sizes.
+    pub fn from_image(image: &cce_codec::BlockImage) -> Self {
+        Self::from_block_sizes(image.block_sizes())
+    }
+
     /// Builds the table with every block padded to a multiple of `pad`
     /// bytes, so entries can omit their low `log2(pad)` bits.
     ///

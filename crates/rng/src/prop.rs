@@ -402,7 +402,7 @@ pub mod collection {
         VecStrategy { element, size: size.into() }
     }
 
-    /// Strategy returned by [`vec`].
+    /// Strategy returned by [`vec()`].
     #[derive(Clone, Copy, Debug)]
     pub struct VecStrategy<S> {
         element: S,

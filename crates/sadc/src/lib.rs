@@ -21,7 +21,9 @@
 //!   is needed — the property the paper points out for Pentium.
 //!
 //! Both codecs ship real decompressors; every compressed size reported
-//! includes the dictionary and the Huffman tables.
+//! includes the dictionary and the Huffman tables.  Compression produces a
+//! generic [`cce_codec::BlockImage`], and both codecs implement
+//! [`cce_codec::BlockCodec`], the workspace-wide codec trait.
 //!
 //! # Examples
 //!
@@ -50,16 +52,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod image;
 mod mips;
 mod serialize;
 mod tokens;
 mod x86;
 
-pub use image::SadcImage;
-pub use mips::{
-    DecompressSadcError, MipsSadc, MipsSadcConfig, Template, TemplateItem, TrainSadcError,
-};
-pub use serialize::ReadSadcError;
+pub use mips::{MipsSadc, MipsSadcConfig, Template, TemplateItem};
 pub use tokens::TokenStats;
-pub use x86::{TrainX86SadcError, X86Sadc, X86SadcConfig};
+pub use x86::{X86Sadc, X86SadcConfig};

@@ -1,13 +1,24 @@
 //! SADC for MIPS: dictionary over operations, registers and immediates.
 
-use crate::image::SadcImage;
 use crate::tokens::{replace_in_blocks, TokenStats};
 use cce_bitstream::{BitReader, BitWriter};
-use cce_huffman::{CodeBook, DecodeSymbolError};
-use cce_isa::mips::{decode_text, DecodeInstructionError, ImmKind, Instruction, Operation};
+use cce_codec::{BlockCodec, BlockImage, CodecError};
+use cce_huffman::CodeBook;
+use cce_isa::mips::{decode_text, ImmKind, Instruction, Operation};
 use std::collections::BTreeMap;
-use std::error::Error;
-use std::fmt;
+
+/// Display name used in errors and tables.
+const NAME: &str = "SADC";
+
+/// The error every corrupt-block path reports.
+pub(crate) fn corrupt_block() -> CodecError {
+    CodecError::corrupt(NAME, "block structure does not match the dictionary")
+}
+
+/// Maps a Huffman decode failure to a SADC-branded error.
+pub(crate) fn code_error(e: cce_huffman::DecodeSymbolError) -> CodecError {
+    CodecError::from(e).named(NAME)
+}
 
 /// One instruction slot of a dictionary [`Template`].
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -106,75 +117,6 @@ impl Default for MipsSadcConfig {
     }
 }
 
-/// Errors from [`MipsSadc::train`].
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum TrainSadcError {
-    /// The text was empty.
-    EmptyText,
-    /// The text was not valid MIPS-I machine code.
-    BadInstruction(DecodeInstructionError),
-    /// `block_size` was not a positive multiple of 4.
-    BadBlockSize {
-        /// The offending block size.
-        block_size: usize,
-    },
-    /// `max_tokens` was not in `Operation::COUNT+1 ..= 256`.
-    BadTokenLimit {
-        /// The offending limit.
-        max_tokens: usize,
-    },
-}
-
-impl fmt::Display for TrainSadcError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Self::EmptyText => write!(f, "cannot train on an empty text section"),
-            Self::BadInstruction(e) => write!(f, "{e}"),
-            Self::BadBlockSize { block_size } => {
-                write!(f, "block size {block_size} is not a positive multiple of 4")
-            }
-            Self::BadTokenLimit { max_tokens } => {
-                write!(f, "token limit {max_tokens} outside (base count, 256]")
-            }
-        }
-    }
-}
-
-impl Error for TrainSadcError {}
-
-impl From<DecodeInstructionError> for TrainSadcError {
-    fn from(e: DecodeInstructionError) -> Self {
-        Self::BadInstruction(e)
-    }
-}
-
-/// Errors from SADC decompression.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum DecompressSadcError {
-    /// A Huffman stream was truncated or invalid.
-    Code(DecodeSymbolError),
-    /// Token expansion did not line up with the block's instruction count,
-    /// or a needed stream was absent.
-    CorruptBlock,
-}
-
-impl fmt::Display for DecompressSadcError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Self::Code(e) => write!(f, "{e}"),
-            Self::CorruptBlock => write!(f, "block structure does not match the dictionary"),
-        }
-    }
-}
-
-impl Error for DecompressSadcError {}
-
-impl From<DecodeSymbolError> for DecompressSadcError {
-    fn from(e: DecodeSymbolError) -> Self {
-        Self::Code(e)
-    }
-}
-
 /// The best candidate found in one build cycle.
 ///
 /// Also recorded in insertion order as the parse program: compressing any
@@ -207,18 +149,26 @@ impl MipsSadc {
     ///
     /// # Errors
     ///
-    /// See [`TrainSadcError`].
-    pub fn train(text: &[u8], config: MipsSadcConfig) -> Result<Self, TrainSadcError> {
+    /// Returns [`CodecError::Train`] for empty or undecodable text, a
+    /// block size that is not a positive multiple of 4, or a token limit
+    /// outside `(Operation::COUNT, 256]`.
+    pub fn train(text: &[u8], config: MipsSadcConfig) -> Result<Self, CodecError> {
         if text.is_empty() {
-            return Err(TrainSadcError::EmptyText);
+            return Err(CodecError::train(NAME, "cannot train on an empty text section"));
         }
         if config.block_size == 0 || !config.block_size.is_multiple_of(4) {
-            return Err(TrainSadcError::BadBlockSize { block_size: config.block_size });
+            return Err(CodecError::train(
+                NAME,
+                format!("block size {} is not a positive multiple of 4", config.block_size),
+            ));
         }
         if config.max_tokens <= Operation::COUNT || config.max_tokens > 256 {
-            return Err(TrainSadcError::BadTokenLimit { max_tokens: config.max_tokens });
+            return Err(CodecError::train(
+                NAME,
+                format!("token limit {} outside (base count, 256]", config.max_tokens),
+            ));
         }
-        let instructions = decode_text(text)?;
+        let instructions = decode_text(text).map_err(|e| CodecError::train(NAME, e))?;
         let insns_per_block = config.block_size / 4;
         let insn_blocks: Vec<&[Instruction]> = instructions.chunks(insns_per_block).collect();
 
@@ -431,26 +381,15 @@ impl MipsSadc {
     /// Compresses `text` (must be the training text or statistically
     /// identical — symbols absent at train time cannot be coded).
     ///
+    /// Convenience wrapper over [`BlockCodec::compress`].
+    ///
     /// # Panics
     ///
     /// Panics if `text` is not valid MIPS code or contains symbols that
-    /// never occurred during training.
-    pub fn compress(&self, text: &[u8]) -> SadcImage {
-        let instructions = decode_text(text).expect("compress requires decodable text");
-        let insns_per_block = self.config.block_size / 4;
-        let mut blocks = Vec::new();
-        let mut block_uncompressed = Vec::new();
-        for block in instructions.chunks(insns_per_block) {
-            blocks.push(self.compress_block(block));
-            block_uncompressed.push(block.len() * 4);
-        }
-        SadcImage {
-            blocks,
-            block_uncompressed,
-            original_len: text.len(),
-            dict_bytes: self.dict_bytes(),
-            table_bytes: self.table_bytes(),
-        }
+    /// never occurred during training; use [`BlockCodec::compress`] to
+    /// handle those cases.
+    pub fn compress(&self, text: &[u8]) -> BlockImage {
+        BlockCodec::compress(self, text).expect("compress requires decodable, trained text")
     }
 
     /// Parses one block by replaying the dictionary's build rules over the
@@ -492,12 +431,24 @@ impl MipsSadc {
         tokens
     }
 
-    fn compress_block(&self, block: &[Instruction]) -> Vec<u8> {
+    fn compress_block(&self, block: &[Instruction]) -> Result<Vec<u8>, CodecError> {
+        let untrained =
+            |stream: &str| CodecError::train(NAME, format!("the {stream} stream is untrained"));
+        let encode = |w: &mut BitWriter, book: &CodeBook, sym: u16, stream: &str| {
+            if book.length(sym) == 0 {
+                return Err(CodecError::train(
+                    NAME,
+                    format!("{stream} symbol {sym:#x} was absent from the training program"),
+                ));
+            }
+            book.encode(w, sym);
+            Ok(())
+        };
         let tokens = self.parse_block(block);
         let mut w = BitWriter::new();
         // Opcode stream.
         for &t in &tokens {
-            self.op_book.encode(&mut w, t as u16);
+            encode(&mut w, &self.op_book, t as u16, "opcode")?;
         }
         // Register stream.
         let mut cursor = 0usize;
@@ -508,63 +459,62 @@ impl MipsSadc {
                 let insn = block[cursor];
                 cursor += 1;
                 if item.stream_regs() > 0 {
-                    let book = self.reg_book.as_ref().expect("register stream trained");
+                    let book = self.reg_book.as_ref().ok_or_else(|| untrained("register"))?;
                     for b in insn.register_fields() {
-                        book.encode(&mut w, u16::from(b));
+                        encode(&mut w, book, u16::from(b), "register")?;
                     }
                 }
                 if item.stream_imm16() {
-                    imm16s.push(insn.imm16().expect("imm16 required"));
+                    imm16s.push(insn.imm16().expect("spec requires imm16"));
                 }
                 if item.stream_imm26() {
-                    imm26s.push(insn.imm26().expect("imm26 required"));
+                    imm26s.push(insn.imm26().expect("spec requires imm26"));
                 }
             }
         }
         // Immediate stream.
-        if let Some(book) = &self.imm_book {
+        if !imm16s.is_empty() {
+            let book = self.imm_book.as_ref().ok_or_else(|| untrained("immediate"))?;
             for imm in imm16s {
                 for b in imm.to_be_bytes() {
-                    book.encode(&mut w, u16::from(b));
+                    encode(&mut w, book, u16::from(b), "immediate")?;
                 }
             }
         }
         // Long-immediate stream.
-        if let Some(book) = &self.limm_book {
+        if !imm26s.is_empty() {
+            let book = self.limm_book.as_ref().ok_or_else(|| untrained("long-immediate"))?;
             for imm in imm26s {
                 for b in imm.to_be_bytes() {
-                    book.encode(&mut w, u16::from(b));
+                    encode(&mut w, book, u16::from(b), "long-immediate")?;
                 }
             }
         }
         w.align_to_byte();
-        w.into_bytes()
+        Ok(w.into_bytes())
     }
 
     /// Decompresses one block of `out_len` bytes.
     ///
     /// # Errors
     ///
-    /// See [`DecompressSadcError`].
-    pub fn decompress_block(
-        &self,
-        bytes: &[u8],
-        out_len: usize,
-    ) -> Result<Vec<u8>, DecompressSadcError> {
+    /// Returns [`CodecError::Corrupt`] when the block does not decode
+    /// against this codec's dictionary and Huffman books.
+    pub fn decompress_block(&self, bytes: &[u8], out_len: usize) -> Result<Vec<u8>, CodecError> {
         if !out_len.is_multiple_of(4) {
-            return Err(DecompressSadcError::CorruptBlock);
+            return Err(corrupt_block());
         }
         let insn_count = out_len / 4;
         let mut r = BitReader::new(bytes);
         // Opcode stream: tokens until the block's instructions are covered.
         let mut items: Vec<&TemplateItem> = Vec::with_capacity(insn_count);
         while items.len() < insn_count {
-            let t = usize::from(self.op_book.decode(&mut r)?);
-            let template = self.templates.get(t).ok_or(DecompressSadcError::CorruptBlock)?;
+            let t = usize::from(self.op_book.decode(&mut r).map_err(code_error)?);
+            let template = self.templates.get(t).ok_or_else(corrupt_block)?;
             items.extend(template.items.iter());
         }
         if items.len() != insn_count {
-            return Err(DecompressSadcError::CorruptBlock);
+            return Err(corrupt_block());
         }
         // Register stream.
         let mut regs_per_insn: Vec<Vec<u8>> = Vec::with_capacity(insn_count);
@@ -575,12 +525,12 @@ impl MipsSadc {
                 let need = item.op.operand_spec().reg_fields.len();
                 let mut regs = Vec::with_capacity(need);
                 for _ in 0..need {
-                    let book = self.reg_book.as_ref().ok_or(DecompressSadcError::CorruptBlock)?;
-                    let value = book.decode(&mut r)? as u8;
+                    let book = self.reg_book.as_ref().ok_or_else(corrupt_block)?;
+                    let value = book.decode(&mut r).map_err(code_error)? as u8;
                     // Register and shamt fields are 5 bits wide; anything
                     // larger marks a corrupt stream, not a codec panic.
                     if value >= 32 {
-                        return Err(DecompressSadcError::CorruptBlock);
+                        return Err(corrupt_block());
                     }
                     regs.push(value);
                 }
@@ -594,10 +544,9 @@ impl MipsSadc {
                 ImmKind::Imm16 => Some(match item.fixed_imm {
                     Some(imm) => imm,
                     None => {
-                        let book =
-                            self.imm_book.as_ref().ok_or(DecompressSadcError::CorruptBlock)?;
-                        let hi = book.decode(&mut r)? as u8;
-                        let lo = book.decode(&mut r)? as u8;
+                        let book = self.imm_book.as_ref().ok_or_else(corrupt_block)?;
+                        let hi = book.decode(&mut r).map_err(code_error)? as u8;
+                        let lo = book.decode(&mut r).map_err(code_error)? as u8;
                         u16::from_be_bytes([hi, lo])
                     }
                 }),
@@ -608,14 +557,14 @@ impl MipsSadc {
         let mut imm26_per_insn: Vec<Option<u32>> = Vec::with_capacity(insn_count);
         for item in &items {
             imm26_per_insn.push(if item.stream_imm26() {
-                let book = self.limm_book.as_ref().ok_or(DecompressSadcError::CorruptBlock)?;
+                let book = self.limm_book.as_ref().ok_or_else(corrupt_block)?;
                 let mut v = [0u8; 4];
                 for b in v.iter_mut() {
-                    *b = book.decode(&mut r)? as u8;
+                    *b = book.decode(&mut r).map_err(code_error)? as u8;
                 }
                 let target = u32::from_be_bytes(v);
                 if target >= 1 << 26 {
-                    return Err(DecompressSadcError::CorruptBlock);
+                    return Err(corrupt_block());
                 }
                 Some(target)
             } else {
@@ -640,13 +589,36 @@ impl MipsSadc {
     ///
     /// # Errors
     ///
-    /// See [`DecompressSadcError`].
-    pub fn decompress(&self, image: &SadcImage) -> Result<Vec<u8>, DecompressSadcError> {
-        let mut out = Vec::with_capacity(image.original_len());
-        for i in 0..image.block_count() {
-            out.extend(self.decompress_block(image.block(i), image.block_uncompressed_len(i))?);
-        }
-        Ok(out)
+    /// Returns [`CodecError::Corrupt`] when any block fails to decode.
+    pub fn decompress(&self, image: &BlockImage) -> Result<Vec<u8>, CodecError> {
+        BlockCodec::decompress(self, image)
+    }
+}
+
+impl BlockCodec for MipsSadc {
+    fn name(&self) -> &'static str {
+        NAME
+    }
+
+    fn block_size(&self) -> usize {
+        self.config.block_size
+    }
+
+    fn model_bytes(&self) -> usize {
+        self.dict_bytes() + self.table_bytes()
+    }
+
+    fn to_bytes(&self) -> Vec<u8> {
+        Self::to_bytes(self)
+    }
+
+    fn compress_chunk(&self, chunk: &[u8]) -> Result<Vec<u8>, CodecError> {
+        let instructions = decode_text(chunk).map_err(|e| CodecError::train(NAME, e))?;
+        self.compress_block(&instructions)
+    }
+
+    fn decompress_block(&self, block: &[u8], out_len: usize) -> Result<Vec<u8>, CodecError> {
+        Self::decompress_block(self, block, out_len)
     }
 }
 
@@ -862,24 +834,15 @@ mod tests {
 
     #[test]
     fn train_validates_input() {
-        assert_eq!(
-            MipsSadc::train(&[], MipsSadcConfig::default()).unwrap_err(),
-            TrainSadcError::EmptyText
-        );
-        assert!(matches!(
-            MipsSadc::train(&[0xFF; 4], MipsSadcConfig::default()).unwrap_err(),
-            TrainSadcError::BadInstruction(_)
-        ));
+        let is_train_error = |result: Result<MipsSadc, CodecError>| {
+            matches!(result.unwrap_err(), CodecError::Train { codec: "SADC", .. })
+        };
+        assert!(is_train_error(MipsSadc::train(&[], MipsSadcConfig::default())));
+        assert!(is_train_error(MipsSadc::train(&[0xFF; 4], MipsSadcConfig::default())));
         let bad_block = MipsSadcConfig { block_size: 10, ..Default::default() };
-        assert!(matches!(
-            MipsSadc::train(&idiomatic_program(4), bad_block).unwrap_err(),
-            TrainSadcError::BadBlockSize { .. }
-        ));
+        assert!(is_train_error(MipsSadc::train(&idiomatic_program(4), bad_block)));
         let bad_limit = MipsSadcConfig { max_tokens: 10, ..Default::default() };
-        assert!(matches!(
-            MipsSadc::train(&idiomatic_program(4), bad_limit).unwrap_err(),
-            TrainSadcError::BadTokenLimit { .. }
-        ));
+        assert!(is_train_error(MipsSadc::train(&idiomatic_program(4), bad_limit)));
     }
 
     #[test]

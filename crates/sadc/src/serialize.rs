@@ -1,16 +1,17 @@
-//! On-disk format for trained SADC codecs and compressed images.
+//! On-disk format for trained SADC codecs.
 //!
 //! The decompressor-side artifact stores the dictionary *build rules*
 //! (templates are reconstructed by replaying them over the base
 //! alphabet), the Huffman code-length tables (canonical codes need
-//! nothing else), and the configuration; the image stores the blocks with
-//! their uncompressed sizes (variable on x86).
+//! nothing else), and the configuration.  Compressed images use the
+//! workspace-wide [`cce_codec::BlockImage`] format.
 //!
 //! # Examples
 //!
 //! ```
-//! use cce_sadc::{MipsSadc, MipsSadcConfig, SadcImage};
+//! use cce_codec::BlockImage;
 //! use cce_isa::mips::{encode_text, Instruction, Reg};
+//! use cce_sadc::{MipsSadc, MipsSadcConfig};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let insns: Vec<Instruction> =
@@ -20,62 +21,33 @@
 //! let image = codec.compress(&text);
 //!
 //! let codec2 = MipsSadc::from_bytes(&codec.to_bytes())?;
-//! let image2 = SadcImage::from_bytes(&image.to_bytes())?;
+//! let image2 = BlockImage::from_bytes(&image.to_bytes())?;
 //! assert_eq!(codec2.decompress(&image2)?, text);
 //! # Ok(())
 //! # }
 //! ```
 
-use crate::image::SadcImage;
 use crate::mips::{Candidate, MipsSadc, MipsSadcConfig};
 use crate::x86::{X86Sadc, X86SadcConfig};
-use cce_bitstream::{BitReader, BitWriter, ByteCursor, EndOfStreamError};
+use cce_bitstream::{BitReader, BitWriter, EndOfStreamError};
+use cce_codec::CodecError;
 use cce_huffman::CodeBook;
-use std::error::Error;
-use std::fmt;
 
 const MIPS_MAGIC: u32 = u32::from_be_bytes(*b"SADM");
 const X86_MAGIC: u32 = u32::from_be_bytes(*b"SADX");
-const IMAGE_MAGIC: u32 = u32::from_be_bytes(*b"SADI");
 const VERSION: u16 = 1;
 
-/// Errors from SADC deserialization.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum ReadSadcError {
-    /// Wrong magic number.
-    BadMagic {
-        /// The magic found.
-        found: u32,
-        /// The magic expected.
-        expected: u32,
-    },
-    /// Unsupported format version.
-    BadVersion(u16),
-    /// The buffer ended early.
-    Truncated,
-    /// A structural field was inconsistent.
-    Corrupt(&'static str),
+/// Display name used in deserialization errors.
+const NAME: &str = "SADC";
+
+/// Brands a truncated-input error with this codec's name.
+fn named(e: EndOfStreamError) -> CodecError {
+    CodecError::from(e).named(NAME)
 }
 
-impl fmt::Display for ReadSadcError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Self::BadMagic { found, expected } => {
-                write!(f, "bad magic {found:#010x} (expected {expected:#010x})")
-            }
-            Self::BadVersion(v) => write!(f, "unsupported format version {v}"),
-            Self::Truncated => write!(f, "artifact truncated"),
-            Self::Corrupt(what) => write!(f, "corrupt artifact: {what}"),
-        }
-    }
-}
-
-impl Error for ReadSadcError {}
-
-impl From<EndOfStreamError> for ReadSadcError {
-    fn from(_: EndOfStreamError) -> Self {
-        Self::Truncated
-    }
+/// A structural-inconsistency error.
+fn corrupt(what: &'static str) -> CodecError {
+    CodecError::corrupt(NAME, what)
 }
 
 /// Writes an optional code book as a presence bit plus 4-bit lengths.
@@ -93,15 +65,15 @@ fn write_book(w: &mut BitWriter, book: Option<&CodeBook>, symbols: usize) {
 }
 
 /// Inverse of [`write_book`].
-fn read_book(r: &mut BitReader<'_>, symbols: usize) -> Result<Option<CodeBook>, ReadSadcError> {
-    if !r.read_bit()? {
+fn read_book(r: &mut BitReader<'_>, symbols: usize) -> Result<Option<CodeBook>, CodecError> {
+    if !r.read_bit().map_err(named)? {
         return Ok(None);
     }
     let mut lengths = Vec::with_capacity(symbols);
     for _ in 0..symbols {
-        lengths.push(r.read_bits(4)? as u8);
+        lengths.push(r.read_bits(4).map_err(named)? as u8);
     }
-    CodeBook::from_lengths(lengths).map(Some).map_err(|_| ReadSadcError::Corrupt("code lengths"))
+    CodeBook::from_lengths(lengths).map(Some).map_err(|_| corrupt("invalid code lengths"))
 }
 
 impl MipsSadc {
@@ -161,49 +133,59 @@ impl MipsSadc {
     ///
     /// # Errors
     ///
-    /// See [`ReadSadcError`].
-    pub fn from_bytes(bytes: &[u8]) -> Result<Self, ReadSadcError> {
+    /// Returns [`CodecError::Corrupt`] for a bad magic number, an
+    /// unsupported version, truncation, or inconsistent fields.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CodecError> {
         let mut r = BitReader::new(bytes);
-        let magic = r.read_bits(32)?;
+        let magic = r.read_bits(32).map_err(named)?;
         if magic != MIPS_MAGIC {
-            return Err(ReadSadcError::BadMagic { found: magic, expected: MIPS_MAGIC });
+            return Err(corrupt("bad magic number"));
         }
-        let version = r.read_bits(16)? as u16;
+        let version = r.read_bits(16).map_err(named)? as u16;
         if version != VERSION {
-            return Err(ReadSadcError::BadVersion(version));
+            return Err(corrupt("unsupported format version"));
         }
         let config = MipsSadcConfig {
-            block_size: r.read_bits(32)? as usize,
-            max_tokens: r.read_bits(16)? as usize,
-            groups: r.read_bit()?,
-            reg_specialization: r.read_bit()?,
-            imm_specialization: r.read_bit()?,
+            block_size: r.read_bits(32).map_err(named)? as usize,
+            max_tokens: r.read_bits(16).map_err(named)? as usize,
+            groups: r.read_bit().map_err(named)?,
+            reg_specialization: r.read_bit().map_err(named)?,
+            imm_specialization: r.read_bit().map_err(named)?,
         };
-        let rule_count = r.read_bits(16)? as usize;
+        if config.block_size == 0 || !config.block_size.is_multiple_of(4) {
+            return Err(corrupt("block size"));
+        }
+        let rule_count = r.read_bits(16).map_err(named)? as usize;
         let mut rules = Vec::with_capacity(rule_count);
         for _ in 0..rule_count {
-            rules.push(match r.read_bits(2)? {
-                0 => Candidate::Pair(r.read_bits(16)? as usize, r.read_bits(16)? as usize),
+            rules.push(match r.read_bits(2).map_err(named)? {
+                0 => Candidate::Pair(
+                    r.read_bits(16).map_err(named)? as usize,
+                    r.read_bits(16).map_err(named)? as usize,
+                ),
                 1 => Candidate::Triple(
-                    r.read_bits(16)? as usize,
-                    r.read_bits(16)? as usize,
-                    r.read_bits(16)? as usize,
+                    r.read_bits(16).map_err(named)? as usize,
+                    r.read_bits(16).map_err(named)? as usize,
+                    r.read_bits(16).map_err(named)? as usize,
                 ),
                 2 => {
-                    let t = r.read_bits(16)? as usize;
-                    let n = r.read_bits(8)? as usize;
+                    let t = r.read_bits(16).map_err(named)? as usize;
+                    let n = r.read_bits(8).map_err(named)? as usize;
                     let mut regs = Vec::with_capacity(n);
                     for _ in 0..n {
-                        regs.push(r.read_bits(8)? as u8);
+                        regs.push(r.read_bits(8).map_err(named)? as u8);
                     }
                     Candidate::Regs(t, regs)
                 }
-                _ => Candidate::Imm(r.read_bits(16)? as usize, r.read_bits(16)? as u16),
+                _ => Candidate::Imm(
+                    r.read_bits(16).map_err(named)? as usize,
+                    r.read_bits(16).map_err(named)? as u16,
+                ),
             });
         }
-        let templates = MipsSadc::templates_from_rules(&rules).map_err(ReadSadcError::Corrupt)?;
-        let op_book = read_book(&mut r, templates.len())?
-            .ok_or(ReadSadcError::Corrupt("missing opcode book"))?;
+        let templates = MipsSadc::templates_from_rules(&rules).map_err(corrupt)?;
+        let op_book =
+            read_book(&mut r, templates.len())?.ok_or_else(|| corrupt("missing opcode book"))?;
         let reg_book = read_book(&mut r, 256)?;
         let imm_book = read_book(&mut r, 256)?;
         let limm_book = read_book(&mut r, 256)?;
@@ -251,46 +233,49 @@ impl X86Sadc {
     ///
     /// # Errors
     ///
-    /// See [`ReadSadcError`].
-    pub fn from_bytes(bytes: &[u8]) -> Result<Self, ReadSadcError> {
+    /// Returns [`CodecError::Corrupt`] for a bad magic number, an
+    /// unsupported version, truncation, or inconsistent fields.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CodecError> {
         let mut r = BitReader::new(bytes);
-        let magic = r.read_bits(32)?;
+        let magic = r.read_bits(32).map_err(named)?;
         if magic != X86_MAGIC {
-            return Err(ReadSadcError::BadMagic { found: magic, expected: X86_MAGIC });
+            return Err(corrupt("bad magic number"));
         }
-        let version = r.read_bits(16)? as u16;
+        let version = r.read_bits(16).map_err(named)? as u16;
         if version != VERSION {
-            return Err(ReadSadcError::BadVersion(version));
+            return Err(corrupt("unsupported format version"));
         }
         let config = X86SadcConfig {
-            block_size: r.read_bits(32)? as usize,
-            max_tokens: r.read_bits(16)? as usize,
-            groups: r.read_bit()?,
+            block_size: r.read_bits(32).map_err(named)? as usize,
+            max_tokens: r.read_bits(16).map_err(named)? as usize,
+            groups: r.read_bit().map_err(named)?,
         };
-        let base_count = r.read_bits(16)? as usize;
+        if config.block_size == 0 {
+            return Err(corrupt("block size"));
+        }
+        let base_count = r.read_bits(16).map_err(named)? as usize;
         let mut base_strings = Vec::with_capacity(base_count);
         for _ in 0..base_count {
-            let n = r.read_bits(8)? as usize;
+            let n = r.read_bits(8).map_err(named)? as usize;
             let mut s = Vec::with_capacity(n);
             for _ in 0..n {
-                s.push(r.read_bits(8)? as u8);
+                s.push(r.read_bits(8).map_err(named)? as u8);
             }
             base_strings.push(s);
         }
-        let rule_count = r.read_bits(16)? as usize;
+        let rule_count = r.read_bits(16).map_err(named)? as usize;
         let mut rules = Vec::with_capacity(rule_count);
         for _ in 0..rule_count {
-            let k = r.read_bits(8)? as usize;
+            let k = r.read_bits(8).map_err(named)? as usize;
             let mut pattern = Vec::with_capacity(k);
             for _ in 0..k {
-                pattern.push(r.read_bits(16)? as usize);
+                pattern.push(r.read_bits(16).map_err(named)? as usize);
             }
             rules.push(pattern);
         }
-        let templates =
-            X86Sadc::templates_from_rules(base_count, &rules).map_err(ReadSadcError::Corrupt)?;
-        let token_book = read_book(&mut r, templates.len())?
-            .ok_or(ReadSadcError::Corrupt("missing token book"))?;
+        let templates = X86Sadc::templates_from_rules(base_count, &rules).map_err(corrupt)?;
+        let token_book =
+            read_book(&mut r, templates.len())?.ok_or_else(|| corrupt("missing token book"))?;
         let modrm_book = read_book(&mut r, 256)?;
         let imm_book = read_book(&mut r, 256)?;
         Ok(X86Sadc::from_parts(
@@ -305,65 +290,10 @@ impl X86Sadc {
     }
 }
 
-impl SadcImage {
-    /// Serializes the compressed image.
-    pub fn to_bytes(&self) -> Vec<u8> {
-        let mut w = BitWriter::new();
-        w.write_bits(IMAGE_MAGIC, 32);
-        w.write_bits(u32::from(VERSION), 16);
-        w.write_bits(self.original_len() as u32, 32);
-        w.write_bits(self.dict_bytes() as u32, 32);
-        w.write_bits(self.table_bytes() as u32, 32);
-        w.write_bits(self.block_count() as u32, 32);
-        for i in 0..self.block_count() {
-            w.write_bits(self.block_uncompressed_len(i) as u32, 16);
-            w.write_bits(self.block(i).len() as u32, 16);
-        }
-        for i in 0..self.block_count() {
-            w.write_bytes(self.block(i));
-        }
-        w.into_bytes()
-    }
-
-    /// Deserializes an image written by [`SadcImage::to_bytes`].
-    ///
-    /// # Errors
-    ///
-    /// See [`ReadSadcError`].
-    pub fn from_bytes(bytes: &[u8]) -> Result<Self, ReadSadcError> {
-        let mut c = ByteCursor::new(bytes);
-        let magic = c.read_u32_be()?;
-        if magic != IMAGE_MAGIC {
-            return Err(ReadSadcError::BadMagic { found: magic, expected: IMAGE_MAGIC });
-        }
-        let version = c.read_u16_be()?;
-        if version != VERSION {
-            return Err(ReadSadcError::BadVersion(version));
-        }
-        let original_len = c.read_u32_be()? as usize;
-        let dict_bytes = c.read_u32_be()? as usize;
-        let table_bytes = c.read_u32_be()? as usize;
-        let block_count = c.read_u32_be()? as usize;
-        let mut block_uncompressed = Vec::with_capacity(block_count);
-        let mut compressed_lens = Vec::with_capacity(block_count);
-        for _ in 0..block_count {
-            block_uncompressed.push(c.read_u16_be()? as usize);
-            compressed_lens.push(c.read_u16_be()? as usize);
-        }
-        if block_uncompressed.iter().sum::<usize>() != original_len {
-            return Err(ReadSadcError::Corrupt("block sizes"));
-        }
-        let mut blocks = Vec::with_capacity(block_count);
-        for len in compressed_lens {
-            blocks.push(c.read_bytes(len)?.to_vec());
-        }
-        Ok(SadcImage { blocks, block_uncompressed, original_len, dict_bytes, table_bytes })
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cce_codec::BlockImage;
     use cce_isa::mips::{encode_text, Instruction, Reg};
     use cce_isa::x86::asm::{self, reg, Alu};
 
@@ -419,7 +349,7 @@ mod tests {
         let text = mips_text();
         let codec = MipsSadc::train(&text, MipsSadcConfig::default()).unwrap();
         let image = codec.compress(&text);
-        let restored = SadcImage::from_bytes(&image.to_bytes()).unwrap();
+        let restored = BlockImage::from_bytes(&image.to_bytes()).unwrap();
         assert_eq!(restored, image);
     }
 
@@ -445,11 +375,11 @@ mod tests {
         let mips = MipsSadc::train(&text, MipsSadcConfig::default()).unwrap();
         assert!(matches!(
             X86Sadc::from_bytes(&mips.to_bytes()),
-            Err(ReadSadcError::BadMagic { .. })
+            Err(CodecError::Corrupt { codec: "SADC", .. })
         ));
         assert!(matches!(
-            SadcImage::from_bytes(&mips.to_bytes()),
-            Err(ReadSadcError::BadMagic { .. })
+            BlockImage::from_bytes(&mips.to_bytes()),
+            Err(CodecError::Corrupt { .. })
         ));
     }
 
@@ -460,6 +390,28 @@ mod tests {
         let bytes = codec.to_bytes();
         for cut in [3, 9, bytes.len() / 3] {
             assert!(MipsSadc::from_bytes(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn corrupt_fields_fail_cleanly_not_by_panic() {
+        let text = mips_text();
+        let codec = MipsSadc::train(&text, MipsSadcConfig::default()).unwrap();
+        let bytes = codec.to_bytes();
+        // Zero out the block size (bytes 6..10): must be a clean error.
+        let mut bad = bytes.clone();
+        for b in &mut bad[6..10] {
+            *b = 0;
+        }
+        assert!(matches!(
+            MipsSadc::from_bytes(&bad),
+            Err(CodecError::Corrupt { codec: "SADC", .. })
+        ));
+        // Flipping any early byte must never abort the process.
+        for i in 0..bytes.len().min(128) {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0xA5;
+            let _ = MipsSadc::from_bytes(&bad);
         }
     }
 }

@@ -10,16 +10,17 @@
 //! dictionary token → opcode bytes → ModRM/SIB (Huffman-decoded as needed)
 //! → displacement/immediate bytes.
 
-use crate::image::SadcImage;
+use crate::mips::{code_error, corrupt_block};
 use crate::tokens::{replace_in_blocks, TokenStats};
 use cce_bitstream::{BitReader, BitWriter};
+use cce_codec::{BlockCodec, BlockImage, CodecError};
 use cce_huffman::CodeBook;
-use cce_isa::x86::{progressive_layout, split_streams, DecodeLayoutError, LayoutProgress};
+use cce_isa::x86::{progressive_layout, split_streams, LayoutProgress};
 use std::collections::HashMap;
-use std::error::Error;
-use std::fmt;
+use std::ops::Range;
 
-use crate::mips::DecompressSadcError;
+/// Display name used in errors and tables.
+const NAME: &str = "SADC";
 
 /// Configuration for [`X86Sadc::train`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,50 +39,6 @@ impl Default for X86SadcConfig {
         Self { block_size: 32, max_tokens: 256, groups: true }
     }
 }
-
-/// Errors from [`X86Sadc::train`].
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum TrainX86SadcError {
-    /// The text was empty.
-    EmptyText,
-    /// An instruction failed to decode.
-    BadInstruction {
-        /// Byte offset of the failure.
-        offset: usize,
-        /// The underlying cause.
-        cause: DecodeLayoutError,
-    },
-    /// The program uses more distinct prefix+opcode byte strings than the
-    /// dictionary can index.
-    TooManyOpcodeStrings {
-        /// Distinct strings found.
-        found: usize,
-        /// The configured limit.
-        max_tokens: usize,
-    },
-    /// `block_size` was zero.
-    BadBlockSize,
-}
-
-impl fmt::Display for TrainX86SadcError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Self::EmptyText => write!(f, "cannot train on an empty text section"),
-            Self::BadInstruction { offset, cause } => {
-                write!(f, "undecodable instruction at offset {offset}: {cause}")
-            }
-            Self::TooManyOpcodeStrings { found, max_tokens } => {
-                write!(
-                    f,
-                    "{found} distinct opcode strings exceed the {max_tokens}-token dictionary"
-                )
-            }
-            Self::BadBlockSize => write!(f, "block size must be positive"),
-        }
-    }
-}
-
-impl Error for TrainX86SadcError {}
 
 /// One decoded instruction's three stream slices.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -120,13 +77,15 @@ impl X86Sadc {
     ///
     /// # Errors
     ///
-    /// See [`TrainX86SadcError`].
-    pub fn train(text: &[u8], config: X86SadcConfig) -> Result<Self, TrainX86SadcError> {
+    /// Returns [`CodecError::Train`] for empty or undecodable text, a zero
+    /// block size, or a program whose distinct opcode strings exceed the
+    /// dictionary's token budget.
+    pub fn train(text: &[u8], config: X86SadcConfig) -> Result<Self, CodecError> {
         if text.is_empty() {
-            return Err(TrainX86SadcError::EmptyText);
+            return Err(CodecError::train(NAME, "cannot train on an empty text section"));
         }
         if config.block_size == 0 {
-            return Err(TrainX86SadcError::BadBlockSize);
+            return Err(CodecError::train(NAME, "block size must be positive"));
         }
         let parts = parse_instructions(text)?;
 
@@ -140,10 +99,14 @@ impl X86Sadc {
         ordered.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
         // Leave room for at least a handful of group entries.
         if ordered.len() > config.max_tokens.saturating_sub(8) {
-            return Err(TrainX86SadcError::TooManyOpcodeStrings {
-                found: ordered.len(),
-                max_tokens: config.max_tokens,
-            });
+            return Err(CodecError::train(
+                NAME,
+                format!(
+                    "{} distinct opcode strings exceed the {}-token dictionary",
+                    ordered.len(),
+                    config.max_tokens
+                ),
+            ));
         }
         let base_strings: Vec<Vec<u8>> = ordered.iter().map(|(s, _)| s.to_vec()).collect();
         let string_to_id: HashMap<&[u8], usize> =
@@ -297,76 +260,86 @@ impl X86Sadc {
 
     /// Compresses `text` (the training text or statistically identical).
     ///
+    /// Convenience wrapper over [`BlockCodec::compress`].
+    ///
     /// # Panics
     ///
     /// Panics if `text` contains instructions or symbols absent at
-    /// training time.
-    pub fn compress(&self, text: &[u8]) -> SadcImage {
-        let parts = parse_instructions(text).expect("compress requires decodable text");
+    /// training time; use [`BlockCodec::compress`] to handle those cases.
+    pub fn compress(&self, text: &[u8]) -> BlockImage {
+        BlockCodec::compress(self, text).expect("compress requires decodable, trained text")
+    }
+
+    /// Encodes one instruction-aligned group of stream parts.
+    fn compress_parts(&self, block_parts: &[InsnParts]) -> Result<Vec<u8>, CodecError> {
+        let untrained =
+            |stream: &str| CodecError::train(NAME, format!("the {stream} stream is untrained"));
+        let encode = |w: &mut BitWriter, book: &CodeBook, sym: u16, stream: &str| {
+            if book.length(sym) == 0 {
+                return Err(CodecError::train(
+                    NAME,
+                    format!("{stream} symbol {sym:#x} was absent from the training program"),
+                ));
+            }
+            book.encode(w, sym);
+            Ok(())
+        };
         let string_to_id: HashMap<&[u8], usize> =
             self.base_strings.iter().enumerate().map(|(i, s)| (s.as_slice(), i)).collect();
-        let insn_blocks = group_blocks(&parts, self.config.block_size);
+        let mut tokens = Vec::with_capacity(block_parts.len());
+        for p in block_parts {
+            let id = *string_to_id.get(p.opcode.as_slice()).ok_or_else(|| {
+                CodecError::train(
+                    NAME,
+                    format!("opcode string {:02x?} was absent from the training program", p.opcode),
+                )
+            })?;
+            tokens.push(id);
+        }
+        for (i, pattern) in self.rules.iter().enumerate() {
+            let new_id = self.base_strings.len() + i;
+            let mut one = [std::mem::take(&mut tokens)];
+            replace_in_blocks(&mut one, pattern, new_id);
+            tokens = std::mem::take(&mut one[0]);
+        }
 
-        let mut blocks = Vec::with_capacity(insn_blocks.len());
-        let mut block_uncompressed = Vec::with_capacity(insn_blocks.len());
-        for range in insn_blocks {
-            let block_parts = &parts[range];
-            let mut tokens: Vec<usize> =
-                block_parts.iter().map(|p| string_to_id[p.opcode.as_slice()]).collect();
-            for (i, pattern) in self.rules.iter().enumerate() {
-                let new_id = self.base_strings.len() + i;
-                let mut one = [std::mem::take(&mut tokens)];
-                replace_in_blocks(&mut one, pattern, new_id);
-                tokens = std::mem::take(&mut one[0]);
-            }
-
-            let mut w = BitWriter::new();
-            let mut cursor = 0usize;
-            for &t in &tokens {
-                self.token_book.encode(&mut w, t as u16);
-                for _ in 0..self.templates[t].len() {
-                    let p = &block_parts[cursor];
-                    cursor += 1;
-                    if let Some(book) = &self.modrm_book {
-                        for &b in &p.modrm_sib {
-                            book.encode(&mut w, u16::from(b));
-                        }
+        let mut w = BitWriter::new();
+        let mut cursor = 0usize;
+        for &t in &tokens {
+            encode(&mut w, &self.token_book, t as u16, "token")?;
+            for _ in 0..self.templates[t].len() {
+                let p = &block_parts[cursor];
+                cursor += 1;
+                if !p.modrm_sib.is_empty() {
+                    let book = self.modrm_book.as_ref().ok_or_else(|| untrained("ModRM"))?;
+                    for &b in &p.modrm_sib {
+                        encode(&mut w, book, u16::from(b), "ModRM")?;
                     }
-                    if let Some(book) = &self.imm_book {
-                        for &b in &p.imm_disp {
-                            book.encode(&mut w, u16::from(b));
-                        }
+                }
+                if !p.imm_disp.is_empty() {
+                    let book = self.imm_book.as_ref().ok_or_else(|| untrained("immediate"))?;
+                    for &b in &p.imm_disp {
+                        encode(&mut w, book, u16::from(b), "immediate")?;
                     }
                 }
             }
-            w.align_to_byte();
-            blocks.push(w.into_bytes());
-            block_uncompressed.push(block_parts.iter().map(InsnParts::total_len).sum());
         }
-        SadcImage {
-            blocks,
-            block_uncompressed,
-            original_len: text.len(),
-            dict_bytes: self.dict_bytes(),
-            table_bytes: self.table_bytes(),
-        }
+        w.align_to_byte();
+        Ok(w.into_bytes())
     }
 
     /// Decompresses one block of `out_len` bytes.
     ///
     /// # Errors
     ///
-    /// See [`DecompressSadcError`].
-    pub fn decompress_block(
-        &self,
-        bytes: &[u8],
-        out_len: usize,
-    ) -> Result<Vec<u8>, DecompressSadcError> {
+    /// Returns [`CodecError::Corrupt`] when the block does not decode
+    /// against this codec's dictionary and Huffman books.
+    pub fn decompress_block(&self, bytes: &[u8], out_len: usize) -> Result<Vec<u8>, CodecError> {
         let mut r = BitReader::new(bytes);
         let mut out = Vec::with_capacity(out_len);
         while out.len() < out_len {
-            let t = usize::from(self.token_book.decode(&mut r)?);
-            let expansion = self.templates.get(t).ok_or(DecompressSadcError::CorruptBlock)?;
+            let t = usize::from(self.token_book.decode(&mut r).map_err(code_error)?);
+            let expansion = self.templates.get(t).ok_or_else(corrupt_block)?;
             for &base in expansion {
                 let opcode = &self.base_strings[base];
                 out.extend_from_slice(opcode);
@@ -374,22 +347,14 @@ impl X86Sadc {
                 let mut modrm = None;
                 let mut sib = None;
                 let layout = loop {
-                    match progressive_layout(opcode, modrm, sib)
-                        .map_err(|_| DecompressSadcError::CorruptBlock)?
-                    {
+                    match progressive_layout(opcode, modrm, sib).map_err(|_| corrupt_block())? {
                         LayoutProgress::NeedModrm => {
-                            let book = self
-                                .modrm_book
-                                .as_ref()
-                                .ok_or(DecompressSadcError::CorruptBlock)?;
-                            modrm = Some(book.decode(&mut r)? as u8);
+                            let book = self.modrm_book.as_ref().ok_or_else(corrupt_block)?;
+                            modrm = Some(book.decode(&mut r).map_err(code_error)? as u8);
                         }
                         LayoutProgress::NeedSib => {
-                            let book = self
-                                .modrm_book
-                                .as_ref()
-                                .ok_or(DecompressSadcError::CorruptBlock)?;
-                            sib = Some(book.decode(&mut r)? as u8);
+                            let book = self.modrm_book.as_ref().ok_or_else(corrupt_block)?;
+                            sib = Some(book.decode(&mut r).map_err(code_error)? as u8);
                         }
                         LayoutProgress::Complete(layout) => break layout,
                     }
@@ -402,13 +367,13 @@ impl X86Sadc {
                 }
                 let tail = usize::from(layout.disp_len) + usize::from(layout.imm_len);
                 for _ in 0..tail {
-                    let book = self.imm_book.as_ref().ok_or(DecompressSadcError::CorruptBlock)?;
-                    out.push(book.decode(&mut r)? as u8);
+                    let book = self.imm_book.as_ref().ok_or_else(corrupt_block)?;
+                    out.push(book.decode(&mut r).map_err(code_error)? as u8);
                 }
             }
         }
         if out.len() != out_len {
-            return Err(DecompressSadcError::CorruptBlock);
+            return Err(corrupt_block());
         }
         Ok(out)
     }
@@ -417,20 +382,63 @@ impl X86Sadc {
     ///
     /// # Errors
     ///
-    /// See [`DecompressSadcError`].
-    pub fn decompress(&self, image: &SadcImage) -> Result<Vec<u8>, DecompressSadcError> {
-        let mut out = Vec::with_capacity(image.original_len());
-        for i in 0..image.block_count() {
-            out.extend(self.decompress_block(image.block(i), image.block_uncompressed_len(i))?);
+    /// Returns [`CodecError::Corrupt`] when any block fails to decode.
+    pub fn decompress(&self, image: &BlockImage) -> Result<Vec<u8>, CodecError> {
+        BlockCodec::decompress(self, image)
+    }
+}
+
+impl BlockCodec for X86Sadc {
+    fn name(&self) -> &'static str {
+        NAME
+    }
+
+    fn block_size(&self) -> usize {
+        self.config.block_size
+    }
+
+    fn model_bytes(&self) -> usize {
+        self.dict_bytes() + self.table_bytes()
+    }
+
+    fn to_bytes(&self) -> Vec<u8> {
+        Self::to_bytes(self)
+    }
+
+    /// Blocks are instruction-aligned: a block closes once it reaches the
+    /// target size, so uncompressed blocks straddle `block_size` slightly.
+    fn block_ranges(&self, text: &[u8]) -> Result<Vec<Range<usize>>, CodecError> {
+        let parts = parse_instructions(text)?;
+        let mut offsets = Vec::with_capacity(parts.len() + 1);
+        let mut end = 0usize;
+        offsets.push(0);
+        for p in &parts {
+            end += p.total_len();
+            offsets.push(end);
         }
-        Ok(out)
+        Ok(group_blocks(&parts, self.config.block_size)
+            .into_iter()
+            .map(|r| offsets[r.start]..offsets[r.end])
+            .collect())
+    }
+
+    fn compress_chunk(&self, chunk: &[u8]) -> Result<Vec<u8>, CodecError> {
+        // Chunks from `block_ranges` are instruction-aligned, so each one
+        // re-parses standalone to exactly its instructions' stream parts.
+        let parts = parse_instructions(chunk)?;
+        self.compress_parts(&parts)
+    }
+
+    fn decompress_block(&self, block: &[u8], out_len: usize) -> Result<Vec<u8>, CodecError> {
+        Self::decompress_block(self, block, out_len)
     }
 }
 
 /// Splits `text` into per-instruction stream parts.
-fn parse_instructions(text: &[u8]) -> Result<Vec<InsnParts>, TrainX86SadcError> {
-    let split = split_streams(text)
-        .map_err(|(offset, cause)| TrainX86SadcError::BadInstruction { offset, cause })?;
+fn parse_instructions(text: &[u8]) -> Result<Vec<InsnParts>, CodecError> {
+    let split = split_streams(text).map_err(|(offset, cause)| {
+        CodecError::train(NAME, format!("undecodable instruction at offset {offset}: {cause}"))
+    })?;
     let mut parts = Vec::with_capacity(split.layouts.len());
     let (mut o, mut m, mut d) = (0usize, 0usize, 0usize);
     for layout in &split.layouts {
@@ -552,13 +560,10 @@ mod tests {
 
     #[test]
     fn train_validates_input() {
-        assert_eq!(
-            X86Sadc::train(&[], X86SadcConfig::default()).unwrap_err(),
-            TrainX86SadcError::EmptyText
-        );
-        assert!(matches!(
-            X86Sadc::train(&[0x0F, 0x06], X86SadcConfig::default()).unwrap_err(),
-            TrainX86SadcError::BadInstruction { offset: 0, .. }
-        ));
+        let is_train_error = |result: Result<X86Sadc, CodecError>| {
+            matches!(result.unwrap_err(), CodecError::Train { codec: "SADC", .. })
+        };
+        assert!(is_train_error(X86Sadc::train(&[], X86SadcConfig::default())));
+        assert!(is_train_error(X86Sadc::train(&[0x0F, 0x06], X86SadcConfig::default())));
     }
 }

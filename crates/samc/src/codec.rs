@@ -4,8 +4,10 @@ use crate::model::{MarkovConfig, MarkovModel};
 use crate::streams::StreamDivision;
 use cce_arith::nibble::{EngineStats, NibbleDecoder, NibbleProbTree};
 use cce_arith::{BitDecoder, BitEncoder, Prob};
-use std::error::Error;
-use std::fmt;
+use cce_codec::{BlockCodec, BlockImage, CodecError};
+
+/// Display name used in errors and tables.
+const NAME: &str = "SAMC";
 
 /// SAMC configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -59,152 +61,6 @@ impl SamcConfig {
     }
 }
 
-/// Errors from [`SamcCodec::train`].
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum TrainCodecError {
-    /// The training text was empty.
-    EmptyText,
-    /// The text length is not a multiple of the instruction unit size.
-    MisalignedText {
-        /// Text length in bytes.
-        len: usize,
-        /// Unit size in bytes.
-        unit: usize,
-    },
-    /// The block size is not a positive multiple of the unit size.
-    BadBlockSize {
-        /// The configured block size.
-        block_size: usize,
-        /// Unit size in bytes.
-        unit: usize,
-    },
-    /// The stream width is not a multiple of 8, so text cannot be framed.
-    BadWidth {
-        /// The division width in bits.
-        width: u8,
-    },
-}
-
-impl fmt::Display for TrainCodecError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Self::EmptyText => write!(f, "cannot train on an empty text section"),
-            Self::MisalignedText { len, unit } => {
-                write!(f, "text of {len} bytes is not a multiple of the {unit}-byte unit")
-            }
-            Self::BadBlockSize { block_size, unit } => {
-                write!(f, "block size {block_size} is not a positive multiple of {unit}")
-            }
-            Self::BadWidth { width } => write!(f, "stream width {width} is not byte-framed"),
-        }
-    }
-}
-
-impl Error for TrainCodecError {}
-
-/// Errors from block decompression.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum DecompressBlockError {
-    /// The requested output length is not a multiple of the unit size.
-    MisalignedLength {
-        /// Requested bytes.
-        len: usize,
-        /// Unit size in bytes.
-        unit: usize,
-    },
-    /// The parallel engine requires every stream to be a multiple of 4 bits.
-    EngineUnsupported,
-}
-
-impl fmt::Display for DecompressBlockError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Self::MisalignedLength { len, unit } => {
-                write!(f, "block length {len} is not a multiple of the {unit}-byte unit")
-            }
-            Self::EngineUnsupported => {
-                write!(f, "nibble engine requires 4-bit-aligned streams")
-            }
-        }
-    }
-}
-
-impl Error for DecompressBlockError {}
-
-/// A SAMC-compressed program.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct SamcImage {
-    blocks: Vec<Vec<u8>>,
-    block_size: usize,
-    original_len: usize,
-    model_bytes: usize,
-}
-
-impl SamcImage {
-    /// Reassembles an image from serialized parts (crate-internal).
-    pub(crate) fn from_parts(
-        blocks: Vec<Vec<u8>>,
-        block_size: usize,
-        original_len: usize,
-        model_bytes: usize,
-    ) -> Self {
-        Self { blocks, block_size, original_len, model_bytes }
-    }
-
-    /// The model-table overhead included in [`SamcImage::compressed_len`].
-    pub fn model_overhead_bytes(&self) -> usize {
-        self.model_bytes
-    }
-
-    /// The compressed bytes of block `index`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `index` is out of range.
-    pub fn block(&self, index: usize) -> &[u8] {
-        &self.blocks[index]
-    }
-
-    /// Number of blocks.
-    pub fn block_count(&self) -> usize {
-        self.blocks.len()
-    }
-
-    /// Uncompressed block size in bytes.
-    pub fn block_size(&self) -> usize {
-        self.block_size
-    }
-
-    /// Original program length in bytes.
-    pub fn original_len(&self) -> usize {
-        self.original_len
-    }
-
-    /// Compressed size: encoded blocks plus the serialized Markov model.
-    pub fn compressed_len(&self) -> usize {
-        self.blocks.iter().map(Vec::len).sum::<usize>() + self.model_bytes
-    }
-
-    /// Size of the line address table: one compressed-offset entry per
-    /// block, each wide enough to address the compressed region.
-    pub fn lat_bytes(&self) -> usize {
-        let total: usize = self.blocks.iter().map(Vec::len).sum();
-        let entry_bits = usize::BITS - total.next_power_of_two().leading_zeros();
-        (self.blocks.len() * entry_bits as usize).div_ceil(8)
-    }
-
-    /// Compression ratio (compressed / original, model included; LAT
-    /// excluded as in the paper's program-size ratios).  Lower is better.
-    pub fn ratio(&self) -> f64 {
-        self.compressed_len() as f64 / self.original_len as f64
-    }
-
-    /// Ratio including the LAT (the full main-memory footprint).
-    pub fn ratio_with_lat(&self) -> f64 {
-        (self.compressed_len() + self.lat_bytes()) as f64 / self.original_len as f64
-    }
-}
-
 /// The trained SAMC compressor/decompressor pair.
 ///
 /// # Examples
@@ -227,21 +83,32 @@ impl SamcCodec {
     ///
     /// # Errors
     ///
-    /// See [`TrainCodecError`].
-    pub fn train(text: &[u8], config: SamcConfig) -> Result<Self, TrainCodecError> {
+    /// Returns [`CodecError::Train`] for an empty text, a text or block
+    /// size misaligned with the instruction unit, or a stream width that
+    /// is not byte-framed.
+    pub fn train(text: &[u8], config: SamcConfig) -> Result<Self, CodecError> {
         let width = config.division.width();
         if !width.is_multiple_of(8) {
-            return Err(TrainCodecError::BadWidth { width });
+            return Err(CodecError::train(
+                NAME,
+                format!("stream width {width} is not byte-framed"),
+            ));
         }
         let unit = config.unit_bytes();
         if text.is_empty() {
-            return Err(TrainCodecError::EmptyText);
+            return Err(CodecError::train(NAME, "cannot train on an empty text section"));
         }
         if !text.len().is_multiple_of(unit) {
-            return Err(TrainCodecError::MisalignedText { len: text.len(), unit });
+            return Err(CodecError::train(
+                NAME,
+                format!("text of {} bytes is not a multiple of the {unit}-byte unit", text.len()),
+            ));
         }
         if config.block_size == 0 || !config.block_size.is_multiple_of(unit) {
-            return Err(TrainCodecError::BadBlockSize { block_size: config.block_size, unit });
+            return Err(CodecError::train(
+                NAME,
+                format!("block size {} is not a positive multiple of {unit}", config.block_size),
+            ));
         }
         let units = frame_units(text, unit);
         let model = MarkovModel::train(
@@ -265,20 +132,14 @@ impl SamcCodec {
 
     /// Pass 2: compresses `text` block by block.
     ///
+    /// Convenience wrapper over [`BlockCodec::compress`].
+    ///
     /// # Panics
     ///
-    /// Panics if `text` is not unit-aligned (train with the same framing).
-    pub fn compress(&self, text: &[u8]) -> SamcImage {
-        let unit = self.config.unit_bytes();
-        assert!(text.len().is_multiple_of(unit), "text must be unit-aligned");
-        let blocks =
-            text.chunks(self.config.block_size).map(|chunk| self.compress_block(chunk)).collect();
-        SamcImage {
-            blocks,
-            block_size: self.config.block_size,
-            original_len: text.len(),
-            model_bytes: self.model.model_bytes(),
-        }
+    /// Panics if `text` is not unit-aligned (train with the same framing);
+    /// use [`BlockCodec::compress`] to handle that case.
+    pub fn compress(&self, text: &[u8]) -> BlockImage {
+        BlockCodec::compress(self, text).expect("text must be unit-aligned")
     }
 
     fn compress_block(&self, chunk: &[u8]) -> Vec<u8> {
@@ -309,38 +170,9 @@ impl SamcCodec {
     ///
     /// # Errors
     ///
-    /// Returns [`DecompressBlockError::MisalignedLength`] if `out_len` is
-    /// not unit-aligned.
-    pub fn decompress_block(
-        &self,
-        bytes: &[u8],
-        out_len: usize,
-    ) -> Result<Vec<u8>, DecompressBlockError> {
-        let unit = self.config.unit_bytes();
-        if !out_len.is_multiple_of(unit) {
-            return Err(DecompressBlockError::MisalignedLength { len: out_len, unit });
-        }
-        let division = &self.config.division;
-        let mask = self.config.markov.context_mask();
-        let mut decoder = BitDecoder::new(bytes);
-        let mut out = Vec::with_capacity(out_len);
-        let mut ctx = 0usize;
-        for _ in 0..out_len / unit {
-            let mut word = 0u32;
-            for s in 0..division.stream_count() {
-                let mut node = 1usize;
-                let mut last = false;
-                for &bit_index in division.stream_bits(s) {
-                    let bit = decoder.decode_bit(self.model.prob(s, ctx, node));
-                    division.set_bit(&mut word, bit_index, bit);
-                    node = 2 * node + usize::from(bit);
-                    last = bit;
-                }
-                ctx = (ctx << 1 | usize::from(last)) & mask;
-            }
-            out.extend_from_slice(&word.to_be_bytes()[4 - unit..]);
-        }
-        Ok(out)
+    /// Returns [`CodecError::Corrupt`] if `out_len` is not unit-aligned.
+    pub fn decompress_block(&self, bytes: &[u8], out_len: usize) -> Result<Vec<u8>, CodecError> {
+        BlockCodec::decompress_block(self, bytes, out_len)
     }
 
     /// Decompresses one block with the nibble-parallel engine model
@@ -351,21 +183,23 @@ impl SamcCodec {
     ///
     /// # Errors
     ///
-    /// [`DecompressBlockError::EngineUnsupported`] if a stream is not
-    /// 4-bit aligned, or [`DecompressBlockError::MisalignedLength`] as for
-    /// the serial path.
+    /// [`CodecError::Unsupported`] if a stream is not 4-bit aligned, or
+    /// [`CodecError::Corrupt`] as for the serial path.
     pub fn decompress_block_engine(
         &self,
         bytes: &[u8],
         out_len: usize,
-    ) -> Result<(Vec<u8>, EngineStats), DecompressBlockError> {
+    ) -> Result<(Vec<u8>, EngineStats), CodecError> {
         let unit = self.config.unit_bytes();
         if !out_len.is_multiple_of(unit) {
-            return Err(DecompressBlockError::MisalignedLength { len: out_len, unit });
+            return Err(misaligned_length(out_len, unit));
         }
         let division = &self.config.division;
         if (0..division.stream_count()).any(|s| !division.stream_bits(s).len().is_multiple_of(4)) {
-            return Err(DecompressBlockError::EngineUnsupported);
+            return Err(CodecError::unsupported(
+                NAME,
+                "nibble engine requires 4-bit-aligned streams",
+            ));
         }
         let mask = self.config.markov.context_mask();
         let mut engine = NibbleDecoder::new(bytes);
@@ -405,17 +239,75 @@ impl SamcCodec {
     ///
     /// # Errors
     ///
-    /// Propagates [`DecompressBlockError`] (impossible for images produced
-    /// by [`SamcCodec::compress`] with this codec).
-    pub fn decompress(&self, image: &SamcImage) -> Result<Vec<u8>, DecompressBlockError> {
-        let mut out = Vec::with_capacity(image.original_len);
-        for (i, block) in image.blocks.iter().enumerate() {
-            let remaining = image.original_len - i * image.block_size;
-            let len = remaining.min(image.block_size);
-            out.extend(self.decompress_block(block, len)?);
+    /// Propagates [`CodecError`] (impossible for images produced by
+    /// [`SamcCodec::compress`] with this codec).
+    pub fn decompress(&self, image: &BlockImage) -> Result<Vec<u8>, CodecError> {
+        BlockCodec::decompress(self, image)
+    }
+}
+
+impl BlockCodec for SamcCodec {
+    fn name(&self) -> &'static str {
+        NAME
+    }
+
+    fn block_size(&self) -> usize {
+        self.config.block_size
+    }
+
+    fn model_bytes(&self) -> usize {
+        self.model.model_bytes()
+    }
+
+    fn to_bytes(&self) -> Vec<u8> {
+        Self::to_bytes(self)
+    }
+
+    fn compress_chunk(&self, chunk: &[u8]) -> Result<Vec<u8>, CodecError> {
+        let unit = self.config.unit_bytes();
+        if !chunk.len().is_multiple_of(unit) {
+            return Err(CodecError::train(
+                NAME,
+                format!("chunk of {} bytes is not a multiple of the {unit}-byte unit", chunk.len()),
+            ));
+        }
+        Ok(self.compress_block(chunk))
+    }
+
+    fn decompress_block(&self, block: &[u8], out_len: usize) -> Result<Vec<u8>, CodecError> {
+        let unit = self.config.unit_bytes();
+        if !out_len.is_multiple_of(unit) {
+            return Err(misaligned_length(out_len, unit));
+        }
+        let division = &self.config.division;
+        let mask = self.config.markov.context_mask();
+        let mut decoder = BitDecoder::new(block);
+        let mut out = Vec::with_capacity(out_len);
+        let mut ctx = 0usize;
+        for _ in 0..out_len / unit {
+            let mut word = 0u32;
+            for s in 0..division.stream_count() {
+                let mut node = 1usize;
+                let mut last = false;
+                for &bit_index in division.stream_bits(s) {
+                    let bit = decoder.decode_bit(self.model.prob(s, ctx, node));
+                    division.set_bit(&mut word, bit_index, bit);
+                    node = 2 * node + usize::from(bit);
+                    last = bit;
+                }
+                ctx = (ctx << 1 | usize::from(last)) & mask;
+            }
+            out.extend_from_slice(&word.to_be_bytes()[4 - unit..]);
         }
         Ok(out)
     }
+}
+
+fn misaligned_length(len: usize, unit: usize) -> CodecError {
+    CodecError::corrupt(
+        NAME,
+        format!("block length {len} is not a multiple of the {unit}-byte unit"),
+    )
 }
 
 /// Frames text into big-endian instruction units of `unit` bytes.
@@ -514,29 +406,29 @@ mod tests {
         let text = vec![0xA5u8; 64];
         let codec = SamcCodec::train(&text, config).unwrap();
         let image = codec.compress(&text);
-        assert_eq!(
+        assert!(matches!(
             codec.decompress_block_engine(image.block(0), 32).unwrap_err(),
-            DecompressBlockError::EngineUnsupported
-        );
+            CodecError::Unsupported { .. }
+        ));
         // Serial path still works.
         assert_eq!(codec.decompress(&image).unwrap(), text);
     }
 
     #[test]
     fn train_validates_input() {
-        assert_eq!(
+        assert!(matches!(
             SamcCodec::train(&[], SamcConfig::mips()).unwrap_err(),
-            TrainCodecError::EmptyText
-        );
-        assert_eq!(
+            CodecError::Train { codec: "SAMC", .. }
+        ));
+        assert!(matches!(
             SamcCodec::train(&[1, 2, 3], SamcConfig::mips()).unwrap_err(),
-            TrainCodecError::MisalignedText { len: 3, unit: 4 }
-        );
+            CodecError::Train { codec: "SAMC", .. }
+        ));
         let bad = SamcConfig::mips().with_block_size(10);
-        assert_eq!(
+        assert!(matches!(
             SamcCodec::train(&[0; 8], bad).unwrap_err(),
-            TrainCodecError::BadBlockSize { block_size: 10, unit: 4 }
-        );
+            CodecError::Train { codec: "SAMC", .. }
+        ));
     }
 
     #[test]

@@ -16,9 +16,10 @@
 //!    block boundary** so any block decompresses independently — the
 //!    property file-oriented compressors lack.
 //!
-//! The result ([`SamcImage`]) carries the compressed blocks, the serialized
-//! model size, and a line-address table, so compression ratios include all
-//! real storage costs.
+//! The result (a generic [`cce_codec::BlockImage`]) carries the compressed
+//! blocks, the serialized model size, and a line-address table, so
+//! compression ratios include all real storage costs.  [`SamcCodec`] also
+//! implements [`cce_codec::BlockCodec`], the workspace-wide codec trait.
 //!
 //! # Examples
 //!
@@ -46,8 +47,7 @@ mod optimize;
 mod serialize;
 mod streams;
 
-pub use codec::{DecompressBlockError, SamcCodec, SamcConfig, SamcImage, TrainCodecError};
+pub use codec::{SamcCodec, SamcConfig};
 pub use model::{MarkovConfig, MarkovModel};
 pub use optimize::{optimize_division, OptimizeConfig};
-pub use serialize::ReadFormatError;
 pub use streams::{BuildDivisionError, StreamDivision};

@@ -1,15 +1,17 @@
-//! On-disk format for trained SAMC codecs and compressed images.
+//! On-disk format for trained SAMC codecs.
 //!
 //! A compressed-code build flow produces two artifacts: the *model* the
 //! decompression hardware must hold (stream division + Markov tables) and
 //! the *image* written to main memory (compressed blocks + LAT).  This
-//! module serializes both, packing probabilities at exactly the bit
+//! module serializes the model, packing probabilities at exactly the bit
 //! widths [`MarkovModel::model_bytes`] charges for (12-bit exact, 4-bit
-//! power-of-two), so the reported ratios correspond to real bytes.
+//! power-of-two), so the reported ratios correspond to real bytes; the
+//! image uses the workspace-generic [`cce_codec::BlockImage`] format.
 //!
 //! # Examples
 //!
 //! ```
+//! use cce_codec::BlockImage;
 //! use cce_samc::{SamcCodec, SamcConfig};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -21,61 +23,25 @@
 //! let image_bytes = image.to_bytes();
 //!
 //! let codec2 = SamcCodec::from_bytes(&codec_bytes)?;
-//! let image2 = cce_samc::SamcImage::from_bytes(&image_bytes)?;
+//! let image2 = BlockImage::from_bytes(&image_bytes)?;
 //! assert_eq!(codec2.decompress(&image2)?, text);
 //! # Ok(())
 //! # }
 //! ```
 
-use crate::codec::{SamcCodec, SamcConfig, SamcImage};
+use crate::codec::{SamcCodec, SamcConfig};
 use crate::model::{MarkovConfig, MarkovModel};
 use crate::streams::StreamDivision;
 use cce_arith::{Prob, ProbMode};
-use cce_bitstream::{BitReader, BitWriter, ByteCursor, EndOfStreamError};
-use std::error::Error;
-use std::fmt;
+use cce_bitstream::{BitReader, BitWriter};
+use cce_codec::CodecError;
 
 const CODEC_MAGIC: u32 = u32::from_be_bytes(*b"SAMC");
-const IMAGE_MAGIC: u32 = u32::from_be_bytes(*b"SIMG");
 const VERSION: u16 = 1;
+const NAME: &str = "SAMC";
 
-/// Errors from deserialization.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum ReadFormatError {
-    /// Wrong magic number (not a SAMC artifact, or the wrong kind).
-    BadMagic {
-        /// The magic found.
-        found: u32,
-        /// The magic expected.
-        expected: u32,
-    },
-    /// Unsupported format version.
-    BadVersion(u16),
-    /// The buffer ended early.
-    Truncated,
-    /// A structural field was inconsistent (e.g. invalid stream division).
-    Corrupt(&'static str),
-}
-
-impl fmt::Display for ReadFormatError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Self::BadMagic { found, expected } => {
-                write!(f, "bad magic {found:#010x} (expected {expected:#010x})")
-            }
-            Self::BadVersion(v) => write!(f, "unsupported format version {v}"),
-            Self::Truncated => write!(f, "artifact truncated"),
-            Self::Corrupt(what) => write!(f, "corrupt artifact: {what}"),
-        }
-    }
-}
-
-impl Error for ReadFormatError {}
-
-impl From<EndOfStreamError> for ReadFormatError {
-    fn from(_: EndOfStreamError) -> Self {
-        Self::Truncated
-    }
+fn corrupt(what: &'static str) -> CodecError {
+    CodecError::corrupt(NAME, what)
 }
 
 impl SamcCodec {
@@ -121,38 +87,53 @@ impl SamcCodec {
 
     /// Deserializes a codec written by [`SamcCodec::to_bytes`].
     ///
+    /// Every field is validated before use, so arbitrary (corrupt or
+    /// hostile) input yields [`CodecError::Corrupt`], never a panic.
+    ///
     /// # Errors
     ///
-    /// See [`ReadFormatError`].
-    pub fn from_bytes(bytes: &[u8]) -> Result<Self, ReadFormatError> {
+    /// [`CodecError::Corrupt`] on bad magic, unsupported version,
+    /// truncation, or structurally inconsistent fields.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CodecError> {
+        let named = |e: cce_bitstream::EndOfStreamError| CodecError::from(e).named(NAME);
         let mut r = BitReader::new(bytes);
-        let magic = r.read_bits(32)?;
+        let magic = r.read_bits(32).map_err(named)?;
         if magic != CODEC_MAGIC {
-            return Err(ReadFormatError::BadMagic { found: magic, expected: CODEC_MAGIC });
+            return Err(corrupt("bad magic number"));
         }
-        let version = r.read_bits(16)? as u16;
+        let version = r.read_bits(16).map_err(named)? as u16;
         if version != VERSION {
-            return Err(ReadFormatError::BadVersion(version));
+            return Err(corrupt("unsupported format version"));
         }
-        let block_size = r.read_bits(32)? as usize;
-        let width = r.read_bits(8)? as u8;
-        let stream_count = r.read_bits(8)? as usize;
+        let block_size = r.read_bits(32).map_err(named)? as usize;
+        let width = r.read_bits(8).map_err(named)? as u8;
+        // `StreamDivision::new` asserts on out-of-range widths and the
+        // trainer requires byte framing, so reject both up front rather
+        // than aborting on crafted input.
+        if width == 0 || width > 32 || !width.is_multiple_of(8) {
+            return Err(corrupt("stream width"));
+        }
+        let unit = usize::from(width) / 8;
+        if block_size == 0 || !block_size.is_multiple_of(unit) {
+            return Err(corrupt("block size"));
+        }
+        let stream_count = r.read_bits(8).map_err(named)? as usize;
         if stream_count == 0 || stream_count > 32 {
-            return Err(ReadFormatError::Corrupt("stream count"));
+            return Err(corrupt("stream count"));
         }
         let mut streams = Vec::with_capacity(stream_count);
         for _ in 0..stream_count {
-            let n = r.read_bits(8)? as usize;
+            let n = r.read_bits(8).map_err(named)? as usize;
             let mut bits = Vec::with_capacity(n);
             for _ in 0..n {
-                bits.push(r.read_bits(8)? as u8);
+                bits.push(r.read_bits(8).map_err(named)? as u8);
             }
             streams.push(bits);
         }
-        let division = StreamDivision::new(streams, width)
-            .map_err(|_| ReadFormatError::Corrupt("stream division"))?;
-        let context_bits = r.read_bits(2)? as u8;
-        let prob_mode = if r.read_bit()? { ProbMode::Pow2 } else { ProbMode::Exact };
+        let division =
+            StreamDivision::new(streams, width).map_err(|_| corrupt("stream division"))?;
+        let context_bits = r.read_bits(2).map_err(named)? as u8;
+        let prob_mode = if r.read_bit().map_err(named)? { ProbMode::Pow2 } else { ProbMode::Exact };
         r.align_to_byte();
 
         let contexts = 1usize << context_bits;
@@ -164,8 +145,8 @@ impl SamcCodec {
                 let mut probs = vec![Prob::HALF; nodes];
                 for node in probs.iter_mut().skip(1) {
                     *node = match prob_mode {
-                        ProbMode::Exact => Prob::from_raw(r.read_bits(12)?),
-                        ProbMode::Pow2 => nibble_pow2(r.read_bits(4)? as u8),
+                        ProbMode::Exact => Prob::from_raw(r.read_bits(12).map_err(named)?),
+                        ProbMode::Pow2 => nibble_pow2(r.read_bits(4).map_err(named)? as u8),
                     };
                 }
                 per_ctx.push(probs);
@@ -176,60 +157,6 @@ impl SamcCodec {
         let config = SamcConfig { block_size, division: division.clone(), markov };
         let model = MarkovModel::from_parts(division, markov, trees);
         Ok(SamcCodec::from_parts(config, model))
-    }
-}
-
-impl SamcImage {
-    /// Serializes the compressed image (blocks; the LAT is implicit in the
-    /// stored block lengths and reconstructed on load).
-    pub fn to_bytes(&self) -> Vec<u8> {
-        let mut w = BitWriter::new();
-        w.write_bits(IMAGE_MAGIC, 32);
-        w.write_bits(u32::from(VERSION), 16);
-        w.write_bits(self.block_size() as u32, 32);
-        w.write_bits(self.original_len() as u32, 32);
-        w.write_bits(self.model_overhead_bytes() as u32, 32);
-        w.write_bits(self.block_count() as u32, 32);
-        for i in 0..self.block_count() {
-            w.write_bits(self.block(i).len() as u32, 16);
-        }
-        for i in 0..self.block_count() {
-            w.write_bytes(self.block(i));
-        }
-        w.into_bytes()
-    }
-
-    /// Deserializes an image written by [`SamcImage::to_bytes`].
-    ///
-    /// # Errors
-    ///
-    /// See [`ReadFormatError`].
-    pub fn from_bytes(bytes: &[u8]) -> Result<Self, ReadFormatError> {
-        let mut c = ByteCursor::new(bytes);
-        let magic = c.read_u32_be()?;
-        if magic != IMAGE_MAGIC {
-            return Err(ReadFormatError::BadMagic { found: magic, expected: IMAGE_MAGIC });
-        }
-        let version = c.read_u16_be()?;
-        if version != VERSION {
-            return Err(ReadFormatError::BadVersion(version));
-        }
-        let block_size = c.read_u32_be()? as usize;
-        let original_len = c.read_u32_be()? as usize;
-        let model_bytes = c.read_u32_be()? as usize;
-        let block_count = c.read_u32_be()? as usize;
-        if block_size == 0 || block_count != original_len.div_ceil(block_size) {
-            return Err(ReadFormatError::Corrupt("block geometry"));
-        }
-        let mut lengths = Vec::with_capacity(block_count);
-        for _ in 0..block_count {
-            lengths.push(c.read_u16_be()? as usize);
-        }
-        let mut blocks = Vec::with_capacity(block_count);
-        for len in lengths {
-            blocks.push(c.read_bytes(len)?.to_vec());
-        }
-        Ok(SamcImage::from_parts(blocks, block_size, original_len, model_bytes))
     }
 }
 
@@ -257,6 +184,7 @@ fn nibble_pow2(nibble: u8) -> Prob {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cce_codec::BlockImage;
 
     fn training_text() -> Vec<u8> {
         (0..2048u32).flat_map(|i| ((i % 11) << 2 | 0x8000_0000).to_be_bytes()).collect()
@@ -321,11 +249,11 @@ mod tests {
     }
 
     #[test]
-    fn image_round_trips() {
+    fn image_round_trips_through_generic_format() {
         let text = training_text();
         let codec = SamcCodec::train(&text, SamcConfig::mips()).unwrap();
         let image = codec.compress(&text);
-        let restored = SamcImage::from_bytes(&image.to_bytes()).unwrap();
+        let restored = BlockImage::from_bytes(&image.to_bytes()).unwrap();
         assert_eq!(restored, image);
     }
 
@@ -333,7 +261,7 @@ mod tests {
     fn wrong_magic_is_rejected() {
         assert!(matches!(
             SamcCodec::from_bytes(b"NOPE1234"),
-            Err(ReadFormatError::BadMagic { .. })
+            Err(CodecError::Corrupt { codec: "SAMC", .. })
         ));
         let text = training_text();
         let codec = SamcCodec::train(&text, SamcConfig::mips()).unwrap();
@@ -341,7 +269,7 @@ mod tests {
         let image_bytes = codec.compress(&text).to_bytes();
         assert!(matches!(
             SamcCodec::from_bytes(&image_bytes),
-            Err(ReadFormatError::BadMagic { .. })
+            Err(CodecError::Corrupt { codec: "SAMC", .. })
         ));
     }
 
@@ -350,12 +278,36 @@ mod tests {
         let text = training_text();
         let codec = SamcCodec::train(&text, SamcConfig::mips()).unwrap();
         let bytes = codec.to_bytes();
-        for cut in [2, 8, 20, bytes.len() / 2] {
+        for cut in 0..bytes.len().min(64) {
             assert!(SamcCodec::from_bytes(&bytes[..cut]).is_err(), "cut {cut}");
         }
-        let image_bytes = codec.compress(&text).to_bytes();
-        for cut in [2, 10, image_bytes.len() - 1] {
-            assert!(SamcImage::from_bytes(&image_bytes[..cut]).is_err(), "cut {cut}");
+        assert!(SamcCodec::from_bytes(&bytes[..bytes.len() / 2]).is_err());
+    }
+
+    #[test]
+    fn corrupt_fields_fail_cleanly_not_by_panic() {
+        let text = training_text();
+        let codec = SamcCodec::train(&text, SamcConfig::mips()).unwrap();
+        let bytes = codec.to_bytes();
+        // Byte 10 is the stream width; 0, 33 and 255 previously hit the
+        // `StreamDivision::new` assertion and aborted.
+        for bad_width in [0u8, 5, 33, 255] {
+            let mut bad = bytes.clone();
+            bad[10] = bad_width;
+            assert!(matches!(
+                SamcCodec::from_bytes(&bad),
+                Err(CodecError::Corrupt { codec: "SAMC", .. })
+            ));
+        }
+        // Bytes 6..10 are the block size; zero is not usable.
+        let mut bad = bytes.clone();
+        bad[6..10].copy_from_slice(&0u32.to_be_bytes());
+        assert!(SamcCodec::from_bytes(&bad).is_err());
+        // Every single-byte corruption must at worst error, never abort.
+        for i in 0..bytes.len().min(128) {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0xFF;
+            let _ = SamcCodec::from_bytes(&bad);
         }
     }
 

@@ -9,8 +9,9 @@
 //!
 //! Run with: `cargo run --example persistence`
 
+use cce_core::codec::BlockImage;
 use cce_core::isa::Isa;
-use cce_core::samc::{SamcCodec, SamcConfig, SamcImage};
+use cce_core::samc::{SamcCodec, SamcConfig};
 use cce_core::workload::spec95_suite;
 use std::error::Error;
 
@@ -39,7 +40,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     // ---- device side ----------------------------------------------------
     // Nothing from the toolchain's memory survives: reload from disk.
     let device_codec = SamcCodec::from_bytes(&std::fs::read(&codec_path)?)?;
-    let device_image = SamcImage::from_bytes(&std::fs::read(&image_path)?)?;
+    let device_image = BlockImage::from_bytes(&std::fs::read(&image_path)?)?;
 
     // Serve a few "cache misses".
     for block in [0usize, 17, device_image.block_count() - 1] {

@@ -23,4 +23,7 @@ echo "== clippy =="
 cargo clippy --workspace --all-targets -- -D warnings
 cargo clippy -p cce-bench --all-targets --features timing -- -D warnings
 
+echo "== rustdoc =="
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
 echo "CI green."

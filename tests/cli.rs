@@ -44,7 +44,7 @@ fn compress_info_decompress_round_trip_samc() {
     let output = cce(&["info", cce_path.to_str().expect("utf8")]);
     assert!(output.status.success());
     let stdout = String::from_utf8_lossy(&output.stdout);
-    assert!(stdout.contains("Samc"), "{stdout}");
+    assert!(stdout.contains("SAMC"), "{stdout}");
     assert!(stdout.contains("ratio"), "{stdout}");
 
     let output = cce(&[
@@ -100,6 +100,89 @@ fn ratio_prints_all_algorithms() {
     for name in ["compress", "gzip", "huffman", "SAMC", "SADC"] {
         assert!(stdout.contains(name), "missing {name} in:\n{stdout}");
     }
+}
+
+#[test]
+fn ratio_emits_json_with_custom_block_size() {
+    let dir = temp_dir("ratio-json");
+    let (elf_path, _) = write_test_elf(&dir, Isa::Mips);
+    let output = cce(&["ratio", elf_path.to_str().expect("utf8"), "-b", "64", "--json"]);
+    assert!(output.status.success(), "{}", String::from_utf8_lossy(&output.stderr));
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let json = stdout.trim();
+    assert!(json.starts_with('[') && json.ends_with(']'), "{json}");
+    for needle in ["\"algorithm\":\"SAMC\"", "\"ratio\":", "\"lat_bytes\":", "\"block_count\":"] {
+        assert!(json.contains(needle), "missing {needle} in:\n{json}");
+    }
+    assert_eq!(json.matches("\"algorithm\"").count(), 5, "{json}");
+}
+
+#[test]
+fn compress_round_trips_huffman() {
+    let dir = temp_dir("huffman");
+    let (elf_path, text) = write_test_elf(&dir, Isa::Mips);
+    let cce_path = dir.join("out.cce");
+    let out_elf = dir.join("out.elf");
+
+    let output = cce(&[
+        "compress",
+        elf_path.to_str().expect("utf8"),
+        "-a",
+        "huffman",
+        "-o",
+        cce_path.to_str().expect("utf8"),
+    ]);
+    assert!(output.status.success(), "{}", String::from_utf8_lossy(&output.stderr));
+
+    let output = cce(&["info", cce_path.to_str().expect("utf8")]);
+    assert!(output.status.success());
+    assert!(String::from_utf8_lossy(&output.stdout).contains("huffman"));
+
+    let output = cce(&[
+        "decompress",
+        cce_path.to_str().expect("utf8"),
+        "-o",
+        out_elf.to_str().expect("utf8"),
+    ]);
+    assert!(output.status.success(), "{}", String::from_utf8_lossy(&output.stderr));
+    let rebuilt = ElfImage::parse(&std::fs::read(&out_elf).expect("readable")).expect("valid ELF");
+    assert_eq!(rebuilt.text().expect("has text"), &text[..]);
+}
+
+#[test]
+fn corrupt_container_fails_cleanly() {
+    let dir = temp_dir("corrupt");
+    let (elf_path, _) = write_test_elf(&dir, Isa::Mips);
+    let cce_path = dir.join("out.cce");
+    let output = cce(&[
+        "compress",
+        elf_path.to_str().expect("utf8"),
+        "-a",
+        "sadc",
+        "-o",
+        cce_path.to_str().expect("utf8"),
+    ]);
+    assert!(output.status.success(), "{}", String::from_utf8_lossy(&output.stderr));
+
+    // Truncate the artifact and flip a codec byte: both must fail with a
+    // clean diagnostic, never a panic.
+    let artifact = std::fs::read(&cce_path).expect("readable");
+    let truncated = dir.join("truncated.cce");
+    std::fs::write(&truncated, &artifact[..artifact.len() / 2]).expect("written");
+    let output = cce(&["decompress", truncated.to_str().expect("utf8"), "-o", "/dev/null"]);
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("cce:"), "{stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+
+    let mut flipped = artifact.clone();
+    let mid = 20 + (flipped.len() - 20) / 4;
+    flipped[mid] ^= 0xFF;
+    let flipped_path = dir.join("flipped.cce");
+    std::fs::write(&flipped_path, &flipped).expect("written");
+    let output = cce(&["info", flipped_path.to_str().expect("utf8")]);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(!stderr.contains("panicked"), "{stderr}");
 }
 
 #[test]

@@ -103,30 +103,19 @@ fn hit_behaviour_is_compression_independent() {
 /// memory" this repository can claim without an RTL CPU.
 mod functional {
     use super::*;
+    use cce_core::codec::{BlockCodec, BlockImage};
     use cce_core::memsim::RefillDecompressor;
-    use cce_core::sadc::{MipsSadc, MipsSadcConfig, SadcImage};
-    use cce_core::samc::{SamcCodec, SamcConfig, SamcImage};
+    use cce_core::sadc::{MipsSadc, MipsSadcConfig};
+    use cce_core::samc::{SamcCodec, SamcConfig};
 
-    struct SamcRefill<'a> {
-        codec: &'a SamcCodec,
-        image: &'a SamcImage,
+    /// One refill adapter serves every codec behind the trait: the memory
+    /// system only ever sees `&dyn BlockCodec` plus its image.
+    struct CodecRefill<'a> {
+        codec: &'a dyn BlockCodec,
+        image: &'a BlockImage,
     }
 
-    impl RefillDecompressor for SamcRefill<'_> {
-        fn refill(&self, index: usize, out_len: usize) -> Option<Vec<u8>> {
-            if index >= self.image.block_count() {
-                return None;
-            }
-            self.codec.decompress_block(self.image.block(index), out_len).ok()
-        }
-    }
-
-    struct SadcRefill<'a> {
-        codec: &'a MipsSadc,
-        image: &'a SadcImage,
-    }
-
-    impl RefillDecompressor for SadcRefill<'_> {
+    impl RefillDecompressor for CodecRefill<'_> {
         fn refill(&self, index: usize, out_len: usize) -> Option<Vec<u8>> {
             if index >= self.image.block_count() {
                 return None;
@@ -142,8 +131,7 @@ mod functional {
         let codec = SamcCodec::train(&program.text, SamcConfig::mips()).expect("trainable");
         let image = codec.compress(&program.text);
 
-        let sizes: Vec<usize> = (0..image.block_count()).map(|i| image.block(i).len()).collect();
-        let lat = LineAddressTable::from_block_sizes(sizes);
+        let lat = LineAddressTable::from_image(&image);
         let mut system =
             MemorySystem::compressed(cache_config(2048), CostModel::default(), lat, 32);
         let trace = instruction_trace(
@@ -153,7 +141,7 @@ mod functional {
         // Every miss really decompresses and byte-compares inside run_functional.
         let report = system.run_functional(
             &trace,
-            &SamcRefill { codec: &codec, image: &image },
+            &CodecRefill { codec: &codec, image: &image },
             &program.text,
         );
         assert!(report.cache.misses > 0, "trace must exercise refills");
@@ -165,8 +153,7 @@ mod functional {
         let program = programs.iter().find(|p| p.name == "compress").expect("in suite");
         let codec = MipsSadc::train(&program.text, MipsSadcConfig::default()).expect("trainable");
         let image = codec.compress(&program.text);
-        let sizes: Vec<usize> = (0..image.block_count()).map(|i| image.block(i).len()).collect();
-        let lat = LineAddressTable::from_block_sizes(sizes);
+        let lat = LineAddressTable::from_image(&image);
         let mut system =
             MemorySystem::compressed(cache_config(1024), CostModel::default(), lat, 16);
         let trace = instruction_trace(
@@ -175,7 +162,7 @@ mod functional {
         );
         let report = system.run_functional(
             &trace,
-            &SadcRefill { codec: &codec, image: &image },
+            &CodecRefill { codec: &codec, image: &image },
             &program.text,
         );
         assert!(report.cache.misses > 0, "trace must exercise refills");

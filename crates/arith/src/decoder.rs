@@ -47,10 +47,19 @@ impl<'a> BitDecoder<'a> {
             self.range -= bound;
             true
         };
-        while self.range < RENORM_THRESHOLD {
+        // Renormalization is bounded by construction: `Prob` is clamped to
+        // [1, 4095] so `bound >= range >> 12 > 0` and the post-decode range
+        // is at least 2^12 before the threshold (2^24) — at most 2 refills
+        // restore it, 3 from the initial `u32::MAX` state.  The explicit
+        // guard makes the loop termination unconditional even under a
+        // hypothetical future probability-model bug: a zero range would
+        // otherwise shift forever and hang the refill engine.
+        let mut refills = 0u32;
+        while self.range < RENORM_THRESHOLD && refills < 4 {
             self.code = self.code << 8 | u32::from(self.next_byte());
             self.range <<= 8;
             self.renorm_reads += 1;
+            refills += 1;
         }
         bit
     }

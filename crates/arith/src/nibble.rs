@@ -116,6 +116,11 @@ impl<'a> NibbleDecoder<'a> {
     /// Decodes the next four bits using the supplied probability subtree,
     /// returning them as the low bits of a byte (first decoded bit is the
     /// MSB of the nibble).
+    ///
+    /// Termination is unconditional on any input: the four-bit walk is a
+    /// fixed-count loop and the inner [`BitDecoder`] bounds its
+    /// renormalization refills, so corrupt streams decode to garbage
+    /// nibbles rather than stalling the engine.
     pub fn decode_nibble(&mut self, tree: &NibbleProbTree) -> u8 {
         let loads_before = self.inner.renorm_reads();
         let mut nibble = 0u8;

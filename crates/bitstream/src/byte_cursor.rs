@@ -107,7 +107,9 @@ impl<'a> ByteCursor<'a> {
     /// Returns [`EndOfStreamError`] if `offset` lies beyond the buffer.
     pub fn seek(&mut self, offset: usize) -> Result<(), EndOfStreamError> {
         if offset > self.bytes.len() {
-            return Err(EndOfStreamError::new(offset * 8));
+            // offset may be input-derived and huge; the bit position in the
+            // error is diagnostic only, so saturate rather than overflow.
+            return Err(EndOfStreamError::new(offset.saturating_mul(8)));
         }
         self.position = offset;
         Ok(())
@@ -167,5 +169,12 @@ mod tests {
     fn read_bytes_overflow_is_error_not_panic() {
         let mut c = ByteCursor::new(&[0u8; 4]);
         assert!(c.read_bytes(usize::MAX).is_err());
+    }
+
+    #[test]
+    fn seek_near_usize_max_is_error_not_panic() {
+        let mut c = ByteCursor::new(&[0u8; 4]);
+        assert!(c.seek(usize::MAX).is_err());
+        assert_eq!(c.position(), 0);
     }
 }

@@ -9,6 +9,17 @@ const MAGIC: &[u8; 4] = b"CIMG";
 const VERSION: u16 = 1;
 /// Name used for errors raised by image (de)serialization itself.
 const SELF: &str = "block image";
+/// Largest nominal block size [`BlockImage::from_bytes`] accepts (1 MiB).
+///
+/// Cache-block codecs use 16–1024 byte blocks; a deserialized image
+/// claiming more is corrupt, and bounding it caps how much output a
+/// tampered per-block length can demand from a zero-filling decoder.
+const MAX_BLOCK_SIZE: usize = 1 << 20;
+/// Allowance above the nominal block size for a single block's
+/// uncompressed length: instruction-aligned codecs (x86 SADC) overshoot
+/// the nominal size by up to one instruction, and the final partial block
+/// may be anything below it.
+const BLOCK_SLACK: usize = 64;
 
 /// A compressed program divided into independently decompressible blocks.
 ///
@@ -163,6 +174,9 @@ impl BlockImage {
             return Err(CodecError::corrupt(SELF, format!("unsupported version {version}")));
         }
         let block_size = cursor.read_u32_be()? as usize;
+        if block_size > MAX_BLOCK_SIZE {
+            return Err(CodecError::corrupt(SELF, "block size exceeds limit"));
+        }
         let original_len = cursor.read_u32_be()? as usize;
         let model_bytes = cursor.read_u32_be()? as usize;
         let block_count = cursor.read_u32_be()? as usize;
@@ -178,6 +192,12 @@ impl BlockImage {
         for _ in 0..block_count {
             let uncompressed = cursor.read_u32_be()? as usize;
             let compressed = cursor.read_u32_be()? as usize;
+            if uncompressed > block_size + BLOCK_SLACK {
+                return Err(CodecError::corrupt(
+                    SELF,
+                    "block uncompressed length exceeds block size",
+                ));
+            }
             uncompressed_total = uncompressed_total
                 .checked_add(uncompressed)
                 .ok_or_else(|| CodecError::corrupt(SELF, "uncompressed total overflows"))?;
@@ -254,5 +274,56 @@ mod tests {
         bad[18] = 0xFF;
         bad[19] = 0xFF;
         assert!(BlockImage::from_bytes(&bad).is_err());
+    }
+
+    #[test]
+    fn zero_length_blocks_round_trip() {
+        // A fully compressible block can shrink to zero compressed bytes,
+        // and a zero-length *uncompressed* block is legal padding.
+        let image = BlockImage::new(vec![vec![], vec![], vec![7]], vec![0, 32, 32], 32, 64, 0);
+        let restored = BlockImage::from_bytes(&image.to_bytes()).unwrap();
+        assert_eq!(restored, image);
+        assert_eq!(restored.block(0), &[] as &[u8]);
+        assert_eq!(restored.block_uncompressed_len(0), 0);
+    }
+
+    #[test]
+    fn single_byte_final_block_round_trips() {
+        let image = BlockImage::new(vec![vec![9, 9], vec![5]], vec![32, 1], 32, 33, 4);
+        let restored = BlockImage::from_bytes(&image.to_bytes()).unwrap();
+        assert_eq!(restored, image);
+        assert_eq!(restored.block_uncompressed_len(1), 1);
+    }
+
+    #[test]
+    fn u32_boundary_fields_are_handled() {
+        // original_len and model_bytes at the u32 ceiling serialize and
+        // fail deserialization *cleanly* when inconsistent: the claimed
+        // original length cannot be covered by capped per-block lengths.
+        let mut bytes = sample().to_bytes();
+        bytes[10..14].copy_from_slice(&u32::MAX.to_be_bytes()); // original_len
+        assert!(matches!(BlockImage::from_bytes(&bytes), Err(CodecError::Corrupt { .. })));
+        // Block count at the u32 ceiling is rejected before allocation.
+        let mut bytes = sample().to_bytes();
+        bytes[18..22].copy_from_slice(&u32::MAX.to_be_bytes()); // block_count
+        assert!(matches!(BlockImage::from_bytes(&bytes), Err(CodecError::Corrupt { .. })));
+    }
+
+    #[test]
+    fn oversized_block_size_is_rejected() {
+        let mut bytes = sample().to_bytes();
+        bytes[6..10].copy_from_slice(&u32::MAX.to_be_bytes()); // block_size
+        assert!(matches!(BlockImage::from_bytes(&bytes), Err(CodecError::Corrupt { .. })));
+    }
+
+    #[test]
+    fn per_block_length_exceeding_block_size_is_rejected() {
+        // A tampered per-block uncompressed length is the classic decode
+        // amplification vector: the zero-filling SAMC decoder would happily
+        // synthesize gigabytes. The header check stops it.
+        let image = BlockImage::new(vec![vec![1]], vec![32], 32, 32, 0);
+        let mut bytes = image.to_bytes();
+        bytes[22..26].copy_from_slice(&u32::MAX.to_be_bytes()); // block 0 uncompressed
+        assert!(matches!(BlockImage::from_bytes(&bytes), Err(CodecError::Corrupt { .. })));
     }
 }

@@ -5,6 +5,7 @@
 //! cce compress [-a ALGO] [-b BLOCK] <input.elf> -o <out.cce>
 //! cce decompress <in.cce> -o <out.elf>       # rebuild a minimal ELF
 //! cce info <in.cce>                          # inspect a compressed artifact
+//! cce fuzz --algo <name|all> --cases N --seed S  # adversarial decode fuzzing
 //! ```
 //!
 //! The `.cce` container holds the trained codec (Markov tables or
@@ -15,13 +16,13 @@
 //! knows is a valid container payload.
 
 use cce_core::codec::{compress_parallel, worker_count, BlockImage};
-use cce_core::elf::{Class, ElfImage, Endianness, Machine};
+use cce_core::container::Container;
+use cce_core::elf::{ElfImage, Machine};
+use cce_core::fuzz::FuzzConfig;
 use cce_core::isa::Isa;
 use cce_core::{measure, report, Algorithm};
 use std::error::Error;
 use std::process::ExitCode;
-
-const CONTAINER_MAGIC: &[u8; 4] = b"CCEF";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -42,6 +43,7 @@ fn run(args: &[String]) -> Result<(), Box<dyn Error>> {
         Some("info") => info(&args[1..]),
         Some("analyze") => analyze(&args[1..]),
         Some("disasm") => disasm(&args[1..]),
+        Some("fuzz") => fuzz(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             print_usage();
             Ok(())
@@ -60,6 +62,7 @@ fn print_usage() {
     println!("  cce info <in.cce>");
     println!("  cce analyze <input.elf>                       entropy diagnostics");
     println!("  cce disasm <input.elf> [-n COUNT]             disassemble (MIPS only)");
+    println!("  cce fuzz --algo <name|all> --cases N --seed S adversarial decode fuzzing");
 }
 
 /// Parsed command-line flags.
@@ -69,6 +72,8 @@ struct Flags<'a> {
     algorithm: Option<&'a str>,
     block_size: usize,
     json: bool,
+    cases: usize,
+    seed: u64,
 }
 
 /// Parses `-o out` plus positional arguments.
@@ -78,6 +83,9 @@ fn split_flags(args: &[String]) -> Result<Flags<'_>, String> {
     let mut algorithm = None;
     let mut block_size = 32usize;
     let mut json = false;
+    let defaults = FuzzConfig::default();
+    let mut cases = defaults.cases;
+    let mut seed = defaults.seed;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -85,8 +93,24 @@ fn split_flags(args: &[String]) -> Result<Flags<'_>, String> {
                 output = Some(args.get(i + 1).ok_or("missing value after -o")?.as_str());
                 i += 2;
             }
-            "-a" | "--algorithm" => {
+            "-a" | "--algo" | "--algorithm" => {
                 algorithm = Some(args.get(i + 1).ok_or("missing value after -a")?.as_str());
+                i += 2;
+            }
+            "--cases" => {
+                cases = args
+                    .get(i + 1)
+                    .ok_or("missing value after --cases")?
+                    .parse()
+                    .map_err(|_| "cases must be an integer")?;
+                i += 2;
+            }
+            "--seed" => {
+                seed = args
+                    .get(i + 1)
+                    .ok_or("missing value after --seed")?
+                    .parse()
+                    .map_err(|_| "seed must be an integer")?;
                 i += 2;
             }
             "-n" | "--count" => {
@@ -115,7 +139,7 @@ fn split_flags(args: &[String]) -> Result<Flags<'_>, String> {
             }
         }
     }
-    Ok(Flags { positional, output, algorithm, block_size, json })
+    Ok(Flags { positional, output, algorithm, block_size, json, cases, seed })
 }
 
 fn load_elf(path: &str) -> Result<(ElfImage, Isa), Box<dyn Error>> {
@@ -193,27 +217,16 @@ fn compress(args: &[String]) -> Result<(), Box<dyn Error>> {
     }
     let codec_bytes = codec.to_bytes();
     let image_bytes = image.to_bytes();
-
-    // Container: magic, codec kind (= Algorithm tag), ELF identity, codec, image.
-    let mut out = Vec::new();
-    out.extend_from_slice(CONTAINER_MAGIC);
-    out.push(algorithm.tag());
-    out.push(match isa {
-        Isa::Mips => 0,
-        Isa::X86 => 1,
-    });
-    out.push(match elf.class {
-        Class::Elf32 => 0,
-        Class::Elf64 => 1,
-    });
-    out.push(match elf.endianness {
-        Endianness::Little => 0,
-        Endianness::Big => 1,
-    });
-    out.extend_from_slice(&elf.entry.to_be_bytes());
-    out.extend_from_slice(&(codec_bytes.len() as u32).to_be_bytes());
-    out.extend_from_slice(&codec_bytes);
-    out.extend_from_slice(&image_bytes);
+    let out = Container {
+        algorithm,
+        isa,
+        class: elf.class,
+        endianness: elf.endianness,
+        entry: elf.entry,
+        codec_bytes: &codec_bytes,
+        image_bytes: &image_bytes,
+    }
+    .to_bytes();
     std::fs::write(output, &out)?;
     println!(
         "{path}: {} -> {} bytes (text ratio {:.3}, artifact {} bytes)",
@@ -225,43 +238,6 @@ fn compress(args: &[String]) -> Result<(), Box<dyn Error>> {
     Ok(())
 }
 
-/// A parsed `.cce` container.
-struct Container<'a> {
-    algorithm: Algorithm,
-    isa: Isa,
-    class: Class,
-    endianness: Endianness,
-    entry: u64,
-    codec_bytes: &'a [u8],
-    image_bytes: &'a [u8],
-}
-
-/// Parses a `.cce` container into its parts.
-fn parse_container(bytes: &[u8]) -> Result<Container<'_>, Box<dyn Error>> {
-    if bytes.len() < 20 || &bytes[0..4] != CONTAINER_MAGIC {
-        return Err("not a cce container".into());
-    }
-    let algorithm = Algorithm::from_tag(bytes[4]).ok_or("unknown codec tag")?;
-    if !algorithm.random_access() {
-        return Err("container holds a file-oriented codec tag".into());
-    }
-    let isa = match bytes[5] {
-        0 => Isa::Mips,
-        1 => Isa::X86,
-        _ => return Err("unknown isa tag".into()),
-    };
-    let class = if bytes[6] == 0 { Class::Elf32 } else { Class::Elf64 };
-    let endianness = if bytes[7] == 0 { Endianness::Little } else { Endianness::Big };
-    let entry = u64::from_be_bytes(bytes[8..16].try_into().expect("8 bytes"));
-    let codec_len = u32::from_be_bytes(bytes[16..20].try_into().expect("4 bytes")) as usize;
-    let rest = &bytes[20..];
-    if rest.len() < codec_len {
-        return Err("container truncated".into());
-    }
-    let (codec_bytes, image_bytes) = rest.split_at(codec_len);
-    Ok(Container { algorithm, isa, class, endianness, entry, codec_bytes, image_bytes })
-}
-
 fn decompress(args: &[String]) -> Result<(), Box<dyn Error>> {
     let Flags { positional, output, .. } = split_flags(args)?;
     let [path] = positional.as_slice() else {
@@ -270,7 +246,7 @@ fn decompress(args: &[String]) -> Result<(), Box<dyn Error>> {
     let output = output.ok_or("missing -o <out.elf>")?;
     let bytes = std::fs::read(path)?;
     let Container { algorithm, isa, class, endianness, entry, codec_bytes, image_bytes } =
-        parse_container(&bytes)?;
+        Container::parse(&bytes)?;
 
     let image = BlockImage::from_bytes(image_bytes)?;
     let handle = algorithm.build(isa, image.block_size()).codec_from_bytes(codec_bytes)?;
@@ -355,7 +331,7 @@ fn info(args: &[String]) -> Result<(), Box<dyn Error>> {
     };
     let bytes = std::fs::read(path)?;
     let Container { algorithm, isa, class, endianness, entry, codec_bytes, image_bytes } =
-        parse_container(&bytes)?;
+        Container::parse(&bytes)?;
     let image = BlockImage::from_bytes(image_bytes)?;
     println!("{path}:");
     println!("  codec:      {algorithm}");
@@ -374,5 +350,36 @@ fn info(args: &[String]) -> Result<(), Box<dyn Error>> {
         image.model_bytes(),
         image.lat_bytes()
     );
+    Ok(())
+}
+
+fn fuzz(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let Flags { positional, algorithm, cases, seed, .. } = split_flags(args)?;
+    if !positional.is_empty() {
+        return Err("usage: cce fuzz --algo <name|all> --cases N --seed S".into());
+    }
+    let config = FuzzConfig { cases, seed };
+    let reports = match algorithm.unwrap_or("all") {
+        "all" => cce_core::fuzz::run_all(&config),
+        name => {
+            let algorithm = Algorithm::by_name(name)
+                .ok_or_else(|| format!("unknown algorithm `{name}` (or `all`)"))?;
+            cce_core::fuzz::run(algorithm, &config)
+        }
+    };
+    let mut dirty = 0usize;
+    for report in &reports {
+        println!("{}", report.summary());
+        for failure in &report.failures {
+            println!("    {failure}");
+        }
+        if !report.is_clean() {
+            dirty += 1;
+        }
+    }
+    if dirty > 0 {
+        return Err(format!("{dirty} of {} targets reported failures", reports.len()).into());
+    }
+    println!("all {} targets clean ({cases} cases each, seed {seed})", reports.len());
     Ok(())
 }

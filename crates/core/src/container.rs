@@ -1,0 +1,162 @@
+//! The `.cce` container format shared by the CLI and the fuzz harness.
+//!
+//! A `.cce` artifact packages everything the decompressor needs: the
+//! trained codec model, the block image, and enough ELF identity (ISA,
+//! class, endianness, entry point) to rebuild a loadable executable
+//! around the decompressed text section.  Layout (all integers
+//! big-endian):
+//!
+//! ```text
+//! offset  size  field
+//!      0     4  magic "CCEF"
+//!      4     1  codec kind (= Algorithm::tag, random-access only)
+//!      5     1  ISA (0 = MIPS, 1 = x86)
+//!      6     1  ELF class (0 = ELF32, 1 = ELF64)
+//!      7     1  endianness (0 = little, 1 = big)
+//!      8     8  ELF entry point
+//!     16     4  codec model length N
+//!     20     N  serialized codec model
+//!   20+N     —  serialized BlockImage
+//! ```
+
+use crate::registry::Algorithm;
+use cce_codec::CodecError;
+use cce_elf::{Class, Endianness};
+use cce_isa::Isa;
+
+/// Magic number opening a `.cce` container.
+pub const CONTAINER_MAGIC: &[u8; 4] = b"CCEF";
+
+/// Name used in [`CodecError::Corrupt`] raised by container parsing.
+const SELF: &str = "container";
+
+/// A parsed `.cce` container, borrowing the codec and image payloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Container<'a> {
+    /// The codec that produced the image (always random-access).
+    pub algorithm: Algorithm,
+    /// Instruction set of the compressed text.
+    pub isa: Isa,
+    /// ELF class of the original executable.
+    pub class: Class,
+    /// Endianness of the original executable.
+    pub endianness: Endianness,
+    /// ELF entry point of the original executable.
+    pub entry: u64,
+    /// Serialized codec model (feed to `CodecBuilder::codec_from_bytes`).
+    pub codec_bytes: &'a [u8],
+    /// Serialized block image (feed to `BlockImage::from_bytes`).
+    pub image_bytes: &'a [u8],
+}
+
+impl<'a> Container<'a> {
+    /// Parses a `.cce` container.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::Corrupt`] on a bad magic number, unknown or
+    /// file-oriented codec tag, unknown ISA tag, or truncation; this
+    /// function never panics on malformed input.
+    pub fn parse(bytes: &'a [u8]) -> Result<Self, CodecError> {
+        if bytes.len() < 20 || &bytes[0..4] != CONTAINER_MAGIC {
+            return Err(CodecError::corrupt(SELF, "not a cce container"));
+        }
+        let algorithm = Algorithm::from_tag(bytes[4])
+            .ok_or_else(|| CodecError::corrupt(SELF, "unknown codec tag"))?;
+        if !algorithm.random_access() {
+            return Err(CodecError::corrupt(SELF, "container holds a file-oriented codec tag"));
+        }
+        let isa = match bytes[5] {
+            0 => Isa::Mips,
+            1 => Isa::X86,
+            _ => return Err(CodecError::corrupt(SELF, "unknown isa tag")),
+        };
+        let class = if bytes[6] == 0 { Class::Elf32 } else { Class::Elf64 };
+        let endianness = if bytes[7] == 0 { Endianness::Little } else { Endianness::Big };
+        let entry = u64::from_be_bytes(bytes[8..16].try_into().expect("8 bytes"));
+        let codec_len = u32::from_be_bytes(bytes[16..20].try_into().expect("4 bytes")) as usize;
+        let rest = &bytes[20..];
+        if rest.len() < codec_len {
+            return Err(CodecError::corrupt(SELF, "container truncated"));
+        }
+        let (codec_bytes, image_bytes) = rest.split_at(codec_len);
+        Ok(Self { algorithm, isa, class, endianness, entry, codec_bytes, image_bytes })
+    }
+
+    /// Serializes the container.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(20 + self.codec_bytes.len() + self.image_bytes.len());
+        out.extend_from_slice(CONTAINER_MAGIC);
+        out.push(self.algorithm.tag());
+        out.push(match self.isa {
+            Isa::Mips => 0,
+            Isa::X86 => 1,
+        });
+        out.push(match self.class {
+            Class::Elf32 => 0,
+            Class::Elf64 => 1,
+        });
+        out.push(match self.endianness {
+            Endianness::Little => 0,
+            Endianness::Big => 1,
+        });
+        out.extend_from_slice(&self.entry.to_be_bytes());
+        out.extend_from_slice(&(self.codec_bytes.len() as u32).to_be_bytes());
+        out.extend_from_slice(self.codec_bytes);
+        out.extend_from_slice(self.image_bytes);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<u8> {
+        Container {
+            algorithm: Algorithm::Samc,
+            isa: Isa::Mips,
+            class: Class::Elf32,
+            endianness: Endianness::Big,
+            entry: 0x40_0000,
+            codec_bytes: &[1, 2, 3],
+            image_bytes: &[4, 5],
+        }
+        .to_bytes()
+    }
+
+    #[test]
+    fn round_trips() {
+        let bytes = sample();
+        let parsed = Container::parse(&bytes).unwrap();
+        assert_eq!(parsed.algorithm, Algorithm::Samc);
+        assert_eq!(parsed.isa, Isa::Mips);
+        assert_eq!(parsed.entry, 0x40_0000);
+        assert_eq!(parsed.codec_bytes, &[1, 2, 3]);
+        assert_eq!(parsed.image_bytes, &[4, 5]);
+        assert_eq!(parsed.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn malformed_containers_are_typed_errors() {
+        let bytes = sample();
+        // Too short / bad magic.
+        assert!(Container::parse(&[]).is_err());
+        assert!(Container::parse(b"CCEFxxxx").is_err());
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(matches!(Container::parse(&bad), Err(CodecError::Corrupt { .. })));
+        // Unknown codec tag.
+        let mut bad = bytes.clone();
+        bad[4] = 0xEE;
+        assert!(Container::parse(&bad).is_err());
+        // Unknown ISA tag.
+        let mut bad = bytes.clone();
+        bad[5] = 9;
+        assert!(Container::parse(&bad).is_err());
+        // Codec length past EOF.
+        let mut bad = bytes.clone();
+        bad[16..20].copy_from_slice(&u32::MAX.to_be_bytes());
+        assert!(matches!(Container::parse(&bad), Err(CodecError::Corrupt { .. })));
+    }
+}

@@ -1,0 +1,523 @@
+//! Registry-driven fuzz targets: every decode surface of every codec.
+//!
+//! The `cce-fuzz` crate supplies the seeded mutation engine and driver;
+//! this module knows the *targets* — for each registered [`Algorithm`]
+//! it trains a golden codec on a representative workload and exposes
+//! every input-facing decode path as a [`FuzzTarget`]:
+//!
+//! * **codec model bytes** — `CodecBuilder::codec_from_bytes` on mutated
+//!   serialized models, then a decode of the pristine image with whatever
+//!   deserialized (a tampered-codebook probe);
+//! * **block image bytes** — `BlockImage::from_bytes` on mutated images,
+//!   then a full decode cross-checked *differentially* against per-block
+//!   random access;
+//! * **`.cce` container bytes** — [`Container::parse`] plus both payload
+//!   parsers and a decode;
+//! * **program text** — the *differential* compress path: serial
+//!   [`BlockCodec::compress`] vs [`compress_parallel`] must agree
+//!   byte-for-byte (or fail identically), and whatever compresses must
+//!   round-trip;
+//! * **file streams** — the `compress(1)`/`gzip` decoders on mutated
+//!   streams, with the LZW output budget engaged.
+//!
+//! Per-case cost is bounded without trusting the decoders: any mutated
+//! image claiming more than [`case budget`](#output-budget) output is
+//! rejected by the harness itself, so a hang or allocation blowup in a
+//! decoder shows up as a slow/failing case instead of a stuck process.
+//!
+//! # Output budget
+//!
+//! Targets reject mutated inputs whose *claimed* decompressed size
+//! exceeds `16 × golden + 64 KiB`. Format-level caps (block size ≤ 1 MiB,
+//! per-block length ≤ block size + slack) bound each field, but a
+//! thousand maximal blocks still add up; the budget keeps every fuzz
+//! case O(golden size).
+
+use crate::container::Container;
+use crate::registry::{Algorithm, CodecBuilder};
+use cce_codec::{compress_parallel, BlockCodec, BlockImage, CodecError};
+use cce_fuzz::{fuzz_target, Artifact};
+pub use cce_fuzz::{Failure, FailureKind, FuzzConfig, FuzzReport, FuzzTarget, Outcome};
+use cce_isa::Isa;
+use cce_lz::{Gzip, Lzw};
+use cce_workload::{generate_mips, generate_x86, Spec95};
+
+/// Extra headroom above `16 × golden` in the per-case output budget.
+const BUDGET_SLACK: usize = 64 * 1024;
+
+/// Workers used on the parallel side of the differential compress check.
+/// Deliberately not 1 (that would be the serial path again) and fixed so
+/// reports stay machine-independent.
+const DIFFERENTIAL_WORKERS: usize = 3;
+
+/// The golden MIPS program text targets are trained on.
+fn mips_text() -> Vec<u8> {
+    let profile = Spec95::by_name("ijpeg").expect("known benchmark");
+    let mut text = cce_isa::mips::encode_text(&generate_mips(profile, 0.02));
+    text.truncate(8192); // keep per-case work small; stays 4-byte aligned
+    text
+}
+
+/// The golden x86 program text (instruction-aligned, so untruncated).
+fn x86_text() -> Vec<u8> {
+    let profile = Spec95::by_name("ijpeg").expect("known benchmark");
+    generate_x86(profile, 0.01)
+}
+
+/// Per-case output budget derived from the golden artifact size.
+fn budget_for(golden_len: usize) -> usize {
+    golden_len.saturating_mul(16) + BUDGET_SLACK
+}
+
+/// The synthesized rejection for inputs whose claimed output exceeds the
+/// case budget (counted as `Rejected`, like any typed refusal).
+fn over_budget() -> CodecError {
+    CodecError::corrupt("fuzz harness", "claimed output exceeds case budget")
+}
+
+/// Section boundaries of a serialized [`BlockImage`]: fixed header
+/// fields, the per-block length table, and the block data.
+fn image_boundaries(block_count: usize) -> Vec<usize> {
+    vec![4, 6, 10, 14, 18, 22, 22 + 8 * block_count]
+}
+
+// ---------------------------------------------------------------------
+// Block-codec targets
+// ---------------------------------------------------------------------
+
+/// Mutates the serialized codec model; a parse that succeeds must also
+/// survive decoding the pristine image.
+struct CodecBytesTarget {
+    label: String,
+    builder: CodecBuilder,
+    codec_bytes: Vec<u8>,
+    golden_image: BlockImage,
+}
+
+impl FuzzTarget for CodecBytesTarget {
+    fn name(&self) -> String {
+        format!("{}/codec", self.label)
+    }
+
+    fn artifact(&self) -> Artifact {
+        let len = self.codec_bytes.len();
+        Artifact::with_boundaries(
+            "codec model",
+            self.codec_bytes.clone(),
+            vec![4, 6, 10, 11, len / 2],
+        )
+    }
+
+    fn run(&self, bytes: &[u8]) -> Outcome {
+        let handle = match self.builder.codec_from_bytes(bytes) {
+            Ok(handle) => handle,
+            Err(e) => return Outcome::Rejected(e),
+        };
+        let codec = match handle.as_block() {
+            Some(codec) => codec,
+            None => return Outcome::Violation("registry built a non-block codec".into()),
+        };
+        // A mutated model that parses is a *valid* model — decoding the
+        // golden image may yield different bytes (or a typed error), but
+        // never a panic or hang.
+        match codec.decompress(&self.golden_image) {
+            Ok(_) => Outcome::Decoded,
+            Err(e) => Outcome::Rejected(e),
+        }
+    }
+}
+
+/// Mutates the serialized block image; a parse that succeeds must decode
+/// consistently under full decode vs per-block random access.
+struct ImageBytesTarget {
+    label: String,
+    codec: Box<dyn BlockCodec>,
+    image_bytes: Vec<u8>,
+    block_count: usize,
+    budget: usize,
+}
+
+impl FuzzTarget for ImageBytesTarget {
+    fn name(&self) -> String {
+        format!("{}/image", self.label)
+    }
+
+    fn artifact(&self) -> Artifact {
+        Artifact::with_boundaries(
+            "block image",
+            self.image_bytes.clone(),
+            image_boundaries(self.block_count),
+        )
+    }
+
+    fn run(&self, bytes: &[u8]) -> Outcome {
+        let image = match BlockImage::from_bytes(bytes) {
+            Ok(image) => image,
+            Err(e) => return Outcome::Rejected(e),
+        };
+        if image.original_len() > self.budget {
+            return Outcome::Rejected(over_budget());
+        }
+        let full = match self.codec.decompress(&image) {
+            Ok(full) => full,
+            Err(e) => return Outcome::Rejected(e),
+        };
+        // Differential: random access must reconstruct exactly what the
+        // full decode produced, block for block.
+        let mut assembled = Vec::with_capacity(full.len());
+        for index in 0..image.block_count() {
+            let out_len = image.block_uncompressed_len(index);
+            match self.codec.decompress_block(image.block(index), out_len) {
+                Ok(block) => assembled.extend_from_slice(&block),
+                Err(e) => {
+                    return Outcome::Violation(format!(
+                        "full decode succeeded but block {index} failed: {e}"
+                    ))
+                }
+            }
+        }
+        if assembled != full {
+            return Outcome::Violation("random access and full decode disagree".into());
+        }
+        Outcome::Decoded
+    }
+}
+
+/// Mutates a whole `.cce` container: parse, both payload parsers, decode.
+struct ContainerTarget {
+    label: String,
+    builder: CodecBuilder,
+    container_bytes: Vec<u8>,
+    codec_len: usize,
+    budget: usize,
+}
+
+impl FuzzTarget for ContainerTarget {
+    fn name(&self) -> String {
+        format!("{}/container", self.label)
+    }
+
+    fn artifact(&self) -> Artifact {
+        Artifact::with_boundaries(
+            "container",
+            self.container_bytes.clone(),
+            vec![4, 5, 6, 7, 8, 16, 20, 20 + self.codec_len],
+        )
+    }
+
+    fn run(&self, bytes: &[u8]) -> Outcome {
+        let container = match Container::parse(bytes) {
+            Ok(container) => container,
+            Err(e) => return Outcome::Rejected(e),
+        };
+        let image = match BlockImage::from_bytes(container.image_bytes) {
+            Ok(image) => image,
+            Err(e) => return Outcome::Rejected(e),
+        };
+        if image.original_len() > self.budget {
+            return Outcome::Rejected(over_budget());
+        }
+        // The mutated tag byte may redirect to another algorithm; parse
+        // the codec with the *container's* claimed algorithm, like the
+        // CLI does.
+        let builder = container.algorithm.build(container.isa, self.builder.block_size());
+        let handle = match builder.codec_from_bytes(container.codec_bytes) {
+            Ok(handle) => handle,
+            Err(e) => return Outcome::Rejected(e),
+        };
+        let codec = match handle.as_block() {
+            Some(codec) => codec,
+            None => return Outcome::Violation("container accepted a non-block codec".into()),
+        };
+        match codec.decompress(&image) {
+            Ok(_) => Outcome::Decoded,
+            Err(e) => Outcome::Rejected(e),
+        }
+    }
+}
+
+/// Mutates the *uncompressed* text: serial and parallel compression must
+/// agree byte-for-byte (or fail identically), and success must round-trip.
+struct TextDifferentialTarget {
+    label: String,
+    codec: Box<dyn BlockCodec>,
+    text: Vec<u8>,
+}
+
+impl FuzzTarget for TextDifferentialTarget {
+    fn name(&self) -> String {
+        format!("{}/text-diff", self.label)
+    }
+
+    fn artifact(&self) -> Artifact {
+        let block = self.codec.block_size();
+        let len = self.text.len();
+        Artifact::with_boundaries("text", self.text.clone(), vec![4, block, 2 * block, len / 2])
+    }
+
+    fn run(&self, bytes: &[u8]) -> Outcome {
+        let serial = self.codec.compress(bytes);
+        let parallel = compress_parallel(self.codec.as_ref(), bytes, DIFFERENTIAL_WORKERS);
+        match (serial, parallel) {
+            (Ok(serial), Ok(parallel)) => {
+                if serial != parallel {
+                    return Outcome::Violation(
+                        "serial and parallel compression produced different images".into(),
+                    );
+                }
+                match self.codec.decompress(&serial) {
+                    Ok(restored) if restored == bytes => Outcome::Decoded,
+                    Ok(_) => Outcome::Violation("compressed text did not round-trip".into()),
+                    Err(e) => {
+                        Outcome::Violation(format!("own compressed image failed to decode: {e}"))
+                    }
+                }
+            }
+            (Err(serial), Err(parallel)) => {
+                if serial.to_string() == parallel.to_string() {
+                    Outcome::Rejected(serial)
+                } else {
+                    Outcome::Violation(format!(
+                        "serial and parallel rejections differ: `{serial}` vs `{parallel}`"
+                    ))
+                }
+            }
+            (Ok(_), Err(e)) => {
+                Outcome::Violation(format!("parallel failed where serial succeeded: {e}"))
+            }
+            (Err(e), Ok(_)) => {
+                Outcome::Violation(format!("serial failed where parallel succeeded: {e}"))
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// File-codec targets
+// ---------------------------------------------------------------------
+
+/// Mutates a compressed file stream and decodes it (LZW under its output
+/// budget; gzip's decoder is internally bounded by the declared length).
+struct FileStreamTarget {
+    algorithm: Algorithm,
+    stream: Vec<u8>,
+    budget: usize,
+}
+
+impl FuzzTarget for FileStreamTarget {
+    fn name(&self) -> String {
+        format!("{}/stream", self.algorithm)
+    }
+
+    fn artifact(&self) -> Artifact {
+        let len = self.stream.len();
+        Artifact::with_boundaries("stream", self.stream.clone(), vec![3, 4, len / 2])
+    }
+
+    fn run(&self, bytes: &[u8]) -> Outcome {
+        let result = match self.algorithm {
+            Algorithm::UnixCompress => Lzw::new()
+                .decompress_bounded(bytes, self.budget)
+                .map_err(|e| CodecError::corrupt("compress", e)),
+            Algorithm::Gzip => {
+                Gzip::new().decompress(bytes).map_err(|e| CodecError::corrupt("gzip", e))
+            }
+            _ => return Outcome::Violation("file target built for a block algorithm".into()),
+        };
+        match result {
+            Ok(_) => Outcome::Decoded,
+            Err(e) => Outcome::Rejected(e),
+        }
+    }
+}
+
+/// Mutates the uncompressed text for a file codec: compression is total,
+/// and its output must round-trip.
+struct FileTextTarget {
+    algorithm: Algorithm,
+    text: Vec<u8>,
+}
+
+impl FuzzTarget for FileTextTarget {
+    fn name(&self) -> String {
+        format!("{}/text-diff", self.algorithm)
+    }
+
+    fn artifact(&self) -> Artifact {
+        let len = self.text.len();
+        Artifact::with_boundaries("text", self.text.clone(), vec![4, len / 2])
+    }
+
+    fn run(&self, bytes: &[u8]) -> Outcome {
+        let handle = self
+            .algorithm
+            .build(Isa::Mips, 32)
+            .train(&[])
+            .expect("file codecs train unconditionally");
+        let codec = match handle.as_file() {
+            Some(codec) => codec,
+            None => return Outcome::Violation("registry built a non-file codec".into()),
+        };
+        let compressed = codec.compress(bytes);
+        match codec.decompress(&compressed) {
+            Ok(restored) if restored == bytes => Outcome::Decoded,
+            Ok(_) => Outcome::Violation("file codec round trip mismatch".into()),
+            Err(e) => Outcome::Violation(format!("own compressed stream failed to decode: {e}")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Target construction and entry points
+// ---------------------------------------------------------------------
+
+/// Builds the block-codec target set for one (algorithm, ISA, label).
+fn block_targets_for(
+    algorithm: Algorithm,
+    isa: Isa,
+    label: &str,
+    text: Vec<u8>,
+) -> Vec<Box<dyn FuzzTarget>> {
+    let builder = algorithm.build(isa, 32);
+    let train = |purpose: &str| {
+        let handle = builder
+            .train(&text)
+            .unwrap_or_else(|e| panic!("{label}: golden training failed ({purpose}): {e}"));
+        match handle {
+            crate::registry::CodecHandle::Block(codec) => codec,
+            crate::registry::CodecHandle::File(_) => {
+                panic!("{label}: expected a block codec")
+            }
+        }
+    };
+    let codec = train("targets");
+    let golden_image = codec.compress(&text).expect("golden compression succeeds");
+    let codec_bytes = codec.to_bytes();
+    let image_bytes = golden_image.to_bytes();
+    let budget = budget_for(text.len());
+    let container_bytes = Container {
+        algorithm,
+        isa,
+        class: cce_elf::Class::Elf32,
+        endianness: cce_elf::Endianness::Big,
+        entry: 0x40_0000,
+        codec_bytes: &codec_bytes,
+        image_bytes: &image_bytes,
+    }
+    .to_bytes();
+
+    vec![
+        Box::new(CodecBytesTarget {
+            label: label.to_string(),
+            builder,
+            codec_bytes: codec_bytes.clone(),
+            golden_image: golden_image.clone(),
+        }),
+        Box::new(ImageBytesTarget {
+            label: label.to_string(),
+            codec: train("image target"),
+            image_bytes,
+            block_count: golden_image.block_count(),
+            budget,
+        }),
+        Box::new(ContainerTarget {
+            label: label.to_string(),
+            builder,
+            container_bytes,
+            codec_len: codec_bytes.len(),
+            budget,
+        }),
+        Box::new(TextDifferentialTarget { label: label.to_string(), codec, text }),
+    ]
+}
+
+/// All fuzz targets for `algorithm`.
+///
+/// Block algorithms get four targets (codec model, block image,
+/// container, differential text); SADC additionally gets the x86 codec
+/// and image targets since its two ISA variants are distinct decoders.
+/// File algorithms get a mutated-stream target and a round-trip text
+/// target.
+///
+/// # Panics
+///
+/// Panics if golden training fails — the golden workload is fixed, so
+/// that is a build regression, not an input condition.
+pub fn targets(algorithm: Algorithm) -> Vec<Box<dyn FuzzTarget>> {
+    match algorithm {
+        Algorithm::UnixCompress | Algorithm::Gzip => {
+            let text = mips_text();
+            let stream = match algorithm {
+                Algorithm::UnixCompress => Lzw::new().compress(&text),
+                _ => Gzip::new().compress(&text),
+            };
+            vec![
+                Box::new(FileStreamTarget { algorithm, stream, budget: budget_for(text.len()) }),
+                Box::new(FileTextTarget { algorithm, text }),
+            ]
+        }
+        Algorithm::ByteHuffman | Algorithm::Samc => {
+            block_targets_for(algorithm, Isa::Mips, &algorithm.to_string(), mips_text())
+        }
+        Algorithm::Sadc => {
+            let mut all = block_targets_for(algorithm, Isa::Mips, "SADC", mips_text());
+            // The x86 variant is a different decoder (byte-aligned dictionary
+            // with instruction grouping); fuzz its serialized surfaces too.
+            let mut x86 = block_targets_for(algorithm, Isa::X86, "SADC[x86]", x86_text());
+            all.append(&mut x86);
+            all
+        }
+    }
+}
+
+/// Fuzzes every target of `algorithm` and returns one report per target.
+pub fn run(algorithm: Algorithm, config: &FuzzConfig) -> Vec<FuzzReport> {
+    targets(algorithm).iter().map(|target| fuzz_target(target.as_ref(), config)).collect()
+}
+
+/// Fuzzes every registered algorithm.
+pub fn run_all(config: &FuzzConfig) -> Vec<FuzzReport> {
+    Algorithm::ALL.into_iter().flat_map(|algorithm| run(algorithm, config)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_algorithm_has_targets() {
+        assert_eq!(targets(Algorithm::UnixCompress).len(), 2);
+        assert_eq!(targets(Algorithm::Gzip).len(), 2);
+        assert_eq!(targets(Algorithm::ByteHuffman).len(), 4);
+        assert_eq!(targets(Algorithm::Samc).len(), 4);
+        assert_eq!(targets(Algorithm::Sadc).len(), 8);
+    }
+
+    #[test]
+    fn target_names_are_distinct() {
+        let mut names: Vec<String> = Algorithm::ALL
+            .into_iter()
+            .flat_map(|a| targets(a).iter().map(|t| t.name()).collect::<Vec<_>>())
+            .collect();
+        let total = names.len();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), total, "duplicate target names");
+    }
+
+    #[test]
+    fn pristine_artifacts_decode() {
+        // Case 0 aside, the *unmutated* artifact must decode cleanly for
+        // every target — otherwise the fuzz results are meaningless.
+        for algorithm in Algorithm::ALL {
+            for target in targets(algorithm) {
+                let artifact = target.artifact();
+                assert!(
+                    matches!(target.run(&artifact.bytes), Outcome::Decoded),
+                    "{} failed on its pristine artifact",
+                    target.name()
+                );
+            }
+        }
+    }
+}

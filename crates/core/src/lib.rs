@@ -43,6 +43,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod container;
+pub mod fuzz;
 pub mod registry;
 pub mod report;
 pub mod stats;

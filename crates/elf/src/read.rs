@@ -143,7 +143,12 @@ impl ElfImage {
         // Read all raw section headers.
         let mut raw = Vec::with_capacity(usize::from(shnum));
         for i in 0..shnum {
-            r.seek(shoff + u64::from(i) * u64::from(shentsize))?;
+            // shoff is input-derived; near u64::MAX the addition overflows
+            // (a debug-build panic) before seek can bounds-check it.
+            let header_offset = shoff
+                .checked_add(u64::from(i) * u64::from(shentsize))
+                .ok_or(ParseElfError::Truncated)?;
+            r.seek(header_offset)?;
             let name_offset = r.u32()?;
             let sh_type = r.u32()?;
             let (flags, addr, offset, size) = match class {
@@ -296,6 +301,40 @@ mod tests {
         // Cutting only the unread tail fields (link/info/align/entsize) of
         // the last section header is tolerated by design.
         let _ = ElfImage::parse(&bytes[..bytes.len() - 1]);
+    }
+
+    #[test]
+    fn section_header_offset_near_u64_max_is_rejected_not_panicking() {
+        let mut bytes = ElfImage::new_executable(
+            Machine::I386,
+            Class::Elf64,
+            Endianness::Little,
+            sample_text(),
+        )
+        .to_bytes();
+        // e_shoff sits at file offset 0x28 in ELF64.  u64::MAX used to
+        // overflow the per-header offset arithmetic (debug-build panic);
+        // it must be a typed error.
+        bytes[0x28..0x30].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert_eq!(ElfImage::parse(&bytes).unwrap_err(), ParseElfError::Truncated);
+    }
+
+    #[test]
+    fn section_offset_past_eof_is_rejected() {
+        let image = ElfImage::new_executable(
+            Machine::Mips,
+            Class::Elf64,
+            Endianness::Little,
+            sample_text(),
+        );
+        let mut bytes = image.to_bytes();
+        // Poke the .text section's sh_offset (section header 1, field at
+        // +0x18 of the 0x40-byte ELF64 header) to point far past EOF.
+        let shoff = u64::from_le_bytes(bytes[0x28..0x30].try_into().unwrap()) as usize;
+        let field = shoff + 0x40 + 0x18;
+        let past_eof = bytes.len() as u64 + 1000;
+        bytes[field..field + 8].copy_from_slice(&past_eof.to_le_bytes());
+        assert_eq!(ElfImage::parse(&bytes).unwrap_err(), ParseElfError::Truncated);
     }
 
     #[test]

@@ -1,0 +1,64 @@
+//! Seeded fault-injection and differential fuzzing for the codec layer.
+//!
+//! A compressed-code memory system decodes cache lines straight out of
+//! ROM: a flipped bit in the image must fail *safely* — a typed error —
+//! rather than hang the refill engine or corrupt memory.  This crate is
+//! the harness that proves that property holds, permanently, for every
+//! decoder in the workspace:
+//!
+//! - [`Artifact`] — a pristine serialized artifact (codec model, block
+//!   image, container) annotated with its section boundaries.
+//! - [`mutate`] — deterministic, seeded mutators: bit flips, byte
+//!   splices, truncations at every section boundary, length-field and
+//!   table tampering.
+//! - [`FuzzTarget`] — one decode surface under test; its
+//!   [`run`](FuzzTarget::run) classifies a mutated input into the
+//!   trichotomy *correct decode* / *typed
+//!   [`CodecError`](cce_codec::CodecError)* / *invariant violation*.
+//! - [`fuzz_target`] — the driver: derives one RNG per case from a master
+//!   seed, mutates, runs the target under `catch_unwind`, and reports.
+//!   Same seed, same report — failures are replayable by case index.
+//!
+//! The crate sits below the registry on purpose (it depends only on
+//! `cce-rng` and `cce-codec`); `cce-core::fuzz` instantiates targets for
+//! every registered algorithm and the `cce fuzz` CLI drives them.
+//!
+//! # Examples
+//!
+//! ```
+//! use cce_codec::CodecError;
+//! use cce_fuzz::{fuzz_target, Artifact, FuzzConfig, FuzzTarget, Outcome};
+//!
+//! /// A toy length-prefixed format: [len, payload...].
+//! struct LengthPrefixed;
+//!
+//! impl FuzzTarget for LengthPrefixed {
+//!     fn name(&self) -> String {
+//!         "length-prefixed".into()
+//!     }
+//!     fn artifact(&self) -> Artifact {
+//!         Artifact::with_boundaries("toy", vec![3, b'a', b'b', b'c'], vec![1])
+//!     }
+//!     fn run(&self, bytes: &[u8]) -> Outcome {
+//!         match bytes.split_first() {
+//!             Some((&len, rest)) if usize::from(len) <= rest.len() => Outcome::Decoded,
+//!             _ => Outcome::Rejected(CodecError::corrupt("toy", "length exceeds input")),
+//!         }
+//!     }
+//! }
+//!
+//! let report = fuzz_target(&LengthPrefixed, &FuzzConfig { cases: 64, seed: 7 });
+//! assert!(report.is_clean());
+//! assert_eq!(report.cases, 64);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod driver;
+mod mutate;
+
+pub use driver::{
+    case_seed, fuzz_target, Failure, FailureKind, FuzzConfig, FuzzReport, FuzzTarget, Outcome,
+};
+pub use mutate::{mutate, Artifact};

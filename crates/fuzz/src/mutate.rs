@@ -1,0 +1,213 @@
+//! Deterministic mutators over serialized artifacts.
+
+use cce_rng::Rng;
+
+/// Length-field values known to expose boundary bugs: zero, one, powers
+/// of two straddling sign and width limits, and all-ones patterns.
+const INTERESTING_U32: [u32; 16] = [
+    0,
+    1,
+    2,
+    0x7F,
+    0x80,
+    0xFF,
+    0x100,
+    0x7FFF,
+    0x8000,
+    0xFFFF,
+    0x0001_0000,
+    0x00FF_FFFF,
+    0x0100_0000,
+    0x7FFF_FFFF,
+    0x8000_0000,
+    0xFFFF_FFFF,
+];
+
+/// A pristine serialized artifact plus the byte offsets where its
+/// sections begin.
+///
+/// Boundaries guide the structure-aware mutations: truncating exactly at
+/// a section edge, or overwriting the bytes right after one (where length
+/// fields and table headers live), probes the parser states that uniform
+/// random corruption rarely reaches.
+#[derive(Debug, Clone)]
+pub struct Artifact {
+    /// Short human-readable label (used in failure reports).
+    pub name: &'static str,
+    /// The well-formed serialized bytes.
+    pub bytes: Vec<u8>,
+    /// Offsets (ascending, within `0..=bytes.len()`) where sections start.
+    pub boundaries: Vec<usize>,
+}
+
+impl Artifact {
+    /// An artifact with no known internal structure.
+    pub fn new(name: &'static str, bytes: Vec<u8>) -> Self {
+        Self { name, bytes, boundaries: Vec::new() }
+    }
+
+    /// An artifact annotated with section boundaries.
+    ///
+    /// Out-of-range offsets are clamped to the byte length so callers can
+    /// pass nominal layout offsets without re-deriving them per instance.
+    pub fn with_boundaries(name: &'static str, bytes: Vec<u8>, boundaries: Vec<usize>) -> Self {
+        let len = bytes.len();
+        let mut boundaries: Vec<usize> = boundaries.into_iter().map(|b| b.min(len)).collect();
+        boundaries.sort_unstable();
+        boundaries.dedup();
+        Self { name, bytes, boundaries }
+    }
+}
+
+/// Produces one mutated copy of `artifact` using `rng`.
+///
+/// The mutation is chosen from a fixed palette — single and multi bit
+/// flips, byte overwrites, length-preserving splices, truncations at
+/// random offsets and at section boundaries, 32-bit length-field
+/// tampering, run fills, and tail extension.  Everything is derived from
+/// `rng`, so the same seed always yields the same mutant.
+pub fn mutate(rng: &mut Rng, artifact: &Artifact) -> Vec<u8> {
+    let mut bytes = artifact.bytes.clone();
+    if bytes.is_empty() {
+        // Nothing to corrupt in place; synthesize a short random input.
+        let mut junk = vec![0u8; rng.random_range(1..=16)];
+        rng.fill_bytes(&mut junk);
+        return junk;
+    }
+    match rng.random_range(0..10u32) {
+        // Single bit flip.
+        0 => {
+            let i = rng.random_range(0..bytes.len());
+            bytes[i] ^= 1 << rng.random_range(0..8u32);
+        }
+        // A handful of independent bit flips.
+        1 => {
+            for _ in 0..rng.random_range(2..=8u32) {
+                let i = rng.random_range(0..bytes.len());
+                bytes[i] ^= 1 << rng.random_range(0..8u32);
+            }
+        }
+        // Overwrite one byte with a random value.
+        2 => {
+            let i = rng.random_range(0..bytes.len());
+            bytes[i] = rng.random_range(0..=255u32) as u8;
+        }
+        // Plant an interesting 32-bit value at a random offset.
+        3 => {
+            write_interesting_u32(rng, &mut bytes, None);
+        }
+        // Plant an interesting 32-bit value right at a section boundary —
+        // length fields and table headers live there.
+        4 => {
+            let at = pick_boundary(rng, artifact);
+            write_interesting_u32(rng, &mut bytes, at);
+        }
+        // Truncate at a random length.
+        5 => {
+            bytes.truncate(rng.random_range(0..bytes.len()));
+        }
+        // Truncate exactly at a section boundary.
+        6 => {
+            let at = pick_boundary(rng, artifact).unwrap_or(bytes.len() / 2);
+            bytes.truncate(at);
+        }
+        // Length-preserving splice: copy one range over another.
+        7 => {
+            let len = rng.random_range(1..=bytes.len().min(32));
+            let src = rng.random_range(0..=bytes.len() - len);
+            let dst = rng.random_range(0..=bytes.len() - len);
+            let chunk: Vec<u8> = bytes[src..src + len].to_vec();
+            bytes[dst..dst + len].copy_from_slice(&chunk);
+        }
+        // Fill a range with 0x00 or 0xFF (erased-flash patterns).
+        8 => {
+            let len = rng.random_range(1..=bytes.len().min(64));
+            let start = rng.random_range(0..=bytes.len() - len);
+            let fill = if rng.random_bool(0.5) { 0x00 } else { 0xFF };
+            for b in &mut bytes[start..start + len] {
+                *b = fill;
+            }
+        }
+        // Append random tail bytes (oversized input).
+        _ => {
+            let mut tail = vec![0u8; rng.random_range(1..=64)];
+            rng.fill_bytes(&mut tail);
+            bytes.extend_from_slice(&tail);
+        }
+    }
+    bytes
+}
+
+/// Picks one of the artifact's section boundaries, if it has any.
+fn pick_boundary(rng: &mut Rng, artifact: &Artifact) -> Option<usize> {
+    if artifact.boundaries.is_empty() {
+        return None;
+    }
+    Some(artifact.boundaries[rng.random_range(0..artifact.boundaries.len())])
+}
+
+/// Writes an interesting big-endian u32 at `at` (or a random offset),
+/// clamped so the write stays in bounds; short buffers get a byte write.
+fn write_interesting_u32(rng: &mut Rng, bytes: &mut [u8], at: Option<usize>) {
+    let value = INTERESTING_U32[rng.random_range(0..INTERESTING_U32.len())];
+    if bytes.len() < 4 {
+        let i = rng.random_range(0..bytes.len());
+        bytes[i] = value as u8;
+        return;
+    }
+    let start = at.unwrap_or_else(|| rng.random_range(0..=bytes.len() - 4)).min(bytes.len() - 4);
+    bytes[start..start + 4].copy_from_slice(&value.to_be_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn artifact() -> Artifact {
+        Artifact::with_boundaries("test", (0..64u8).collect(), vec![4, 6, 22, 200])
+    }
+
+    #[test]
+    fn boundaries_are_clamped_sorted_and_deduped() {
+        let a = Artifact::with_boundaries("t", vec![0; 10], vec![30, 4, 4, 7]);
+        assert_eq!(a.boundaries, vec![4, 7, 10]);
+    }
+
+    #[test]
+    fn mutation_is_deterministic_per_seed() {
+        let a = artifact();
+        for seed in 0..32u64 {
+            let x = mutate(&mut Rng::seed_from_u64(seed), &a);
+            let y = mutate(&mut Rng::seed_from_u64(seed), &a);
+            assert_eq!(x, y, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn mutants_differ_from_the_original_usually() {
+        let a = artifact();
+        let changed = (0..256u64)
+            .filter(|&seed| mutate(&mut Rng::seed_from_u64(seed), &a) != a.bytes)
+            .count();
+        // A splice of identical bytes can be a no-op; anything else changes
+        // the input. Require the overwhelming majority to differ.
+        assert!(changed > 240, "only {changed}/256 mutants differed");
+    }
+
+    #[test]
+    fn empty_artifacts_yield_nonempty_junk() {
+        let a = Artifact::new("empty", Vec::new());
+        for seed in 0..16u64 {
+            assert!(!mutate(&mut Rng::seed_from_u64(seed), &a).is_empty());
+        }
+    }
+
+    #[test]
+    fn mutants_stay_within_one_extension_of_the_input() {
+        let a = artifact();
+        for seed in 0..512u64 {
+            let m = mutate(&mut Rng::seed_from_u64(seed), &a);
+            assert!(m.len() <= a.bytes.len() + 64, "seed {seed}: {} bytes", m.len());
+        }
+    }
+}

@@ -17,6 +17,11 @@ pub enum BuildCodeBookError {
         /// The limit that was requested.
         max_len: u8,
     },
+    /// A transmitted code length exceeds the 32-bit codeword register.
+    LengthTooLong {
+        /// The offending length.
+        length: u8,
+    },
 }
 
 impl fmt::Display for BuildCodeBookError {
@@ -27,6 +32,9 @@ impl fmt::Display for BuildCodeBookError {
                 f,
                 "{used_symbols} symbols cannot be coded with codes of at most {max_len} bits"
             ),
+            Self::LengthTooLong { length } => {
+                write!(f, "code length {length} exceeds the 32-bit codeword limit")
+            }
         }
     }
 }
@@ -156,6 +164,12 @@ impl CodeBook {
         if used.is_empty() {
             return Err(BuildCodeBookError::NoSymbols);
         }
+        // Lengths are input-derived when deserializing a codec model; a
+        // length past the 32-bit codeword register would overflow the
+        // canonical-code shifts below, so reject it up front.
+        if let Some(&&length) = used.iter().find(|&&&l| l > 32) {
+            return Err(BuildCodeBookError::LengthTooLong { length });
+        }
         let max_len = *used.iter().copied().max().expect("non-empty");
         if used.len() > 1 {
             // Kraft–McMillan check: sum 2^-len must be exactly 1 for a
@@ -184,7 +198,9 @@ impl CodeBook {
         let mut prev_len = 0u8;
         for (i, &sym) in sorted_symbols.iter().enumerate() {
             let len = lengths[usize::from(sym)];
-            code <<= len - prev_len;
+            // Widen through u64: a degenerate single-symbol code of length
+            // 32 shifts by the full register width, which u32 disallows.
+            code = (u64::from(code) << (len - prev_len)) as u32;
             if len != prev_len {
                 for l in prev_len + 1..=len {
                     first_code[usize::from(l)] = code >> (len - l).min(31);
@@ -439,6 +455,28 @@ mod tests {
         assert!(CodeBook::from_lengths(vec![1, 1]).is_ok());
         assert!(CodeBook::from_lengths(vec![1, 2, 2]).is_ok());
         assert!(CodeBook::from_lengths(vec![0, 0]).is_err());
+    }
+
+    #[test]
+    fn from_lengths_rejects_lengths_past_the_register_width() {
+        // A tampered serialized codebook can claim any length; 64 used to
+        // overflow the canonical-code shifts (a panic), not return an error.
+        assert_eq!(
+            CodeBook::from_lengths(vec![64, 64]).unwrap_err(),
+            BuildCodeBookError::LengthTooLong { length: 64 }
+        );
+        assert_eq!(
+            CodeBook::from_lengths(vec![0, 255]).unwrap_err(),
+            BuildCodeBookError::LengthTooLong { length: 255 }
+        );
+    }
+
+    #[test]
+    fn degenerate_full_width_single_symbol_does_not_panic() {
+        // One symbol of length 32 shifts by the whole register width.
+        let book = CodeBook::from_lengths(vec![32]).unwrap();
+        assert_eq!(book.max_code_len(), 32);
+        assert_eq!(book.length(0), 32);
     }
 
     #[test]

@@ -51,6 +51,13 @@ pub enum InflateError {
         /// Output length when it was applied.
         produced: usize,
     },
+    /// The token stream produced more bytes than the header declared.
+    OutputOverrun {
+        /// Bytes produced when the overrun was detected.
+        produced: usize,
+        /// The length the header declared.
+        declared: usize,
+    },
 }
 
 impl fmt::Display for InflateError {
@@ -60,6 +67,9 @@ impl fmt::Display for InflateError {
             Self::BadCode => write!(f, "invalid huffman code in stream"),
             Self::BadDistance { distance, produced } => {
                 write!(f, "distance {distance} exceeds produced output {produced}")
+            }
+            Self::OutputOverrun { produced, declared } => {
+                write!(f, "token stream produced {produced} bytes but header declared {declared}")
             }
         }
     }
@@ -191,8 +201,18 @@ impl Gzip {
         }
         let dist_book = CodeBook::from_lengths(dist_lengths).ok();
 
-        let mut out = Vec::with_capacity(original_len);
+        // The declared length is attacker-controlled: never trust it for the
+        // allocation (cap the preallocation, grow organically past it) and
+        // never let the token stream exceed it (typed overrun error instead
+        // of unbounded growth).
+        let mut out = Vec::with_capacity(original_len.min(1 << 20));
         loop {
+            if out.len() > original_len {
+                return Err(InflateError::OutputOverrun {
+                    produced: out.len(),
+                    declared: original_len,
+                });
+            }
             let sym = lit_book.decode(&mut r)?;
             match sym {
                 0..=255 => out.push(sym as u8),
@@ -439,6 +459,29 @@ mod tests {
             gz.decompress(&compressed[..compressed.len() - 1]).unwrap_err(),
             InflateError::Truncated
         );
+    }
+
+    #[test]
+    fn tampered_length_field_is_rejected_without_allocating() {
+        let gz = Gzip::new();
+        let mut compressed = gz.compress(b"the quick brown fox jumps over the lazy dog");
+        // The first 32 bits are the declared original length (bit-packed).
+        // Claiming 4 GiB must not preallocate 4 GiB: decode runs to the
+        // end-of-block symbol and reports the mismatch.
+        compressed[0] = 0xFF;
+        compressed[1] = 0xFF;
+        compressed[2] = 0xFF;
+        compressed[3] = 0xFF;
+        assert_eq!(gz.decompress(&compressed).unwrap_err(), InflateError::Truncated);
+        // Claiming *less* than the stream produces is an overrun.
+        compressed[0] = 0;
+        compressed[1] = 0;
+        compressed[2] = 0;
+        compressed[3] = 2;
+        assert!(matches!(
+            gz.decompress(&compressed).unwrap_err(),
+            InflateError::OutputOverrun { declared: 2, .. }
+        ));
     }
 
     #[test]

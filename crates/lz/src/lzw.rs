@@ -17,6 +17,11 @@ pub enum LzwDecodeError {
     Truncated,
     /// A code referenced a dictionary entry that does not exist yet.
     InvalidCode(u32),
+    /// Decoding produced more output than the caller's budget allows.
+    OutputBudget {
+        /// The caller-supplied cap that was exceeded.
+        max_out: usize,
+    },
 }
 
 impl fmt::Display for LzwDecodeError {
@@ -24,6 +29,9 @@ impl fmt::Display for LzwDecodeError {
         match self {
             Self::Truncated => write!(f, "lzw stream truncated mid-code"),
             Self::InvalidCode(c) => write!(f, "lzw code {c} not in dictionary"),
+            Self::OutputBudget { max_out } => {
+                write!(f, "lzw output exceeds budget of {max_out} bytes")
+            }
         }
     }
 }
@@ -123,6 +131,29 @@ impl Lzw {
     /// Returns [`LzwDecodeError`] on truncation or an out-of-range code
     /// (including a bad header).
     pub fn decompress(&self, data: &[u8]) -> Result<Vec<u8>, LzwDecodeError> {
+        self.decompress_bounded(data, usize::MAX)
+    }
+
+    /// Decompresses with a caller-supplied output budget.
+    ///
+    /// LZW's structure already bounds amplification — the `j`-th code can
+    /// expand to at most `j` bytes, so output never exceeds
+    /// `j * (j + 1) / 2` for `j` codes, valid or corrupt — but that
+    /// quadratic bound is reachable, so an embedded refill engine (or a
+    /// fuzz harness) with a known decompressed size should pass it here
+    /// and get a typed [`LzwDecodeError::OutputBudget`] instead of a
+    /// large allocation.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Lzw::decompress`] returns, plus
+    /// [`LzwDecodeError::OutputBudget`] once the output would exceed
+    /// `max_out` bytes.
+    pub fn decompress_bounded(
+        &self,
+        data: &[u8],
+        max_out: usize,
+    ) -> Result<Vec<u8>, LzwDecodeError> {
         let mut r = BitReader::new(data);
         let magic0 = r.read_bits(8).map_err(|_| LzwDecodeError::Truncated)?;
         let magic1 = r.read_bits(8).map_err(|_| LzwDecodeError::Truncated)?;
@@ -186,6 +217,9 @@ impl Lzw {
                 }
             }
             prev_first_byte = expand(&entries, code, &mut out)?;
+            if out.len() > max_out {
+                return Err(LzwDecodeError::OutputBudget { max_out });
+            }
             prev = Some(code);
             let defined = FIRST_FREE + entries.len() as u32;
             if defined >= (1 << bits) && bits < max_bits {
@@ -297,5 +331,17 @@ mod tests {
     fn all_byte_values_round_trip() {
         let data: Vec<u8> = (0..=255u8).cycle().take(1024).collect();
         round_trip(&data);
+    }
+
+    #[test]
+    fn output_budget_is_enforced() {
+        let codec = Lzw::new();
+        let data = vec![b'a'; 4096];
+        let compressed = codec.compress(&data);
+        assert_eq!(codec.decompress_bounded(&compressed, 4096).unwrap(), data);
+        assert_eq!(
+            codec.decompress_bounded(&compressed, 100).unwrap_err(),
+            LzwDecodeError::OutputBudget { max_out: 100 }
+        );
     }
 }

@@ -332,6 +332,12 @@ impl MipsSadc {
                     if regs.len() != items[0].op.operand_spec().reg_fields.len() {
                         return Err("register specialization arity");
                     }
+                    // Register and shamt fields are 5 bits wide; a tampered
+                    // model must not smuggle wider values past the
+                    // instruction generator.
+                    if regs.iter().any(|&r| r >= 32) {
+                        return Err("register specialization value out of range");
+                    }
                     items[0].fixed_regs = Some(regs.clone());
                     items
                 }
@@ -614,6 +620,21 @@ impl BlockCodec for MipsSadc {
 
     fn compress_chunk(&self, chunk: &[u8]) -> Result<Vec<u8>, CodecError> {
         let instructions = decode_text(chunk).map_err(|e| CodecError::train(NAME, e))?;
+        // The operand streams carry only the fields in each operation's
+        // spec, so a word with stray bits in an unused field would
+        // reassemble to a *different* word; refuse such non-canonical
+        // encodings instead of silently miscompressing them.
+        for insn in &instructions {
+            let rebuilt = Instruction::assemble(
+                insn.operation(),
+                &insn.register_fields(),
+                insn.imm16(),
+                insn.imm26(),
+            );
+            if rebuilt != *insn {
+                return Err(CodecError::train(NAME, "non-canonical instruction encoding"));
+            }
+        }
         self.compress_block(&instructions)
     }
 

@@ -152,7 +152,11 @@ impl MipsSadc {
             reg_specialization: r.read_bit().map_err(named)?,
             imm_specialization: r.read_bit().map_err(named)?,
         };
-        if config.block_size == 0 || !config.block_size.is_multiple_of(4) {
+        // Capped at 1 MiB: bounds decode amplification from tampered headers.
+        if config.block_size == 0
+            || config.block_size > (1 << 20)
+            || !config.block_size.is_multiple_of(4)
+        {
             return Err(corrupt("block size"));
         }
         let rule_count = r.read_bits(16).map_err(named)? as usize;
@@ -250,7 +254,7 @@ impl X86Sadc {
             max_tokens: r.read_bits(16).map_err(named)? as usize,
             groups: r.read_bit().map_err(named)?,
         };
-        if config.block_size == 0 {
+        if config.block_size == 0 || config.block_size > (1 << 20) {
             return Err(corrupt("block size"));
         }
         let base_count = r.read_bits(16).map_err(named)? as usize;

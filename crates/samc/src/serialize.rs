@@ -114,7 +114,10 @@ impl SamcCodec {
             return Err(corrupt("stream width"));
         }
         let unit = usize::from(width) / 8;
-        if block_size == 0 || !block_size.is_multiple_of(unit) {
+        // The upper cap (1 MiB, far above any cache block) bounds how much
+        // output a tampered block size can demand from the zero-filling
+        // arithmetic decoder downstream.
+        if block_size == 0 || block_size > (1 << 20) || !block_size.is_multiple_of(unit) {
             return Err(corrupt("block size"));
         }
         let stream_count = r.read_bits(8).map_err(named)? as usize;

@@ -1,0 +1,67 @@
+//! Property tests for the stream-division optimizer (paper §3): the
+//! search always returns a true partition of the instruction bits, and
+//! the random-exchange phase is monotone — more hill-climbing iterations
+//! never make the evaluated objective worse.
+
+use cce_rng::prop::prelude::*;
+use cce_samc::{optimize_division, MarkovConfig, OptimizeConfig};
+
+/// Unit streams with enough structure that the objective is non-trivial:
+/// a repeated motif with pseudo-random perturbations mixed in.
+fn units() -> impl Strategy<Value = Vec<u32>> {
+    (any::<u32>(), 192usize..=256).prop_map(|(salt, n)| {
+        (0..n as u32)
+            .map(|i| {
+                let motif = [0x8FBF_0010u32, 0x27BD_FFE8, 0x0320_F809, 0x0000_0000];
+                motif[i as usize % motif.len()] ^ (i.wrapping_mul(salt) & 0x0000_F0F1)
+            })
+            .collect()
+    })
+}
+
+/// A small evaluation config; `iterations` is set per test.
+fn config(iterations: usize) -> OptimizeConfig {
+    OptimizeConfig {
+        streams: 4,
+        iterations,
+        seed: 0xDAC1998,
+        sample_units: 256,
+        markov: MarkovConfig::default(),
+        block_units: 8,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Whatever the optimizer does, its output is a partition: every bit
+    /// of the instruction word appears in exactly one stream.
+    #[test]
+    fn output_is_a_partition_of_the_word_bits(units in units(), iterations in 0usize..12) {
+        let (division, cost) = optimize_division(&units, 32, &config(iterations));
+        prop_assert_eq!(division.stream_count(), 4);
+        prop_assert_eq!(division.total_bits(), 32);
+        let mut seen = [false; 32];
+        for s in 0..division.stream_count() {
+            for &bit in division.stream_bits(s) {
+                prop_assert!(bit < 32, "bit {bit} out of range");
+                prop_assert!(!seen[usize::from(bit)], "bit {bit} assigned twice");
+                seen[usize::from(bit)] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&b| b), "some bit is unassigned");
+        prop_assert!(cost.is_finite() && cost > 0.0);
+    }
+
+    /// Entropy descent: the exchange phase only ever accepts improvements,
+    /// so with a fixed seed the objective is non-increasing in the
+    /// iteration budget.
+    #[test]
+    fn objective_never_increases_with_more_iterations(units in units()) {
+        let (_, cost0) = optimize_division(&units, 32, &config(0));
+        let (_, cost8) = optimize_division(&units, 32, &config(8));
+        let (_, cost16) = optimize_division(&units, 32, &config(16));
+        prop_assert!(cost8 <= cost0, "8 iterations worsened: {cost8} > {cost0}");
+        prop_assert!(cost16 <= cost8, "16 iterations worsened: {cost16} > {cost8}");
+    }
+}

@@ -16,6 +16,9 @@ cargo build --release --workspace
 echo "== tests (offline) =="
 cargo test -q --workspace
 
+echo "== fuzz smoke (fixed seed) =="
+cargo run --release -q -p cce-core --bin cce -- fuzz --algo all --cases 512 --seed 7
+
 echo "== rustfmt =="
 cargo fmt --all --check
 

@@ -20,12 +20,14 @@ pub struct BitDecoder<'a> {
     range: u32,
     code: u32,
     renorm_reads: u64,
+    bits: u64,
 }
 
 impl<'a> BitDecoder<'a> {
     /// Creates a decoder over one block's encoded bytes.
     pub fn new(bytes: &'a [u8]) -> Self {
-        let mut dec = Self { bytes, position: 0, range: u32::MAX, code: 0, renorm_reads: 0 };
+        let mut dec =
+            Self { bytes, position: 0, range: u32::MAX, code: 0, renorm_reads: 0, bits: 0 };
         // Load the initial 32-bit code window (the encoder's dropped zero
         // primer byte is implicit).
         for _ in 0..4 {
@@ -61,7 +63,13 @@ impl<'a> BitDecoder<'a> {
             self.renorm_reads += 1;
             refills += 1;
         }
+        self.bits += 1;
         bit
+    }
+
+    /// Bits decoded so far.
+    pub fn bits_decoded(&self) -> u64 {
+        self.bits
     }
 
     /// Bytes of real input consumed so far (zero-fill reads not counted).
@@ -79,6 +87,17 @@ impl<'a> BitDecoder<'a> {
         let byte = self.bytes.get(self.position).copied().unwrap_or(0);
         self.position += 1;
         byte
+    }
+}
+
+/// Flushes the locally batched counters into [`crate::obs`] — one pair
+/// of atomic adds per decoded stream, per the overhead policy.  A cloned
+/// decoder flushes its own counts, so clone-and-decode double-counts by
+/// design (both clones really did the work).
+impl Drop for BitDecoder<'_> {
+    fn drop(&mut self) {
+        crate::obs::DECODED_BITS.add(self.bits);
+        crate::obs::DECODE_RENORMS.add(self.renorm_reads);
     }
 }
 

@@ -27,6 +27,10 @@ pub struct BitEncoder {
     out: Vec<u8>,
     /// True until the first byte (always the zero cache primer) is emitted.
     primed: bool,
+    /// Bits encoded; batched locally, flushed to [`crate::obs`] on finish.
+    bits: u64,
+    /// Renormalization shifts; batched locally like `bits`.
+    renorms: u64,
 }
 
 impl Default for BitEncoder {
@@ -38,7 +42,16 @@ impl Default for BitEncoder {
 impl BitEncoder {
     /// Creates an encoder with a fresh full interval.
     pub fn new() -> Self {
-        Self { low: 0, range: u32::MAX, cache: 0, cache_size: 1, out: Vec::new(), primed: false }
+        Self {
+            low: 0,
+            range: u32::MAX,
+            cache: 0,
+            cache_size: 1,
+            out: Vec::new(),
+            primed: false,
+            bits: 0,
+            renorms: 0,
+        }
     }
 
     /// Encodes `bit` given `p0 = P(bit == 0)`.
@@ -58,7 +71,19 @@ impl BitEncoder {
         while self.range < RENORM_THRESHOLD {
             self.shift_low();
             self.range <<= 8;
+            self.renorms += 1;
         }
+        self.bits += 1;
+    }
+
+    /// Bits encoded so far.
+    pub fn bits_encoded(&self) -> u64 {
+        self.bits
+    }
+
+    /// Renormalization byte-shifts so far — a proxy for output traffic.
+    pub fn renorms(&self) -> u64 {
+        self.renorms
     }
 
     /// Number of bytes the stream would occupy if finished now.
@@ -76,6 +101,8 @@ impl BitEncoder {
     /// [`BitDecoder`](crate::BitDecoder) zero-fills past the end of its
     /// input, making the trim lossless.
     pub fn finish(mut self) -> Vec<u8> {
+        crate::obs::ENCODED_BITS.add(self.bits);
+        crate::obs::ENCODE_RENORMS.add(self.renorms);
         // Any value in [low, low + range) terminates the stream correctly.
         let lo = self.low;
         let hi = lo + u64::from(self.range);

@@ -51,6 +51,7 @@
 mod decoder;
 mod encoder;
 pub mod nibble;
+pub mod obs;
 mod prob;
 
 pub use decoder::BitDecoder;

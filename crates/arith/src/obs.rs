@@ -1,0 +1,35 @@
+//! Preregistered metric handles for the arithmetic coder.
+//!
+//! Per the workspace overhead policy (DESIGN.md §7), the coder batches
+//! event counts in plain `u64` fields on the encoder/decoder and flushes
+//! them here once per stream — the bit loop itself never touches an
+//! atomic.  With the `obs` feature off every flush is a no-op.
+
+use cce_obs::{Counter, Desc};
+
+/// Bits encoded across all finished [`BitEncoder`](crate::BitEncoder)s.
+pub static ENCODED_BITS: Counter = Counter::new();
+/// Encoder renormalization byte-shifts (output traffic proxy).
+pub static ENCODE_RENORMS: Counter = Counter::new();
+/// Bits decoded across all dropped [`BitDecoder`](crate::BitDecoder)s.
+pub static DECODED_BITS: Counter = Counter::new();
+/// Decoder renormalization byte-loads (refill-engine traffic proxy).
+pub static DECODE_RENORMS: Counter = Counter::new();
+
+/// Descriptors for every metric this crate registers.
+pub fn descriptors() -> [Desc; 4] {
+    [
+        Desc::counter("arith.encode.bits", "bits encoded by the range coder", &ENCODED_BITS),
+        Desc::counter(
+            "arith.encode.renorms",
+            "encoder renormalization byte-shifts",
+            &ENCODE_RENORMS,
+        ),
+        Desc::counter("arith.decode.bits", "bits decoded by the range coder", &DECODED_BITS),
+        Desc::counter(
+            "arith.decode.renorms",
+            "decoder renormalization byte-loads",
+            &DECODE_RENORMS,
+        ),
+    ]
+}

@@ -3,7 +3,7 @@
 //! The workspace builds with zero external dependencies, so the two
 //! criterion benches were ported onto this module.  It is deliberately
 //! simple: warm up, run timed batches until enough samples accumulate,
-//! report min/median/mean.  That is sufficient for the paper's purpose —
+//! report min/median/p95.  That is sufficient for the paper's purpose —
 //! comparing codecs against each other on the same machine — without
 //! criterion's statistical machinery.
 //!
@@ -24,6 +24,44 @@ const WARMUP_TARGET: Duration = Duration::from_millis(100);
 /// Number of timed samples to aim for within the measurement budget.
 const TARGET_SAMPLES: usize = 30;
 
+/// Order statistics over one benchmark's timed samples.
+///
+/// Pure aggregation, separated from the measurement loop so the
+/// reporting math is unit-testable without timing anything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimingSummary {
+    /// Fastest sample.
+    pub min: Duration,
+    /// Median sample (lower-middle for even counts).
+    pub median: Duration,
+    /// 95th percentile (nearest-rank on the sorted samples).
+    pub p95: Duration,
+    /// Arithmetic mean.
+    pub mean: Duration,
+}
+
+impl TimingSummary {
+    /// Summarizes `samples` (order irrelevant).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty slice — a benchmark that produced no samples is
+    /// a harness bug, not a result.
+    pub fn from_samples(samples: &[Duration]) -> Self {
+        assert!(!samples.is_empty(), "no timing samples collected");
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        let p95_rank = (sorted.len() * 95).div_ceil(100).max(1) - 1;
+        Self {
+            min: sorted[0],
+            median: sorted[sorted.len() / 2],
+            p95: sorted[p95_rank],
+            mean: sorted.iter().sum::<Duration>()
+                / u32::try_from(sorted.len()).expect("few samples"),
+        }
+    }
+}
+
 /// A named group of related benchmarks sharing a throughput basis.
 pub struct Group {
     name: String,
@@ -37,7 +75,7 @@ impl Group {
         println!("\n== {name} ==");
         println!(
             "{:<22} {:>12} {:>12} {:>12} {:>12}",
-            "benchmark", "min", "median", "mean", "throughput"
+            "benchmark", "min", "median", "p95", "throughput"
         );
         Self { name: name.to_string(), throughput_bytes: None }
     }
@@ -75,15 +113,10 @@ impl Group {
             }
             samples.push(t.elapsed() / u32::try_from(batch).expect("batch fits u32"));
         }
-        samples.sort_unstable();
-
-        let min = samples[0];
-        let median = samples[samples.len() / 2];
-        let mean =
-            samples.iter().sum::<Duration>() / u32::try_from(samples.len()).expect("few samples");
+        let summary = TimingSummary::from_samples(&samples);
         let throughput = match self.throughput_bytes {
             Some(bytes) => {
-                let mbps = bytes as f64 / median.as_secs_f64() / 1e6;
+                let mbps = bytes as f64 / summary.median.as_secs_f64() / 1e6;
                 format!("{mbps:>9.1} MB/s")
             }
             None => "-".to_string(),
@@ -91,9 +124,9 @@ impl Group {
         println!(
             "{:<22} {:>12} {:>12} {:>12} {:>12}",
             format!("{}/{label}", self.name),
-            format_duration(min),
-            format_duration(median),
-            format_duration(mean),
+            format_duration(summary.min),
+            format_duration(summary.median),
+            format_duration(summary.p95),
             throughput,
         );
     }
@@ -116,6 +149,41 @@ fn format_duration(d: Duration) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn summary_computes_order_statistics() {
+        // 1..=100 ms, shuffled order must not matter.
+        let mut samples: Vec<Duration> = (1..=100).map(Duration::from_millis).collect();
+        samples.reverse();
+        let s = TimingSummary::from_samples(&samples);
+        assert_eq!(s.min, Duration::from_millis(1));
+        assert_eq!(s.median, Duration::from_millis(51)); // lower-middle of even count
+        assert_eq!(s.p95, Duration::from_millis(95)); // nearest rank
+        assert_eq!(s.mean, Duration::from_micros(50_500));
+    }
+
+    #[test]
+    fn summary_degenerates_sanely_on_one_sample() {
+        let s = TimingSummary::from_samples(&[Duration::from_nanos(7)]);
+        assert_eq!((s.min, s.median, s.p95, s.mean), (s.min, s.min, s.min, s.min));
+        assert_eq!(s.min, Duration::from_nanos(7));
+    }
+
+    #[test]
+    fn p95_never_exceeds_max() {
+        for n in 1..40 {
+            let samples: Vec<Duration> = (1..=n).map(Duration::from_nanos).collect();
+            let s = TimingSummary::from_samples(&samples);
+            assert!(s.p95 <= Duration::from_nanos(n), "n={n}");
+            assert!(s.p95 >= s.median, "n={n}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no timing samples")]
+    fn empty_samples_panic() {
+        let _ = TimingSummary::from_samples(&[]);
+    }
 
     #[test]
     fn formats_cover_all_scales() {

@@ -54,6 +54,7 @@
 
 mod error;
 mod image;
+pub mod obs;
 mod par;
 mod traits;
 

@@ -43,8 +43,11 @@ where
     F: Fn(usize, &T) -> R + Sync,
 {
     let workers = workers.max(1).min(items.len().max(1));
+    crate::obs::PAR_RUNS.incr();
+    crate::obs::PAR_ITEMS.add(items.len() as u64);
+    let _stage = crate::obs::PAR_STAGE_SPAN.time();
     if workers == 1 {
-        return items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
+        return items.iter().enumerate().map(|(i, item)| timed(&f, i, item)).collect();
     }
     let next = AtomicUsize::new(0);
     let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
@@ -59,7 +62,8 @@ where
                         if index >= items.len() {
                             break;
                         }
-                        local.push((index, f(index, &items[index])));
+                        crate::obs::PAR_QUEUE_DEPTH.set_max((items.len() - index - 1) as u64);
+                        local.push((index, timed(&f, index, &items[index])));
                     }
                     local
                 })
@@ -71,6 +75,26 @@ where
         slots[index] = Some(result);
     }
     slots.into_iter().map(|slot| slot.expect("every index visited")).collect()
+}
+
+/// Runs `f` on one item, recording its latency in the stage histogram.
+///
+/// `cce_obs::enabled()` is `const`, so the timed branch (and its clock
+/// reads) folds away entirely when observability is compiled out.
+#[inline]
+fn timed<T, R, F>(f: &F, index: usize, item: &T) -> R
+where
+    F: Fn(usize, &T) -> R,
+{
+    if cce_obs::enabled() {
+        let start = std::time::Instant::now();
+        let result = f(index, item);
+        let micros = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        crate::obs::PAR_STAGE_MICROS.record(micros);
+        result
+    } else {
+        f(index, item)
+    }
 }
 
 /// Compresses `text` with `codec`, fanning blocks across `workers`

@@ -1,10 +1,12 @@
 //! `cce` — command-line front end for the code-compression toolkit.
 //!
 //! ```text
-//! cce ratio [-b BLOCK] [--json] <input.elf>  # compare all five algorithms
+//! cce ratio [-b BLOCK] [--json] [--metrics M.json] <input.elf>
 //! cce compress [-a ALGO] [-b BLOCK] <input.elf> -o <out.cce>
 //! cce decompress <in.cce> -o <out.elf>       # rebuild a minimal ELF
 //! cce info <in.cce>                          # inspect a compressed artifact
+//! cce bench [--scale F] [--seed S] [--metrics M.json]  # fixed-seed suite run
+//! cce stats [input.elf]                      # metric registry / live counters
 //! cce fuzz --algo <name|all> --cases N --seed S  # adversarial decode fuzzing
 //! ```
 //!
@@ -37,7 +39,10 @@ fn main() -> ExitCode {
 
 fn run(args: &[String]) -> Result<(), Box<dyn Error>> {
     match args.first().map(String::as_str) {
-        Some("ratio") => ratio(&args[1..]),
+        // `measure` is an alias kept for symmetry with the library API.
+        Some("ratio" | "measure") => ratio(&args[1..]),
+        Some("bench") => bench(&args[1..]),
+        Some("stats") => stats(&args[1..]),
         Some("compress") => compress(&args[1..]),
         Some("decompress") => decompress(&args[1..]),
         Some("info") => info(&args[1..]),
@@ -56,10 +61,15 @@ fn print_usage() {
     println!("cce — code compression for embedded systems (SAMC/SADC, DAC 1998)");
     println!();
     println!("USAGE:");
-    println!("  cce ratio [-b N] [--json] <input.elf>         compare all algorithms");
+    println!("  cce ratio [-b N] [--json] [--metrics M.json] <input.elf>");
+    println!("                                                compare all algorithms");
     println!("  cce compress [-a samc|sadc|huffman] [-b N] <in.elf> -o <out.cce>");
     println!("  cce decompress <in.cce> -o <out.elf>");
     println!("  cce info <in.cce>");
+    println!("  cce bench [--scale F] [--seed S] [-b N] [--json] [--metrics M.json]");
+    println!("                                                fixed-seed suite benchmark");
+    println!("  cce stats                                     list registered metrics");
+    println!("  cce stats [--metrics M.json] <input.elf>      measure and dump counters");
     println!("  cce analyze <input.elf>                       entropy diagnostics");
     println!("  cce disasm <input.elf> [-n COUNT]             disassemble (MIPS only)");
     println!("  cce fuzz --algo <name|all> --cases N --seed S adversarial decode fuzzing");
@@ -74,6 +84,8 @@ struct Flags<'a> {
     json: bool,
     cases: usize,
     seed: u64,
+    metrics: Option<&'a str>,
+    scale: f64,
 }
 
 /// Parses `-o out` plus positional arguments.
@@ -86,6 +98,8 @@ fn split_flags(args: &[String]) -> Result<Flags<'_>, String> {
     let defaults = FuzzConfig::default();
     let mut cases = defaults.cases;
     let mut seed = defaults.seed;
+    let mut metrics = None;
+    let mut scale = 0.1f64;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -129,6 +143,21 @@ fn split_flags(args: &[String]) -> Result<Flags<'_>, String> {
                     .map_err(|_| "block size must be an integer")?;
                 i += 2;
             }
+            "--metrics" => {
+                metrics = Some(args.get(i + 1).ok_or("missing value after --metrics")?.as_str());
+                i += 2;
+            }
+            "--scale" => {
+                scale = args
+                    .get(i + 1)
+                    .ok_or("missing value after --scale")?
+                    .parse()
+                    .map_err(|_| "scale must be a number")?;
+                if !(scale > 0.0 && scale.is_finite()) {
+                    return Err("scale must be positive".into());
+                }
+                i += 2;
+            }
             "--json" => {
                 json = true;
                 i += 1;
@@ -139,7 +168,7 @@ fn split_flags(args: &[String]) -> Result<Flags<'_>, String> {
             }
         }
     }
-    Ok(Flags { positional, output, algorithm, block_size, json, cases, seed })
+    Ok(Flags { positional, output, algorithm, block_size, json, cases, seed, metrics, scale })
 }
 
 fn load_elf(path: &str) -> Result<(ElfImage, Isa), Box<dyn Error>> {
@@ -156,7 +185,7 @@ fn load_elf(path: &str) -> Result<(ElfImage, Isa), Box<dyn Error>> {
 fn ratio(args: &[String]) -> Result<(), Box<dyn Error>> {
     let flags = split_flags(args)?;
     let [path] = flags.positional.as_slice() else {
-        return Err("usage: cce ratio [-b N] [--json] <input.elf>".into());
+        return Err("usage: cce ratio [-b N] [--json] [--metrics M.json] <input.elf>".into());
     };
     let (elf, isa) = load_elf(path)?;
     let text = elf.text().ok_or("no .text section")?;
@@ -170,7 +199,7 @@ fn ratio(args: &[String]) -> Result<(), Box<dyn Error>> {
             }
         }
         println!("{}", report::measurements_json(&measurements));
-        return Ok(());
+        return write_metrics(flags.metrics, "ratio");
     }
 
     println!("{path}: {} bytes of {isa} text", text.len());
@@ -186,7 +215,136 @@ fn ratio(args: &[String]) -> Result<(), Box<dyn Error>> {
             Err(e) => println!("{:<10} failed: {e}", algorithm.to_string()),
         }
     }
+    write_metrics(flags.metrics, "ratio")
+}
+
+/// Writes the metrics artifact for `command` if `--metrics` was given.
+fn write_metrics(path: Option<&str>, command: &str) -> Result<(), Box<dyn Error>> {
+    let Some(path) = path else { return Ok(()) };
+    if !cce_core::obs::enabled() {
+        eprintln!("cce: warning: built without the `obs` feature; all metrics are zero");
+    }
+    std::fs::write(path, cce_core::obs::metrics_json(command))?;
+    eprintln!("cce: wrote {command} metrics to {path}");
     Ok(())
+}
+
+/// Benchmarks measured by `cce bench`: a small representative slice of
+/// the suite so the smoke run stays fast at the default `--scale`.
+const BENCH_PROGRAMS: [&str; 3] = ["compress", "go", "ijpeg"];
+
+fn bench(args: &[String]) -> Result<(), Box<dyn Error>> {
+    use cce_core::memsim::{CacheConfig, CostModel, LineAddressTable, MemorySystem};
+    use cce_core::workload::trace::{instruction_trace, TraceConfig};
+
+    let flags = split_flags(args)?;
+    if !flags.positional.is_empty() {
+        return Err(
+            "usage: cce bench [--scale F] [--seed S] [-b N] [--json] [--metrics M.json]".into()
+        );
+    }
+    cce_core::obs::reset();
+    let isa = Isa::Mips;
+    let programs = cce_core::workload::spec95_suite_seeded(isa, flags.scale, flags.seed);
+    let programs: Vec<_> =
+        programs.into_iter().filter(|p| BENCH_PROGRAMS.contains(&p.name)).collect();
+
+    let mut measurements = Vec::new();
+    if !flags.json {
+        println!(
+            "bench: {} MIPS benchmarks at scale {} (seed {})",
+            programs.len(),
+            flags.scale,
+            flags.seed
+        );
+        println!(
+            "{:<10} {:<10} {:>10} {:>12} {:>8}",
+            "benchmark", "algorithm", "text", "compressed", "ratio"
+        );
+    }
+    for program in &programs {
+        for algorithm in Algorithm::ALL {
+            let m = measure(algorithm, isa, &program.text, flags.block_size)
+                .map_err(|e| format!("{}/{algorithm}: {e}", program.name))?;
+            if !flags.json {
+                println!(
+                    "{:<10} {:<10} {:>10} {:>12} {:>8.3}",
+                    program.name,
+                    algorithm.to_string(),
+                    m.original_len(),
+                    m.compressed_len(),
+                    m.ratio()
+                );
+            }
+            measurements.push(m);
+        }
+    }
+
+    // Memory-system leg: run the first benchmark's SAMC image through the
+    // simulator so the artifact carries cache/CLB hit-miss counters too.
+    let program = programs.first().ok_or("bench suite selection is empty")?;
+    let samc = measurements
+        .iter()
+        .find(|m| m.algorithm() == Algorithm::Samc && m.original_len() == program.text.len())
+        .ok_or("no SAMC measurement for the memsim leg")?;
+    let sizes = samc.block_sizes().ok_or("SAMC is random-access")?;
+    let lat = LineAddressTable::from_block_sizes(sizes.iter().copied());
+    let config = CacheConfig { size_bytes: 4096, block_size: flags.block_size, associativity: 2 };
+    let trace = instruction_trace(
+        program.text.len(),
+        &TraceConfig { fetches: 20_000, seed: flags.seed, ..TraceConfig::default() },
+    );
+    let mut base = MemorySystem::uncompressed(config, CostModel::default());
+    let base_report = base.run(&trace);
+    let mut comp = MemorySystem::compressed(config, CostModel::default(), lat, 32);
+    let comp_report = comp.run(&trace);
+    if flags.json {
+        println!("{}", report::measurements_json(&measurements));
+    } else {
+        println!(
+            "memsim ({}): hit ratio {:.3}, CLB {}/{} hit/miss, CPF {:.3} vs {:.3} uncompressed (slowdown {:.3})",
+            program.name,
+            comp_report.cache.hit_ratio(),
+            comp_report.clb_hits,
+            comp_report.clb_misses,
+            comp_report.cpf(),
+            base_report.cpf(),
+            comp_report.slowdown_vs(&base_report)
+        );
+    }
+    write_metrics(flags.metrics, "bench")
+}
+
+fn stats(args: &[String]) -> Result<(), Box<dyn Error>> {
+    use cce_core::obs::{MetricsSink, TableSink};
+
+    let flags = split_flags(args)?;
+    match flags.positional.as_slice() {
+        // Without an input, list the registry: every metric the workspace
+        // can record, whether or not anything has run.
+        [] => {
+            for desc in cce_core::obs::descriptors() {
+                println!("{:<26} {:<9} {}", desc.name, desc.kind().name(), desc.help);
+            }
+            Ok(())
+        }
+        [path] => {
+            let (elf, isa) = load_elf(path)?;
+            let text = elf.text().ok_or("no .text section")?;
+            cce_core::obs::reset();
+            for algorithm in Algorithm::ALL {
+                if let Err(e) = measure(algorithm, isa, text, flags.block_size) {
+                    eprintln!("cce: {algorithm} failed: {e}");
+                }
+            }
+            if !cce_core::obs::enabled() {
+                eprintln!("cce: built without the `obs` feature; all metrics read zero");
+            }
+            print!("{}", TableSink { skip_zero: true }.render(&cce_core::obs::snapshot()));
+            write_metrics(flags.metrics, "stats")
+        }
+        _ => Err("usage: cce stats [--metrics M.json] [input.elf]".into()),
+    }
 }
 
 fn compress(args: &[String]) -> Result<(), Box<dyn Error>> {

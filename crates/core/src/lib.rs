@@ -45,6 +45,7 @@
 
 pub mod container;
 pub mod fuzz;
+pub mod obs;
 pub mod registry;
 pub mod report;
 pub mod stats;

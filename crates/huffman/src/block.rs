@@ -173,6 +173,8 @@ impl BlockCodec for ByteBlockCodec {
     }
 
     fn compress_chunk(&self, chunk: &[u8]) -> Result<Vec<u8>, CodecError> {
+        let _span = crate::obs::COMPRESS_SPAN.time();
+        crate::obs::ENCODED_SYMBOLS.add(chunk.len() as u64);
         let mut w = BitWriter::new();
         for &b in chunk {
             if self.book.length(u16::from(b)) == 0 {
@@ -188,6 +190,8 @@ impl BlockCodec for ByteBlockCodec {
     }
 
     fn decompress_block(&self, block: &[u8], out_len: usize) -> Result<Vec<u8>, CodecError> {
+        let _span = crate::obs::DECOMPRESS_SPAN.time();
+        crate::obs::DECODED_SYMBOLS.add(out_len as u64);
         let mut r = BitReader::new(block);
         let mut out = Vec::with_capacity(out_len);
         for _ in 0..out_len {

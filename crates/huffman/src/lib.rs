@@ -42,6 +42,7 @@
 pub mod block;
 mod codebook;
 mod decode_table;
+pub mod obs;
 
 pub use codebook::{BuildCodeBookError, CodeBook, DecodeSymbolError};
 pub use decode_table::DecodeTable;

@@ -1,0 +1,34 @@
+//! Preregistered metric handles for the byte-Huffman baseline codec.
+
+use cce_obs::{Counter, Desc, SpanStat};
+
+/// Wall-clock time spent Huffman-encoding blocks.
+pub static COMPRESS_SPAN: SpanStat = SpanStat::new();
+/// Wall-clock time spent Huffman-decoding blocks.
+pub static DECOMPRESS_SPAN: SpanStat = SpanStat::new();
+/// Bytes (symbols) encoded by the byte codec.
+pub static ENCODED_SYMBOLS: Counter = Counter::new();
+/// Bytes (symbols) decoded by the byte codec.
+pub static DECODED_SYMBOLS: Counter = Counter::new();
+
+/// Descriptors for every metric this crate registers.
+pub fn descriptors() -> [Desc; 4] {
+    [
+        Desc::span("huffman.compress.span", "time compressing Huffman blocks", &COMPRESS_SPAN),
+        Desc::span(
+            "huffman.decompress.span",
+            "time decompressing Huffman blocks",
+            &DECOMPRESS_SPAN,
+        ),
+        Desc::counter(
+            "huffman.compress.symbols",
+            "byte symbols encoded by the Huffman baseline",
+            &ENCODED_SYMBOLS,
+        ),
+        Desc::counter(
+            "huffman.decompress.symbols",
+            "byte symbols decoded by the Huffman baseline",
+            &DECODED_SYMBOLS,
+        ),
+    ]
+}

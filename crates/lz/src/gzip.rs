@@ -117,7 +117,11 @@ impl Gzip {
 
     /// Compresses `data` as a single dynamic-Huffman block.
     pub fn compress(&self, data: &[u8]) -> Vec<u8> {
+        let _span = crate::obs::GZIP_COMPRESS_SPAN.time();
         let tokens = tokenize(data);
+        let matches = tokens.iter().filter(|t| matches!(t, Token::Match { .. })).count() as u64;
+        crate::obs::GZIP_MATCHES.add(matches);
+        crate::obs::GZIP_LITERALS.add(tokens.len() as u64 - matches);
 
         // Gather alphabet statistics.
         let mut lit_freq = [0u64; 286];
@@ -186,6 +190,7 @@ impl Gzip {
     /// Returns [`InflateError`] on truncation, invalid codes, or distances
     /// reaching before the start of the output.
     pub fn decompress(&self, data: &[u8]) -> Result<Vec<u8>, InflateError> {
+        let _span = crate::obs::GZIP_DECOMPRESS_SPAN.time();
         let mut r = BitReader::new(data);
         let original_len = r.read_bits(32)? as usize;
 

@@ -42,6 +42,7 @@
 mod context;
 mod gzip;
 mod lzw;
+pub mod obs;
 
 pub use context::{ContextCoder, ContextCoderConfig, ContextDecodeError};
 pub use gzip::{Gzip, InflateError};

@@ -90,6 +90,9 @@ impl Lzw {
         let mut next_code = FIRST_FREE;
         let mut bits = MIN_BITS;
         let mut current: Option<u32> = None;
+        // Batched per the overhead policy: flushed to crate::obs once per call.
+        let mut codes = 0u64;
+        let mut clears = 0u64;
 
         for &byte in data {
             let code = match current {
@@ -99,6 +102,7 @@ impl Lzw {
                         found
                     } else {
                         w.write_bits(prefix, bits);
+                        codes += 1;
                         if next_code < 1 << self.max_bits {
                             dict.insert((prefix, byte), next_code);
                             next_code += 1;
@@ -108,6 +112,7 @@ impl Lzw {
                         } else {
                             // Dictionary full: clear and relearn.
                             w.write_bits(CLEAR, bits);
+                            clears += 1;
                             dict.clear();
                             next_code = FIRST_FREE;
                             bits = MIN_BITS;
@@ -120,7 +125,10 @@ impl Lzw {
         }
         if let Some(code) = current {
             w.write_bits(code, bits);
+            codes += 1;
         }
+        crate::obs::LZW_CODES.add(codes);
+        crate::obs::LZW_CLEARS.add(clears);
         w.into_bytes()
     }
 

@@ -1,0 +1,28 @@
+//! Preregistered metric handles for the file-oriented LZ baselines.
+
+use cce_obs::{Counter, Desc, SpanStat};
+
+/// Wall-clock time spent in gzip (deflate) compression.
+pub static GZIP_COMPRESS_SPAN: SpanStat = SpanStat::new();
+/// Wall-clock time spent in gzip (deflate) decompression.
+pub static GZIP_DECOMPRESS_SPAN: SpanStat = SpanStat::new();
+/// Literal tokens emitted by the gzip tokenizer.
+pub static GZIP_LITERALS: Counter = Counter::new();
+/// Back-reference (match) tokens emitted by the gzip tokenizer.
+pub static GZIP_MATCHES: Counter = Counter::new();
+/// Codes emitted by the LZW (compress(1)) encoder.
+pub static LZW_CODES: Counter = Counter::new();
+/// Dictionary-full clears emitted by the LZW encoder.
+pub static LZW_CLEARS: Counter = Counter::new();
+
+/// Descriptors for every metric this crate registers.
+pub fn descriptors() -> [Desc; 6] {
+    [
+        Desc::span("lz.gzip.compress.span", "time in gzip compression", &GZIP_COMPRESS_SPAN),
+        Desc::span("lz.gzip.decompress.span", "time in gzip decompression", &GZIP_DECOMPRESS_SPAN),
+        Desc::counter("lz.gzip.literals", "literal tokens emitted by gzip", &GZIP_LITERALS),
+        Desc::counter("lz.gzip.matches", "back-reference tokens emitted by gzip", &GZIP_MATCHES),
+        Desc::counter("lz.lzw.codes", "codes emitted by the LZW encoder", &LZW_CODES),
+        Desc::counter("lz.lzw.clears", "dictionary clears emitted by LZW", &LZW_CLEARS),
+    ]
+}

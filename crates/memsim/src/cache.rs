@@ -28,30 +28,9 @@ impl CacheConfig {
     }
 }
 
-/// Hit/miss counters.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct CacheStats {
-    /// Accesses that hit.
-    pub hits: u64,
-    /// Accesses that missed.
-    pub misses: u64,
-}
-
-impl CacheStats {
-    /// Total accesses.
-    pub fn accesses(&self) -> u64 {
-        self.hits + self.misses
-    }
-
-    /// Miss ratio in `[0, 1]` (0 for no accesses).
-    pub fn miss_ratio(&self) -> f64 {
-        if self.accesses() == 0 {
-            0.0
-        } else {
-            self.misses as f64 / self.accesses() as f64
-        }
-    }
-}
+/// Hit/miss counters — the shared [`cce_obs::HitMiss`] result type,
+/// which all memory-system components (cache, CLB) now count with.
+pub type CacheStats = cce_obs::HitMiss;
 
 /// A set-associative cache with true-LRU replacement, tracking tags only
 /// (contents are irrelevant to the timing model).
@@ -99,10 +78,10 @@ impl Cache {
 
         if let Some(entry) = self.ways[set].iter_mut().flatten().find(|(t, _)| *t == tag) {
             entry.1 = self.clock;
-            self.stats.hits += 1;
+            self.stats.record(true);
             return true;
         }
-        self.stats.misses += 1;
+        self.stats.record(false);
         // Fill: empty way, or evict the least recently used.
         let victim = self.ways[set].iter().position(Option::is_none).unwrap_or_else(|| {
             self.ways[set]

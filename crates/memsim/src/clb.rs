@@ -1,5 +1,7 @@
 //! CLB: cache line address lookaside buffer.
 
+use cce_obs::HitMiss;
+
 /// A small fully-associative LRU cache over LAT entries — "essentially
 /// identical to a TLB" (paper §2).  Without it every cache refill would
 /// pay an extra main-memory access to read the block's LAT entry.
@@ -14,8 +16,7 @@ pub struct Clb {
     /// `(lat_line_index, last_use)` pairs.
     entries: Vec<(usize, u64)>,
     clock: u64,
-    hits: u64,
-    misses: u64,
+    stats: HitMiss,
 }
 
 impl Clb {
@@ -43,8 +44,7 @@ impl Clb {
             coverage,
             entries: Vec::with_capacity(capacity),
             clock: 0,
-            hits: 0,
-            misses: 0,
+            stats: HitMiss::new(),
         }
     }
 
@@ -55,10 +55,10 @@ impl Clb {
         let block_index = block_index / self.coverage;
         if let Some(entry) = self.entries.iter_mut().find(|(b, _)| *b == block_index) {
             entry.1 = self.clock;
-            self.hits += 1;
+            self.stats.record(true);
             return true;
         }
-        self.misses += 1;
+        self.stats.record(false);
         if self.entries.len() == self.capacity {
             let lru = self
                 .entries
@@ -75,22 +75,22 @@ impl Clb {
 
     /// Hits so far.
     pub fn hits(&self) -> u64 {
-        self.hits
+        self.stats.hits
     }
 
     /// Misses so far.
     pub fn misses(&self) -> u64 {
-        self.misses
+        self.stats.misses
+    }
+
+    /// The hit/miss counters.
+    pub fn stats(&self) -> HitMiss {
+        self.stats
     }
 
     /// Hit ratio in `[0, 1]` (0 for no accesses).
     pub fn hit_ratio(&self) -> f64 {
-        let total = self.hits + self.misses;
-        if total == 0 {
-            0.0
-        } else {
-            self.hits as f64 / total as f64
-        }
+        self.stats.hit_ratio()
     }
 }
 

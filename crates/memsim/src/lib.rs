@@ -34,6 +34,7 @@
 mod cache;
 mod clb;
 mod lat;
+pub mod obs;
 mod system;
 
 pub use cache::{Cache, CacheConfig, CacheStats};

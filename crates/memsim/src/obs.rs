@@ -1,0 +1,37 @@
+//! Preregistered metric handles for the memory-system simulator.
+//!
+//! The simulator's per-run numbers live in [`SimReport`](crate::SimReport)
+//! (always-on results); these global counters accumulate *deltas* flushed
+//! at the end of each `run`, so a metrics artifact covering a whole bench
+//! invocation sees the combined cache/CLB/LAT traffic of every simulation
+//! it performed.
+
+use cce_obs::{Counter, Desc};
+
+/// I-cache hits across all simulations.
+pub static CACHE_HITS: Counter = Counter::new();
+/// I-cache misses across all simulations.
+pub static CACHE_MISSES: Counter = Counter::new();
+/// CLB hits across all simulations.
+pub static CLB_HITS: Counter = Counter::new();
+/// CLB misses across all simulations.
+pub static CLB_MISSES: Counter = Counter::new();
+/// LAT entries fetched from main memory (one per CLB miss).
+pub static LAT_REFILLS: Counter = Counter::new();
+/// Cache-block refills performed.
+pub static REFILLS: Counter = Counter::new();
+/// Cycles spent refilling (latency + transfer + decompression).
+pub static REFILL_CYCLES: Counter = Counter::new();
+
+/// Descriptors for every metric this crate registers.
+pub fn descriptors() -> [Desc; 7] {
+    [
+        Desc::counter("memsim.cache.hits", "I-cache hits across simulations", &CACHE_HITS),
+        Desc::counter("memsim.cache.misses", "I-cache misses across simulations", &CACHE_MISSES),
+        Desc::counter("memsim.clb.hits", "CLB hits across simulations", &CLB_HITS),
+        Desc::counter("memsim.clb.misses", "CLB misses across simulations", &CLB_MISSES),
+        Desc::counter("memsim.lat.refills", "LAT entries fetched from main memory", &LAT_REFILLS),
+        Desc::counter("memsim.refills", "cache-block refills performed", &REFILLS),
+        Desc::counter("memsim.refill.cycles", "cycles spent in refills", &REFILL_CYCLES),
+    ]
+}

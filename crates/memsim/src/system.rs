@@ -142,8 +142,11 @@ impl MemorySystem {
         codec: Option<&dyn RefillDecompressor>,
         text: &[u8],
     ) -> SimReport {
+        let cache_before = self.cache.stats();
+        let clb_before = self.compressed.as_ref().map(|(_, clb)| clb.stats()).unwrap_or_default();
         let mut cycles = 0u64;
         let mut refill_cycles = 0u64;
+        let mut refills = 0u64;
         for &addr in trace {
             cycles += 1;
             if self.cache.access(addr) {
@@ -189,11 +192,25 @@ impl MemorySystem {
             };
             cycles += refill;
             refill_cycles += refill;
+            refills += 1;
         }
         let (clb_hits, clb_misses) = match &self.compressed {
             Some((_, clb)) => (clb.hits(), clb.misses()),
             None => (0, 0),
         };
+        // Flush this run's deltas into the global metrics (no-ops unless
+        // the obs feature is on); the report below stays the authoritative
+        // per-run result either way.
+        let cache_delta = self.cache.stats().since(&cache_before);
+        crate::obs::CACHE_HITS.add(cache_delta.hits);
+        crate::obs::CACHE_MISSES.add(cache_delta.misses);
+        let clb_now = self.compressed.as_ref().map(|(_, clb)| clb.stats()).unwrap_or_default();
+        let clb_delta = clb_now.since(&clb_before);
+        crate::obs::CLB_HITS.add(clb_delta.hits);
+        crate::obs::CLB_MISSES.add(clb_delta.misses);
+        crate::obs::LAT_REFILLS.add(clb_delta.misses);
+        crate::obs::REFILLS.add(refills);
+        crate::obs::REFILL_CYCLES.add(refill_cycles);
         SimReport {
             fetches: trace.len() as u64,
             cache: self.cache.stats(),

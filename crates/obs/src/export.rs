@@ -1,0 +1,207 @@
+//! Snapshot exporters: JSON for machines, aligned tables for humans.
+
+use crate::registry::{Sample, SampleValue, Snapshot};
+
+/// Renders a [`Snapshot`] to a string.
+pub trait MetricsSink {
+    /// Produces the rendered form of `snapshot`.
+    fn render(&self, snapshot: &Snapshot) -> String;
+}
+
+/// JSON exporter: a `{"metrics": [...]}` object with one entry per
+/// sample, in registration order.  Output is deterministic — key order
+/// is fixed and all values are integers — so artifacts diff cleanly.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JsonSink;
+
+impl JsonSink {
+    /// Renders one sample as a JSON object (no trailing separator).
+    fn sample_json(sample: &Sample, out: &mut String) {
+        out.push_str("{\"name\":");
+        push_json_string(sample.name, out);
+        out.push_str(",\"kind\":\"");
+        out.push_str(match sample.value {
+            SampleValue::Counter(_) => "counter",
+            SampleValue::Gauge(_) => "gauge",
+            SampleValue::Histogram { .. } => "histogram",
+            SampleValue::Span { .. } => "span",
+        });
+        out.push_str("\",\"help\":");
+        push_json_string(sample.help, out);
+        match sample.value {
+            SampleValue::Counter(v) | SampleValue::Gauge(v) => {
+                out.push_str(",\"value\":");
+                out.push_str(&v.to_string());
+            }
+            SampleValue::Histogram { count, sum, buckets } => {
+                out.push_str(",\"count\":");
+                out.push_str(&count.to_string());
+                out.push_str(",\"sum\":");
+                out.push_str(&sum.to_string());
+                out.push_str(",\"buckets\":[");
+                for (i, b) in buckets.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&b.to_string());
+                }
+                out.push(']');
+            }
+            SampleValue::Span { count, total_nanos, max_nanos } => {
+                out.push_str(",\"count\":");
+                out.push_str(&count.to_string());
+                out.push_str(",\"total_nanos\":");
+                out.push_str(&total_nanos.to_string());
+                out.push_str(",\"max_nanos\":");
+                out.push_str(&max_nanos.to_string());
+            }
+        }
+        out.push('}');
+    }
+}
+
+impl MetricsSink for JsonSink {
+    fn render(&self, snapshot: &Snapshot) -> String {
+        let mut out = String::from("{\"metrics\":[");
+        for (i, sample) in snapshot.samples.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            Self::sample_json(sample, &mut out);
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Human-readable exporter: one aligned `name  value  help` row per
+/// sample.  Span rows show count/mean/max; histogram rows count/sum.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TableSink {
+    /// Skip samples whose value is all zeros.
+    pub skip_zero: bool,
+}
+
+impl TableSink {
+    /// Compact value column for one sample.
+    fn value_cell(value: &SampleValue) -> String {
+        match *value {
+            SampleValue::Counter(v) | SampleValue::Gauge(v) => v.to_string(),
+            SampleValue::Histogram { count, sum, .. } => {
+                format!("count={count} sum={sum}")
+            }
+            SampleValue::Span { count, total_nanos, max_nanos } => {
+                let mean = total_nanos.checked_div(count).unwrap_or(0);
+                format!("count={count} mean={}us max={}us", mean / 1_000, max_nanos / 1_000)
+            }
+        }
+    }
+}
+
+impl MetricsSink for TableSink {
+    fn render(&self, snapshot: &Snapshot) -> String {
+        let rows: Vec<(&str, String, &str)> = snapshot
+            .samples
+            .iter()
+            .filter(|s| !(self.skip_zero && s.value.is_zero()))
+            .map(|s| (s.name, Self::value_cell(&s.value), s.help))
+            .collect();
+        if rows.is_empty() {
+            return String::from("(no metrics recorded)\n");
+        }
+        let name_width = rows.iter().map(|r| r.0.len()).max().unwrap_or(0).max(6);
+        let value_width = rows.iter().map(|r| r.1.len()).max().unwrap_or(0).max(5);
+        let mut out = format!("{:<name_width$}  {:<value_width$}  help\n", "metric", "value");
+        for (name, value, help) in rows {
+            out.push_str(&format!("{name:<name_width$}  {value:<value_width$}  {help}\n"));
+        }
+        out
+    }
+}
+
+/// Appends `s` as a JSON string literal (with escaping) to `out`.
+///
+/// Private copy of the escaper in `cce-core::report` — this crate sits
+/// below `cce-core` in the dependency graph and must stay leaf-level.
+fn push_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metric::{Counter, Histogram};
+    use crate::span::SpanStat;
+    use crate::Desc;
+
+    static HITS: Counter = Counter::new();
+    static SIZES: Histogram = Histogram::new();
+    static SPAN: SpanStat = SpanStat::new();
+
+    fn snapshot() -> Snapshot {
+        HITS.reset();
+        SIZES.reset();
+        SPAN.reset();
+        HITS.add(4);
+        SIZES.record(3);
+        SPAN.record_nanos(2_000_000);
+        Snapshot::collect(&[
+            Desc::counter("t.hits", "hits seen", &HITS),
+            Desc::histogram("t.sizes", "block sizes", &SIZES),
+            Desc::span("t.span", "time spent", &SPAN),
+        ])
+    }
+
+    #[test]
+    fn json_is_valid_and_ordered() {
+        let json = JsonSink.render(&snapshot());
+        assert!(json.starts_with("{\"metrics\":["));
+        assert!(json.ends_with("]}"));
+        let hits = json.find("t.hits").unwrap();
+        let sizes = json.find("t.sizes").unwrap();
+        let span = json.find("t.span").unwrap();
+        assert!(hits < sizes && sizes < span);
+        if crate::enabled() {
+            assert!(json.contains("\"value\":4"));
+            assert!(json.contains("\"total_nanos\":2000000"));
+        } else {
+            assert!(json.contains("\"value\":0"));
+        }
+    }
+
+    #[test]
+    fn json_escapes_strings() {
+        let mut out = String::new();
+        push_json_string("a\"b\\c\nd\u{1}", &mut out);
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn table_aligns_and_skips_zero() {
+        let snap = snapshot();
+        let table = TableSink::default().render(&snap);
+        assert!(table.contains("t.hits"));
+        assert!(table.starts_with("metric"));
+        let skipping = TableSink { skip_zero: true }.render(&snap);
+        if crate::enabled() {
+            assert!(skipping.contains("t.hits"));
+            assert!(skipping.contains("mean=2000us"));
+        } else {
+            assert_eq!(skipping, "(no metrics recorded)\n");
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Hit/miss accounting shared by the memory-system components.
+
+/// Hit/miss counters.
+///
+/// Unlike the instrumentation primitives, this is a *result* type — the
+/// memory simulator's hit ratios are its output, not optional telemetry
+/// — so it always counts regardless of the `obs` feature.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HitMiss {
+    /// Accesses that hit.
+    pub hits: u64,
+    /// Accesses that missed.
+    pub misses: u64,
+}
+
+impl HitMiss {
+    /// Zeroed counters.
+    pub const fn new() -> Self {
+        Self { hits: 0, misses: 0 }
+    }
+
+    /// Records one access; returns `hit` unchanged for call-site chaining.
+    #[inline]
+    pub fn record(&mut self, hit: bool) -> bool {
+        if hit {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+        }
+        hit
+    }
+
+    /// Total accesses.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hit ratio in `[0, 1]` (0 for no accesses).
+    pub fn hit_ratio(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses() as f64
+        }
+    }
+
+    /// Miss ratio in `[0, 1]` (0 for no accesses).
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses() as f64
+        }
+    }
+
+    /// Counter-wise difference `self - earlier` (for flushing per-run
+    /// deltas into global metrics).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` has higher counts than `self`.
+    pub fn since(&self, earlier: &HitMiss) -> HitMiss {
+        HitMiss {
+            hits: self.hits.checked_sub(earlier.hits).expect("counters are monotone"),
+            misses: self.misses.checked_sub(earlier.misses).expect("counters are monotone"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_and_totals() {
+        let mut hm = HitMiss::new();
+        assert_eq!(hm.hit_ratio(), 0.0);
+        assert_eq!(hm.miss_ratio(), 0.0);
+        assert!(hm.record(true));
+        assert!(!hm.record(false));
+        hm.record(false);
+        assert_eq!(hm.accesses(), 3);
+        assert!((hm.hit_ratio() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((hm.miss_ratio() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn since_subtracts_counterwise() {
+        let earlier = HitMiss { hits: 2, misses: 1 };
+        let later = HitMiss { hits: 5, misses: 4 };
+        assert_eq!(later.since(&earlier), HitMiss { hits: 3, misses: 3 });
+    }
+
+    #[test]
+    #[should_panic(expected = "monotone")]
+    fn since_rejects_regressed_counters() {
+        let _ = HitMiss::new().since(&HitMiss { hits: 1, misses: 0 });
+    }
+}

@@ -1,0 +1,285 @@
+//! Atomic instrumentation primitives: counters, gauges, histograms.
+//!
+//! All three are `const`-constructible so they can be preregistered as
+//! `static` handles next to the code they observe, and all record
+//! methods compile to empty inline functions unless the `obs` feature
+//! is on.
+
+#[cfg(feature = "obs")]
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically increasing event counter.
+///
+/// Hot paths should batch: accumulate in a local `u64` and flush once
+/// per block (see DESIGN.md §7's overhead policy).
+#[derive(Debug, Default)]
+pub struct Counter {
+    #[cfg(feature = "obs")]
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Creates a zeroed counter (usable in `static` position).
+    pub const fn new() -> Self {
+        Self {
+            #[cfg(feature = "obs")]
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Adds `n` to the counter.
+    #[inline(always)]
+    pub fn add(&self, n: u64) {
+        #[cfg(feature = "obs")]
+        self.value.fetch_add(n, Ordering::Relaxed);
+        #[cfg(not(feature = "obs"))]
+        let _ = n;
+    }
+
+    /// Adds one.
+    #[inline(always)]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value (always 0 when observability is compiled out).
+    pub fn get(&self) -> u64 {
+        #[cfg(feature = "obs")]
+        {
+            self.value.load(Ordering::Relaxed)
+        }
+        #[cfg(not(feature = "obs"))]
+        0
+    }
+
+    /// Resets the counter to zero.
+    pub fn reset(&self) {
+        #[cfg(feature = "obs")]
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A last-value-wins gauge (queue depths, pool sizes).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    #[cfg(feature = "obs")]
+    value: AtomicU64,
+}
+
+impl Gauge {
+    /// Creates a zeroed gauge (usable in `static` position).
+    pub const fn new() -> Self {
+        Self {
+            #[cfg(feature = "obs")]
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Stores `value`.
+    #[inline(always)]
+    pub fn set(&self, value: u64) {
+        #[cfg(feature = "obs")]
+        self.value.store(value, Ordering::Relaxed);
+        #[cfg(not(feature = "obs"))]
+        let _ = value;
+    }
+
+    /// Raises the gauge to `value` if it is higher than the current one
+    /// (high-water marks such as peak queue depth).
+    #[inline(always)]
+    pub fn set_max(&self, value: u64) {
+        #[cfg(feature = "obs")]
+        self.value.fetch_max(value, Ordering::Relaxed);
+        #[cfg(not(feature = "obs"))]
+        let _ = value;
+    }
+
+    /// Current value (always 0 when observability is compiled out).
+    pub fn get(&self) -> u64 {
+        #[cfg(feature = "obs")]
+        {
+            self.value.load(Ordering::Relaxed)
+        }
+        #[cfg(not(feature = "obs"))]
+        0
+    }
+
+    /// Resets the gauge to zero.
+    pub fn reset(&self) {
+        #[cfg(feature = "obs")]
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Number of fixed buckets in a [`Histogram`].
+pub const HISTOGRAM_BUCKETS: usize = 16;
+
+/// A fixed-bucket power-of-two histogram.
+///
+/// Bucket `i` counts samples whose bit length is `i` — i.e. values in
+/// `[2^(i-1), 2^i)`, with 0 landing in bucket 0 and everything of bit
+/// length ≥ 15 clamped into the last bucket.  Fixed buckets keep
+/// recording allocation-free and the serialized form byte-stable.
+#[derive(Debug, Default)]
+pub struct Histogram {
+    #[cfg(feature = "obs")]
+    count: AtomicU64,
+    #[cfg(feature = "obs")]
+    sum: AtomicU64,
+    #[cfg(feature = "obs")]
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl Histogram {
+    /// Creates an empty histogram (usable in `static` position).
+    pub const fn new() -> Self {
+        #[cfg(feature = "obs")]
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        Self {
+            #[cfg(feature = "obs")]
+            count: AtomicU64::new(0),
+            #[cfg(feature = "obs")]
+            sum: AtomicU64::new(0),
+            #[cfg(feature = "obs")]
+            buckets: [ZERO; HISTOGRAM_BUCKETS],
+        }
+    }
+
+    /// Index of the bucket `value` falls into.
+    pub fn bucket_index(value: u64) -> usize {
+        ((u64::BITS - value.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// Records one sample.
+    #[inline(always)]
+    pub fn record(&self, value: u64) {
+        #[cfg(feature = "obs")]
+        {
+            self.count.fetch_add(1, Ordering::Relaxed);
+            self.sum.fetch_add(value, Ordering::Relaxed);
+            self.buckets[Self::bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        }
+        #[cfg(not(feature = "obs"))]
+        let _ = value;
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        #[cfg(feature = "obs")]
+        {
+            self.count.load(Ordering::Relaxed)
+        }
+        #[cfg(not(feature = "obs"))]
+        0
+    }
+
+    /// Sum of all recorded samples.
+    pub fn sum(&self) -> u64 {
+        #[cfg(feature = "obs")]
+        {
+            self.sum.load(Ordering::Relaxed)
+        }
+        #[cfg(not(feature = "obs"))]
+        0
+    }
+
+    /// Per-bucket sample counts.
+    pub fn buckets(&self) -> [u64; HISTOGRAM_BUCKETS] {
+        #[cfg(feature = "obs")]
+        {
+            let mut out = [0u64; HISTOGRAM_BUCKETS];
+            for (slot, bucket) in out.iter_mut().zip(&self.buckets) {
+                *slot = bucket.load(Ordering::Relaxed);
+            }
+            out
+        }
+        #[cfg(not(feature = "obs"))]
+        [0; HISTOGRAM_BUCKETS]
+    }
+
+    /// Resets every bucket and the totals to zero.
+    pub fn reset(&self) {
+        #[cfg(feature = "obs")]
+        {
+            self.count.store(0, Ordering::Relaxed);
+            self.sum.store(0, Ordering::Relaxed);
+            for bucket in &self.buckets {
+                bucket.store(0, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_bit_length() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(1 << 20), HISTOGRAM_BUCKETS - 1);
+        assert_eq!(Histogram::bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn counter_records_and_resets() {
+        let c = Counter::new();
+        c.add(2);
+        c.incr();
+        assert_eq!(c.get(), 3);
+        c.reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn gauge_set_and_max() {
+        let g = Gauge::new();
+        g.set(5);
+        g.set_max(3);
+        assert_eq!(g.get(), 5);
+        g.set_max(9);
+        assert_eq!(g.get(), 9);
+        g.reset();
+        assert_eq!(g.get(), 0);
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn histogram_accumulates() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 2, 3, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 106);
+        let buckets = h.buckets();
+        assert_eq!(buckets[0], 1); // value 0
+        assert_eq!(buckets[1], 1); // value 1
+        assert_eq!(buckets[2], 2); // values 2, 3
+        assert_eq!(buckets[7], 1); // value 100 (bit length 7)
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.buckets(), [0; HISTOGRAM_BUCKETS]);
+    }
+
+    #[cfg(not(feature = "obs"))]
+    #[test]
+    fn disabled_primitives_read_zero() {
+        let c = Counter::new();
+        c.add(7);
+        assert_eq!(c.get(), 0);
+        let g = Gauge::new();
+        g.set(7);
+        assert_eq!(g.get(), 0);
+        let h = Histogram::new();
+        h.record(7);
+        assert_eq!(h.count(), 0);
+    }
+}

@@ -1,0 +1,230 @@
+//! Metric descriptors and snapshots.
+//!
+//! Instrumented crates declare `static` metric handles and expose a
+//! `descriptors()` function returning [`Desc`] entries for each; the
+//! umbrella crate chains them into one list and collects a [`Snapshot`]
+//! to export.  Registration is explicit and ordered — no global mutable
+//! registry, no link-time magic — so snapshots are deterministic.
+
+use crate::metric::{Counter, Gauge, Histogram, HISTOGRAM_BUCKETS};
+use crate::span::SpanStat;
+
+/// The kind of a registered metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// Monotone event counter.
+    Counter,
+    /// Last-value gauge.
+    Gauge,
+    /// Fixed-bucket histogram.
+    Histogram,
+    /// Span timer aggregate.
+    Span,
+}
+
+impl Kind {
+    /// Lower-case name used in exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Kind::Counter => "counter",
+            Kind::Gauge => "gauge",
+            Kind::Histogram => "histogram",
+            Kind::Span => "span",
+        }
+    }
+}
+
+/// Reference to a preregistered static metric.
+#[derive(Debug, Clone, Copy)]
+enum MetricRef {
+    Counter(&'static Counter),
+    Gauge(&'static Gauge),
+    Histogram(&'static Histogram),
+    Span(&'static SpanStat),
+}
+
+/// A registered metric: name, help text, and the handle to read.
+///
+/// Names follow `crate.component.event` (see DESIGN.md §7); every name
+/// registered in the workspace must be documented there — CI greps for
+/// it.
+#[derive(Debug, Clone, Copy)]
+pub struct Desc {
+    /// Dotted metric name, e.g. `samc.compress.span`.
+    pub name: &'static str,
+    /// One-line human description.
+    pub help: &'static str,
+    metric: MetricRef,
+}
+
+impl Desc {
+    /// Describes a [`Counter`].
+    pub const fn counter(name: &'static str, help: &'static str, c: &'static Counter) -> Self {
+        Self { name, help, metric: MetricRef::Counter(c) }
+    }
+
+    /// Describes a [`Gauge`].
+    pub const fn gauge(name: &'static str, help: &'static str, g: &'static Gauge) -> Self {
+        Self { name, help, metric: MetricRef::Gauge(g) }
+    }
+
+    /// Describes a [`Histogram`].
+    pub const fn histogram(name: &'static str, help: &'static str, h: &'static Histogram) -> Self {
+        Self { name, help, metric: MetricRef::Histogram(h) }
+    }
+
+    /// Describes a [`SpanStat`].
+    pub const fn span(name: &'static str, help: &'static str, s: &'static SpanStat) -> Self {
+        Self { name, help, metric: MetricRef::Span(s) }
+    }
+
+    /// The metric's kind.
+    pub fn kind(&self) -> Kind {
+        match self.metric {
+            MetricRef::Counter(_) => Kind::Counter,
+            MetricRef::Gauge(_) => Kind::Gauge,
+            MetricRef::Histogram(_) => Kind::Histogram,
+            MetricRef::Span(_) => Kind::Span,
+        }
+    }
+
+    /// Reads the current value into an owned [`Sample`].
+    pub fn sample(&self) -> Sample {
+        let value = match self.metric {
+            MetricRef::Counter(c) => SampleValue::Counter(c.get()),
+            MetricRef::Gauge(g) => SampleValue::Gauge(g.get()),
+            MetricRef::Histogram(h) => {
+                SampleValue::Histogram { count: h.count(), sum: h.sum(), buckets: h.buckets() }
+            }
+            MetricRef::Span(s) => SampleValue::Span {
+                count: s.count(),
+                total_nanos: s.total_nanos(),
+                max_nanos: s.max_nanos(),
+            },
+        };
+        Sample { name: self.name, help: self.help, value }
+    }
+
+    /// Resets the underlying metric to zero.
+    pub fn reset(&self) {
+        match self.metric {
+            MetricRef::Counter(c) => c.reset(),
+            MetricRef::Gauge(g) => g.reset(),
+            MetricRef::Histogram(h) => h.reset(),
+            MetricRef::Span(s) => s.reset(),
+        }
+    }
+}
+
+/// One metric's value at snapshot time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sample {
+    /// Dotted metric name.
+    pub name: &'static str,
+    /// One-line human description.
+    pub help: &'static str,
+    /// The captured value.
+    pub value: SampleValue,
+}
+
+/// A captured metric value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SampleValue {
+    /// Counter total.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(u64),
+    /// Histogram totals plus per-bucket counts.
+    Histogram {
+        /// Samples recorded.
+        count: u64,
+        /// Sum of all samples.
+        sum: u64,
+        /// Per-bucket counts (bucket `i` = bit length `i`).
+        buckets: [u64; HISTOGRAM_BUCKETS],
+    },
+    /// Span aggregate.
+    Span {
+        /// Completed spans.
+        count: u64,
+        /// Total nanoseconds.
+        total_nanos: u64,
+        /// Longest single span in nanoseconds.
+        max_nanos: u64,
+    },
+}
+
+impl SampleValue {
+    /// Whether the value is all zeros (nothing recorded).
+    pub fn is_zero(&self) -> bool {
+        match *self {
+            SampleValue::Counter(v) | SampleValue::Gauge(v) => v == 0,
+            SampleValue::Histogram { count, .. } | SampleValue::Span { count, .. } => count == 0,
+        }
+    }
+}
+
+/// A point-in-time capture of a set of metrics, in registration order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Captured samples, in descriptor order.
+    pub samples: Vec<Sample>,
+}
+
+impl Snapshot {
+    /// Reads every descriptor's current value.
+    pub fn collect(descs: &[Desc]) -> Self {
+        Self { samples: descs.iter().map(Desc::sample).collect() }
+    }
+
+    /// Whether every sample is zero (e.g. observability compiled out).
+    pub fn is_all_zero(&self) -> bool {
+        self.samples.iter().all(|s| s.value.is_zero())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    static COUNTER: Counter = Counter::new();
+    static GAUGE: Gauge = Gauge::new();
+    static HISTOGRAM: Histogram = Histogram::new();
+    static SPAN: SpanStat = SpanStat::new();
+
+    fn descs() -> [Desc; 4] {
+        [
+            Desc::counter("t.counter", "a counter", &COUNTER),
+            Desc::gauge("t.gauge", "a gauge", &GAUGE),
+            Desc::histogram("t.histogram", "a histogram", &HISTOGRAM),
+            Desc::span("t.span", "a span", &SPAN),
+        ]
+    }
+
+    #[test]
+    fn kinds_match_constructors() {
+        let kinds: Vec<Kind> = descs().iter().map(Desc::kind).collect();
+        assert_eq!(kinds, [Kind::Counter, Kind::Gauge, Kind::Histogram, Kind::Span]);
+        assert_eq!(Kind::Histogram.name(), "histogram");
+    }
+
+    #[test]
+    fn snapshot_reads_and_reset_zeroes() {
+        COUNTER.add(2);
+        GAUGE.set(3);
+        HISTOGRAM.record(4);
+        SPAN.record_nanos(5);
+        let snapshot = Snapshot::collect(&descs());
+        assert_eq!(snapshot.samples.len(), 4);
+        if crate::enabled() {
+            assert!(!snapshot.is_all_zero());
+            assert_eq!(snapshot.samples[0].value, SampleValue::Counter(2));
+        } else {
+            assert!(snapshot.is_all_zero());
+        }
+        for d in descs() {
+            d.reset();
+        }
+        assert!(Snapshot::collect(&descs()).is_all_zero());
+    }
+}

@@ -1,0 +1,177 @@
+//! Lightweight span timers for hot paths.
+//!
+//! A [`SpanStat`] is a preregistered static aggregate (count, total,
+//! max); [`SpanStat::time`] returns a RAII [`SpanGuard`] that records
+//! the elapsed wall-clock time on drop.  Without the `obs` feature the
+//! guard is a zero-sized struct whose drop does nothing — the hot path
+//! never touches the clock.
+
+#[cfg(feature = "obs")]
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Aggregated timing for one span (e.g. "SAMC block compression").
+///
+/// Hierarchy is expressed through dotted metric names at registration
+/// time (`samc.compress.span` under `samc.compress`), not through
+/// runtime parent pointers — the hot path stays allocation-free.
+#[derive(Debug, Default)]
+pub struct SpanStat {
+    #[cfg(feature = "obs")]
+    count: AtomicU64,
+    #[cfg(feature = "obs")]
+    total_nanos: AtomicU64,
+    #[cfg(feature = "obs")]
+    max_nanos: AtomicU64,
+}
+
+impl SpanStat {
+    /// Creates an empty span aggregate (usable in `static` position).
+    pub const fn new() -> Self {
+        Self {
+            #[cfg(feature = "obs")]
+            count: AtomicU64::new(0),
+            #[cfg(feature = "obs")]
+            total_nanos: AtomicU64::new(0),
+            #[cfg(feature = "obs")]
+            max_nanos: AtomicU64::new(0),
+        }
+    }
+
+    /// Starts timing; the returned guard records on drop.
+    #[inline(always)]
+    #[must_use = "the span is recorded when the guard drops"]
+    pub fn time(&self) -> SpanGuard<'_> {
+        SpanGuard {
+            #[cfg(feature = "obs")]
+            stat: self,
+            #[cfg(feature = "obs")]
+            start: std::time::Instant::now(),
+            #[cfg(not(feature = "obs"))]
+            _stat: std::marker::PhantomData,
+        }
+    }
+
+    /// Records one completed span of `nanos` nanoseconds.
+    #[inline(always)]
+    pub fn record_nanos(&self, nanos: u64) {
+        #[cfg(feature = "obs")]
+        {
+            self.count.fetch_add(1, Ordering::Relaxed);
+            self.total_nanos.fetch_add(nanos, Ordering::Relaxed);
+            self.max_nanos.fetch_max(nanos, Ordering::Relaxed);
+        }
+        #[cfg(not(feature = "obs"))]
+        let _ = nanos;
+    }
+
+    /// Completed spans so far.
+    pub fn count(&self) -> u64 {
+        #[cfg(feature = "obs")]
+        {
+            self.count.load(Ordering::Relaxed)
+        }
+        #[cfg(not(feature = "obs"))]
+        0
+    }
+
+    /// Total nanoseconds across all completed spans.
+    pub fn total_nanos(&self) -> u64 {
+        #[cfg(feature = "obs")]
+        {
+            self.total_nanos.load(Ordering::Relaxed)
+        }
+        #[cfg(not(feature = "obs"))]
+        0
+    }
+
+    /// Longest single span in nanoseconds.
+    pub fn max_nanos(&self) -> u64 {
+        #[cfg(feature = "obs")]
+        {
+            self.max_nanos.load(Ordering::Relaxed)
+        }
+        #[cfg(not(feature = "obs"))]
+        0
+    }
+
+    /// Mean nanoseconds per span (0 with no spans).
+    pub fn mean_nanos(&self) -> u64 {
+        self.total_nanos().checked_div(self.count()).unwrap_or(0)
+    }
+
+    /// Resets all aggregates to zero.
+    pub fn reset(&self) {
+        #[cfg(feature = "obs")]
+        {
+            self.count.store(0, Ordering::Relaxed);
+            self.total_nanos.store(0, Ordering::Relaxed);
+            self.max_nanos.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// RAII guard returned by [`SpanStat::time`]; records elapsed time on
+/// drop.  Zero-sized (and clock-free) when observability is compiled
+/// out.
+#[derive(Debug)]
+pub struct SpanGuard<'a> {
+    #[cfg(feature = "obs")]
+    stat: &'a SpanStat,
+    #[cfg(feature = "obs")]
+    start: std::time::Instant,
+    #[cfg(not(feature = "obs"))]
+    _stat: std::marker::PhantomData<&'a SpanStat>,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        #[cfg(feature = "obs")]
+        self.stat.record_nanos(u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn guard_records_on_drop() {
+        let span = SpanStat::new();
+        {
+            let _g = span.time();
+        }
+        {
+            let _g = span.time();
+        }
+        assert_eq!(span.count(), 2);
+        assert!(span.max_nanos() <= span.total_nanos());
+        span.reset();
+        assert_eq!(span.count(), 0);
+        assert_eq!(span.total_nanos(), 0);
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn record_nanos_tracks_max_and_mean() {
+        let span = SpanStat::new();
+        span.record_nanos(10);
+        span.record_nanos(30);
+        assert_eq!(span.count(), 2);
+        assert_eq!(span.total_nanos(), 40);
+        assert_eq!(span.max_nanos(), 30);
+        assert_eq!(span.mean_nanos(), 20);
+    }
+
+    #[cfg(not(feature = "obs"))]
+    #[test]
+    fn disabled_spans_read_zero() {
+        let span = SpanStat::new();
+        {
+            let _g = span.time();
+        }
+        span.record_nanos(10);
+        assert_eq!(span.count(), 0);
+        assert_eq!(span.mean_nanos(), 0);
+    }
+}

@@ -1,0 +1,63 @@
+//! Verifies the zero-overhead contract of the `obs` feature.
+//!
+//! Run as `cargo test -p cce-obs` (feature off: everything is a ZST)
+//! and `cargo test -p cce-obs --features obs` (feature on: real
+//! atomics).  The workspace default enables `obs` via `cce-core`, so
+//! the off-path only runs when the crate is tested in isolation.
+
+use cce_obs::{Counter, Gauge, Histogram, SpanStat};
+use std::mem::size_of;
+
+#[cfg(not(feature = "obs"))]
+mod disabled {
+    use super::*;
+    use cce_obs::SpanGuard;
+
+    #[test]
+    fn primitives_are_zero_sized() {
+        assert_eq!(size_of::<Counter>(), 0);
+        assert_eq!(size_of::<Gauge>(), 0);
+        assert_eq!(size_of::<Histogram>(), 0);
+        assert_eq!(size_of::<SpanStat>(), 0);
+        assert_eq!(size_of::<SpanGuard<'_>>(), 0);
+        assert!(!cce_obs::enabled());
+    }
+
+    #[test]
+    fn recording_is_a_no_op() {
+        static C: Counter = Counter::new();
+        static S: SpanStat = SpanStat::new();
+        C.add(1_000);
+        {
+            let _guard = S.time();
+        }
+        assert_eq!(C.get(), 0);
+        assert_eq!(S.count(), 0);
+    }
+}
+
+#[cfg(feature = "obs")]
+mod enabled {
+    use super::*;
+
+    #[test]
+    fn primitives_carry_state() {
+        assert!(size_of::<Counter>() > 0);
+        assert!(size_of::<Gauge>() > 0);
+        assert!(size_of::<Histogram>() > 0);
+        assert!(size_of::<SpanStat>() > 0);
+        assert!(cce_obs::enabled());
+    }
+
+    #[test]
+    fn recording_is_observable() {
+        static C: Counter = Counter::new();
+        static S: SpanStat = SpanStat::new();
+        C.add(1_000);
+        {
+            let _guard = S.time();
+        }
+        assert_eq!(C.get(), 1_000);
+        assert_eq!(S.count(), 1);
+    }
+}

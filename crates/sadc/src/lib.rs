@@ -53,6 +53,7 @@
 #![warn(missing_docs)]
 
 mod mips;
+pub mod obs;
 mod serialize;
 mod tokens;
 mod x86;

@@ -450,7 +450,9 @@ impl MipsSadc {
             book.encode(w, sym);
             Ok(())
         };
+        let _span = crate::obs::COMPRESS_SPAN.time();
         let tokens = self.parse_block(block);
+        crate::obs::count_dict_tokens(&tokens, Operation::COUNT);
         let mut w = BitWriter::new();
         // Opcode stream.
         for &t in &tokens {
@@ -507,6 +509,7 @@ impl MipsSadc {
     /// Returns [`CodecError::Corrupt`] when the block does not decode
     /// against this codec's dictionary and Huffman books.
     pub fn decompress_block(&self, bytes: &[u8], out_len: usize) -> Result<Vec<u8>, CodecError> {
+        let _span = crate::obs::DECOMPRESS_SPAN.time();
         if !out_len.is_multiple_of(4) {
             return Err(corrupt_block());
         }

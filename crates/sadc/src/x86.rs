@@ -272,6 +272,7 @@ impl X86Sadc {
 
     /// Encodes one instruction-aligned group of stream parts.
     fn compress_parts(&self, block_parts: &[InsnParts]) -> Result<Vec<u8>, CodecError> {
+        let _span = crate::obs::COMPRESS_SPAN.time();
         let untrained =
             |stream: &str| CodecError::train(NAME, format!("the {stream} stream is untrained"));
         let encode = |w: &mut BitWriter, book: &CodeBook, sym: u16, stream: &str| {
@@ -303,6 +304,7 @@ impl X86Sadc {
             tokens = std::mem::take(&mut one[0]);
         }
 
+        crate::obs::count_dict_tokens(&tokens, self.base_strings.len());
         let mut w = BitWriter::new();
         let mut cursor = 0usize;
         for &t in &tokens {
@@ -335,6 +337,7 @@ impl X86Sadc {
     /// Returns [`CodecError::Corrupt`] when the block does not decode
     /// against this codec's dictionary and Huffman books.
     pub fn decompress_block(&self, bytes: &[u8], out_len: usize) -> Result<Vec<u8>, CodecError> {
+        let _span = crate::obs::DECOMPRESS_SPAN.time();
         let mut r = BitReader::new(bytes);
         let mut out = Vec::with_capacity(out_len);
         while out.len() < out_len {

@@ -143,7 +143,9 @@ impl SamcCodec {
     }
 
     fn compress_block(&self, chunk: &[u8]) -> Vec<u8> {
+        let _span = crate::obs::COMPRESS_SPAN.time();
         let unit = self.config.unit_bytes();
+        crate::obs::COMPRESSED_UNITS.add((chunk.len() / unit) as u64);
         let division = &self.config.division;
         let mask = self.config.markov.context_mask();
         let mut encoder = BitEncoder::new();
@@ -275,10 +277,12 @@ impl BlockCodec for SamcCodec {
     }
 
     fn decompress_block(&self, block: &[u8], out_len: usize) -> Result<Vec<u8>, CodecError> {
+        let _span = crate::obs::DECOMPRESS_SPAN.time();
         let unit = self.config.unit_bytes();
         if !out_len.is_multiple_of(unit) {
             return Err(misaligned_length(out_len, unit));
         }
+        crate::obs::DECOMPRESSED_UNITS.add((out_len / unit) as u64);
         let division = &self.config.division;
         let mask = self.config.markov.context_mask();
         let mut decoder = BitDecoder::new(block);

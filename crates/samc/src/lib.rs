@@ -43,6 +43,7 @@
 
 mod codec;
 mod model;
+pub mod obs;
 mod optimize;
 mod serialize;
 mod streams;

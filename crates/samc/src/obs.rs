@@ -1,0 +1,34 @@
+//! Preregistered metric handles for the SAMC codec.
+
+use cce_obs::{Counter, Desc, SpanStat};
+
+/// Wall-clock time spent in [`SamcCodec::compress_chunk`][c].
+///
+/// [c]: cce_codec::BlockCodec::compress_chunk
+pub static COMPRESS_SPAN: SpanStat = SpanStat::new();
+/// Wall-clock time spent in [`SamcCodec::decompress_block`][d].
+///
+/// [d]: cce_codec::BlockCodec::decompress_block
+pub static DECOMPRESS_SPAN: SpanStat = SpanStat::new();
+/// Instruction units (words) compressed.
+pub static COMPRESSED_UNITS: Counter = Counter::new();
+/// Instruction units (words) decompressed.
+pub static DECOMPRESSED_UNITS: Counter = Counter::new();
+
+/// Descriptors for every metric this crate registers.
+pub fn descriptors() -> [Desc; 4] {
+    [
+        Desc::span("samc.compress.span", "time compressing SAMC blocks", &COMPRESS_SPAN),
+        Desc::span("samc.decompress.span", "time decompressing SAMC blocks", &DECOMPRESS_SPAN),
+        Desc::counter(
+            "samc.compress.units",
+            "instruction units compressed by SAMC",
+            &COMPRESSED_UNITS,
+        ),
+        Desc::counter(
+            "samc.decompress.units",
+            "instruction units decompressed by SAMC",
+            &DECOMPRESSED_UNITS,
+        ),
+    ]
+}

@@ -19,6 +19,20 @@ cargo test -q --workspace
 echo "== fuzz smoke (fixed seed) =="
 cargo run --release -q -p cce-core --bin cce -- fuzz --algo all --cases 512 --seed 7
 
+echo "== bench smoke + metrics artifact (fixed seed) =="
+metrics_file="target/ci-metrics.json"
+cargo run --release -q -p cce-core --bin cce -- bench --scale 0.05 --metrics "$metrics_file"
+python3 -m json.tool "$metrics_file" > /dev/null   # artifact must be valid JSON
+grep -q '"obs_enabled":true' "$metrics_file"       # default build records metrics
+
+echo "== registered metric names documented in DESIGN.md §7 =="
+cargo run --release -q -p cce-core --bin cce -- stats | awk '{print $1}' | while read -r name; do
+    grep -qF "\`$name\`" DESIGN.md || {
+        echo "metric \`$name\` is registered but not documented in DESIGN.md §7" >&2
+        exit 1
+    }
+done
+
 echo "== rustfmt =="
 cargo fmt --all --check
 

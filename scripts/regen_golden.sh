@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Regenerates the golden-vector conformance corpus in tests/golden/.
+#
+# Run this after an *intentional* on-disk format change, together with
+# bumping GOLDEN_FORMAT_VERSION in tests/golden_vectors.rs (the
+# tests/golden/VERSION copy is rewritten from that constant here).
+# CI and `cargo test` then verify artifacts byte-for-byte against the
+# regenerated fixtures.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CCE_REGEN_GOLDEN=1 cargo test -q -p cce-core --test golden_vectors
+
+echo "regenerated $(ls tests/golden/*.hex | wc -l) vectors (version $(cat tests/golden/VERSION))"
+echo "review the diff, then commit tests/golden/ together with the format change."

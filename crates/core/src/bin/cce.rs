@@ -68,6 +68,8 @@ fn print_usage() {
     println!("  cce info <in.cce>");
     println!("  cce bench [--scale F] [--seed S] [-b N] [--json] [--metrics M.json]");
     println!("                                                fixed-seed suite benchmark");
+    println!("  cce bench --optimizer [--seed S] [-o OUT.json] [--json]");
+    println!("                                                SAMC optimizer micro-bench");
     println!("  cce stats                                     list registered metrics");
     println!("  cce stats [--metrics M.json] <input.elf>      measure and dump counters");
     println!("  cce analyze <input.elf>                       entropy diagnostics");
@@ -86,6 +88,7 @@ struct Flags<'a> {
     seed: u64,
     metrics: Option<&'a str>,
     scale: f64,
+    optimizer: bool,
 }
 
 /// Parses `-o out` plus positional arguments.
@@ -100,6 +103,7 @@ fn split_flags(args: &[String]) -> Result<Flags<'_>, String> {
     let mut seed = defaults.seed;
     let mut metrics = None;
     let mut scale = 0.1f64;
+    let mut optimizer = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -162,13 +166,28 @@ fn split_flags(args: &[String]) -> Result<Flags<'_>, String> {
                 json = true;
                 i += 1;
             }
+            "--optimizer" => {
+                optimizer = true;
+                i += 1;
+            }
             other => {
                 positional.push(other);
                 i += 1;
             }
         }
     }
-    Ok(Flags { positional, output, algorithm, block_size, json, cases, seed, metrics, scale })
+    Ok(Flags {
+        positional,
+        output,
+        algorithm,
+        block_size,
+        json,
+        cases,
+        seed,
+        metrics,
+        scale,
+        optimizer,
+    })
 }
 
 fn load_elf(path: &str) -> Result<(ElfImage, Isa), Box<dyn Error>> {
@@ -240,8 +259,12 @@ fn bench(args: &[String]) -> Result<(), Box<dyn Error>> {
     let flags = split_flags(args)?;
     if !flags.positional.is_empty() {
         return Err(
-            "usage: cce bench [--scale F] [--seed S] [-b N] [--json] [--metrics M.json]".into()
+            "usage: cce bench [--optimizer] [--scale F] [--seed S] [-b N] [--json] [--metrics M.json]"
+                .into(),
         );
+    }
+    if flags.optimizer {
+        return bench_optimizer(&flags);
     }
     cce_core::obs::reset();
     let isa = Isa::Mips;
@@ -313,6 +336,128 @@ fn bench(args: &[String]) -> Result<(), Box<dyn Error>> {
         );
     }
     write_metrics(flags.metrics, "bench")
+}
+
+/// FNV-1a 64 over the division's per-stream bit lists (0xFF separators),
+/// so CI can pin the optimizer's output against one recorded hash.
+fn division_hash(division: &cce_core::samc::StreamDivision) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x100_0000_01b3;
+    let mut hash = OFFSET;
+    for s in 0..division.stream_count() {
+        for &bit in division.stream_bits(s) {
+            hash = (hash ^ u64::from(bit)).wrapping_mul(PRIME);
+        }
+        hash = (hash ^ 0xFF).wrapping_mul(PRIME);
+    }
+    hash
+}
+
+/// `cce bench --optimizer`: times the pre-kernel reference search against
+/// the incremental one on a fixed workload and writes the
+/// `BENCH_optimizer.json` artifact (see README).
+fn bench_optimizer(flags: &Flags) -> Result<(), Box<dyn Error>> {
+    use cce_core::isa::mips::encode_text;
+    use cce_core::samc::{
+        optimize_division_reference, optimize_division_with_workers, OptimizeConfig,
+    };
+    use cce_core::workload::{generate_mips_seeded, Spec95};
+    use std::time::Instant;
+
+    cce_core::obs::reset();
+    // Fixed workload, independent of --scale: the "go" profile at scale
+    // 0.5 is ~8.5k instruction words, comfortably above the default
+    // 4096-unit evaluation sample.
+    const PROFILE: &str = "go";
+    const WORKLOAD_SCALE: f64 = 0.5;
+    let profile = Spec95::by_name(PROFILE).expect("profile is in the suite");
+    let text = encode_text(&generate_mips_seeded(profile, WORKLOAD_SCALE, flags.seed));
+    let units: Vec<u32> = text
+        .chunks_exact(4)
+        .map(|c| u32::from_be_bytes(c.try_into().expect("4-byte chunk")))
+        .collect();
+    let config = OptimizeConfig::default();
+
+    let start = Instant::now();
+    let (reference_division, reference_cost) = optimize_division_reference(&units, 32, &config);
+    let reference_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    // Best of a few runs for the fast path: it is short enough that a
+    // single sample would be noise-dominated.
+    const FAST_RUNS: usize = 5;
+    let mut fast_ms = f64::INFINITY;
+    let mut fast = None;
+    for _ in 0..FAST_RUNS {
+        let start = Instant::now();
+        let result = optimize_division_with_workers(&units, 32, &config, 1);
+        fast_ms = fast_ms.min(start.elapsed().as_secs_f64() * 1e3);
+        fast = Some(result);
+    }
+    let (division, cost) = fast.expect("at least one run");
+    let matches_reference = division == reference_division;
+    let speedup = reference_ms / fast_ms.max(1e-9);
+
+    let workers = worker_count();
+    let multi = OptimizeConfig { restarts: 8, ..config };
+    let start = Instant::now();
+    let (_, multi_cost) = optimize_division_with_workers(&units, 32, &multi, workers);
+    let multi_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    let json = format!(
+        concat!(
+            "{{\"version\":1,\"benchmark\":\"optimizer\",",
+            "\"workload\":{{\"profile\":\"{profile}\",\"scale\":{scale},\"seed\":{seed},\"units\":{units}}},",
+            "\"config\":{{\"streams\":{streams},\"iterations\":{iterations},\"sample_units\":{sample},\"seed\":{opt_seed}}},",
+            "\"reference_ms\":{reference_ms:.3},\"fast_ms\":{fast_ms:.3},\"speedup\":{speedup:.2},",
+            "\"matches_reference\":{matches},",
+            "\"cost_bits\":{cost:.3},\"reference_cost_bits\":{reference_cost:.3},",
+            "\"division_hash\":\"{hash:016x}\",",
+            "\"multi_restart\":{{\"restarts\":{restarts},\"workers\":{workers},\"ms\":{multi_ms:.3},\"cost_bits\":{multi_cost:.3}}}}}"
+        ),
+        profile = PROFILE,
+        scale = WORKLOAD_SCALE,
+        seed = flags.seed,
+        units = units.len(),
+        streams = config.streams,
+        iterations = config.iterations,
+        sample = config.sample_units,
+        opt_seed = config.seed,
+        reference_ms = reference_ms,
+        fast_ms = fast_ms,
+        speedup = speedup,
+        matches = matches_reference,
+        cost = cost,
+        reference_cost = reference_cost,
+        hash = division_hash(&division),
+        restarts = multi.restarts,
+        workers = workers,
+        multi_ms = multi_ms,
+        multi_cost = multi_cost,
+    );
+    let path = flags.output.unwrap_or("BENCH_optimizer.json");
+    std::fs::write(path, &json)?;
+
+    if flags.json {
+        println!("{json}");
+    } else {
+        println!(
+            "optimizer bench: {PROFILE} at scale {WORKLOAD_SCALE} (seed {}), {} units",
+            flags.seed,
+            units.len()
+        );
+        println!("  reference search: {reference_ms:>9.2} ms  (cost {reference_cost:.0} bits)");
+        println!(
+            "  incremental:      {fast_ms:>9.2} ms  (cost {cost:.0} bits, {speedup:.1}x, \
+             division {}, hash {:016x})",
+            if matches_reference { "matches" } else { "DIVERGED" },
+            division_hash(&division),
+        );
+        println!(
+            "  8 restarts:       {multi_ms:>9.2} ms  (cost {multi_cost:.0} bits, {workers} workers)"
+        );
+        println!("  wrote {path}");
+    }
+    write_metrics(flags.metrics, "bench-optimizer")
 }
 
 fn stats(args: &[String]) -> Result<(), Box<dyn Error>> {

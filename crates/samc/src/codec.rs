@@ -111,12 +111,8 @@ impl SamcCodec {
             ));
         }
         let units = frame_units(text, unit);
-        let model = MarkovModel::train(
-            &units,
-            config.division.clone(),
-            config.markov,
-            config.block_units(),
-        );
+        let model =
+            MarkovModel::train(&units, &config.division, config.markov, config.block_units());
         Ok(Self { config, model })
     }
 

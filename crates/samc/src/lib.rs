@@ -50,5 +50,7 @@ mod streams;
 
 pub use codec::{SamcCodec, SamcConfig};
 pub use model::{MarkovConfig, MarkovModel};
-pub use optimize::{optimize_division, OptimizeConfig};
+pub use optimize::{
+    optimize_division, optimize_division_reference, optimize_division_with_workers, OptimizeConfig,
+};
 pub use streams::{BuildDivisionError, StreamDivision};

@@ -14,9 +14,15 @@ pub static DECOMPRESS_SPAN: SpanStat = SpanStat::new();
 pub static COMPRESSED_UNITS: Counter = Counter::new();
 /// Instruction units (words) decompressed.
 pub static DECOMPRESSED_UNITS: Counter = Counter::new();
+/// Candidate exchanges evaluated by the stream-division optimizer.
+pub static OPTIMIZE_CANDIDATES: Counter = Counter::new();
+/// Candidate exchanges accepted (they lowered the coded entropy).
+pub static OPTIMIZE_ACCEPTS: Counter = Counter::new();
+/// Wall-clock time of each optimizer restart (Phase-2 hill climb).
+pub static OPTIMIZE_RESTART_SPAN: SpanStat = SpanStat::new();
 
 /// Descriptors for every metric this crate registers.
-pub fn descriptors() -> [Desc; 4] {
+pub fn descriptors() -> [Desc; 7] {
     [
         Desc::span("samc.compress.span", "time compressing SAMC blocks", &COMPRESS_SPAN),
         Desc::span("samc.decompress.span", "time decompressing SAMC blocks", &DECOMPRESS_SPAN),
@@ -29,6 +35,21 @@ pub fn descriptors() -> [Desc; 4] {
             "samc.decompress.units",
             "instruction units decompressed by SAMC",
             &DECOMPRESSED_UNITS,
+        ),
+        Desc::counter(
+            "samc.optimize.candidates",
+            "stream-division exchanges evaluated",
+            &OPTIMIZE_CANDIDATES,
+        ),
+        Desc::counter(
+            "samc.optimize.accepts",
+            "stream-division exchanges accepted",
+            &OPTIMIZE_ACCEPTS,
+        ),
+        Desc::span(
+            "samc.optimize.restart.span",
+            "time per stream-division optimizer restart",
+            &OPTIMIZE_RESTART_SPAN,
         ),
     ]
 }

@@ -1,0 +1,180 @@
+//! Equivalence properties for the optimizer's incremental kernels.
+//!
+//! The stream-division search evaluates candidates with count-based
+//! per-stream costs ([`MarkovModel::code_length_from_counts`] and the
+//! swap-delta path inside the optimizer) instead of retraining a model
+//! and re-walking the sample.  These tests pin the shortcut to the
+//! ground truth — `MarkovModel::train` + `code_length_bits` — across
+//! random divisions, context depths, block sizes, and probability modes,
+//! and check that the parallel multi-restart mode is a pure function of
+//! its config (worker count never changes the answer).
+
+use cce_arith::ProbMode;
+use cce_rng::prop::prelude::*;
+use cce_rng::Rng;
+use cce_samc::{
+    optimize_division_reference, optimize_division_with_workers, MarkovConfig, MarkovModel,
+    OptimizeConfig, StreamDivision,
+};
+
+/// Count-based and walk-based totals differ only in float summation
+/// order, so compare with a relative tolerance (1e-6 of the magnitude).
+fn assert_close(fast: f64, walk: f64, what: &str) {
+    let tolerance = 1e-6 * walk.abs().max(1.0);
+    assert!((fast - walk).abs() <= tolerance, "{what}: fast {fast} vs walk {walk}");
+}
+
+/// A pseudo-random "program": a motif with seeded perturbations, so
+/// streams have real statistics (neither constant nor uniform noise).
+fn seeded_units(seed: u64, n: usize) -> Vec<u32> {
+    let mut rng = Rng::seed_from_u64(seed);
+    let motif = [0x8FBF_0010u32, 0x27BD_FFE8, 0x0320_F809, 0xAFB0_0008];
+    (0..n)
+        .map(|i| {
+            let noise = if rng.random_bool(0.3) { rng.next_u32() & 0x0000_FFFF } else { 0 };
+            motif[i % motif.len()] ^ noise
+        })
+        .collect()
+}
+
+/// A random division of `width` bits into `streams` non-empty streams
+/// (sizes uneven on purpose; every stream capped at 16 bits).
+fn random_division(rng: &mut Rng, width: u8, streams: usize) -> StreamDivision {
+    let mut bits: Vec<u8> = (0..width).collect();
+    rng.shuffle(&mut bits);
+    let mut sizes = vec![1usize; streams];
+    for _ in 0..usize::from(width) - streams {
+        loop {
+            let s = rng.random_range(0..streams);
+            if sizes[s] < 16 {
+                sizes[s] += 1;
+                break;
+            }
+        }
+    }
+    let mut groups = Vec::with_capacity(streams);
+    let mut start = 0;
+    for size in sizes {
+        let mut group: Vec<u8> = bits[start..start + size].to_vec();
+        group.sort_unstable();
+        groups.push(group);
+        start += size;
+    }
+    StreamDivision::new(groups, width).expect("sized split forms a partition")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// `code_length_from_counts` equals training a model and walking the
+    /// sample, for any division shape, context depth, block size, and
+    /// probability mode.
+    #[test]
+    fn counts_match_walk_across_random_divisions(
+        seed in any::<u64>(),
+        context_bits in 0u8..=3,
+        block_choice in 0usize..4,
+        pow2 in any::<bool>(),
+        streams in 2usize..=6,
+    ) {
+        let block_units = [1, 3, 8, 64][block_choice];
+        let prob_mode = if pow2 { ProbMode::Pow2 } else { ProbMode::Exact };
+        let config = MarkovConfig { context_bits, prob_mode };
+        let units = seeded_units(seed, 200);
+        let mut rng = Rng::seed_from_u64(seed ^ 0x5EED);
+        let division = random_division(&mut rng, 32, streams);
+        let fast = MarkovModel::code_length_from_counts(&units, &division, config, block_units);
+        let model = MarkovModel::train(&units, &division, config, block_units);
+        let walk = model.code_length_bits(&units, block_units);
+        let tolerance = 1e-6 * walk.abs().max(1.0);
+        prop_assert!((fast - walk).abs() <= tolerance, "fast {fast} vs walk {walk}");
+    }
+
+    /// The swap-delta path: after any number of accepted exchanges, the
+    /// cost the search reports for its final division equals a full
+    /// retrain + walk of that division.
+    #[test]
+    fn search_cost_matches_full_evaluation(
+        seed in any::<u64>(),
+        iterations in 0usize..48,
+        context_bits in 0u8..=3,
+    ) {
+        let units = seeded_units(seed, 512);
+        let config = OptimizeConfig {
+            iterations,
+            seed,
+            sample_units: 256,
+            markov: MarkovConfig { context_bits, ..MarkovConfig::default() },
+            ..OptimizeConfig::default()
+        };
+        let (division, cost) = optimize_division_with_workers(&units, 32, &config, 1);
+        let sample = &units[..256];
+        let model = MarkovModel::train(sample, &division, config.markov, config.block_units);
+        let walk = model.code_length_bits(sample, config.block_units);
+        let tolerance = 1e-6 * walk.abs().max(1.0);
+        prop_assert!((cost - walk).abs() <= tolerance, "search cost {cost} vs walk {walk}");
+    }
+
+    /// The incremental search replays the reference implementation: same
+    /// RNG sequence, same accept decisions, same final division.
+    #[test]
+    fn fast_search_matches_reference(seed in any::<u64>(), iterations in 0usize..32) {
+        let units = seeded_units(seed, 600);
+        let config = OptimizeConfig {
+            iterations,
+            seed,
+            sample_units: 300,
+            ..OptimizeConfig::default()
+        };
+        let (fast, fast_cost) = optimize_division_with_workers(&units, 32, &config, 1);
+        let (reference, reference_cost) = optimize_division_reference(&units, 32, &config);
+        prop_assert_eq!(fast, reference);
+        let tolerance = 1e-6 * reference_cost.abs().max(1.0);
+        prop_assert!(
+            (fast_cost - reference_cost).abs() <= tolerance,
+            "fast {} vs reference {}", fast_cost, reference_cost
+        );
+    }
+}
+
+/// Multi-restart output is a pure function of the config: any worker
+/// count (including oversubscription) returns the identical division and
+/// bit-identical cost.
+#[test]
+fn multi_restart_is_worker_count_invariant() {
+    let units = seeded_units(0xDAC1998, 700);
+    for restarts in [2usize, 4] {
+        let config = OptimizeConfig {
+            iterations: 24,
+            sample_units: 350,
+            restarts,
+            ..OptimizeConfig::default()
+        };
+        let (baseline_division, baseline_cost) =
+            optimize_division_with_workers(&units, 32, &config, 1);
+        for workers in [2usize, 3, 8] {
+            let (division, cost) = optimize_division_with_workers(&units, 32, &config, workers);
+            assert_eq!(division, baseline_division, "{restarts} restarts, {workers} workers");
+            assert_eq!(
+                cost.to_bits(),
+                baseline_cost.to_bits(),
+                "{restarts} restarts, {workers} workers: {cost} vs {baseline_cost}"
+            );
+        }
+    }
+}
+
+/// `restarts: 1` is exactly the single-restart search (restart 0 uses the
+/// configured seed), and extra restarts can only improve the cost.
+#[test]
+fn restart_zero_uses_the_configured_seed() {
+    let units = seeded_units(7, 600);
+    let single = OptimizeConfig { iterations: 24, sample_units: 300, ..OptimizeConfig::default() };
+    let multi = OptimizeConfig { restarts: 3, ..single };
+    let (division1, cost1) = optimize_division_with_workers(&units, 32, &single, 1);
+    let (reference, reference_cost) = optimize_division_reference(&units, 32, &single);
+    assert_eq!(division1, reference);
+    assert_close(cost1, reference_cost, "single restart vs reference");
+    let (_, cost3) = optimize_division_with_workers(&units, 32, &multi, 2);
+    assert!(cost3 <= cost1, "3 restarts {cost3} vs 1 restart {cost1}");
+}

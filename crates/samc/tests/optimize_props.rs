@@ -28,6 +28,7 @@ fn config(iterations: usize) -> OptimizeConfig {
         sample_units: 256,
         markov: MarkovConfig::default(),
         block_units: 8,
+        restarts: 1,
     }
 }
 

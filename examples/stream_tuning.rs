@@ -29,11 +29,14 @@ fn main() -> Result<(), Box<dyn Error>> {
     let default_ratio = ratio_with(StreamDivision::bytes(32))?;
     println!("default 4x8-bit byte streams: ratio {default_ratio:.4}");
 
-    // Optimizer: correlation grouping + random exchange (paper §3).
+    // Optimizer: correlation grouping + random exchange (paper §3), with
+    // four independent restarts fanned across the worker pool (the result
+    // is deterministic regardless of worker count).
     let optimize = OptimizeConfig {
         streams: 4,
         iterations: 48,
         sample_units: 4096,
+        restarts: 4,
         ..OptimizeConfig::default()
     };
     let (division, sample_bits) = optimize_division(&words, 32, &optimize);

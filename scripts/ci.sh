@@ -25,6 +25,19 @@ cargo run --release -q -p cce-core --bin cce -- bench --scale 0.05 --metrics "$m
 python3 -m json.tool "$metrics_file" > /dev/null   # artifact must be valid JSON
 grep -q '"obs_enabled":true' "$metrics_file"       # default build records metrics
 
+echo "== optimizer perf smoke (fixed seed, pinned division) =="
+# The incremental stream-division search must stay bit-identical to the
+# reference implementation and to its recorded output.  The hash pins the
+# division returned at the default seeds; if the search is deliberately
+# changed (new kernels, different RNG draws), re-record it by running
+# `cce bench --optimizer`, reading division_hash from BENCH_optimizer.json,
+# and updating the constant below in the same commit.
+optimizer_file="target/ci-optimizer.json"
+cargo run --release -q -p cce-core --bin cce -- bench --optimizer -o "$optimizer_file"
+python3 -m json.tool "$optimizer_file" > /dev/null  # artifact must be valid JSON
+grep -q '"matches_reference":true' "$optimizer_file"
+grep -q '"division_hash":"49bc0a2a57dccd29"' "$optimizer_file"
+
 echo "== registered metric names documented in DESIGN.md §7 =="
 cargo run --release -q -p cce-core --bin cce -- stats | awk '{print $1}' | while read -r name; do
     grep -qF "\`$name\`" DESIGN.md || {

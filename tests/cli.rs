@@ -202,6 +202,26 @@ fn bad_inputs_fail_cleanly() {
 }
 
 #[test]
+fn bench_optimizer_writes_pinned_artifact() {
+    let dir = temp_dir("bench-opt");
+    let artifact = dir.join("BENCH_optimizer.json");
+    let output = cce(&["bench", "--optimizer", "-o", artifact.to_str().expect("utf8")]);
+    assert!(output.status.success(), "{}", String::from_utf8_lossy(&output.stderr));
+    let json = std::fs::read_to_string(&artifact).expect("artifact written");
+    // The incremental search must reproduce the reference implementation;
+    // the division hash is the same one scripts/ci.sh pins (float results
+    // are identical across debug/release, so the pin holds here too).
+    for needle in [
+        "\"benchmark\":\"optimizer\"",
+        "\"matches_reference\":true",
+        "\"division_hash\":\"49bc0a2a57dccd29\"",
+        "\"multi_restart\":",
+    ] {
+        assert!(json.contains(needle), "missing {needle} in:\n{json}");
+    }
+}
+
+#[test]
 fn disasm_prints_assembly() {
     let dir = temp_dir("disasm");
     let (elf_path, _) = write_test_elf(&dir, Isa::Mips);

@@ -2,13 +2,19 @@
 //!
 //! ```text
 //! cce ratio [-b BLOCK] [--json] [--metrics M.json] <input.elf>
-//! cce compress [-a ALGO] [-b BLOCK] <input.elf> -o <out.cce>
+//! cce compress [-a ALGO] [-b BLOCK] [--model-cache DIR] <input.elf> -o <out.cce>
 //! cce decompress <in.cce> -o <out.elf>       # rebuild a minimal ELF
 //! cce info <in.cce>                          # inspect a compressed artifact
 //! cce bench [--scale F] [--seed S] [--metrics M.json]  # fixed-seed suite run
+//! cce gen <profile> [--scale F] [--seed S] -o <out.elf>  # synthesize a workload
 //! cce stats [input.elf]                      # metric registry / live counters
 //! cce fuzz --algo <name|all> --cases N --seed S  # adversarial decode fuzzing
 //! ```
+//!
+//! `--model-cache DIR` points SAMC at a persistent model store
+//! ([`cce_core::samc::store`]): repeat requests reuse the trained model
+//! outright, and fresh programs warm-start the stream-division search
+//! from a cached division instead of the cold correlation pass.
 //!
 //! The `.cce` container holds the trained codec (Markov tables or
 //! dictionary+code tables), the block image, and enough ELF identity to
@@ -49,6 +55,7 @@ fn run(args: &[String]) -> Result<(), Box<dyn Error>> {
         Some("analyze") => analyze(&args[1..]),
         Some("disasm") => disasm(&args[1..]),
         Some("fuzz") => fuzz(&args[1..]),
+        Some("gen") => gen(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             print_usage();
             Ok(())
@@ -61,15 +68,23 @@ fn print_usage() {
     println!("cce — code compression for embedded systems (SAMC/SADC, DAC 1998)");
     println!();
     println!("USAGE:");
-    println!("  cce ratio [-b N] [--json] [--metrics M.json] <input.elf>");
+    println!("  cce ratio [-b N] [--json] [--metrics M.json] [--model-cache DIR] <input.elf>");
     println!("                                                compare all algorithms");
-    println!("  cce compress [-a samc|sadc|huffman] [-b N] <in.elf> -o <out.cce>");
+    println!(
+        "  cce compress [-a samc|sadc|huffman] [-b N] [--model-cache DIR] <in.elf> -o <out.cce>"
+    );
     println!("  cce decompress <in.cce> -o <out.elf>");
     println!("  cce info <in.cce>");
-    println!("  cce bench [--scale F] [--seed S] [-b N] [--json] [--metrics M.json]");
+    println!(
+        "  cce bench [--scale F] [--seed S] [-b N] [--json] [--metrics M.json] [--model-cache DIR]"
+    );
     println!("                                                fixed-seed suite benchmark");
     println!("  cce bench --optimizer [--seed S] [-o OUT.json] [--json]");
-    println!("                                                SAMC optimizer micro-bench");
+    println!(
+        "                                                SAMC optimizer + model-cache micro-bench"
+    );
+    println!("  cce gen <profile> [--scale F] [--seed S] [--isa mips|x86] -o <out.elf>");
+    println!("                                                synthesize a SPEC95-like workload");
     println!("  cce stats                                     list registered metrics");
     println!("  cce stats [--metrics M.json] <input.elf>      measure and dump counters");
     println!("  cce analyze <input.elf>                       entropy diagnostics");
@@ -89,6 +104,8 @@ struct Flags<'a> {
     metrics: Option<&'a str>,
     scale: f64,
     optimizer: bool,
+    model_cache: Option<&'a str>,
+    isa: Option<&'a str>,
 }
 
 /// Parses `-o out` plus positional arguments.
@@ -104,6 +121,8 @@ fn split_flags(args: &[String]) -> Result<Flags<'_>, String> {
     let mut metrics = None;
     let mut scale = 0.1f64;
     let mut optimizer = false;
+    let mut model_cache = None;
+    let mut isa = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -170,6 +189,15 @@ fn split_flags(args: &[String]) -> Result<Flags<'_>, String> {
                 optimizer = true;
                 i += 1;
             }
+            "--model-cache" => {
+                model_cache =
+                    Some(args.get(i + 1).ok_or("missing value after --model-cache")?.as_str());
+                i += 2;
+            }
+            "--isa" => {
+                isa = Some(args.get(i + 1).ok_or("missing value after --isa")?.as_str());
+                i += 2;
+            }
             other => {
                 positional.push(other);
                 i += 1;
@@ -187,7 +215,39 @@ fn split_flags(args: &[String]) -> Result<Flags<'_>, String> {
         metrics,
         scale,
         optimizer,
+        model_cache,
+        isa,
     })
+}
+
+/// Opens a [`CachedTrainer`] over `dir` for SAMC requests at
+/// `block_size`, paired with the optimizer config every cache-path train
+/// uses (defaults, with the stream count taken from the base division).
+///
+/// [`CachedTrainer`]: cce_core::samc::store::CachedTrainer
+fn open_model_cache(dir: &str) -> Result<cce_core::samc::store::CachedTrainer, Box<dyn Error>> {
+    use cce_core::samc::store::{CachedTrainer, ModelStore};
+    /// Bounded by request diversity within one CLI run, not memory.
+    const CACHE_CAPACITY: usize = 16;
+    Ok(CachedTrainer::new(ModelStore::open(dir)?, CACHE_CAPACITY))
+}
+
+/// The SAMC training request the model-cache path resolves: the ISA's
+/// base config at `block_size`, searched with default optimizer settings
+/// over the base division's stream count.
+fn cache_request(
+    isa: Isa,
+    block_size: usize,
+) -> (cce_core::samc::SamcConfig, cce_core::samc::OptimizeConfig) {
+    use cce_core::samc::{OptimizeConfig, SamcConfig};
+    let base = match isa {
+        Isa::Mips => SamcConfig::mips(),
+        Isa::X86 => SamcConfig::x86(),
+    }
+    .with_block_size(block_size);
+    let optimize =
+        OptimizeConfig { streams: base.division.stream_count(), ..OptimizeConfig::default() };
+    (base, optimize)
 }
 
 fn load_elf(path: &str) -> Result<(ElfImage, Isa), Box<dyn Error>> {
@@ -201,18 +261,55 @@ fn load_elf(path: &str) -> Result<(ElfImage, Isa), Box<dyn Error>> {
     Ok((image, isa))
 }
 
+/// Measures one algorithm, routing SAMC through the model cache when a
+/// trainer is open (exact-key hits skip training; misses warm-start the
+/// division search and persist the result).  The cache source is
+/// reported on stderr so stdout stays a clean table/JSON stream.
+fn measure_cached(
+    algorithm: Algorithm,
+    isa: Isa,
+    text: &[u8],
+    block_size: usize,
+    trainer: &mut Option<cce_core::samc::store::CachedTrainer>,
+) -> Result<cce_core::Measurement, Box<dyn Error>> {
+    match trainer {
+        Some(trainer) if algorithm == Algorithm::Samc => {
+            let (config, optimize) = cache_request(isa, block_size);
+            let outcome = trainer.train(text, &config, &optimize)?;
+            eprintln!(
+                "cce: model cache: {} (key {}, division {:016x})",
+                outcome.source,
+                outcome.key,
+                outcome.codec.config().division.division_hash()
+            );
+            Ok(cce_core::measure_trained_block_codec(
+                algorithm,
+                isa,
+                text,
+                &outcome.codec,
+                worker_count(),
+            )?)
+        }
+        _ => Ok(measure(algorithm, isa, text, block_size)?),
+    }
+}
+
 fn ratio(args: &[String]) -> Result<(), Box<dyn Error>> {
     let flags = split_flags(args)?;
     let [path] = flags.positional.as_slice() else {
-        return Err("usage: cce ratio [-b N] [--json] [--metrics M.json] <input.elf>".into());
+        return Err(
+            "usage: cce ratio [-b N] [--json] [--metrics M.json] [--model-cache DIR] <input.elf>"
+                .into(),
+        );
     };
     let (elf, isa) = load_elf(path)?;
     let text = elf.text().ok_or("no .text section")?;
+    let mut trainer = flags.model_cache.map(open_model_cache).transpose()?;
 
     if flags.json {
         let mut measurements = Vec::new();
         for algorithm in Algorithm::ALL {
-            match measure(algorithm, isa, text, flags.block_size) {
+            match measure_cached(algorithm, isa, text, flags.block_size, &mut trainer) {
                 Ok(m) => measurements.push(m),
                 Err(e) => eprintln!("cce: {algorithm} failed: {e}"),
             }
@@ -224,7 +321,7 @@ fn ratio(args: &[String]) -> Result<(), Box<dyn Error>> {
     println!("{path}: {} bytes of {isa} text", text.len());
     println!("{:<10} {:>12} {:>8}", "algorithm", "compressed", "ratio");
     for algorithm in Algorithm::ALL {
-        match measure(algorithm, isa, text, flags.block_size) {
+        match measure_cached(algorithm, isa, text, flags.block_size, &mut trainer) {
             Ok(m) => println!(
                 "{:<10} {:>12} {:>8.3}",
                 algorithm.to_string(),
@@ -243,9 +340,18 @@ fn write_metrics(path: Option<&str>, command: &str) -> Result<(), Box<dyn Error>
     if !cce_core::obs::enabled() {
         eprintln!("cce: warning: built without the `obs` feature; all metrics are zero");
     }
-    std::fs::write(path, cce_core::obs::metrics_json(command))?;
+    std::fs::write(path, terminated(cce_core::obs::metrics_json(command)))?;
     eprintln!("cce: wrote {command} metrics to {path}");
     Ok(())
+}
+
+/// JSON artifacts are text files: POSIX tools (`tail`, `jq`, `wc -l`)
+/// expect a final newline, so every reporter terminates with one.
+fn terminated(mut json: String) -> String {
+    if !json.ends_with('\n') {
+        json.push('\n');
+    }
+    json
 }
 
 /// Benchmarks measured by `cce bench`: a small representative slice of
@@ -259,7 +365,7 @@ fn bench(args: &[String]) -> Result<(), Box<dyn Error>> {
     let flags = split_flags(args)?;
     if !flags.positional.is_empty() {
         return Err(
-            "usage: cce bench [--optimizer] [--scale F] [--seed S] [-b N] [--json] [--metrics M.json]"
+            "usage: cce bench [--optimizer] [--scale F] [--seed S] [-b N] [--json] [--metrics M.json] [--model-cache DIR]"
                 .into(),
         );
     }
@@ -268,6 +374,7 @@ fn bench(args: &[String]) -> Result<(), Box<dyn Error>> {
     }
     cce_core::obs::reset();
     let isa = Isa::Mips;
+    let mut trainer = flags.model_cache.map(open_model_cache).transpose()?;
     let programs = cce_core::workload::spec95_suite_seeded(isa, flags.scale, flags.seed);
     let programs: Vec<_> =
         programs.into_iter().filter(|p| BENCH_PROGRAMS.contains(&p.name)).collect();
@@ -287,7 +394,7 @@ fn bench(args: &[String]) -> Result<(), Box<dyn Error>> {
     }
     for program in &programs {
         for algorithm in Algorithm::ALL {
-            let m = measure(algorithm, isa, &program.text, flags.block_size)
+            let m = measure_cached(algorithm, isa, &program.text, flags.block_size, &mut trainer)
                 .map_err(|e| format!("{}/{algorithm}: {e}", program.name))?;
             if !flags.json {
                 println!(
@@ -338,24 +445,15 @@ fn bench(args: &[String]) -> Result<(), Box<dyn Error>> {
     write_metrics(flags.metrics, "bench")
 }
 
-/// FNV-1a 64 over the division's per-stream bit lists (0xFF separators),
-/// so CI can pin the optimizer's output against one recorded hash.
-fn division_hash(division: &cce_core::samc::StreamDivision) -> u64 {
-    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const PRIME: u64 = 0x100_0000_01b3;
-    let mut hash = OFFSET;
-    for s in 0..division.stream_count() {
-        for &bit in division.stream_bits(s) {
-            hash = (hash ^ u64::from(bit)).wrapping_mul(PRIME);
-        }
-        hash = (hash ^ 0xFF).wrapping_mul(PRIME);
-    }
-    hash
-}
-
 /// `cce bench --optimizer`: times the pre-kernel reference search against
-/// the incremental one on a fixed workload and writes the
-/// `BENCH_optimizer.json` artifact (see README).
+/// the incremental one on a fixed workload, runs a multi-program
+/// cold-vs-warm model-cache batch, and writes the `BENCH_optimizer.json`
+/// artifact (see README).  Division hashes come from
+/// [`StreamDivision::division_hash`][h], the same FNV-1a the model store
+/// keys on, so CI can pin the optimizer's output against one recorded
+/// value.
+///
+/// [h]: cce_core::samc::StreamDivision::division_hash
 fn bench_optimizer(flags: &Flags) -> Result<(), Box<dyn Error>> {
     use cce_core::isa::mips::encode_text;
     use cce_core::samc::{
@@ -398,10 +496,56 @@ fn bench_optimizer(flags: &Flags) -> Result<(), Box<dyn Error>> {
     let speedup = reference_ms / fast_ms.max(1e-9);
 
     let workers = worker_count();
-    let multi = OptimizeConfig { restarts: 8, ..config };
+    let multi = OptimizeConfig { restarts: 8, ..config.clone() };
     let start = Instant::now();
     let (_, multi_cost) = optimize_division_with_workers(&units, 32, &multi, workers);
     let multi_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    // Model-cache leg: train a small program batch twice through a fresh
+    // store.  The first pass trains (cold, then warm-started from the
+    // first program's cached division); the second pass must be all
+    // exact-key hits, so its time is the amortized per-request cost.
+    // "go" leads so its cold division hash matches the pinned top-level
+    // one (same workload, same default search).
+    const CACHE_PROGRAMS: [&str; 3] = ["go", "compress", "ijpeg"];
+    let cache_dir =
+        std::env::temp_dir().join(format!("cce-bench-model-cache-{}", std::process::id()));
+    std::fs::remove_dir_all(&cache_dir).ok();
+    let texts: Vec<Vec<u8>> = CACHE_PROGRAMS
+        .iter()
+        .map(|name| {
+            let profile = Spec95::by_name(name).expect("profile is in the suite");
+            encode_text(&generate_mips_seeded(profile, WORKLOAD_SCALE, flags.seed))
+        })
+        .collect();
+    let mut trainer = cce_core::samc::store::CachedTrainer::new(
+        cce_core::samc::store::ModelStore::open(&cache_dir)?,
+        CACHE_PROGRAMS.len().max(1),
+    );
+    let samc_config = cce_core::samc::SamcConfig::mips();
+    let mut cold_sources = Vec::new();
+    let mut cold_images = Vec::new();
+    let start = Instant::now();
+    for text in &texts {
+        let outcome = trainer.train(text, &samc_config, &config)?;
+        cold_sources.push(outcome.source.to_string());
+        cold_images.push(compress_parallel(&outcome.codec, text, workers)?.to_bytes());
+    }
+    let cache_cold_ms = start.elapsed().as_secs_f64() * 1e3;
+    let cold_division_hash =
+        trainer.train(&texts[0], &samc_config, &config)?.codec.config().division.division_hash();
+    let mut warm_hits = 0usize;
+    let mut warm_matches_cold = true;
+    let start = Instant::now();
+    for (text, cold_image) in texts.iter().zip(&cold_images) {
+        let outcome = trainer.train(text, &samc_config, &config)?;
+        warm_hits += usize::from(outcome.source.is_hit());
+        warm_matches_cold &=
+            compress_parallel(&outcome.codec, text, workers)?.to_bytes() == *cold_image;
+    }
+    let cache_warm_ms = start.elapsed().as_secs_f64() * 1e3;
+    let warm_speedup = cache_cold_ms / cache_warm_ms.max(1e-9);
+    std::fs::remove_dir_all(&cache_dir).ok();
 
     let json = format!(
         concat!(
@@ -412,7 +556,12 @@ fn bench_optimizer(flags: &Flags) -> Result<(), Box<dyn Error>> {
             "\"matches_reference\":{matches},",
             "\"cost_bits\":{cost:.3},\"reference_cost_bits\":{reference_cost:.3},",
             "\"division_hash\":\"{hash:016x}\",",
-            "\"multi_restart\":{{\"restarts\":{restarts},\"workers\":{workers},\"ms\":{multi_ms:.3},\"cost_bits\":{multi_cost:.3}}}}}"
+            "\"multi_restart\":{{\"restarts\":{restarts},\"workers\":{workers},\"ms\":{multi_ms:.3},\"cost_bits\":{multi_cost:.3}}},",
+            "\"model_cache\":{{\"programs\":[{cache_programs}],\"cold_ms\":{cache_cold_ms:.3},",
+            "\"warm_ms\":{cache_warm_ms:.3},\"warm_speedup\":{warm_speedup:.2},",
+            "\"cold_sources\":[{cold_sources}],\"warm_hits\":{warm_hits},",
+            "\"warm_matches_cold\":{warm_matches_cold},",
+            "\"cold_division_hash\":\"{cold_division_hash:016x}\"}}}}"
         ),
         profile = PROFILE,
         scale = WORKLOAD_SCALE,
@@ -428,14 +577,30 @@ fn bench_optimizer(flags: &Flags) -> Result<(), Box<dyn Error>> {
         matches = matches_reference,
         cost = cost,
         reference_cost = reference_cost,
-        hash = division_hash(&division),
+        hash = division.division_hash(),
         restarts = multi.restarts,
         workers = workers,
         multi_ms = multi_ms,
         multi_cost = multi_cost,
+        cache_programs = CACHE_PROGRAMS
+            .iter()
+            .map(|p| format!("\"{p}\""))
+            .collect::<Vec<_>>()
+            .join(","),
+        cache_cold_ms = cache_cold_ms,
+        cache_warm_ms = cache_warm_ms,
+        warm_speedup = warm_speedup,
+        cold_sources = cold_sources
+            .iter()
+            .map(|s| format!("\"{s}\""))
+            .collect::<Vec<_>>()
+            .join(","),
+        warm_hits = warm_hits,
+        warm_matches_cold = warm_matches_cold,
+        cold_division_hash = cold_division_hash,
     );
     let path = flags.output.unwrap_or("BENCH_optimizer.json");
-    std::fs::write(path, &json)?;
+    std::fs::write(path, terminated(json.clone()))?;
 
     if flags.json {
         println!("{json}");
@@ -450,10 +615,16 @@ fn bench_optimizer(flags: &Flags) -> Result<(), Box<dyn Error>> {
             "  incremental:      {fast_ms:>9.2} ms  (cost {cost:.0} bits, {speedup:.1}x, \
              division {}, hash {:016x})",
             if matches_reference { "matches" } else { "DIVERGED" },
-            division_hash(&division),
+            division.division_hash(),
         );
         println!(
             "  8 restarts:       {multi_ms:>9.2} ms  (cost {multi_cost:.0} bits, {workers} workers)"
+        );
+        println!(
+            "  model cache:      {cache_cold_ms:>9.2} ms cold vs {cache_warm_ms:.2} ms warm \
+             over {} programs ({warm_speedup:.1}x, {warm_hits} hits, images {})",
+            CACHE_PROGRAMS.len(),
+            if warm_matches_cold { "match" } else { "DIVERGED" },
         );
         println!("  wrote {path}");
     }
@@ -493,10 +664,11 @@ fn stats(args: &[String]) -> Result<(), Box<dyn Error>> {
 }
 
 fn compress(args: &[String]) -> Result<(), Box<dyn Error>> {
-    let Flags { positional, output, algorithm, block_size, .. } = split_flags(args)?;
+    let Flags { positional, output, algorithm, block_size, model_cache, .. } = split_flags(args)?;
     let [path] = positional.as_slice() else {
         return Err(
-            "usage: cce compress [-a samc|sadc|huffman] [-b N] <in.elf> -o <out.cce>".into()
+            "usage: cce compress [-a samc|sadc|huffman] [-b N] [--model-cache DIR] <in.elf> -o <out.cce>"
+                .into(),
         );
     };
     let output = output.ok_or("missing -o <out.cce>")?;
@@ -512,8 +684,33 @@ fn compress(args: &[String]) -> Result<(), Box<dyn Error>> {
         )
         .into());
     }
-    let handle = algorithm.build(isa, block_size).train(&text)?;
-    let codec = handle.as_block().expect("random-access algorithms build block codecs");
+    let codec: Box<dyn cce_core::codec::BlockCodec> = match model_cache {
+        Some(dir) => {
+            if algorithm != Algorithm::Samc {
+                return Err(format!("--model-cache caches SAMC models, not `{algorithm}`").into());
+            }
+            let mut trainer = open_model_cache(dir)?;
+            let (config, optimize) = cache_request(isa, block_size);
+            let outcome = trainer.train(&text, &config, &optimize)?;
+            println!(
+                "model cache: {} (key {}, division {:016x})",
+                outcome.source,
+                outcome.key,
+                outcome.codec.config().division.division_hash()
+            );
+            Box::new(outcome.codec)
+        }
+        None => {
+            let handle = algorithm.build(isa, block_size).train(&text)?;
+            match handle {
+                cce_core::CodecHandle::Block(codec) => codec,
+                cce_core::CodecHandle::File(_) => {
+                    unreachable!("random-access algorithms build block codecs")
+                }
+            }
+        }
+    };
+    let codec = codec.as_ref();
     let image = compress_parallel(codec, &text, worker_count())?;
     if codec.decompress(&image)? != text {
         return Err("internal error: round trip failed".into());
@@ -652,6 +849,45 @@ fn info(args: &[String]) -> Result<(), Box<dyn Error>> {
         image.ratio(),
         image.model_bytes(),
         image.lat_bytes()
+    );
+    Ok(())
+}
+
+/// `cce gen`: synthesizes one SPEC95-like workload as a minimal ELF, so
+/// shell pipelines (and the CI cache smoke) can feed `cce compress` the
+/// exact same deterministic program the benchmarks measure.
+fn gen(args: &[String]) -> Result<(), Box<dyn Error>> {
+    use cce_core::elf::{Class, Endianness};
+    use cce_core::isa::mips::encode_text;
+    use cce_core::workload::{generate_mips_seeded, generate_x86_seeded, Spec95};
+
+    let Flags { positional, output, scale, seed, isa, .. } = split_flags(args)?;
+    let [name] = positional.as_slice() else {
+        return Err(
+            "usage: cce gen <profile> [--scale F] [--seed S] [--isa mips|x86] -o <out.elf>".into(),
+        );
+    };
+    let output = output.ok_or("missing -o <out.elf>")?;
+    let profile =
+        Spec95::by_name(name).ok_or_else(|| format!("unknown benchmark profile `{name}`"))?;
+    let isa = match isa.unwrap_or("mips") {
+        "mips" => Isa::Mips,
+        "x86" => Isa::X86,
+        other => return Err(format!("unknown ISA `{other}` (mips|x86)").into()),
+    };
+    let (machine, endianness, text) = match isa {
+        Isa::Mips => (
+            Machine::Mips,
+            Endianness::Big,
+            encode_text(&generate_mips_seeded(profile, scale, seed)),
+        ),
+        Isa::X86 => (Machine::I386, Endianness::Little, generate_x86_seeded(profile, scale, seed)),
+    };
+    let elf = ElfImage::new_executable(machine, Class::Elf32, endianness, text);
+    std::fs::write(output, elf.to_bytes())?;
+    println!(
+        "{output}: {} bytes of {isa} `{name}` text at scale {scale} (seed {seed})",
+        elf.text().expect("text").len()
     );
     Ok(())
 }

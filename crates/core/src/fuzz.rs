@@ -18,7 +18,10 @@
 //!   byte-for-byte (or fail identically), and whatever compresses must
 //!   round-trip;
 //! * **file streams** — the `compress(1)`/`gzip` decoders on mutated
-//!   streams, with the LZW output budget engaged.
+//!   streams, with the LZW output budget engaged;
+//! * **model-store records** — SAMC's cached-model record parser
+//!   ([`cce_samc::store::ModelRecord`]) on mutated records, with a
+//!   canonical re-serialization check on anything it accepts.
 //!
 //! Per-case cost is bounded without trusting the decoders: any mutated
 //! image claiming more than [`case budget`](#output-budget) output is
@@ -292,6 +295,42 @@ impl FuzzTarget for TextDifferentialTarget {
     }
 }
 
+/// Mutates a serialized model-store record ([`cce_samc::store`]): any
+/// parse failure must be a typed rejection, and a parse that succeeds
+/// must re-serialize to exactly the bytes it was parsed from (the record
+/// format is canonical — checksum, exact framing, no trailing slack).
+struct StoreRecordTarget {
+    record_bytes: Vec<u8>,
+    codec_len: usize,
+}
+
+impl FuzzTarget for StoreRecordTarget {
+    fn name(&self) -> String {
+        "SAMC/store-record".into()
+    }
+
+    fn artifact(&self) -> Artifact {
+        // Magic, version, key, cost, codec length, codec payload, checksum.
+        Artifact::with_boundaries(
+            "model-store record",
+            self.record_bytes.clone(),
+            vec![4, 6, 14, 22, 26, 26 + self.codec_len],
+        )
+    }
+
+    fn run(&self, bytes: &[u8]) -> Outcome {
+        let record = match cce_samc::store::ModelRecord::from_bytes(bytes) {
+            Ok(record) => record,
+            Err(e) => return Outcome::Rejected(e),
+        };
+        if record.to_bytes() == bytes {
+            Outcome::Decoded
+        } else {
+            Outcome::Violation("accepted record did not re-serialize canonically".into())
+        }
+    }
+}
+
 // ---------------------------------------------------------------------
 // File-codec targets
 // ---------------------------------------------------------------------
@@ -434,10 +473,10 @@ fn block_targets_for(
 /// All fuzz targets for `algorithm`.
 ///
 /// Block algorithms get four targets (codec model, block image,
-/// container, differential text); SADC additionally gets the x86 codec
-/// and image targets since its two ISA variants are distinct decoders.
-/// File algorithms get a mutated-stream target and a round-trip text
-/// target.
+/// container, differential text); SAMC additionally gets the model-store
+/// record target, and SADC the x86 codec and image targets since its two
+/// ISA variants are distinct decoders.  File algorithms get a
+/// mutated-stream target and a round-trip text target.
 ///
 /// # Panics
 ///
@@ -456,8 +495,26 @@ pub fn targets(algorithm: Algorithm) -> Vec<Box<dyn FuzzTarget>> {
                 Box::new(FileTextTarget { algorithm, text }),
             ]
         }
-        Algorithm::ByteHuffman | Algorithm::Samc => {
+        Algorithm::ByteHuffman => {
             block_targets_for(algorithm, Isa::Mips, &algorithm.to_string(), mips_text())
+        }
+        Algorithm::Samc => {
+            let text = mips_text();
+            let mut all =
+                block_targets_for(algorithm, Isa::Mips, &algorithm.to_string(), text.clone());
+            // SAMC's extra decode surface: the model-cache record wrapping
+            // its serialized codec.
+            let codec = cce_samc::SamcCodec::train(&text, cce_samc::SamcConfig::mips())
+                .expect("SAMC: golden training failed (store record)");
+            let key = cce_samc::store::ModelKey::for_request(
+                &text,
+                codec.config(),
+                &cce_samc::OptimizeConfig::default(),
+            );
+            let codec_len = codec.to_bytes().len();
+            let record = cce_samc::store::ModelRecord::new(key, 0.0, codec);
+            all.push(Box::new(StoreRecordTarget { record_bytes: record.to_bytes(), codec_len }));
+            all
         }
         Algorithm::Sadc => {
             let mut all = block_targets_for(algorithm, Isa::Mips, "SADC", mips_text());
@@ -489,7 +546,7 @@ mod tests {
         assert_eq!(targets(Algorithm::UnixCompress).len(), 2);
         assert_eq!(targets(Algorithm::Gzip).len(), 2);
         assert_eq!(targets(Algorithm::ByteHuffman).len(), 4);
-        assert_eq!(targets(Algorithm::Samc).len(), 4);
+        assert_eq!(targets(Algorithm::Samc).len(), 5);
         assert_eq!(targets(Algorithm::Sadc).len(), 8);
     }
 

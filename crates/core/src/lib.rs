@@ -187,6 +187,38 @@ pub fn measure_with_workers(
     })
 }
 
+/// Measures an already-trained block codec over `text` — the model-cache
+/// path, where training (or a cache hit) happened elsewhere and only
+/// compression plus round-trip verification remain.
+///
+/// `algorithm`/`isa` label the measurement; the caller is responsible
+/// for the codec actually implementing that algorithm.
+///
+/// # Errors
+///
+/// As [`measure`], minus the training errors.
+pub fn measure_trained_block_codec(
+    algorithm: Algorithm,
+    isa: Isa,
+    text: &[u8],
+    codec: &dyn cce_codec::BlockCodec,
+    workers: usize,
+) -> Result<Measurement, CodecError> {
+    let image = cce_codec::compress_parallel(codec, text, workers)?;
+    if codec.decompress(&image)? != text {
+        return Err(CodecError::round_trip(codec.name()));
+    }
+    let sizes: Vec<usize> = image.block_sizes().collect();
+    Ok(Measurement {
+        algorithm,
+        isa,
+        original_len: text.len(),
+        compressed_len: image.compressed_len(),
+        block_sizes: Some(sizes),
+        lat_bytes: Some(image.lat_bytes()),
+    })
+}
+
 /// One benchmark's verified measurement within a suite run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SuiteMeasurement {

@@ -1,5 +1,42 @@
 //! Line address table: program block index → compressed location.
 
+use std::error::Error;
+use std::fmt;
+
+/// Errors from the checked [`LineAddressTable`] constructors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LatError {
+    /// A compressed block had size zero.  Every legal block image carries
+    /// at least the coder's restart header, so a zero-sized block means
+    /// the sizes came from a corrupt or fabricated image; admitting it
+    /// would let [`LineAddressTable::entry_bits`]'s 1-bit floor misreport
+    /// the table cost.
+    ZeroSizedBlock {
+        /// Index of the offending block.
+        index: usize,
+    },
+    /// The padding alignment was not a power of two.
+    PadNotPowerOfTwo {
+        /// The rejected alignment.
+        pad: usize,
+    },
+}
+
+impl fmt::Display for LatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ZeroSizedBlock { index } => {
+                write!(f, "compressed block {index} has size zero")
+            }
+            Self::PadNotPowerOfTwo { pad } => {
+                write!(f, "pad {pad} is not a power of two")
+            }
+        }
+    }
+}
+
+impl Error for LatError {}
+
 /// The LAT maps uncompressed block indices to compressed byte offsets.
 ///
 /// The paper stores it in main memory next to the compressed code; its
@@ -21,11 +58,27 @@ pub struct LineAddressTable {
 impl LineAddressTable {
     /// Builds the table from each block's compressed size, assigning
     /// consecutive offsets.
+    ///
+    /// Accepts zero-sized blocks for historical reasons; prefer
+    /// [`LineAddressTable::try_from_block_sizes`], which rejects them.
     pub fn from_block_sizes<I>(sizes: I) -> Self
     where
         I: IntoIterator<Item = usize>,
     {
         Self::padded(sizes, 1)
+    }
+
+    /// Like [`LineAddressTable::from_block_sizes`], but rejects the
+    /// zero-sized blocks only a corrupt image can produce.
+    ///
+    /// # Errors
+    ///
+    /// [`LatError::ZeroSizedBlock`] if any block size is zero.
+    pub fn try_from_block_sizes<I>(sizes: I) -> Result<Self, LatError>
+    where
+        I: IntoIterator<Item = usize>,
+    {
+        Self::try_padded(sizes, 1)
     }
 
     /// Builds the table straight from a compressed image's block sizes.
@@ -35,6 +88,10 @@ impl LineAddressTable {
 
     /// Builds the table with every block padded to a multiple of `pad`
     /// bytes, so entries can omit their low `log2(pad)` bits.
+    ///
+    /// Accepts zero-sized blocks (see [`LineAddressTable::entry_bits`]
+    /// for how the degenerate widths are clamped); prefer
+    /// [`LineAddressTable::try_padded`], which rejects them.
     ///
     /// # Panics
     ///
@@ -54,6 +111,27 @@ impl LineAddressTable {
             offset += padded as u64;
         }
         Self { offsets, sizes: stored_sizes, pad: pad as u32 }
+    }
+
+    /// Like [`LineAddressTable::padded`], but returns typed errors in
+    /// place of panics and zero-size admission.
+    ///
+    /// # Errors
+    ///
+    /// [`LatError::PadNotPowerOfTwo`] for a bad alignment;
+    /// [`LatError::ZeroSizedBlock`] if any block size is zero.
+    pub fn try_padded<I>(sizes: I, pad: usize) -> Result<Self, LatError>
+    where
+        I: IntoIterator<Item = usize>,
+    {
+        if !pad.is_power_of_two() {
+            return Err(LatError::PadNotPowerOfTwo { pad });
+        }
+        let sizes: Vec<usize> = sizes.into_iter().collect();
+        if let Some(index) = sizes.iter().position(|&s| s == 0) {
+            return Err(LatError::ZeroSizedBlock { index });
+        }
+        Ok(Self::padded(sizes, pad))
     }
 
     /// Number of blocks mapped.
@@ -83,6 +161,17 @@ impl LineAddressTable {
     /// Bits per entry: enough to address any compressed offset
     /// (the largest offset is strictly below the compressed total), minus
     /// the bits implied by the padding alignment.
+    ///
+    /// Both `.max(1)` clamps floor degenerate widths at 1 bit.  An
+    /// addressable entry cannot be narrower, but the floor also means a
+    /// table whose compressed region fits entirely in the padding
+    /// alignment (including one built from zero-sized blocks, which only
+    /// the unchecked constructors admit — see
+    /// [`LineAddressTable::try_padded`]) still reports 1 bit per entry
+    /// rather than 0, slightly overstating [`table_bytes`] for those
+    /// degenerate tables.
+    ///
+    /// [`table_bytes`]: LineAddressTable::table_bytes
     pub fn entry_bits(&self) -> u32 {
         let max = self.compressed_total().saturating_sub(1).max(1);
         let full = 64 - max.leading_zeros();
@@ -158,5 +247,41 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn non_power_of_two_pad_panics() {
         let _ = LineAddressTable::padded([8usize], 3);
+    }
+
+    #[test]
+    fn checked_constructors_reject_zero_sized_blocks() {
+        assert_eq!(
+            LineAddressTable::try_from_block_sizes([10, 0, 5]),
+            Err(LatError::ZeroSizedBlock { index: 1 })
+        );
+        assert_eq!(
+            LineAddressTable::try_padded([0usize], 8),
+            Err(LatError::ZeroSizedBlock { index: 0 })
+        );
+        assert_eq!(
+            LineAddressTable::try_padded([8usize], 3),
+            Err(LatError::PadNotPowerOfTwo { pad: 3 })
+        );
+        // Legal sizes match the unchecked constructor exactly.
+        let sizes = [13usize, 20, 7];
+        assert_eq!(
+            LineAddressTable::try_padded(sizes, 8).unwrap(),
+            LineAddressTable::padded(sizes, 8)
+        );
+    }
+
+    #[test]
+    fn entry_bits_clamp_floors_degenerate_tables_at_one_bit() {
+        // Zero-sized blocks (unchecked constructor only): total is 0, yet
+        // the documented clamp still reports 1 bit per entry.
+        let zeros = LineAddressTable::from_block_sizes([0, 0]);
+        assert_eq!(zeros.compressed_total(), 0);
+        assert_eq!(zeros.entry_bits(), 1);
+        assert_eq!(zeros.table_bytes(), 1);
+        // A single block swallowed whole by the pad alignment: all offset
+        // bits are implied, and the clamp floors the width at 1.
+        let padded = LineAddressTable::padded([8usize], 8);
+        assert_eq!(padded.entry_bits(), 1);
     }
 }

@@ -39,5 +39,5 @@ mod system;
 
 pub use cache::{Cache, CacheConfig, CacheStats};
 pub use clb::Clb;
-pub use lat::LineAddressTable;
+pub use lat::{LatError, LineAddressTable};
 pub use system::{CostModel, MemorySystem, RefillDecompressor, SimReport};

@@ -116,6 +116,54 @@ impl SamcCodec {
         Ok(Self { config, model })
     }
 
+    /// Trains with an optimized stream division instead of `config`'s:
+    /// runs the [`crate::optimize_division_with_workers`] search over the
+    /// framed text (honoring `optimize.warm_start`), replaces the
+    /// division, and trains as [`SamcCodec::train`] does.
+    ///
+    /// Returns the codec and the search's evaluated code length in bits
+    /// (over the search sample).  `optimize.block_units` is overridden
+    /// with `config`'s so the search optimizes exactly what the codec
+    /// will pay.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Train`] for any input [`SamcCodec::train`] rejects,
+    /// or a stream count that does not divide the instruction width.
+    pub fn train_optimized(
+        text: &[u8],
+        config: SamcConfig,
+        optimize: &crate::OptimizeConfig,
+    ) -> Result<(Self, f64), CodecError> {
+        let width = config.division.width();
+        // Run `train`'s validation first so the optimizer's panics
+        // (empty units, stream mismatch) become typed errors here.
+        let probe = Self::train(text, config.clone())?;
+        if optimize.streams == 0 || !usize::from(width).is_multiple_of(optimize.streams) {
+            return Err(CodecError::train(
+                NAME,
+                format!("{} streams do not divide the {width}-bit width", optimize.streams),
+            ));
+        }
+        let units = frame_units(text, config.unit_bytes());
+        let optimize = crate::OptimizeConfig {
+            block_units: config.block_units(),
+            markov: config.markov,
+            ..optimize.clone()
+        };
+        let (division, cost) = crate::optimize_division_with_workers(
+            &units,
+            width,
+            &optimize,
+            cce_codec::worker_count(),
+        );
+        if division == config.division {
+            return Ok((probe, cost));
+        }
+        let codec = Self::train(text, config.with_division(division))?;
+        Ok((codec, cost))
+    }
+
     /// The trained model (exposed for size accounting and the optimizer).
     pub fn model(&self) -> &MarkovModel {
         &self.model

@@ -46,6 +46,7 @@ mod model;
 pub mod obs;
 mod optimize;
 mod serialize;
+pub mod store;
 mod streams;
 
 pub use codec::{SamcCodec, SamcConfig};

@@ -20,9 +20,15 @@ pub static OPTIMIZE_CANDIDATES: Counter = Counter::new();
 pub static OPTIMIZE_ACCEPTS: Counter = Counter::new();
 /// Wall-clock time of each optimizer restart (Phase-2 hill climb).
 pub static OPTIMIZE_RESTART_SPAN: SpanStat = SpanStat::new();
+/// In-memory model-cache lookups that hit.
+pub static CACHE_HITS: Counter = Counter::new();
+/// In-memory model-cache lookups that missed.
+pub static CACHE_MISSES: Counter = Counter::new();
+/// Model-cache entries evicted to stay within capacity.
+pub static CACHE_EVICTIONS: Counter = Counter::new();
 
 /// Descriptors for every metric this crate registers.
-pub fn descriptors() -> [Desc; 7] {
+pub fn descriptors() -> [Desc; 10] {
     [
         Desc::span("samc.compress.span", "time compressing SAMC blocks", &COMPRESS_SPAN),
         Desc::span("samc.decompress.span", "time decompressing SAMC blocks", &DECOMPRESS_SPAN),
@@ -50,6 +56,13 @@ pub fn descriptors() -> [Desc; 7] {
             "samc.optimize.restart.span",
             "time per stream-division optimizer restart",
             &OPTIMIZE_RESTART_SPAN,
+        ),
+        Desc::counter("samc.cache.hits", "model-cache lookups that hit", &CACHE_HITS),
+        Desc::counter("samc.cache.misses", "model-cache lookups that missed", &CACHE_MISSES),
+        Desc::counter(
+            "samc.cache.evictions",
+            "model-cache entries evicted at capacity",
+            &CACHE_EVICTIONS,
         ),
     ]
 }

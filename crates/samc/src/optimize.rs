@@ -41,7 +41,7 @@ use crate::streams::StreamDivision;
 use cce_rng::Rng;
 
 /// Options for [`optimize_division`].
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct OptimizeConfig {
     /// Number of streams to form (each gets `width / streams` bits).
     pub streams: usize,
@@ -65,6 +65,16 @@ pub struct OptimizeConfig {
     /// worker pool and the winner is the lowest (cost, restart) pair, so
     /// the output does not depend on the worker count.
     pub restarts: usize,
+    /// Warm-start division seeding the hill climb (model-cache reuse).
+    ///
+    /// When set — and shape-compatible with this search (same width,
+    /// `streams` streams of `width / streams` bits each) — the random
+    /// exchanges start from this division instead of the Phase-1
+    /// correlation grouping, so a division cached for a similar program
+    /// is refined rather than rediscovered.  A shape-incompatible warm
+    /// start (a cached division from another ISA or stream count) is
+    /// ignored and the search falls back to the cold Phase-1 pass.
+    pub warm_start: Option<StreamDivision>,
 }
 
 impl Default for OptimizeConfig {
@@ -77,6 +87,7 @@ impl Default for OptimizeConfig {
             markov: MarkovConfig::default(),
             block_units: 8,
             restarts: 1,
+            warm_start: None,
         }
     }
 }
@@ -214,6 +225,23 @@ fn correlation_grouping(sample: &[u32], width: u8, streams: usize) -> Vec<Vec<u8
         groups.push(stream);
     }
     groups
+}
+
+/// The Phase-1 bit grouping from a shape-compatible warm-start division,
+/// or `None` when the search must run the cold correlation pass.
+///
+/// The hill climb indexes streams as `streams` equal groups of
+/// `width / streams` bits, so a warm division only applies when it has
+/// exactly that shape; anything else (cached under a different ISA,
+/// stream count, or unequal grouping) silently falls back to cold.
+fn warm_seed(config: &OptimizeConfig, width: u8) -> Option<Vec<Vec<u8>>> {
+    let division = config.warm_start.as_ref()?;
+    let per_stream = usize::from(width) / config.streams;
+    let compatible = division.width() == width
+        && division.stream_count() == config.streams
+        && (0..division.stream_count()).all(|s| division.stream_bits(s).len() == per_stream);
+    compatible
+        .then(|| (0..division.stream_count()).map(|s| division.stream_bits(s).to_vec()).collect())
 }
 
 /// Upper bound on streams a single exchange can dirty: the two swapped
@@ -474,7 +502,10 @@ pub fn optimize_division_with_workers(
         "stream count must divide the width"
     );
     let sample = &units[..units.len().min(config.sample_units)];
-    let phase1 = correlation_grouping(sample, width, config.streams);
+    let phase1 = match warm_seed(config, width) {
+        Some(seed) => seed,
+        None => correlation_grouping(sample, width, config.streams),
+    };
     let seeds: Vec<u64> =
         (0..config.restarts.max(1)).map(|r| restart_seed(config.seed, r)).collect();
     let results = cce_codec::parallel_map(workers, &seeds, |_, &seed| {
@@ -593,7 +624,8 @@ mod tests {
     /// Words whose bits 0..8 are perfectly correlated with each other and
     /// bits 8..16 anti-correlated with them, rest noise.
     fn structured_units(n: usize) -> Vec<u32> {
-        (0..n as u32)
+        let n = u32::try_from(n).expect("test sizes must fit in u32, not wrap");
+        (0..n)
             .map(|i| {
                 let flag = i % 3 == 0;
                 let hi = if flag { 0xFFu32 } else { 0x00 };
@@ -696,9 +728,58 @@ mod tests {
     fn extra_restarts_never_hurt() {
         let units = structured_units(1024);
         let single = OptimizeConfig { iterations: 16, sample_units: 512, ..Default::default() };
-        let multi = OptimizeConfig { restarts: 4, ..single };
+        let multi = OptimizeConfig { restarts: 4, ..single.clone() };
         let (_, cost1) = optimize_division(&units, 32, &single);
         let (_, cost4) = optimize_division(&units, 32, &multi);
         assert!(cost4 <= cost1, "4 restarts {cost4} vs 1 restart {cost1}");
+    }
+
+    #[test]
+    fn warm_start_never_costs_more_than_cold() {
+        let units = structured_units(1024);
+        let cold = OptimizeConfig { iterations: 24, sample_units: 512, ..Default::default() };
+        let (division, cold_cost) = optimize_division(&units, 32, &cold);
+        // Re-searching from the cold optimum can only keep or lower the
+        // cost: the climb starts at cold_cost and accepts improvements.
+        let warm = OptimizeConfig { warm_start: Some(division), ..cold };
+        let (_, warm_cost) = optimize_division(&units, 32, &warm);
+        assert!(warm_cost <= cold_cost, "warm {warm_cost} vs cold {cold_cost}");
+    }
+
+    #[test]
+    fn incompatible_warm_start_falls_back_to_cold() {
+        let units = structured_units(512);
+        let cold = OptimizeConfig { iterations: 8, sample_units: 256, ..Default::default() };
+        let (cold_division, cold_cost) = optimize_division(&units, 32, &cold);
+        // Wrong width and wrong stream count: both must be ignored.
+        for bad in [StreamDivision::bytes(8), StreamDivision::contiguous(32, 8)] {
+            let warm = OptimizeConfig { warm_start: Some(bad), ..cold.clone() };
+            let (division, cost) = optimize_division(&units, 32, &warm);
+            assert_eq!(division, cold_division);
+            assert_eq!(cost.to_bits(), cold_cost.to_bits());
+        }
+    }
+
+    #[test]
+    fn warm_start_is_worker_count_invariant() {
+        let units = structured_units(512);
+        let (seed_division, _) = optimize_division(
+            &units,
+            32,
+            &OptimizeConfig { iterations: 8, sample_units: 256, ..Default::default() },
+        );
+        let warm = OptimizeConfig {
+            iterations: 12,
+            sample_units: 256,
+            restarts: 4,
+            warm_start: Some(seed_division),
+            ..Default::default()
+        };
+        let (division1, cost1) = optimize_division_with_workers(&units, 32, &warm, 1);
+        for workers in [2, 8] {
+            let (division, cost) = optimize_division_with_workers(&units, 32, &warm, workers);
+            assert_eq!(division, division1, "{workers} workers");
+            assert_eq!(cost.to_bits(), cost1.to_bits(), "{workers} workers");
+        }
     }
 }

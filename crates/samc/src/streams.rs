@@ -170,6 +170,25 @@ impl StreamDivision {
     pub fn total_bits(&self) -> usize {
         self.streams.iter().map(Vec::len).sum()
     }
+
+    /// FNV-1a 64 over the per-stream bit lists (with `0xFF` separators,
+    /// which cannot collide with bit indices — widths stop at 32).
+    ///
+    /// This is the hash CI pins the optimizer's output against, and the
+    /// key the model store uses to compare cached divisions, so it must
+    /// stay stable across releases.
+    pub fn division_hash(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x100_0000_01b3;
+        let mut hash = OFFSET;
+        for stream in &self.streams {
+            for &bit in stream {
+                hash = (hash ^ u64::from(bit)).wrapping_mul(PRIME);
+            }
+            hash = (hash ^ 0xFF).wrapping_mul(PRIME);
+        }
+        hash
+    }
 }
 
 #[cfg(test)]
@@ -232,6 +251,16 @@ mod tests {
             StreamDivision::new(vec![vec![], vec![0]], 1).unwrap_err(),
             BuildDivisionError::EmptyStream
         );
+    }
+
+    #[test]
+    fn division_hash_distinguishes_divisions() {
+        let bytes = StreamDivision::bytes(32);
+        // Stable across calls and sensitive to both grouping and order.
+        assert_eq!(bytes.division_hash(), StreamDivision::bytes(32).division_hash());
+        assert_ne!(bytes.division_hash(), StreamDivision::contiguous(32, 8).division_hash());
+        let interleaved = StreamDivision::new(vec![vec![0, 2, 4, 6], vec![1, 3, 5, 7]], 8).unwrap();
+        assert_ne!(interleaved.division_hash(), StreamDivision::bytes(8).division_hash());
     }
 
     #[test]

@@ -170,7 +170,7 @@ fn multi_restart_is_worker_count_invariant() {
 fn restart_zero_uses_the_configured_seed() {
     let units = seeded_units(7, 600);
     let single = OptimizeConfig { iterations: 24, sample_units: 300, ..OptimizeConfig::default() };
-    let multi = OptimizeConfig { restarts: 3, ..single };
+    let multi = OptimizeConfig { restarts: 3, ..single.clone() };
     let (division1, cost1) = optimize_division_with_workers(&units, 32, &single, 1);
     let (reference, reference_cost) = optimize_division_reference(&units, 32, &single);
     assert_eq!(division1, reference);

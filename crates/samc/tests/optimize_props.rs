@@ -29,6 +29,7 @@ fn config(iterations: usize) -> OptimizeConfig {
         markov: MarkovConfig::default(),
         block_units: 8,
         restarts: 1,
+        warm_start: None,
     }
 }
 

@@ -37,6 +37,30 @@ cargo run --release -q -p cce-core --bin cce -- bench --optimizer -o "$optimizer
 python3 -m json.tool "$optimizer_file" > /dev/null  # artifact must be valid JSON
 grep -q '"matches_reference":true' "$optimizer_file"
 grep -q '"division_hash":"49bc0a2a57dccd29"' "$optimizer_file"
+# The model-cache leg: the warm pass must be pure exact-key hits that
+# reproduce the cold images, and the cold "go" search must land on the
+# same pinned division as the top-level search.
+grep -q '"warm_matches_cold":true' "$optimizer_file"
+grep -q '"warm_hits":3' "$optimizer_file"
+grep -q '"warm_speedup":' "$optimizer_file"
+grep -q '"cold_division_hash":"49bc0a2a57dccd29"' "$optimizer_file"
+# JSON artifacts terminate with a newline (regression: tail -c1 was '}').
+test "$(tail -c1 "$optimizer_file")" = ""
+
+echo "== model-cache smoke (cold miss, then disk hit, pinned division) =="
+cache_dir="target/ci-model-cache"
+cache_elf="target/ci-cache-go.elf"
+rm -rf "$cache_dir"
+# The exact `bench --optimizer` workload: "go" at scale 0.5, default
+# seed (0xDAC1998 = 229382552).
+cargo run --release -q -p cce-core --bin cce -- gen go --scale 0.5 --seed 229382552 -o "$cache_elf"
+cold_out="$(cargo run --release -q -p cce-core --bin cce -- compress "$cache_elf" --model-cache "$cache_dir" -o target/ci-cache-cold.cce)"
+echo "$cold_out" | grep -q 'model cache: cold miss'
+echo "$cold_out" | grep -q 'division 49bc0a2a57dccd29'
+warm_out="$(cargo run --release -q -p cce-core --bin cce -- compress "$cache_elf" --model-cache "$cache_dir" -o target/ci-cache-warm.cce)"
+echo "$warm_out" | grep -q 'model cache: disk hit'
+echo "$warm_out" | grep -q 'division 49bc0a2a57dccd29'
+cmp target/ci-cache-cold.cce target/ci-cache-warm.cce
 
 echo "== registered metric names documented in DESIGN.md §7 =="
 cargo run --release -q -p cce-core --bin cce -- stats | awk '{print $1}' | while read -r name; do

@@ -216,9 +216,119 @@ fn bench_optimizer_writes_pinned_artifact() {
         "\"matches_reference\":true",
         "\"division_hash\":\"49bc0a2a57dccd29\"",
         "\"multi_restart\":",
+        // Model-cache leg: the warm pass must be all exact-key hits that
+        // reproduce the cold images, and the cold "go" search lands on
+        // the same pinned division as the top-level search.
+        "\"model_cache\":",
+        "\"cold_sources\":[\"cold miss\",\"warm miss\",\"warm miss\"]",
+        "\"warm_hits\":3",
+        "\"warm_matches_cold\":true",
+        "\"cold_division_hash\":\"49bc0a2a57dccd29\"",
+        "\"warm_speedup\":",
     ] {
         assert!(json.contains(needle), "missing {needle} in:\n{json}");
     }
+    // JSON artifacts are text files; POSIX tooling expects the final
+    // newline the reporter once dropped.
+    assert!(json.ends_with('\n'), "artifact must end with a newline");
+    assert!(!json[..json.len() - 1].contains('\n'), "artifact is a single JSON line");
+}
+
+#[test]
+fn gen_writes_deterministic_workload_elf() {
+    let dir = temp_dir("gen");
+    let first = dir.join("a.elf");
+    let second = dir.join("b.elf");
+    let reseeded = dir.join("c.elf");
+
+    let output =
+        cce(&["gen", "go", "--scale", "0.05", "--seed", "9", "-o", first.to_str().expect("utf8")]);
+    assert!(output.status.success(), "{}", String::from_utf8_lossy(&output.stderr));
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("`go`"), "{stdout}");
+
+    let output =
+        cce(&["gen", "go", "--scale", "0.05", "--seed", "9", "-o", second.to_str().expect("utf8")]);
+    assert!(output.status.success());
+    // Same profile/scale/seed → byte-identical ELF; a new seed diverges.
+    let first_bytes = std::fs::read(&first).expect("readable");
+    assert_eq!(first_bytes, std::fs::read(&second).expect("readable"));
+    let output = cce(&[
+        "gen",
+        "go",
+        "--scale",
+        "0.05",
+        "--seed",
+        "10",
+        "-o",
+        reseeded.to_str().expect("utf8"),
+    ]);
+    assert!(output.status.success());
+    assert_ne!(first_bytes, std::fs::read(&reseeded).expect("readable"));
+
+    let parsed = ElfImage::parse(&first_bytes).expect("valid ELF");
+    assert!(parsed.text().expect("has text").len() >= 256);
+
+    let output = cce(&["gen", "nonesuch", "-o", first.to_str().expect("utf8")]);
+    assert!(!output.status.success());
+}
+
+#[test]
+fn compress_model_cache_hits_across_processes() {
+    let dir = temp_dir("model-cache");
+    let cache = dir.join("cache");
+    let elf = dir.join("prog.elf");
+    let cold_out = dir.join("cold.cce");
+    let warm_out = dir.join("warm.cce");
+
+    let output = cce(&["gen", "compress", "--scale", "0.05", "-o", elf.to_str().expect("utf8")]);
+    assert!(output.status.success(), "{}", String::from_utf8_lossy(&output.stderr));
+
+    // First run trains cold and persists the model.
+    let output = cce(&[
+        "compress",
+        elf.to_str().expect("utf8"),
+        "--model-cache",
+        cache.to_str().expect("utf8"),
+        "-o",
+        cold_out.to_str().expect("utf8"),
+    ]);
+    assert!(output.status.success(), "{}", String::from_utf8_lossy(&output.stderr));
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("model cache: cold miss"), "{stdout}");
+    assert!(stdout.contains("division "), "{stdout}");
+
+    // Second run is a fresh process: the in-memory cache is gone, so the
+    // persisted record must satisfy the request from disk — and the
+    // artifact must be byte-identical.
+    let output = cce(&[
+        "compress",
+        elf.to_str().expect("utf8"),
+        "--model-cache",
+        cache.to_str().expect("utf8"),
+        "-o",
+        warm_out.to_str().expect("utf8"),
+    ]);
+    assert!(output.status.success(), "{}", String::from_utf8_lossy(&output.stderr));
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("model cache: disk hit"), "{stdout}");
+    assert_eq!(
+        std::fs::read(&cold_out).expect("readable"),
+        std::fs::read(&warm_out).expect("readable")
+    );
+
+    // The cache is SAMC-only: other algorithms must refuse it.
+    let output = cce(&[
+        "compress",
+        elf.to_str().expect("utf8"),
+        "-a",
+        "huffman",
+        "--model-cache",
+        cache.to_str().expect("utf8"),
+        "-o",
+        cold_out.to_str().expect("utf8"),
+    ]);
+    assert!(!output.status.success());
 }
 
 #[test]

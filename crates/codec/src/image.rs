@@ -9,17 +9,6 @@ const MAGIC: &[u8; 4] = b"CIMG";
 const VERSION: u16 = 1;
 /// Name used for errors raised by image (de)serialization itself.
 const SELF: &str = "block image";
-/// Largest nominal block size [`BlockImage::from_bytes`] accepts (1 MiB).
-///
-/// Cache-block codecs use 16–1024 byte blocks; a deserialized image
-/// claiming more is corrupt, and bounding it caps how much output a
-/// tampered per-block length can demand from a zero-filling decoder.
-const MAX_BLOCK_SIZE: usize = 1 << 20;
-/// Allowance above the nominal block size for a single block's
-/// uncompressed length: instruction-aligned codecs (x86 SADC) overshoot
-/// the nominal size by up to one instruction, and the final partial block
-/// may be anything below it.
-const BLOCK_SLACK: usize = 64;
 
 /// A compressed program divided into independently decompressible blocks.
 ///
@@ -41,6 +30,21 @@ pub struct BlockImage {
 }
 
 impl BlockImage {
+    /// Largest nominal block size any deserializer accepts (1 MiB).
+    ///
+    /// Cache-block codecs use 16–1024 byte blocks; a deserialized image
+    /// claiming more is corrupt, and bounding it caps how much output a
+    /// tampered per-block length can demand from a zero-filling decoder.
+    /// Container parsers share this cap so every serialized surface
+    /// enforces the same budget.
+    pub const MAX_BLOCK_SIZE: usize = 1 << 20;
+
+    /// Allowance above the nominal block size for a single block's
+    /// uncompressed length: instruction-aligned codecs (x86 SADC)
+    /// overshoot the nominal size by up to one instruction, and the final
+    /// partial block may be anything below it.
+    pub const BLOCK_SLACK: usize = 64;
+
     /// Assembles an image from compressed blocks.
     ///
     /// `block_uncompressed[i]` is the uncompressed byte length block `i`
@@ -174,7 +178,7 @@ impl BlockImage {
             return Err(CodecError::corrupt(SELF, format!("unsupported version {version}")));
         }
         let block_size = cursor.read_u32_be()? as usize;
-        if block_size > MAX_BLOCK_SIZE {
+        if block_size > Self::MAX_BLOCK_SIZE {
             return Err(CodecError::corrupt(SELF, "block size exceeds limit"));
         }
         let original_len = cursor.read_u32_be()? as usize;
@@ -192,7 +196,7 @@ impl BlockImage {
         for _ in 0..block_count {
             let uncompressed = cursor.read_u32_be()? as usize;
             let compressed = cursor.read_u32_be()? as usize;
-            if uncompressed > block_size + BLOCK_SLACK {
+            if uncompressed > block_size + Self::BLOCK_SLACK {
                 return Err(CodecError::corrupt(
                     SELF,
                     "block uncompressed length exceeds block size",

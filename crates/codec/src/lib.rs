@@ -56,9 +56,14 @@ mod error;
 mod image;
 pub mod obs;
 mod par;
+pub mod pipeline;
 mod traits;
 
 pub use error::CodecError;
 pub use image::BlockImage;
 pub use par::{compress_parallel, parallel_map, worker_count};
+pub use pipeline::{
+    run_pipeline, BlockSink, BlockSource, Chunker, CompressedBlock, FixedChunker, PipelineConfig,
+    PipelineStats, ReadSource, SliceSource,
+};
 pub use traits::{BlockCodec, FileCodec};

@@ -97,34 +97,52 @@ where
     }
 }
 
+/// A [`BlockSink`](crate::pipeline::BlockSink) accumulating an in-memory
+/// [`BlockImage`] — the landing pad for the buffer-oriented adapter.
+struct ImageSink {
+    blocks: Vec<Vec<u8>>,
+    block_uncompressed: Vec<usize>,
+}
+
+impl crate::pipeline::BlockSink for ImageSink {
+    fn accept(&mut self, block: crate::pipeline::CompressedBlock) -> Result<(), CodecError> {
+        debug_assert_eq!(block.index, self.blocks.len(), "pipeline emits in order");
+        self.block_uncompressed.push(block.uncompressed_len);
+        self.blocks.push(block.data);
+        Ok(())
+    }
+}
+
 /// Compresses `text` with `codec`, fanning blocks across `workers`
 /// threads.
 ///
-/// Produces a [`BlockImage`] byte-identical to the serial
-/// [`BlockCodec::compress`]: the block division comes from the same
-/// [`block_ranges`](BlockCodec::block_ranges) call and results merge in
-/// index order.
+/// A thin adapter over [`run_pipeline`](crate::pipeline::run_pipeline):
+/// the block division comes from the same
+/// [`block_ranges`](BlockCodec::block_ranges) call as the serial path
+/// and the ordered sink collects results in index order, so the
+/// [`BlockImage`] is byte-identical to [`BlockCodec::compress`].
 ///
 /// # Errors
 ///
 /// Propagates chunking failures and the first (by block index) per-chunk
-/// compression failure.
+/// compression failure — the same error the serial path reports.
 pub fn compress_parallel(
     codec: &dyn BlockCodec,
     text: &[u8],
     workers: usize,
 ) -> Result<BlockImage, CodecError> {
     let ranges = codec.block_ranges(text)?;
-    let block_uncompressed: Vec<usize> = ranges.iter().map(std::ops::Range::len).collect();
-    let results =
-        parallel_map(workers, &ranges, |_, range| codec.compress_chunk(&text[range.clone()]));
-    let mut blocks = Vec::with_capacity(results.len());
-    for result in results {
-        blocks.push(result?);
-    }
+    let block_count = ranges.len();
+    let mut source = crate::pipeline::SliceSource::new(text, ranges);
+    let mut sink = ImageSink {
+        blocks: Vec::with_capacity(block_count),
+        block_uncompressed: Vec::with_capacity(block_count),
+    };
+    let config = crate::pipeline::PipelineConfig::with_workers(workers.min(block_count.max(1)));
+    crate::pipeline::run_pipeline(codec, &mut source, &mut sink, &config)?;
     Ok(BlockImage::new(
-        blocks,
-        block_uncompressed,
+        sink.blocks,
+        sink.block_uncompressed,
         codec.block_size(),
         text.len(),
         codec.model_bytes(),

@@ -1,0 +1,854 @@
+//! Bounded-memory ordered block pipeline.
+//!
+//! The buffer-oriented [`compress_parallel`](crate::compress_parallel)
+//! path needs the whole program in memory before the first block is
+//! compressed. This module reshapes that data path into a streaming
+//! pipeline with bounded memory:
+//!
+//! ```text
+//!  BlockSource ──► bounded queue ──► N scoped workers ──► reorder ──► BlockSink
+//!  (producer)      (≤ queue_depth)   (compress_chunk)     window      (in order)
+//! ```
+//!
+//! The calling thread is both the producer and the drainer: it pulls
+//! chunks from the [`BlockSource`], pushes them into a bounded queue
+//! (blocking — and counting a `pipeline.stall` — when the queue is
+//! full), and hands every completed block to the [`BlockSink`] strictly
+//! in input order. Workers park when a result would land more than
+//! `queue_depth` blocks ahead of the sink, so at most
+//! `queue_depth + workers + queue_depth` blocks exist at once no matter
+//! how large the input is.
+//!
+//! Determinism: the sink sees blocks in index order, and on failure the
+//! pipeline reports the error of the *lowest-indexed* failing block —
+//! exactly the error the serial [`BlockCodec::compress`] path would
+//! surface — so streaming, parallel, and serial paths are
+//! interchangeable byte-for-byte and error-for-error.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::ops::Range;
+use std::sync::{Condvar, Mutex};
+
+use crate::error::CodecError;
+use crate::traits::BlockCodec;
+
+/// Error-source name used by pipeline-internal failures.
+const SELF: &str = "pipeline";
+
+/// Size of the reusable read buffer a [`ReadSource`] refills from.
+const READ_BUF_LEN: usize = 64 * 1024;
+
+/// One compressed block leaving the pipeline, tagged with its position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompressedBlock {
+    /// Zero-based position of the block in the input stream.
+    pub index: usize,
+    /// Uncompressed length of the chunk this block encodes.
+    pub uncompressed_len: usize,
+    /// The compressed bytes.
+    pub data: Vec<u8>,
+}
+
+/// Produces the uncompressed chunks the pipeline compresses.
+///
+/// Sources are pulled on the calling thread, one chunk at a time, so a
+/// file-backed source never needs more than one chunk (plus its read
+/// buffer) in memory.
+pub trait BlockSource {
+    /// Returns the next uncompressed chunk, or `None` at end of input.
+    ///
+    /// # Errors
+    ///
+    /// Returns the source's failure (I/O mapped to
+    /// [`CodecError::Corrupt`], chunking to [`CodecError::Train`]); the
+    /// pipeline stops producing and surfaces it.
+    fn next_block(&mut self) -> Result<Option<Vec<u8>>, CodecError>;
+}
+
+/// Receives compressed blocks strictly in input order.
+pub trait BlockSink {
+    /// Accepts the next in-order compressed block.
+    ///
+    /// # Errors
+    ///
+    /// A sink failure (e.g. a full disk) aborts the pipeline and is
+    /// surfaced to the caller ahead of any codec error.
+    fn accept(&mut self, block: CompressedBlock) -> Result<(), CodecError>;
+}
+
+/// Incrementally finds block boundaries in a byte stream.
+///
+/// A chunker sees a growing prefix window of the stream and reports how
+/// long the next block is, or that it needs more bytes. It must produce
+/// the same boundaries as the codec's
+/// [`block_ranges`](BlockCodec::block_ranges) on the full buffer — the
+/// differential tests hold streaming and in-memory paths to byte
+/// equality.
+pub trait Chunker {
+    /// Returns the length of the block at the start of `buf`, or `None`
+    /// when more bytes are needed (`eof == false`) or the stream is
+    /// exhausted (`eof == true` and `buf` is empty).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::Train`] when the bytes cannot form a block
+    /// (e.g. an undecodable instruction for an instruction-aligned
+    /// codec).
+    fn next_boundary(&mut self, buf: &[u8], eof: bool) -> Result<Option<usize>, CodecError>;
+}
+
+impl<C: Chunker + ?Sized> Chunker for Box<C> {
+    fn next_boundary(&mut self, buf: &[u8], eof: bool) -> Result<Option<usize>, CodecError> {
+        (**self).next_boundary(buf, eof)
+    }
+}
+
+/// The default chunker: fixed-size blocks with a partial tail, matching
+/// the default [`BlockCodec::block_ranges`] division exactly.
+#[derive(Debug, Clone, Copy)]
+pub struct FixedChunker {
+    size: usize,
+}
+
+impl FixedChunker {
+    /// A chunker cutting `size`-byte blocks (`size` must be positive).
+    pub fn new(size: usize) -> Self {
+        assert!(size > 0, "block size must be positive");
+        Self { size }
+    }
+}
+
+impl Chunker for FixedChunker {
+    fn next_boundary(&mut self, buf: &[u8], eof: bool) -> Result<Option<usize>, CodecError> {
+        if buf.len() >= self.size {
+            Ok(Some(self.size))
+        } else if eof && !buf.is_empty() {
+            Ok(Some(buf.len()))
+        } else {
+            Ok(None)
+        }
+    }
+}
+
+/// Pipeline tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineConfig {
+    /// Number of compression workers (1 runs inline on the caller).
+    pub workers: usize,
+    /// Bound on queued uncompressed blocks and on how far workers may
+    /// run ahead of the sink. Defaults to `2 × workers`.
+    pub queue_depth: usize,
+    /// Round-trip every block inside the worker (compress, decompress,
+    /// compare) so a streaming caller that never rereads the input still
+    /// gets the harness's verification guarantee.
+    pub verify: bool,
+}
+
+impl PipelineConfig {
+    /// A config for `workers` threads with the default `2 × workers`
+    /// queue depth and verification off.
+    pub fn with_workers(workers: usize) -> Self {
+        let workers = workers.max(1);
+        Self { workers, queue_depth: workers * 2, verify: false }
+    }
+
+    /// Enables in-worker round-trip verification.
+    #[must_use]
+    pub fn verified(mut self) -> Self {
+        self.verify = true;
+        self
+    }
+}
+
+/// What a pipeline run did, for throughput artifacts and assertions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// Blocks pushed through the pipeline.
+    pub blocks: u64,
+    /// Uncompressed bytes consumed from the source.
+    pub bytes_in: u64,
+    /// Compressed bytes handed to the sink.
+    pub bytes_out: u64,
+    /// High-water mark of the bounded input queue.
+    pub peak_queue: usize,
+    /// Times the producer blocked on a full queue.
+    pub stalls: u64,
+}
+
+/// A [`BlockSource`] over an in-memory buffer and precomputed ranges —
+/// the bridge that lets [`compress_parallel`](crate::compress_parallel)
+/// reuse the streaming pipeline unchanged.
+pub struct SliceSource<'a> {
+    text: &'a [u8],
+    ranges: std::vec::IntoIter<Range<usize>>,
+}
+
+impl<'a> SliceSource<'a> {
+    /// Wraps `text` and the ranges produced by
+    /// [`BlockCodec::block_ranges`] over it.
+    pub fn new(text: &'a [u8], ranges: Vec<Range<usize>>) -> Self {
+        Self { text, ranges: ranges.into_iter() }
+    }
+}
+
+impl BlockSource for SliceSource<'_> {
+    fn next_block(&mut self) -> Result<Option<Vec<u8>>, CodecError> {
+        Ok(self.ranges.next().map(|range| self.text[range].to_vec()))
+    }
+}
+
+/// A [`BlockSource`] over any [`std::io::Read`], cutting blocks with a
+/// [`Chunker`] through one reusable read buffer.
+pub struct ReadSource<R, C> {
+    reader: R,
+    chunker: C,
+    /// Bytes read but not yet released as blocks.
+    carry: Vec<u8>,
+    /// The reusable refill buffer (allocated once).
+    buf: Vec<u8>,
+    eof: bool,
+}
+
+impl<R: std::io::Read, C: Chunker> ReadSource<R, C> {
+    /// Streams blocks from `reader`, cutting them with `chunker`.
+    pub fn new(reader: R, chunker: C) -> Self {
+        Self { reader, chunker, carry: Vec::new(), buf: vec![0; READ_BUF_LEN], eof: false }
+    }
+}
+
+impl<R: std::io::Read, C: Chunker> BlockSource for ReadSource<R, C> {
+    fn next_block(&mut self) -> Result<Option<Vec<u8>>, CodecError> {
+        loop {
+            if let Some(len) = self.chunker.next_boundary(&self.carry, self.eof)? {
+                debug_assert!(len > 0 && len <= self.carry.len(), "chunker boundary in range");
+                let rest = self.carry.split_off(len);
+                return Ok(Some(std::mem::replace(&mut self.carry, rest)));
+            }
+            if self.eof {
+                return if self.carry.is_empty() {
+                    Ok(None)
+                } else {
+                    Err(CodecError::corrupt(SELF, "chunker left trailing bytes at end of stream"))
+                };
+            }
+            let n = self
+                .reader
+                .read(&mut self.buf)
+                .map_err(|e| CodecError::corrupt(SELF, format!("read failed: {e}")))?;
+            if n == 0 {
+                self.eof = true;
+            } else {
+                self.carry.extend_from_slice(&self.buf[..n]);
+            }
+        }
+    }
+}
+
+/// Everything the producer, workers, and drainer coordinate through.
+struct State {
+    /// Uncompressed blocks awaiting a worker (bounded by `queue_depth`).
+    inq: VecDeque<(usize, Vec<u8>)>,
+    /// No more blocks will be produced.
+    closed: bool,
+    /// Abandon all work (sink failure) — workers drop everything.
+    abort: bool,
+    /// Lowest-indexed failure seen so far.
+    error: Option<(usize, CodecError)>,
+    /// Completed blocks waiting for their turn at the sink.
+    pending: BTreeMap<usize, CompressedBlock>,
+    /// Next index the sink expects.
+    next_emit: usize,
+    /// Blocks popped from `inq` but not yet completed.
+    in_flight: usize,
+}
+
+impl State {
+    fn record_error(&mut self, index: usize, error: CodecError) {
+        if self.error.as_ref().is_none_or(|(held, _)| index < *held) {
+            self.error = Some((index, error));
+        }
+    }
+
+    /// Pops the contiguous run of completed blocks starting at
+    /// `next_emit`.
+    fn take_ready(&mut self) -> Vec<CompressedBlock> {
+        let mut out = Vec::new();
+        while let Some(block) = self.pending.remove(&self.next_emit) {
+            self.next_emit += 1;
+            out.push(block);
+        }
+        out
+    }
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Workers wait here for queued blocks.
+    work_cv: Condvar,
+    /// The producer/drainer waits here for queue space or ready output.
+    main_cv: Condvar,
+    /// Workers wait here for the reorder window to open.
+    out_cv: Condvar,
+    queue_depth: usize,
+}
+
+/// Runs `source → workers(codec) → sink` with bounded memory.
+///
+/// Blocks reach `sink` strictly in input order. With
+/// `config.workers <= 1` everything runs inline on the calling thread;
+/// otherwise `workers` scoped threads compress concurrently behind a
+/// queue bounded at `config.queue_depth`.
+///
+/// # Errors
+///
+/// Surfaces, in priority order: the sink's failure, then the
+/// lowest-indexed source/compression/verification failure — the same
+/// error the serial [`BlockCodec::compress`] path reports.
+pub fn run_pipeline(
+    codec: &dyn BlockCodec,
+    source: &mut dyn BlockSource,
+    sink: &mut dyn BlockSink,
+    config: &PipelineConfig,
+) -> Result<PipelineStats, CodecError> {
+    if config.workers <= 1 {
+        return run_serial(codec, source, sink, config.verify);
+    }
+    run_threaded(codec, source, sink, config)
+}
+
+/// The inline path: pull, compress, emit, in order, on one thread.
+fn run_serial(
+    codec: &dyn BlockCodec,
+    source: &mut dyn BlockSource,
+    sink: &mut dyn BlockSink,
+    verify: bool,
+) -> Result<PipelineStats, CodecError> {
+    let mut stats = PipelineStats::default();
+    let mut index = 0;
+    while let Some(chunk) = source.next_block()? {
+        note_input(&mut stats, chunk.len());
+        let data = compress_block(codec, &chunk, verify)?;
+        stats.bytes_out += data.len() as u64;
+        sink.accept(CompressedBlock { index, uncompressed_len: chunk.len(), data })?;
+        index += 1;
+    }
+    Ok(stats)
+}
+
+fn run_threaded(
+    codec: &dyn BlockCodec,
+    source: &mut dyn BlockSource,
+    sink: &mut dyn BlockSink,
+    config: &PipelineConfig,
+) -> Result<PipelineStats, CodecError> {
+    let queue_depth = config.queue_depth.max(1);
+    let shared = Shared {
+        state: Mutex::new(State {
+            inq: VecDeque::with_capacity(queue_depth),
+            closed: false,
+            abort: false,
+            error: None,
+            pending: BTreeMap::new(),
+            next_emit: 0,
+            in_flight: 0,
+        }),
+        work_cv: Condvar::new(),
+        main_cv: Condvar::new(),
+        out_cv: Condvar::new(),
+        queue_depth,
+    };
+    let mut stats = PipelineStats::default();
+    let mut sink_error = None;
+    std::thread::scope(|scope| {
+        for _ in 0..config.workers {
+            scope.spawn(|| worker(&shared, codec, config.verify));
+        }
+        produce(&shared, source, sink, &mut stats, &mut sink_error);
+        close_and_drain(&shared, sink, &mut stats, &mut sink_error);
+    });
+    if let Some(error) = sink_error {
+        return Err(error);
+    }
+    let state = shared.state.into_inner().expect("pipeline lock poisoned");
+    match state.error {
+        Some((_, error)) => Err(error),
+        None => Ok(stats),
+    }
+}
+
+/// Producer half of the calling thread: pulls from the source and pushes
+/// into the bounded queue, draining ready output whenever it would
+/// otherwise block.
+fn produce(
+    shared: &Shared,
+    source: &mut dyn BlockSource,
+    sink: &mut dyn BlockSink,
+    stats: &mut PipelineStats,
+    sink_error: &mut Option<CodecError>,
+) {
+    let mut produced = 0usize;
+    loop {
+        let chunk = match source.next_block() {
+            Ok(Some(chunk)) => chunk,
+            Ok(None) => return,
+            Err(error) => {
+                // The source failed mid-stream: everything before this
+                // index was produced, so min-index error selection still
+                // matches the serial path.
+                shared.state.lock().expect("pipeline lock poisoned").record_error(produced, error);
+                // Workers parked on the reorder window re-check the
+                // error flag only when woken.
+                shared.out_cv.notify_all();
+                return;
+            }
+        };
+        note_input(stats, chunk.len());
+        let mut state = shared.state.lock().expect("pipeline lock poisoned");
+        loop {
+            let ready = state.take_ready();
+            if !ready.is_empty() {
+                drop(state);
+                if !emit(sink, ready, stats, sink_error) {
+                    set_abort(shared);
+                    return;
+                }
+                shared.out_cv.notify_all();
+                state = shared.state.lock().expect("pipeline lock poisoned");
+                continue;
+            }
+            if state.error.is_some() {
+                // A block already failed; nothing produced after it can
+                // change the surfaced (lowest-index) error.
+                return;
+            }
+            if state.inq.len() < shared.queue_depth {
+                state.inq.push_back((produced, chunk));
+                let depth = state.inq.len();
+                stats.peak_queue = stats.peak_queue.max(depth);
+                crate::obs::PIPELINE_QUEUE_DEPTH.set_max(depth as u64);
+                drop(state);
+                shared.work_cv.notify_one();
+                produced += 1;
+                break;
+            }
+            stats.stalls += 1;
+            crate::obs::PIPELINE_STALL.incr();
+            state = shared.main_cv.wait(state).expect("pipeline lock poisoned");
+        }
+    }
+}
+
+/// Drainer half of the calling thread: closes the queue, then keeps the
+/// sink fed until every in-flight block has landed.
+fn close_and_drain(
+    shared: &Shared,
+    sink: &mut dyn BlockSink,
+    stats: &mut PipelineStats,
+    sink_error: &mut Option<CodecError>,
+) {
+    {
+        let mut state = shared.state.lock().expect("pipeline lock poisoned");
+        state.closed = true;
+        if sink_error.is_some() {
+            state.abort = true;
+            state.inq.clear();
+        }
+    }
+    shared.work_cv.notify_all();
+    shared.out_cv.notify_all();
+    let mut state = shared.state.lock().expect("pipeline lock poisoned");
+    loop {
+        if sink_error.is_none() {
+            let ready = state.take_ready();
+            if !ready.is_empty() {
+                drop(state);
+                if !emit(sink, ready, stats, sink_error) {
+                    set_abort(shared);
+                    state = shared.state.lock().expect("pipeline lock poisoned");
+                    continue;
+                }
+                shared.out_cv.notify_all();
+                state = shared.state.lock().expect("pipeline lock poisoned");
+                continue;
+            }
+        }
+        if state.inq.is_empty() && state.in_flight == 0 {
+            return;
+        }
+        state = shared.main_cv.wait(state).expect("pipeline lock poisoned");
+    }
+}
+
+/// Feeds a contiguous run of blocks to the sink, accumulating stats.
+/// Returns `false` on the first sink failure.
+fn emit(
+    sink: &mut dyn BlockSink,
+    ready: Vec<CompressedBlock>,
+    stats: &mut PipelineStats,
+    sink_error: &mut Option<CodecError>,
+) -> bool {
+    for block in ready {
+        stats.bytes_out += block.data.len() as u64;
+        if let Err(error) = sink.accept(block) {
+            *sink_error = Some(error);
+            return false;
+        }
+    }
+    true
+}
+
+/// Marks the run aborted (sink failure) and frees every waiter.
+fn set_abort(shared: &Shared) {
+    let mut state = shared.state.lock().expect("pipeline lock poisoned");
+    state.abort = true;
+    state.inq.clear();
+    drop(state);
+    shared.work_cv.notify_all();
+    shared.out_cv.notify_all();
+}
+
+/// Worker loop: pop a block, compress (and optionally verify) it, park
+/// until the reorder window admits the result, hand it to the drainer.
+///
+/// After a failure is recorded, workers keep compressing blocks already
+/// in the queue — a lower-indexed block may fail too, and the pipeline
+/// must surface the lowest-indexed error to match the serial path — but
+/// drop successful results instead of waiting on a window that will
+/// never advance.
+fn worker(shared: &Shared, codec: &dyn BlockCodec, verify: bool) {
+    loop {
+        let (index, chunk) = {
+            let mut state = shared.state.lock().expect("pipeline lock poisoned");
+            loop {
+                if let Some(item) = state.inq.pop_front() {
+                    state.in_flight += 1;
+                    drop(state);
+                    shared.main_cv.notify_all();
+                    break item;
+                }
+                if state.closed {
+                    return;
+                }
+                state = shared.work_cv.wait(state).expect("pipeline lock poisoned");
+            }
+        };
+        let result = compress_block(codec, &chunk, verify);
+        let failed = result.is_err();
+        let mut state = shared.state.lock().expect("pipeline lock poisoned");
+        match result {
+            Err(error) => state.record_error(index, error),
+            Ok(data) => {
+                while !state.abort
+                    && state.error.is_none()
+                    && index >= state.next_emit + shared.queue_depth
+                {
+                    state = shared.out_cv.wait(state).expect("pipeline lock poisoned");
+                }
+                if !state.abort && state.error.is_none() {
+                    let block = CompressedBlock { index, uncompressed_len: chunk.len(), data };
+                    state.pending.insert(index, block);
+                }
+            }
+        }
+        state.in_flight -= 1;
+        drop(state);
+        shared.main_cv.notify_all();
+        if failed {
+            // The errored block is a permanent hole in `pending`, so
+            // `next_emit` will never advance past it: wake any worker
+            // parked on the reorder window so it re-checks the error
+            // flag instead of sleeping forever.
+            shared.out_cv.notify_all();
+        }
+    }
+}
+
+/// Compresses one chunk, optionally proving the round trip inside the
+/// worker (the streaming path never holds the whole input to verify
+/// against afterwards).
+fn compress_block(
+    codec: &dyn BlockCodec,
+    chunk: &[u8],
+    verify: bool,
+) -> Result<Vec<u8>, CodecError> {
+    let data = codec.compress_chunk(chunk)?;
+    if verify {
+        let back = codec.decompress_block(&data, chunk.len())?;
+        if back != chunk {
+            return Err(CodecError::round_trip(codec.name()));
+        }
+    }
+    Ok(data)
+}
+
+/// Counts one consumed chunk in local stats and the global metrics.
+fn note_input(stats: &mut PipelineStats, len: usize) {
+    stats.blocks += 1;
+    stats.bytes_in += len as u64;
+    crate::obs::PIPELINE_BLOCKS.incr();
+    crate::obs::PIPELINE_BYTES.add(len as u64);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Verbatim {
+        block_size: usize,
+    }
+
+    impl BlockCodec for Verbatim {
+        fn name(&self) -> &'static str {
+            "verbatim"
+        }
+        fn block_size(&self) -> usize {
+            self.block_size
+        }
+        fn model_bytes(&self) -> usize {
+            0
+        }
+        fn to_bytes(&self) -> Vec<u8> {
+            Vec::new()
+        }
+        fn compress_chunk(&self, chunk: &[u8]) -> Result<Vec<u8>, CodecError> {
+            if chunk.contains(&0xEE) {
+                return Err(CodecError::train("verbatim", "poison byte"));
+            }
+            Ok(chunk.to_vec())
+        }
+        fn decompress_block(&self, block: &[u8], _out_len: usize) -> Result<Vec<u8>, CodecError> {
+            Ok(block.to_vec())
+        }
+    }
+
+    /// Collects blocks and asserts they arrive strictly in order.
+    #[derive(Default)]
+    struct OrderedSink {
+        blocks: Vec<CompressedBlock>,
+    }
+
+    impl BlockSink for OrderedSink {
+        fn accept(&mut self, block: CompressedBlock) -> Result<(), CodecError> {
+            assert_eq!(block.index, self.blocks.len(), "blocks must arrive in order");
+            self.blocks.push(block);
+            Ok(())
+        }
+    }
+
+    fn source_over(text: &[u8], codec: &dyn BlockCodec) -> SliceSource<'static> {
+        // Leak a copy for 'static convenience in tests only.
+        let text: &'static [u8] = Box::leak(text.to_vec().into_boxed_slice());
+        SliceSource::new(text, codec.block_ranges(text).unwrap())
+    }
+
+    #[test]
+    fn pipeline_matches_serial_for_any_worker_count() {
+        let codec = Verbatim { block_size: 16 };
+        // Stay below the 0xEE poison byte the test codec rejects.
+        let text: Vec<u8> = (0u8..=200).cycle().take(5000).collect();
+        for workers in [1, 2, 3, 8] {
+            let mut sink = OrderedSink::default();
+            let mut source = source_over(&text, &codec);
+            let config = PipelineConfig::with_workers(workers);
+            let stats = run_pipeline(&codec, &mut source, &mut sink, &config).unwrap();
+            assert_eq!(stats.blocks, 5000_u64.div_ceil(16));
+            assert_eq!(stats.bytes_in, 5000);
+            assert_eq!(stats.bytes_out, 5000);
+            assert!(stats.peak_queue <= config.queue_depth);
+            let joined: Vec<u8> = sink.blocks.iter().flat_map(|b| b.data.iter().copied()).collect();
+            assert_eq!(joined, text);
+        }
+    }
+
+    #[test]
+    fn pipeline_surfaces_lowest_index_error() {
+        let codec = Verbatim { block_size: 4 };
+        // Poison two blocks; the lower-indexed one must win at any
+        // worker count, matching what serial compression reports.
+        let mut text = vec![1u8; 400];
+        text[101] = 0xEE; // block 25
+        text[41] = 0xEE; // block 10
+        let serial_err = BlockCodec::compress(&codec, &text).unwrap_err();
+        for workers in [1, 2, 8] {
+            let mut sink = OrderedSink::default();
+            let mut source = source_over(&text, &codec);
+            let config = PipelineConfig::with_workers(workers);
+            let err = run_pipeline(&codec, &mut source, &mut sink, &config).unwrap_err();
+            assert_eq!(err.to_string(), serial_err.to_string());
+        }
+    }
+
+    /// Regression: a block error must wake workers parked on the
+    /// reorder window. The failing block is a permanent hole in
+    /// `pending`, so `next_emit` never advances past it; before the
+    /// `out_cv` wakeup on the error path, a worker parked beyond the
+    /// window slept forever and the drainer deadlocked on its
+    /// `in_flight` count.
+    ///
+    /// The poison sits near the *end* of the stream: an early error is
+    /// rescued by `close_and_drain`'s one-time `out_cv` notify, so the
+    /// deadlock only reproduces when the error lands after close —
+    /// producer done, the healthy worker parked past the window, and
+    /// the slow poison block still in flight.
+    #[test]
+    fn an_errored_block_frees_workers_parked_on_the_reorder_window() {
+        struct SlowPoison {
+            block_size: usize,
+        }
+        impl BlockCodec for SlowPoison {
+            fn name(&self) -> &'static str {
+                "slow-poison"
+            }
+            fn block_size(&self) -> usize {
+                self.block_size
+            }
+            fn model_bytes(&self) -> usize {
+                0
+            }
+            fn to_bytes(&self) -> Vec<u8> {
+                Vec::new()
+            }
+            fn compress_chunk(&self, chunk: &[u8]) -> Result<Vec<u8>, CodecError> {
+                if chunk.contains(&0xEE) {
+                    // Stall the failure long enough for the other
+                    // worker to run past the reorder window and park.
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                    return Err(CodecError::train("slow-poison", "poison byte"));
+                }
+                Ok(chunk.to_vec())
+            }
+            fn decompress_block(
+                &self,
+                block: &[u8],
+                _out_len: usize,
+            ) -> Result<Vec<u8>, CodecError> {
+                Ok(block.to_vec())
+            }
+        }
+        let codec = SlowPoison { block_size: 4 };
+        // 64 blocks; block 58 fails. The five blocks after it let the
+        // healthy worker run `queue_depth` past the stuck `next_emit`
+        // and park, while the producer reaches end-of-source before the
+        // 2ms poison stall expires.
+        let mut text = vec![1u8; 256];
+        text[58 * 4] = 0xEE;
+        for _ in 0..50 {
+            let mut sink = OrderedSink::default();
+            let mut source = source_over(&text, &codec);
+            let config = PipelineConfig::with_workers(2);
+            let err = run_pipeline(&codec, &mut source, &mut sink, &config).unwrap_err();
+            assert!(err.to_string().contains("poison byte"), "unexpected error: {err}");
+            assert!(
+                sink.blocks.iter().all(|b| b.index < 58),
+                "nothing may reach the sink past the failed block"
+            );
+        }
+    }
+
+    #[test]
+    fn verify_catches_a_lying_codec() {
+        struct Liar;
+        impl BlockCodec for Liar {
+            fn name(&self) -> &'static str {
+                "liar"
+            }
+            fn block_size(&self) -> usize {
+                8
+            }
+            fn model_bytes(&self) -> usize {
+                0
+            }
+            fn to_bytes(&self) -> Vec<u8> {
+                Vec::new()
+            }
+            fn compress_chunk(&self, chunk: &[u8]) -> Result<Vec<u8>, CodecError> {
+                Ok(chunk.to_vec())
+            }
+            fn decompress_block(
+                &self,
+                block: &[u8],
+                _out_len: usize,
+            ) -> Result<Vec<u8>, CodecError> {
+                let mut out = block.to_vec();
+                if let Some(b) = out.first_mut() {
+                    *b ^= 1;
+                }
+                Ok(out)
+            }
+        }
+        let codec = Liar;
+        let text = vec![7u8; 64];
+        let ranges = codec.block_ranges(&text).unwrap();
+        let mut source = SliceSource::new(&text, ranges);
+        let mut sink = OrderedSink::default();
+        let config = PipelineConfig::with_workers(2).verified();
+        let err = run_pipeline(&codec, &mut source, &mut sink, &config).unwrap_err();
+        assert!(matches!(err, CodecError::RoundTrip { .. }));
+    }
+
+    #[test]
+    fn sink_errors_take_priority() {
+        struct FailingSink;
+        impl BlockSink for FailingSink {
+            fn accept(&mut self, _block: CompressedBlock) -> Result<(), CodecError> {
+                Err(CodecError::corrupt("sink", "disk full"))
+            }
+        }
+        let codec = Verbatim { block_size: 4 };
+        let text = vec![1u8; 256];
+        for workers in [1, 4] {
+            let mut source = source_over(&text, &codec);
+            let config = PipelineConfig::with_workers(workers);
+            let err = run_pipeline(&codec, &mut source, &mut FailingSink, &config).unwrap_err();
+            assert_eq!(err.to_string(), "sink: corrupt data: disk full");
+        }
+    }
+
+    #[test]
+    fn read_source_cuts_the_same_blocks_as_block_ranges() {
+        let codec = Verbatim { block_size: 32 };
+        let text: Vec<u8> = (0u8..=254).cycle().take(1000).collect();
+        let mut source = ReadSource::new(&text[..], FixedChunker::new(codec.block_size()));
+        let mut streamed = Vec::new();
+        while let Some(chunk) = source.next_block().unwrap() {
+            streamed.push(chunk);
+        }
+        let expected: Vec<Vec<u8>> = codec
+            .block_ranges(&text)
+            .unwrap()
+            .into_iter()
+            .map(|range| text[range].to_vec())
+            .collect();
+        assert_eq!(streamed, expected);
+    }
+
+    #[test]
+    fn read_source_handles_empty_input() {
+        let mut source = ReadSource::new(&[][..], FixedChunker::new(8));
+        assert_eq!(source.next_block().unwrap(), None);
+        assert_eq!(source.next_block().unwrap(), None);
+    }
+
+    #[test]
+    fn queue_depth_bounds_are_respected_under_slow_sink() {
+        struct SlowSink {
+            seen: usize,
+        }
+        impl BlockSink for SlowSink {
+            fn accept(&mut self, block: CompressedBlock) -> Result<(), CodecError> {
+                assert_eq!(block.index, self.seen);
+                self.seen += 1;
+                std::thread::sleep(std::time::Duration::from_micros(200));
+                Ok(())
+            }
+        }
+        let codec = Verbatim { block_size: 8 };
+        let text = vec![3u8; 4096];
+        let mut source = source_over(&text, &codec);
+        let config = PipelineConfig::with_workers(4);
+        let mut sink = SlowSink { seen: 0 };
+        let stats = run_pipeline(&codec, &mut source, &mut sink, &config).unwrap();
+        assert_eq!(sink.seen as u64, stats.blocks);
+        assert!(stats.peak_queue <= config.queue_depth);
+    }
+}

@@ -56,6 +56,19 @@ pub trait BlockCodec: Send + Sync {
         Ok(ranges)
     }
 
+    /// An incremental chunker producing the same block boundaries as
+    /// [`block_ranges`](Self::block_ranges), for sources that never hold
+    /// the whole text.
+    ///
+    /// The default cuts fixed [`block_size`](Self::block_size) chunks
+    /// with a partial tail, mirroring the default `block_ranges`.
+    /// Codecs that override `block_ranges` (instruction-aligned x86
+    /// SADC) must override this too, or streaming and in-memory paths
+    /// would divide the text differently.
+    fn chunker(&self) -> Box<dyn crate::pipeline::Chunker + '_> {
+        Box::new(crate::pipeline::FixedChunker::new(self.block_size()))
+    }
+
     /// Compresses one uncompressed chunk into one compressed block.
     ///
     /// # Errors

@@ -2,14 +2,24 @@
 //!
 //! ```text
 //! cce ratio [-b BLOCK] [--json] [--metrics M.json] <input.elf>
+//! cce ratio --elf <input.elf> [...]          # streaming path + section stats
 //! cce compress [-a ALGO] [-b BLOCK] [--model-cache DIR] <input.elf> -o <out.cce>
+//! cce compress --elf <input.elf> [...] -o <out.cce>  # verbose streaming form
 //! cce decompress <in.cce> -o <out.elf>       # rebuild a minimal ELF
 //! cce info <in.cce>                          # inspect a compressed artifact
 //! cce bench [--scale F] [--seed S] [--metrics M.json]  # fixed-seed suite run
-//! cce gen <profile> [--scale F] [--seed S] -o <out.elf>  # synthesize a workload
+//! cce gen <profile> [--scale F] [--seed S] [--multi-section] -o <out.elf>
 //! cce stats [input.elf]                      # metric registry / live counters
 //! cce fuzz --algo <name|all> --cases N --seed S  # adversarial decode fuzzing
 //! ```
+//!
+//! `compress` always streams: the text section flows from the ELF
+//! through the bounded block pipeline ([`cce_core::streaming`]) into an
+//! incrementally written, indexed **v2** container, so peak memory is
+//! the pipeline's reorder window — not the text size.  `decompress` and
+//! `info` accept both container versions (v1 artifacts from older
+//! builds keep decoding).  The `--elf` spelling of `compress`/`ratio`
+//! additionally prints per-section statistics of the input.
 //!
 //! `--model-cache DIR` points SAMC at a persistent model store
 //! ([`cce_core::samc::store`]): repeat requests reuse the trained model
@@ -23,12 +33,12 @@
 //! measurement harness uses, so any random-access algorithm the registry
 //! knows is a valid container payload.
 
-use cce_core::codec::{compress_parallel, worker_count, BlockImage};
-use cce_core::container::Container;
-use cce_core::elf::{ElfImage, Machine};
+use cce_core::codec::{compress_parallel, worker_count, BlockCodec, BlockImage};
+use cce_core::container::{container_version, Container, ContainerV2Reader};
+use cce_core::elf::{ElfImage, ElfStream, Machine};
 use cce_core::fuzz::FuzzConfig;
 use cce_core::isa::Isa;
-use cce_core::{measure, report, Algorithm};
+use cce_core::{measure, report, streaming, Algorithm};
 use std::error::Error;
 use std::process::ExitCode;
 
@@ -70,9 +80,12 @@ fn print_usage() {
     println!("USAGE:");
     println!("  cce ratio [-b N] [--json] [--metrics M.json] [--model-cache DIR] <input.elf>");
     println!("                                                compare all algorithms");
+    println!("  cce ratio --elf <input.elf> [...]             same, streaming + section stats");
     println!(
         "  cce compress [-a samc|sadc|huffman] [-b N] [--model-cache DIR] <in.elf> -o <out.cce>"
     );
+    println!("  cce compress --elf <in.elf> [...] -o <out.cce>");
+    println!("                                                streaming form w/ section stats");
     println!("  cce decompress <in.cce> -o <out.elf>");
     println!("  cce info <in.cce>");
     println!(
@@ -83,7 +96,9 @@ fn print_usage() {
     println!(
         "                                                SAMC optimizer + model-cache micro-bench"
     );
-    println!("  cce gen <profile> [--scale F] [--seed S] [--isa mips|x86] -o <out.elf>");
+    println!(
+        "  cce gen <profile> [--scale F] [--seed S] [--isa mips|x86] [--multi-section] -o <out.elf>"
+    );
     println!("                                                synthesize a SPEC95-like workload");
     println!("  cce stats                                     list registered metrics");
     println!("  cce stats [--metrics M.json] <input.elf>      measure and dump counters");
@@ -106,6 +121,8 @@ struct Flags<'a> {
     optimizer: bool,
     model_cache: Option<&'a str>,
     isa: Option<&'a str>,
+    elf: Option<&'a str>,
+    multi_section: bool,
 }
 
 /// Parses `-o out` plus positional arguments.
@@ -123,6 +140,8 @@ fn split_flags(args: &[String]) -> Result<Flags<'_>, String> {
     let mut optimizer = false;
     let mut model_cache = None;
     let mut isa = None;
+    let mut elf = None;
+    let mut multi_section = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -198,6 +217,14 @@ fn split_flags(args: &[String]) -> Result<Flags<'_>, String> {
                 isa = Some(args.get(i + 1).ok_or("missing value after --isa")?.as_str());
                 i += 2;
             }
+            "--elf" => {
+                elf = Some(args.get(i + 1).ok_or("missing value after --elf")?.as_str());
+                i += 2;
+            }
+            "--multi-section" => {
+                multi_section = true;
+                i += 1;
+            }
             other => {
                 positional.push(other);
                 i += 1;
@@ -217,6 +244,8 @@ fn split_flags(args: &[String]) -> Result<Flags<'_>, String> {
         optimizer,
         model_cache,
         isa,
+        elf,
+        multi_section,
     })
 }
 
@@ -250,6 +279,11 @@ fn cache_request(
     (base, optimize)
 }
 
+/// Buffered ELF load for the measurement-only commands (`ratio` in its
+/// positional form, `stats`, `analyze`, `disasm`): diagnostics want the
+/// whole text resident anyway, so the whole-file read is the honest
+/// cost.  Compression never comes through here — it streams section
+/// bytes through [`streaming::compress_elf`] instead.
 fn load_elf(path: &str) -> Result<(ElfImage, Isa), Box<dyn Error>> {
     let bytes = std::fs::read(path)?;
     let image = ElfImage::parse(&bytes)?;
@@ -296,6 +330,12 @@ fn measure_cached(
 
 fn ratio(args: &[String]) -> Result<(), Box<dyn Error>> {
     let flags = split_flags(args)?;
+    if let Some(path) = flags.elf {
+        if !flags.positional.is_empty() {
+            return Err("pass the input either positionally or via --elf, not both".into());
+        }
+        return ratio_elf(path, &flags);
+    }
     let [path] = flags.positional.as_slice() else {
         return Err(
             "usage: cce ratio [-b N] [--json] [--metrics M.json] [--model-cache DIR] <input.elf>"
@@ -332,6 +372,60 @@ fn ratio(args: &[String]) -> Result<(), Box<dyn Error>> {
         }
     }
     write_metrics(flags.metrics, "ratio")
+}
+
+/// `cce ratio --elf`: the streaming measurement path.  Section stats
+/// come from the walker's header pass; each block algorithm is then
+/// measured by streaming the text through the pipeline (training still
+/// buffers the section once — see [`streaming::measure_elf`]).
+fn ratio_elf(path: &str, flags: &Flags) -> Result<(), Box<dyn Error>> {
+    let file = std::fs::File::open(path)?;
+    let mut elf =
+        ElfStream::open(std::io::BufReader::new(file)).map_err(streaming::stream_error)?;
+    let workers = worker_count();
+
+    if flags.json {
+        let mut measurements = Vec::new();
+        for algorithm in Algorithm::ALL {
+            match streaming::measure_elf(&mut elf, algorithm, flags.block_size, workers) {
+                Ok(m) => measurements.push(m),
+                Err(e) => eprintln!("cce: {algorithm} failed: {e}"),
+            }
+        }
+        println!("{}", report::measurements_json(&measurements));
+        return write_metrics(flags.metrics, "ratio");
+    }
+
+    print_section_stats(path, &streaming::section_stats(&elf));
+    println!("{:<10} {:>12} {:>8}", "algorithm", "compressed", "ratio");
+    for algorithm in Algorithm::ALL {
+        match streaming::measure_elf(&mut elf, algorithm, flags.block_size, workers) {
+            Ok(m) => println!(
+                "{:<10} {:>12} {:>8.3}",
+                algorithm.to_string(),
+                m.compressed_len(),
+                m.ratio()
+            ),
+            Err(e) => println!("{:<10} failed: {e}", algorithm.to_string()),
+        }
+    }
+    write_metrics(flags.metrics, "ratio")
+}
+
+/// Renders the per-section table the `--elf` forms print.
+fn print_section_stats(path: &str, stats: &[streaming::SectionStat]) {
+    println!("{path}: sections");
+    println!("  {:<12} {:>10} {:>12}  notes", "name", "size", "addr");
+    for s in stats {
+        let mut notes = Vec::new();
+        if s.is_text {
+            notes.push("text (compressed)");
+        }
+        if !s.in_file {
+            notes.push("nobits");
+        }
+        println!("  {:<12} {:>10} {:>#12x}  {}", s.name, s.size, s.addr, notes.join(", "));
+    }
 }
 
 /// Writes the metrics artifact for `command` if `--metrics` was given.
@@ -442,7 +536,84 @@ fn bench(args: &[String]) -> Result<(), Box<dyn Error>> {
             comp_report.slowdown_vs(&base_report)
         );
     }
+    bench_pipeline(flags.seed, flags.json)?;
     write_metrics(flags.metrics, "bench")
+}
+
+/// `cce bench` pipeline leg: streams a fixed multi-megabyte synthetic
+/// ELF through the bounded block pipeline into a discarded sink and
+/// writes `BENCH_pipeline.json`.  The workload is independent of
+/// `--scale` so artifacts are comparable across runs, and the codec is
+/// ByteHuffman — training is a byte histogram, so the leg times the
+/// pipeline itself rather than model search.
+fn bench_pipeline(seed: u64, json: bool) -> Result<(), Box<dyn Error>> {
+    use cce_core::elf::{Class, Endianness};
+    use cce_core::isa::mips::encode_text;
+    use cce_core::workload::{generate_mips_seeded, Spec95};
+    use std::io::Cursor;
+    use std::time::Instant;
+
+    // ~4.3 MB of MIPS text: big enough that bounded memory matters,
+    // small enough that the smoke run stays interactive.
+    const PROFILE: &str = "go";
+    const WORKLOAD_SCALE: f64 = 64.0;
+    const BLOCK_SIZE: usize = 32;
+    let profile = Spec95::by_name(PROFILE).expect("profile is in the suite");
+    let text = encode_text(&generate_mips_seeded(profile, WORKLOAD_SCALE, seed));
+    let elf_bytes =
+        ElfImage::new_executable(Machine::Mips, Class::Elf32, Endianness::Big, text).to_bytes();
+    let mut elf = ElfStream::open(Cursor::new(&elf_bytes)).map_err(streaming::stream_error)?;
+
+    let algorithm = Algorithm::ByteHuffman;
+    let training = streaming::buffered_text(&mut elf)?;
+    let handle = algorithm.build(Isa::Mips, BLOCK_SIZE).train(&training)?;
+    drop(training);
+    let codec = handle.as_block().expect("huffman is random-access");
+    let workers = worker_count();
+
+    let start = Instant::now();
+    let report = streaming::compress_elf(&mut elf, algorithm, codec, std::io::sink(), workers)?;
+    let ms = start.elapsed().as_secs_f64() * 1e3;
+    let stats = report.stats;
+    let mb_per_s = (stats.bytes_in as f64 / (1024.0 * 1024.0)) / (ms / 1e3).max(1e-9);
+    let queue_limit = 2 * workers;
+
+    let artifact = format!(
+        concat!(
+            "{{\"version\":1,\"benchmark\":\"pipeline\",",
+            "\"workload\":{{\"profile\":\"{profile}\",\"scale\":{scale},\"seed\":{seed},\"text_bytes\":{text_bytes}}},",
+            "\"algorithm\":\"{algorithm}\",\"block_size\":{block_size},\"workers\":{workers},",
+            "\"blocks\":{blocks},\"bytes_in\":{bytes_in},\"bytes_out\":{bytes_out},",
+            "\"peak_queue\":{peak_queue},\"queue_limit\":{queue_limit},\"stalls\":{stalls},",
+            "\"ms\":{ms:.3},\"mb_per_s\":{mb_per_s:.2},\"ratio\":{ratio:.6}}}"
+        ),
+        profile = PROFILE,
+        scale = WORKLOAD_SCALE,
+        seed = seed,
+        text_bytes = stats.bytes_in,
+        algorithm = algorithm,
+        block_size = BLOCK_SIZE,
+        workers = workers,
+        blocks = stats.blocks,
+        bytes_in = stats.bytes_in,
+        bytes_out = stats.bytes_out,
+        peak_queue = stats.peak_queue,
+        queue_limit = queue_limit,
+        stalls = stats.stalls,
+        ms = ms,
+        mb_per_s = mb_per_s,
+        ratio = report.summary.ratio(),
+    );
+    std::fs::write("BENCH_pipeline.json", terminated(artifact))?;
+    if !json {
+        println!(
+            "pipeline ({PROFILE} at scale {WORKLOAD_SCALE}): {} bytes in {} blocks, \
+             {mb_per_s:.1} MB/s over {workers} workers (peak queue {}/{queue_limit}, {} stalls)",
+            stats.bytes_in, stats.blocks, stats.peak_queue, stats.stalls
+        );
+        println!("  wrote BENCH_pipeline.json");
+    }
+    Ok(())
 }
 
 /// `cce bench --optimizer`: times the pre-kernel reference search against
@@ -664,18 +835,23 @@ fn stats(args: &[String]) -> Result<(), Box<dyn Error>> {
 }
 
 fn compress(args: &[String]) -> Result<(), Box<dyn Error>> {
-    let Flags { positional, output, algorithm, block_size, model_cache, .. } = split_flags(args)?;
-    let [path] = positional.as_slice() else {
-        return Err(
-            "usage: cce compress [-a samc|sadc|huffman] [-b N] [--model-cache DIR] <in.elf> -o <out.cce>"
-                .into(),
-        );
+    let flags = split_flags(args)?;
+    let path = match (flags.positional.as_slice(), flags.elf) {
+        ([path], None) => *path,
+        ([], Some(path)) => path,
+        _ => {
+            return Err("usage: cce compress [-a samc|sadc|huffman] [-b N] [--model-cache DIR] \
+                 [--metrics M.json] <in.elf> -o <out.cce>"
+                .into())
+        }
     };
-    let output = output.ok_or("missing -o <out.cce>")?;
-    let (elf, isa) = load_elf(path)?;
-    let text = elf.text().ok_or("no .text section")?.to_vec();
+    let output = flags.output.ok_or("missing -o <out.cce>")?;
+    let file = std::fs::File::open(path)?;
+    let mut elf =
+        ElfStream::open(std::io::BufReader::new(file)).map_err(streaming::stream_error)?;
+    let isa = streaming::isa_of(&elf)?;
 
-    let name = algorithm.unwrap_or("samc");
+    let name = flags.algorithm.unwrap_or("samc");
     let algorithm = Algorithm::by_name(name)
         .ok_or_else(|| format!("unknown algorithm `{name}` (samc|sadc|huffman)"))?;
     if !algorithm.random_access() {
@@ -684,13 +860,18 @@ fn compress(args: &[String]) -> Result<(), Box<dyn Error>> {
         )
         .into());
     }
-    let codec: Box<dyn cce_core::codec::BlockCodec> = match model_cache {
+
+    // Training pass: model builders need full-text statistics, so the
+    // section is buffered exactly once and dropped before the streaming
+    // compression pass re-reads it block by block.
+    let text = streaming::buffered_text(&mut elf)?;
+    let codec: Box<dyn BlockCodec> = match flags.model_cache {
         Some(dir) => {
             if algorithm != Algorithm::Samc {
                 return Err(format!("--model-cache caches SAMC models, not `{algorithm}`").into());
             }
             let mut trainer = open_model_cache(dir)?;
-            let (config, optimize) = cache_request(isa, block_size);
+            let (config, optimize) = cache_request(isa, flags.block_size);
             let outcome = trainer.train(&text, &config, &optimize)?;
             println!(
                 "model cache: {} (key {}, division {:016x})",
@@ -701,7 +882,7 @@ fn compress(args: &[String]) -> Result<(), Box<dyn Error>> {
             Box::new(outcome.codec)
         }
         None => {
-            let handle = algorithm.build(isa, block_size).train(&text)?;
+            let handle = algorithm.build(isa, flags.block_size).train(&text)?;
             match handle {
                 cce_core::CodecHandle::Block(codec) => codec,
                 cce_core::CodecHandle::File(_) => {
@@ -710,32 +891,47 @@ fn compress(args: &[String]) -> Result<(), Box<dyn Error>> {
             }
         }
     };
+    drop(text);
     let codec = codec.as_ref();
-    let image = compress_parallel(codec, &text, worker_count())?;
-    if codec.decompress(&image)? != text {
-        return Err("internal error: round trip failed".into());
+
+    if flags.elf.is_some() {
+        print_section_stats(path, &streaming::section_stats(&elf));
     }
-    let codec_bytes = codec.to_bytes();
-    let image_bytes = image.to_bytes();
-    let out = Container {
-        algorithm,
-        isa,
-        class: elf.class,
-        endianness: elf.endianness,
-        entry: elf.entry,
-        codec_bytes: &codec_bytes,
-        image_bytes: &image_bytes,
-    }
-    .to_bytes();
-    std::fs::write(output, &out)?;
+
+    // Stream into a sibling temp file and rename on success, so a failed
+    // run never leaves a truncated artifact at the destination.
+    let tmp = format!("{output}.tmp");
+    let workers = worker_count();
+    let result = std::fs::File::create(&tmp).map_err(Box::<dyn Error>::from).and_then(|out| {
+        let out = std::io::BufWriter::new(out);
+        Ok(streaming::compress_elf(&mut elf, algorithm, codec, out, workers)?)
+    });
+    let report = match result {
+        Ok(report) => report,
+        Err(e) => {
+            std::fs::remove_file(&tmp).ok();
+            return Err(e);
+        }
+    };
+    std::fs::rename(&tmp, output)?;
+
+    let summary = report.summary;
     println!(
         "{path}: {} -> {} bytes (text ratio {:.3}, artifact {} bytes)",
-        text.len(),
-        codec_bytes.len() + image_bytes.len(),
-        image.ratio(),
-        out.len()
+        summary.original_len,
+        summary.compressed_len(),
+        summary.ratio(),
+        summary.total_len
     );
-    Ok(())
+    println!(
+        "  pipeline: {} blocks, peak queue {} (limit {}), {} stalls, {} workers",
+        report.stats.blocks,
+        report.stats.peak_queue,
+        2 * workers,
+        report.stats.stalls,
+        workers
+    );
+    write_metrics(flags.metrics, "compress")
 }
 
 fn decompress(args: &[String]) -> Result<(), Box<dyn Error>> {
@@ -744,14 +940,35 @@ fn decompress(args: &[String]) -> Result<(), Box<dyn Error>> {
         return Err("usage: cce decompress <in.cce> -o <out.elf>".into());
     };
     let output = output.ok_or("missing -o <out.elf>")?;
-    let bytes = std::fs::read(path)?;
-    let Container { algorithm, isa, class, endianness, entry, codec_bytes, image_bytes } =
-        Container::parse(&bytes)?;
 
-    let image = BlockImage::from_bytes(image_bytes)?;
-    let handle = algorithm.build(isa, image.block_size()).codec_from_bytes(codec_bytes)?;
-    let codec = handle.as_block().expect("container tags are random-access");
-    let text = codec.decompress(&image)?;
+    // Both container versions decode: v2 through the indexed streaming
+    // reader, v1 (artifacts from older builds) through the monolithic
+    // block image.  Unknown magic falls to the v1 parser for its typed
+    // "bad magic" diagnostic.
+    let (isa, class, endianness, entry, text) = match sniff_version(path)? {
+        Some(2) => {
+            let file = std::fs::File::open(path)?;
+            let mut reader = ContainerV2Reader::open(std::io::BufReader::new(file))?;
+            let identity = reader.identity();
+            let codec_bytes = reader.codec_bytes().to_vec();
+            let handle = identity
+                .algorithm
+                .build(identity.isa, reader.block_size())
+                .codec_from_bytes(&codec_bytes)?;
+            let codec = handle.as_block().expect("container tags are random-access");
+            let text = reader.decode_text(codec)?;
+            (identity.isa, identity.class, identity.endianness, identity.entry, text)
+        }
+        _ => {
+            let bytes = std::fs::read(path)?;
+            let Container { algorithm, isa, class, endianness, entry, codec_bytes, image_bytes } =
+                Container::parse(&bytes)?;
+            let image = BlockImage::from_bytes(image_bytes)?;
+            let handle = algorithm.build(isa, image.block_size()).codec_from_bytes(codec_bytes)?;
+            let codec = handle.as_block().expect("container tags are random-access");
+            (isa, class, endianness, entry, codec.decompress(&image)?)
+        }
+    };
 
     let machine = match isa {
         Isa::Mips => Machine::Mips,
@@ -765,6 +982,18 @@ fn decompress(args: &[String]) -> Result<(), Box<dyn Error>> {
         elf.text().expect("text").len()
     );
     Ok(())
+}
+
+/// Reads just the 4-byte magic of `path` and maps it through
+/// [`container_version`]; `None` means unknown magic (or a file shorter
+/// than a magic), which callers route to the v1 parser for its error.
+fn sniff_version(path: &str) -> Result<Option<u8>, Box<dyn Error>> {
+    use std::io::Read;
+    let mut magic = [0u8; 4];
+    match std::fs::File::open(path)?.read_exact(&mut magic) {
+        Ok(()) => Ok(container_version(&magic)),
+        Err(_) => Ok(None),
+    }
 }
 
 fn analyze(args: &[String]) -> Result<(), Box<dyn Error>> {
@@ -829,11 +1058,40 @@ fn info(args: &[String]) -> Result<(), Box<dyn Error>> {
     let [path] = flags.positional.as_slice() else {
         return Err("usage: cce info <in.cce>".into());
     };
+    if sniff_version(path)? == Some(2) {
+        let file = std::fs::File::open(path)?;
+        let reader = ContainerV2Reader::open(std::io::BufReader::new(file))?;
+        let identity = reader.identity();
+        let summary = reader.summary();
+        println!("{path}:");
+        println!("  container:  v2 (streamed, indexed)");
+        println!("  codec:      {}", identity.algorithm);
+        println!(
+            "  isa:        {} ({:?}, {:?}, entry {:#x})",
+            identity.isa, identity.class, identity.endianness, identity.entry
+        );
+        println!("  codec size: {} bytes", reader.codec_bytes().len());
+        println!(
+            "  text:       {} bytes in {} blocks of {}",
+            summary.original_len,
+            summary.blocks,
+            reader.block_size()
+        );
+        println!(
+            "  compressed: {} bytes (ratio {:.3}, model {} bytes, LAT {} bytes)",
+            summary.compressed_len(),
+            summary.ratio(),
+            summary.model_bytes,
+            summary.lat_bytes()
+        );
+        return Ok(());
+    }
     let bytes = std::fs::read(path)?;
     let Container { algorithm, isa, class, endianness, entry, codec_bytes, image_bytes } =
         Container::parse(&bytes)?;
     let image = BlockImage::from_bytes(image_bytes)?;
     println!("{path}:");
+    println!("  container:  v1 (monolithic image)");
     println!("  codec:      {algorithm}");
     println!("  isa:        {isa} ({class:?}, {endianness:?}, entry {entry:#x})");
     println!("  codec size: {} bytes", codec_bytes.len());
@@ -861,10 +1119,12 @@ fn gen(args: &[String]) -> Result<(), Box<dyn Error>> {
     use cce_core::isa::mips::encode_text;
     use cce_core::workload::{generate_mips_seeded, generate_x86_seeded, Spec95};
 
-    let Flags { positional, output, scale, seed, isa, .. } = split_flags(args)?;
+    let Flags { positional, output, scale, seed, isa, multi_section, .. } = split_flags(args)?;
     let [name] = positional.as_slice() else {
         return Err(
-            "usage: cce gen <profile> [--scale F] [--seed S] [--isa mips|x86] -o <out.elf>".into(),
+            "usage: cce gen <profile> [--scale F] [--seed S] [--isa mips|x86] [--multi-section] \
+             -o <out.elf>"
+                .into(),
         );
     };
     let output = output.ok_or("missing -o <out.elf>")?;
@@ -883,13 +1143,56 @@ fn gen(args: &[String]) -> Result<(), Box<dyn Error>> {
         ),
         Isa::X86 => (Machine::I386, Endianness::Little, generate_x86_seeded(profile, scale, seed)),
     };
-    let elf = ElfImage::new_executable(machine, Class::Elf32, endianness, text);
+    let mut elf = ElfImage::new_executable(machine, Class::Elf32, endianness, text);
+    if multi_section {
+        push_workload_sections(&mut elf, seed);
+    }
     std::fs::write(output, elf.to_bytes())?;
     println!(
         "{output}: {} bytes of {isa} `{name}` text at scale {scale} (seed {seed})",
         elf.text().expect("text").len()
     );
+    if multi_section {
+        println!("{output}: {} sections (multi-section workload)", elf.sections.len());
+    }
     Ok(())
+}
+
+/// `--multi-section`: surrounds the text with deterministic `.rodata`
+/// and `.bss` sections, so streaming-path fixtures exercise section
+/// selection rather than a single-section fast path.  The `.rodata`
+/// bytes come from a seeded xorshift, making the whole file a pure
+/// function of (profile, scale, seed).
+fn push_workload_sections(elf: &mut ElfImage, seed: u64) {
+    use cce_core::elf::{Section, SectionKind};
+    let text_len = elf.text().expect("text").len() as u64;
+    let base = elf.entry;
+    let rodata_len = (text_len / 4).max(64);
+    let mut state = seed ^ 0x9e37_79b9_7f4a_7c15;
+    let rodata: Vec<u8> = (0..rodata_len)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state as u8
+        })
+        .collect();
+    elf.sections.push(Section {
+        name: ".rodata".to_owned(),
+        kind: SectionKind::ProgBits,
+        flags: 0x2, // SHF_ALLOC
+        addr: base + text_len,
+        data: rodata,
+        nobits_size: 0,
+    });
+    elf.sections.push(Section {
+        name: ".bss".to_owned(),
+        kind: SectionKind::NoBits,
+        flags: 0x2 | 0x1, // SHF_ALLOC | SHF_WRITE
+        addr: base + text_len + rodata_len,
+        data: Vec::new(),
+        nobits_size: 4096,
+    });
 }
 
 fn fuzz(args: &[String]) -> Result<(), Box<dyn Error>> {

@@ -12,7 +12,9 @@
 //!   then a full decode cross-checked *differentially* against per-block
 //!   random access;
 //! * **`.cce` container bytes** — [`Container::parse`] plus both payload
-//!   parsers and a decode;
+//!   parsers and a decode; the streamed v2 layout gets its own target
+//!   ([`ContainerV2Reader::open`] and a block-by-block decode), putting
+//!   the offset index and footer in the mutation surface;
 //! * **program text** — the *differential* compress path: serial
 //!   [`BlockCodec::compress`] vs [`compress_parallel`] must agree
 //!   byte-for-byte (or fail identically), and whatever compresses must
@@ -36,8 +38,9 @@
 //! thousand maximal blocks still add up; the budget keeps every fuzz
 //! case O(golden size).
 
-use crate::container::Container;
+use crate::container::{Container, ContainerIdentity, ContainerV2Reader, ContainerWriter};
 use crate::registry::{Algorithm, CodecBuilder};
+use cce_codec::pipeline::{BlockSink, CompressedBlock};
 use cce_codec::{compress_parallel, BlockCodec, BlockImage, CodecError};
 use cce_fuzz::{fuzz_target, Artifact};
 pub use cce_fuzz::{Failure, FailureKind, FuzzConfig, FuzzReport, FuzzTarget, Outcome};
@@ -233,6 +236,60 @@ impl FuzzTarget for ContainerTarget {
             None => return Outcome::Violation("container accepted a non-block codec".into()),
         };
         match codec.decompress(&image) {
+            Ok(_) => Outcome::Decoded,
+            Err(e) => Outcome::Rejected(e),
+        }
+    }
+}
+
+/// Mutates a whole v2 (streamed, indexed) `.cce` container: header,
+/// codec model, index trailer, and footer all sit in the mutation
+/// surface, and whatever [`ContainerV2Reader::open`] accepts must decode
+/// block by block without panic or blowup.
+struct ContainerV2Target {
+    label: String,
+    container_bytes: Vec<u8>,
+    codec_len: usize,
+    budget: usize,
+}
+
+impl FuzzTarget for ContainerV2Target {
+    fn name(&self) -> String {
+        format!("{}/container-v2", self.label)
+    }
+
+    fn artifact(&self) -> Artifact {
+        // Header fields, codec model, block data, index trailer, footer.
+        let len = self.container_bytes.len();
+        Artifact::with_boundaries(
+            "container v2",
+            self.container_bytes.clone(),
+            vec![4, 16, 20, 24, 28, 28 + self.codec_len, len - 28, len - 4],
+        )
+    }
+
+    fn run(&self, bytes: &[u8]) -> Outcome {
+        let mut reader = match ContainerV2Reader::open(std::io::Cursor::new(bytes)) {
+            Ok(reader) => reader,
+            Err(e) => return Outcome::Rejected(e),
+        };
+        if reader.original_len() > self.budget as u64 {
+            return Outcome::Rejected(over_budget());
+        }
+        // The mutated tag byte may redirect to another algorithm; build
+        // the codec from the *container's* claimed identity, like the
+        // CLI does.
+        let identity = reader.identity();
+        let builder = identity.algorithm.build(identity.isa, reader.block_size());
+        let handle = match builder.codec_from_bytes(reader.codec_bytes()) {
+            Ok(handle) => handle,
+            Err(e) => return Outcome::Rejected(e),
+        };
+        let codec = match handle.as_block() {
+            Some(codec) => codec,
+            None => return Outcome::Violation("container accepted a non-block codec".into()),
+        };
+        match reader.decode_text(codec) {
             Ok(_) => Outcome::Decoded,
             Err(e) => Outcome::Rejected(e),
         }
@@ -444,6 +501,33 @@ fn block_targets_for(
         image_bytes: &image_bytes,
     }
     .to_bytes();
+    // The same golden payload repackaged as a streamed v2 container.
+    let identity = ContainerIdentity {
+        algorithm,
+        isa,
+        class: cce_elf::Class::Elf32,
+        endianness: cce_elf::Endianness::Big,
+        entry: 0x40_0000,
+    };
+    let mut v2_bytes = Vec::new();
+    let mut writer = ContainerWriter::new(
+        &mut v2_bytes,
+        identity,
+        codec.block_size(),
+        codec.model_bytes(),
+        &codec_bytes,
+    )
+    .expect("golden v2 header");
+    for index in 0..golden_image.block_count() {
+        writer
+            .accept(CompressedBlock {
+                index,
+                uncompressed_len: golden_image.block_uncompressed_len(index),
+                data: golden_image.block(index).to_vec(),
+            })
+            .expect("golden v2 block");
+    }
+    writer.finish().expect("golden v2 trailer");
 
     vec![
         Box::new(CodecBytesTarget {
@@ -466,14 +550,21 @@ fn block_targets_for(
             codec_len: codec_bytes.len(),
             budget,
         }),
+        Box::new(ContainerV2Target {
+            label: label.to_string(),
+            container_bytes: v2_bytes,
+            codec_len: codec_bytes.len(),
+            budget,
+        }),
         Box::new(TextDifferentialTarget { label: label.to_string(), codec, text }),
     ]
 }
 
 /// All fuzz targets for `algorithm`.
 ///
-/// Block algorithms get four targets (codec model, block image,
-/// container, differential text); SAMC additionally gets the model-store
+/// Block algorithms get five targets (codec model, block image, v1
+/// container, v2 streamed container, differential text); SAMC
+/// additionally gets the model-store
 /// record target, and SADC the x86 codec and image targets since its two
 /// ISA variants are distinct decoders.  File algorithms get a
 /// mutated-stream target and a round-trip text target.
@@ -545,9 +636,9 @@ mod tests {
     fn every_algorithm_has_targets() {
         assert_eq!(targets(Algorithm::UnixCompress).len(), 2);
         assert_eq!(targets(Algorithm::Gzip).len(), 2);
-        assert_eq!(targets(Algorithm::ByteHuffman).len(), 4);
-        assert_eq!(targets(Algorithm::Samc).len(), 5);
-        assert_eq!(targets(Algorithm::Sadc).len(), 8);
+        assert_eq!(targets(Algorithm::ByteHuffman).len(), 5);
+        assert_eq!(targets(Algorithm::Samc).len(), 6);
+        assert_eq!(targets(Algorithm::Sadc).len(), 10);
     }
 
     #[test]

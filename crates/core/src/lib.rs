@@ -49,6 +49,7 @@ pub mod obs;
 pub mod registry;
 pub mod report;
 pub mod stats;
+pub mod streaming;
 
 pub use cce_arith as arith;
 pub use cce_bitstream as bitstream;

@@ -33,7 +33,9 @@
 
 mod image;
 mod read;
+mod stream;
 mod write;
 
 pub use image::{Class, ElfImage, Endianness, Machine, Section, SectionKind};
 pub use read::ParseElfError;
+pub use stream::{ElfStream, SectionBlocks, SectionInfo, SectionReader, StreamElfError};

@@ -50,39 +50,40 @@ impl From<cce_bitstream::EndOfStreamError> for ParseElfError {
     }
 }
 
-/// Endianness- and class-aware field reader.
-struct FieldReader<'a> {
-    cursor: ByteCursor<'a>,
-    endianness: Endianness,
-    class: Class,
+/// Endianness- and class-aware field reader (shared with the streaming
+/// walker in `stream.rs`).
+pub(crate) struct FieldReader<'a> {
+    pub(crate) cursor: ByteCursor<'a>,
+    pub(crate) endianness: Endianness,
+    pub(crate) class: Class,
 }
 
 impl<'a> FieldReader<'a> {
-    fn u16(&mut self) -> Result<u16, ParseElfError> {
+    pub(crate) fn u16(&mut self) -> Result<u16, ParseElfError> {
         Ok(match self.endianness {
             Endianness::Little => self.cursor.read_u16_le()?,
             Endianness::Big => self.cursor.read_u16_be()?,
         })
     }
-    fn u32(&mut self) -> Result<u32, ParseElfError> {
+    pub(crate) fn u32(&mut self) -> Result<u32, ParseElfError> {
         Ok(match self.endianness {
             Endianness::Little => self.cursor.read_u32_le()?,
             Endianness::Big => self.cursor.read_u32_be()?,
         })
     }
-    fn u64(&mut self) -> Result<u64, ParseElfError> {
+    pub(crate) fn u64(&mut self) -> Result<u64, ParseElfError> {
         Ok(match self.endianness {
             Endianness::Little => self.cursor.read_u64_le()?,
             Endianness::Big => self.cursor.read_u64_be()?,
         })
     }
-    fn addr(&mut self) -> Result<u64, ParseElfError> {
+    pub(crate) fn addr(&mut self) -> Result<u64, ParseElfError> {
         match self.class {
             Class::Elf32 => Ok(u64::from(self.u32()?)),
             Class::Elf64 => self.u64(),
         }
     }
-    fn seek(&mut self, offset: u64) -> Result<(), ParseElfError> {
+    pub(crate) fn seek(&mut self, offset: u64) -> Result<(), ParseElfError> {
         self.cursor
             .seek(usize::try_from(offset).map_err(|_| ParseElfError::Truncated)?)
             .map_err(|_| ParseElfError::Truncated)
@@ -201,7 +202,7 @@ fn slice_file(bytes: &[u8], offset: u64, size: u64) -> Result<&[u8], ParseElfErr
     bytes.get(start..end).ok_or(ParseElfError::Truncated)
 }
 
-fn read_name(strtab: &[u8], offset: u32) -> Option<String> {
+pub(crate) fn read_name(strtab: &[u8], offset: u32) -> Option<String> {
     let start = usize::try_from(offset).ok()?;
     let rest = strtab.get(start..)?;
     let end = rest.iter().position(|&b| b == 0)?;

@@ -24,6 +24,68 @@ metrics_file="target/ci-metrics.json"
 cargo run --release -q -p cce-core --bin cce -- bench --scale 0.05 --metrics "$metrics_file"
 python3 -m json.tool "$metrics_file" > /dev/null   # artifact must be valid JSON
 grep -q '"obs_enabled":true' "$metrics_file"       # default build records metrics
+# The bench pipeline leg writes its own artifact; it must be valid JSON
+# whose peak queue depth respects the pipeline's bounded-memory contract.
+python3 - <<'EOF'
+import json
+with open("BENCH_pipeline.json") as f:
+    bench = json.load(f)
+assert bench["benchmark"] == "pipeline", bench
+assert bench["blocks"] > 0 and bench["bytes_in"] >= 4 * 1024 * 1024, bench
+assert bench["mb_per_s"] > 0, bench
+assert bench["peak_queue"] <= bench["queue_limit"] == 2 * bench["workers"], bench
+EOF
+
+echo "== pipeline smoke (stream-compress a multi-MB ELF, decode to equality) =="
+# A ~4.2 MB generated workload goes through `compress --elf` (streaming,
+# bounded queue) and back through `decompress`; the rebuilt ELF's .text
+# must be byte-identical, and the recorded peak queue depth must stay
+# within the 2x-workers bound the pipeline promises.
+pipe_workers=4
+pipe_elf="target/ci-pipeline.elf"
+pipe_cce="target/ci-pipeline.cce"
+pipe_out="target/ci-pipeline-out.elf"
+pipe_metrics="target/ci-pipeline-metrics.json"
+cargo run --release -q -p cce-core --bin cce -- gen go --scale 64 --seed 7 --multi-section -o "$pipe_elf"
+CCE_WORKERS="$pipe_workers" cargo run --release -q -p cce-core --bin cce -- \
+    compress --elf "$pipe_elf" -a huffman -o "$pipe_cce" --metrics "$pipe_metrics"
+cargo run --release -q -p cce-core --bin cce -- decompress "$pipe_cce" -o "$pipe_out"
+python3 - "$pipe_elf" "$pipe_out" "$pipe_metrics" "$pipe_workers" <<'EOF'
+import json, struct, sys
+
+def text_section(path):
+    with open(path, "rb") as f:
+        data = f.read()
+    assert data[:4] == b"\x7fELF", path
+    big = data[5] == 2
+    fmt = ">" if big else "<"
+    shoff = struct.unpack_from(fmt + "I", data, 0x20)[0]
+    shentsize, shnum, shstrndx = struct.unpack_from(fmt + "HHH", data, 0x2E)
+    def section(i):
+        base = shoff + i * shentsize
+        name, kind = struct.unpack_from(fmt + "II", data, base)
+        offset, size = struct.unpack_from(fmt + "II", data, base + 0x10)
+        return name, kind, offset, size
+    _, _, stroff, _ = section(shstrndx)
+    for i in range(shnum):
+        name, _, offset, size = section(i)
+        end = data.index(b"\x00", stroff + name)
+        if data[stroff + name:end] == b".text":
+            return data[offset:offset + size]
+    raise AssertionError(f"no .text in {path}")
+
+original, rebuilt, metrics_path, workers = sys.argv[1:5]
+a, b = text_section(original), text_section(rebuilt)
+assert len(a) >= 4 * 1024 * 1024, f"workload too small: {len(a)} bytes"
+assert a == b, "decompressed .text differs from the original"
+with open(metrics_path) as f:
+    # Hit/miss metrics carry hits/misses instead of a scalar value.
+    metrics = {m["name"]: m["value"] for m in json.load(f)["metrics"] if "value" in m}
+assert metrics["pipeline.blocks"] > 0, metrics
+depth = metrics["pipeline.queue.depth"]
+assert depth <= 2 * int(workers), f"peak queue {depth} exceeds 2x{workers} workers"
+print(f"pipeline smoke: {len(a)} .text bytes round-tripped, peak queue {depth}")
+EOF
 
 echo "== optimizer perf smoke (fixed seed, pinned division) =="
 # The incremental stream-division search must stay bit-identical to the

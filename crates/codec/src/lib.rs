@@ -61,7 +61,7 @@ mod traits;
 
 pub use error::CodecError;
 pub use image::BlockImage;
-pub use par::{compress_parallel, parallel_map, worker_count};
+pub use par::{compress_parallel, parallel_map, worker_count, ShardJob, ShardPool};
 pub use pipeline::{
     run_pipeline, BlockSink, BlockSource, Chunker, CompressedBlock, FixedChunker, PipelineConfig,
     PipelineStats, ReadSource, SliceSource,

@@ -10,7 +10,11 @@
 //! cce bench [--scale F] [--seed S] [--metrics M.json]  # fixed-seed suite run
 //! cce gen <profile> [--scale F] [--seed S] [--multi-section] -o <out.elf>
 //! cce stats [input.elf]                      # metric registry / live counters
-//! cce fuzz --algo <name|all> --cases N --seed S  # adversarial decode fuzzing
+//! cce fuzz --algo <name|all|serve> --cases N --seed S  # adversarial decode fuzzing
+//! cce publish <in.cce> -o <dir> [--chunk-size N]  # container -> artifact directory
+//! cce verify <dir>                           # re-hash a published artifact
+//! cce serve <dir> --socket P | --tcp ADDR    # long-lived block-serving daemon
+//! cce fetch --socket P | --tcp ADDR -o <out.elf>  # rebuild an ELF over the wire
 //! ```
 //!
 //! `compress` always streams: the text section flows from the ELF
@@ -26,6 +30,14 @@
 //! outright, and fresh programs warm-start the stream-division search
 //! from a cached division instead of the cold correlation pass.
 //!
+//! `publish` explodes a v2 container into a content-addressed artifact
+//! directory (chunk files + SHA-256 manifest, [`cce_core::artifact`]),
+//! `verify` re-hashes one end to end, `serve` answers block fetch and
+//! decode requests over a Unix or TCP socket until a client sends
+//! `shutdown`, and `fetch` is the reference client: it pulls the
+//! manifest, decodes every block over the wire, and rebuilds the same
+//! minimal ELF `decompress` writes.
+//!
 //! The `.cce` container holds the trained codec (Markov tables or
 //! dictionary+code tables), the block image, and enough ELF identity to
 //! rebuild a loadable executable around the decompressed text section.
@@ -40,6 +52,7 @@ use cce_core::fuzz::FuzzConfig;
 use cce_core::isa::Isa;
 use cce_core::{measure, report, streaming, Algorithm};
 use std::error::Error;
+use std::path::Path;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -66,6 +79,10 @@ fn run(args: &[String]) -> Result<(), Box<dyn Error>> {
         Some("disasm") => disasm(&args[1..]),
         Some("fuzz") => fuzz(&args[1..]),
         Some("gen") => gen(&args[1..]),
+        Some("publish") => publish(&args[1..]),
+        Some("verify") => verify(&args[1..]),
+        Some("serve") => serve(&args[1..]),
+        Some("fetch") => fetch(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             print_usage();
             Ok(())
@@ -104,7 +121,16 @@ fn print_usage() {
     println!("  cce stats [--metrics M.json] <input.elf>      measure and dump counters");
     println!("  cce analyze <input.elf>                       entropy diagnostics");
     println!("  cce disasm <input.elf> [-n COUNT]             disassemble (MIPS only)");
-    println!("  cce fuzz --algo <name|all> --cases N --seed S adversarial decode fuzzing");
+    println!("  cce fuzz --algo <name|all|serve> --cases N --seed S");
+    println!("                                                adversarial decode fuzzing");
+    println!("  cce publish <in.cce> -o <dir> [--chunk-size N]");
+    println!("                                                explode a container into a");
+    println!("                                                content-addressed artifact dir");
+    println!("  cce verify <dir>                              re-hash a published artifact");
+    println!("  cce serve <dir> --socket PATH|--tcp ADDR [--timeout-ms N] [--cache N]");
+    println!("                                                block-serving daemon");
+    println!("  cce fetch --socket PATH|--tcp ADDR -o <out.elf>");
+    println!("                                                rebuild an ELF over the wire");
 }
 
 /// Parsed command-line flags.
@@ -123,6 +149,11 @@ struct Flags<'a> {
     isa: Option<&'a str>,
     elf: Option<&'a str>,
     multi_section: bool,
+    chunk_size: u64,
+    socket: Option<&'a str>,
+    tcp: Option<&'a str>,
+    timeout_ms: u64,
+    cache: usize,
 }
 
 /// Parses `-o out` plus positional arguments.
@@ -142,6 +173,11 @@ fn split_flags(args: &[String]) -> Result<Flags<'_>, String> {
     let mut isa = None;
     let mut elf = None;
     let mut multi_section = false;
+    let mut chunk_size = cce_core::serve::DEFAULT_CHUNK_PAYLOAD;
+    let mut socket = None;
+    let mut tcp = None;
+    let mut timeout_ms = 5000u64;
+    let mut cache = 256usize;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -225,6 +261,38 @@ fn split_flags(args: &[String]) -> Result<Flags<'_>, String> {
                 multi_section = true;
                 i += 1;
             }
+            "--chunk-size" => {
+                chunk_size = args
+                    .get(i + 1)
+                    .ok_or("missing value after --chunk-size")?
+                    .parse()
+                    .map_err(|_| "chunk size must be an integer")?;
+                i += 2;
+            }
+            "--socket" => {
+                socket = Some(args.get(i + 1).ok_or("missing value after --socket")?.as_str());
+                i += 2;
+            }
+            "--tcp" => {
+                tcp = Some(args.get(i + 1).ok_or("missing value after --tcp")?.as_str());
+                i += 2;
+            }
+            "--timeout-ms" => {
+                timeout_ms = args
+                    .get(i + 1)
+                    .ok_or("missing value after --timeout-ms")?
+                    .parse()
+                    .map_err(|_| "timeout must be an integer (milliseconds)")?;
+                i += 2;
+            }
+            "--cache" => {
+                cache = args
+                    .get(i + 1)
+                    .ok_or("missing value after --cache")?
+                    .parse()
+                    .map_err(|_| "cache must be an integer (blocks)")?;
+                i += 2;
+            }
             other => {
                 positional.push(other);
                 i += 1;
@@ -246,6 +314,11 @@ fn split_flags(args: &[String]) -> Result<Flags<'_>, String> {
         isa,
         elf,
         multi_section,
+        chunk_size,
+        socket,
+        tcp,
+        timeout_ms,
+        cache,
     })
 }
 
@@ -1203,6 +1276,7 @@ fn fuzz(args: &[String]) -> Result<(), Box<dyn Error>> {
     let config = FuzzConfig { cases, seed };
     let reports = match algorithm.unwrap_or("all") {
         "all" => cce_core::fuzz::run_all(&config),
+        "serve" => cce_core::fuzz::run_serve(&config),
         name => {
             let algorithm = Algorithm::by_name(name)
                 .ok_or_else(|| format!("unknown algorithm `{name}` (or `all`)"))?;
@@ -1223,5 +1297,121 @@ fn fuzz(args: &[String]) -> Result<(), Box<dyn Error>> {
         return Err(format!("{dirty} of {} targets reported failures", reports.len()).into());
     }
     println!("all {} targets clean ({cases} cases each, seed {seed})", reports.len());
+    Ok(())
+}
+
+fn publish(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let flags = split_flags(args)?;
+    let [path] = flags.positional.as_slice() else {
+        return Err("usage: cce publish <in.cce> -o <dir> [--chunk-size N]".into());
+    };
+    let output = flags.output.ok_or("missing -o <dir>")?;
+    if sniff_version(path)? != Some(2) {
+        return Err(
+            format!("{path}: only indexed v2 containers publish (re-run `cce compress`)").into()
+        );
+    }
+    let file = std::fs::File::open(path)?;
+    let mut reader = ContainerV2Reader::open(std::io::BufReader::new(file))?;
+    let summary =
+        cce_core::artifact::publish_container(&mut reader, Path::new(output), flags.chunk_size)?;
+    println!(
+        "{path}: published {} blocks ({} bytes) into {} chunk files under {output}",
+        summary.manifest.blocks, summary.manifest.data_len, summary.chunk_files,
+    );
+    write_metrics(flags.metrics, "publish")
+}
+
+fn verify(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let flags = split_flags(args)?;
+    let [dir] = flags.positional.as_slice() else {
+        return Err("usage: cce verify <dir>".into());
+    };
+    let summary = cce_core::serve::verify_dir(Path::new(dir))?;
+    println!(
+        "{dir}: OK — {} blocks in {} chunks, {} compressed bytes ({} original)",
+        summary.blocks, summary.chunks, summary.data_len, summary.original_len,
+    );
+    write_metrics(flags.metrics, "verify")
+}
+
+fn serve(args: &[String]) -> Result<(), Box<dyn Error>> {
+    use cce_core::serve::{ServeConfig, Server};
+    let flags = split_flags(args)?;
+    let [dir] = flags.positional.as_slice() else {
+        return Err("usage: cce serve <dir> --socket PATH | --tcp ADDR".into());
+    };
+    let (artifact, codec) = cce_core::artifact::open_with_codec(Path::new(dir))?;
+    let blocks = artifact.block_count();
+    let config = ServeConfig {
+        request_timeout: std::time::Duration::from_millis(flags.timeout_ms),
+        cache_blocks: flags.cache,
+        ..ServeConfig::default()
+    };
+    let server = Server::new(artifact, codec, config);
+    match (flags.socket, flags.tcp) {
+        (Some(path), None) => {
+            println!("serving {blocks} blocks from {dir} on unix socket {path}");
+            server.serve_unix(Path::new(path))?;
+        }
+        (None, Some(addr)) => {
+            server.serve_tcp(addr, |local| {
+                println!("serving {blocks} blocks from {dir} on tcp {local}");
+            })?;
+        }
+        _ => return Err("pass exactly one of --socket PATH or --tcp ADDR".into()),
+    }
+    println!("shutdown: {}", server.stats_json());
+    write_metrics(flags.metrics, "serve")
+}
+
+fn fetch(args: &[String]) -> Result<(), Box<dyn Error>> {
+    use cce_core::serve::Client;
+    let flags = split_flags(args)?;
+    if !flags.positional.is_empty() {
+        return Err("usage: cce fetch --socket PATH | --tcp ADDR -o <out.elf>".into());
+    }
+    let output = flags.output.ok_or("missing -o <out.elf>")?;
+    match (flags.socket, flags.tcp) {
+        (Some(path), None) => fetch_with(Client::connect_unix(Path::new(path))?, output),
+        (None, Some(addr)) => fetch_with(Client::connect_tcp(addr)?, output),
+        _ => Err("pass exactly one of --socket PATH or --tcp ADDR".into()),
+    }
+}
+
+/// The reference-client body of `cce fetch`: pulls the manifest, decodes
+/// every block over the wire, and writes the same minimal ELF
+/// `decompress` produces (so the two outputs byte-compare in CI).
+fn fetch_with<S: std::io::Read + std::io::Write>(
+    mut client: cce_core::serve::Client<S>,
+    output: &str,
+) -> Result<(), Box<dyn Error>> {
+    let manifest = cce_core::serve::Manifest::parse(&client.get_manifest()?)?;
+    let (isa, class, endianness, entry) = cce_core::artifact::manifest_identity(&manifest)?;
+    let mut text = Vec::with_capacity(manifest.original_len as usize);
+    for block in 0..manifest.blocks {
+        text.extend_from_slice(&client.decode_block(block)?);
+    }
+    if text.len() as u64 != manifest.original_len {
+        return Err(format!(
+            "fetched {} decoded bytes but the manifest promises {}",
+            text.len(),
+            manifest.original_len
+        )
+        .into());
+    }
+    client.shutdown()?;
+    let machine = match isa {
+        Isa::Mips => Machine::Mips,
+        Isa::X86 => Machine::I386,
+    };
+    let mut elf = ElfImage::new_executable(machine, class, endianness, text);
+    elf.entry = entry;
+    std::fs::write(output, elf.to_bytes())?;
+    println!(
+        "fetched {} blocks ({} bytes of text) into {output}",
+        manifest.blocks,
+        elf.text().expect("text").len()
+    );
     Ok(())
 }

@@ -23,7 +23,14 @@
 //!   streams, with the LZW output budget engaged;
 //! * **model-store records** — SAMC's cached-model record parser
 //!   ([`cce_samc::store::ModelRecord`]) on mutated records, with a
-//!   canonical re-serialization check on anything it accepts.
+//!   canonical re-serialization check on anything it accepts;
+//! * **serving tier** ([`serve_targets`]) — the artifact manifest
+//!   parser ([`cce_serve::Manifest::parse`]) on mutated JSON documents
+//!   (hash/length/field corruption), and the daemon's wire-frame
+//!   reader + request parser on mutated request streams (bad magic,
+//!   oversized declared lengths, truncation, unknown opcodes).  Both
+//!   must reject with typed errors — a panic or a non-canonical
+//!   accept is a violation, exactly as for the codec surfaces.
 //!
 //! Per-case cost is bounded without trusting the decoders: any mutated
 //! image claiming more than [`case budget`](#output-budget) output is
@@ -464,6 +471,178 @@ impl FuzzTarget for FileTextTarget {
 }
 
 // ---------------------------------------------------------------------
+// Serving-tier targets
+// ---------------------------------------------------------------------
+
+/// Wraps a serving-tier rejection as the [`CodecError`] the fuzz
+/// harness counts; the typed [`cce_serve::ServeError`] message rides
+/// along.
+fn serve_reject(e: cce_serve::ServeError) -> CodecError {
+    CodecError::corrupt("serve", e.to_string())
+}
+
+/// A small synthetic-but-valid artifact manifest (no disk involved):
+/// two chunks, five blocks, all digests self-consistent.
+fn golden_manifest_json() -> Vec<u8> {
+    use cce_serve::manifest::{ChunkEntry, SectionDigest};
+    use cce_serve::sha256;
+    let chunk_data = [vec![0xa5u8; 96], vec![0x5au8; 64]];
+    let model = b"serve fuzz model";
+    let index = vec![0u8; 5 * 16];
+    let chunks = vec![
+        ChunkEntry {
+            first_block: 0,
+            blocks: 3,
+            compressed_len: chunk_data[0].len() as u64,
+            uncompressed_len: 96,
+            sha256: sha256::digest(&chunk_data[0]),
+        },
+        ChunkEntry {
+            first_block: 3,
+            blocks: 2,
+            compressed_len: chunk_data[1].len() as u64,
+            uncompressed_len: 64,
+            sha256: sha256::digest(&chunk_data[1]),
+        },
+    ];
+    let mut manifest = cce_serve::Manifest {
+        algorithm: "samc".into(),
+        isa: "mips".into(),
+        class: 0,
+        endianness: 1,
+        entry: 0x40_0000,
+        block_size: 32,
+        blocks: 5,
+        original_len: 160,
+        data_len: 160,
+        model_bytes: model.len() as u64,
+        chunk_payload: 4096,
+        model: SectionDigest { len: model.len() as u64, sha256: sha256::digest(model) },
+        index: SectionDigest { len: index.len() as u64, sha256: sha256::digest(&index) },
+        chunks,
+        total_sha256: [0; 32],
+    };
+    manifest.total_sha256 = manifest.compute_total();
+    manifest.to_json().into_bytes()
+}
+
+/// Mutates the manifest JSON document: any parse failure must be a
+/// typed rejection, and an accepted manifest must round-trip through
+/// its own canonical rendering.
+struct ManifestTarget {
+    manifest_json: Vec<u8>,
+}
+
+impl FuzzTarget for ManifestTarget {
+    fn name(&self) -> String {
+        "serve/manifest".into()
+    }
+
+    fn artifact(&self) -> Artifact {
+        // Scalar header, section digests, chunk table, binding digest.
+        let len = self.manifest_json.len();
+        Artifact::with_boundaries(
+            "artifact manifest",
+            self.manifest_json.clone(),
+            vec![16, len / 4, len / 2, 3 * len / 4],
+        )
+    }
+
+    fn run(&self, bytes: &[u8]) -> Outcome {
+        let manifest = match cce_serve::Manifest::parse(bytes) {
+            Ok(manifest) => manifest,
+            Err(e) => return Outcome::Rejected(serve_reject(e)),
+        };
+        // Anything accepted must survive its own canonical rendering —
+        // a mutation that parses but re-renders differently would let
+        // two verifiers disagree about the same artifact.
+        match cce_serve::Manifest::parse(manifest.to_json().as_bytes()) {
+            Ok(again) if again == manifest => Outcome::Decoded,
+            Ok(_) => Outcome::Violation("accepted manifest re-rendered differently".into()),
+            Err(e) => Outcome::Violation(format!("accepted manifest failed to re-parse: {e}")),
+        }
+    }
+}
+
+/// Mutates a pipelined request stream (every opcode, back to back):
+/// the frame reader and request parser must reject malformed input
+/// with typed errors, and anything accepted must round-trip through
+/// its canonical encoding.
+struct ServeFrameTarget {
+    stream: Vec<u8>,
+    boundaries: Vec<usize>,
+}
+
+impl ServeFrameTarget {
+    fn golden() -> Self {
+        use cce_serve::proto::Request;
+        let requests = [
+            Request::GetManifest,
+            Request::GetBlock(3),
+            Request::DecodeBlock(1),
+            Request::Stats,
+            Request::Shutdown,
+        ];
+        let mut stream = Vec::new();
+        let mut boundaries = vec![4, 5]; // magic and opcode of the first frame
+        for req in requests {
+            stream.extend_from_slice(&req.encode());
+            boundaries.push(stream.len());
+        }
+        boundaries.pop(); // end-of-stream is not a splice point
+        Self { stream, boundaries }
+    }
+}
+
+impl FuzzTarget for ServeFrameTarget {
+    fn name(&self) -> String {
+        "serve/frame".into()
+    }
+
+    fn artifact(&self) -> Artifact {
+        Artifact::with_boundaries("request stream", self.stream.clone(), self.boundaries.clone())
+    }
+
+    fn run(&self, bytes: &[u8]) -> Outcome {
+        use cce_serve::proto::{read_frame, Request, MAX_REQUEST_PAYLOAD};
+        let mut cursor = bytes;
+        loop {
+            let frame = match read_frame(&mut cursor, MAX_REQUEST_PAYLOAD) {
+                Ok(None) => return Outcome::Decoded,
+                Ok(Some(frame)) => frame,
+                // The server treats this as a fatal desync: typed
+                // error, connection closed, daemon alive.
+                Err(e) => return Outcome::Rejected(serve_reject(e)),
+            };
+            let request = match Request::parse(&frame) {
+                Ok(request) => request,
+                // The server's Malformed path: BadRequest, keep going —
+                // either way a typed rejection, never a panic.
+                Err(e) => return Outcome::Rejected(serve_reject(e)),
+            };
+            let reencoded = request.encode();
+            let again = match read_frame(&mut reencoded.as_slice(), MAX_REQUEST_PAYLOAD) {
+                Ok(Some(frame)) => Request::parse(&frame).ok(),
+                _ => return Outcome::Violation("canonical encoding failed to read back".into()),
+            };
+            if again != Some(request) {
+                return Outcome::Violation(format!(
+                    "request {request:?} did not round-trip its canonical encoding"
+                ));
+            }
+        }
+    }
+}
+
+/// The serving-tier fuzz targets (manifest documents and wire frames).
+pub fn serve_targets() -> Vec<Box<dyn FuzzTarget>> {
+    vec![
+        Box::new(ManifestTarget { manifest_json: golden_manifest_json() }),
+        Box::new(ServeFrameTarget::golden()),
+    ]
+}
+
+// ---------------------------------------------------------------------
 // Target construction and entry points
 // ---------------------------------------------------------------------
 
@@ -623,9 +802,17 @@ pub fn run(algorithm: Algorithm, config: &FuzzConfig) -> Vec<FuzzReport> {
     targets(algorithm).iter().map(|target| fuzz_target(target.as_ref(), config)).collect()
 }
 
-/// Fuzzes every registered algorithm.
+/// Fuzzes the serving-tier targets ([`serve_targets`]).
+pub fn run_serve(config: &FuzzConfig) -> Vec<FuzzReport> {
+    serve_targets().iter().map(|target| fuzz_target(target.as_ref(), config)).collect()
+}
+
+/// Fuzzes every registered algorithm, then the serving tier.
 pub fn run_all(config: &FuzzConfig) -> Vec<FuzzReport> {
-    Algorithm::ALL.into_iter().flat_map(|algorithm| run(algorithm, config)).collect()
+    let mut reports: Vec<FuzzReport> =
+        Algorithm::ALL.into_iter().flat_map(|algorithm| run(algorithm, config)).collect();
+    reports.extend(run_serve(config));
+    reports
 }
 
 #[cfg(test)]
@@ -639,6 +826,7 @@ mod tests {
         assert_eq!(targets(Algorithm::ByteHuffman).len(), 5);
         assert_eq!(targets(Algorithm::Samc).len(), 6);
         assert_eq!(targets(Algorithm::Sadc).len(), 10);
+        assert_eq!(serve_targets().len(), 2);
     }
 
     #[test]
@@ -646,6 +834,7 @@ mod tests {
         let mut names: Vec<String> = Algorithm::ALL
             .into_iter()
             .flat_map(|a| targets(a).iter().map(|t| t.name()).collect::<Vec<_>>())
+            .chain(serve_targets().iter().map(|t| t.name()))
             .collect();
         let total = names.len();
         names.sort();
@@ -657,15 +846,14 @@ mod tests {
     fn pristine_artifacts_decode() {
         // Case 0 aside, the *unmutated* artifact must decode cleanly for
         // every target — otherwise the fuzz results are meaningless.
-        for algorithm in Algorithm::ALL {
-            for target in targets(algorithm) {
-                let artifact = target.artifact();
-                assert!(
-                    matches!(target.run(&artifact.bytes), Outcome::Decoded),
-                    "{} failed on its pristine artifact",
-                    target.name()
-                );
-            }
+        let all = Algorithm::ALL.into_iter().flat_map(targets).chain(serve_targets());
+        for target in all {
+            let artifact = target.artifact();
+            assert!(
+                matches!(target.run(&artifact.bytes), Outcome::Decoded),
+                "{} failed on its pristine artifact",
+                target.name()
+            );
         }
     }
 }

@@ -43,6 +43,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod artifact;
 pub mod container;
 pub mod fuzz;
 pub mod obs;
@@ -61,6 +62,7 @@ pub use cce_lz as lz;
 pub use cce_memsim as memsim;
 pub use cce_sadc as sadc;
 pub use cce_samc as samc;
+pub use cce_serve as serve;
 pub use cce_workload as workload;
 
 pub use registry::{Algorithm, CodecBuilder, CodecHandle};

@@ -18,9 +18,10 @@ pub use cce_obs::{
 pub const METRICS_FORMAT_VERSION: u32 = 1;
 
 /// Every metric descriptor registered across the workspace, in a stable
-/// order: arith, samc, sadc, huffman, lz, codec, memsim, then the
-/// streaming pipeline (appended last so the artifact order of every
-/// earlier metric is unchanged — the registry is append-only).
+/// order: arith, samc, sadc, huffman, lz, codec, memsim, the streaming
+/// pipeline, then the serving tier (each new family is appended last so
+/// the artifact order of every earlier metric is unchanged — the
+/// registry is append-only).
 pub fn descriptors() -> Vec<Desc> {
     let mut all = Vec::new();
     all.extend(cce_arith::obs::descriptors());
@@ -31,6 +32,7 @@ pub fn descriptors() -> Vec<Desc> {
     all.extend(cce_codec::obs::descriptors());
     all.extend(cce_memsim::obs::descriptors());
     all.extend(cce_codec::obs::pipeline_descriptors());
+    all.extend(cce_serve::obs::descriptors());
     all
 }
 

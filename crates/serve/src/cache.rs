@@ -1,0 +1,101 @@
+//! Decoded-block LRU cache, one instance per worker shard.
+//!
+//! Hot blocks are decoded once and served from memory (the Ozturk
+//! access-pattern observation: a small working set absorbs most
+//! fetches).  Sharding by `block % shards` gives cache affinity — a
+//! block's entry always lives in exactly one shard, so there are no
+//! duplicate entries and no cross-shard invalidation.  Eviction is
+//! exact LRU via a monotonic touch stamp; capacity is a block count,
+//! so worst-case memory is `capacity × (block_size + slack)` bytes per
+//! shard.
+
+use std::collections::HashMap;
+
+/// A bounded LRU map from block index to decoded bytes.
+pub struct LruCache {
+    capacity: usize,
+    tick: u64,
+    entries: HashMap<usize, (u64, Vec<u8>)>,
+}
+
+impl LruCache {
+    /// A cache holding at most `capacity` blocks (0 disables caching).
+    pub fn new(capacity: usize) -> Self {
+        Self { capacity, tick: 0, entries: HashMap::with_capacity(capacity.min(1024)) }
+    }
+
+    /// Returns the cached bytes for `block`, refreshing its recency.
+    pub fn get(&mut self, block: usize) -> Option<Vec<u8>> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.entries.get_mut(&block).map(|(stamp, bytes)| {
+            *stamp = tick;
+            bytes.clone()
+        })
+    }
+
+    /// Inserts `bytes` for `block`, evicting the least-recently-used
+    /// entry when full.
+    pub fn insert(&mut self, block: usize, bytes: Vec<u8>) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        if self.entries.len() >= self.capacity && !self.entries.contains_key(&block) {
+            // Exact LRU; linear scan is fine at cache-sized capacities.
+            if let Some(&oldest) =
+                self.entries.iter().min_by_key(|(_, (stamp, _))| *stamp).map(|(k, _)| k)
+            {
+                self.entries.remove(&oldest);
+            }
+        }
+        self.entries.insert(block, (self.tick, bytes));
+    }
+
+    /// Number of cached blocks.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_the_least_recently_used_entry() {
+        let mut cache = LruCache::new(2);
+        cache.insert(1, vec![1]);
+        cache.insert(2, vec![2]);
+        assert_eq!(cache.get(1), Some(vec![1])); // touch 1 → 2 is LRU
+        cache.insert(3, vec![3]);
+        assert_eq!(cache.get(2), None);
+        assert_eq!(cache.get(1), Some(vec![1]));
+        assert_eq!(cache.get(3), Some(vec![3]));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn reinserting_an_existing_key_does_not_evict() {
+        let mut cache = LruCache::new(2);
+        cache.insert(1, vec![1]);
+        cache.insert(2, vec![2]);
+        cache.insert(2, vec![2, 2]);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get(1), Some(vec![1]));
+        assert_eq!(cache.get(2), Some(vec![2, 2]));
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut cache = LruCache::new(0);
+        cache.insert(1, vec![1]);
+        assert!(cache.is_empty());
+        assert_eq!(cache.get(1), None);
+    }
+}

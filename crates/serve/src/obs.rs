@@ -1,0 +1,66 @@
+//! Preregistered metric handles for the serving tier.
+//!
+//! Names follow the workspace `crate.component.event` scheme and are
+//! documented in DESIGN.md §7 (CI checks the table).  The aggregated
+//! registry appends these *after* every existing family — the artifact
+//! order is append-only by policy.
+
+use cce_obs::{Counter, Desc, Gauge, Histogram};
+
+/// Requests answered by the daemon (ok and error responses alike).
+pub static SERVE_REQUESTS: Counter = Counter::new();
+/// Error responses among the answered requests.
+pub static SERVE_ERRORS: Counter = Counter::new();
+/// Connections accepted by the daemon.
+pub static SERVE_CONNECTIONS: Counter = Counter::new();
+/// High-water mark of any connection's bounded request queue.
+pub static SERVE_QUEUE_DEPTH: Gauge = Gauge::new();
+/// Per-request latency in microseconds (dequeue to response written).
+pub static SERVE_LATENCY_MICROS: Histogram = Histogram::new();
+/// Decoded-block LRU cache hits.
+pub static SERVE_CACHE_HITS: Counter = Counter::new();
+/// Decoded-block LRU cache misses.
+pub static SERVE_CACHE_MISSES: Counter = Counter::new();
+
+/// Descriptors for every metric this crate registers.
+pub fn descriptors() -> [Desc; 7] {
+    [
+        Desc::counter("serve.requests", "requests answered by the serving daemon", &SERVE_REQUESTS),
+        Desc::counter("serve.errors", "typed error responses sent by the daemon", &SERVE_ERRORS),
+        Desc::counter(
+            "serve.connections",
+            "connections accepted by the daemon",
+            &SERVE_CONNECTIONS,
+        ),
+        Desc::gauge(
+            "serve.queue.depth",
+            "peak depth of a connection's bounded request queue",
+            &SERVE_QUEUE_DEPTH,
+        ),
+        Desc::histogram(
+            "serve.latency_micros",
+            "per-request latency in microseconds",
+            &SERVE_LATENCY_MICROS,
+        ),
+        Desc::counter("serve.cache.hits", "decoded-block cache hits", &SERVE_CACHE_HITS),
+        Desc::counter("serve.cache.misses", "decoded-block cache misses", &SERVE_CACHE_MISSES),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn descriptor_names_follow_the_scheme() {
+        for d in descriptors() {
+            assert!(d.name.starts_with("serve."), "{}", d.name);
+            assert!(
+                d.name.chars().all(|c| c.is_ascii_lowercase() || c == '.' || c == '_'),
+                "{}",
+                d.name
+            );
+            assert!(!d.help.is_empty());
+        }
+    }
+}

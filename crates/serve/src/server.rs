@@ -1,0 +1,583 @@
+//! The long-lived block-serving daemon.
+//!
+//! One [`Server`] wraps an opened [`Artifact`] plus its codec and
+//! answers protocol requests over any byte stream: Unix sockets, TCP,
+//! or the in-memory [`duplex`](crate::fault::duplex) pipe the tests
+//! drive.  The resilience contract:
+//!
+//! * every failure is a *per-request* typed error response — corrupt
+//!   chunks, bad frames, timeouts, and codec errors never kill the
+//!   daemon or the connection (only an unrecoverable stream desync
+//!   closes the connection);
+//! * each connection has a bounded request queue; a client that
+//!   pipelines faster than the server drains is blocked by
+//!   backpressure, never buffered without bound;
+//! * block work runs on a [`ShardPool`] keyed by block index, so the
+//!   per-shard decoded-block LRU needs no cross-shard coordination;
+//! * every request observes `request_timeout`; a stuck decode answers
+//!   `Timeout` while the daemon lives on.
+
+use crate::cache::LruCache;
+use crate::error::ServeError;
+use crate::obs;
+use crate::proto::{read_frame, write_frame, Request, Status, MAX_REQUEST_PAYLOAD};
+use crate::store::Artifact;
+use cce_codec::{BlockCodec, ShardPool};
+use std::io::{Read, Write};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, RecvTimeoutError};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Daemon tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker shards for block reads and decodes.
+    pub workers: usize,
+    /// Per-connection bound on queued (accepted, unanswered) requests.
+    pub queue_capacity: usize,
+    /// Decoded-block LRU capacity, in blocks, across all shards.
+    pub cache_blocks: usize,
+    /// Deadline for a single request's block work.
+    pub request_timeout: Duration,
+    /// Cap on request frame payloads.
+    pub max_request_payload: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            workers: cce_codec::worker_count(),
+            queue_capacity: 32,
+            cache_blocks: 256,
+            request_timeout: Duration::from_secs(5),
+            max_request_payload: MAX_REQUEST_PAYLOAD,
+        }
+    }
+}
+
+/// Always-on request accounting (the `stats` response), independent of
+/// the compile-time `obs` feature.
+#[derive(Debug, Default)]
+pub struct Stats {
+    /// Requests answered (including error responses).
+    pub requests: AtomicU64,
+    /// Error responses among them.
+    pub errors: AtomicU64,
+    /// Connections accepted.
+    pub connections: AtomicU64,
+    /// Decoded-block cache hits.
+    pub cache_hits: AtomicU64,
+    /// Decoded-block cache misses.
+    pub cache_misses: AtomicU64,
+}
+
+struct Shared {
+    artifact: Artifact,
+    codec: Box<dyn BlockCodec>,
+    config: ServeConfig,
+    pool: ShardPool,
+    caches: Vec<Mutex<LruCache>>,
+    stats: Stats,
+    shutdown: AtomicBool,
+}
+
+/// The daemon: owns the artifact, codec, worker pool, and caches.
+///
+/// Cloning is cheap (an [`Arc`] bump); clones share all state, so a
+/// listener thread and a control thread can both hold the server.
+#[derive(Clone)]
+pub struct Server {
+    shared: Arc<Shared>,
+}
+
+/// What the connection reader hands the processor.
+enum ReaderMsg {
+    /// A well-formed request.
+    Request(Request),
+    /// A malformed frame whose framing stayed in sync (bad opcode or
+    /// payload size): answer `BadRequest` and keep going.
+    Malformed(ServeError),
+    /// The stream desynced (bad magic, oversized length, mid-frame
+    /// EOF, or an I/O error): answer best-effort, then close.
+    Fatal(ServeError),
+}
+
+impl Server {
+    /// Builds a server over `artifact` with its trained `codec`.
+    pub fn new(artifact: Artifact, codec: Box<dyn BlockCodec>, config: ServeConfig) -> Self {
+        let shards = config.workers.clamp(1, 1024);
+        let per_shard = (config.cache_blocks / shards).max(1);
+        let caches = (0..shards)
+            .map(|_| {
+                Mutex::new(LruCache::new(if config.cache_blocks == 0 { 0 } else { per_shard }))
+            })
+            .collect();
+        let pool = ShardPool::new(shards, config.queue_capacity.max(1));
+        Self {
+            shared: Arc::new(Shared {
+                artifact,
+                codec,
+                config,
+                pool,
+                caches,
+                stats: Stats::default(),
+                shutdown: AtomicBool::new(false),
+            }),
+        }
+    }
+
+    /// Whether a `shutdown` request has been received.
+    pub fn shutdown_requested(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Requests shutdown (what the `shutdown` opcode does).
+    pub fn request_shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// The always-on stats as a JSON object (the `stats` payload).
+    pub fn stats_json(&self) -> String {
+        let s = &self.shared.stats;
+        format!(
+            "{{\"requests\":{},\"errors\":{},\"connections\":{},\"cache_hits\":{},\
+             \"cache_misses\":{},\"blocks\":{},\"workers\":{}}}\n",
+            s.requests.load(Ordering::Relaxed),
+            s.errors.load(Ordering::Relaxed),
+            s.connections.load(Ordering::Relaxed),
+            s.cache_hits.load(Ordering::Relaxed),
+            s.cache_misses.load(Ordering::Relaxed),
+            self.shared.artifact.block_count(),
+            self.shared.pool.shards(),
+        )
+    }
+
+    /// Serves one connection: `reader` feeds a bounded queue from its
+    /// own thread, this thread answers in request order on `writer`.
+    ///
+    /// Returns when the peer hangs up, the stream desyncs, or a
+    /// `shutdown` request is answered.  All failures are contained:
+    /// this method never panics and never poisons shared state.
+    pub fn handle_connection<R, W>(&self, reader: R, mut writer: W)
+    where
+        R: Read + Send + 'static,
+        W: Write,
+    {
+        let shared = &self.shared;
+        shared.stats.connections.fetch_add(1, Ordering::Relaxed);
+        obs::SERVE_CONNECTIONS.incr();
+        let (tx, rx) = sync_channel::<ReaderMsg>(shared.config.queue_capacity.max(1));
+        // Signed because the processor can dequeue (and decrement)
+        // before the reader's increment lands; the observed value is
+        // then a *lower* bound on the true queue size, so its maximum
+        // never overstates the bounded depth.
+        let depth = Arc::new(std::sync::atomic::AtomicI64::new(0));
+        let reader_depth = depth.clone();
+        let max_payload = shared.config.max_request_payload;
+        // The reader thread detaches: it exits on EOF/desync, or when
+        // the processor drops `rx` and the next send fails.
+        std::thread::spawn(move || {
+            let mut reader = reader;
+            loop {
+                let (msg, fatal) = match read_frame(&mut reader, max_payload) {
+                    Ok(None) => break,
+                    Ok(Some(frame)) => match Request::parse(&frame) {
+                        Ok(req) => (ReaderMsg::Request(req), false),
+                        Err(e) => (ReaderMsg::Malformed(e), false),
+                    },
+                    Err(e) => (ReaderMsg::Fatal(e), true),
+                };
+                if tx.send(msg).is_err() {
+                    break; // processor gone
+                }
+                let now = reader_depth.fetch_add(1, Ordering::Relaxed) + 1;
+                obs::SERVE_QUEUE_DEPTH.set_max(now.max(0) as u64);
+                if fatal {
+                    break;
+                }
+            }
+        });
+        while let Ok(msg) = rx.recv() {
+            depth.fetch_sub(1, Ordering::Relaxed);
+            let start = Instant::now();
+            let (stop, outcome) = match msg {
+                ReaderMsg::Request(req) => {
+                    let result = self.process(req);
+                    (matches!(req, Request::Shutdown) && result.is_ok(), result)
+                }
+                ReaderMsg::Malformed(e) => (false, Err(e)),
+                ReaderMsg::Fatal(e) => (true, Err(e)),
+            };
+            shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+            obs::SERVE_REQUESTS.incr();
+            let write_ok = match outcome {
+                Ok(payload) => write_frame(&mut writer, Status::Ok.code(), &payload).is_ok(),
+                Err(err) => {
+                    shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+                    obs::SERVE_ERRORS.incr();
+                    let status = Status::for_error(&err);
+                    write_frame(&mut writer, status.code(), err.to_string().as_bytes()).is_ok()
+                }
+            };
+            let micros = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+            obs::SERVE_LATENCY_MICROS.record(micros);
+            if stop || !write_ok {
+                break;
+            }
+        }
+        // Dropping rx unblocks a reader stuck on a full queue.
+    }
+
+    /// Answers one request, producing the `Ok` payload.
+    fn process(&self, req: Request) -> Result<Vec<u8>, ServeError> {
+        match req {
+            Request::GetManifest => Ok(self.shared.artifact.manifest_bytes().to_vec()),
+            Request::Stats => Ok(self.stats_json().into_bytes()),
+            Request::Shutdown => {
+                self.request_shutdown();
+                Ok(Vec::new())
+            }
+            Request::GetBlock(n) => {
+                let block = self.block_index(n)?;
+                let shared = self.shared.clone();
+                let (data, ulen) =
+                    self.with_deadline(block, move || shared.artifact.read_block(block))??;
+                let mut payload = Vec::with_capacity(4 + data.len());
+                payload.extend_from_slice(&(ulen as u32).to_be_bytes());
+                payload.extend_from_slice(&data);
+                Ok(payload)
+            }
+            Request::DecodeBlock(n) => {
+                let block = self.block_index(n)?;
+                let shared = self.shared.clone();
+                self.with_deadline(block, move || decode_cached(&shared, block))?
+            }
+        }
+    }
+
+    fn block_index(&self, n: u64) -> Result<usize, ServeError> {
+        let count = self.shared.artifact.block_count() as u64;
+        if n < count {
+            Ok(n as usize)
+        } else {
+            Err(ServeError::NotFound(format!("block {n} (artifact has {count})")))
+        }
+    }
+
+    /// Runs `job` on the block's shard, waiting at most the request
+    /// timeout for its answer.  A late answer is dropped on the floor
+    /// (the rendezvous channel is gone), not delivered to a later
+    /// request.
+    fn with_deadline<T: Send + 'static>(
+        &self,
+        block: usize,
+        job: impl FnOnce() -> T + Send + 'static,
+    ) -> Result<T, ServeError> {
+        let (tx, rx) = sync_channel::<T>(1);
+        self.shared.pool.submit(
+            block,
+            Box::new(move || {
+                let _ = tx.send(job());
+            }),
+        );
+        match rx.recv_timeout(self.shared.config.request_timeout) {
+            Ok(result) => Ok(result),
+            Err(RecvTimeoutError::Timeout) => Err(ServeError::Timeout),
+            Err(RecvTimeoutError::Disconnected) => {
+                // The worker dropped the sender without answering —
+                // only possible if the job panicked; surface it as a
+                // typed error, never as a dead daemon.
+                Err(ServeError::corrupt(format!("block {block}"), "worker failed"))
+            }
+        }
+    }
+}
+
+/// Shard-cached decode: LRU hit or read + decompress + insert.
+fn decode_cached(shared: &Shared, block: usize) -> Result<Vec<u8>, ServeError> {
+    let shard = block % shared.caches.len();
+    if let Some(bytes) = shared.caches[shard].lock().expect("cache lock").get(block) {
+        shared.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+        obs::SERVE_CACHE_HITS.incr();
+        return Ok(bytes);
+    }
+    shared.stats.cache_misses.fetch_add(1, Ordering::Relaxed);
+    obs::SERVE_CACHE_MISSES.incr();
+    let (data, ulen) = shared.artifact.read_block(block)?;
+    let decoded = shared.codec.decompress_block(&data, ulen)?;
+    if decoded.len() != ulen {
+        return Err(ServeError::corrupt(
+            format!("block {block}"),
+            format!("decoded {} bytes, index says {ulen}", decoded.len()),
+        ));
+    }
+    shared.caches[shard].lock().expect("cache lock").insert(block, decoded.clone());
+    Ok(decoded)
+}
+
+impl Server {
+    /// Binds a Unix socket at `path` and serves until shutdown.
+    ///
+    /// Each accepted connection runs on its own thread; the accept
+    /// loop polls the shutdown flag every ~15 ms.  The socket file is
+    /// removed on exit.
+    ///
+    /// # Errors
+    ///
+    /// Binding or accepting (other than `WouldBlock`) failures.
+    pub fn serve_unix(&self, path: &std::path::Path) -> std::io::Result<()> {
+        let listener = std::os::unix::net::UnixListener::bind(path)?;
+        listener.set_nonblocking(true)?;
+        let result = self.accept_loop(|| match listener.accept() {
+            Ok((stream, _)) => {
+                stream.set_nonblocking(false)?;
+                let reader = stream.try_clone()?;
+                Ok(Some((reader, stream)))
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => Ok(None),
+            Err(e) => Err(e),
+        });
+        let _ = std::fs::remove_file(path);
+        result
+    }
+
+    /// Binds a TCP listener at `addr` (e.g. `127.0.0.1:0`) and serves
+    /// until shutdown.  Returns the bound address via `on_bound`
+    /// before accepting (so `:0` callers learn the port).
+    ///
+    /// # Errors
+    ///
+    /// Binding or accepting (other than `WouldBlock`) failures.
+    pub fn serve_tcp(
+        &self,
+        addr: &str,
+        on_bound: impl FnOnce(std::net::SocketAddr),
+    ) -> std::io::Result<()> {
+        let listener = std::net::TcpListener::bind(addr)?;
+        on_bound(listener.local_addr()?);
+        listener.set_nonblocking(true)?;
+        self.accept_loop(|| match listener.accept() {
+            Ok((stream, _)) => {
+                stream.set_nonblocking(false)?;
+                let reader = stream.try_clone()?;
+                Ok(Some((reader, stream)))
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => Ok(None),
+            Err(e) => Err(e),
+        })
+    }
+
+    fn accept_loop<R, W>(
+        &self,
+        mut accept: impl FnMut() -> std::io::Result<Option<(R, W)>>,
+    ) -> std::io::Result<()>
+    where
+        R: Read + Send + 'static,
+        W: Write + Send + 'static,
+    {
+        while !self.shutdown_requested() {
+            match accept()? {
+                Some((reader, writer)) => {
+                    let server = self.clone();
+                    std::thread::spawn(move || server.handle_connection(reader, writer));
+                }
+                None => std::thread::sleep(Duration::from_millis(15)),
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+    use crate::fault::duplex;
+    use crate::publish::{ArtifactMeta, Publisher};
+    use std::fs;
+    use std::path::{Path, PathBuf};
+
+    /// A codec whose "compression" is identity, with optional delay.
+    struct SlowIdentity {
+        delay: Duration,
+    }
+
+    impl BlockCodec for SlowIdentity {
+        fn name(&self) -> &'static str {
+            "identity"
+        }
+        fn block_size(&self) -> usize {
+            64
+        }
+        fn model_bytes(&self) -> usize {
+            0
+        }
+        fn to_bytes(&self) -> Vec<u8> {
+            Vec::new()
+        }
+        fn compress_chunk(&self, chunk: &[u8]) -> Result<Vec<u8>, cce_codec::CodecError> {
+            Ok(chunk.to_vec())
+        }
+        fn decompress_block(
+            &self,
+            block: &[u8],
+            _out_len: usize,
+        ) -> Result<Vec<u8>, cce_codec::CodecError> {
+            if !self.delay.is_zero() {
+                std::thread::sleep(self.delay);
+            }
+            Ok(block.to_vec())
+        }
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("cce-serve-server-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn publish_identity(dir: &Path, blocks: usize) -> Vec<Vec<u8>> {
+        let meta = ArtifactMeta {
+            algorithm: "samc".into(),
+            isa: "mips".into(),
+            class: 0,
+            endianness: 1,
+            entry: 0,
+            block_size: 64,
+            model_bytes: 0,
+        };
+        let mut p = Publisher::create(dir, meta, b"", 128).unwrap();
+        let data: Vec<Vec<u8>> =
+            (0..blocks).map(|i| vec![(i * 17 % 251) as u8; 40 + i % 20]).collect();
+        for b in &data {
+            p.push_block(b, b.len()).unwrap();
+        }
+        p.finish().unwrap();
+        data
+    }
+
+    fn server_for(dir: &Path, delay: Duration, config: ServeConfig) -> Server {
+        let artifact = Artifact::open(dir).unwrap();
+        Server::new(artifact, Box::new(SlowIdentity { delay }), config)
+    }
+
+    /// Spawns an in-memory connection to `server`, returning the
+    /// client end.
+    fn connect(server: &Server) -> Client<crate::fault::DuplexStream> {
+        let (client_end, server_end) = duplex();
+        let (reader, writer) = server_end.split();
+        let server = server.clone();
+        std::thread::spawn(move || server.handle_connection(reader, writer));
+        Client::new(client_end)
+    }
+
+    #[test]
+    fn serves_blocks_and_decodes_over_an_in_memory_connection() {
+        let dir = temp_dir("basic");
+        let blocks = publish_identity(&dir, 7);
+        let server = server_for(&dir, Duration::ZERO, ServeConfig::default());
+        let mut client = connect(&server);
+        let manifest = client.get_manifest().unwrap();
+        assert!(manifest.starts_with(b"{\"schema\":\"cce-artifact/1\""));
+        for (i, expect) in blocks.iter().enumerate() {
+            let (data, ulen) = client.get_block(i as u64).unwrap();
+            assert_eq!(&data, expect);
+            assert_eq!(ulen, expect.len());
+            assert_eq!(&client.decode_block(i as u64).unwrap(), expect);
+        }
+        let stats = client.stats().unwrap();
+        assert!(stats.contains("\"requests\":"), "{stats}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn out_of_range_block_is_not_found_and_connection_survives() {
+        let dir = temp_dir("notfound");
+        let blocks = publish_identity(&dir, 3);
+        let server = server_for(&dir, Duration::ZERO, ServeConfig::default());
+        let mut client = connect(&server);
+        assert!(matches!(client.get_block(99), Err(ServeError::NotFound(_))));
+        // Same connection still answers afterwards.
+        assert_eq!(client.decode_block(0).unwrap(), blocks[0]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn slow_decode_times_out_but_the_daemon_stays_up() {
+        let dir = temp_dir("timeout");
+        let blocks = publish_identity(&dir, 3);
+        let config = ServeConfig {
+            // Pin the shard count so block 1's shard is not the one
+            // the stuck decode occupies.
+            workers: 4,
+            request_timeout: Duration::from_millis(50),
+            ..ServeConfig::default()
+        };
+        let server = server_for(&dir, Duration::from_millis(400), config);
+        let mut client = connect(&server);
+        assert!(matches!(client.decode_block(0), Err(ServeError::Timeout)));
+        // Raw block reads skip the codec (and block 1 lives on an idle
+        // shard), so they still answer.
+        let (data, _) = client.get_block(1).unwrap();
+        assert_eq!(data, blocks[1]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn decode_cache_hits_on_repeat_requests() {
+        let dir = temp_dir("cache");
+        publish_identity(&dir, 4);
+        let server = server_for(&dir, Duration::ZERO, ServeConfig::default());
+        let mut client = connect(&server);
+        for _ in 0..3 {
+            client.decode_block(2).unwrap();
+        }
+        let hits = server.shared.stats.cache_hits.load(Ordering::Relaxed);
+        let misses = server.shared.stats.cache_misses.load(Ordering::Relaxed);
+        assert_eq!(misses, 1, "first decode misses");
+        assert_eq!(hits, 2, "repeats hit");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn shutdown_request_is_acknowledged_and_sets_the_flag() {
+        let dir = temp_dir("shutdown");
+        publish_identity(&dir, 2);
+        let server = server_for(&dir, Duration::ZERO, ServeConfig::default());
+        let mut client = connect(&server);
+        assert!(!server.shutdown_requested());
+        client.shutdown().unwrap();
+        assert!(server.shutdown_requested());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn end_to_end_over_a_unix_socket() {
+        let dir = temp_dir("unix");
+        let blocks = publish_identity(&dir, 5);
+        let server = server_for(&dir, Duration::ZERO, ServeConfig::default());
+        let socket =
+            std::env::temp_dir().join(format!("cce-serve-test-{}.sock", std::process::id()));
+        let _ = fs::remove_file(&socket);
+        let daemon = {
+            let server = server.clone();
+            let socket = socket.clone();
+            std::thread::spawn(move || server.serve_unix(&socket))
+        };
+        // Wait for the socket to appear.
+        for _ in 0..200 {
+            if socket.exists() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let mut client = Client::connect_unix(&socket).unwrap();
+        assert_eq!(client.decode_block(3).unwrap(), blocks[3]);
+        client.shutdown().unwrap();
+        daemon.join().unwrap().unwrap();
+        assert!(!socket.exists(), "socket file removed on shutdown");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,242 @@
+//! Read side of a published artifact: open, integrity-checked block
+//! fetch, and full-text decode.
+//!
+//! [`Artifact::open`] reads only the manifest and index (cheap); block
+//! reads pull the *containing chunk* from disk, verify its SHA-256
+//! against the manifest, then slice the block out.  A corrupt chunk is
+//! therefore always surfaced as a typed [`ServeError::Corrupt`] naming
+//! the chunk — never as garbage handed to a codec.
+
+use crate::error::ServeError;
+use crate::manifest::{chunk_file_name, Manifest};
+use crate::publish::{parse_index, read_manifest, IndexEntry};
+use crate::sha256;
+use cce_codec::BlockCodec;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// An opened artifact directory.
+pub struct Artifact {
+    dir: PathBuf,
+    manifest: Manifest,
+    manifest_bytes: Vec<u8>,
+    index: Vec<IndexEntry>,
+    /// Byte offset of each chunk's first payload byte (cumulative).
+    chunk_starts: Vec<u64>,
+}
+
+impl Artifact {
+    /// Opens `<dir>`, reading and validating the manifest and index.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Corrupt`] when the manifest or index fail
+    /// validation; [`ServeError::Io`] when files cannot be read.
+    pub fn open(dir: &Path) -> Result<Self, ServeError> {
+        let (manifest, manifest_bytes) = read_manifest(dir)?;
+        let index_bytes = fs::read(dir.join("index.bin"))?;
+        if index_bytes.len() as u64 != manifest.index.len
+            || sha256::digest(&index_bytes) != manifest.index.sha256
+        {
+            return Err(ServeError::corrupt("index.bin", "does not match the manifest digest"));
+        }
+        let index = parse_index(&index_bytes, &manifest)?;
+        let mut chunk_starts = Vec::with_capacity(manifest.chunks.len());
+        let mut start = 0u64;
+        for chunk in &manifest.chunks {
+            chunk_starts.push(start);
+            start += chunk.compressed_len;
+        }
+        // Blocks must sit densely inside their chunk's byte range.
+        for (ci, chunk) in manifest.chunks.iter().enumerate() {
+            let first = chunk.first_block as usize;
+            let entry = &index[first];
+            if entry.offset != chunk_starts[ci] {
+                return Err(ServeError::corrupt(
+                    "index.bin",
+                    format!("chunk {ci} first block offset {} misaligned", entry.offset),
+                ));
+            }
+        }
+        Ok(Self { dir: dir.to_path_buf(), manifest, manifest_bytes, index, chunk_starts })
+    }
+
+    /// The validated manifest.
+    pub fn manifest(&self) -> &Manifest {
+        &self.manifest
+    }
+
+    /// The raw manifest document (what `get-manifest` serves).
+    pub fn manifest_bytes(&self) -> &[u8] {
+        &self.manifest_bytes
+    }
+
+    /// Number of blocks in the artifact.
+    pub fn block_count(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Reads `model.bin`, verifying it against the manifest digest.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Corrupt`] on a digest or length mismatch.
+    pub fn read_model(&self) -> Result<Vec<u8>, ServeError> {
+        let bytes = fs::read(self.dir.join("model.bin"))?;
+        if bytes.len() as u64 != self.manifest.model.len
+            || sha256::digest(&bytes) != self.manifest.model.sha256
+        {
+            return Err(ServeError::corrupt("model.bin", "does not match the manifest digest"));
+        }
+        Ok(bytes)
+    }
+
+    /// Reads compressed block `block`, returning `(data,
+    /// uncompressed_len)`.  The containing chunk is re-hashed on every
+    /// read, so corruption is caught before any codec sees the bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::NotFound`] past the end; [`ServeError::Corrupt`]
+    /// naming the chunk on a digest/length mismatch.
+    pub fn read_block(&self, block: usize) -> Result<(Vec<u8>, usize), ServeError> {
+        let entry =
+            *self.index.get(block).ok_or_else(|| ServeError::NotFound(format!("block {block}")))?;
+        let ci = self
+            .manifest
+            .chunk_for_block(block as u64)
+            .expect("in-range block has a chunk (validated at open)");
+        let chunk = &self.manifest.chunks[ci];
+        let name = chunk_file_name(ci);
+        let bytes = fs::read(self.dir.join("chunks").join(&name))?;
+        if bytes.len() as u64 != chunk.compressed_len {
+            return Err(ServeError::corrupt(
+                format!("chunk {name}"),
+                format!(
+                    "stored length {} != manifest length {}",
+                    bytes.len(),
+                    chunk.compressed_len
+                ),
+            ));
+        }
+        if sha256::digest(&bytes) != chunk.sha256 {
+            return Err(ServeError::corrupt(format!("chunk {name}"), "sha-256 mismatch"));
+        }
+        let local = (entry.offset - self.chunk_starts[ci]) as usize;
+        let end = local + entry.compressed_len as usize;
+        // In range because the index was validated against the chunk
+        // sums at open time and the file length matched just above.
+        Ok((bytes[local..end].to_vec(), entry.uncompressed_len as usize))
+    }
+
+    /// Decodes the whole text by fetching and decompressing every
+    /// block in order (the client-side `fetch text` path).
+    ///
+    /// # Errors
+    ///
+    /// Any [`read_block`](Self::read_block) failure or codec error.
+    pub fn decode_text(&self, codec: &dyn BlockCodec) -> Result<Vec<u8>, ServeError> {
+        let mut out = Vec::with_capacity(self.manifest.original_len as usize);
+        for block in 0..self.block_count() {
+            let (data, ulen) = self.read_block(block)?;
+            let decoded = codec.decompress_block(&data, ulen)?;
+            if decoded.len() != ulen {
+                return Err(ServeError::corrupt(
+                    format!("block {block}"),
+                    format!("decoded {} bytes, index says {ulen}", decoded.len()),
+                ));
+            }
+            out.extend_from_slice(&decoded);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::publish::{ArtifactMeta, Publisher};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("cce-serve-store-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn publish_blocks(dir: &Path, blocks: &[Vec<u8>]) {
+        let meta = ArtifactMeta {
+            algorithm: "samc".into(),
+            isa: "mips".into(),
+            class: 0,
+            endianness: 1,
+            entry: 0,
+            block_size: 64,
+            model_bytes: 10,
+        };
+        let mut p = Publisher::create(dir, meta, b"model", 64).unwrap();
+        for b in blocks {
+            p.push_block(b, b.len()).unwrap();
+        }
+        p.finish().unwrap();
+    }
+
+    #[test]
+    fn every_block_reads_back_byte_identical() {
+        let dir = temp_dir("roundtrip");
+        let blocks: Vec<Vec<u8>> = (0..9u8).map(|i| vec![i ^ 0x5a; 10 + 7 * i as usize]).collect();
+        publish_blocks(&dir, &blocks);
+        let artifact = Artifact::open(&dir).unwrap();
+        assert_eq!(artifact.block_count(), blocks.len());
+        for (i, expect) in blocks.iter().enumerate() {
+            let (data, ulen) = artifact.read_block(i).unwrap();
+            assert_eq!(&data, expect, "block {i}");
+            assert_eq!(ulen, expect.len());
+        }
+        assert!(matches!(artifact.read_block(blocks.len()), Err(ServeError::NotFound(_))));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_chunk_read_names_the_chunk() {
+        let dir = temp_dir("corrupt");
+        let blocks: Vec<Vec<u8>> = (0..6u8).map(|i| vec![i; 30]).collect();
+        publish_blocks(&dir, &blocks);
+        let artifact = Artifact::open(&dir).unwrap();
+        let ci = artifact.manifest().chunk_for_block(4).unwrap();
+        let victim = dir.join("chunks").join(chunk_file_name(ci));
+        let mut bytes = fs::read(&victim).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        fs::write(&victim, &bytes).unwrap();
+        let err = artifact.read_block(4).unwrap_err();
+        assert!(err.to_string().contains(&chunk_file_name(ci)), "{err}");
+        // Blocks in other chunks still read fine — corruption is local.
+        let other = (0..blocks.len())
+            .find(|&b| artifact.manifest().chunk_for_block(b as u64) != Some(ci))
+            .expect("payload 64 splits 6×30-byte blocks across chunks");
+        artifact.read_block(other).unwrap();
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn model_digest_mismatch_is_typed() {
+        let dir = temp_dir("model");
+        publish_blocks(&dir, &[vec![1; 8]]);
+        fs::write(dir.join("model.bin"), b"modeX").unwrap();
+        let artifact = Artifact::open(&dir).unwrap();
+        assert!(matches!(artifact.read_model(), Err(ServeError::Corrupt { .. })));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_manifest_fails_open_with_typed_error() {
+        let dir = temp_dir("truncmanifest");
+        publish_blocks(&dir, &[vec![1; 8], vec![2; 8]]);
+        let path = dir.join("manifest.json");
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(matches!(Artifact::open(&dir), Err(ServeError::Corrupt { .. })));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,282 @@
+//! Fault-injection harness: the daemon's resilience contract under
+//! storage corruption and connection failure.
+//!
+//! Every scenario asserts two things — the failure surfaces as a
+//! *typed* error (never a panic, never a hang), and the daemon keeps
+//! serving fresh connections afterwards.  Scenarios covered: a
+//! corrupted chunk, a truncated chunk file, a truncated manifest, an
+//! oversized request frame, a mid-request client disconnect, an I/O
+//! error mid-stream, and a client limping along on 1-byte reads.
+
+use cce_serve::fault::{duplex, DuplexStream, Fault, FaultReader, FaultStream};
+use cce_serve::proto::{read_frame, Request, MAX_RESPONSE_PAYLOAD};
+use cce_serve::publish::{ArtifactMeta, Publisher};
+use cce_serve::store::Artifact;
+use cce_serve::{verify_dir, Client, ServeConfig, ServeError, Server};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+struct Identity;
+
+impl cce_codec::BlockCodec for Identity {
+    fn name(&self) -> &'static str {
+        "identity"
+    }
+    fn block_size(&self) -> usize {
+        64
+    }
+    fn model_bytes(&self) -> usize {
+        0
+    }
+    fn to_bytes(&self) -> Vec<u8> {
+        Vec::new()
+    }
+    fn compress_chunk(&self, chunk: &[u8]) -> Result<Vec<u8>, cce_codec::CodecError> {
+        Ok(chunk.to_vec())
+    }
+    fn decompress_block(
+        &self,
+        block: &[u8],
+        _out_len: usize,
+    ) -> Result<Vec<u8>, cce_codec::CodecError> {
+        Ok(block.to_vec())
+    }
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cce-serve-fault-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Publishes an identity artifact whose blocks span two chunk files
+/// (chunk payload 128, blocks ~56 bytes), so corrupting chunk 0 leaves
+/// chunk 1 healthy.
+fn publish_two_chunks(dir: &Path) -> Vec<Vec<u8>> {
+    let meta = ArtifactMeta {
+        algorithm: "samc".into(),
+        isa: "mips".into(),
+        class: 0,
+        endianness: 1,
+        entry: 0,
+        block_size: 64,
+        model_bytes: 0,
+    };
+    let mut p = Publisher::create(dir, meta, b"", 128).unwrap();
+    let data: Vec<Vec<u8>> = (0..6).map(|i| vec![(i * 41 % 249) as u8; 56]).collect();
+    for b in &data {
+        p.push_block(b, b.len()).unwrap();
+    }
+    let summary = p.finish().unwrap();
+    assert!(summary.chunk_files >= 2, "fixture must span multiple chunks");
+    data
+}
+
+fn server_for(dir: &Path) -> Server {
+    Server::new(Artifact::open(dir).unwrap(), Box::new(Identity), ServeConfig::default())
+}
+
+fn connect(server: &Server) -> Client<DuplexStream> {
+    let (client_end, server_end) = duplex();
+    let (reader, writer) = server_end.split();
+    let server = server.clone();
+    std::thread::spawn(move || server.handle_connection(reader, writer));
+    Client::new(client_end)
+}
+
+/// Flips one byte in the middle of chunk file `index`.
+fn corrupt_chunk(dir: &Path, index: usize) {
+    let path = dir.join("chunks").join(format!("{index:08x}.chunk"));
+    let mut bytes = std::fs::read(&path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&path, bytes).unwrap();
+}
+
+// Scenario 1: a flipped byte in a chunk file.
+#[test]
+fn corrupt_chunk_is_a_typed_error_and_the_daemon_survives() {
+    let dir = temp_dir("corrupt-chunk");
+    let blocks = publish_two_chunks(&dir);
+    let server = server_for(&dir);
+    corrupt_chunk(&dir, 0);
+    let mut client = connect(&server);
+    // Every block in the poisoned chunk answers Corrupt, on both the
+    // raw and the decoded path.
+    let err = client.get_block(0).unwrap_err();
+    assert!(matches!(err, ServeError::Corrupt { .. }), "{err}");
+    assert!(err.to_string().contains("chunk 00000000"), "{err}");
+    let err = client.decode_block(0).unwrap_err();
+    assert!(matches!(err, ServeError::Corrupt { .. }), "{err}");
+    // The same connection still serves the healthy chunk and metadata.
+    let last = blocks.len() as u64 - 1;
+    assert_eq!(client.decode_block(last).unwrap(), blocks[last as usize]);
+    assert!(client.get_manifest().is_ok());
+    // And verify tells the truth about the directory.
+    let err = verify_dir(&dir).unwrap_err();
+    assert!(err.to_string().contains("chunk 00000000"), "{err}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+// Scenario 2: a chunk file cut short on disk.
+#[test]
+fn truncated_chunk_file_is_a_typed_error_not_a_panic() {
+    let dir = temp_dir("truncated-chunk");
+    let blocks = publish_two_chunks(&dir);
+    let server = server_for(&dir);
+    let path = dir.join("chunks").join("00000001.chunk");
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+    let mut client = connect(&server);
+    // Chunk payload 128 / 56-byte blocks → two blocks per chunk, so
+    // chunk 1 holds blocks 2 and 3.
+    let err = client.get_block(2).unwrap_err();
+    assert!(matches!(err, ServeError::Corrupt { .. }), "{err}");
+    assert!(err.to_string().contains("chunk 00000001"), "{err}");
+    // Chunk 0 is untouched.
+    assert_eq!(client.decode_block(0).unwrap(), blocks[0]);
+    assert!(verify_dir(&dir).is_err());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+// Scenario 3: a truncated manifest is refused at open (and by verify),
+// with a typed error — a daemon can never start over a half manifest.
+#[test]
+fn truncated_manifest_is_refused_with_a_typed_error() {
+    let dir = temp_dir("truncated-manifest");
+    publish_two_chunks(&dir);
+    let path = dir.join("manifest.json");
+    let bytes = std::fs::read(&path).unwrap();
+    for keep in [0, 1, bytes.len() / 2, bytes.len() - 2] {
+        std::fs::write(&path, &bytes[..keep]).unwrap();
+        let err = match Artifact::open(&dir) {
+            Ok(_) => panic!("keep {keep}: a truncated manifest opened"),
+            Err(err) => err,
+        };
+        assert!(matches!(err, ServeError::Corrupt { .. }), "keep {keep}: {err}");
+        assert!(verify_dir(&dir).is_err(), "keep {keep}");
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+// Scenario 4: an oversized request frame is refused before allocation;
+// the connection closes, the daemon does not.
+#[test]
+fn oversized_request_frame_survives_as_bad_request() {
+    let dir = temp_dir("oversized");
+    publish_two_chunks(&dir);
+    let server = server_for(&dir);
+    let (mut stream, server_end) = duplex();
+    let (reader, writer) = server_end.split();
+    {
+        let server = server.clone();
+        std::thread::spawn(move || server.handle_connection(reader, writer));
+    }
+    let mut huge = Request::GetManifest.encode();
+    huge[5..9].copy_from_slice(&0x4000_0000u32.to_be_bytes());
+    stream.write_all(&huge).unwrap();
+    let response = read_frame(&mut stream, MAX_RESPONSE_PAYLOAD).unwrap().expect("a response");
+    assert_eq!(response.opcode, 0xe1, "expected BadRequest");
+    assert!(read_frame(&mut stream, MAX_RESPONSE_PAYLOAD).unwrap().is_none(), "then EOF");
+    let mut client = connect(&server);
+    assert!(client.get_manifest().is_ok(), "daemon died with the bad connection");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+// Scenario 5: the client vanishes mid-request (its write side fails
+// immediately): the handler returns instead of spinning, and the
+// daemon keeps serving.
+#[test]
+fn mid_request_disconnect_never_kills_the_daemon() {
+    let dir = temp_dir("disconnect");
+    let blocks = publish_two_chunks(&dir);
+    let server = server_for(&dir);
+    let (mut client_end, server_end) = duplex();
+    let (reader, writer) = server_end.split();
+    // The server's very first response write fails (peer reset).
+    let faulty_writer = FaultStream::new(writer, Fault::None, Fault::ErrorAt(0));
+    let handler = {
+        let server = server.clone();
+        std::thread::spawn(move || server.handle_connection(reader, faulty_writer))
+    };
+    client_end.write_all(&Request::GetManifest.encode()).unwrap();
+    handler.join().expect("handler must return cleanly, not panic");
+    let mut client = connect(&server);
+    assert_eq!(client.decode_block(0).unwrap(), blocks[0]);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+// Scenario 6: the connection errors out mid-frame (connection reset at
+// byte N): typed close, daemon alive.
+#[test]
+fn io_error_mid_frame_closes_only_that_connection() {
+    let dir = temp_dir("ioerror");
+    let blocks = publish_two_chunks(&dir);
+    let server = server_for(&dir);
+    let (mut client_end, server_end) = duplex();
+    let (reader, writer) = server_end.split();
+    // The reset lands inside the first frame's header.
+    let faulty_reader = FaultReader::new(reader, Fault::ErrorAt(4));
+    let handler = {
+        let server = server.clone();
+        std::thread::spawn(move || server.handle_connection(faulty_reader, writer))
+    };
+    client_end.write_all(&Request::Stats.encode()).unwrap();
+    // Best-effort error response (Internal), then EOF; the write side
+    // may already be gone, in which case a clean EOF is equally fine.
+    if let Some(frame) = read_frame(&mut client_end, MAX_RESPONSE_PAYLOAD).unwrap() {
+        assert_eq!(frame.opcode, 0xe6, "expected Internal for an I/O error");
+    }
+    handler.join().expect("handler must return cleanly, not panic");
+    let mut client = connect(&server);
+    assert_eq!(client.decode_block(1).unwrap(), blocks[1]);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+// Scenario 7: a pathologically slow client (1-byte reads on the
+// server side) is merely slow — every response still arrives intact.
+#[test]
+fn one_byte_short_reads_still_serve_every_block() {
+    let dir = temp_dir("shortreads");
+    let blocks = publish_two_chunks(&dir);
+    let server = server_for(&dir);
+    let (client_end, server_end) = duplex();
+    let (reader, writer) = server_end.split();
+    let trickle = FaultReader::new(reader, Fault::ShortReads(1));
+    {
+        let server = server.clone();
+        std::thread::spawn(move || server.handle_connection(trickle, writer));
+    }
+    let mut client = Client::new(client_end);
+    for (i, expect) in blocks.iter().enumerate() {
+        let (data, ulen) = client.get_block(i as u64).unwrap();
+        assert_eq!(&data, expect);
+        assert_eq!(ulen, expect.len());
+        assert_eq!(&client.decode_block(i as u64).unwrap(), expect);
+    }
+    client.shutdown().unwrap();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+// Scenario 8: a truncated *response* stream on the client side is a
+// typed protocol error for the client library, not a hang or panic.
+#[test]
+fn client_sees_truncated_response_as_a_typed_error() {
+    let dir = temp_dir("client-trunc");
+    publish_two_chunks(&dir);
+    let server = server_for(&dir);
+    let (client_end, server_end) = duplex();
+    let (reader, writer) = server_end.split();
+    {
+        let server = server.clone();
+        std::thread::spawn(move || server.handle_connection(reader, writer));
+    }
+    // The client's view of the server truncates after 5 bytes of the
+    // response (mid-header).
+    let faulty = FaultStream::new(client_end, Fault::TruncateAt(5), Fault::None);
+    let mut client = Client::new(faulty);
+    let err = client.get_manifest().unwrap_err();
+    assert!(matches!(err, ServeError::Proto(_)), "{err}");
+    assert!(err.to_string().contains("mid-frame"), "{err}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -124,6 +124,44 @@ echo "$warm_out" | grep -q 'model cache: disk hit'
 echo "$warm_out" | grep -q 'division 49bc0a2a57dccd29'
 cmp target/ci-cache-cold.cce target/ci-cache-warm.cce
 
+echo "== serve smoke (publish, verify, daemon fetch, corruption) =="
+# A published artifact must verify clean, a daemon on a Unix socket must
+# serve a fetch whose rebuilt ELF is byte-identical to `decompress`, and
+# a single flipped chunk byte must fail `verify` with a non-zero exit
+# that names the chunk.
+serve_elf="target/ci-serve.elf"
+serve_cce="target/ci-serve.cce"
+serve_dir="target/ci-serve-artifact"
+serve_sock="target/ci-serve.sock"
+serve_direct="target/ci-serve-direct.elf"
+serve_fetched="target/ci-serve-fetched.elf"
+rm -rf "$serve_dir" "$serve_sock"
+cargo run --release -q -p cce-core --bin cce -- gen ijpeg --scale 0.5 --seed 7 -o "$serve_elf"
+cargo run --release -q -p cce-core --bin cce -- compress "$serve_elf" -a huffman -o "$serve_cce"
+cargo run --release -q -p cce-core --bin cce -- publish "$serve_cce" -o "$serve_dir" --chunk-size 4096
+cargo run --release -q -p cce-core --bin cce -- verify "$serve_dir"
+cargo run --release -q -p cce-core --bin cce -- decompress "$serve_cce" -o "$serve_direct"
+cargo run --release -q -p cce-core --bin cce -- serve "$serve_dir" --socket "$serve_sock" &
+serve_pid=$!
+for _ in $(seq 1 100); do [ -S "$serve_sock" ] && break; sleep 0.1; done
+test -S "$serve_sock"
+cargo run --release -q -p cce-core --bin cce -- fetch --socket "$serve_sock" -o "$serve_fetched"
+wait "$serve_pid"   # fetch sends shutdown; the daemon must exit 0
+cmp "$serve_direct" "$serve_fetched"
+python3 - "$serve_dir/chunks/00000000.chunk" <<'EOF'
+import sys
+path = sys.argv[1]
+data = bytearray(open(path, "rb").read())
+data[len(data) // 2] ^= 1
+open(path, "wb").write(bytes(data))
+EOF
+if verify_out="$(cargo run --release -q -p cce-core --bin cce -- verify "$serve_dir" 2>&1)"; then
+    echo "verify must fail on a corrupted chunk" >&2
+    exit 1
+fi
+echo "$verify_out" | grep -q 'chunk 00000000'
+echo "serve smoke: publish/verify/daemon/corruption all behaved"
+
 echo "== registered metric names documented in DESIGN.md §7 =="
 cargo run --release -q -p cce-core --bin cce -- stats | awk '{print $1}' | while read -r name; do
     grep -qF "\`$name\`" DESIGN.md || {

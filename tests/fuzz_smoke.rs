@@ -8,7 +8,7 @@
 
 use cce_core::codec::{BlockImage, CodecError};
 use cce_core::elf::ElfImage;
-use cce_core::fuzz::{run, run_all, FuzzConfig};
+use cce_core::fuzz::{run, run_all, run_serve, FuzzConfig};
 use cce_core::huffman::CodeBook;
 use cce_core::isa::Isa;
 use cce_core::Algorithm;
@@ -35,6 +35,33 @@ fn every_registered_codec_survives_the_mutation_budget() {
             // typed rejection (violations/panics would be failures).
             assert_eq!(report.decoded + report.rejected, report.cases, "{}", report.target);
         }
+    }
+}
+
+/// The serving tier's decode surfaces — manifest documents and wire
+/// request frames — survive the same mutation budget under the same
+/// trichotomy.  The target list is pinned so a new wire surface cannot
+/// land without fuzz coverage.
+#[test]
+fn serve_decode_surfaces_survive_the_mutation_budget() {
+    let reports = run_serve(&CONFIG);
+    assert_eq!(
+        reports.iter().map(|r| r.target.as_str()).collect::<Vec<_>>(),
+        ["serve/manifest", "serve/frame"],
+    );
+    for report in &reports {
+        assert!(
+            report.is_clean(),
+            "{}: {} failures in {} cases:\n{}",
+            report.target,
+            report.failures.len(),
+            report.cases,
+            report.failures.iter().map(|f| format!("  {f}")).collect::<Vec<_>>().join("\n")
+        );
+        assert_eq!(report.decoded + report.rejected, report.cases, "{}", report.target);
+        // The mutators must actually bite: a surface that accepts every
+        // mutant is not being exercised.
+        assert!(report.rejected > 0, "{} rejected no mutants", report.target);
     }
 }
 

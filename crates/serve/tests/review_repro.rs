@@ -1,0 +1,52 @@
+//! Temporary review reproduction: a digest-consistent but non-dense
+//! index.bin should not panic the reader.
+
+use cce_serve::manifest::Manifest;
+use cce_serve::publish::{ArtifactMeta, Publisher};
+use cce_serve::sha256;
+use cce_serve::store::Artifact;
+use std::fs;
+
+#[test]
+fn non_dense_index_entry_panics_read_block() {
+    let dir = std::env::temp_dir().join(format!("cce-review-repro-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    let meta = ArtifactMeta {
+        algorithm: "samc".into(),
+        isa: "mips".into(),
+        class: 0,
+        endianness: 1,
+        entry: 0,
+        block_size: 64,
+        model_bytes: 0,
+    };
+    // Chunk 0 holds blocks 0..=2 (3 x 20 = 60 <= 64); block 3 spills.
+    let mut p = Publisher::create(&dir, meta, b"", 64).unwrap();
+    for i in 0..4u8 {
+        p.push_block(&vec![i; 20], 20).unwrap();
+    }
+    let summary = p.finish().unwrap();
+    assert!(summary.manifest.chunks.len() >= 2, "need at least 2 chunks");
+
+    // Tamper: make block 1 (second block of chunk 0) point past its
+    // chunk, but still inside data_len, then re-sign index + manifest.
+    let index_path = dir.join("index.bin");
+    let mut index = fs::read(&index_path).unwrap();
+    let data_len = summary.manifest.data_len;
+    // entry 1: offset at bytes 16..24, clen at 24..28
+    let bogus_offset: u64 = data_len - 30; // inside payload, outside chunk 0
+    index[16..24].copy_from_slice(&bogus_offset.to_be_bytes());
+    index[24..28].copy_from_slice(&30u32.to_be_bytes());
+    fs::write(&index_path, &index).unwrap();
+
+    let mut m: Manifest = summary.manifest.clone();
+    m.index.sha256 = sha256::digest(&index);
+    m.total_sha256 = m.compute_total();
+    fs::write(dir.join("manifest.json"), m.to_json()).unwrap();
+
+    let artifact = Artifact::open(&dir).expect("open accepts the tampered index");
+    // This should be a typed Corrupt error, not a panic.
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| artifact.read_block(1)));
+    let _ = fs::remove_dir_all(&dir);
+    assert!(result.is_err(), "read_block panicked as suspected: {result:?}");
+}

@@ -31,6 +31,7 @@ pub fn registry_name(algorithm: Algorithm) -> &'static str {
         Algorithm::ByteHuffman => "huffman",
         Algorithm::Samc => "samc",
         Algorithm::Sadc => "sadc",
+        Algorithm::SamcRans => "samc-rans",
     }
 }
 

@@ -113,6 +113,10 @@ fn print_usage() {
     println!(
         "                                                SAMC optimizer + model-cache micro-bench"
     );
+    println!("  cce bench --decode [--scale F] [--seed S] [-o OUT.json] [--json]");
+    println!(
+        "                                                entropy-backend decode throughput bench"
+    );
     println!(
         "  cce gen <profile> [--scale F] [--seed S] [--isa mips|x86] [--multi-section] -o <out.elf>"
     );
@@ -145,6 +149,7 @@ struct Flags<'a> {
     metrics: Option<&'a str>,
     scale: f64,
     optimizer: bool,
+    decode: bool,
     model_cache: Option<&'a str>,
     isa: Option<&'a str>,
     elf: Option<&'a str>,
@@ -169,6 +174,7 @@ fn split_flags(args: &[String]) -> Result<Flags<'_>, String> {
     let mut metrics = None;
     let mut scale = 0.1f64;
     let mut optimizer = false;
+    let mut decode = false;
     let mut model_cache = None;
     let mut isa = None;
     let mut elf = None;
@@ -244,6 +250,10 @@ fn split_flags(args: &[String]) -> Result<Flags<'_>, String> {
                 optimizer = true;
                 i += 1;
             }
+            "--decode" => {
+                decode = true;
+                i += 1;
+            }
             "--model-cache" => {
                 model_cache =
                     Some(args.get(i + 1).ok_or("missing value after --model-cache")?.as_str());
@@ -310,6 +320,7 @@ fn split_flags(args: &[String]) -> Result<Flags<'_>, String> {
         metrics,
         scale,
         optimizer,
+        decode,
         model_cache,
         isa,
         elf,
@@ -539,6 +550,9 @@ fn bench(args: &[String]) -> Result<(), Box<dyn Error>> {
     if flags.optimizer {
         return bench_optimizer(&flags);
     }
+    if flags.decode {
+        return bench_decode(&flags);
+    }
     cce_core::obs::reset();
     let isa = Isa::Mips;
     let mut trainer = flags.model_cache.map(open_model_cache).transpose()?;
@@ -611,6 +625,152 @@ fn bench(args: &[String]) -> Result<(), Box<dyn Error>> {
     }
     bench_pipeline(flags.seed, flags.json)?;
     write_metrics(flags.metrics, "bench")
+}
+
+/// Times full-image decodes of `image` through `codec` and returns the
+/// throughput in MB/s of uncompressed output.  The first decode is
+/// checked against `text` so the loop never times a broken decoder.
+fn time_decode(
+    codec: &dyn cce_core::codec::BlockCodec,
+    image: &cce_core::codec::BlockImage,
+    text: &[u8],
+    iterations: usize,
+) -> Result<f64, Box<dyn Error>> {
+    use std::time::Instant;
+    if codec.decompress(image)? != text {
+        return Err(format!("{}: decode differs from the corpus", codec.name()).into());
+    }
+    let start = Instant::now();
+    for _ in 0..iterations {
+        std::hint::black_box(codec.decompress(image)?);
+    }
+    let secs = start.elapsed().as_secs_f64().max(1e-9);
+    Ok((iterations * text.len()) as f64 / (1024.0 * 1024.0) / secs)
+}
+
+/// `cce bench --decode`: decode-throughput micro-benchmark of the two
+/// entropy backends sharing SAMC's Markov models — the serial arithmetic
+/// coder vs the interleaved rANS coder at every lane width — on both
+/// ISAs, writing the `BENCH_decode.json` artifact (see README).
+///
+/// The corpus is the fixed-seed "go" workload; the iteration count is
+/// derived deterministically from the corpus size so artifacts from
+/// different scales time comparable total work.  Blocks are 4 KiB: large
+/// enough to amortize the rANS stream header (1 + 4·lanes bytes/block)
+/// below the ±2 % arith-ratio band the artifact asserts.
+fn bench_decode(flags: &Flags) -> Result<(), Box<dyn Error>> {
+    use cce_core::isa::mips::encode_text;
+    use cce_core::rans::{Lanes, SamcRansCodec};
+    use cce_core::samc::{SamcCodec, SamcConfig};
+    use cce_core::workload::{generate_mips_seeded, generate_x86_seeded, Spec95};
+
+    const PROFILE: &str = "go";
+    const DECODE_BLOCK: usize = 4096;
+    /// Uncompressed bytes each timing loop targets; fixes the iteration
+    /// count from the corpus size alone.
+    const TARGET_BYTES: usize = 32 * 1024 * 1024;
+
+    let profile = Spec95::by_name(PROFILE).expect("profile is in the suite");
+    let mut isa_reports = Vec::new();
+    let mut band_ok = true;
+    let mut speedup_4way = f64::INFINITY;
+    for isa in [Isa::Mips, Isa::X86] {
+        let text = match isa {
+            Isa::Mips => encode_text(&generate_mips_seeded(profile, flags.scale, flags.seed)),
+            Isa::X86 => generate_x86_seeded(profile, flags.scale, flags.seed),
+        };
+        let iterations = (TARGET_BYTES / text.len().max(1)).clamp(4, 512);
+        let config = match isa {
+            Isa::Mips => SamcConfig::mips(),
+            Isa::X86 => SamcConfig::x86(),
+        }
+        .with_block_size(DECODE_BLOCK);
+        let arith = SamcCodec::train(&text, config)?;
+        let arith_image = cce_core::codec::BlockCodec::compress(&arith, &text)?;
+        let arith_ratio = arith_image.compressed_len() as f64 / text.len() as f64;
+        let arith_mb = time_decode(&arith, &arith_image, &text, iterations)?;
+        if !flags.json {
+            println!(
+                "decode ({PROFILE}/{isa}, {} bytes, {iterations} iterations, {DECODE_BLOCK}-byte blocks):",
+                text.len()
+            );
+            println!("  {:<14} {:>10}  {:>8}  {:>9}", "backend", "MB/s", "ratio", "speedup");
+            println!("  {:<14} {arith_mb:>10.1}  {arith_ratio:>8.4}  {:>9.2}", "arith", 1.0);
+        }
+        let mut lane_reports = Vec::new();
+        for lanes in Lanes::ALL {
+            let rans = SamcRansCodec::from_samc(arith.clone(), lanes);
+            let image = rans.compress(&text)?;
+            let ratio = image.compressed_len() as f64 / text.len() as f64;
+            let mb = time_decode(&rans, &image, &text, iterations)?;
+            let speedup = mb / arith_mb;
+            band_ok &= (image.compressed_len() as f64 - arith_image.compressed_len() as f64).abs()
+                <= 0.02 * arith_image.compressed_len() as f64;
+            if lanes == Lanes::FOUR {
+                speedup_4way = speedup_4way.min(speedup);
+            }
+            if !flags.json {
+                println!(
+                    "  {:<14} {mb:>10.1}  {ratio:>8.4}  {speedup:>9.2}",
+                    format!("rans/{lanes}-way")
+                );
+            }
+            lane_reports.push(format!(
+                concat!(
+                    "{{\"lanes\":{lanes},\"mb_per_s\":{mb:.2},\"ratio\":{ratio:.6},",
+                    "\"ratio_delta\":{delta:.6},\"speedup\":{speedup:.3}}}"
+                ),
+                lanes = lanes.get(),
+                mb = mb,
+                ratio = ratio,
+                delta = ratio - arith_ratio,
+                speedup = speedup,
+            ));
+        }
+        isa_reports.push(format!(
+            concat!(
+                "{{\"isa\":\"{isa}\",\"corpus_bytes\":{corpus},\"iterations\":{iterations},",
+                "\"arith\":{{\"mb_per_s\":{arith_mb:.2},\"ratio\":{arith_ratio:.6}}},",
+                "\"rans\":[{lanes}]}}"
+            ),
+            isa = match isa {
+                Isa::Mips => "mips",
+                Isa::X86 => "x86",
+            },
+            corpus = text.len(),
+            iterations = iterations,
+            arith_mb = arith_mb,
+            arith_ratio = arith_ratio,
+            lanes = lane_reports.join(","),
+        ));
+    }
+    let artifact = format!(
+        concat!(
+            "{{\"version\":1,\"benchmark\":\"decode\",\"profile\":\"{profile}\",",
+            "\"scale\":{scale},\"seed\":{seed},\"block_size\":{block},",
+            "\"isas\":[{isas}],",
+            "\"matches_arith_ratio_band\":{band},\"speedup_4way\":{speedup:.3}}}"
+        ),
+        profile = PROFILE,
+        scale = flags.scale,
+        seed = flags.seed,
+        block = DECODE_BLOCK,
+        isas = isa_reports.join(","),
+        band = band_ok,
+        speedup = speedup_4way,
+    );
+    let path = flags.output.unwrap_or("BENCH_decode.json");
+    std::fs::write(path, terminated(artifact.clone()))?;
+    if flags.json {
+        println!("{artifact}");
+    } else {
+        println!(
+            "decode bench: 4-way rANS speedup {speedup_4way:.2}x, arith ratio band {}",
+            if band_ok { "held (±2%)" } else { "VIOLATED" }
+        );
+        println!("  wrote {path}");
+    }
+    write_metrics(flags.metrics, "bench-decode")
 }
 
 /// `cce bench` pipeline leg: streams a fixed multi-megabyte synthetic

@@ -40,4 +40,4 @@ mod system;
 pub use cache::{Cache, CacheConfig, CacheStats};
 pub use clb::Clb;
 pub use lat::{LatError, LineAddressTable};
-pub use system::{CostModel, MemorySystem, RefillDecompressor, SimReport};
+pub use system::{CostModel, DecoderLatency, MemorySystem, RefillDecompressor, SimReport};

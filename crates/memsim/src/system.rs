@@ -16,6 +16,40 @@ pub trait RefillDecompressor {
     fn refill(&self, index: usize, out_len: usize) -> Option<Vec<u8>>;
 }
 
+/// Timing of the decompression engine sitting on the refill path.
+///
+/// Per-refill cost is `startup_cycles + ceil(block_bytes ·
+/// cycles_per_byte)`: a fixed pipeline-fill charge (reading the stream
+/// header and loading coder state) plus a steady-state throughput term.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecoderLatency {
+    /// Fixed cycles before the first uncompressed byte of a block.
+    pub startup_cycles: u64,
+    /// Steady-state cycles per *uncompressed* byte produced.
+    pub cycles_per_byte: f64,
+}
+
+impl DecoderLatency {
+    /// The paper's serial nibble engine: no per-block startup, 4 bits —
+    /// half a byte — retired per cycle.
+    pub fn nibble() -> Self {
+        Self { startup_cycles: 0, cycles_per_byte: 2.0 }
+    }
+
+    /// An `lanes`-way interleaved rANS engine: one cycle for the stream
+    /// tag plus one per 32-bit lane state, then `lanes` bits per cycle
+    /// (each lane retires a bit per cycle once primed).
+    pub fn rans(lanes: usize) -> Self {
+        Self { startup_cycles: 1 + lanes as u64, cycles_per_byte: 8.0 / lanes as f64 }
+    }
+}
+
+impl Default for DecoderLatency {
+    fn default() -> Self {
+        Self::nibble()
+    }
+}
+
 /// Cycle costs of the modelled components.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostModel {
@@ -23,15 +57,13 @@ pub struct CostModel {
     pub memory_latency: u64,
     /// Bytes transferred from memory per cycle once flowing.
     pub bus_bytes_per_cycle: u64,
-    /// Decompression-engine cycles per *uncompressed* byte produced
-    /// (0 for an uncompressed system; the paper's nibble engine retires
-    /// 4 bits — half a byte — per cycle, i.e. 2.0 here).
-    pub decompress_cycles_per_byte: f64,
+    /// Decompression-engine timing (ignored by uncompressed systems).
+    pub decoder: DecoderLatency,
 }
 
 impl Default for CostModel {
     fn default() -> Self {
-        Self { memory_latency: 20, bus_bytes_per_cycle: 4, decompress_cycles_per_byte: 2.0 }
+        Self { memory_latency: 20, bus_bytes_per_cycle: 4, decoder: DecoderLatency::nibble() }
     }
 }
 
@@ -184,9 +216,9 @@ impl MemorySystem {
                     let (_, compressed_size) = lat.lookup(block);
                     let transfer =
                         u64::from(compressed_size).div_ceil(self.costs.bus_bytes_per_cycle);
-                    let decompress = (self.block_size as f64
-                        * self.costs.decompress_cycles_per_byte)
-                        .ceil() as u64;
+                    let decompress = self.costs.decoder.startup_cycles
+                        + (self.block_size as f64 * self.costs.decoder.cycles_per_byte).ceil()
+                            as u64;
                     lat_penalty + self.costs.memory_latency + transfer + decompress
                 }
             };

@@ -7,17 +7,22 @@
 //!
 //! * `memory_latency` = 20 cycles before data flows
 //! * `bus_bytes_per_cycle` = 4
-//! * `decompress_cycles_per_byte` = 2.0 (the nibble engine's 4 bits/cycle)
+//! * `decoder` = the nibble engine: no startup, 2.0 cycles/byte
+//!   (4 bits retired per cycle)
 //!
 //! giving, for 32-byte blocks:
 //!
 //! * uncompressed refill = 20 + 32/4                  = 28 cycles
 //! * compressed refill   = [20 if CLB miss] + 20 + ceil(size/4) + 64
 
-use cce_memsim::{CacheConfig, CostModel, LineAddressTable, MemorySystem};
+use cce_memsim::{CacheConfig, CostModel, DecoderLatency, LineAddressTable, MemorySystem};
 
 fn costs() -> CostModel {
-    CostModel { memory_latency: 20, bus_bytes_per_cycle: 4, decompress_cycles_per_byte: 2.0 }
+    CostModel {
+        memory_latency: 20,
+        bus_bytes_per_cycle: 4,
+        decoder: DecoderLatency { startup_cycles: 0, cycles_per_byte: 2.0 },
+    }
 }
 
 #[test]
@@ -52,6 +57,23 @@ fn cold_sequential_misses_pay_one_lat_fetch_per_clb_line() {
     // = 89, plus 20 more for the one CLB miss's LAT fetch.
     assert_eq!(report.refill_cycles, (20 + 89) + 11 * 89);
     assert_eq!(report.cycles, 12 + 1088);
+}
+
+#[test]
+fn rans_decoder_swaps_into_the_refill_formula() {
+    // The same compressed system with an 8-way interleaved rANS engine:
+    // startup = 1 + 8 = 9 cycles (stream tag + lane states), then a byte
+    // per cycle — so a 32-byte block decompresses in 9 + 32 = 41 cycles
+    // instead of the nibble engine's 64.
+    let config = CacheConfig { size_bytes: 1024, block_size: 32, associativity: 2 };
+    let costs = CostModel { decoder: DecoderLatency::rans(8), ..costs() };
+    let lat = LineAddressTable::from_block_sizes(vec![20; 32]);
+    let mut sys = MemorySystem::compressed(config, costs, lat, 16);
+    let report = sys.run(&[0u64]);
+    // One fetch; refill = 20 LAT fetch (cold CLB) + 20 latency +
+    // ceil(20/4) = 5 transfer + 41 decompress.
+    assert_eq!(report.refill_cycles, 20 + 20 + 5 + 41);
+    assert_eq!(report.cycles, 1 + 86);
 }
 
 #[test]

@@ -1,0 +1,585 @@
+//! N-way interleaved rANS coder on a 16-bit quantization scale.
+//!
+//! The coder is the throughput-oriented counterpart of the serial range
+//! coder in `cce-arith`.  Symbols are `(freq, cum)` intervals on a
+//! 16-bit scale ([`SCALE`]); the model's clamped 12-bit `P(bit = 0)`
+//! probabilities embed exactly as `raw << 4`, and multi-bit symbol
+//! distributions get the extra 4 bits of quantization headroom their
+//! many-valued alphabets need.  Each of the N *lanes* is an independent
+//! 32-bit rANS state renormalized in 16-bit words; symbols are assigned
+//! to lanes round-robin in symbol order, so the decoder — which must
+//! consume symbols serially because each probability depends on
+//! previously decoded symbols — still spreads its state-update
+//! dependency chains across N registers.
+//!
+//! # Stream layout
+//!
+//! ```text
+//! byte 0            0x50 | log2(lanes)      (lanes ∈ {1, 2, 4, 8})
+//! bytes 1..1+4N     final lane states, big-endian u32, lane 0 first
+//! rest              16-bit renorm words, big-endian, decode order
+//! ```
+//!
+//! The header makes every stream self-describing: a decoder can recover
+//! the interleave width without out-of-band metadata, and the fuzz
+//! harness can target the header, the lane states, and the word stream
+//! independently.
+//!
+//! # Why one reversed word buffer works
+//!
+//! rANS encodes LIFO: the encoder walks symbols in *reverse* order and
+//! the decoder in forward order.  Lanes are independent state machines,
+//! so the words the encoder emits while encoding symbol `i` are exactly
+//! the words the decoder must refill with while decoding symbol `i` —
+//! regardless of which lane the symbol lives on.  Reversing the single
+//! word buffer therefore hands the forward-reading decoder every word
+//! exactly when it is needed, with no per-lane framing overhead.
+
+use cce_arith::{Prob, PROB_BITS, PROB_ONE};
+use cce_codec::CodecError;
+
+/// Lower bound of the normalized state interval `[L, 2^32)`.
+///
+/// Encoding starts every lane at exactly `L`, and decoding a well-formed
+/// stream returns every lane to exactly `L` — the final-state check that
+/// turns most corruptions into typed errors.
+pub const RANS_L: u32 = 1 << 16;
+
+/// log2 of the coder's quantization scale.
+pub const SCALE_BITS: u32 = 16;
+
+/// The coder's quantization scale: symbol `(freq, cum)` intervals tile
+/// `[0, SCALE)`, and `freq / SCALE` is the symbol's coded probability.
+pub const SCALE: u32 = 1 << SCALE_BITS;
+
+/// Header-byte tag in the top six bits (`0b0101_00xx`).
+const HEADER_BASE: u8 = 0x50;
+
+/// Codec name used by coder-level errors (re-labelled by the codec).
+const NAME: &str = "rans";
+
+/// Outlined construction of the hot loop's only error, so the error
+/// path's string allocation never weighs down [`RansDecoder::decode_bit_raw`]'s
+/// inlined body.
+#[cold]
+#[inline(never)]
+fn truncated_stream() -> CodecError {
+    CodecError::corrupt(NAME, "renorm word stream truncated")
+}
+
+/// A validated interleave width: 1, 2, 4, or 8 lanes.
+///
+/// # Examples
+///
+/// ```
+/// use cce_rans::Lanes;
+///
+/// assert_eq!(Lanes::new(4), Some(Lanes::FOUR));
+/// assert_eq!(Lanes::new(3), None);
+/// assert_eq!(Lanes::default().get(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Lanes(u8);
+
+impl Lanes {
+    /// Serial (single-lane) rANS.
+    pub const ONE: Lanes = Lanes(0);
+    /// Two-way interleave.
+    pub const TWO: Lanes = Lanes(1);
+    /// Four-way interleave (the default backend width).
+    pub const FOUR: Lanes = Lanes(2);
+    /// Eight-way interleave.
+    pub const EIGHT: Lanes = Lanes(3);
+
+    /// Every supported width, narrowest first.
+    pub const ALL: [Lanes; 4] = [Lanes::ONE, Lanes::TWO, Lanes::FOUR, Lanes::EIGHT];
+
+    /// Validates a lane count (must be 1, 2, 4, or 8).
+    pub fn new(lanes: usize) -> Option<Lanes> {
+        match lanes {
+            1 => Some(Lanes::ONE),
+            2 => Some(Lanes::TWO),
+            4 => Some(Lanes::FOUR),
+            8 => Some(Lanes::EIGHT),
+            _ => None,
+        }
+    }
+
+    /// The lane count.
+    pub fn get(self) -> usize {
+        1 << self.0
+    }
+
+    /// `log2(lanes)`, the value stored in the stream header.
+    pub fn log2(self) -> u8 {
+        self.0
+    }
+}
+
+impl Default for Lanes {
+    fn default() -> Self {
+        Lanes::FOUR
+    }
+}
+
+impl std::fmt::Display for Lanes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.get())
+    }
+}
+
+/// Interleaved rANS encoder.
+///
+/// Because rANS is last-in-first-out, the encoder only *records*
+/// `(freq, cum)` interval pairs as the caller walks its model forward;
+/// [`RansEncoder::finish`] then encodes the recorded symbols in reverse
+/// and assembles the stream.  Callers code either single model bits
+/// ([`RansEncoder::encode_bit`]) or whole multi-bit symbols against a
+/// quantized distribution ([`RansEncoder::encode_symbol`]).
+///
+/// # Examples
+///
+/// ```
+/// use cce_arith::Prob;
+/// use cce_rans::{Lanes, RansDecoder, RansEncoder};
+///
+/// let bits = [true, false, false, true, true, false];
+/// let p = Prob::from_raw(3000);
+/// let mut enc = RansEncoder::new(Lanes::FOUR);
+/// for &b in &bits {
+///     enc.encode_bit(b, p);
+/// }
+/// let stream = enc.finish();
+///
+/// let mut dec = RansDecoder::new(&stream).unwrap();
+/// for &b in &bits {
+///     assert_eq!(dec.decode_bit(p).unwrap(), b);
+/// }
+/// dec.finish().unwrap();
+/// ```
+#[derive(Debug, Clone)]
+pub struct RansEncoder {
+    lanes: Lanes,
+    /// Recorded `(freq, cum)` interval pairs in model (forward) order.
+    symbols: Vec<(u16, u16)>,
+}
+
+impl RansEncoder {
+    /// Creates an encoder with the given interleave width.
+    pub fn new(lanes: Lanes) -> Self {
+        Self { lanes, symbols: Vec::new() }
+    }
+
+    /// Records one bit with `p0 = P(bit == 0)`.
+    #[inline]
+    pub fn encode_bit(&mut self, bit: bool, p0: Prob) {
+        self.encode_bit_raw(bit, p0.raw() as u16);
+    }
+
+    /// Records one bit with the raw 12-bit probability (already clamped
+    /// to `[1, 4095]` — the invariant `Prob` maintains).
+    #[inline]
+    pub fn encode_bit_raw(&mut self, bit: bool, p0_raw: u16) {
+        debug_assert!((1..PROB_ONE as u16).contains(&p0_raw));
+        // The 12-bit probability embeds exactly on the 16-bit scale.
+        let f0 = p0_raw << (SCALE_BITS - PROB_BITS);
+        if bit {
+            self.encode_symbol(f0.wrapping_neg(), f0);
+        } else {
+            self.encode_symbol(f0, 0);
+        }
+    }
+
+    /// Records one symbol by its quantized interval: `freq` slots wide
+    /// starting at `cum`, on the 16-bit [`SCALE`].
+    ///
+    /// The caller must keep `1 ≤ freq` and `cum + freq ≤ SCALE`; the
+    /// matching decode resolves any `low` in `[cum, cum + freq)` back to
+    /// this symbol.  A `freq` of exactly [`SCALE`] is unrepresentable in
+    /// the `u16`, and also useless: it would denote a certain symbol
+    /// carrying zero information.
+    #[inline]
+    pub fn encode_symbol(&mut self, freq: u16, cum: u16) {
+        debug_assert!(freq >= 1 && u32::from(cum) + u32::from(freq) <= SCALE);
+        self.symbols.push((freq, cum));
+    }
+
+    /// Symbols recorded so far.
+    pub fn symbols(&self) -> usize {
+        self.symbols.len()
+    }
+
+    /// Encodes the recorded symbols and assembles the stream.
+    pub fn finish(self) -> Vec<u8> {
+        let lanes = self.lanes.get();
+        let mut states = [RANS_L; 8];
+        let mut words: Vec<u16> = Vec::with_capacity(self.symbols.len() / 8 + 1);
+        let mut flushes = 0u64;
+        // Reverse symbol order; lane assignment stays `i % lanes`, so the
+        // forward decoder visits lanes round-robin from lane 0.
+        for (i, &(freq, cum)) in self.symbols.iter().enumerate().rev() {
+            let (freq, cum) = (u32::from(freq), u32::from(cum));
+            let mut x = states[i % lanes];
+            // Renormalize while x would leave [L, 2^32) after the step:
+            // x_max = freq · (L / SCALE) · 2^16 = freq << 16.
+            let x_max = freq << (16 + 16 - SCALE_BITS);
+            while x >= x_max {
+                words.push(x as u16);
+                x >>= 16;
+                flushes += 1;
+            }
+            states[i % lanes] = (x / freq) * SCALE + (x % freq) + cum;
+        }
+        let mut out = Vec::with_capacity(1 + 4 * lanes + 2 * words.len());
+        out.push(HEADER_BASE | self.lanes.log2());
+        for &state in states.iter().take(lanes) {
+            out.extend_from_slice(&state.to_be_bytes());
+        }
+        for &word in words.iter().rev() {
+            out.extend_from_slice(&word.to_be_bytes());
+        }
+        crate::obs::ENCODED_SYMBOLS.add(self.symbols.len() as u64);
+        crate::obs::ENCODE_LANE_FLUSHES.add(flushes);
+        out
+    }
+}
+
+/// Interleaved rANS decoder over one stream produced by
+/// [`RansEncoder::finish`].
+///
+/// Construction parses and validates the self-describing header; every
+/// malformed input — bad tag, truncated lane states, a state outside the
+/// normalized interval, a word stream that runs dry, trailing garbage,
+/// or lane states that fail to return to [`RANS_L`] — yields a typed
+/// [`CodecError::Corrupt`], never a panic.  The only allocation is the
+/// caller's output buffer; the decoder itself is a fixed-size cursor.
+#[derive(Debug)]
+pub struct RansDecoder<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    lanes: Lanes,
+    states: [u32; 8],
+    /// Round-robin cursor: the lane the next symbol lives on.
+    next_lane: usize,
+    decoded: u64,
+    refills: u64,
+}
+
+impl<'a> RansDecoder<'a> {
+    /// Parses the stream header and lane states.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Corrupt`] on a bad header tag, truncated lane
+    /// states, or a lane state below [`RANS_L`].
+    pub fn new(bytes: &'a [u8]) -> Result<Self, CodecError> {
+        let Some(&tag) = bytes.first() else {
+            return Err(CodecError::corrupt(NAME, "empty stream"));
+        };
+        if tag & !0x03 != HEADER_BASE {
+            return Err(CodecError::corrupt(NAME, format!("bad stream header byte {tag:#04x}")));
+        }
+        let lanes = Lanes(tag & 0x03);
+        let body = 1 + 4 * lanes.get();
+        if bytes.len() < body {
+            return Err(CodecError::corrupt(
+                NAME,
+                format!("{} bytes cannot hold {} lane states", bytes.len(), lanes),
+            ));
+        }
+        let mut states = [RANS_L; 8];
+        for (lane, state) in states.iter_mut().enumerate().take(lanes.get()) {
+            let at = 1 + 4 * lane;
+            *state = u32::from_be_bytes(bytes[at..at + 4].try_into().expect("4-byte slice"));
+            if *state < RANS_L {
+                return Err(CodecError::corrupt(
+                    NAME,
+                    format!("lane {lane} state {state:#x} below the normalized interval"),
+                ));
+            }
+        }
+        Ok(Self { bytes, pos: body, lanes, states, next_lane: 0, decoded: 0, refills: 0 })
+    }
+
+    /// The interleave width the stream header declares.
+    pub fn lanes(&self) -> Lanes {
+        self.lanes
+    }
+
+    /// Decodes one bit with `p0 = P(bit == 0)`.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Corrupt`] when the renorm word stream is exhausted
+    /// before the lane state returns to the normalized interval.
+    #[inline]
+    pub fn decode_bit(&mut self, p0: Prob) -> Result<bool, CodecError> {
+        self.decode_bit_raw(p0.raw())
+    }
+
+    /// Decodes one bit with the raw 12-bit probability of zero.
+    ///
+    /// # Errors
+    ///
+    /// As [`RansDecoder::decode_bit`].
+    #[inline(always)]
+    pub fn decode_bit_raw(&mut self, f0: u32) -> Result<bool, CodecError> {
+        // The 12-bit probability embeds exactly on the 16-bit scale.
+        let f0 = f0 << (SCALE_BITS - PROB_BITS);
+        let sym = self.decode_symbol_with(|low| {
+            let bit = low >= f0;
+            // Branchless (freq, cum) select: `m` is all-ones exactly
+            // when the bit is 1.  A data-dependent branch here
+            // mispredicts on roughly every entropy-carrying bit.
+            let m = (bit as u32).wrapping_neg();
+            let freq = f0 ^ ((f0 ^ (SCALE - f0)) & m);
+            let cum = f0 & m;
+            (u32::from(bit), freq, cum)
+        })?;
+        Ok(sym != 0)
+    }
+
+    /// Decodes one symbol, letting the caller resolve the scale slot.
+    ///
+    /// `resolve` receives `low = x mod` [`SCALE`] for the current lane
+    /// and must return `(symbol, freq, cum)` for the symbol whose
+    /// interval contains `low` — i.e. `cum ≤ low < cum + freq` with
+    /// `freq ≥ 1`.  A `resolve` that violates the
+    /// interval contract desynchronizes the stream (producing wrong
+    /// symbols that [`RansDecoder::finish`] then rejects) but stays
+    /// memory-safe.  Returns the `symbol` value `resolve` chose.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Corrupt`] when the renorm word stream is exhausted
+    /// before the lane state returns to the normalized interval.
+    #[inline(always)]
+    pub fn decode_symbol_with(
+        &mut self,
+        resolve: impl FnOnce(u32) -> (u32, u32, u32),
+    ) -> Result<u32, CodecError> {
+        // `& 7` proves the index is in bounds, so the array access
+        // compiles without a check; for real streams `next_lane` is
+        // already < lanes ≤ 8, so the mask is a no-op.
+        let lane = self.next_lane & 7;
+        self.next_lane = (lane + 1) & (self.lanes.get() - 1);
+        let x = self.states[lane];
+        let low = x & (SCALE - 1);
+        let (sym, freq, cum) = resolve(low);
+        let mut x = freq * (x >> SCALE_BITS) + low - cum;
+        while x < RANS_L {
+            // Each iteration consumes one word, so the loop terminates
+            // even on hostile (all-zero) input: the stream runs dry.
+            let Some(word) = self.next_word() else {
+                return Err(truncated_stream());
+            };
+            x = x << 16 | u32::from(word);
+            self.refills += 1;
+        }
+        self.states[lane] = x;
+        self.decoded += 1;
+        Ok(sym)
+    }
+
+    /// Verifies stream integrity after the final symbol: every lane state
+    /// must have returned to exactly [`RANS_L`] (the encoder's initial
+    /// value) and every renorm word must have been consumed.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Corrupt`] when either check fails — the signature a
+    /// tampered payload decodes to plausible-looking but wrong bits.
+    pub fn finish(self) -> Result<(), CodecError> {
+        for (lane, &state) in self.states.iter().enumerate().take(self.lanes.get()) {
+            if state != RANS_L {
+                return Err(CodecError::corrupt(
+                    NAME,
+                    format!("lane {lane} ended at {state:#x}, not the initial state"),
+                ));
+            }
+        }
+        if self.pos != self.bytes.len() {
+            return Err(CodecError::corrupt(
+                NAME,
+                format!("{} trailing bytes after the final symbol", self.bytes.len() - self.pos),
+            ));
+        }
+        Ok(())
+    }
+
+    #[inline]
+    fn next_word(&mut self) -> Option<u16> {
+        let bytes = self.bytes.get(self.pos..self.pos + 2)?;
+        self.pos += 2;
+        Some(u16::from_be_bytes(bytes.try_into().expect("2-byte slice")))
+    }
+}
+
+/// Flushes the locally batched counters into [`crate::obs`] — one pair
+/// of atomic adds per decoded stream, matching the arithmetic coder's
+/// overhead policy.
+impl Drop for RansDecoder<'_> {
+    fn drop(&mut self) {
+        crate::obs::DECODED_SYMBOLS.add(self.decoded);
+        crate::obs::DECODE_LANE_REFILLS.add(self.refills);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cce_rng::Rng;
+
+    fn round_trip(bits: &[bool], probs: &[Prob], lanes: Lanes) -> Vec<u8> {
+        let mut enc = RansEncoder::new(lanes);
+        for (&b, &p) in bits.iter().zip(probs) {
+            enc.encode_bit(b, p);
+        }
+        let stream = enc.finish();
+        let mut dec = RansDecoder::new(&stream).unwrap();
+        assert_eq!(dec.lanes(), lanes);
+        for (i, (&b, &p)) in bits.iter().zip(probs).enumerate() {
+            assert_eq!(dec.decode_bit(p).unwrap(), b, "bit {i} at {lanes} lanes");
+        }
+        dec.finish().unwrap();
+        stream
+    }
+
+    #[test]
+    fn empty_stream_round_trips() {
+        for lanes in Lanes::ALL {
+            let stream = RansEncoder::new(lanes).finish();
+            assert_eq!(stream.len(), 1 + 4 * lanes.get());
+            RansDecoder::new(&stream).unwrap().finish().unwrap();
+        }
+    }
+
+    #[test]
+    fn all_widths_round_trip_random_streams() {
+        let mut rng = Rng::seed_from_u64(0x0DAC_1998);
+        for lanes in Lanes::ALL {
+            for len in [1usize, 2, 7, 8, 9, 255, 256, 1000] {
+                let bits: Vec<bool> = (0..len).map(|_| rng.next_u64() & 1 == 1).collect();
+                let probs: Vec<Prob> =
+                    (0..len).map(|_| Prob::from_raw((rng.next_u64() % 4096) as u32)).collect();
+                round_trip(&bits, &probs, lanes);
+            }
+        }
+    }
+
+    #[test]
+    fn extreme_probabilities_round_trip() {
+        let bits = [true, true, false, true, false, false, true, true, false];
+        for p in [Prob::MIN, Prob::MAX, Prob::from_raw(2), Prob::from_raw(4094)] {
+            for lanes in Lanes::ALL {
+                round_trip(&bits, &vec![p; bits.len()], lanes);
+            }
+        }
+    }
+
+    #[test]
+    fn skewed_probabilities_compress() {
+        // 4096 highly predictable bits should cost far less than a bit
+        // each, even after the fixed lane-state flush.
+        let bits = vec![false; 4096];
+        let probs = vec![Prob::from_raw(4090); 4096];
+        let stream = round_trip(&bits, &probs, Lanes::FOUR);
+        assert!(stream.len() < 4096 / 8 / 4, "stream {} bytes", stream.len());
+    }
+
+    #[test]
+    fn lane_widths_decode_identically() {
+        let mut rng = Rng::seed_from_u64(7);
+        let bits: Vec<bool> = (0..2000).map(|_| rng.next_u64().is_multiple_of(3)).collect();
+        let probs: Vec<Prob> =
+            (0..2000).map(|_| Prob::from_raw((rng.next_u64() % 4000 + 48) as u32)).collect();
+        for lanes in Lanes::ALL {
+            round_trip(&bits, &probs, lanes);
+        }
+    }
+
+    #[test]
+    fn header_is_self_describing() {
+        for lanes in Lanes::ALL {
+            let mut enc = RansEncoder::new(lanes);
+            enc.encode_bit(true, Prob::HALF);
+            let stream = enc.finish();
+            assert_eq!(stream[0], 0x50 | lanes.log2());
+            assert_eq!(RansDecoder::new(&stream).unwrap().lanes(), lanes);
+        }
+    }
+
+    #[test]
+    fn corrupt_headers_are_rejected() {
+        assert!(RansDecoder::new(&[]).is_err());
+        for bad in [0x00u8, 0x40, 0x54, 0xF0, 0xFF] {
+            assert!(RansDecoder::new(&[bad]).is_err(), "tag {bad:#x} accepted");
+        }
+        // Valid tag, truncated lane states.
+        assert!(RansDecoder::new(&[0x52, 0, 1]).is_err());
+        // Lane state below the normalized interval.
+        let mut stream = vec![0x50];
+        stream.extend_from_slice(&(RANS_L - 1).to_be_bytes());
+        assert!(RansDecoder::new(&stream).is_err());
+    }
+
+    #[test]
+    fn truncation_is_a_typed_error() {
+        let bits: Vec<bool> = (0..512).map(|i| i % 5 == 0).collect();
+        let probs: Vec<Prob> = (0..512).map(|i| Prob::from_raw(i as u32 % 4000 + 50)).collect();
+        let stream = round_trip(&bits, &probs, Lanes::FOUR);
+        for cut in (1 + 4 * 4)..stream.len() {
+            let mut dec = match RansDecoder::new(&stream[..cut]) {
+                Ok(dec) => dec,
+                Err(CodecError::Corrupt { .. }) => continue,
+                Err(e) => panic!("unexpected error class: {e}"),
+            };
+            let mut failed = false;
+            for (&b, &p) in bits.iter().zip(&probs) {
+                match dec.decode_bit(p) {
+                    Ok(bit) if bit == b => continue,
+                    // Either a decode divergence or a typed truncation
+                    // error: both acceptable, never a panic.
+                    _ => {
+                        failed = true;
+                        break;
+                    }
+                }
+            }
+            assert!(failed || dec.finish().is_err(), "cut {cut} decoded cleanly");
+        }
+    }
+
+    #[test]
+    fn final_state_check_catches_payload_tampering() {
+        let bits: Vec<bool> = (0..256).map(|i| i % 3 == 0).collect();
+        let probs = vec![Prob::from_raw(1000); 256];
+        let stream = round_trip(&bits, &probs, Lanes::TWO);
+        let mut caught = 0usize;
+        let payload_start = 1 + 4 * 2;
+        for i in payload_start..stream.len() {
+            let mut bad = stream.clone();
+            bad[i] ^= 0x01;
+            let Ok(mut dec) = RansDecoder::new(&bad) else {
+                caught += 1;
+                continue;
+            };
+            let mut diverged = false;
+            for (&b, &p) in bits.iter().zip(&probs) {
+                match dec.decode_bit(p) {
+                    Ok(bit) if bit == b => continue,
+                    _ => {
+                        diverged = true;
+                        break;
+                    }
+                }
+            }
+            if diverged || dec.finish().is_err() {
+                caught += 1;
+            }
+        }
+        // A single flipped payload bit must essentially always be
+        // detected (decode divergence or the final-state check).
+        assert_eq!(caught, stream.len() - payload_start);
+    }
+}

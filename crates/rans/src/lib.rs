@@ -1,0 +1,35 @@
+//! Interleaved rANS entropy backend for the SAMC code compressor.
+//!
+//! The paper's decompressor is a serial arithmetic coder: one bit of
+//! compressed input resolves at a time, and every bit carries a
+//! data-dependent chain through the renormalization loop.  rANS (the
+//! range variant of asymmetric numeral systems) encodes against the same
+//! 12-bit quantized Markov probabilities but keeps the entire coder
+//! state in a single machine word, which makes *interleaving* practical:
+//! N independent lane states share one output stream, symbols are
+//! assigned round-robin, and the decoder's per-bit dependency chain
+//! shrinks to one multiply and a table lookup per lane.
+//!
+//! The crate provides two layers:
+//!
+//! - [`RansEncoder`] / [`RansDecoder`] — the raw interleaved coder:
+//!   single model bits ([`cce_arith::Prob`]) or whole multi-bit symbols
+//!   as `(freq, cum)` intervals on the 16-bit [`SCALE`], with a
+//!   self-describing stream header carrying the lane width.
+//! - [`SamcRansCodec`] — a [`cce_codec::BlockCodec`] that drives the
+//!   coder from [`cce_samc::SamcCodec`]'s trained Markov models —
+//!   coding each stream's whole value as one symbol against the
+//!   quantized product of its per-bit probabilities — so the rest of
+//!   the stack (containers, pipeline, serving, model cache) treats it
+//!   as just another algorithm.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod codec;
+mod coder;
+pub mod obs;
+mod serialize;
+
+pub use codec::SamcRansCodec;
+pub use coder::{Lanes, RansDecoder, RansEncoder, RANS_L, SCALE, SCALE_BITS};

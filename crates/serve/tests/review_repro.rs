@@ -23,7 +23,7 @@ fn non_dense_index_entry_panics_read_block() {
     // Chunk 0 holds blocks 0..=2 (3 x 20 = 60 <= 64); block 3 spills.
     let mut p = Publisher::create(&dir, meta, b"", 64).unwrap();
     for i in 0..4u8 {
-        p.push_block(&vec![i; 20], 20).unwrap();
+        p.push_block(&[i; 20], 20).unwrap();
     }
     let summary = p.finish().unwrap();
     assert!(summary.manifest.chunks.len() >= 2, "need at least 2 chunks");

@@ -109,6 +109,21 @@ grep -q '"cold_division_hash":"49bc0a2a57dccd29"' "$optimizer_file"
 # JSON artifacts terminate with a newline (regression: tail -c1 was '}').
 test "$(tail -c1 "$optimizer_file")" = ""
 
+echo "== decode smoke (rANS vs arith throughput, ratio band) =="
+# The interleaved-rANS decode bench on the same fixed-seed suite: the
+# artifact must be valid JSON, every rANS lane width must land within
+# ±2% of the arithmetic coder's compressed size on both ISAs, and the
+# report must carry the 4-way speedup the acceptance gate tracks.  The
+# byte-exactness of the streams themselves is pinned offline by the
+# golden-vector and differential tests that already ran under
+# `cargo test` above.
+decode_file="target/ci-decode.json"
+cargo run --release -q -p cce-core --bin cce -- bench --decode --scale 0.5 -o "$decode_file"
+python3 -m json.tool "$decode_file" > /dev/null    # artifact must be valid JSON
+grep -q '"matches_arith_ratio_band":true' "$decode_file"
+grep -q '"speedup_4way":' "$decode_file"
+test "$(tail -c1 "$decode_file")" = ""
+
 echo "== model-cache smoke (cold miss, then disk hit, pinned division) =="
 cache_dir="target/ci-model-cache"
 cache_elf="target/ci-cache-go.elf"

@@ -97,7 +97,7 @@ fn ratio_prints_all_algorithms() {
     let output = cce(&["ratio", elf_path.to_str().expect("utf8")]);
     assert!(output.status.success());
     let stdout = String::from_utf8_lossy(&output.stdout);
-    for name in ["compress", "gzip", "huffman", "SAMC", "SADC"] {
+    for name in ["compress", "gzip", "huffman", "SAMC", "SADC", "samc-rans"] {
         assert!(stdout.contains(name), "missing {name} in:\n{stdout}");
     }
 }
@@ -114,7 +114,7 @@ fn ratio_emits_json_with_custom_block_size() {
     for needle in ["\"algorithm\":\"SAMC\"", "\"ratio\":", "\"lat_bytes\":", "\"block_count\":"] {
         assert!(json.contains(needle), "missing {needle} in:\n{json}");
     }
-    assert_eq!(json.matches("\"algorithm\"").count(), 5, "{json}");
+    assert_eq!(json.matches("\"algorithm\"").count(), 6, "{json}");
 }
 
 #[test]

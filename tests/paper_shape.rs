@@ -15,12 +15,23 @@ use cce_core::{measure, Algorithm};
 // amortize the fixed model/dictionary tables the ratios include.
 const SCALE: f64 = 0.5;
 
+/// The paper's five evaluated schemes, in legend order.  The registry
+/// also carries post-paper extensions (samc-rans); the figure-shape pins
+/// cover only what §5 published.
+const PAPER_ALGOS: [Algorithm; 5] = [
+    Algorithm::UnixCompress,
+    Algorithm::Gzip,
+    Algorithm::ByteHuffman,
+    Algorithm::Samc,
+    Algorithm::Sadc,
+];
+
 fn suite_means(isa: Isa) -> [f64; 5] {
     // Every third benchmark: spans small (swim) to large (gcc/vortex).
     let programs: Vec<_> = spec95_suite(isa, SCALE).into_iter().step_by(3).collect();
     let mut sums = [0.0f64; 5];
     for program in &programs {
-        for (i, &algorithm) in Algorithm::ALL.iter().enumerate() {
+        for (i, &algorithm) in PAPER_ALGOS.iter().enumerate() {
             sums[i] += measure(algorithm, isa, &program.text, 32)
                 .unwrap_or_else(|e| panic!("{algorithm}/{}: {e}", program.name))
                 .ratio();

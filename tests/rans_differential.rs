@@ -1,0 +1,130 @@
+//! Differential wall for the interleaved rANS backend.
+//!
+//! The rANS codec shares SAMC's trained Markov models, so the arithmetic
+//! coder is a ready-made oracle: both see identical probabilities, and
+//! any disagreement beyond the rANS stream's fixed lane-flush overhead
+//! is a coder bug.  This suite locks down three contracts:
+//!
+//! * **round-trip** — `decode(encode(x)) == x` for every lane width, on
+//!   workload corpora and adversarial random bytes alike;
+//! * **determinism** — compression is byte-identical across worker
+//!   counts (the streaming pipeline must not observe the lane states);
+//! * **ratio band** — per-ISA compressed sizes stay within ±2 % of the
+//!   arithmetic coder's at the 4 KiB decode-bench block size, pinning
+//!   the claim that switching entropy backends costs no real ratio.
+
+use cce_core::codec::{compress_parallel, BlockCodec};
+use cce_core::isa::mips::encode_text;
+use cce_core::isa::Isa;
+use cce_core::rans::{Lanes, SamcRansCodec};
+use cce_core::samc::{SamcCodec, SamcConfig};
+use cce_core::workload::{generate_mips_seeded, generate_x86_seeded, Spec95};
+use cce_rng::Rng;
+
+const SEED: u64 = 0xDAC1998;
+
+/// Block size the ±2 % arith-vs-rANS band is pinned at.  At tiny blocks
+/// the fixed per-block stream header (1 + 4·lanes bytes) dominates; at
+/// the decode-bench block size it is amortized below the band.
+const BAND_BLOCK: usize = 4096;
+
+fn corpus(isa: Isa) -> Vec<u8> {
+    let profile = Spec95::by_name("ijpeg").expect("known benchmark");
+    match isa {
+        Isa::Mips => encode_text(&generate_mips_seeded(profile, 0.05, SEED)),
+        Isa::X86 => generate_x86_seeded(profile, 0.05, SEED),
+    }
+}
+
+fn config(isa: Isa) -> SamcConfig {
+    match isa {
+        Isa::Mips => SamcConfig::mips(),
+        Isa::X86 => SamcConfig::x86(),
+    }
+}
+
+/// Instruction-aligned random bytes: worst case for the models (every
+/// probability near ½), so the lane renormalization paths run hot.
+fn random_corpus(len: usize, unit: usize) -> Vec<u8> {
+    let mut rng = Rng::seed_from_u64(SEED);
+    let mut bytes: Vec<u8> = (0..len).map(|_| rng.next_u32() as u8).collect();
+    bytes.truncate(len / unit * unit);
+    bytes
+}
+
+#[test]
+fn every_lane_width_round_trips_both_isas() {
+    for isa in [Isa::Mips, Isa::X86] {
+        let text = corpus(isa);
+        for lanes in Lanes::ALL {
+            let codec = SamcRansCodec::train(&text, config(isa), lanes).expect("trains");
+            let image = codec.compress(&text).expect("compresses");
+            assert_eq!(codec.decompress(&image).expect("decodes"), text, "{isa}, {lanes} lanes");
+        }
+    }
+}
+
+#[test]
+fn random_bytes_round_trip_every_lane_width() {
+    // Train on the workload, compress adversarial random data: the
+    // models mispredict constantly, exercising deep renormalization.
+    for isa in [Isa::Mips, Isa::X86] {
+        let text = corpus(isa);
+        let cfg = config(isa);
+        let random = random_corpus(16 * 1024, cfg.unit_bytes());
+        for lanes in Lanes::ALL {
+            let codec = SamcRansCodec::train(&text, cfg.clone(), lanes).expect("trains");
+            let image = codec.compress(&random).expect("compresses random bytes");
+            assert_eq!(
+                codec.decompress(&image).expect("decodes"),
+                random,
+                "{isa}, {lanes} lanes on random bytes"
+            );
+        }
+    }
+}
+
+#[test]
+fn compression_is_identical_across_worker_counts() {
+    let text = corpus(Isa::Mips);
+    for lanes in Lanes::ALL {
+        let codec = SamcRansCodec::train(&text, config(Isa::Mips), lanes).expect("trains");
+        let serial = codec.compress(&text).expect("serial").to_bytes();
+        for workers in [1, 2, 3, 7] {
+            let parallel = compress_parallel(&codec, &text, workers).expect("parallel").to_bytes();
+            assert_eq!(parallel, serial, "{lanes} lanes, {workers} workers");
+        }
+    }
+}
+
+#[test]
+fn rans_sizes_match_arith_within_two_percent() {
+    for isa in [Isa::Mips, Isa::X86] {
+        let text = corpus(isa);
+        let cfg = config(isa).with_block_size(BAND_BLOCK);
+        let arith = SamcCodec::train(&text, cfg.clone()).expect("trains");
+        let arith_len = BlockCodec::compress(&arith, &text).expect("compresses").compressed_len();
+        for lanes in Lanes::ALL {
+            let rans = SamcRansCodec::train(&text, cfg.clone(), lanes).expect("trains");
+            let rans_len = rans.compress(&text).expect("compresses").compressed_len();
+            let delta = (rans_len as f64 - arith_len as f64) / arith_len as f64;
+            assert!(
+                delta.abs() <= 0.02,
+                "{isa}, {lanes} lanes: rANS {rans_len} vs arith {arith_len} \
+                 payload bytes ({:+.2}% — band is ±2%)",
+                delta * 100.0
+            );
+        }
+    }
+}
+
+#[test]
+fn decoders_reject_cross_lane_streams() {
+    // A stream's header pins its lane width; decoding it with a codec
+    // configured differently must be a typed error, not garbage output.
+    let text = corpus(Isa::Mips);
+    let two = SamcRansCodec::train(&text, config(Isa::Mips), Lanes::TWO).expect("trains");
+    let eight = SamcRansCodec::train(&text, config(Isa::Mips), Lanes::EIGHT).expect("trains");
+    let image = two.compress(&text).expect("compresses");
+    assert!(eight.decompress_block(image.block(0), 32).is_err());
+}

@@ -79,6 +79,7 @@ fn run(args: &[String]) -> Result<(), Box<dyn Error>> {
         Some("disasm") => disasm(&args[1..]),
         Some("fuzz") => fuzz(&args[1..]),
         Some("gen") => gen(&args[1..]),
+        Some("sweep") => sweep(&args[1..]),
         Some("publish") => publish(&args[1..]),
         Some("verify") => verify(&args[1..]),
         Some("serve") => serve(&args[1..]),
@@ -117,6 +118,11 @@ fn print_usage() {
     println!(
         "                                                entropy-backend decode throughput bench"
     );
+    println!("  cce bench --memsim [...]                      alias for `cce sweep --bench`");
+    println!("  cce sweep [--algos A,B] [--blocks N,..] [--caches N,..] [--assoc N,..]");
+    println!("            [--clb N,..] [--decoders nibble,ransN] [--fetches N] [--scale F]");
+    println!("            [--seed S] [--workers N] [--bench] [-o OUT.json] [--json]");
+    println!("                                                memory-system design-space sweep");
     println!(
         "  cce gen <profile> [--scale F] [--seed S] [--isa mips|x86] [--multi-section] -o <out.elf>"
     );
@@ -159,6 +165,16 @@ struct Flags<'a> {
     tcp: Option<&'a str>,
     timeout_ms: u64,
     cache: usize,
+    algos: Option<&'a str>,
+    blocks: Option<&'a str>,
+    caches: Option<&'a str>,
+    assoc: Option<&'a str>,
+    clb: Option<&'a str>,
+    decoders: Option<&'a str>,
+    fetches: usize,
+    workers: Option<usize>,
+    bench: bool,
+    memsim: bool,
 }
 
 /// Parses `-o out` plus positional arguments.
@@ -184,6 +200,16 @@ fn split_flags(args: &[String]) -> Result<Flags<'_>, String> {
     let mut tcp = None;
     let mut timeout_ms = 5000u64;
     let mut cache = 256usize;
+    let mut algos = None;
+    let mut blocks = None;
+    let mut caches = None;
+    let mut assoc = None;
+    let mut clb = None;
+    let mut decoders = None;
+    let mut fetches = 100_000usize;
+    let mut workers = None;
+    let mut bench_flag = false;
+    let mut memsim = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -303,6 +329,61 @@ fn split_flags(args: &[String]) -> Result<Flags<'_>, String> {
                     .map_err(|_| "cache must be an integer (blocks)")?;
                 i += 2;
             }
+            "--algos" => {
+                algos = Some(args.get(i + 1).ok_or("missing value after --algos")?.as_str());
+                i += 2;
+            }
+            "--blocks" => {
+                blocks = Some(args.get(i + 1).ok_or("missing value after --blocks")?.as_str());
+                i += 2;
+            }
+            "--caches" => {
+                caches = Some(args.get(i + 1).ok_or("missing value after --caches")?.as_str());
+                i += 2;
+            }
+            "--assoc" => {
+                assoc = Some(args.get(i + 1).ok_or("missing value after --assoc")?.as_str());
+                i += 2;
+            }
+            "--clb" => {
+                clb = Some(args.get(i + 1).ok_or("missing value after --clb")?.as_str());
+                i += 2;
+            }
+            "--decoders" => {
+                decoders = Some(args.get(i + 1).ok_or("missing value after --decoders")?.as_str());
+                i += 2;
+            }
+            "--fetches" => {
+                fetches = args
+                    .get(i + 1)
+                    .ok_or("missing value after --fetches")?
+                    .parse()
+                    .map_err(|_| "fetches must be an integer")?;
+                if fetches == 0 {
+                    return Err("fetches must be positive".into());
+                }
+                i += 2;
+            }
+            "--workers" => {
+                let n: usize = args
+                    .get(i + 1)
+                    .ok_or("missing value after --workers")?
+                    .parse()
+                    .map_err(|_| "workers must be an integer")?;
+                if !(1..=1024).contains(&n) {
+                    return Err("workers must be in 1..=1024".into());
+                }
+                workers = Some(n);
+                i += 2;
+            }
+            "--bench" => {
+                bench_flag = true;
+                i += 1;
+            }
+            "--memsim" => {
+                memsim = true;
+                i += 1;
+            }
             other => {
                 positional.push(other);
                 i += 1;
@@ -330,6 +411,16 @@ fn split_flags(args: &[String]) -> Result<Flags<'_>, String> {
         tcp,
         timeout_ms,
         cache,
+        algos,
+        blocks,
+        caches,
+        assoc,
+        clb,
+        decoders,
+        fetches,
+        workers,
+        bench: bench_flag,
+        memsim,
     })
 }
 
@@ -553,6 +644,11 @@ fn bench(args: &[String]) -> Result<(), Box<dyn Error>> {
     if flags.decode {
         return bench_decode(&flags);
     }
+    if flags.memsim {
+        // `cce bench --memsim` ≡ `cce sweep --bench`: the design-space
+        // sweep with the kernel-speedup leg in the artifact.
+        return run_sweep_command(&flags, true);
+    }
     cce_core::obs::reset();
     let isa = Isa::Mips;
     let mut trainer = flags.model_cache.map(open_model_cache).transpose()?;
@@ -771,6 +867,371 @@ fn bench_decode(flags: &Flags) -> Result<(), Box<dyn Error>> {
         println!("  wrote {path}");
     }
     write_metrics(flags.metrics, "bench-decode")
+}
+
+/// Parses a comma-separated list of integers for a sweep grid axis.
+fn parse_csv_usize(flag: &str, raw: &str) -> Result<Vec<usize>, String> {
+    let mut out = Vec::new();
+    for part in raw.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        out.push(part.parse().map_err(|_| format!("{flag}: `{part}` is not an integer"))?);
+    }
+    if out.is_empty() {
+        return Err(format!("{flag}: no values"));
+    }
+    Ok(out)
+}
+
+/// Parses one `--decoders` axis value: `nibble` or `ransN` (N lanes).
+fn parse_decoder(name: &str) -> Result<cce_core::memsim::sweep::SweepDecoder, String> {
+    use cce_core::memsim::{sweep::SweepDecoder, DecoderLatency};
+    if name == "nibble" {
+        return Ok(SweepDecoder { name: name.into(), latency: DecoderLatency::nibble() });
+    }
+    if let Some(lanes) = name.strip_prefix("rans") {
+        let lanes: usize =
+            lanes.parse().map_err(|_| format!("bad decoder `{name}` (want ransN)"))?;
+        let latency =
+            DecoderLatency::try_rans(lanes).map_err(|e| format!("decoder `{name}`: {e}"))?;
+        return Ok(SweepDecoder { name: name.into(), latency });
+    }
+    Err(format!("unknown decoder `{name}` (want nibble or ransN)"))
+}
+
+/// `cce sweep`: expand and simulate the memory-system design-space grid,
+/// writing the versioned `BENCH_memsim.json` artifact (see README).
+fn sweep(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let flags = split_flags(args)?;
+    if !flags.positional.is_empty() {
+        return Err(concat!(
+            "usage: cce sweep [--algos A,B] [--blocks N,..] [--caches N,..] [--assoc N,..] ",
+            "[--clb N,..] [--decoders nibble,ransN] [--fetches N] [--scale F] [--seed S] ",
+            "[--workers N] [--bench] [-o OUT.json] [--json] [--metrics M.json]"
+        )
+        .into());
+    }
+    run_sweep_command(&flags, flags.bench)
+}
+
+/// The sweep driver behind `cce sweep` and `cce bench --memsim`.
+///
+/// Workload and trace are fixed-seed and generated once; each (codec,
+/// block size) image is trained and compressed exactly once and shared
+/// across its cells via `Arc`; cells fan out over the deterministic
+/// `parallel_map` pool.  The artifact contains no wall-clock numbers
+/// unless `with_kernel_leg` is set, so a plain `cce sweep` writes a
+/// byte-identical `BENCH_memsim.json` for any `--workers` value — the
+/// property CI pins.  With the kernel leg, the same fixed-seed trace is
+/// timed through the fast and the retained reference kernels and the two
+/// reports are required to be identical (`matches_reference`).
+fn run_sweep_command(flags: &Flags, with_kernel_leg: bool) -> Result<(), Box<dyn Error>> {
+    use cce_core::codec::compress_parallel;
+    use cce_core::isa::mips::encode_text;
+    use cce_core::memsim::sweep::{run_sweep, SweepConfig, SweepImage};
+    use cce_core::memsim::{CacheConfig, CostModel, LineAddressTable, MemorySystem};
+    use cce_core::workload::trace::{instruction_trace, TraceConfig};
+    use cce_core::workload::{generate_mips_seeded, Spec95};
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    const PROFILE: &str = "go";
+    cce_core::obs::reset();
+
+    // Grid axes (defaults give 144 cells; CI widens --assoc to pass 200).
+    let defaults = SweepConfig::default();
+    let algo_names = flags.algos.unwrap_or("samc,huffman");
+    let mut algorithms = Vec::new();
+    for name in algo_names.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        let algorithm =
+            Algorithm::by_name(name).ok_or_else(|| format!("unknown algorithm `{name}`"))?;
+        if !algorithm.random_access() {
+            return Err(format!(
+                "{algorithm} is file-oriented; a memory system needs random access"
+            )
+            .into());
+        }
+        algorithms.push(algorithm);
+    }
+    if algorithms.is_empty() {
+        return Err("--algos: no values".into());
+    }
+    let blocks = match flags.blocks {
+        Some(raw) => parse_csv_usize("--blocks", raw)?,
+        None => vec![16, 32, 64],
+    };
+    let cache_sizes = match flags.caches {
+        Some(raw) => parse_csv_usize("--caches", raw)?,
+        None => defaults.cache_sizes.clone(),
+    };
+    let associativities = match flags.assoc {
+        Some(raw) => parse_csv_usize("--assoc", raw)?,
+        None => defaults.associativities.clone(),
+    };
+    let clb_entries = match flags.clb {
+        Some(raw) => parse_csv_usize("--clb", raw)?,
+        None => defaults.clb_entries.clone(),
+    };
+    let decoders = match flags.decoders {
+        Some(raw) => raw
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(parse_decoder)
+            .collect::<Result<Vec<_>, _>>()?,
+        None => defaults.decoders.clone(),
+    };
+    if decoders.is_empty() {
+        return Err("--decoders: no values".into());
+    }
+    let config = SweepConfig {
+        cache_sizes,
+        associativities,
+        clb_entries,
+        decoders,
+        memory_latency: defaults.memory_latency,
+        bus_bytes_per_cycle: defaults.bus_bytes_per_cycle,
+    };
+    let workers = flags.workers.unwrap_or_else(cce_core::codec::worker_count);
+
+    // Workload text and fetch trace: generated once, shared by every
+    // image and cell.
+    let profile = Spec95::by_name(PROFILE).expect("profile is in the suite");
+    let text = encode_text(&generate_mips_seeded(profile, flags.scale, flags.seed));
+    let trace = instruction_trace(
+        text.len(),
+        &TraceConfig { fetches: flags.fetches, seed: flags.seed, ..TraceConfig::default() },
+    );
+
+    // Each (codec, block size) grid point is trained and compressed
+    // exactly once; cells only ever see the Arc-shared LAT.
+    let mut images = Vec::new();
+    let mut image_json = Vec::new();
+    for &algorithm in &algorithms {
+        for &block_size in &blocks {
+            let handle = algorithm
+                .build(Isa::Mips, block_size)
+                .train(&text)
+                .map_err(|e| format!("{algorithm}/b{block_size}: {e}"))?;
+            let codec = handle.as_block().expect("random-access checked above");
+            let image = compress_parallel(codec, &text, workers)
+                .map_err(|e| format!("{algorithm}/b{block_size}: {e}"))?;
+            let lat = LineAddressTable::from_image(&image);
+            image_json.push(format!(
+                concat!(
+                    "{{\"codec\":\"{codec}\",\"block_size\":{block},\"blocks\":{blocks},",
+                    "\"compressed_bytes\":{compressed},\"text_bytes\":{text_bytes},",
+                    "\"ratio\":{ratio:.6},\"lat_bytes\":{lat_bytes}}}"
+                ),
+                codec = algorithm,
+                block = block_size,
+                blocks = image.block_count(),
+                compressed = image.compressed_len(),
+                text_bytes = text.len(),
+                ratio = image.compressed_len() as f64 / text.len() as f64,
+                lat_bytes = lat.table_bytes(),
+            ));
+            images.push(SweepImage {
+                codec: algorithm.to_string(),
+                block_size,
+                lat: Arc::new(lat),
+                compressed_bytes: image.compressed_len() as u64,
+                text_bytes: text.len() as u64,
+            });
+        }
+    }
+
+    let results = run_sweep(&images, &config, &trace, workers);
+    if results.is_empty() {
+        return Err("sweep grid expanded to zero valid cells".into());
+    }
+
+    let mut cell_json = Vec::with_capacity(results.len());
+    for r in &results {
+        let image = &images[r.cell.image];
+        let clb_total = (r.report.clb_hits + r.report.clb_misses).max(1);
+        cell_json.push(format!(
+            concat!(
+                "{{\"codec\":\"{codec}\",\"block_size\":{block},\"cache\":{cache},",
+                "\"assoc\":{assoc},\"clb\":{clb},\"decoder\":\"{decoder}\",",
+                "\"cpf\":{cpf:.6},\"baseline_cpf\":{baseline:.6},\"slowdown\":{slowdown:.6},",
+                "\"cache_hit_ratio\":{cache_hits:.6},\"clb_hit_ratio\":{clb_hits:.6},",
+                "\"refill_cycles\":{refill}}}"
+            ),
+            codec = image.codec,
+            block = image.block_size,
+            cache = r.cell.cache_size,
+            assoc = r.cell.associativity,
+            clb = r.cell.clb_entries,
+            decoder = config.decoders[r.cell.decoder].name,
+            cpf = r.report.cpf(),
+            baseline = r.baseline.cpf(),
+            slowdown = r.slowdown(),
+            cache_hits = r.report.cache.hit_ratio(),
+            clb_hits = r.report.clb_hits as f64 / clb_total as f64,
+            refill = r.report.refill_cycles,
+        ));
+    }
+
+    // Per-decoder mean CPF, and the arith-vs-rANS refill-latency delta
+    // (nibble models the paper's serial engine; positive delta = the
+    // rANS engine is faster end to end).
+    let mut decoder_json = Vec::new();
+    let mut mean_by_decoder = Vec::new();
+    for (index, decoder) in config.decoders.iter().enumerate() {
+        let cpfs: Vec<f64> =
+            results.iter().filter(|r| r.cell.decoder == index).map(|r| r.report.cpf()).collect();
+        let mean = cpfs.iter().sum::<f64>() / cpfs.len().max(1) as f64;
+        mean_by_decoder.push(mean);
+        decoder_json.push(format!(
+            "{{\"decoder\":\"{name}\",\"cells\":{cells},\"mean_cpf\":{mean:.6}}}",
+            name = decoder.name,
+            cells = cpfs.len(),
+        ));
+    }
+    let nibble_mean =
+        config.decoders.iter().position(|d| d.name == "nibble").map(|i| mean_by_decoder[i]);
+    let rans_mean =
+        config.decoders.iter().position(|d| d.name.starts_with("rans")).map(|i| mean_by_decoder[i]);
+    let arith_rans_delta = match (nibble_mean, rans_mean) {
+        (Some(nibble), Some(rans)) => format!("{:.6}", nibble - rans),
+        _ => "null".into(),
+    };
+
+    // Kernel leg (timing — only with --bench, so the plain artifact stays
+    // byte-identical across worker counts): the fixed-seed trace through
+    // the fast kernel vs the retained reference walk on one cell.
+    let kernel = if with_kernel_leg {
+        // Time the geometry with the widest sets and the smallest cache —
+        // the most conflict pressure, where the set walk the flat kernel
+        // replaces is at its largest.
+        let cell = results
+            .iter()
+            .map(|r| r.cell)
+            .max_by_key(|c| (c.associativity, std::cmp::Reverse(c.cache_size)))
+            .expect("results checked non-empty above");
+        let image = &images[cell.image];
+        let cache = CacheConfig {
+            size_bytes: cell.cache_size,
+            block_size: image.block_size,
+            associativity: cell.associativity,
+        };
+        let costs = CostModel {
+            memory_latency: config.memory_latency,
+            bus_bytes_per_cycle: config.bus_bytes_per_cycle,
+            decoder: config.decoders[cell.decoder].latency,
+        };
+        let fresh =
+            || MemorySystem::compressed(cache, costs, Arc::clone(&image.lat), cell.clb_entries);
+        // Correctness gate before any timing.
+        let fast_report = fresh().run(&trace);
+        let reference_report = fresh().run_reference(&trace);
+        let matches_reference = fast_report == reference_report;
+
+        let reps = (4_000_000 / flags.fetches.max(1)).clamp(2, 64);
+        // Interleave the two legs rep for rep so clock-frequency drift
+        // lands on both sides of the ratio equally.
+        let mut fast_s = 0f64;
+        let mut reference_s = 0f64;
+        for _ in 0..reps {
+            let start = Instant::now();
+            let mut system = fresh();
+            std::hint::black_box(system.run(&trace));
+            fast_s += start.elapsed().as_secs_f64();
+            let start = Instant::now();
+            let mut system = fresh();
+            std::hint::black_box(system.run_reference(&trace));
+            reference_s += start.elapsed().as_secs_f64();
+        }
+        let fast_ms = fast_s.max(1e-9) * 1e3;
+        let reference_ms = reference_s.max(1e-9) * 1e3;
+        let fetches_per_s = |ms: f64| (reps as u64 * trace.len() as u64) as f64 / (ms / 1e3);
+        let speedup = reference_ms / fast_ms;
+        if !flags.json {
+            println!(
+                "kernel: fast {:.1} vs reference {:.1} Mfetch/s ({speedup:.2}x), matches_reference {matches_reference}",
+                fetches_per_s(fast_ms) / 1e6,
+                fetches_per_s(reference_ms) / 1e6,
+            );
+        }
+        format!(
+            concat!(
+                "{{\"cell\":{{\"codec\":\"{codec}\",\"block_size\":{block},\"cache\":{cache},",
+                "\"assoc\":{assoc},\"clb\":{clb},\"decoder\":\"{decoder}\"}},",
+                "\"fetches\":{fetches},\"reps\":{reps},",
+                "\"reference_ms\":{reference_ms:.3},\"fast_ms\":{fast_ms:.3},",
+                "\"reference_fetches_per_s\":{ref_fps:.0},\"fast_fetches_per_s\":{fast_fps:.0},",
+                "\"speedup\":{speedup:.3},\"matches_reference\":{matches_reference}}}"
+            ),
+            codec = image.codec,
+            block = image.block_size,
+            cache = cell.cache_size,
+            assoc = cell.associativity,
+            clb = cell.clb_entries,
+            decoder = config.decoders[cell.decoder].name,
+            fetches = trace.len(),
+            reps = reps,
+            reference_ms = reference_ms,
+            fast_ms = fast_ms,
+            ref_fps = fetches_per_s(reference_ms),
+            fast_fps = fetches_per_s(fast_ms),
+            speedup = speedup,
+            matches_reference = matches_reference,
+        )
+    } else {
+        "null".into()
+    };
+
+    let artifact = format!(
+        concat!(
+            "{{\"version\":1,\"benchmark\":\"memsim-sweep\",\"profile\":\"{profile}\",",
+            "\"scale\":{scale},\"seed\":{seed},\"fetches\":{fetches},",
+            "\"grid\":{{\"algos\":[{algos}],\"blocks\":{blocks:?},\"caches\":{caches:?},",
+            "\"assoc\":{assoc:?},\"clb\":{clb:?},\"decoders\":[{decoders}],",
+            "\"memory_latency\":{latency},\"bus_bytes_per_cycle\":{bus}}},",
+            "\"images\":[{images}],\"cells\":[{cells}],",
+            "\"summary\":{{\"cells\":{cell_count},\"images\":{image_count},",
+            "\"decoder_mean_cpf\":[{decoder_means}],\"arith_rans_delta\":{delta}}},",
+            "\"kernel\":{kernel}}}"
+        ),
+        profile = PROFILE,
+        scale = flags.scale,
+        seed = flags.seed,
+        fetches = trace.len(),
+        algos = algorithms.iter().map(|a| format!("\"{a}\"")).collect::<Vec<_>>().join(","),
+        blocks = blocks,
+        caches = config.cache_sizes,
+        assoc = config.associativities,
+        clb = config.clb_entries,
+        decoders =
+            config.decoders.iter().map(|d| format!("\"{}\"", d.name)).collect::<Vec<_>>().join(","),
+        latency = config.memory_latency,
+        bus = config.bus_bytes_per_cycle,
+        images = image_json.join(","),
+        cells = cell_json.join(","),
+        cell_count = results.len(),
+        image_count = images.len(),
+        decoder_means = decoder_json.join(","),
+        delta = arith_rans_delta,
+        kernel = kernel,
+    );
+    let path = flags.output.unwrap_or("BENCH_memsim.json");
+    std::fs::write(path, terminated(artifact.clone()))?;
+    if flags.json {
+        println!("{artifact}");
+    } else {
+        println!(
+            "sweep: {} cells over {} images ({} fetches each), arith-vs-rANS mean CPF delta {}",
+            results.len(),
+            images.len(),
+            trace.len(),
+            arith_rans_delta,
+        );
+        println!("  wrote {path}");
+    }
+    write_metrics(flags.metrics, "sweep")
 }
 
 /// `cce bench` pipeline leg: streams a fixed multi-megabyte synthetic

@@ -19,8 +19,8 @@ pub const METRICS_FORMAT_VERSION: u32 = 1;
 
 /// Every metric descriptor registered across the workspace, in a stable
 /// order: arith, samc, sadc, huffman, lz, codec, memsim, the streaming
-/// pipeline, the serving tier, then the rANS backend (each new family is
-/// appended last so
+/// pipeline, the serving tier, the rANS backend, then the memsim sweep
+/// driver (each new family is appended last so
 /// the artifact order of every earlier metric is unchanged — the
 /// registry is append-only).
 pub fn descriptors() -> Vec<Desc> {
@@ -35,6 +35,7 @@ pub fn descriptors() -> Vec<Desc> {
     all.extend(cce_codec::obs::pipeline_descriptors());
     all.extend(cce_serve::obs::descriptors());
     all.extend(cce_rans::obs::descriptors());
+    all.extend(cce_memsim::obs::sweep_descriptors());
     all
 }
 

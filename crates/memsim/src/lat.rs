@@ -149,6 +149,7 @@ impl LineAddressTable {
     /// # Panics
     ///
     /// Panics if `index` is out of range.
+    #[inline]
     pub fn lookup(&self, index: usize) -> (u64, u32) {
         (self.offsets[index], self.sizes[index])
     }

@@ -6,7 +6,7 @@
 //! invocation sees the combined cache/CLB/LAT traffic of every simulation
 //! it performed.
 
-use cce_obs::{Counter, Desc};
+use cce_obs::{Counter, Desc, SpanStat};
 
 /// I-cache hits across all simulations.
 pub static CACHE_HITS: Counter = Counter::new();
@@ -22,8 +22,14 @@ pub static LAT_REFILLS: Counter = Counter::new();
 pub static REFILLS: Counter = Counter::new();
 /// Cycles spent refilling (latency + transfer + decompression).
 pub static REFILL_CYCLES: Counter = Counter::new();
+/// Grid cells simulated by sweep runs.
+pub static SWEEP_CELLS: Counter = Counter::new();
+/// Cells served by an already-built compressed image (cells − images).
+pub static SWEEP_IMAGE_REUSE: Counter = Counter::new();
+/// Wall time of whole sweep runs.
+pub static SWEEP_SPAN: SpanStat = SpanStat::new();
 
-/// Descriptors for every metric this crate registers.
+/// Descriptors for the simulator metrics this crate registers.
 pub fn descriptors() -> [Desc; 7] {
     [
         Desc::counter("memsim.cache.hits", "I-cache hits across simulations", &CACHE_HITS),
@@ -33,5 +39,19 @@ pub fn descriptors() -> [Desc; 7] {
         Desc::counter("memsim.lat.refills", "LAT entries fetched from main memory", &LAT_REFILLS),
         Desc::counter("memsim.refills", "cache-block refills performed", &REFILLS),
         Desc::counter("memsim.refill.cycles", "cycles spent in refills", &REFILL_CYCLES),
+    ]
+}
+
+/// Descriptors for the sweep-driver metrics, registered as their own
+/// family so the workspace chain stays append-only.
+pub fn sweep_descriptors() -> [Desc; 3] {
+    [
+        Desc::counter("sweep.cells", "design-space grid cells simulated", &SWEEP_CELLS),
+        Desc::counter(
+            "sweep.reuse.images",
+            "sweep cells served by a shared compressed image",
+            &SWEEP_IMAGE_REUSE,
+        ),
+        Desc::span("sweep.span", "wall time of sweep runs", &SWEEP_SPAN),
     ]
 }

@@ -3,6 +3,9 @@
 use crate::cache::{Cache, CacheConfig, CacheStats};
 use crate::clb::Clb;
 use crate::lat::LineAddressTable;
+use std::error::Error;
+use std::fmt;
+use std::sync::Arc;
 
 /// A block decompressor the refill engine can drive, for *functional*
 /// co-simulation: the simulated machine really reads its instructions out
@@ -14,7 +17,45 @@ pub trait RefillDecompressor {
     /// Decompresses block `index` from its stored bytes into `out_len`
     /// uncompressed bytes, or `None` on failure (a corrupt image).
     fn refill(&self, index: usize, out_len: usize) -> Option<Vec<u8>>;
+
+    /// Decompresses block `index` into `out` (cleared first), avoiding
+    /// the per-refill `Vec` of [`RefillDecompressor::refill`]; returns
+    /// `false` on failure.  The fast simulation loop reuses one buffer
+    /// across every miss through this entry point, so a steady-state run
+    /// allocates nothing per refill.
+    ///
+    /// The default forwards to `refill` and copies; implementers with a
+    /// buffer-filling decode path should override it.
+    fn refill_into(&self, index: usize, out_len: usize, out: &mut Vec<u8>) -> bool {
+        match self.refill(index, out_len) {
+            Some(bytes) => {
+                out.clear();
+                out.extend_from_slice(&bytes);
+                true
+            }
+            None => false,
+        }
+    }
 }
+
+/// Errors from the checked [`DecoderLatency`] constructors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LatencyError {
+    /// A rANS engine with zero lanes: `8.0 / 0` would make
+    /// `cycles_per_byte` infinite and silently poison every cycle count
+    /// downstream.
+    ZeroLanes,
+}
+
+impl fmt::Display for LatencyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ZeroLanes => write!(f, "rANS decoder needs at least one lane"),
+        }
+    }
+}
+
+impl Error for LatencyError {}
 
 /// Timing of the decompression engine sitting on the refill path.
 ///
@@ -39,8 +80,26 @@ impl DecoderLatency {
     /// An `lanes`-way interleaved rANS engine: one cycle for the stream
     /// tag plus one per 32-bit lane state, then `lanes` bits per cycle
     /// (each lane retires a bit per cycle once primed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes == 0`; use [`DecoderLatency::try_rans`] for a
+    /// typed error instead.
     pub fn rans(lanes: usize) -> Self {
-        Self { startup_cycles: 1 + lanes as u64, cycles_per_byte: 8.0 / lanes as f64 }
+        Self::try_rans(lanes).expect("rANS decoder needs at least one lane")
+    }
+
+    /// Like [`DecoderLatency::rans`], but returns a typed error in place
+    /// of the panic.
+    ///
+    /// # Errors
+    ///
+    /// [`LatencyError::ZeroLanes`] if `lanes == 0`.
+    pub fn try_rans(lanes: usize) -> Result<Self, LatencyError> {
+        if lanes == 0 {
+            return Err(LatencyError::ZeroLanes);
+        }
+        Ok(Self { startup_cycles: 1 + lanes as u64, cycles_per_byte: 8.0 / lanes as f64 })
     }
 }
 
@@ -99,13 +158,20 @@ impl SimReport {
 
 /// The compressed-code memory system of Fig. 1 (or the uncompressed
 /// baseline, when built without a LAT).
+///
+/// The LAT is held behind an [`Arc`], so a sweep can share one immutable
+/// table (and the compressed image it describes) across every
+/// cache/CLB/decoder cell instead of cloning per cell; single-system
+/// callers keep passing an owned table, which converts implicitly.
 #[derive(Debug, Clone)]
 pub struct MemorySystem {
     cache: Cache,
     /// `Some` for compressed systems: the LAT plus the CLB caching it.
-    compressed: Option<(LineAddressTable, Clb)>,
+    compressed: Option<(Arc<LineAddressTable>, Clb)>,
     costs: CostModel,
     block_size: usize,
+    /// Reused refill target for the zero-allocation functional path.
+    refill_buf: Vec<u8>,
 }
 
 impl MemorySystem {
@@ -116,11 +182,12 @@ impl MemorySystem {
             cache: Cache::new(cache_config),
             compressed: None,
             costs,
+            refill_buf: Vec::new(),
         }
     }
 
     /// A compressed-code system refilling through `lat` with a CLB of
-    /// `clb_entries`.
+    /// `clb_entries`.  Accepts an owned table or an `Arc` share of one.
     ///
     /// # Panics
     ///
@@ -128,14 +195,15 @@ impl MemorySystem {
     pub fn compressed(
         cache_config: CacheConfig,
         costs: CostModel,
-        lat: LineAddressTable,
+        lat: impl Into<Arc<LineAddressTable>>,
         clb_entries: usize,
     ) -> Self {
         Self {
             block_size: cache_config.block_size,
             cache: Cache::new(cache_config),
-            compressed: Some((lat, Clb::new(clb_entries))),
+            compressed: Some((lat.into(), Clb::new(clb_entries))),
             costs,
+            refill_buf: Vec::new(),
         }
     }
 
@@ -168,7 +236,123 @@ impl MemorySystem {
         self.run_inner(trace, Some(codec), text)
     }
 
+    /// [`MemorySystem::run`] through the retained reference kernels
+    /// ([`Cache::access_reference`], [`Clb::access_reference`], per-miss
+    /// cost recomputation) — the pre-PR-10 walk, kept so the bench kernel
+    /// leg and differential tests can require access-for-access identical
+    /// stats from the fast path.  Use a fresh `MemorySystem` per kernel;
+    /// the two walks keep separate cache storage.
+    pub fn run_reference(&mut self, trace: &[u64]) -> SimReport {
+        self.run_inner_reference(trace, None, &[])
+    }
+
+    /// [`MemorySystem::run_functional`] through the retained reference
+    /// kernels, with the original allocating
+    /// [`RefillDecompressor::refill`] on every miss.
+    ///
+    /// # Panics
+    ///
+    /// As [`MemorySystem::run_functional`].
+    pub fn run_functional_reference(
+        &mut self,
+        trace: &[u64],
+        codec: &dyn RefillDecompressor,
+        text: &[u8],
+    ) -> SimReport {
+        self.run_inner_reference(trace, Some(codec), text)
+    }
+
+    /// The fast kernel: shift addressing (block size is asserted a power
+    /// of two by [`Cache::new`]), every refill-cost term that does not
+    /// depend on the missed block hoisted out of the loop, and refills
+    /// decompressed into one reused buffer.
     fn run_inner(
+        &mut self,
+        trace: &[u64],
+        codec: Option<&dyn RefillDecompressor>,
+        text: &[u8],
+    ) -> SimReport {
+        let cache_before = self.cache.stats();
+        let clb_before = self.compressed.as_ref().map(|(_, clb)| clb.stats()).unwrap_or_default();
+        let block_shift = self.block_size.trailing_zeros();
+        // Per-miss constants, identical to the per-miss expressions the
+        // reference walk evaluates (same operations, same rounding).
+        let uncompressed_refill = self.costs.memory_latency
+            + (self.block_size as u64).div_ceil(self.costs.bus_bytes_per_cycle);
+        let decompress_cycles = self.costs.decoder.startup_cycles
+            + (self.block_size as f64 * self.costs.decoder.cycles_per_byte).ceil() as u64;
+        let lat_len = self.compressed.as_ref().map(|(lat, _)| lat.len().max(1)).unwrap_or(1);
+        let mut buf = std::mem::take(&mut self.refill_buf);
+
+        let mut cycles = 0u64;
+        let mut refill_cycles = 0u64;
+        let mut refills = 0u64;
+        let mut i = 0;
+        while i < trace.len() {
+            let addr = trace[i];
+            let block_addr = addr >> block_shift;
+            // Run batching: sequential instruction fetch lands many
+            // consecutive fetches in one cache block, and after the first
+            // access nothing can evict that block — so the tail of a run
+            // is guaranteed hits and collapses into one `access_run`.
+            // The run scan walks eight fetches per probe (a branchless
+            // all-equal check the compiler can unroll or vectorize) and
+            // finishes the tail a fetch at a time.
+            let mut j = i + 1;
+            while j < trace.len() && trace[j] >> block_shift == block_addr {
+                j += 1;
+            }
+            let run = (j - i) as u64;
+            i = j;
+            cycles += run;
+            if self.cache.access_run(addr, run) {
+                continue;
+            }
+            let block = block_addr as usize;
+            if let Some(codec) = codec {
+                // Functional path: decompress the block and check it.
+                let start = block * self.block_size;
+                let len = text.len().saturating_sub(start).min(self.block_size);
+                if len > 0 {
+                    assert!(
+                        codec.refill_into(block, len, &mut buf),
+                        "refill of block {block} failed"
+                    );
+                    assert_eq!(
+                        buf,
+                        &text[start..start + len],
+                        "refill of block {block} produced wrong bytes"
+                    );
+                }
+            }
+            let refill = match &mut self.compressed {
+                None => uncompressed_refill,
+                Some((lat, clb)) => {
+                    let block = block % lat_len;
+                    let lat_penalty = if clb.access(block) {
+                        0
+                    } else {
+                        // LAT entry fetched from main memory.
+                        self.costs.memory_latency
+                    };
+                    let (_, compressed_size) = lat.lookup(block);
+                    let transfer =
+                        u64::from(compressed_size).div_ceil(self.costs.bus_bytes_per_cycle);
+                    lat_penalty + self.costs.memory_latency + transfer + decompress_cycles
+                }
+            };
+            cycles += refill;
+            refill_cycles += refill;
+            refills += 1;
+        }
+        self.refill_buf = buf;
+        self.finish(trace.len() as u64, cache_before, clb_before, cycles, refill_cycles, refills)
+    }
+
+    /// The retained pre-PR-10 loop, verbatim: `/` and `%` addressing via
+    /// the reference cache/CLB walks, refill costs recomputed on every
+    /// miss, and a fresh `Vec` allocated per functional refill.
+    fn run_inner_reference(
         &mut self,
         trace: &[u64],
         codec: Option<&dyn RefillDecompressor>,
@@ -181,7 +365,7 @@ impl MemorySystem {
         let mut refills = 0u64;
         for &addr in trace {
             cycles += 1;
-            if self.cache.access(addr) {
+            if self.cache.access_reference(addr) {
                 continue;
             }
             let block = (addr / self.block_size as u64) as usize;
@@ -207,7 +391,7 @@ impl MemorySystem {
                 }
                 Some((lat, clb)) => {
                     let block = block % lat.len().max(1);
-                    let lat_penalty = if clb.access(block) {
+                    let lat_penalty = if clb.access_reference(block) {
                         0
                     } else {
                         // LAT entry fetched from main memory.
@@ -226,13 +410,21 @@ impl MemorySystem {
             refill_cycles += refill;
             refills += 1;
         }
-        let (clb_hits, clb_misses) = match &self.compressed {
-            Some((_, clb)) => (clb.hits(), clb.misses()),
-            None => (0, 0),
-        };
-        // Flush this run's deltas into the global metrics (no-ops unless
-        // the obs feature is on); the report below stays the authoritative
-        // per-run result either way.
+        self.finish(trace.len() as u64, cache_before, clb_before, cycles, refill_cycles, refills)
+    }
+
+    /// Shared epilogue: flush this run's deltas into the global metrics
+    /// (no-ops unless the obs feature is on) and assemble the report —
+    /// which stays the authoritative per-run result either way.
+    fn finish(
+        &self,
+        fetches: u64,
+        cache_before: CacheStats,
+        clb_before: cce_obs::HitMiss,
+        cycles: u64,
+        refill_cycles: u64,
+        refills: u64,
+    ) -> SimReport {
         let cache_delta = self.cache.stats().since(&cache_before);
         crate::obs::CACHE_HITS.add(cache_delta.hits);
         crate::obs::CACHE_MISSES.add(cache_delta.misses);
@@ -244,10 +436,10 @@ impl MemorySystem {
         crate::obs::REFILLS.add(refills);
         crate::obs::REFILL_CYCLES.add(refill_cycles);
         SimReport {
-            fetches: trace.len() as u64,
+            fetches,
             cache: self.cache.stats(),
-            clb_hits,
-            clb_misses,
+            clb_hits: clb_now.hits,
+            clb_misses: clb_now.misses,
             cycles,
             refill_cycles,
         }
@@ -331,5 +523,51 @@ mod tests {
         let report = sys.run(&looping_trace(50_000));
         let clb_total = report.clb_hits + report.clb_misses;
         assert!(clb_total > 0);
+    }
+
+    #[test]
+    fn reference_run_matches_fast_run_exactly() {
+        let trace = looping_trace(30_000);
+        for clb_entries in [4, 32] {
+            let lat = Arc::new(LineAddressTable::from_block_sizes(vec![18; 2048]));
+            let mut fast = MemorySystem::compressed(
+                cache_config(),
+                CostModel::default(),
+                Arc::clone(&lat),
+                clb_entries,
+            );
+            let mut reference =
+                MemorySystem::compressed(cache_config(), CostModel::default(), lat, clb_entries);
+            assert_eq!(fast.run(&trace), reference.run_reference(&trace));
+        }
+        let mut fast = MemorySystem::uncompressed(cache_config(), CostModel::default());
+        let mut reference = MemorySystem::uncompressed(cache_config(), CostModel::default());
+        assert_eq!(fast.run(&trace), reference.run_reference(&trace));
+    }
+
+    #[test]
+    fn shared_lat_arc_behaves_like_owned() {
+        let trace = looping_trace(5_000);
+        let lat = LineAddressTable::from_block_sizes(vec![18; 2048]);
+        let shared = Arc::new(lat.clone());
+        let mut owned = MemorySystem::compressed(cache_config(), CostModel::default(), lat, 16);
+        let mut arced = MemorySystem::compressed(cache_config(), CostModel::default(), shared, 16);
+        assert_eq!(owned.run(&trace), arced.run(&trace));
+    }
+
+    #[test]
+    fn rans_zero_lanes_is_a_typed_error() {
+        assert_eq!(DecoderLatency::try_rans(0), Err(LatencyError::ZeroLanes));
+        assert!(LatencyError::ZeroLanes.to_string().contains("at least one lane"));
+        let four = DecoderLatency::try_rans(4).expect("4 lanes is legal");
+        assert_eq!(four, DecoderLatency::rans(4));
+        assert_eq!(four.startup_cycles, 5);
+        assert_eq!(four.cycles_per_byte, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one lane")]
+    fn rans_zero_lanes_panics_unchecked() {
+        let _ = DecoderLatency::rans(0);
     }
 }

@@ -77,6 +77,53 @@ fn rans_decoder_swaps_into_the_refill_formula() {
 }
 
 #[test]
+fn fast_kernel_pins_under_nibble_latency() {
+    // The PR-10 fast kernel (flat cache arrays, hoisted refill constants)
+    // against the same hand-derived numbers as the tests above, with the
+    // retained reference walk required to land on the identical report.
+    let config = CacheConfig { size_bytes: 1024, block_size: 32, associativity: 2 };
+    let costs = CostModel { decoder: DecoderLatency::nibble(), ..costs() };
+    let lat = || LineAddressTable::from_block_sizes(vec![18; 32]);
+    // 3 cold blocks on one LAT line, each then re-fetched once (hits).
+    let trace: Vec<u64> = vec![0, 32, 64, 0, 32, 64];
+
+    let mut fast = MemorySystem::compressed(config, costs, lat(), 16);
+    let report = fast.run(&trace);
+    assert_eq!((report.cache.hits, report.cache.misses), (3, 3));
+    assert_eq!((report.clb_hits, report.clb_misses), (2, 1));
+    // Per refill: 20 latency + ceil(18/4)=5 transfer + 0 startup +
+    // ceil(32·2.0)=64 decompress = 89; block 0 adds a 20-cycle LAT fetch.
+    assert_eq!(report.refill_cycles, (20 + 89) + 2 * 89);
+    assert_eq!(report.cycles, 6 + 287);
+
+    let mut reference = MemorySystem::compressed(config, costs, lat(), 16);
+    assert_eq!(reference.run_reference(&trace), report);
+}
+
+#[test]
+fn fast_kernel_pins_under_rans4_latency() {
+    // 4-way interleaved rANS: startup = 1 + 4 = 5 cycles, then 4 bits per
+    // cycle = 2.0 cycles/byte — a 32-byte block decompresses in
+    // 5 + ceil(32·2.0) = 69 cycles.
+    let config = CacheConfig { size_bytes: 1024, block_size: 32, associativity: 2 };
+    let costs = CostModel { decoder: DecoderLatency::rans(4), ..costs() };
+    let lat = || LineAddressTable::from_block_sizes(vec![18; 32]);
+    let trace: Vec<u64> = vec![0, 32, 64, 0, 32, 64];
+
+    let mut fast = MemorySystem::compressed(config, costs, lat(), 16);
+    let report = fast.run(&trace);
+    assert_eq!((report.cache.hits, report.cache.misses), (3, 3));
+    assert_eq!((report.clb_hits, report.clb_misses), (2, 1));
+    // Per refill: 20 latency + 5 transfer + 69 decompress = 94; block 0
+    // adds the 20-cycle LAT fetch for its CLB miss.
+    assert_eq!(report.refill_cycles, (20 + 94) + 2 * 94);
+    assert_eq!(report.cycles, 6 + 302);
+
+    let mut reference = MemorySystem::compressed(config, costs, lat(), 16);
+    assert_eq!(reference.run_reference(&trace), report);
+}
+
+#[test]
 fn clb_thrash_pays_the_lat_fetch_on_every_refill() {
     // Direct-mapped 2-set cache: blocks 0 and 16 conflict, so an
     // alternating trace misses on every fetch.  Blocks 0 and 16 also live

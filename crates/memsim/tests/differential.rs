@@ -1,0 +1,167 @@
+//! Differential property tests: the fast flattened cache/CLB/system
+//! kernels must be access-for-access identical to the retained reference
+//! walks — same hit/miss sequence, same victim choices (checked through
+//! the final contents, which encode every eviction decision), and the
+//! same final stats — across seeded random geometries and traces.
+
+use cce_memsim::sweep::{run_sweep, SweepConfig, SweepImage};
+use cce_memsim::{Cache, CacheConfig, Clb, CostModel, LineAddressTable, MemorySystem};
+use cce_rng::Rng;
+use std::sync::Arc;
+
+/// A random but legal cache geometry: power-of-two block size and set
+/// count, small enough to force plenty of conflict misses.
+fn random_cache_config(rng: &mut Rng) -> CacheConfig {
+    let block_size = 1usize << rng.random_range(2..=6u32); // 4..=64 B
+    let associativity: usize = rng.random_range(1..=4);
+    let sets = 1usize << rng.random_range(0..=5u32); // 1..=32
+    CacheConfig { size_bytes: sets * block_size * associativity, block_size, associativity }
+}
+
+/// A trace with loops, strides, and jumps over a bounded address space,
+/// so both LRU updates and evictions are exercised heavily.
+fn random_trace(rng: &mut Rng, len: usize, span: u64) -> Vec<u64> {
+    let mut trace = Vec::with_capacity(len);
+    let mut pc = 0u64;
+    for _ in 0..len {
+        match rng.random_range(0..10u32) {
+            0 => pc = rng.random_range(0..span), // far jump
+            1 => pc = pc.saturating_sub(rng.random_range(0..256u64)), // short backward (loop)
+            _ => pc += 4,                        // fall through
+        }
+        trace.push(pc % span);
+    }
+    trace
+}
+
+#[test]
+fn cache_kernels_agree_on_random_geometries_and_traces() {
+    let mut rng = Rng::seed_from_u64(0xDAC1998);
+    for case in 0..40 {
+        let config = random_cache_config(&mut rng);
+        let span = 1 << rng.random_range(10..=16u32);
+        let trace = random_trace(&mut rng, 3_000, span);
+        let mut fast = Cache::new(config);
+        let mut reference = Cache::new(config);
+        for (i, &addr) in trace.iter().enumerate() {
+            assert_eq!(
+                fast.access(addr),
+                reference.access_reference(addr),
+                "case {case} ({config:?}): hit/miss diverged at access {i} (addr {addr:#x})"
+            );
+        }
+        assert_eq!(fast.stats(), reference.stats(), "case {case} ({config:?}): stats diverged");
+        // Contents carry (tag, last_use) per way: equality proves every
+        // victim choice matched, not just the hit/miss totals.
+        assert_eq!(
+            fast.contents(),
+            reference.contents(),
+            "case {case} ({config:?}): victim choices diverged"
+        );
+    }
+}
+
+#[test]
+fn clb_kernels_agree_on_random_geometries_and_traces() {
+    let mut rng = Rng::seed_from_u64(0x1998DAC);
+    for case in 0..40 {
+        let capacity: usize = rng.random_range(1..=12);
+        let coverage = 1usize << rng.random_range(0..=5u32);
+        let blocks: usize = rng.random_range(1..=512);
+        let mut fast = Clb::with_coverage(capacity, coverage);
+        let mut reference = Clb::with_coverage(capacity, coverage);
+        for i in 0..2_000 {
+            // Loopy block sequence with occasional jumps, like refills.
+            let block =
+                if rng.random_bool(0.15) { rng.random_range(0..blocks) } else { (i * 3) % blocks };
+            assert_eq!(
+                fast.access(block),
+                reference.access_reference(block),
+                "case {case} (cap {capacity}, cov {coverage}): diverged at step {i}"
+            );
+        }
+        assert_eq!(fast.stats(), reference.stats(), "case {case}: stats diverged");
+        assert_eq!(
+            fast.resident(),
+            reference.resident(),
+            "case {case} (cap {capacity}, cov {coverage}): eviction choices diverged"
+        );
+    }
+}
+
+#[test]
+fn system_runs_agree_end_to_end_on_random_configurations() {
+    let mut rng = Rng::seed_from_u64(7);
+    for case in 0..15 {
+        let config = random_cache_config(&mut rng);
+        let blocks: usize = rng.random_range(16..=1024);
+        let sizes: Vec<usize> =
+            (0..blocks).map(|_| rng.random_range(4..=config.block_size.max(5))).collect();
+        let span = (blocks * config.block_size) as u64;
+        let trace = random_trace(&mut rng, 5_000, span);
+        let clb_entries: usize = rng.random_range(1..=64);
+        let costs = CostModel::default();
+
+        let lat = Arc::new(LineAddressTable::from_block_sizes(sizes));
+        let mut fast = MemorySystem::compressed(config, costs, Arc::clone(&lat), clb_entries);
+        let mut reference = MemorySystem::compressed(config, costs, lat, clb_entries);
+        assert_eq!(
+            fast.run(&trace),
+            reference.run_reference(&trace),
+            "case {case} ({config:?}, clb {clb_entries}): compressed reports diverged"
+        );
+
+        let mut fast = MemorySystem::uncompressed(config, costs);
+        let mut reference = MemorySystem::uncompressed(config, costs);
+        assert_eq!(
+            fast.run(&trace),
+            reference.run_reference(&trace),
+            "case {case} ({config:?}): uncompressed reports diverged"
+        );
+    }
+}
+
+/// Every sweep cell's report must equal a from-scratch serial simulation
+/// of that cell — the parallel driver may not perturb results.
+#[test]
+fn sweep_cells_match_standalone_simulations() {
+    let mut rng = Rng::seed_from_u64(42);
+    let images: Vec<SweepImage> = (0..2)
+        .map(|i| {
+            let block_size = 32 << i;
+            let blocks = 256usize;
+            let sizes: Vec<usize> = (0..blocks).map(|_| rng.random_range(4..=block_size)).collect();
+            SweepImage {
+                codec: format!("img{i}"),
+                block_size,
+                compressed_bytes: sizes.iter().sum::<usize>() as u64,
+                text_bytes: (blocks * block_size) as u64,
+                lat: Arc::new(LineAddressTable::from_block_sizes(sizes)),
+            }
+        })
+        .collect();
+    let config = SweepConfig::default();
+    let trace = random_trace(&mut rng, 8_000, 256 * 32);
+
+    for result in run_sweep(&images, &config, &trace, 4) {
+        let cell = result.cell;
+        let image = &images[cell.image];
+        let cache = CacheConfig {
+            size_bytes: cell.cache_size,
+            block_size: image.block_size,
+            associativity: cell.associativity,
+        };
+        let costs = CostModel {
+            memory_latency: config.memory_latency,
+            bus_bytes_per_cycle: config.bus_bytes_per_cycle,
+            decoder: config.decoders[cell.decoder].latency,
+        };
+        let mut standalone =
+            MemorySystem::compressed(cache, costs, Arc::clone(&image.lat), cell.clb_entries);
+        assert_eq!(standalone.run(&trace), result.report, "cell {cell:?}");
+        // And the reference kernel agrees with the sweep's fast cells.
+        let mut reference =
+            MemorySystem::compressed(cache, costs, Arc::clone(&image.lat), cell.clb_entries);
+        assert_eq!(reference.run_reference(&trace), result.report, "cell {cell:?} (reference)");
+    }
+}

@@ -124,6 +124,47 @@ grep -q '"matches_arith_ratio_band":true' "$decode_file"
 grep -q '"speedup_4way":' "$decode_file"
 test "$(tail -c1 "$decode_file")" = ""
 
+echo "== sweep smoke (fixed-seed grid, worker invariance, kernel leg) =="
+# The memory-system design-space sweep: the default fixed-seed grid must
+# expand to >= 200 cells, the artifact must be valid JSON with every
+# required per-cell field, and — because each cell is a pure function of
+# the shared compressed images and the one decoded trace — the plain
+# artifact must be byte-identical for any worker count.  The --bench
+# kernel leg must prove the fast kernel report-identical to the retained
+# reference walk before it times anything.
+sweep_file="target/ci-sweep.json"
+cargo run --release -q -p cce-core --bin cce -- sweep --scale 0.05 --fetches 60000 --workers 1 -o "$sweep_file"
+python3 - "$sweep_file" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    sweep = json.load(f)
+assert sweep["version"] == 1 and sweep["benchmark"] == "memsim-sweep", sweep
+summary = sweep["summary"]
+assert summary["cells"] >= 200, f"grid too small: {summary['cells']} cells"
+assert summary["images"] == len(sweep["images"]) >= 4, summary
+assert len(sweep["cells"]) == summary["cells"], "cell list disagrees with summary"
+for cell in sweep["cells"]:
+    for field in ("codec", "block_size", "cache", "assoc", "clb", "decoder",
+                  "cpf", "baseline_cpf", "slowdown", "cache_hit_ratio",
+                  "clb_hit_ratio", "refill_cycles"):
+        assert field in cell, f"cell missing {field}: {cell}"
+    assert cell["cpf"] >= 1.0 and cell["slowdown"] >= 1.0, cell
+assert isinstance(summary["arith_rans_delta"], float), summary
+assert sweep["kernel"] is None, "plain sweep must not carry timing data"
+print(f"sweep smoke: {summary['cells']} cells over {summary['images']} images")
+EOF
+test "$(tail -c1 "$sweep_file")" = ""
+# Determinism: byte-identical artifacts across worker counts.
+for w in 2 8; do
+    cargo run --release -q -p cce-core --bin cce -- sweep --scale 0.05 --fetches 60000 --workers "$w" -o "$sweep_file.w$w"
+    cmp "$sweep_file" "$sweep_file.w$w"
+done
+# Kernel leg: fast kernel must land on the reference walk's exact report.
+cargo run --release -q -p cce-core --bin cce -- sweep --bench --scale 0.05 --fetches 60000 -o "$sweep_file.bench"
+grep -q '"matches_reference":true' "$sweep_file.bench"
+grep -q '"speedup":' "$sweep_file.bench"
+test "$(tail -c1 "$sweep_file.bench")" = ""
+
 echo "== model-cache smoke (cold miss, then disk hit, pinned division) =="
 cache_dir="target/ci-model-cache"
 cache_elf="target/ci-cache-go.elf"
